@@ -1,0 +1,251 @@
+//! Deutsch–Jozsa circuits (static and dynamic realizations).
+//!
+//! The Deutsch–Jozsa algorithm decides with a single oracle query whether a
+//! Boolean function `f : {0,1}^m → {0,1}` is constant or balanced. The
+//! workspace uses the two standard oracle families:
+//!
+//! * *constant* oracles (`f ≡ 0` or `f ≡ 1`), and
+//! * *balanced parity* oracles `f(x) = s·x ⊕ b` for a non-zero mask `s`.
+//!
+//! For a constant oracle every input qubit returns |0⟩, for a balanced parity
+//! oracle the measurement reveals the mask `s` (the algorithm degenerates to
+//! Bernstein–Vazirani) — in both cases the outcome is deterministic, which
+//! makes the family a good sparse benchmark for the extraction scheme.
+//!
+//! As with the other families, a *dynamic* realization re-uses a single
+//! working qubit through mid-circuit measurement and reset.
+
+use circuit::QuantumCircuit;
+
+/// The oracle families supported by the generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Oracle {
+    /// `f(x) = bit` for every input.
+    Constant(bool),
+    /// `f(x) = s·x ⊕ offset` with the given mask `s` (must not be all-zero
+    /// to be balanced).
+    BalancedParity {
+        /// The parity mask `s`.
+        mask: Vec<bool>,
+        /// The constant offset added to the parity.
+        offset: bool,
+    },
+}
+
+impl Oracle {
+    /// Returns `true` for constant oracles.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Oracle::Constant(_))
+    }
+
+    /// Number of input bits the oracle expects (`None` for constant oracles,
+    /// which work for any width).
+    pub fn input_bits(&self) -> Option<usize> {
+        match self {
+            Oracle::Constant(_) => None,
+            Oracle::BalancedParity { mask, .. } => Some(mask.len()),
+        }
+    }
+}
+
+/// Applies the phase oracle to a circuit: inputs are `inputs`, the ancilla
+/// (prepared in |−⟩ by the caller via X · H) is `ancilla`.
+fn apply_oracle(qc: &mut QuantumCircuit, oracle: &Oracle, inputs: &[usize], ancilla: usize) {
+    match oracle {
+        Oracle::Constant(bit) => {
+            if *bit {
+                qc.x(ancilla);
+            }
+        }
+        Oracle::BalancedParity { mask, offset } => {
+            for (&q, &bit) in inputs.iter().zip(mask.iter()) {
+                if bit {
+                    qc.cx(q, ancilla);
+                }
+            }
+            if *offset {
+                qc.x(ancilla);
+            }
+        }
+    }
+}
+
+/// Builds the static Deutsch–Jozsa circuit on `m` input qubits.
+///
+/// Register layout: qubits `0..m` are the inputs, qubit `m` is the ancilla.
+/// When `measured` is `true`, input qubit `i` is measured into classical
+/// bit `i`. A constant oracle yields the all-zeros outcome with certainty; a
+/// balanced parity oracle yields its mask.
+///
+/// # Panics
+///
+/// Panics when a balanced oracle's mask length differs from `m`.
+///
+/// # Examples
+///
+/// ```
+/// use algorithms::deutsch_jozsa::{dj_static, Oracle};
+/// let qc = dj_static(3, &Oracle::Constant(false), true);
+/// assert_eq!(qc.num_qubits(), 4);
+/// assert_eq!(qc.measurement_count(), 3);
+/// ```
+pub fn dj_static(m: usize, oracle: &Oracle, measured: bool) -> QuantumCircuit {
+    if let Some(expected) = oracle.input_bits() {
+        assert_eq!(expected, m, "oracle mask length does not match input width");
+    }
+    let ancilla = m;
+    let mut qc = QuantumCircuit::with_name(m + 1, m, format!("dj_static_{}", m + 1));
+    qc.x(ancilla);
+    qc.h(ancilla);
+    for q in 0..m {
+        qc.h(q);
+    }
+    let inputs: Vec<usize> = (0..m).collect();
+    apply_oracle(&mut qc, oracle, &inputs, ancilla);
+    for q in 0..m {
+        qc.h(q);
+    }
+    if measured {
+        for q in 0..m {
+            qc.measure(q, q);
+        }
+    }
+    qc
+}
+
+/// Builds the dynamic (2-qubit) Deutsch–Jozsa circuit on `m` logical input
+/// bits.
+///
+/// Register layout: qubit 0 is the re-used working qubit, qubit 1 the
+/// ancilla; classical bit `i` receives the measurement of logical input `i`.
+///
+/// # Panics
+///
+/// Panics when a balanced oracle's mask length differs from `m`.
+///
+/// # Examples
+///
+/// ```
+/// use algorithms::deutsch_jozsa::{dj_dynamic, Oracle};
+/// let qc = dj_dynamic(3, &Oracle::BalancedParity { mask: vec![true, false, true], offset: false });
+/// assert_eq!(qc.num_qubits(), 2);
+/// assert_eq!(qc.reset_count(), 2);
+/// ```
+pub fn dj_dynamic(m: usize, oracle: &Oracle) -> QuantumCircuit {
+    if let Some(expected) = oracle.input_bits() {
+        assert_eq!(expected, m, "oracle mask length does not match input width");
+    }
+    let working = 0;
+    let ancilla = 1;
+    let mut qc = QuantumCircuit::with_name(2, m, format!("dj_dynamic_{}", m + 1));
+    qc.x(ancilla);
+    qc.h(ancilla);
+    for i in 0..m {
+        if i > 0 {
+            qc.reset(working);
+        }
+        qc.h(working);
+        // The slice of the oracle touching logical input i.
+        match oracle {
+            Oracle::Constant(bit) => {
+                // Apply the constant part only once (with the first input).
+                if i == 0 && *bit {
+                    qc.x(ancilla);
+                }
+            }
+            Oracle::BalancedParity { mask, offset } => {
+                if mask[i] {
+                    qc.cx(working, ancilla);
+                }
+                if i == 0 && *offset {
+                    qc.x(ancilla);
+                }
+            }
+        }
+        qc.h(working);
+        qc.measure(working, i);
+    }
+    qc
+}
+
+/// Deterministically generates a pseudo-random balanced parity oracle on
+/// `m` bits (the mask is never all-zero).
+pub fn random_balanced_oracle(m: usize, seed: u64) -> Oracle {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mask: Vec<bool> = (0..m).map(|_| rng.r#gen::<bool>()).collect();
+    if mask.iter().all(|&b| !b) {
+        mask[rng.gen_range(0..m)] = true;
+    }
+    Oracle::BalancedParity {
+        mask,
+        offset: rng.r#gen::<bool>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_constant_oracle_structure() {
+        let qc = dj_static(4, &Oracle::Constant(false), true);
+        assert_eq!(qc.num_qubits(), 5);
+        assert_eq!(qc.measurement_count(), 4);
+        // X, H on ancilla + 4 H + (nothing) + 4 H
+        assert_eq!(qc.counts().unitary, 2 + 4 + 4);
+    }
+
+    #[test]
+    fn static_balanced_oracle_contains_cx_per_mask_bit() {
+        let oracle = Oracle::BalancedParity {
+            mask: vec![true, true, false, true],
+            offset: true,
+        };
+        let qc = dj_static(4, &oracle, false);
+        // X, H ancilla + 4 H + 3 CX + 1 X + 4 H
+        assert_eq!(qc.gate_count(), 2 + 4 + 3 + 1 + 4);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn dynamic_realization_uses_two_qubits_and_resets() {
+        let oracle = random_balanced_oracle(5, 3);
+        let qc = dj_dynamic(5, &oracle);
+        assert_eq!(qc.num_qubits(), 2);
+        assert_eq!(qc.num_bits(), 5);
+        assert_eq!(qc.measurement_count(), 5);
+        assert_eq!(qc.reset_count(), 4);
+    }
+
+    #[test]
+    fn constant_dynamic_realization_has_no_oracle_gates_beyond_setup() {
+        let qc = dj_dynamic(3, &Oracle::Constant(true));
+        // X, H ancilla setup + one extra X + per bit (H, H, measure) + resets.
+        assert_eq!(qc.gate_count(), 2 + 1 + 3 * 3 + 2);
+    }
+
+    #[test]
+    fn mismatched_mask_width_panics() {
+        let oracle = Oracle::BalancedParity {
+            mask: vec![true, false],
+            offset: false,
+        };
+        let result = std::panic::catch_unwind(|| dj_static(3, &oracle, false));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn random_oracle_is_deterministic_and_balanced() {
+        let a = random_balanced_oracle(8, 11);
+        let b = random_balanced_oracle(8, 11);
+        assert_eq!(a, b);
+        assert!(!a.is_constant());
+        if let Oracle::BalancedParity { mask, .. } = &a {
+            assert!(mask.iter().any(|&b| b));
+        }
+        assert_eq!(a.input_bits(), Some(8));
+        assert_eq!(Oracle::Constant(true).input_bits(), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! GHZ-state preparation circuits.
+
+use circuit::QuantumCircuit;
+
+/// Builds the standard GHZ preparation circuit: H on qubit 0 followed by a
+/// CNOT chain.
+///
+/// ```
+/// use algorithms::ghz::ghz;
+/// let qc = ghz(4, false);
+/// assert_eq!(qc.gate_count(), 4);
+/// ```
+pub fn ghz(n: usize, measured: bool) -> QuantumCircuit {
+    assert!(n >= 1, "GHZ requires at least one qubit");
+    let mut qc = QuantumCircuit::with_name(n, n, format!("ghz_{n}"));
+    qc.h(0);
+    for q in 1..n {
+        qc.cx(q - 1, q);
+    }
+    if measured {
+        qc.measure_all();
+    }
+    qc
+}
+
+/// Builds a GHZ preparation circuit using a fanned-out (logarithmic-depth)
+/// CNOT tree instead of a linear chain.
+///
+/// Starting from |0…0⟩ it prepares the same GHZ state as [`ghz`], so the two
+/// are *fixed-input* equivalent; note that the full unitaries differ (they
+/// act differently on other basis states), which makes the pair a useful
+/// example for distinguishing the two notions of equivalence.
+pub fn ghz_log_depth(n: usize, measured: bool) -> QuantumCircuit {
+    assert!(n >= 1, "GHZ requires at least one qubit");
+    let mut qc = QuantumCircuit::with_name(n, n, format!("ghz_log_{n}"));
+    qc.h(0);
+    // Double the number of entangled qubits in every round.
+    let mut filled = 1;
+    while filled < n {
+        let copy = filled.min(n - filled);
+        for i in 0..copy {
+            qc.cx(i, filled + i);
+        }
+        filled += copy;
+    }
+    if measured {
+        qc.measure_all();
+    }
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ghz_structure() {
+        let qc = ghz(5, false);
+        assert_eq!(qc.num_qubits(), 5);
+        assert_eq!(qc.gate_count(), 5);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn measured_ghz_measures_every_qubit() {
+        let qc = ghz(3, true);
+        assert_eq!(qc.measurement_count(), 3);
+    }
+
+    #[test]
+    fn log_depth_ghz_has_same_gate_count() {
+        for n in [1usize, 2, 3, 7, 8, 13] {
+            assert_eq!(ghz(n, false).gate_count(), ghz_log_depth(n, false).gate_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_rejected() {
+        let _ = ghz(0, false);
+    }
+}

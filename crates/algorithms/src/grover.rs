@@ -1,0 +1,153 @@
+//! Grover search circuits.
+//!
+//! Grover's algorithm amplifies the amplitude of a marked computational basis
+//! state using repetitions of *oracle + diffusion*. The circuits here mark a
+//! single basis state via a multi-controlled Z, which makes them a natural
+//! stress test for the compilation passes (multi-controlled decomposition)
+//! and a further sparse-output workload for the simulation-based schemes.
+
+use circuit::{QuantumCircuit, QuantumControl, StandardGate};
+
+/// The number of Grover iterations that maximises the success probability
+/// for a single marked item among `2^n` candidates.
+pub fn optimal_iterations(n_qubits: usize) -> usize {
+    let amplitude = 1.0 / (1u64 << n_qubits) as f64;
+    let angle = amplitude.sqrt().asin();
+    ((std::f64::consts::FRAC_PI_4 / angle) - 0.5).round().max(1.0) as usize
+}
+
+/// Appends a phase flip of the basis state `marked` (little-endian) to `qc`.
+fn apply_phase_oracle(qc: &mut QuantumCircuit, n: usize, marked: usize) {
+    // Map the marked state to |1…1⟩, flip its phase, and map back.
+    for q in 0..n {
+        if (marked >> q) & 1 == 0 {
+            qc.x(q);
+        }
+    }
+    apply_controlled_z_on_all(qc, n);
+    for q in 0..n {
+        if (marked >> q) & 1 == 0 {
+            qc.x(q);
+        }
+    }
+}
+
+/// Appends a Z on qubit `n−1` controlled by all other qubits.
+fn apply_controlled_z_on_all(qc: &mut QuantumCircuit, n: usize) {
+    if n == 1 {
+        qc.z(0);
+        return;
+    }
+    let controls: Vec<QuantumControl> = (0..n - 1).map(QuantumControl::pos).collect();
+    qc.controlled_gate(StandardGate::Z, n - 1, controls);
+}
+
+/// Appends the Grover diffusion operator (inversion about the mean) to `qc`.
+fn apply_diffusion(qc: &mut QuantumCircuit, n: usize) {
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        qc.x(q);
+    }
+    apply_controlled_z_on_all(qc, n);
+    for q in 0..n {
+        qc.x(q);
+    }
+    for q in 0..n {
+        qc.h(q);
+    }
+}
+
+/// Builds a Grover search circuit on `n` qubits that marks the basis state
+/// `marked` (little-endian).
+///
+/// When `iterations` is `None` the optimal iteration count is used. When
+/// `measured` is `true`, qubit `i` is measured into classical bit `i`.
+///
+/// # Panics
+///
+/// Panics when `marked` is not a valid `n`-qubit basis state.
+///
+/// # Examples
+///
+/// ```
+/// use algorithms::grover::grover;
+/// let qc = grover(3, 0b101, None, true);
+/// assert_eq!(qc.num_qubits(), 3);
+/// assert_eq!(qc.measurement_count(), 3);
+/// ```
+pub fn grover(
+    n: usize,
+    marked: usize,
+    iterations: Option<usize>,
+    measured: bool,
+) -> QuantumCircuit {
+    assert!(n >= 1, "Grover search needs at least one qubit");
+    assert!(
+        marked < (1usize << n),
+        "marked state {marked} is not an {n}-qubit basis state"
+    );
+    let rounds = iterations.unwrap_or_else(|| optimal_iterations(n));
+    let mut qc = QuantumCircuit::with_name(n, n, format!("grover_{n}_{marked}"));
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _ in 0..rounds {
+        apply_phase_oracle(&mut qc, n, marked);
+        apply_diffusion(&mut qc, n);
+    }
+    if measured {
+        for q in 0..n {
+            qc.measure(q, q);
+        }
+    }
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_iteration_counts_grow_with_the_search_space() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(3), 2);
+        assert!(optimal_iterations(6) > optimal_iterations(4));
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let qc = grover(3, 5, Some(2), true);
+        assert_eq!(qc.num_qubits(), 3);
+        assert_eq!(qc.num_bits(), 3);
+        assert_eq!(qc.measurement_count(), 3);
+        assert!(qc.counts().unitary > 0);
+    }
+
+    #[test]
+    fn unmeasured_circuit_is_unitary() {
+        let qc = grover(4, 11, None, false);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn single_qubit_search_degenerates_to_plain_z() {
+        let qc = grover(1, 1, Some(1), false);
+        assert!(qc.is_unitary());
+        assert!(qc.gate_count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis state")]
+    fn out_of_range_marked_state_panics() {
+        grover(2, 7, None, false);
+    }
+
+    #[test]
+    fn iteration_count_controls_circuit_length() {
+        let one = grover(3, 1, Some(1), false);
+        let three = grover(3, 1, Some(3), false);
+        assert!(three.gate_count() > one.gate_count());
+    }
+}

@@ -1,0 +1,36 @@
+//! # algorithms — benchmark circuit generators
+//!
+//! Parametric generators for the circuit families used in the paper's
+//! evaluation (Bernstein–Vazirani, Quantum Fourier Transform, Quantum Phase
+//! Estimation) in both their *static* and *dynamic* (qubit-re-using)
+//! realizations, plus a few additional workloads (GHZ, teleportation, random
+//! circuits) used by the examples and test suites.
+//!
+//! Every generator is deterministic in its parameters, and the gate counts of
+//! the paper's Table 1 instances are reproduced exactly (see the unit tests
+//! in [`bv`], [`qft`] and [`qpe`]).
+//!
+//! ```
+//! use algorithms::{bv, qpe};
+//!
+//! // The paper's running example: 3-bit IQPE of U = P(3π/8).
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let dynamic = qpe::iqpe_dynamic(phi, 3);
+//! assert_eq!(dynamic.num_qubits(), 2);
+//!
+//! // A 2-qubit dynamic Bernstein-Vazirani instance.
+//! let hidden = bv::random_hidden_string(16, 42);
+//! let qc = bv::bv_dynamic(&hidden);
+//! assert_eq!(qc.num_bits(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bv;
+pub mod deutsch_jozsa;
+pub mod ghz;
+pub mod grover;
+pub mod qft;
+pub mod qpe;
+pub mod random;
+pub mod teleport;

@@ -1,0 +1,165 @@
+//! Pseudo-random circuit generators used by tests and ablation benchmarks.
+//!
+//! All generators are deterministic in their seed so that every test failure
+//! is reproducible.
+
+use circuit::{QuantumCircuit, QuantumControl, StandardGate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_standard_gate(rng: &mut StdRng) -> StandardGate {
+    match rng.gen_range(0..10) {
+        0 => StandardGate::H,
+        1 => StandardGate::X,
+        2 => StandardGate::Y,
+        3 => StandardGate::Z,
+        4 => StandardGate::S,
+        5 => StandardGate::T,
+        6 => StandardGate::Sx,
+        7 => StandardGate::Phase(rng.gen_range(-3.2..3.2)),
+        8 => StandardGate::Rx(rng.gen_range(-3.2..3.2)),
+        _ => StandardGate::Rz(rng.gen_range(-3.2..3.2)),
+    }
+}
+
+/// Generates a random purely-unitary circuit with `len` gates.
+///
+/// Roughly half of the gates are controlled by a second, distinct qubit.
+pub fn random_unitary_circuit(n_qubits: usize, len: usize, seed: u64) -> QuantumCircuit {
+    assert!(n_qubits >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qc = QuantumCircuit::with_name(n_qubits, 0, format!("random_unitary_{seed}"));
+    for _ in 0..len {
+        let gate = random_standard_gate(&mut rng);
+        let target = rng.gen_range(0..n_qubits);
+        if n_qubits > 1 && rng.r#gen::<bool>() {
+            let mut control = rng.gen_range(0..n_qubits);
+            while control == target {
+                control = rng.gen_range(0..n_qubits);
+            }
+            qc.controlled_gate(gate, target, vec![QuantumControl::pos(control)]);
+        } else {
+            qc.gate(gate, target);
+        }
+    }
+    qc
+}
+
+/// Generates a random *well-formed* dynamic circuit with `len` operations.
+///
+/// Well-formed means the circuit obeys the structure of realistic dynamic
+/// circuits (and of the paper's transformation scheme): once a qubit has been
+/// measured it is not acted upon again until it is reset, and classical
+/// conditions only reference bits that have already been written by a
+/// measurement.
+pub fn random_dynamic_circuit(
+    n_qubits: usize,
+    n_bits: usize,
+    len: usize,
+    seed: u64,
+) -> QuantumCircuit {
+    assert!(n_qubits >= 1 && n_bits >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qc = QuantumCircuit::with_name(
+        n_qubits,
+        n_bits,
+        format!("random_dynamic_{seed}"),
+    );
+    // Tracks which qubits are currently "retired" (measured, not yet reset)
+    // and which classical bits already hold a measurement outcome.
+    let mut measured = vec![false; n_qubits];
+    let mut written_bits: Vec<usize> = Vec::new();
+
+    for _ in 0..len {
+        let choice = rng.gen_range(0..100);
+        if choice < 60 {
+            // Unitary gate on a non-retired qubit.
+            let candidates: Vec<usize> = (0..n_qubits).filter(|&q| !measured[q]).collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let target = candidates[rng.gen_range(0..candidates.len())];
+            let gate = random_standard_gate(&mut rng);
+            let conditioned = !written_bits.is_empty() && rng.gen_range(0..100) < 25;
+            if conditioned {
+                let bit = written_bits[rng.gen_range(0..written_bits.len())];
+                qc.gate_if(gate, target, bit, rng.r#gen::<bool>());
+            } else if candidates.len() > 1 && rng.r#gen::<bool>() {
+                let mut control = candidates[rng.gen_range(0..candidates.len())];
+                while control == target {
+                    control = candidates[rng.gen_range(0..candidates.len())];
+                }
+                qc.controlled_gate(gate, target, vec![QuantumControl::pos(control)]);
+            } else {
+                qc.gate(gate, target);
+            }
+        } else if choice < 80 {
+            // Measurement of a non-retired qubit.
+            let candidates: Vec<usize> = (0..n_qubits).filter(|&q| !measured[q]).collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let qubit = candidates[rng.gen_range(0..candidates.len())];
+            let bit = rng.gen_range(0..n_bits);
+            qc.measure(qubit, bit);
+            measured[qubit] = true;
+            if !written_bits.contains(&bit) {
+                written_bits.push(bit);
+            }
+        } else {
+            // Reset of any qubit; brings retired qubits back into play.
+            let qubit = rng.gen_range(0..n_qubits);
+            qc.reset(qubit);
+            measured[qubit] = false;
+        }
+    }
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::OpKind;
+
+    #[test]
+    fn unitary_generator_is_deterministic() {
+        let a = random_unitary_circuit(4, 30, 11);
+        let b = random_unitary_circuit(4, 30, 11);
+        assert_eq!(a.ops(), b.ops());
+        assert!(a.is_unitary());
+        assert_eq!(a.gate_count(), 30);
+    }
+
+    #[test]
+    fn dynamic_generator_is_well_formed() {
+        for seed in 0..20 {
+            let qc = random_dynamic_circuit(4, 4, 60, seed);
+            let mut retired = vec![false; 4];
+            for op in qc.ops() {
+                match &op.kind {
+                    OpKind::Measure { qubit, .. } => {
+                        assert!(!retired[*qubit], "measured a retired qubit (seed {seed})");
+                        retired[*qubit] = true;
+                    }
+                    OpKind::Reset { qubit } => {
+                        retired[*qubit] = false;
+                    }
+                    OpKind::Unitary { target, controls, .. } => {
+                        assert!(!retired[*target], "gate on retired qubit (seed {seed})");
+                        for c in controls {
+                            assert!(!retired[c.qubit], "control on retired qubit (seed {seed})");
+                        }
+                    }
+                    OpKind::Barrier => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_generator_produces_dynamic_circuits() {
+        let qc = random_dynamic_circuit(3, 3, 80, 5);
+        assert!(qc.is_dynamic());
+        assert!(qc.measurement_count() > 0);
+    }
+}

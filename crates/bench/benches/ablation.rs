@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * the gate-scheduling strategy of the functional check (reference vs.
+//!   1:1 vs. proportional),
+//! * zero-branch pruning in the extraction scheme,
+//! * sequential vs. parallel extraction.
+
+use bench::{build_instance, Family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcec::{check_functional_equivalence, Configuration, Strategy};
+use sim::{extract_distribution, extract_distribution_parallel, ExtractionConfig};
+use transform::{align_to_reference, reconstruct_unitary};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/strategy");
+    group.sample_size(10);
+    let instance = build_instance(Family::Qpe, 11);
+    let reconstruction = reconstruct_unitary(&instance.dynamic_circuit).unwrap();
+    let aligned = align_to_reference(&instance.static_circuit, &reconstruction.circuit).unwrap();
+    for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+        let config = Configuration {
+            strategy,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("qpe11", format!("{strategy:?}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    check_functional_equivalence(&instance.static_circuit, &aligned, config)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pruning");
+    group.sample_size(10);
+    // Sparse instance: pruning collapses the branch tree to a single path.
+    let instance = build_instance(Family::BernsteinVazirani, 17);
+    for (label, threshold) in [("pruned", 1e-12), ("unpruned", -1.0)] {
+        let config = ExtractionConfig {
+            prune_threshold: threshold,
+            max_leaves: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("bv17", label),
+            &config,
+            |b, config| {
+                b.iter(|| extract_distribution(&instance.dynamic_circuit, config).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/parallel_extraction");
+    group.sample_size(10);
+    // Dense instance: the branch tree is a full binary tree, so splitting it
+    // across threads actually helps.
+    let instance = build_instance(Family::Qft, 12);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            extract_distribution(&instance.dynamic_circuit, &ExtractionConfig::default()).unwrap()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    extract_distribution_parallel(
+                        &instance.dynamic_circuit,
+                        &ExtractionConfig::default(),
+                        threads,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_pruning, bench_parallel_extraction);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of the compilation flow and the subsequent verification of the
+//! compilation result (the use case of the paper's Section 2.3).
+
+use bench::{build_instance, Family};
+use compile::{Compiler, CouplingMap, NativeBasis, Target};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcec::{check_functional_equivalence, Configuration};
+
+fn line_target(n: usize) -> Target {
+    Target {
+        coupling: CouplingMap::line(n),
+        basis: NativeBasis::IbmRzSxX,
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/pipeline");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let instance = build_instance(Family::Qft, n);
+        let circuit = instance.static_circuit.without_measurements();
+        group.bench_with_input(BenchmarkId::new("qft", n), &circuit, |b, circuit| {
+            let compiler = Compiler::new(line_target(circuit.num_qubits()));
+            b.iter(|| compiler.compile(circuit).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_and_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/verify");
+    group.sample_size(10);
+    for n in [5usize, 7, 9] {
+        let instance = build_instance(Family::Qpe, n);
+        let circuit = instance.static_circuit.without_measurements();
+        let compiled = Compiler::new(line_target(circuit.num_qubits()))
+            .compile(&circuit)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("qpe", n),
+            &(circuit, compiled.circuit),
+            |b, (original, compiled)| {
+                b.iter(|| {
+                    check_functional_equivalence(original, compiled, &Configuration::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_compile_and_verify);
+criterion_main!(benches);

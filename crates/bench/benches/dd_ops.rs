@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the decision-diagram substrate: gate application,
+//! matrix-matrix multiplication and inner products on structured states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd::{gates, Control, DdPackage};
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd/apply_gate");
+    group.sample_size(20);
+    for n in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("ghz_layer", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = DdPackage::new(n);
+                let mut state = p.zero_state();
+                state = p.apply_gate(state, &gates::h(), 0, &[]);
+                for q in 1..n {
+                    state = p.apply_gate(state, &gates::x(), q, &[Control::pos(q - 1)]);
+                }
+                state
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_multiplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd/mul_matrices");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("qft_layer", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = DdPackage::new(n);
+                let mut u = p.identity();
+                for q in 0..n {
+                    let h = p.make_gate(&gates::h(), q, &[]);
+                    u = p.mul_matrices(h, u);
+                    if q + 1 < n {
+                        let cp = p.make_gate(
+                            &gates::phase(std::f64::consts::PI / 2.0),
+                            q + 1,
+                            &[Control::pos(q)],
+                        );
+                        u = p.mul_matrices(cp, u);
+                    }
+                }
+                u
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd/inner_product");
+    group.sample_size(20);
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("ghz_overlap", n), &n, |b, &n| {
+            let mut p = DdPackage::new(n);
+            let mut state = p.zero_state();
+            state = p.apply_gate(state, &gates::h(), 0, &[]);
+            for q in 1..n {
+                state = p.apply_gate(state, &gates::x(), q, &[Control::pos(q - 1)]);
+            }
+            let zero = p.zero_state();
+            b.iter(|| p.fidelity(state, zero))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_matrix_multiplication,
+    bench_inner_product
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmarks comparing the approaches for obtaining the measurement-outcome
+//! distribution of a dynamic circuit, quantifying the discussion at the
+//! beginning of Section 5 of the paper:
+//!
+//! * the paper's branching extraction scheme,
+//! * a dense density-matrix ensemble simulation,
+//! * stochastic shot-based sampling (with a fixed shot budget).
+
+use bench::{build_instance, Family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use density::{EnsembleConfig, EnsembleSimulator};
+use sim::{extract_distribution, sample_distribution, ExtractionConfig, ShotConfig};
+
+fn bench_distribution_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("methods/distribution");
+    group.sample_size(10);
+    // A sparse instance (QPE with an exactly representable phase) and a dense
+    // one (QFT): the extraction scheme excels on the former and degrades on
+    // the latter, exactly as in the paper's Table 1.
+    let instances = [
+        ("qpe9", build_instance(Family::Qpe, 9)),
+        ("qft6", build_instance(Family::Qft, 6)),
+    ];
+    for (label, instance) in &instances {
+        let dynamic = &instance.dynamic_circuit;
+        group.bench_with_input(
+            BenchmarkId::new("extraction", label),
+            dynamic,
+            |b, circuit| {
+                b.iter(|| extract_distribution(circuit, &ExtractionConfig::default()).unwrap())
+            },
+        );
+        if dynamic.num_qubits() <= 8 {
+            group.bench_with_input(
+                BenchmarkId::new("density_ensemble", label),
+                dynamic,
+                |b, circuit| {
+                    b.iter(|| {
+                        let mut ensemble =
+                            EnsembleSimulator::with_config(circuit, EnsembleConfig::default())
+                                .unwrap();
+                        ensemble.run(circuit).unwrap();
+                        ensemble.outcome_distribution()
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("stochastic_1024", label),
+            dynamic,
+            |b, circuit| {
+                b.iter(|| {
+                    sample_distribution(circuit, &ShotConfig { shots: 1024, seed: 7 }).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution_methods);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1, Quantum Fourier Transform section.
+//!
+//! The functional verification scales to large registers; the extraction
+//! scheme doubles its work with every added qubit (dense output
+//! distribution), which is exactly the behaviour Table 1 reports. The bench
+//! therefore uses small sizes for `t_extract` and larger ones for `t_ver`.
+
+use bench::{build_instance, Family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcec::{check_functional_equivalence, Configuration};
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use transform::{align_to_reference, reconstruct_unitary};
+
+fn bench_qft(c: &mut Criterion) {
+    let config = Configuration::default();
+    let mut group = c.benchmark_group("table1/qft");
+    group.sample_size(10);
+
+    // Functional verification and plain simulation.
+    for n in [8usize, 16, 24] {
+        let instance = build_instance(Family::Qft, n);
+        group.bench_with_input(BenchmarkId::new("t_trans", n), &instance, |b, inst| {
+            b.iter(|| reconstruct_unitary(&inst.dynamic_circuit).unwrap())
+        });
+        let reconstruction = reconstruct_unitary(&instance.dynamic_circuit).unwrap();
+        let aligned =
+            align_to_reference(&instance.static_circuit, &reconstruction.circuit).unwrap();
+        group.bench_with_input(BenchmarkId::new("t_ver", n), &instance, |b, inst| {
+            b.iter(|| {
+                check_functional_equivalence(&inst.static_circuit, &aligned, &config).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("t_sim", n), &instance, |b, inst| {
+            b.iter(|| {
+                let mut sim = StateVectorSimulator::new(inst.static_circuit.num_qubits());
+                sim.run(&inst.static_circuit).unwrap();
+                sim
+            })
+        });
+    }
+
+    // Extraction blows up exponentially: keep the sweep small, the doubling
+    // per qubit is already clearly visible.
+    for n in [8usize, 10, 12] {
+        let instance = build_instance(Family::Qft, n);
+        group.bench_with_input(BenchmarkId::new("t_extract", n), &instance, |b, inst| {
+            b.iter(|| {
+                extract_distribution(&inst.dynamic_circuit, &ExtractionConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qft);
+criterion_main!(benches);

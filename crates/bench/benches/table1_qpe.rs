@@ -1,0 +1,53 @@
+//! Table 1, Quantum Phase Estimation section.
+//!
+//! The functional verification of QPE is the hardest instance family in the
+//! paper (`t_ver` grows steeply with the number of counting qubits), while
+//! the extraction scheme is nearly free because the output distribution of an
+//! exactly representable phase is a single spike.
+
+use bench::{build_instance, Family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcec::{check_functional_equivalence, Configuration};
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use transform::{align_to_reference, reconstruct_unitary};
+
+fn bench_qpe(c: &mut Criterion) {
+    let config = Configuration::default();
+    let mut group = c.benchmark_group("table1/qpe");
+    group.sample_size(10);
+
+    for n in [9usize, 13, 17] {
+        let instance = build_instance(Family::Qpe, n);
+
+        group.bench_with_input(BenchmarkId::new("t_trans", n), &instance, |b, inst| {
+            b.iter(|| reconstruct_unitary(&inst.dynamic_circuit).unwrap())
+        });
+
+        let reconstruction = reconstruct_unitary(&instance.dynamic_circuit).unwrap();
+        let aligned =
+            align_to_reference(&instance.static_circuit, &reconstruction.circuit).unwrap();
+        group.bench_with_input(BenchmarkId::new("t_ver", n), &instance, |b, inst| {
+            b.iter(|| {
+                check_functional_equivalence(&inst.static_circuit, &aligned, &config).unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("t_extract", n), &instance, |b, inst| {
+            b.iter(|| {
+                extract_distribution(&inst.dynamic_circuit, &ExtractionConfig::default()).unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("t_sim", n), &instance, |b, inst| {
+            b.iter(|| {
+                let mut sim = StateVectorSimulator::new(inst.static_circuit.num_qubits());
+                sim.run(&inst.static_circuit).unwrap();
+                sim
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qpe);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Regenerates Table 1 of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! table1 [--section bv|qft|qpe|all] [--full] [--sizes 8,12,16] [--leaf-limit N]
+//! ```
+//!
+//! By default the harness runs reduced instance sizes that finish within a
+//! couple of minutes on a laptop while preserving the qualitative shape of
+//! the paper's results. `--full` switches to the paper's original qubit
+//! counts (the QPE rows then take a long time, exactly as in the paper).
+
+use bench::{build_instance, format_section, run_row, Family, RowOptions};
+use qcec::Configuration;
+
+struct Args {
+    sections: Vec<Family>,
+    full: bool,
+    sizes: Option<Vec<usize>>,
+    leaf_limit: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sections: vec![Family::BernsteinVazirani, Family::Qft, Family::Qpe],
+        full: false,
+        sizes: None,
+        leaf_limit: Some(1 << 22),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--section" => {
+                let value = iter.next().ok_or("--section requires a value")?;
+                args.sections = match value.as_str() {
+                    "bv" => vec![Family::BernsteinVazirani],
+                    "qft" => vec![Family::Qft],
+                    "qpe" => vec![Family::Qpe],
+                    "all" => vec![Family::BernsteinVazirani, Family::Qft, Family::Qpe],
+                    other => return Err(format!("unknown section `{other}`")),
+                };
+            }
+            "--full" => args.full = true,
+            "--sizes" => {
+                let value = iter.next().ok_or("--sizes requires a value")?;
+                let sizes: Result<Vec<usize>, _> =
+                    value.split(',').map(|s| s.trim().parse()).collect();
+                args.sizes = Some(sizes.map_err(|_| "invalid --sizes list".to_string())?);
+            }
+            "--leaf-limit" => {
+                let value = iter.next().ok_or("--leaf-limit requires a value")?;
+                args.leaf_limit = if value == "none" {
+                    None
+                } else {
+                    Some(value.parse().map_err(|_| "invalid --leaf-limit")?)
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: table1 [--section bv|qft|qpe|all] [--full] [--sizes a,b,c] \
+                     [--leaf-limit N|none]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let config = Configuration::default();
+    let options = RowOptions {
+        extraction_leaf_limit: args.leaf_limit,
+        ..Default::default()
+    };
+
+    println!("Reproduction of Table 1 — \"Handling Non-Unitaries in Quantum Circuit Equivalence Checking\" (DAC 2022)");
+    println!(
+        "mode: {} instance sizes; extraction leaf limit: {}\n",
+        if args.full { "paper" } else { "reduced" },
+        options
+            .extraction_leaf_limit
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "unlimited".into())
+    );
+
+    for family in &args.sections {
+        let sizes = match &args.sizes {
+            Some(sizes) => sizes.clone(),
+            None if args.full => family.paper_sizes(),
+            None => family.default_sizes(),
+        };
+        let mut rows = Vec::new();
+        for n in sizes {
+            let instance = build_instance(*family, n);
+            eprintln!("running {} n={n} …", family.name());
+            rows.push(run_row(&instance, &config, &options));
+        }
+        println!("{}", format_section(*family, &rows));
+    }
+}

@@ -1,0 +1,366 @@
+//! Shared benchmark harness reproducing the evaluation of the paper.
+//!
+//! The paper's Table 1 evaluates three circuit families (Bernstein–Vazirani,
+//! Quantum Fourier Transform, Quantum Phase Estimation), each in a static and
+//! a dynamic realization, and reports four timings per instance:
+//!
+//! * `t_trans` — unitary reconstruction of the dynamic circuit (Section 4),
+//! * `t_ver` — the subsequent functional equivalence check,
+//! * `t_extract` — extraction of the dynamic circuit's measurement-outcome
+//!   distribution (Section 5),
+//! * `t_sim` — classical simulation of the static circuit.
+//!
+//! [`run_row`] performs all four measurements for one instance and returns a
+//! [`TableRow`]; the `table1` binary prints them in the paper's format, and
+//! the Criterion benches in `benches/` time the individual components.
+
+use algorithms::{bv, qft, qpe};
+use circuit::QuantumCircuit;
+use qcec::{check_functional_equivalence, Configuration, Equivalence};
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use std::time::{Duration, Instant};
+use transform::{align_to_reference, reconstruct_unitary};
+
+/// The three benchmark families of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Bernstein–Vazirani with a pseudo-random hidden string.
+    BernsteinVazirani,
+    /// Quantum Fourier Transform (swap-free; approximate above 64 qubits,
+    /// mirroring the paper's large instances).
+    Qft,
+    /// Quantum Phase Estimation of an exactly representable random phase.
+    Qpe,
+}
+
+impl Family {
+    /// Short lower-case name used on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::BernsteinVazirani => "bv",
+            Family::Qft => "qft",
+            Family::Qpe => "qpe",
+        }
+    }
+
+    /// Display title matching the paper's table sections.
+    pub fn title(self) -> &'static str {
+        match self {
+            Family::BernsteinVazirani => "Bernstein-Vazirani",
+            Family::Qft => "Quantum Fourier Transform",
+            Family::Qpe => "Quantum Phase Estimation",
+        }
+    }
+
+    /// The static-circuit qubit counts used by the paper.
+    pub fn paper_sizes(self) -> Vec<usize> {
+        match self {
+            Family::BernsteinVazirani => (121..=128).collect(),
+            Family::Qft => {
+                let mut sizes: Vec<usize> = (23..=26).collect();
+                sizes.extend(125..=128);
+                sizes
+            }
+            Family::Qpe => (43..=50).collect(),
+        }
+    }
+
+    /// Reduced qubit counts suitable for a quick laptop run (the shape of
+    /// the results is preserved; see `EXPERIMENTS.md`).
+    pub fn default_sizes(self) -> Vec<usize> {
+        match self {
+            Family::BernsteinVazirani => vec![17, 33, 49, 65],
+            Family::Qft => vec![8, 10, 12, 14],
+            Family::Qpe => vec![9, 11, 13, 15, 17],
+        }
+    }
+}
+
+/// A benchmark instance: a static circuit and its dynamic realization.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The family this instance belongs to.
+    pub family: Family,
+    /// Qubits of the static circuit (the paper's leading `n` column).
+    pub n: usize,
+    /// The static realization (measured).
+    pub static_circuit: QuantumCircuit,
+    /// The dynamic realization.
+    pub dynamic_circuit: QuantumCircuit,
+}
+
+/// Deterministic seed so every run benchmarks identical circuits.
+const SEED: u64 = 20220701;
+
+/// Rotation cutoff used for the large approximate-QFT instances, mirroring
+/// the paper's gate counts (rotations beyond distance 58 are below double
+/// precision anyway).
+pub const QFT_APPROXIMATION_DISTANCE: usize = 58;
+
+/// Builds the benchmark instance of `family` with `n` static-circuit qubits.
+pub fn build_instance(family: Family, n: usize) -> Instance {
+    match family {
+        Family::BernsteinVazirani => {
+            assert!(n >= 2, "BV needs at least one input qubit plus the ancilla");
+            let hidden = bv::random_hidden_string(n - 1, SEED ^ n as u64);
+            Instance {
+                family,
+                n,
+                static_circuit: bv::bv_static(&hidden, true),
+                dynamic_circuit: bv::bv_dynamic(&hidden),
+            }
+        }
+        Family::Qft => {
+            let approx = if n > 64 {
+                Some(QFT_APPROXIMATION_DISTANCE)
+            } else {
+                None
+            };
+            Instance {
+                family,
+                n,
+                static_circuit: qft::qft_static(n, approx, true),
+                dynamic_circuit: qft::qft_dynamic_approx(n, approx),
+            }
+        }
+        Family::Qpe => {
+            assert!(n >= 2, "QPE needs at least one counting qubit plus the eigenstate");
+            let m = n - 1;
+            let phi = qpe::random_exact_phase(m, SEED ^ n as u64);
+            Instance {
+                family,
+                n,
+                static_circuit: qpe::qpe_static(phi, m, true),
+                dynamic_circuit: qpe::iqpe_dynamic(phi, m),
+            }
+        }
+    }
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Static-circuit qubit count.
+    pub n_static: usize,
+    /// Static-circuit gate count (excluding measurements, as in the paper).
+    pub g_static: usize,
+    /// Dynamic-circuit qubit count.
+    pub n_dynamic: usize,
+    /// Dynamic-circuit gate count.
+    pub g_dynamic: usize,
+    /// Runtime of the transformation scheme (Section 4).
+    pub t_trans: Duration,
+    /// Runtime of the subsequent functional equivalence check.
+    pub t_ver: Duration,
+    /// Verdict of the functional check.
+    pub functional: Equivalence,
+    /// Runtime of the extraction scheme (Section 5); `None` when the
+    /// extraction was cut off by the leaf budget (printed as "—").
+    pub t_extract: Option<Duration>,
+    /// Runtime of the classical simulation of the static circuit.
+    pub t_sim: Duration,
+}
+
+/// Options controlling a [`run_row`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RowOptions {
+    /// Leaf budget for the extraction scheme (`None` = unlimited).
+    pub extraction_leaf_limit: Option<usize>,
+    /// Skip the functional-verification part (useful for extraction-only
+    /// sweeps).
+    pub skip_functional: bool,
+    /// Skip the extraction/simulation part.
+    pub skip_fixed_input: bool,
+}
+
+impl Default for RowOptions {
+    fn default() -> Self {
+        RowOptions {
+            extraction_leaf_limit: Some(1 << 22),
+            skip_functional: false,
+            skip_fixed_input: false,
+        }
+    }
+}
+
+/// Gate count excluding measurements and barriers, matching how the paper
+/// counts `|G|` for the static circuits.
+pub fn unitary_gate_count(circuit: &QuantumCircuit) -> usize {
+    let counts = circuit.counts();
+    counts.unitary + counts.resets + counts.classically_controlled
+}
+
+/// Performs the four measurements of one Table 1 row.
+///
+/// # Panics
+///
+/// Panics when the transformation or the equivalence check fails — for the
+/// generated benchmark families this indicates a bug, not a user error.
+pub fn run_row(instance: &Instance, config: &Configuration, options: &RowOptions) -> TableRow {
+    let static_circuit = &instance.static_circuit;
+    let dynamic_circuit = &instance.dynamic_circuit;
+
+    // --- Scheme 1: transformation + functional verification -------------
+    let (t_trans, t_ver, functional) = if options.skip_functional {
+        (Duration::ZERO, Duration::ZERO, Equivalence::NoInformation)
+    } else {
+        let start = Instant::now();
+        let reconstruction =
+            reconstruct_unitary(dynamic_circuit).expect("benchmark circuits are reconstructible");
+        let t_trans = start.elapsed();
+
+        let start = Instant::now();
+        let aligned = align_to_reference(static_circuit, &reconstruction.circuit)
+            .expect("benchmark circuits align through their measurement bits");
+        let check = check_functional_equivalence(static_circuit, &aligned, config)
+            .expect("benchmark circuits are checkable");
+        (t_trans, start.elapsed(), check.equivalence)
+    };
+
+    // --- Scheme 2: extraction vs. classical simulation -------------------
+    let (t_extract, t_sim) = if options.skip_fixed_input {
+        (None, Duration::ZERO)
+    } else {
+        let extraction_config = ExtractionConfig {
+            max_leaves: options.extraction_leaf_limit,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let extraction = extract_distribution(dynamic_circuit, &extraction_config);
+        let t_extract = match extraction {
+            Ok(_) => Some(start.elapsed()),
+            Err(_) => None,
+        };
+
+        let start = Instant::now();
+        let mut simulator = StateVectorSimulator::new(static_circuit.num_qubits());
+        simulator
+            .run(static_circuit)
+            .expect("static benchmark circuits are unitary");
+        (t_extract, start.elapsed())
+    };
+
+    TableRow {
+        n_static: static_circuit.num_qubits(),
+        g_static: unitary_gate_count(static_circuit),
+        n_dynamic: dynamic_circuit.num_qubits(),
+        g_dynamic: dynamic_circuit.gate_count(),
+        t_trans,
+        t_ver,
+        functional,
+        t_extract,
+        t_sim,
+    }
+}
+
+/// Formats a duration in seconds with four decimals, like the paper.
+pub fn seconds(duration: Duration) -> String {
+    format!("{:.4}", duration.as_secs_f64())
+}
+
+/// Renders a table section (header plus rows) in the layout of the paper's
+/// Table 1.
+pub fn format_section(family: Family, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", family.title()));
+    out.push_str(&format!(
+        "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}\n",
+        "n", "|G|", "n'", "|G'|", "t_trans[s]", "t_ver[s]", "verdict", "t_extract[s]", "t_sim[s]"
+    ));
+    for row in rows {
+        let verdict = match row.functional {
+            Equivalence::Equivalent => "equiv",
+            Equivalence::EquivalentUpToGlobalPhase => "equiv*",
+            Equivalence::NotEquivalent => "NOT equiv",
+            Equivalence::ProbablyEquivalent => "prob equiv",
+            Equivalence::NoInformation => "-",
+        };
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}\n",
+            row.n_static,
+            row.g_static,
+            row.n_dynamic,
+            row.g_dynamic,
+            seconds(row.t_trans),
+            seconds(row.t_ver),
+            verdict,
+            row.t_extract.map(seconds).unwrap_or_else(|| "—".into()),
+            seconds(row.t_sim),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_match_paper_gate_counts() {
+        // Spot-check the |G| columns of Table 1 that are reproduced exactly.
+        let qft23 = build_instance(Family::Qft, 23);
+        assert_eq!(unitary_gate_count(&qft23.static_circuit), 276);
+        assert_eq!(qft23.dynamic_circuit.gate_count(), 321);
+
+        let qft125 = build_instance(Family::Qft, 125);
+        assert_eq!(unitary_gate_count(&qft125.static_circuit), 5664);
+
+        let bv121 = build_instance(Family::BernsteinVazirani, 121);
+        // 2n − 1 + |s| with a random string: within a few gates of the paper.
+        let g = unitary_gate_count(&bv121.static_circuit);
+        assert!((280..=320).contains(&g), "unexpected BV gate count {g}");
+    }
+
+    #[test]
+    fn small_rows_run_and_verify() {
+        for family in [Family::BernsteinVazirani, Family::Qft, Family::Qpe] {
+            let n = match family {
+                Family::Qft => 5,
+                _ => 6,
+            };
+            let instance = build_instance(family, n);
+            let row = run_row(&instance, &Configuration::default(), &RowOptions::default());
+            assert!(
+                row.functional.considered_equivalent(),
+                "{family:?} row not equivalent"
+            );
+            assert!(row.t_extract.is_some());
+            assert_eq!(row.n_dynamic, instance.dynamic_circuit.num_qubits());
+        }
+    }
+
+    #[test]
+    fn extraction_cutoff_produces_dash() {
+        let instance = build_instance(Family::Qft, 10);
+        let options = RowOptions {
+            extraction_leaf_limit: Some(4),
+            skip_functional: true,
+            ..Default::default()
+        };
+        let row = run_row(&instance, &Configuration::default(), &options);
+        assert!(row.t_extract.is_none());
+        let text = format_section(Family::Qft, &[row]);
+        assert!(text.contains('—'));
+    }
+
+    #[test]
+    fn section_formatting_contains_all_columns() {
+        let instance = build_instance(Family::BernsteinVazirani, 6);
+        let row = run_row(&instance, &Configuration::default(), &RowOptions::default());
+        let text = format_section(Family::BernsteinVazirani, &[row]);
+        assert!(text.contains("Bernstein-Vazirani"));
+        assert!(text.contains("t_trans"));
+        assert!(text.contains("t_extract"));
+        assert!(text.contains("equiv"));
+    }
+
+    #[test]
+    fn paper_and_default_sizes_are_consistent() {
+        for family in [Family::BernsteinVazirani, Family::Qft, Family::Qpe] {
+            assert!(!family.paper_sizes().is_empty());
+            assert!(!family.default_sizes().is_empty());
+            assert!(family.default_sizes().iter().all(|&n| n >= 2));
+        }
+        assert_eq!(Family::Qpe.paper_sizes(), (43..=50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,673 @@
+//! The quantum-circuit container and its builder API.
+
+use crate::gate::StandardGate;
+use crate::operation::{ClassicalCondition, OpKind, Operation, QuantumControl};
+use std::fmt;
+
+/// Error returned by circuit-level transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// The operation references a qubit outside the register.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Register size.
+        n_qubits: usize,
+    },
+    /// The operation references a classical bit outside the register.
+    BitOutOfRange {
+        /// Offending bit index.
+        bit: usize,
+        /// Register size.
+        n_bits: usize,
+    },
+    /// The requested transformation requires a purely unitary circuit.
+    NonUnitary {
+        /// Description of the offending operation.
+        operation: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            CircuitError::BitOutOfRange { bit, n_bits } => {
+                write!(f, "classical bit {bit} out of range for {n_bits}-bit register")
+            }
+            CircuitError::NonUnitary { operation } => {
+                write!(f, "operation `{operation}` is not unitary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Summary of the operations contained in a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Plain unitary gates (no classical condition).
+    pub unitary: usize,
+    /// Measurements.
+    pub measurements: usize,
+    /// Resets.
+    pub resets: usize,
+    /// Classically-controlled unitary gates.
+    pub classically_controlled: usize,
+    /// Barriers.
+    pub barriers: usize,
+}
+
+impl OpCounts {
+    /// Total number of operations excluding barriers (the paper's `|G|`).
+    pub fn total_gates(&self) -> usize {
+        self.unitary + self.measurements + self.resets + self.classically_controlled
+    }
+
+    /// Number of dynamic-circuit primitives.
+    pub fn dynamic(&self) -> usize {
+        self.measurements + self.resets + self.classically_controlled
+    }
+}
+
+/// A quantum circuit over a qubit register and a classical bit register.
+///
+/// The circuit may contain the non-unitary dynamic-circuit primitives of the
+/// paper: mid-circuit measurements, resets and classically-controlled
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+///
+/// // A 2-qubit Bell-pair circuit with measurements.
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0);
+/// qc.cx(0, 1);
+/// qc.measure(0, 0);
+/// qc.measure(1, 1);
+/// assert_eq!(qc.len(), 4);
+/// assert!(qc.is_dynamic());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuantumCircuit {
+    n_qubits: usize,
+    n_bits: usize,
+    name: String,
+    ops: Vec<Operation>,
+}
+
+impl QuantumCircuit {
+    /// Creates an empty circuit with `n_qubits` qubits and `n_bits` classical
+    /// bits.
+    pub fn new(n_qubits: usize, n_bits: usize) -> Self {
+        QuantumCircuit {
+            n_qubits,
+            n_bits,
+            name: String::from("circuit"),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Creates an empty, named circuit.
+    pub fn with_name(n_qubits: usize, n_bits: usize, name: impl Into<String>) -> Self {
+        QuantumCircuit {
+            n_qubits,
+            n_bits,
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of operations (including barriers).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations of the circuit in execution order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Iterator over the operations in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// Appends an operation after validating its qubit and bit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range; use [`try_push`](Self::try_push)
+    /// for a fallible variant.
+    pub fn push(&mut self, op: Operation) {
+        self.try_push(op).expect("operation indices out of range");
+    }
+
+    /// Appends an operation after validating its qubit and bit indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::BitOutOfRange`] when the operation references
+    /// registers the circuit does not have.
+    pub fn try_push(&mut self, op: Operation) -> Result<(), CircuitError> {
+        for q in op.qubits() {
+            if q >= self.n_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: self.n_qubits,
+                });
+            }
+        }
+        for b in op.bits() {
+            if b >= self.n_bits {
+                return Err(CircuitError::BitOutOfRange {
+                    bit: b,
+                    n_bits: self.n_bits,
+                });
+            }
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Gate builder methods
+    // ------------------------------------------------------------------
+
+    /// Applies a single-qubit gate.
+    pub fn gate(&mut self, gate: StandardGate, target: usize) -> &mut Self {
+        self.push(Operation::unitary(gate, target, vec![]));
+        self
+    }
+
+    /// Applies a controlled gate with arbitrary controls.
+    pub fn controlled_gate(
+        &mut self,
+        gate: StandardGate,
+        target: usize,
+        controls: Vec<QuantumControl>,
+    ) -> &mut Self {
+        self.push(Operation::unitary(gate, target, controls));
+        self
+    }
+
+    /// Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::H, q)
+    }
+
+    /// Pauli-X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::X, q)
+    }
+
+    /// Pauli-Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::Y, q)
+    }
+
+    /// Pauli-Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::Z, q)
+    }
+
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::S, q)
+    }
+
+    /// S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::Sdg, q)
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::T, q)
+    }
+
+    /// T† gate.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::Tdg, q)
+    }
+
+    /// √X gate.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.gate(StandardGate::Sx, q)
+    }
+
+    /// Phase gate P(θ).
+    pub fn p(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(StandardGate::Phase(theta), q)
+    }
+
+    /// X-rotation by θ.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(StandardGate::Rx(theta), q)
+    }
+
+    /// Y-rotation by θ.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(StandardGate::Ry(theta), q)
+    }
+
+    /// Z-rotation by θ.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(StandardGate::Rz(theta), q)
+    }
+
+    /// General single-qubit gate U(θ, φ, λ).
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.gate(StandardGate::U(theta, phi, lambda), q)
+    }
+
+    /// Controlled-NOT gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(StandardGate::X, target, vec![QuantumControl::pos(control)])
+    }
+
+    /// Controlled-Z gate.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(StandardGate::Z, target, vec![QuantumControl::pos(control)])
+    }
+
+    /// Controlled phase gate CP(θ).
+    pub fn cp(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(
+            StandardGate::Phase(theta),
+            target,
+            vec![QuantumControl::pos(control)],
+        )
+    }
+
+    /// Toffoli (CCX) gate.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.controlled_gate(
+            StandardGate::X,
+            target,
+            vec![QuantumControl::pos(c0), QuantumControl::pos(c1)],
+        )
+    }
+
+    /// Multi-controlled X gate.
+    pub fn mcx(&mut self, controls: &[usize], target: usize) -> &mut Self {
+        self.controlled_gate(
+            StandardGate::X,
+            target,
+            controls.iter().map(|&q| QuantumControl::pos(q)).collect(),
+        )
+    }
+
+    /// SWAP gate, decomposed into three CNOTs.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.cx(a, b).cx(b, a).cx(a, b)
+    }
+
+    /// Measurement of `qubit` into classical `bit`.
+    pub fn measure(&mut self, qubit: usize, bit: usize) -> &mut Self {
+        self.push(Operation::measure(qubit, bit));
+        self
+    }
+
+    /// Measures qubit `i` into bit `i` for every qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the classical register is smaller than the qubit register.
+    pub fn measure_all(&mut self) -> &mut Self {
+        assert!(
+            self.n_bits >= self.n_qubits,
+            "measure_all requires at least as many classical bits as qubits"
+        );
+        for q in 0..self.n_qubits {
+            self.measure(q, q);
+        }
+        self
+    }
+
+    /// Reset of `qubit` to |0⟩.
+    pub fn reset(&mut self, qubit: usize) -> &mut Self {
+        self.push(Operation::reset(qubit));
+        self
+    }
+
+    /// Barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Operation::barrier());
+        self
+    }
+
+    /// A single-qubit gate applied only if classical `bit` equals `value`.
+    pub fn gate_if(
+        &mut self,
+        gate: StandardGate,
+        target: usize,
+        bit: usize,
+        value: bool,
+    ) -> &mut Self {
+        self.push(Operation::conditioned(
+            gate,
+            target,
+            vec![],
+            ClassicalCondition { bit, value },
+        ));
+        self
+    }
+
+    /// Phase gate applied only if classical `bit` is one.
+    pub fn p_if(&mut self, theta: f64, target: usize, bit: usize) -> &mut Self {
+        self.gate_if(StandardGate::Phase(theta), target, bit, true)
+    }
+
+    /// X gate applied only if classical `bit` is one.
+    pub fn x_if(&mut self, target: usize, bit: usize) -> &mut Self {
+        self.gate_if(StandardGate::X, target, bit, true)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Returns `true` when the circuit consists solely of unitary gates (and
+    /// barriers).
+    pub fn is_unitary(&self) -> bool {
+        self.ops.iter().all(|op| !op.is_dynamic())
+    }
+
+    /// Returns `true` when the circuit contains at least one dynamic-circuit
+    /// primitive (measurement, reset or classically-controlled operation).
+    pub fn is_dynamic(&self) -> bool {
+        !self.is_unitary()
+    }
+
+    /// Counts the operations by kind.
+    pub fn counts(&self) -> OpCounts {
+        let mut counts = OpCounts::default();
+        for op in &self.ops {
+            match (&op.kind, op.condition) {
+                (OpKind::Unitary { .. }, None) => counts.unitary += 1,
+                (OpKind::Unitary { .. }, Some(_)) => counts.classically_controlled += 1,
+                (OpKind::Measure { .. }, _) => counts.measurements += 1,
+                (OpKind::Reset { .. }, _) => counts.resets += 1,
+                (OpKind::Barrier, _) => counts.barriers += 1,
+            }
+        }
+        counts
+    }
+
+    /// Number of gates, i.e. operations excluding barriers (the paper's `|G|`).
+    pub fn gate_count(&self) -> usize {
+        self.counts().total_gates()
+    }
+
+    /// Number of measurement operations.
+    pub fn measurement_count(&self) -> usize {
+        self.counts().measurements
+    }
+
+    /// Number of reset operations.
+    pub fn reset_count(&self) -> usize {
+        self.counts().resets
+    }
+
+    // ------------------------------------------------------------------
+    // Transformations
+    // ------------------------------------------------------------------
+
+    /// The inverse circuit (gates reversed and individually inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NonUnitary`] when the circuit contains
+    /// measurements, resets or classically-controlled operations, which have
+    /// no inverse.
+    pub fn inverse(&self) -> Result<QuantumCircuit, CircuitError> {
+        let mut inv = QuantumCircuit::with_name(
+            self.n_qubits,
+            self.n_bits,
+            format!("{}_inverse", self.name),
+        );
+        for op in self.ops.iter().rev() {
+            match (&op.kind, op.condition) {
+                (
+                    OpKind::Unitary {
+                        gate,
+                        target,
+                        controls,
+                    },
+                    None,
+                ) => {
+                    inv.push(Operation::unitary(gate.inverse(), *target, controls.clone()));
+                }
+                (OpKind::Barrier, _) => inv.push(Operation::barrier()),
+                _ => {
+                    return Err(CircuitError::NonUnitary {
+                        operation: op.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Appends all operations of `other` to this circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` uses more qubits or classical bits than this
+    /// circuit provides.
+    pub fn append(&mut self, other: &QuantumCircuit) {
+        assert!(
+            other.n_qubits <= self.n_qubits && other.n_bits <= self.n_bits,
+            "appended circuit does not fit into the register"
+        );
+        for op in &other.ops {
+            self.push(op.clone());
+        }
+    }
+
+    /// Returns a copy of the circuit without barriers.
+    pub fn without_barriers(&self) -> QuantumCircuit {
+        let mut out = self.clone();
+        out.ops.retain(|op| op.kind != OpKind::Barrier);
+        out
+    }
+
+    /// Returns a copy of the circuit without measurement operations
+    /// (everything else, including resets and conditions, is kept).
+    pub fn without_measurements(&self) -> QuantumCircuit {
+        let mut out = self.clone();
+        out.ops
+            .retain(|op| !matches!(op.kind, OpKind::Measure { .. }));
+        out
+    }
+
+    /// Returns a copy with every qubit index remapped through `map` onto a
+    /// register of `new_n_qubits` qubits.
+    pub fn map_qubits(&self, new_n_qubits: usize, map: impl Fn(usize) -> usize) -> QuantumCircuit {
+        let mut out = QuantumCircuit::with_name(new_n_qubits, self.n_bits, self.name.clone());
+        for op in &self.ops {
+            out.push(op.map_qubits(&map));
+        }
+        out
+    }
+}
+
+impl fmt::Display for QuantumCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} qubits, {} bits, {} ops):",
+            self.name,
+            self.n_qubits,
+            self.n_bits,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a QuantumCircuit {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counts() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).ccx(0, 1, 2).p(0.5, 2).barrier();
+        qc.measure(0, 0).reset(1).x_if(2, 0);
+        let counts = qc.counts();
+        assert_eq!(counts.unitary, 4);
+        assert_eq!(counts.measurements, 1);
+        assert_eq!(counts.resets, 1);
+        assert_eq!(counts.classically_controlled, 1);
+        assert_eq!(counts.barriers, 1);
+        assert_eq!(qc.gate_count(), 7);
+        assert_eq!(counts.dynamic(), 3);
+        assert!(qc.is_dynamic());
+    }
+
+    #[test]
+    fn unitary_classification() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1).barrier();
+        assert!(qc.is_unitary());
+        qc.reset(0);
+        assert!(!qc.is_unitary());
+    }
+
+    #[test]
+    fn push_validates_indices() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        assert!(qc.try_push(Operation::unitary(StandardGate::H, 5, vec![])).is_err());
+        assert!(qc.try_push(Operation::measure(0, 3)).is_err());
+        assert!(qc.try_push(Operation::measure(0, 0)).is_ok());
+        assert_eq!(qc.len(), 1);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).s(1).cx(0, 1).t(0);
+        let inv = qc.inverse().expect("unitary circuit");
+        assert_eq!(inv.len(), 4);
+        // Last gate of the inverse is H on qubit 0 (inverse of the first gate).
+        let ops: Vec<_> = inv.ops().to_vec();
+        assert_eq!(
+            ops[0],
+            Operation::unitary(StandardGate::Tdg, 0, vec![])
+        );
+        assert_eq!(
+            ops[3],
+            Operation::unitary(StandardGate::H, 0, vec![])
+        );
+        assert_eq!(
+            ops[2],
+            Operation::unitary(StandardGate::Sdg, 1, vec![])
+        );
+    }
+
+    #[test]
+    fn inverse_of_dynamic_circuit_fails() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).measure(0, 0);
+        assert!(matches!(
+            qc.inverse(),
+            Err(CircuitError::NonUnitary { .. })
+        ));
+    }
+
+    #[test]
+    fn append_and_map_qubits() {
+        let mut a = QuantumCircuit::new(3, 0);
+        a.h(0);
+        let mut b = QuantumCircuit::new(2, 0);
+        b.cx(0, 1);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+
+        let shifted = b.map_qubits(4, |q| q + 2);
+        assert_eq!(shifted.num_qubits(), 4);
+        assert_eq!(shifted.ops()[0].qubits(), vec![3, 2]);
+    }
+
+    #[test]
+    fn swap_decomposes_to_three_cnots() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.swap(0, 1);
+        assert_eq!(qc.len(), 3);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn without_barriers_and_measurements() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).barrier().measure(0, 0).cx(0, 1).measure(1, 1);
+        assert_eq!(qc.without_barriers().len(), 4);
+        assert_eq!(qc.without_measurements().len(), 3);
+    }
+
+    #[test]
+    fn measure_all_maps_qubit_to_bit() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.measure_all();
+        assert_eq!(qc.measurement_count(), 3);
+        assert_eq!(
+            qc.ops()[1],
+            Operation::measure(1, 1)
+        );
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let mut qc = QuantumCircuit::with_name(2, 1, "demo");
+        qc.h(0).cx(0, 1).measure(1, 0);
+        let text = format!("{qc}");
+        assert!(text.contains("demo"));
+        assert!(text.contains("h q[0]"));
+        assert!(text.contains("measure q[1] -> c[0]"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Symbolic single-qubit gates.
+//!
+//! The circuit IR stores gates symbolically; numeric matrices are produced by
+//! the simulation layer. Keeping the IR symbolic allows exact inversion
+//! (e.g. `S → S†`, `P(θ) → P(−θ)`) which the unitary-reconstruction and
+//! equivalence-checking passes rely on.
+
+use std::fmt;
+
+/// A symbolic single-qubit gate, possibly parameterised by rotation angles.
+///
+/// Multi-qubit operations are expressed as a [`StandardGate`] plus quantum
+/// controls in [`Operation::Unitary`](crate::Operation).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum StandardGate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Inverse square root of X.
+    Sxdg,
+    /// Phase gate P(θ) = diag(1, e^{iθ}).
+    Phase(f64),
+    /// Rotation about X by θ.
+    Rx(f64),
+    /// Rotation about Y by θ.
+    Ry(f64),
+    /// Rotation about Z by θ.
+    Rz(f64),
+    /// General single-qubit gate U(θ, φ, λ) in the OpenQASM convention.
+    U(f64, f64, f64),
+}
+
+impl StandardGate {
+    /// The symbolic inverse of the gate.
+    ///
+    /// ```
+    /// use circuit::StandardGate;
+    /// assert_eq!(StandardGate::S.inverse(), StandardGate::Sdg);
+    /// assert_eq!(StandardGate::Phase(0.5).inverse(), StandardGate::Phase(-0.5));
+    /// ```
+    pub fn inverse(self) -> StandardGate {
+        use StandardGate::*;
+        match self {
+            I => I,
+            H => H,
+            X => X,
+            Y => Y,
+            Z => Z,
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Sx => Sxdg,
+            Sxdg => Sx,
+            Phase(theta) => Phase(-theta),
+            Rx(theta) => Rx(-theta),
+            Ry(theta) => Ry(-theta),
+            Rz(theta) => Rz(-theta),
+            U(theta, phi, lambda) => U(-theta, -lambda, -phi),
+        }
+    }
+
+    /// Lower-case OpenQASM-style mnemonic of the gate.
+    pub fn name(self) -> &'static str {
+        use StandardGate::*;
+        match self {
+            I => "id",
+            H => "h",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Sx => "sx",
+            Sxdg => "sxdg",
+            Phase(_) => "p",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            U(..) => "u",
+        }
+    }
+
+    /// Rotation parameters of the gate (empty for non-parameterised gates).
+    pub fn params(self) -> Vec<f64> {
+        use StandardGate::*;
+        match self {
+            Phase(t) | Rx(t) | Ry(t) | Rz(t) => vec![t],
+            U(t, p, l) => vec![t, p, l],
+            _ => vec![],
+        }
+    }
+
+    /// Returns `true` when the gate is diagonal in the computational basis.
+    ///
+    /// Diagonal gates commute with measurements of their target qubit, a
+    /// property exploited by the deferred-measurement transformation tests.
+    pub fn is_diagonal(self) -> bool {
+        use StandardGate::*;
+        matches!(self, I | Z | S | Sdg | T | Tdg | Phase(_) | Rz(_))
+    }
+
+    /// Returns `true` when the gate equals the identity operation (exactly,
+    /// i.e. ignoring floating-point fuzz only for the trivially zero angles).
+    pub fn is_identity(self) -> bool {
+        use StandardGate::*;
+        match self {
+            I => true,
+            Phase(t) | Rx(t) | Ry(t) | Rz(t) => t == 0.0,
+            U(t, p, l) => t == 0.0 && p == 0.0 && l == 0.0,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StandardGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let joined = params
+                .iter()
+                .map(|p| format!("{p:.10}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            write!(f, "{}({})", self.name(), joined)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involutive() {
+        let gates = [
+            StandardGate::I,
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::Sdg,
+            StandardGate::T,
+            StandardGate::Tdg,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.3),
+            StandardGate::Rx(1.1),
+            StandardGate::Ry(-0.4),
+            StandardGate::Rz(2.2),
+            StandardGate::U(0.1, 0.2, 0.3),
+        ];
+        for g in gates {
+            assert_eq!(g.inverse().inverse(), g, "double inverse of {g}");
+        }
+    }
+
+    #[test]
+    fn self_inverse_gates() {
+        for g in [
+            StandardGate::I,
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+        ] {
+            assert_eq!(g.inverse(), g);
+        }
+    }
+
+    #[test]
+    fn adjoint_pairs() {
+        assert_eq!(StandardGate::S.inverse(), StandardGate::Sdg);
+        assert_eq!(StandardGate::T.inverse(), StandardGate::Tdg);
+        assert_eq!(StandardGate::Sx.inverse(), StandardGate::Sxdg);
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(StandardGate::Z.is_diagonal());
+        assert!(StandardGate::Phase(0.2).is_diagonal());
+        assert!(StandardGate::Rz(0.2).is_diagonal());
+        assert!(!StandardGate::H.is_diagonal());
+        assert!(!StandardGate::X.is_diagonal());
+    }
+
+    #[test]
+    fn identity_classification() {
+        assert!(StandardGate::I.is_identity());
+        assert!(StandardGate::Phase(0.0).is_identity());
+        assert!(!StandardGate::Phase(0.1).is_identity());
+        assert!(!StandardGate::H.is_identity());
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        assert_eq!(format!("{}", StandardGate::H), "h");
+        let p = format!("{}", StandardGate::Phase(0.5));
+        assert!(p.starts_with("p(0.5"));
+    }
+
+    #[test]
+    fn names_are_openqasm_mnemonics() {
+        assert_eq!(StandardGate::Sdg.name(), "sdg");
+        assert_eq!(StandardGate::U(0.0, 0.0, 0.0).name(), "u");
+        assert_eq!(StandardGate::Rx(1.0).name(), "rx");
+    }
+}

@@ -1,0 +1,43 @@
+//! # circuit — a quantum-circuit IR with dynamic (non-unitary) primitives
+//!
+//! This crate provides the circuit representation used throughout the
+//! workspace: a register of qubits and classical bits plus a sequence of
+//! operations. Besides ordinary (multi-controlled) unitary gates it models
+//! the three *dynamic-circuit primitives* the paper is concerned with:
+//!
+//! * mid-circuit **measurements**,
+//! * **resets**, and
+//! * **classically-controlled** operations guarded by a classical bit.
+//!
+//! The IR is purely symbolic; numeric gate matrices live in the simulation
+//! layer (`sim`) on top of the decision-diagram package (`dd`).
+//!
+//! ## Example
+//!
+//! A 1-bit iterative-phase-estimation step, exercising all three dynamic
+//! primitives:
+//!
+//! ```
+//! use circuit::QuantumCircuit;
+//!
+//! let mut qc = QuantumCircuit::new(2, 2);
+//! qc.h(0);
+//! qc.cp(std::f64::consts::FRAC_PI_2, 0, 1);
+//! qc.h(0);
+//! qc.measure(0, 0);
+//! qc.reset(0);
+//! qc.p_if(-std::f64::consts::FRAC_PI_2, 0, 0); // correction conditioned on c[0]
+//! assert!(qc.is_dynamic());
+//! assert_eq!(qc.reset_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod gate;
+mod operation;
+pub mod qasm;
+
+pub use circuit::{CircuitError, OpCounts, QuantumCircuit};
+pub use gate::StandardGate;
+pub use operation::{ClassicalCondition, OpKind, Operation, QuantumControl};

@@ -1,0 +1,343 @@
+//! Circuit operations, including the non-unitary dynamic-circuit primitives.
+
+use crate::gate::StandardGate;
+use std::fmt;
+
+/// A quantum control qubit attached to a unitary operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct QuantumControl {
+    /// Controlling qubit.
+    pub qubit: usize,
+    /// `true` for a regular control (trigger on |1⟩), `false` for a negative
+    /// control (trigger on |0⟩).
+    pub positive: bool,
+}
+
+impl QuantumControl {
+    /// Positive control on `qubit`.
+    pub const fn pos(qubit: usize) -> Self {
+        QuantumControl {
+            qubit,
+            positive: true,
+        }
+    }
+
+    /// Negative control on `qubit`.
+    pub const fn neg(qubit: usize) -> Self {
+        QuantumControl {
+            qubit,
+            positive: false,
+        }
+    }
+}
+
+/// A classical condition `bit == value` guarding an operation.
+///
+/// This is the classically-controlled primitive of dynamic quantum circuits:
+/// the guarded operation is applied exactly when the classical `bit` holds
+/// `value` at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClassicalCondition {
+    /// Index of the classical bit.
+    pub bit: usize,
+    /// Value the bit must hold for the operation to be applied.
+    pub value: bool,
+}
+
+impl ClassicalCondition {
+    /// Condition requiring `bit == 1`.
+    pub const fn is_one(bit: usize) -> Self {
+        ClassicalCondition { bit, value: true }
+    }
+
+    /// Condition requiring `bit == 0`.
+    pub const fn is_zero(bit: usize) -> Self {
+        ClassicalCondition { bit, value: false }
+    }
+}
+
+/// The structural kind of an operation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    /// A (multi-controlled) single-qubit unitary gate.
+    Unitary {
+        /// The base single-qubit gate.
+        gate: StandardGate,
+        /// Target qubit.
+        target: usize,
+        /// Quantum controls (may be empty).
+        controls: Vec<QuantumControl>,
+    },
+    /// Projective measurement of `qubit` into classical `bit`.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Classical bit receiving the outcome.
+        bit: usize,
+    },
+    /// Reset of `qubit` to |0⟩ (measure and conditionally flip, discarding
+    /// the outcome).
+    Reset {
+        /// Qubit to reset.
+        qubit: usize,
+    },
+    /// A barrier; semantically a no-op, kept for structural fidelity with
+    /// compiled circuits.
+    Barrier,
+}
+
+/// One operation of a quantum circuit: a kind plus an optional classical
+/// condition.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Operation {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Classical condition guarding the operation (only meaningful for
+    /// unitary kinds).
+    pub condition: Option<ClassicalCondition>,
+}
+
+impl Operation {
+    /// An unconditioned unitary gate operation.
+    pub fn unitary(gate: StandardGate, target: usize, controls: Vec<QuantumControl>) -> Self {
+        Operation {
+            kind: OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            },
+            condition: None,
+        }
+    }
+
+    /// A unitary gate guarded by a classical condition.
+    pub fn conditioned(
+        gate: StandardGate,
+        target: usize,
+        controls: Vec<QuantumControl>,
+        condition: ClassicalCondition,
+    ) -> Self {
+        Operation {
+            kind: OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            },
+            condition: Some(condition),
+        }
+    }
+
+    /// A measurement of `qubit` into classical `bit`.
+    pub fn measure(qubit: usize, bit: usize) -> Self {
+        Operation {
+            kind: OpKind::Measure { qubit, bit },
+            condition: None,
+        }
+    }
+
+    /// A reset of `qubit` to |0⟩.
+    pub fn reset(qubit: usize) -> Self {
+        Operation {
+            kind: OpKind::Reset { qubit },
+            condition: None,
+        }
+    }
+
+    /// A barrier.
+    pub fn barrier() -> Self {
+        Operation {
+            kind: OpKind::Barrier,
+            condition: None,
+        }
+    }
+
+    /// Returns `true` for plain unitary gates without a classical condition.
+    pub fn is_unitary(&self) -> bool {
+        matches!(self.kind, OpKind::Unitary { .. }) && self.condition.is_none()
+    }
+
+    /// Returns `true` for dynamic-circuit primitives: measurements, resets
+    /// and classically-controlled operations.
+    pub fn is_dynamic(&self) -> bool {
+        match self.kind {
+            OpKind::Measure { .. } | OpKind::Reset { .. } => true,
+            OpKind::Unitary { .. } => self.condition.is_some(),
+            OpKind::Barrier => false,
+        }
+    }
+
+    /// All qubits the operation acts on (target and controls).
+    pub fn qubits(&self) -> Vec<usize> {
+        match &self.kind {
+            OpKind::Unitary {
+                target, controls, ..
+            } => {
+                let mut qs = vec![*target];
+                qs.extend(controls.iter().map(|c| c.qubit));
+                qs
+            }
+            OpKind::Measure { qubit, .. } | OpKind::Reset { qubit } => vec![*qubit],
+            OpKind::Barrier => vec![],
+        }
+    }
+
+    /// Classical bits the operation reads or writes.
+    pub fn bits(&self) -> Vec<usize> {
+        let mut bits = vec![];
+        if let OpKind::Measure { bit, .. } = self.kind {
+            bits.push(bit);
+        }
+        if let Some(cond) = self.condition {
+            bits.push(cond.bit);
+        }
+        bits
+    }
+
+    /// Remaps every qubit index through `map` (used by the reset-substitution
+    /// pass when operations are moved onto fresh qubits).
+    pub fn map_qubits(&self, map: impl Fn(usize) -> usize) -> Operation {
+        let kind = match &self.kind {
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => OpKind::Unitary {
+                gate: *gate,
+                target: map(*target),
+                controls: controls
+                    .iter()
+                    .map(|c| QuantumControl {
+                        qubit: map(c.qubit),
+                        positive: c.positive,
+                    })
+                    .collect(),
+            },
+            OpKind::Measure { qubit, bit } => OpKind::Measure {
+                qubit: map(*qubit),
+                bit: *bit,
+            },
+            OpKind::Reset { qubit } => OpKind::Reset { qubit: map(*qubit) },
+            OpKind::Barrier => OpKind::Barrier,
+        };
+        Operation {
+            kind,
+            condition: self.condition,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(cond) = self.condition {
+            write!(f, "if (c[{}] == {}) ", cond.bit, u8::from(cond.value))?;
+        }
+        match &self.kind {
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                if controls.is_empty() {
+                    write!(f, "{gate} q[{target}]")
+                } else {
+                    let ctrls = controls
+                        .iter()
+                        .map(|c| {
+                            if c.positive {
+                                format!("q[{}]", c.qubit)
+                            } else {
+                                format!("!q[{}]", c.qubit)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    write!(f, "c{gate} {ctrls}, q[{target}]")
+                }
+            }
+            OpKind::Measure { qubit, bit } => write!(f, "measure q[{qubit}] -> c[{bit}]"),
+            OpKind::Reset { qubit } => write!(f, "reset q[{qubit}]"),
+            OpKind::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let u = Operation::unitary(StandardGate::H, 0, vec![]);
+        assert!(u.is_unitary());
+        assert!(!u.is_dynamic());
+
+        let m = Operation::measure(1, 0);
+        assert!(!m.is_unitary());
+        assert!(m.is_dynamic());
+
+        let r = Operation::reset(2);
+        assert!(r.is_dynamic());
+
+        let c = Operation::conditioned(
+            StandardGate::X,
+            0,
+            vec![],
+            ClassicalCondition::is_one(3),
+        );
+        assert!(!c.is_unitary());
+        assert!(c.is_dynamic());
+
+        let b = Operation::barrier();
+        assert!(!b.is_unitary());
+        assert!(!b.is_dynamic());
+    }
+
+    #[test]
+    fn qubits_and_bits() {
+        let op = Operation::unitary(
+            StandardGate::X,
+            2,
+            vec![QuantumControl::pos(0), QuantumControl::neg(1)],
+        );
+        assert_eq!(op.qubits(), vec![2, 0, 1]);
+        assert!(op.bits().is_empty());
+
+        let m = Operation::measure(4, 7);
+        assert_eq!(m.qubits(), vec![4]);
+        assert_eq!(m.bits(), vec![7]);
+
+        let c = Operation::conditioned(
+            StandardGate::Phase(0.5),
+            1,
+            vec![],
+            ClassicalCondition::is_one(3),
+        );
+        assert_eq!(c.bits(), vec![3]);
+    }
+
+    #[test]
+    fn qubit_remapping() {
+        let op = Operation::unitary(StandardGate::X, 1, vec![QuantumControl::pos(0)]);
+        let mapped = op.map_qubits(|q| q + 10);
+        assert_eq!(mapped.qubits(), vec![11, 10]);
+        let reset = Operation::reset(3).map_qubits(|q| q * 2);
+        assert_eq!(reset.qubits(), vec![6]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let op = Operation::unitary(StandardGate::H, 0, vec![]);
+        assert_eq!(format!("{op}"), "h q[0]");
+        let cx = Operation::unitary(StandardGate::X, 1, vec![QuantumControl::pos(0)]);
+        assert_eq!(format!("{cx}"), "cx q[0], q[1]");
+        let cond = Operation::conditioned(
+            StandardGate::X,
+            2,
+            vec![],
+            ClassicalCondition::is_one(1),
+        );
+        assert_eq!(format!("{cond}"), "if (c[1] == 1) x q[2]");
+        assert_eq!(format!("{}", Operation::measure(0, 0)), "measure q[0] -> c[0]");
+        assert_eq!(format!("{}", Operation::reset(5)), "reset q[5]");
+    }
+}

@@ -1,0 +1,337 @@
+//! Rewriting single-qubit gates into a device's native gate set.
+
+use crate::math::zyz_decompose;
+use circuit::{ClassicalCondition, OpKind, Operation, QuantumCircuit, StandardGate};
+use sim::gate_matrix;
+use std::f64::consts::PI;
+
+/// Angles below this threshold are treated as zero and not emitted.
+const ANGLE_EPSILON: f64 = 1e-12;
+
+/// Native single-qubit gate sets of the supported targets.
+///
+/// Two-qubit interactions are CX in both cases (the paper's Example 2: IBM
+/// devices natively support arbitrary single-qubit operations plus CX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NativeBasis {
+    /// Arbitrary single-qubit `U(θ, φ, λ)` gates plus CX.
+    #[default]
+    U3Cx,
+    /// The modern IBM basis `{Rz, √X, X}` plus CX.
+    IbmRzSxX,
+}
+
+impl NativeBasis {
+    /// Returns `true` when an *uncontrolled* `gate` is already native.
+    pub fn contains(self, gate: StandardGate) -> bool {
+        match self {
+            NativeBasis::U3Cx => matches!(gate, StandardGate::U(..) | StandardGate::I),
+            NativeBasis::IbmRzSxX => matches!(
+                gate,
+                StandardGate::Rz(_) | StandardGate::Sx | StandardGate::X | StandardGate::I
+            ),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeBasis::U3Cx => "u3+cx",
+            NativeBasis::IbmRzSxX => "rz+sx+x+cx",
+        }
+    }
+}
+
+/// Result of the basis-rewriting pass.
+#[derive(Debug, Clone)]
+pub struct BasisRewrite {
+    /// The rewritten circuit.
+    pub circuit: QuantumCircuit,
+    /// Number of gates that had to be rewritten.
+    pub rewritten_gates: usize,
+    /// The basis that was targeted.
+    pub basis: NativeBasis,
+}
+
+/// Rewrites every uncontrolled (or classically-controlled) single-qubit gate
+/// of `circuit` into `basis`.
+///
+/// Controlled gates are passed through: the
+/// [`decompose_controls`](crate::decompose_controls) pass runs first in the
+/// [`Compiler`](crate::Compiler) pipeline and leaves only CX gates, which are
+/// native. The rewriting preserves the circuit functionality up to a global
+/// phase.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use compile::{rewrite_to_basis, NativeBasis};
+///
+/// let mut qc = QuantumCircuit::new(1, 0);
+/// qc.h(0);
+/// let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+/// assert!(rewritten.circuit.ops().iter().all(|op| match &op.kind {
+///     circuit::OpKind::Unitary { gate, .. } => NativeBasis::IbmRzSxX.contains(*gate),
+///     _ => true,
+/// }));
+/// ```
+pub fn rewrite_to_basis(circuit: &QuantumCircuit, basis: NativeBasis) -> BasisRewrite {
+    let mut out = QuantumCircuit::with_name(
+        circuit.num_qubits(),
+        circuit.num_bits(),
+        format!("{}_{}", circuit.name(), basis.name()),
+    );
+    let mut rewritten = 0usize;
+    for op in circuit.iter() {
+        match &op.kind {
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } if controls.is_empty() => {
+                if basis.contains(*gate) || gate.is_identity() {
+                    if !gate.is_identity() {
+                        out.push(op.clone());
+                    }
+                    continue;
+                }
+                rewritten += 1;
+                for emitted in rewrite_single_qubit(*gate, *target, op.condition, basis) {
+                    out.push(emitted);
+                }
+            }
+            _ => out.push(op.clone()),
+        }
+    }
+    BasisRewrite {
+        circuit: out,
+        rewritten_gates: rewritten,
+        basis,
+    }
+}
+
+/// Expresses a single-qubit gate in the target basis (global phase dropped).
+fn rewrite_single_qubit(
+    gate: StandardGate,
+    target: usize,
+    condition: Option<ClassicalCondition>,
+    basis: NativeBasis,
+) -> Vec<Operation> {
+    let angles = zyz_decompose(&gate_matrix(gate));
+    // U3 parameters: θ = γ, φ = β, λ = δ.
+    let (theta, phi, lambda) = (angles.gamma, angles.beta, angles.delta);
+    let mut ops = Vec::new();
+    let mut push = |gate: StandardGate| {
+        let trivial = match gate {
+            StandardGate::Rz(t) | StandardGate::Phase(t) => t.abs() < ANGLE_EPSILON,
+            _ => false,
+        };
+        if !trivial {
+            ops.push(Operation {
+                kind: OpKind::Unitary {
+                    gate,
+                    target,
+                    controls: vec![],
+                },
+                condition,
+            });
+        }
+    };
+    match basis {
+        NativeBasis::U3Cx => {
+            push(StandardGate::U(theta, phi, lambda));
+        }
+        NativeBasis::IbmRzSxX => {
+            if theta.abs() < ANGLE_EPSILON {
+                // Diagonal gate: a single Rz suffices (up to global phase).
+                push(StandardGate::Rz(phi + lambda));
+            } else {
+                // ZXZXZ: U3(θ, φ, λ) ∝ Rz(φ+π) · √X · Rz(θ+π) · √X · Rz(λ).
+                push(StandardGate::Rz(lambda));
+                push(StandardGate::Sx);
+                push(StandardGate::Rz(theta + PI));
+                push(StandardGate::Sx);
+                push(StandardGate::Rz(phi + PI));
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd::{Control, DdPackage, MEdge};
+
+    fn dense_matrix(circuit: &QuantumCircuit) -> Vec<Vec<dd::Complex>> {
+        let mut package = DdPackage::new(circuit.num_qubits());
+        let mut system: MEdge = package.identity();
+        for op in circuit.iter() {
+            if let OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } = &op.kind
+            {
+                let matrix = gate_matrix(*gate);
+                let dd_controls: Vec<Control> = controls
+                    .iter()
+                    .map(|c| Control {
+                        qubit: c.qubit,
+                        positive: c.positive,
+                    })
+                    .collect();
+                let gate_dd = package.make_gate(&matrix, *target, &dd_controls);
+                system = package.mul_matrices(gate_dd, system);
+            }
+        }
+        package.to_matrix(system)
+    }
+
+    fn assert_equivalent_up_to_phase(a: &QuantumCircuit, b: &QuantumCircuit) {
+        let dense_a = dense_matrix(a);
+        let dense_b = dense_matrix(b);
+        let dim = dense_a.len();
+        let mut phase = None;
+        for i in 0..dim {
+            for j in 0..dim {
+                if dense_a[i][j].abs() > 1e-9 {
+                    phase = Some(dense_b[i][j] / dense_a[i][j]);
+                    break;
+                }
+            }
+            if phase.is_some() {
+                break;
+            }
+        }
+        let phase = phase.expect("non-zero unitary");
+        assert!((phase.abs() - 1.0).abs() < 1e-6, "not a pure phase: {phase:?}");
+        for i in 0..dim {
+            for j in 0..dim {
+                assert!(
+                    (dense_a[i][j] * phase - dense_b[i][j]).abs() < 1e-6,
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    fn all_single_qubit_gates() -> Vec<StandardGate> {
+        vec![
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::Sdg,
+            StandardGate::T,
+            StandardGate::Tdg,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.3),
+            StandardGate::Rx(1.2),
+            StandardGate::Ry(-0.5),
+            StandardGate::Rz(2.3),
+            StandardGate::U(0.7, -0.2, 1.4),
+        ]
+    }
+
+    #[test]
+    fn every_gate_rewrites_into_the_u3_basis() {
+        for gate in all_single_qubit_gates() {
+            let mut qc = QuantumCircuit::new(1, 0);
+            qc.gate(gate, 0);
+            let rewritten = rewrite_to_basis(&qc, NativeBasis::U3Cx);
+            for op in rewritten.circuit.iter() {
+                if let OpKind::Unitary { gate, .. } = &op.kind {
+                    assert!(NativeBasis::U3Cx.contains(*gate), "{gate} not in basis");
+                }
+            }
+            assert_equivalent_up_to_phase(&qc, &rewritten.circuit);
+        }
+    }
+
+    #[test]
+    fn every_gate_rewrites_into_the_ibm_basis() {
+        for gate in all_single_qubit_gates() {
+            let mut qc = QuantumCircuit::new(1, 0);
+            qc.gate(gate, 0);
+            let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+            for op in rewritten.circuit.iter() {
+                if let OpKind::Unitary { gate, .. } = &op.kind {
+                    assert!(NativeBasis::IbmRzSxX.contains(*gate), "{gate} not in basis");
+                }
+            }
+            assert_equivalent_up_to_phase(&qc, &rewritten.circuit);
+        }
+    }
+
+    #[test]
+    fn cx_and_measurements_pass_through() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.cx(0, 1).measure(1, 0);
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+        assert_eq!(rewritten.rewritten_gates, 0);
+        assert_eq!(rewritten.circuit.ops(), qc.ops());
+    }
+
+    #[test]
+    fn identity_gates_are_dropped() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.gate(StandardGate::I, 0).gate(StandardGate::Phase(0.0), 0);
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+        assert!(rewritten.circuit.is_empty());
+    }
+
+    #[test]
+    fn classical_condition_is_preserved() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.gate_if(StandardGate::H, 0, 0, true);
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+        assert!(!rewritten.circuit.is_empty());
+        assert!(rewritten
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| op.condition == Some(ClassicalCondition::is_one(0))));
+    }
+
+    #[test]
+    fn diagonal_gates_become_a_single_rz() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.t(0);
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+        assert_eq!(rewritten.circuit.len(), 1);
+        assert_equivalent_up_to_phase(&qc, &rewritten.circuit);
+    }
+
+    #[test]
+    fn a_realistic_mixed_circuit_stays_equivalent() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.h(0).cx(0, 1).t(1).sdg(2).cx(1, 2).ry(0.4, 0).cx(2, 0).p(1.1, 2);
+        for basis in [NativeBasis::U3Cx, NativeBasis::IbmRzSxX] {
+            let rewritten = rewrite_to_basis(&qc, basis);
+            assert_equivalent_up_to_phase(&qc, &rewritten.circuit);
+        }
+    }
+
+    #[test]
+    fn basis_names_are_stable() {
+        assert_eq!(NativeBasis::U3Cx.name(), "u3+cx");
+        assert_eq!(NativeBasis::IbmRzSxX.name(), "rz+sx+x+cx");
+        assert_eq!(NativeBasis::default(), NativeBasis::U3Cx);
+    }
+
+    #[test]
+    fn x_gate_is_native_in_the_ibm_basis() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.x(0);
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
+        assert_eq!(rewritten.rewritten_gates, 0);
+        assert_eq!(rewritten.circuit.len(), 1);
+        // But X is not native in the plain-U3 basis and must be rewritten.
+        let rewritten = rewrite_to_basis(&qc, NativeBasis::U3Cx);
+        assert_eq!(rewritten.rewritten_gates, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Coupling maps of target devices.
+
+use crate::error::CompileError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected coupling map: which pairs of physical qubits support a
+/// two-qubit gate.
+///
+/// The paper's Fig. 1b compiles the QPE circuit to the five-qubit, T-shaped
+/// IBMQ London device; [`CouplingMap::ibmq_london`] reproduces that topology,
+/// and a handful of further standard topologies are provided for the
+/// compilation experiments.
+///
+/// # Examples
+///
+/// ```
+/// use compile::CouplingMap;
+///
+/// let london = CouplingMap::ibmq_london();
+/// assert_eq!(london.num_qubits(), 5);
+/// assert!(london.are_adjacent(1, 3));
+/// assert!(!london.are_adjacent(0, 4));
+/// assert_eq!(london.distance(0, 4), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    name: String,
+    n_qubits: usize,
+    /// Adjacency matrix (symmetric).
+    adjacency: Vec<Vec<bool>>,
+}
+
+impl CouplingMap {
+    /// Creates a coupling map from an explicit edge list.
+    ///
+    /// Edges are treated as undirected; duplicates are ignored.
+    pub fn from_edges(name: impl Into<String>, n_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![vec![false; n_qubits]; n_qubits];
+        for &(a, b) in edges {
+            assert!(a < n_qubits && b < n_qubits, "edge ({a}, {b}) out of range");
+            assert_ne!(a, b, "self-loop ({a}, {a}) in coupling map");
+            adjacency[a][b] = true;
+            adjacency[b][a] = true;
+        }
+        CouplingMap {
+            name: name.into(),
+            n_qubits,
+            adjacency,
+        }
+    }
+
+    /// A linear chain `0 — 1 — … — (n−1)`.
+    pub fn line(n_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n_qubits).map(|q| (q - 1, q)).collect();
+        CouplingMap::from_edges(format!("line-{n_qubits}"), n_qubits, &edges)
+    }
+
+    /// A ring `0 — 1 — … — (n−1) — 0`.
+    pub fn ring(n_qubits: usize) -> Self {
+        let mut edges: Vec<(usize, usize)> = (1..n_qubits).map(|q| (q - 1, q)).collect();
+        if n_qubits > 2 {
+            edges.push((n_qubits - 1, 0));
+        }
+        CouplingMap::from_edges(format!("ring-{n_qubits}"), n_qubits, &edges)
+    }
+
+    /// A rectangular grid with `rows × cols` qubits (row-major numbering).
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        CouplingMap::from_edges(format!("grid-{rows}x{cols}"), rows * cols, &edges)
+    }
+
+    /// All-to-all connectivity (no routing required).
+    pub fn full(n_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n_qubits {
+            for b in (a + 1)..n_qubits {
+                edges.push((a, b));
+            }
+        }
+        CouplingMap::from_edges(format!("full-{n_qubits}"), n_qubits, &edges)
+    }
+
+    /// The five-qubit, T-shaped IBMQ London device of the paper's Fig. 1b:
+    ///
+    /// ```text
+    /// 0 — 1 — 2
+    ///     |
+    ///     3
+    ///     |
+    ///     4
+    /// ```
+    pub fn ibmq_london() -> Self {
+        CouplingMap::from_edges("ibmq-london", 5, &[(0, 1), (1, 2), (1, 3), (3, 4)])
+    }
+
+    /// Human-readable name of the topology.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Returns `true` when a two-qubit gate between `a` and `b` is native.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        a < self.n_qubits && b < self.n_qubits && self.adjacency[a][b]
+    }
+
+    /// The undirected edges of the map (each listed once, `a < b`).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for a in 0..self.n_qubits {
+            for b in (a + 1)..self.n_qubits {
+                if self.adjacency[a][b] {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Breadth-first shortest path from `from` to `to` (inclusive of both
+    /// endpoints); `None` when unreachable.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from >= self.n_qubits || to >= self.n_qubits {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut predecessor = vec![usize::MAX; self.n_qubits];
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        predecessor[from] = from;
+        while let Some(current) = queue.pop_front() {
+            for next in 0..self.n_qubits {
+                if self.adjacency[current][next] && predecessor[next] == usize::MAX {
+                    predecessor[next] = current;
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut cursor = to;
+                        while cursor != from {
+                            cursor = predecessor[cursor];
+                            path.push(cursor);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of edges on the shortest path between two physical qubits;
+    /// `None` when unreachable.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// Returns `true` when every physical qubit can reach every other one.
+    pub fn is_connected(&self) -> bool {
+        if self.n_qubits == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n_qubits];
+        let mut queue = VecDeque::new();
+        queue.push_back(0);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(current) = queue.pop_front() {
+            for next in 0..self.n_qubits {
+                if self.adjacency[current][next] && !seen[next] {
+                    seen[next] = true;
+                    count += 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        count == self.n_qubits
+    }
+
+    /// Validates that the map can host `required` logical qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NotEnoughPhysicalQubits`] or
+    /// [`CompileError::DisconnectedCouplingMap`].
+    pub fn check_capacity(&self, required: usize) -> Result<(), CompileError> {
+        if required > self.n_qubits {
+            return Err(CompileError::NotEnoughPhysicalQubits {
+                required,
+                available: self.n_qubits,
+            });
+        }
+        if self.n_qubits > 1 && !self.is_connected() {
+            return Err(CompileError::DisconnectedCouplingMap);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} edges)",
+            self.name,
+            self.n_qubits,
+            self.edges().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_distances() {
+        let line = CouplingMap::line(5);
+        assert!(line.are_adjacent(0, 1));
+        assert!(!line.are_adjacent(0, 2));
+        assert_eq!(line.distance(0, 4), Some(4));
+        assert_eq!(line.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert!(line.is_connected());
+        assert_eq!(line.edges().len(), 4);
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let ring = CouplingMap::ring(6);
+        assert!(ring.are_adjacent(5, 0));
+        assert_eq!(ring.distance(0, 3), Some(3));
+        assert_eq!(ring.distance(0, 5), Some(1));
+    }
+
+    #[test]
+    fn grid_neighbours() {
+        let grid = CouplingMap::grid(2, 3);
+        assert_eq!(grid.num_qubits(), 6);
+        assert!(grid.are_adjacent(0, 1));
+        assert!(grid.are_adjacent(0, 3));
+        assert!(!grid.are_adjacent(0, 4));
+        assert_eq!(grid.distance(0, 5), Some(3));
+    }
+
+    #[test]
+    fn full_connectivity_has_distance_one() {
+        let full = CouplingMap::full(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(full.distance(a, b), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn london_matches_the_papers_topology() {
+        let london = CouplingMap::ibmq_london();
+        assert_eq!(london.num_qubits(), 5);
+        assert_eq!(london.edges(), vec![(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(london.distance(2, 4), Some(3));
+        assert_eq!(london.shortest_path(0, 4), Some(vec![0, 1, 3, 4]));
+    }
+
+    #[test]
+    fn disconnected_map_is_detected() {
+        let map = CouplingMap::from_edges("broken", 4, &[(0, 1), (2, 3)]);
+        assert!(!map.is_connected());
+        assert_eq!(map.distance(0, 3), None);
+        assert!(matches!(
+            map.check_capacity(2),
+            Err(CompileError::DisconnectedCouplingMap)
+        ));
+    }
+
+    #[test]
+    fn capacity_check_counts_qubits() {
+        let line = CouplingMap::line(3);
+        assert!(line.check_capacity(3).is_ok());
+        assert!(matches!(
+            line.check_capacity(4),
+            Err(CompileError::NotEnoughPhysicalQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let text = CouplingMap::ibmq_london().to_string();
+        assert!(text.contains("ibmq-london"));
+        assert!(text.contains('5'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CouplingMap::from_edges("bad", 2, &[(0, 5)]);
+    }
+}

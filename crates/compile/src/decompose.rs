@@ -1,0 +1,483 @@
+//! Decomposition of (multi-)controlled gates into {single-qubit gates, CX}.
+//!
+//! IBM-style devices natively support arbitrary single-qubit operations plus
+//! the two-qubit CX — the gate set of the paper's Example 2. This pass
+//! rewrites every controlled operation into that set:
+//!
+//! * singly-controlled gates via the ABC construction (Nielsen & Chuang,
+//!   Corollary 4.2) on top of the ZYZ Euler decomposition,
+//! * doubly-controlled X via the standard 6-CX Toffoli realization,
+//! * higher control counts via the recursive square-root construction
+//!   (Barenco et al., Lemma 7.5), which needs no ancilla qubits.
+//!
+//! The emitted circuit realizes the original one *up to a global phase*
+//! (uncontrolled global phases are dropped); the equivalence checker treats
+//! circuits equal up to global phase as equivalent.
+
+use crate::math::{approx_eq, sqrt_unitary, zyz_decompose};
+use circuit::{ClassicalCondition, OpKind, Operation, QuantumCircuit, QuantumControl, StandardGate};
+use dd::{gates, GateMatrix};
+use sim::gate_matrix;
+
+/// Angles below this threshold are treated as zero and not emitted.
+const ANGLE_EPSILON: f64 = 1e-12;
+
+/// Result of the control-decomposition pass.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The rewritten circuit (same registers, only {1-qubit, CX} unitaries).
+    pub circuit: QuantumCircuit,
+    /// Number of operations that had to be expanded.
+    pub expanded_operations: usize,
+}
+
+/// Rewrites every multi-controlled unitary of `circuit` into single-qubit
+/// gates and CX.
+///
+/// Dynamic primitives (measurements, resets, classically-controlled
+/// single-qubit gates) are passed through untouched; classically-controlled
+/// *controlled* gates have the classical condition propagated to every gate
+/// of their expansion.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use compile::decompose_controls;
+///
+/// let mut qc = QuantumCircuit::new(3, 0);
+/// qc.ccx(0, 1, 2);
+/// let decomposed = decompose_controls(&qc);
+/// assert!(decomposed.circuit.ops().iter().all(|op| op.qubits().len() <= 2));
+/// assert_eq!(decomposed.expanded_operations, 1);
+/// ```
+pub fn decompose_controls(circuit: &QuantumCircuit) -> Decomposition {
+    let mut out = QuantumCircuit::with_name(
+        circuit.num_qubits(),
+        circuit.num_bits(),
+        format!("{}_decomposed", circuit.name()),
+    );
+    let mut expanded = 0usize;
+    for op in circuit.iter() {
+        match &op.kind {
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                let keep_as_is = controls.is_empty()
+                    || (controls.len() == 1
+                        && controls[0].positive
+                        && matches!(gate, StandardGate::X));
+                if keep_as_is {
+                    out.push(op.clone());
+                    continue;
+                }
+                expanded += 1;
+                let mut ops = Vec::new();
+                emit_with_negative_controls(
+                    &mut ops,
+                    &gate_matrix(*gate),
+                    *target,
+                    controls,
+                    op.condition,
+                );
+                for emitted in ops {
+                    out.push(emitted);
+                }
+            }
+            _ => out.push(op.clone()),
+        }
+    }
+    Decomposition {
+        circuit: out,
+        expanded_operations: expanded,
+    }
+}
+
+/// Handles negative controls by conjugating with X, then defers to the
+/// positive-control emission.
+fn emit_with_negative_controls(
+    out: &mut Vec<Operation>,
+    matrix: &GateMatrix,
+    target: usize,
+    controls: &[QuantumControl],
+    condition: Option<ClassicalCondition>,
+) {
+    let negatives: Vec<usize> = controls
+        .iter()
+        .filter(|c| !c.positive)
+        .map(|c| c.qubit)
+        .collect();
+    let positives: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
+    for &q in &negatives {
+        out.push(with_condition(
+            Operation::unitary(StandardGate::X, q, vec![]),
+            condition,
+        ));
+    }
+    emit_controlled_matrix(out, matrix, target, &positives, condition);
+    for &q in &negatives {
+        out.push(with_condition(
+            Operation::unitary(StandardGate::X, q, vec![]),
+            condition,
+        ));
+    }
+}
+
+fn with_condition(mut op: Operation, condition: Option<ClassicalCondition>) -> Operation {
+    op.condition = condition;
+    op
+}
+
+fn push_rotation(
+    out: &mut Vec<Operation>,
+    gate: StandardGate,
+    target: usize,
+    condition: Option<ClassicalCondition>,
+) {
+    let trivial = match gate {
+        StandardGate::Rz(t) | StandardGate::Ry(t) | StandardGate::Phase(t) => {
+            t.abs() < ANGLE_EPSILON
+        }
+        _ => false,
+    };
+    if !trivial {
+        out.push(with_condition(Operation::unitary(gate, target, vec![]), condition));
+    }
+}
+
+fn push_cx(
+    out: &mut Vec<Operation>,
+    control: usize,
+    target: usize,
+    condition: Option<ClassicalCondition>,
+) {
+    out.push(with_condition(
+        Operation::unitary(StandardGate::X, target, vec![QuantumControl::pos(control)]),
+        condition,
+    ));
+}
+
+/// Emits the decomposition of `matrix` applied to `target`, controlled on the
+/// (all positive) `controls`, into `out`.
+fn emit_controlled_matrix(
+    out: &mut Vec<Operation>,
+    matrix: &GateMatrix,
+    target: usize,
+    controls: &[usize],
+    condition: Option<ClassicalCondition>,
+) {
+    match controls.len() {
+        0 => emit_single_qubit(out, matrix, target, condition),
+        1 => emit_abc(out, matrix, target, controls[0], condition),
+        2 if approx_eq(matrix, &gates::x(), 1e-9) => {
+            emit_toffoli(out, controls[0], controls[1], target, condition)
+        }
+        _ => {
+            // Barenco et al., Lemma 7.5: C^k(U) = C(W) · C^{k−1}(X) · C(W†)
+            // · C^{k−1}(X) · C^{k−1}(W) with W² = U (circuit order below).
+            let last = *controls.last().expect("at least three controls");
+            let rest = &controls[..controls.len() - 1];
+            let w = sqrt_unitary(matrix);
+            let w_dagger = gates::adjoint(&w);
+            emit_abc(out, &w, target, last, condition);
+            emit_controlled_matrix(out, &gates::x(), last, rest, condition);
+            emit_abc(out, &w_dagger, target, last, condition);
+            emit_controlled_matrix(out, &gates::x(), last, rest, condition);
+            emit_controlled_matrix(out, &w, target, rest, condition);
+        }
+    }
+}
+
+/// Emits an uncontrolled single-qubit unitary as Rz·Ry·Rz (global phase
+/// dropped).
+fn emit_single_qubit(
+    out: &mut Vec<Operation>,
+    matrix: &GateMatrix,
+    target: usize,
+    condition: Option<ClassicalCondition>,
+) {
+    let angles = zyz_decompose(matrix);
+    push_rotation(out, StandardGate::Rz(angles.delta), target, condition);
+    push_rotation(out, StandardGate::Ry(angles.gamma), target, condition);
+    push_rotation(out, StandardGate::Rz(angles.beta), target, condition);
+}
+
+/// Emits the ABC decomposition of a singly-controlled unitary
+/// (Nielsen & Chuang, Corollary 4.2).
+fn emit_abc(
+    out: &mut Vec<Operation>,
+    matrix: &GateMatrix,
+    target: usize,
+    control: usize,
+    condition: Option<ClassicalCondition>,
+) {
+    // Shortcut: a controlled X is already native.
+    if approx_eq(matrix, &gates::x(), 1e-12) {
+        push_cx(out, control, target, condition);
+        return;
+    }
+    let angles = zyz_decompose(matrix);
+    let alpha = angles.alpha;
+    let beta = angles.beta;
+    let gamma = angles.gamma;
+    let delta = angles.delta;
+
+    // C = Rz((δ−β)/2)
+    push_rotation(out, StandardGate::Rz((delta - beta) / 2.0), target, condition);
+    push_cx(out, control, target, condition);
+    // B = Ry(−γ/2) · Rz(−(δ+β)/2)
+    push_rotation(out, StandardGate::Rz(-(delta + beta) / 2.0), target, condition);
+    push_rotation(out, StandardGate::Ry(-gamma / 2.0), target, condition);
+    push_cx(out, control, target, condition);
+    // A = Rz(β) · Ry(γ/2)
+    push_rotation(out, StandardGate::Ry(gamma / 2.0), target, condition);
+    push_rotation(out, StandardGate::Rz(beta), target, condition);
+    // Phase correction on the control.
+    push_rotation(out, StandardGate::Phase(alpha), control, condition);
+}
+
+/// Emits the standard 6-CX Toffoli realization.
+fn emit_toffoli(
+    out: &mut Vec<Operation>,
+    c0: usize,
+    c1: usize,
+    target: usize,
+    condition: Option<ClassicalCondition>,
+) {
+    let h = |out: &mut Vec<Operation>, q: usize| {
+        out.push(with_condition(Operation::unitary(StandardGate::H, q, vec![]), condition));
+    };
+    let t = |out: &mut Vec<Operation>, q: usize| {
+        out.push(with_condition(Operation::unitary(StandardGate::T, q, vec![]), condition));
+    };
+    let tdg = |out: &mut Vec<Operation>, q: usize| {
+        out.push(with_condition(
+            Operation::unitary(StandardGate::Tdg, q, vec![]),
+            condition,
+        ));
+    };
+    h(out, target);
+    push_cx(out, c1, target, condition);
+    tdg(out, target);
+    push_cx(out, c0, target, condition);
+    t(out, target);
+    push_cx(out, c1, target, condition);
+    tdg(out, target);
+    push_cx(out, c0, target, condition);
+    t(out, c1);
+    t(out, target);
+    h(out, target);
+    push_cx(out, c0, c1, condition);
+    t(out, c0);
+    tdg(out, c1);
+    push_cx(out, c0, c1, condition);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd::{Control, DdPackage, MEdge};
+
+    /// Builds the dense system matrix of a unitary circuit with a fresh
+    /// decision-diagram package.
+    fn dense_matrix(circuit: &QuantumCircuit) -> Vec<Vec<dd::Complex>> {
+        let mut package = DdPackage::new(circuit.num_qubits());
+        let mut system: MEdge = package.identity();
+        for op in circuit.iter() {
+            if let OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } = &op.kind
+            {
+                let matrix = gate_matrix(*gate);
+                let dd_controls: Vec<Control> = controls
+                    .iter()
+                    .map(|c| Control {
+                        qubit: c.qubit,
+                        positive: c.positive,
+                    })
+                    .collect();
+                let gate_dd = package.make_gate(&matrix, *target, &dd_controls);
+                system = package.mul_matrices(gate_dd, system);
+            }
+        }
+        package.to_matrix(system)
+    }
+
+    /// Asserts that two unitary circuits have the same system matrix up to a
+    /// global phase.
+    fn assert_equivalent(original: &QuantumCircuit, decomposed: &QuantumCircuit) {
+        assert_eq!(original.num_qubits(), decomposed.num_qubits());
+        let dense_a = dense_matrix(original);
+        let dense_b = dense_matrix(decomposed);
+        // Find the first non-zero entry to fix the relative phase.
+        let dim = dense_a.len();
+        let mut phase = None;
+        for i in 0..dim {
+            for j in 0..dim {
+                if dense_a[i][j].abs() > 1e-9 {
+                    phase = Some(dense_b[i][j] / dense_a[i][j]);
+                    break;
+                }
+            }
+            if phase.is_some() {
+                break;
+            }
+        }
+        let phase = phase.expect("non-zero unitary");
+        assert!(
+            (phase.abs() - 1.0).abs() < 1e-6,
+            "relative factor is not a phase: {phase:?}"
+        );
+        for i in 0..dim {
+            for j in 0..dim {
+                let scaled = dense_a[i][j] * phase;
+                assert!(
+                    (scaled - dense_b[i][j]).abs() < 1e-6,
+                    "matrices differ at ({i}, {j}): {scaled:?} vs {:?}",
+                    dense_b[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_gates_and_cx_pass_through() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1).t(1);
+        let decomposed = decompose_controls(&qc);
+        assert_eq!(decomposed.expanded_operations, 0);
+        assert_eq!(decomposed.circuit.ops(), qc.ops());
+    }
+
+    #[test]
+    fn controlled_phase_decomposes_correctly() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.cp(0.7, 0, 1);
+        let decomposed = decompose_controls(&qc);
+        assert!(decomposed
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| op.qubits().len() <= 2));
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn controlled_hadamard_and_rotations_decompose_correctly() {
+        for gate in [
+            StandardGate::H,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::T,
+            StandardGate::Sx,
+            StandardGate::Rx(0.9),
+            StandardGate::Ry(-1.3),
+            StandardGate::Rz(2.1),
+            StandardGate::U(0.5, 0.2, -0.7),
+        ] {
+            let mut qc = QuantumCircuit::new(2, 0);
+            qc.controlled_gate(gate, 1, vec![QuantumControl::pos(0)]);
+            let decomposed = decompose_controls(&qc);
+            assert_equivalent(&qc, &decomposed.circuit);
+        }
+    }
+
+    #[test]
+    fn negative_control_decomposes_correctly() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.controlled_gate(StandardGate::H, 1, vec![QuantumControl::neg(0)]);
+        let decomposed = decompose_controls(&qc);
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn toffoli_decomposes_into_six_cx() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.ccx(0, 1, 2);
+        let decomposed = decompose_controls(&qc);
+        let cx_count = decomposed
+            .circuit
+            .ops()
+            .iter()
+            .filter(|op| op.qubits().len() == 2)
+            .count();
+        assert_eq!(cx_count, 6);
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn doubly_controlled_z_decomposes_correctly() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.controlled_gate(
+            StandardGate::Z,
+            2,
+            vec![QuantumControl::pos(0), QuantumControl::pos(1)],
+        );
+        let decomposed = decompose_controls(&qc);
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn triply_controlled_x_decomposes_correctly() {
+        let mut qc = QuantumCircuit::new(4, 0);
+        qc.mcx(&[0, 1, 2], 3);
+        let decomposed = decompose_controls(&qc);
+        assert!(decomposed
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| op.qubits().len() <= 2));
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn quadruply_controlled_phase_decomposes_correctly() {
+        let mut qc = QuantumCircuit::new(5, 0);
+        qc.controlled_gate(
+            StandardGate::Phase(1.1),
+            4,
+            vec![
+                QuantumControl::pos(0),
+                QuantumControl::pos(1),
+                QuantumControl::pos(2),
+                QuantumControl::pos(3),
+            ],
+        );
+        let decomposed = decompose_controls(&qc);
+        assert!(decomposed
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| op.qubits().len() <= 2));
+        assert_equivalent(&qc, &decomposed.circuit);
+    }
+
+    #[test]
+    fn classical_condition_is_propagated_to_every_emitted_gate() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.push(Operation::conditioned(
+            StandardGate::H,
+            1,
+            vec![QuantumControl::pos(0)],
+            ClassicalCondition::is_one(0),
+        ));
+        let decomposed = decompose_controls(&qc);
+        assert!(decomposed.circuit.ops().iter().all(|op| op.condition
+            == Some(ClassicalCondition::is_one(0))));
+        assert!(decomposed.expanded_operations == 1);
+    }
+
+    #[test]
+    fn measurements_and_resets_pass_through() {
+        let mut qc = QuantumCircuit::new(3, 2);
+        qc.h(0).measure(0, 0).reset(0).ccx(0, 1, 2).measure(2, 1);
+        let decomposed = decompose_controls(&qc);
+        assert_eq!(decomposed.circuit.measurement_count(), 2);
+        assert_eq!(decomposed.circuit.reset_count(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type of the compilation passes.
+
+use std::fmt;
+
+/// Errors produced by the compilation passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The circuit needs more qubits than the target device provides.
+    NotEnoughPhysicalQubits {
+        /// Logical qubits of the circuit.
+        required: usize,
+        /// Physical qubits of the device.
+        available: usize,
+    },
+    /// The coupling map is not connected, so routing cannot succeed.
+    DisconnectedCouplingMap,
+    /// The routing pass encountered a gate acting on more than two qubits;
+    /// run the decomposition pass first.
+    UnroutableOperation {
+        /// Display form of the offending operation.
+        operation: String,
+    },
+    /// A layout was supplied that does not assign every logical qubit a
+    /// distinct physical qubit.
+    InvalidLayout {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotEnoughPhysicalQubits {
+                required,
+                available,
+            } => write!(
+                f,
+                "circuit needs {required} qubits but the device only has {available}"
+            ),
+            CompileError::DisconnectedCouplingMap => {
+                write!(f, "the coupling map is not connected")
+            }
+            CompileError::UnroutableOperation { operation } => write!(
+                f,
+                "operation `{operation}` acts on more than two qubits; decompose before routing"
+            ),
+            CompileError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CompileError::NotEnoughPhysicalQubits {
+            required: 7,
+            available: 5,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains('5'));
+        assert!(CompileError::DisconnectedCouplingMap
+            .to_string()
+            .contains("connected"));
+        let e = CompileError::UnroutableOperation {
+            operation: "ccx q[0], q[1], q[2]".into(),
+        };
+        assert!(e.to_string().contains("ccx"));
+        let e = CompileError::InvalidLayout {
+            reason: "duplicate physical qubit 3".into(),
+        };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

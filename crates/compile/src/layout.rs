@@ -1,0 +1,189 @@
+//! Logical-to-physical qubit layouts.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// An injective assignment of logical circuit qubits to physical device
+/// qubits.
+///
+/// The routing pass updates the layout every time it inserts a SWAP; the
+/// final layout is part of the [`CompilationResult`](crate::CompilationResult)
+/// so callers can undo or account for the permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `logical_to_physical[l]` is the physical qubit carrying logical `l`.
+    logical_to_physical: Vec<usize>,
+    /// Number of physical qubits of the device.
+    n_physical: usize,
+}
+
+impl Layout {
+    /// The identity layout: logical qubit `l` sits on physical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is smaller than the circuit.
+    pub fn trivial(n_logical: usize, n_physical: usize) -> Self {
+        assert!(
+            n_logical <= n_physical,
+            "device has {n_physical} qubits but the circuit needs {n_logical}"
+        );
+        Layout {
+            logical_to_physical: (0..n_logical).collect(),
+            n_physical,
+        }
+    }
+
+    /// Creates a layout from an explicit assignment vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidLayout`] when the assignment is not
+    /// injective or references a physical qubit outside the device.
+    pub fn from_assignment(
+        logical_to_physical: Vec<usize>,
+        n_physical: usize,
+    ) -> Result<Self, CompileError> {
+        let mut used = vec![false; n_physical];
+        for (logical, &physical) in logical_to_physical.iter().enumerate() {
+            if physical >= n_physical {
+                return Err(CompileError::InvalidLayout {
+                    reason: format!(
+                        "logical qubit {logical} mapped to physical qubit {physical}, device has \
+                         only {n_physical}"
+                    ),
+                });
+            }
+            if used[physical] {
+                return Err(CompileError::InvalidLayout {
+                    reason: format!("physical qubit {physical} assigned twice"),
+                });
+            }
+            used[physical] = true;
+        }
+        Ok(Layout {
+            logical_to_physical,
+            n_physical,
+        })
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Number of physical qubits of the device.
+    pub fn num_physical(&self) -> usize {
+        self.n_physical
+    }
+
+    /// Physical qubit carrying logical qubit `logical`.
+    pub fn physical(&self, logical: usize) -> usize {
+        self.logical_to_physical[logical]
+    }
+
+    /// Logical qubit currently sitting on physical qubit `physical`, if any.
+    pub fn logical(&self, physical: usize) -> Option<usize> {
+        self.logical_to_physical.iter().position(|&p| p == physical)
+    }
+
+    /// The full logical-to-physical assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// Swaps the contents of two physical qubits (used after inserting a SWAP
+    /// gate during routing). Physical qubits not carrying a logical qubit are
+    /// handled transparently.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        for slot in &mut self.logical_to_physical {
+            if *slot == a {
+                *slot = b;
+            } else if *slot == b {
+                *slot = a;
+            }
+        }
+    }
+
+    /// Returns `true` when every logical qubit sits on the physical qubit of
+    /// the same index.
+    pub fn is_trivial(&self) -> bool {
+        self.logical_to_physical
+            .iter()
+            .enumerate()
+            .all(|(l, &p)| l == p)
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pairs: Vec<String> = self
+            .logical_to_physical
+            .iter()
+            .enumerate()
+            .map(|(l, p)| format!("q{l}→{p}"))
+            .collect();
+        write!(f, "[{}]", pairs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let layout = Layout::trivial(3, 5);
+        assert!(layout.is_trivial());
+        assert_eq!(layout.physical(2), 2);
+        assert_eq!(layout.logical(2), Some(2));
+        assert_eq!(layout.logical(4), None);
+        assert_eq!(layout.num_logical(), 3);
+        assert_eq!(layout.num_physical(), 5);
+    }
+
+    #[test]
+    fn swap_updates_both_directions() {
+        let mut layout = Layout::trivial(3, 3);
+        layout.swap_physical(0, 2);
+        assert_eq!(layout.physical(0), 2);
+        assert_eq!(layout.physical(2), 0);
+        assert_eq!(layout.physical(1), 1);
+        assert!(!layout.is_trivial());
+        layout.swap_physical(0, 2);
+        assert!(layout.is_trivial());
+    }
+
+    #[test]
+    fn swap_with_unoccupied_physical_qubit() {
+        let mut layout = Layout::trivial(2, 4);
+        layout.swap_physical(1, 3);
+        assert_eq!(layout.physical(1), 3);
+        assert_eq!(layout.logical(1), None);
+    }
+
+    #[test]
+    fn from_assignment_validates_injectivity() {
+        assert!(Layout::from_assignment(vec![2, 0, 1], 3).is_ok());
+        assert!(matches!(
+            Layout::from_assignment(vec![0, 0], 3),
+            Err(CompileError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            Layout::from_assignment(vec![0, 7], 3),
+            Err(CompileError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let layout = Layout::from_assignment(vec![1, 0], 2).unwrap();
+        assert_eq!(layout.to_string(), "[q0→1, q1→0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn trivial_layout_rejects_small_devices() {
+        Layout::trivial(4, 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # compile — compilation passes for (dynamic) quantum circuits
+//!
+//! The paper motivates equivalence checking with the verification of
+//! *compilation results* (Section 2.3, Fig. 1b): before a circuit can run on
+//! a device it is decomposed into native gates, rewritten into the native
+//! basis and routed onto the device's coupling map — and each of those steps
+//! can introduce bugs. This crate provides that compilation flow so the
+//! workspace can reproduce the use case end to end:
+//!
+//! * [`decompose_controls`] — (multi-)controlled gates → {single-qubit, CX}
+//!   via the ABC construction, the 6-CX Toffoli and the recursive
+//!   square-root decomposition,
+//! * [`rewrite_to_basis`] — single-qubit gates → a native basis
+//!   ([`NativeBasis::U3Cx`] or the modern IBM [`NativeBasis::IbmRzSxX`]),
+//! * [`route`] — SWAP insertion for a [`CouplingMap`] (line, ring, grid,
+//!   all-to-all, or the paper's T-shaped IBMQ London device), optionally
+//!   restoring the initial [`Layout`],
+//! * [`optimize`] — conservative peephole optimization (identity removal,
+//!   inverse-pair cancellation, rotation merging),
+//! * [`Compiler`] — the end-to-end pipeline producing a
+//!   [`CompilationResult`].
+//!
+//! Compiled circuits are functionally equivalent to the original *up to a
+//! global phase*; the `qcec` equivalence checker is used in the integration
+//! tests and examples to verify exactly that.
+//!
+//! ```
+//! use circuit::QuantumCircuit;
+//! use compile::{Compiler, Target};
+//!
+//! // The 3-qubit GHZ preparation compiled to the IBMQ London device.
+//! let mut ghz = QuantumCircuit::new(3, 3);
+//! ghz.h(0).cx(0, 1).cx(1, 2).measure_all();
+//! let compiled = Compiler::new(Target::ibmq_london()).compile(&ghz)?;
+//! assert_eq!(compiled.circuit.num_qubits(), 5);
+//! # Ok::<(), compile::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basis;
+mod coupling;
+mod decompose;
+mod error;
+mod layout;
+mod math;
+mod optimize;
+mod pipeline;
+mod routing;
+
+pub use basis::{rewrite_to_basis, BasisRewrite, NativeBasis};
+pub use coupling::CouplingMap;
+pub use decompose::{decompose_controls, Decomposition};
+pub use error::CompileError;
+pub use layout::Layout;
+pub use math::{sqrt_unitary, zyz_decompose, zyz_matrix, Zyz};
+pub use optimize::{optimize, OptimizationReport};
+pub use pipeline::{CompilationResult, Compiler, CompilerOptions, Target};
+pub use routing::{route, RoutingResult};

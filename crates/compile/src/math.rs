@@ -1,0 +1,233 @@
+//! Small dense linear-algebra helpers for single-qubit unitaries.
+//!
+//! The decomposition passes need two classical computations on 2×2 unitaries:
+//! the ZYZ (Euler-angle) decomposition used by the controlled-gate (ABC)
+//! construction, and the principal square root used by the recursive
+//! multi-controlled decomposition.
+
+use dd::{gates, Complex, GateMatrix};
+
+/// The ZYZ decomposition of a single-qubit unitary:
+/// `U = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zyz {
+    /// Global phase α.
+    pub alpha: f64,
+    /// First (leftmost) Z-rotation angle β.
+    pub beta: f64,
+    /// Y-rotation angle γ.
+    pub gamma: f64,
+    /// Last (rightmost) Z-rotation angle δ.
+    pub delta: f64,
+}
+
+/// Computes the ZYZ decomposition of a 2×2 unitary.
+///
+/// The result satisfies `u ≈ e^{iα} Rz(β) Ry(γ) Rz(δ)` within floating-point
+/// accuracy (validated by [`zyz_matrix`] round-trip tests).
+pub fn zyz_decompose(u: &GateMatrix) -> Zyz {
+    // Global phase from the determinant: det(U) = e^{2iα}.
+    let det = u[0][0] * u[1][1] - u[0][1] * u[1][0];
+    let alpha = det.arg() / 2.0;
+    // Remove the phase so the remainder is (numerically) in SU(2).
+    let inv_phase = Complex::from_phase(-alpha);
+    let m = [
+        [u[0][0] * inv_phase, u[0][1] * inv_phase],
+        [u[1][0] * inv_phase, u[1][1] * inv_phase],
+    ];
+
+    let gamma = 2.0 * m[1][0].abs().atan2(m[0][0].abs());
+    let (beta, delta) = if m[0][0].abs() < 1e-12 {
+        // cos(γ/2) = 0: only β − δ is determined.
+        let diff = 2.0 * m[1][0].arg();
+        (diff, 0.0)
+    } else if m[1][0].abs() < 1e-12 {
+        // sin(γ/2) = 0: only β + δ is determined.
+        let sum = 2.0 * m[1][1].arg();
+        (sum, 0.0)
+    } else {
+        let sum = 2.0 * m[1][1].arg();
+        let diff = 2.0 * m[1][0].arg();
+        ((sum + diff) / 2.0, (sum - diff) / 2.0)
+    };
+    Zyz {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Rebuilds the matrix `e^{iα} Rz(β) Ry(γ) Rz(δ)` from its Euler angles.
+pub fn zyz_matrix(angles: &Zyz) -> GateMatrix {
+    let rz_beta = gates::rz(angles.beta);
+    let ry_gamma = gates::ry(angles.gamma);
+    let rz_delta = gates::rz(angles.delta);
+    let product = gates::matmul(&rz_beta, &gates::matmul(&ry_gamma, &rz_delta));
+    let phase = Complex::from_phase(angles.alpha);
+    [
+        [product[0][0] * phase, product[0][1] * phase],
+        [product[1][0] * phase, product[1][1] * phase],
+    ]
+}
+
+/// The principal square root of a 2×2 unitary, i.e. a unitary `W` with
+/// `W · W ≈ U`.
+///
+/// Uses the axis–angle form: any SU(2) element is
+/// `cos(t)·I − i·sin(t)·(n·σ)`, whose square root is obtained by halving `t`;
+/// the global phase is likewise halved.
+pub fn sqrt_unitary(u: &GateMatrix) -> GateMatrix {
+    let det = u[0][0] * u[1][1] - u[0][1] * u[1][0];
+    let alpha = det.arg() / 2.0;
+    let inv_phase = Complex::from_phase(-alpha);
+    let m = [
+        [u[0][0] * inv_phase, u[0][1] * inv_phase],
+        [u[1][0] * inv_phase, u[1][1] * inv_phase],
+    ];
+    // m = cos(t) I − i sin(t) (n·σ); the trace is real for SU(2).
+    let cos_t = ((m[0][0] + m[1][1]) / 2.0).re;
+    let cos_t = cos_t.clamp(-1.0, 1.0);
+    let t = cos_t.acos();
+    let sin_t = t.sin();
+
+    let half = t / 2.0;
+    let cos_h = half.cos();
+    let sin_h = half.sin();
+
+    let su2_sqrt: GateMatrix = if sin_t.abs() < 1e-12 {
+        if cos_t > 0.0 {
+            // m ≈ +I.
+            gates::id()
+        } else {
+            // m ≈ −I: pick the Z axis, √(−I) = −i·Z.
+            [
+                [Complex::new(0.0, -1.0), Complex::ZERO],
+                [Complex::ZERO, Complex::new(0.0, 1.0)],
+            ]
+        }
+    } else {
+        // n·σ = i (m − cos(t) I) / sin(t).
+        let scale = Complex::new(0.0, 1.0) / sin_t;
+        let n_sigma = [
+            [(m[0][0] - Complex::real(cos_t)) * scale, m[0][1] * scale],
+            [m[1][0] * scale, (m[1][1] - Complex::real(cos_t)) * scale],
+        ];
+        let minus_i_sin = Complex::new(0.0, -sin_h);
+        [
+            [
+                Complex::real(cos_h) + minus_i_sin * n_sigma[0][0],
+                minus_i_sin * n_sigma[0][1],
+            ],
+            [
+                minus_i_sin * n_sigma[1][0],
+                Complex::real(cos_h) + minus_i_sin * n_sigma[1][1],
+            ],
+        ]
+    };
+    let phase = Complex::from_phase(alpha / 2.0);
+    [
+        [su2_sqrt[0][0] * phase, su2_sqrt[0][1] * phase],
+        [su2_sqrt[1][0] * phase, su2_sqrt[1][1] * phase],
+    ]
+}
+
+/// Maximum absolute element-wise difference between two 2×2 matrices.
+pub fn max_difference(a: &GateMatrix, b: &GateMatrix) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..2 {
+        for j in 0..2 {
+            worst = worst.max((a[i][j] - b[i][j]).abs());
+        }
+    }
+    worst
+}
+
+/// Returns `true` when two 2×2 matrices agree element-wise within `eps`.
+pub fn approx_eq(a: &GateMatrix, b: &GateMatrix, eps: f64) -> bool {
+    max_difference(a, b) <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::StandardGate;
+    use sim::gate_matrix;
+
+    fn all_gates() -> Vec<StandardGate> {
+        vec![
+            StandardGate::I,
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::Sdg,
+            StandardGate::T,
+            StandardGate::Tdg,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.37),
+            StandardGate::Phase(-2.2),
+            StandardGate::Rx(1.3),
+            StandardGate::Ry(-0.8),
+            StandardGate::Rz(2.7),
+            StandardGate::U(0.4, 1.1, -0.6),
+            StandardGate::U(std::f64::consts::PI, 0.0, std::f64::consts::PI),
+        ]
+    }
+
+    #[test]
+    fn zyz_round_trips_every_standard_gate() {
+        for gate in all_gates() {
+            let matrix = gate_matrix(gate);
+            let angles = zyz_decompose(&matrix);
+            let rebuilt = zyz_matrix(&angles);
+            assert!(
+                approx_eq(&matrix, &rebuilt, 1e-9),
+                "ZYZ round trip failed for {gate}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_of_identity_is_trivial() {
+        let angles = zyz_decompose(&gates::id());
+        assert!(angles.alpha.abs() < 1e-12);
+        assert!(angles.gamma.abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_squares_back_to_the_gate() {
+        for gate in all_gates() {
+            let matrix = gate_matrix(gate);
+            let root = sqrt_unitary(&matrix);
+            assert!(gates::is_unitary(&root), "sqrt of {gate} is not unitary");
+            let squared = gates::matmul(&root, &root);
+            assert!(
+                approx_eq(&matrix, &squared, 1e-9),
+                "sqrt of {gate} does not square back"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_of_x_is_sx_up_to_global_phase() {
+        let root = sqrt_unitary(&gates::x());
+        let sx = gates::sx();
+        // Compare after removing the relative global phase.
+        let phase = sx[0][0] / root[0][0];
+        let adjusted = [
+            [root[0][0] * phase, root[0][1] * phase],
+            [root[1][0] * phase, root[1][1] * phase],
+        ];
+        assert!(approx_eq(&adjusted, &sx, 1e-9));
+    }
+
+    #[test]
+    fn max_difference_is_zero_for_identical_matrices() {
+        let h = gates::h();
+        assert!(max_difference(&h, &h) < 1e-15);
+        assert!(max_difference(&h, &gates::x()) > 0.2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Peephole optimization passes.
+//!
+//! Three conservative, semantics-preserving rewrites applied to a fixpoint:
+//!
+//! 1. removal of identity gates (`id`, zero-angle rotations),
+//! 2. cancellation of wire-adjacent inverse gate pairs (`H·H`, `CX·CX`,
+//!    `T·T†`, `P(θ)·P(−θ)`, …),
+//! 3. merging of wire-adjacent rotations about the same axis
+//!    (`Rz(a)·Rz(b) → Rz(a+b)`, likewise for `Rx`, `Ry` and `P`).
+//!
+//! Two operations are *wire-adjacent* when no operation in between acts on
+//! any qubit of the first one; only unconditioned unitary gates are touched,
+//! so dynamic primitives are never reordered or removed.
+
+use circuit::{OpKind, Operation, QuantumCircuit, StandardGate};
+
+/// Angles below this threshold are treated as zero.
+const ANGLE_EPSILON: f64 = 1e-12;
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizationReport {
+    /// Inverse gate pairs that were cancelled.
+    pub cancelled_pairs: usize,
+    /// Rotation pairs that were merged into one gate.
+    pub merged_rotations: usize,
+    /// Identity gates that were removed.
+    pub removed_identities: usize,
+    /// Number of fixpoint iterations.
+    pub iterations: usize,
+}
+
+impl OptimizationReport {
+    /// Total number of eliminated operations.
+    pub fn eliminated_operations(&self) -> usize {
+        2 * self.cancelled_pairs + self.merged_rotations + self.removed_identities
+    }
+}
+
+/// Runs the peephole passes on `circuit` until no further rewrite applies.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use compile::optimize;
+///
+/// let mut qc = QuantumCircuit::new(2, 0);
+/// qc.h(0).h(0).cx(0, 1).cx(0, 1).t(1).tdg(1).rz(0.3, 0).rz(-0.1, 0);
+/// let (optimized, report) = optimize(&qc);
+/// assert_eq!(optimized.len(), 1); // only Rz(0.2) on qubit 0 survives
+/// assert!(report.cancelled_pairs >= 3);
+/// ```
+pub fn optimize(circuit: &QuantumCircuit) -> (QuantumCircuit, OptimizationReport) {
+    let mut report = OptimizationReport::default();
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    loop {
+        report.iterations += 1;
+        let before = ops.len();
+        let removed = remove_identities(&mut ops);
+        report.removed_identities += removed;
+        let cancelled = cancel_inverse_pairs(&mut ops);
+        report.cancelled_pairs += cancelled;
+        let merged = merge_rotations(&mut ops);
+        report.merged_rotations += merged;
+        if ops.len() == before && removed == 0 && cancelled == 0 && merged == 0 {
+            break;
+        }
+        if report.iterations > 32 {
+            break;
+        }
+    }
+    let mut out = QuantumCircuit::with_name(
+        circuit.num_qubits(),
+        circuit.num_bits(),
+        format!("{}_optimized", circuit.name()),
+    );
+    for op in ops {
+        out.push(op);
+    }
+    (out, report)
+}
+
+fn is_plain_unitary(op: &Operation) -> bool {
+    matches!(op.kind, OpKind::Unitary { .. }) && op.condition.is_none()
+}
+
+fn is_identity_gate(op: &Operation) -> bool {
+    match &op.kind {
+        OpKind::Unitary { gate, .. } if op.condition.is_none() => {
+            gate.is_identity()
+                || matches!(gate,
+                    StandardGate::Phase(t) | StandardGate::Rx(t) | StandardGate::Ry(t)
+                    | StandardGate::Rz(t) if t.abs() < ANGLE_EPSILON)
+        }
+        _ => false,
+    }
+}
+
+fn remove_identities(ops: &mut Vec<Operation>) -> usize {
+    let before = ops.len();
+    ops.retain(|op| !is_identity_gate(op));
+    before - ops.len()
+}
+
+/// Index of the next operation after `start` that shares a qubit with
+/// `qubits`, if any.
+fn next_on_wires(ops: &[Operation], start: usize, qubits: &[usize]) -> Option<usize> {
+    (start + 1..ops.len()).find(|&j| ops[j].qubits().iter().any(|q| qubits.contains(q)))
+}
+
+/// Returns `true` when `a` followed by `b` is the identity.
+fn is_inverse_pair(a: &Operation, b: &Operation) -> bool {
+    let (OpKind::Unitary {
+        gate: gate_a,
+        target: target_a,
+        controls: controls_a,
+    }, OpKind::Unitary {
+        gate: gate_b,
+        target: target_b,
+        controls: controls_b,
+    }) = (&a.kind, &b.kind)
+    else {
+        return false;
+    };
+    target_a == target_b && controls_a == controls_b && *gate_b == gate_a.inverse()
+}
+
+fn cancel_inverse_pairs(ops: &mut Vec<Operation>) -> usize {
+    let mut cancelled = 0;
+    let mut i = 0;
+    while i < ops.len() {
+        if !is_plain_unitary(&ops[i]) {
+            i += 1;
+            continue;
+        }
+        let qubits = ops[i].qubits();
+        if let Some(j) = next_on_wires(ops, i, &qubits) {
+            // The follower must act on exactly the same wires and be plain.
+            if is_plain_unitary(&ops[j])
+                && ops[j].qubits().len() == qubits.len()
+                && is_inverse_pair(&ops[i], &ops[j])
+            {
+                ops.remove(j);
+                ops.remove(i);
+                cancelled += 1;
+                i = i.saturating_sub(1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    cancelled
+}
+
+/// Merges two rotations of the same kind into one; returns the merged gate.
+fn merged_rotation(a: StandardGate, b: StandardGate) -> Option<StandardGate> {
+    match (a, b) {
+        (StandardGate::Rz(x), StandardGate::Rz(y)) => Some(StandardGate::Rz(x + y)),
+        (StandardGate::Rx(x), StandardGate::Rx(y)) => Some(StandardGate::Rx(x + y)),
+        (StandardGate::Ry(x), StandardGate::Ry(y)) => Some(StandardGate::Ry(x + y)),
+        (StandardGate::Phase(x), StandardGate::Phase(y)) => Some(StandardGate::Phase(x + y)),
+        _ => None,
+    }
+}
+
+fn merge_rotations(ops: &mut Vec<Operation>) -> usize {
+    let mut merged = 0;
+    let mut i = 0;
+    while i < ops.len() {
+        let candidate = match (&ops[i].kind, ops[i].condition) {
+            (
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                },
+                None,
+            ) if controls.is_empty() => Some((*gate, *target)),
+            _ => None,
+        };
+        let Some((gate_a, target)) = candidate else {
+            i += 1;
+            continue;
+        };
+        if let Some(j) = next_on_wires(ops, i, &[target]) {
+            let follower = match (&ops[j].kind, ops[j].condition) {
+                (
+                    OpKind::Unitary {
+                        gate,
+                        target: t,
+                        controls,
+                    },
+                    None,
+                ) if controls.is_empty() && *t == target => Some(*gate),
+                _ => None,
+            };
+            if let Some(gate_b) = follower {
+                if let Some(combined) = merged_rotation(gate_a, gate_b) {
+                    ops[i] = Operation::unitary(combined, target, vec![]);
+                    ops.remove(j);
+                    merged += 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::QuantumControl;
+
+    #[test]
+    fn identity_gates_are_removed() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.gate(StandardGate::I, 0).p(0.0, 0).rz(0.0, 0).h(0);
+        let (optimized, report) = optimize(&qc);
+        assert_eq!(optimized.len(), 1);
+        assert_eq!(report.removed_identities, 3);
+    }
+
+    #[test]
+    fn adjacent_self_inverse_gates_cancel() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).h(0).cx(0, 1).cx(0, 1).x(1).x(1);
+        let (optimized, report) = optimize(&qc);
+        assert!(optimized.is_empty());
+        assert_eq!(report.cancelled_pairs, 3);
+    }
+
+    #[test]
+    fn adjoint_pairs_cancel() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.s(0).sdg(0).t(0).tdg(0).p(0.4, 0).p(-0.4, 0);
+        let (optimized, _) = optimize(&qc);
+        assert!(optimized.is_empty());
+    }
+
+    #[test]
+    fn cancellation_cascades_through_nested_pairs() {
+        // H X X H: the inner pair cancels first, then the outer one.
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.h(0).x(0).x(0).h(0);
+        let (optimized, report) = optimize(&qc);
+        assert!(optimized.is_empty());
+        assert_eq!(report.cancelled_pairs, 2);
+    }
+
+    #[test]
+    fn blocking_gates_prevent_cancellation() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.cx(0, 1).x(1).cx(0, 1);
+        let (optimized, report) = optimize(&qc);
+        assert_eq!(optimized.len(), 3);
+        assert_eq!(report.cancelled_pairs, 0);
+    }
+
+    #[test]
+    fn gates_on_disjoint_wires_do_not_block() {
+        // The Z on qubit 2 sits between the two CX(0, 1) but shares no wire.
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.cx(0, 1).z(2).cx(0, 1);
+        let (optimized, _) = optimize(&qc);
+        assert_eq!(optimized.len(), 1);
+    }
+
+    #[test]
+    fn rotations_merge_and_cancel() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.rz(0.25, 0).rz(0.5, 0).rz(-0.75, 0);
+        let (optimized, report) = optimize(&qc);
+        assert!(optimized.is_empty());
+        assert!(report.merged_rotations >= 1);
+    }
+
+    #[test]
+    fn rotations_about_different_axes_do_not_merge() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.rz(0.25, 0).rx(0.5, 0);
+        let (optimized, _) = optimize(&qc);
+        assert_eq!(optimized.len(), 2);
+    }
+
+    #[test]
+    fn controlled_gates_with_different_controls_do_not_cancel() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.cx(0, 2).cx(1, 2);
+        let (optimized, _) = optimize(&qc);
+        assert_eq!(optimized.len(), 2);
+    }
+
+    #[test]
+    fn negative_and_positive_controls_are_distinguished() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.controlled_gate(StandardGate::X, 1, vec![QuantumControl::pos(0)]);
+        qc.controlled_gate(StandardGate::X, 1, vec![QuantumControl::neg(0)]);
+        let (optimized, _) = optimize(&qc);
+        assert_eq!(optimized.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_primitives_are_never_touched() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).measure(0, 0).x_if(1, 0).reset(0).h(0).h(1).h(1);
+        let (optimized, _) = optimize(&qc);
+        assert_eq!(optimized.measurement_count(), 1);
+        assert_eq!(optimized.reset_count(), 1);
+        assert_eq!(optimized.counts().classically_controlled, 1);
+        // Only the trailing H·H pair on qubit 1 cancels; the H gates on
+        // qubit 0 are separated by dynamic operations.
+        assert_eq!(optimized.counts().unitary, 2);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation_across_it() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).measure(0, 0).h(0);
+        let (optimized, report) = optimize(&qc);
+        assert_eq!(optimized.len(), 3);
+        assert_eq!(report.cancelled_pairs, 0);
+    }
+
+    #[test]
+    fn report_counts_eliminated_operations() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.h(0).h(0).rz(0.1, 0).rz(0.2, 0).gate(StandardGate::I, 0);
+        let (_, report) = optimize(&qc);
+        assert_eq!(report.eliminated_operations(), 2 + 1 + 1);
+        assert!(report.iterations >= 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The end-to-end compilation pipeline.
+
+use crate::basis::{rewrite_to_basis, NativeBasis};
+use crate::coupling::CouplingMap;
+use crate::decompose::decompose_controls;
+use crate::error::CompileError;
+use crate::layout::Layout;
+use crate::optimize::{optimize, OptimizationReport};
+use crate::routing::route;
+use circuit::QuantumCircuit;
+use std::time::{Duration, Instant};
+
+/// A compilation target: a coupling map plus a native gate set.
+///
+/// # Examples
+///
+/// ```
+/// use compile::{Compiler, Target};
+/// use circuit::QuantumCircuit;
+///
+/// let mut qc = QuantumCircuit::new(3, 3);
+/// qc.h(0).cx(0, 1).ccx(0, 1, 2).measure_all();
+/// let result = Compiler::new(Target::ibmq_london()).compile(&qc)?;
+/// assert_eq!(result.circuit.num_qubits(), 5);
+/// assert!(result.circuit.ops().iter().all(|op| op.qubits().len() <= 2));
+/// # Ok::<(), compile::CompileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// The device connectivity.
+    pub coupling: CouplingMap,
+    /// The native single-qubit gate set.
+    pub basis: NativeBasis,
+}
+
+impl Target {
+    /// The paper's Fig. 1b target: the five-qubit, T-shaped IBMQ London
+    /// device with the modern IBM basis.
+    pub fn ibmq_london() -> Self {
+        Target {
+            coupling: CouplingMap::ibmq_london(),
+            basis: NativeBasis::IbmRzSxX,
+        }
+    }
+
+    /// A linear device with `n` qubits and the `U3 + CX` basis.
+    pub fn line(n: usize) -> Self {
+        Target {
+            coupling: CouplingMap::line(n),
+            basis: NativeBasis::U3Cx,
+        }
+    }
+
+    /// An all-to-all device (no routing needed) with the `U3 + CX` basis.
+    pub fn all_to_all(n: usize) -> Self {
+        Target {
+            coupling: CouplingMap::full(n),
+            basis: NativeBasis::U3Cx,
+        }
+    }
+}
+
+/// Options of the [`Compiler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Run the peephole optimizer after the other passes.
+    pub optimize: bool,
+    /// Append SWAPs so the final layout equals the initial layout.
+    ///
+    /// Keeping this enabled makes the compiled circuit functionally
+    /// equivalent to the (padded) original, which is what the verification
+    /// flow expects.
+    pub restore_layout: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            optimize: true,
+            restore_layout: true,
+        }
+    }
+}
+
+/// Result of a [`Compiler::compile`] run.
+#[derive(Debug, Clone)]
+pub struct CompilationResult {
+    /// The compiled circuit on the device's physical qubits.
+    pub circuit: QuantumCircuit,
+    /// Initial logical-to-physical layout.
+    pub initial_layout: Layout,
+    /// Layout after the last operation.
+    pub final_layout: Layout,
+    /// Number of SWAPs the router inserted.
+    pub swaps_inserted: usize,
+    /// Number of multi-controlled operations that were decomposed.
+    pub decomposed_operations: usize,
+    /// Number of single-qubit gates rewritten into the native basis.
+    pub rewritten_gates: usize,
+    /// Peephole-optimizer statistics (all zeros when disabled).
+    pub optimization: OptimizationReport,
+    /// Wall-clock compilation time.
+    pub duration: Duration,
+}
+
+impl CompilationResult {
+    /// Gate count of the compiled circuit (excluding barriers).
+    pub fn gate_count(&self) -> usize {
+        self.circuit.gate_count()
+    }
+}
+
+/// Compiles circuits for a [`Target`] by running decomposition, basis
+/// rewriting, routing and (optionally) peephole optimization.
+///
+/// This reproduces the situation of the paper's Section 2.3: a high-level
+/// algorithm circuit is turned into a device-level circuit, and equivalence
+/// checking then verifies that compilation preserved the functionality.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    target: Target,
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with default options.
+    pub fn new(target: Target) -> Self {
+        Compiler {
+            target,
+            options: CompilerOptions::default(),
+        }
+    }
+
+    /// Creates a compiler with explicit options.
+    pub fn with_options(target: Target, options: CompilerOptions) -> Self {
+        Compiler { target, options }
+    }
+
+    /// The compilation target.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The compiler options.
+    pub fn options(&self) -> CompilerOptions {
+        self.options
+    }
+
+    /// Compiles `circuit` for the target device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the device is too small, its coupling
+    /// map is disconnected, or routing encounters an operation it cannot
+    /// handle.
+    pub fn compile(&self, circuit: &QuantumCircuit) -> Result<CompilationResult, CompileError> {
+        let start = Instant::now();
+        self.target
+            .coupling
+            .check_capacity(circuit.num_qubits())?;
+
+        let decomposed = decompose_controls(circuit);
+        let rewritten = rewrite_to_basis(&decomposed.circuit, self.target.basis);
+        let layout = Layout::trivial(circuit.num_qubits(), self.target.coupling.num_qubits());
+        let routed = route(
+            &rewritten.circuit,
+            &self.target.coupling,
+            layout,
+            self.options.restore_layout,
+        )?;
+        let (optimized, optimization) = if self.options.optimize {
+            optimize(&routed.circuit)
+        } else {
+            (routed.circuit.clone(), OptimizationReport::default())
+        };
+
+        Ok(CompilationResult {
+            circuit: optimized,
+            initial_layout: routed.initial_layout,
+            final_layout: routed.final_layout,
+            swaps_inserted: routed.swaps_inserted,
+            decomposed_operations: decomposed.expanded_operations,
+            rewritten_gates: rewritten.rewritten_gates,
+            optimization,
+            duration: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_compiles_to_london() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let result = Compiler::new(Target::ibmq_london()).compile(&qc).unwrap();
+        assert_eq!(result.circuit.num_qubits(), 5);
+        assert_eq!(result.circuit.measurement_count(), 3);
+        for op in result.circuit.iter() {
+            let qubits = op.qubits();
+            if qubits.len() == 2 {
+                assert!(Target::ibmq_london()
+                    .coupling
+                    .are_adjacent(qubits[0], qubits[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_needs_decomposition_and_routing() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.ccx(0, 1, 2);
+        let result = Compiler::new(Target::line(3)).compile(&qc).unwrap();
+        assert_eq!(result.decomposed_operations, 1);
+        assert!(result.circuit.ops().iter().all(|op| op.qubits().len() <= 2));
+    }
+
+    #[test]
+    fn all_to_all_target_needs_no_swaps() {
+        let mut qc = QuantumCircuit::new(4, 0);
+        qc.cx(0, 3).cx(1, 2).cx(3, 1);
+        let result = Compiler::new(Target::all_to_all(4)).compile(&qc).unwrap();
+        assert_eq!(result.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn optimization_can_be_disabled() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.rz(0.3, 0).rz(-0.3, 0).cx(0, 1);
+        let target = Target {
+            coupling: CouplingMap::full(2),
+            basis: NativeBasis::IbmRzSxX,
+        };
+        let options = CompilerOptions {
+            optimize: false,
+            restore_layout: true,
+        };
+        let unoptimized = Compiler::with_options(target.clone(), options)
+            .compile(&qc)
+            .unwrap();
+        let optimized = Compiler::new(target).compile(&qc).unwrap();
+        assert!(optimized.gate_count() < unoptimized.gate_count());
+        assert_eq!(optimized.optimization.iterations >= 1, true);
+        assert_eq!(unoptimized.optimization, OptimizationReport::default());
+    }
+
+    #[test]
+    fn too_small_devices_are_rejected() {
+        let qc = QuantumCircuit::new(6, 0);
+        assert!(matches!(
+            Compiler::new(Target::ibmq_london()).compile(&qc),
+            Err(CompileError::NotEnoughPhysicalQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn compilation_result_reports_pass_statistics() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cp(0.5, 0, 2).ccx(0, 1, 2).measure_all();
+        let result = Compiler::new(Target::ibmq_london()).compile(&qc).unwrap();
+        assert!(result.decomposed_operations >= 2);
+        assert!(result.rewritten_gates >= 1);
+        assert!(result.duration.as_nanos() > 0);
+        assert!(result.gate_count() > qc.gate_count());
+        assert!(result.final_layout.is_trivial());
+    }
+
+    #[test]
+    fn dynamic_circuits_compile_too() {
+        // A 2-qubit IQPE-style dynamic circuit with measure / reset /
+        // classically-controlled gates.
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).cp(0.7, 0, 1).h(0).measure(0, 0).reset(0);
+        qc.h(0).p_if(-0.35, 0, 0).cp(0.35, 0, 1).h(0).measure(0, 1);
+        let result = Compiler::new(Target::ibmq_london()).compile(&qc).unwrap();
+        assert_eq!(result.circuit.measurement_count(), 2);
+        assert_eq!(result.circuit.reset_count(), 1);
+        assert!(result.circuit.counts().classically_controlled >= 1);
+    }
+}

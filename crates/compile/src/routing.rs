@@ -1,0 +1,318 @@
+//! SWAP-insertion routing onto a coupling map.
+
+use crate::coupling::CouplingMap;
+use crate::error::CompileError;
+use crate::layout::Layout;
+use circuit::{OpKind, Operation, QuantumCircuit, QuantumControl};
+
+/// Result of the routing pass.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// The routed circuit, acting on the device's physical qubits.
+    pub circuit: QuantumCircuit,
+    /// Layout before the first operation.
+    pub initial_layout: Layout,
+    /// Layout after the last operation (equal to the initial layout when
+    /// `restore_layout` was requested).
+    pub final_layout: Layout,
+    /// Number of SWAP operations inserted (each SWAP is three CX gates).
+    pub swaps_inserted: usize,
+}
+
+/// Routes `circuit` onto `coupling`, inserting SWAPs so that every two-qubit
+/// gate acts on adjacent physical qubits.
+///
+/// The input must already be decomposed into single-qubit gates and CX (run
+/// [`decompose_controls`](crate::decompose_controls) first). When
+/// `restore_layout` is `true`, additional SWAPs are appended so that the
+/// final layout equals the initial one — the routed circuit is then
+/// functionally equivalent (up to idle padding qubits) to the original,
+/// which is how the compilation experiments verify it.
+///
+/// # Errors
+///
+/// * [`CompileError::NotEnoughPhysicalQubits`] /
+///   [`CompileError::DisconnectedCouplingMap`] when the device cannot host
+///   the circuit,
+/// * [`CompileError::UnroutableOperation`] when an operation acts on more
+///   than two qubits.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use compile::{route, CouplingMap, Layout};
+///
+/// let mut qc = QuantumCircuit::new(3, 0);
+/// qc.cx(0, 2); // not adjacent on a line
+/// let coupling = CouplingMap::line(3);
+/// let layout = Layout::trivial(3, 3);
+/// let routed = route(&qc, &coupling, layout, true)?;
+/// assert!(routed.swaps_inserted > 0);
+/// assert!(routed.final_layout.is_trivial());
+/// # Ok::<(), compile::CompileError>(())
+/// ```
+pub fn route(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    initial_layout: Layout,
+    restore_layout: bool,
+) -> Result<RoutingResult, CompileError> {
+    coupling.check_capacity(circuit.num_qubits())?;
+    if initial_layout.num_logical() != circuit.num_qubits()
+        || initial_layout.num_physical() != coupling.num_qubits()
+    {
+        return Err(CompileError::InvalidLayout {
+            reason: format!(
+                "layout maps {} logical to {} physical qubits, circuit has {} and device {}",
+                initial_layout.num_logical(),
+                initial_layout.num_physical(),
+                circuit.num_qubits(),
+                coupling.num_qubits()
+            ),
+        });
+    }
+
+    let mut out = QuantumCircuit::with_name(
+        coupling.num_qubits(),
+        circuit.num_bits(),
+        format!("{}_on_{}", circuit.name(), coupling.name()),
+    );
+    let mut layout = initial_layout.clone();
+    let mut swaps = 0usize;
+
+    for op in circuit.iter() {
+        match &op.kind {
+            OpKind::Barrier => out.push(Operation::barrier()),
+            OpKind::Measure { qubit, bit } => {
+                let mut mapped = Operation::measure(layout.physical(*qubit), *bit);
+                mapped.condition = op.condition;
+                out.push(mapped);
+            }
+            OpKind::Reset { qubit } => {
+                let mut mapped = Operation::reset(layout.physical(*qubit));
+                mapped.condition = op.condition;
+                out.push(mapped);
+            }
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                if controls.len() > 1 {
+                    return Err(CompileError::UnroutableOperation {
+                        operation: op.to_string(),
+                    });
+                }
+                if let Some(control) = controls.first() {
+                    let mut p_control = layout.physical(control.qubit);
+                    let p_target = layout.physical(*target);
+                    if !coupling.are_adjacent(p_control, p_target) {
+                        let path = coupling
+                            .shortest_path(p_control, p_target)
+                            .ok_or(CompileError::DisconnectedCouplingMap)?;
+                        // Move the control along the path until it is
+                        // adjacent to the target.
+                        for window in path.windows(2).take(path.len() - 2) {
+                            emit_swap(&mut out, window[0], window[1]);
+                            layout.swap_physical(window[0], window[1]);
+                            swaps += 1;
+                        }
+                        p_control = path[path.len() - 2];
+                    }
+                    let mut mapped = Operation::unitary(
+                        *gate,
+                        layout.physical(*target),
+                        vec![QuantumControl {
+                            qubit: p_control,
+                            positive: control.positive,
+                        }],
+                    );
+                    mapped.condition = op.condition;
+                    out.push(mapped);
+                } else {
+                    let mut mapped = Operation::unitary(*gate, layout.physical(*target), vec![]);
+                    mapped.condition = op.condition;
+                    out.push(mapped);
+                }
+            }
+        }
+    }
+
+    if restore_layout && layout != initial_layout {
+        swaps += restore(&mut out, coupling, &mut layout, &initial_layout);
+    }
+
+    Ok(RoutingResult {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swaps_inserted: swaps,
+    })
+}
+
+/// Emits a SWAP between adjacent physical qubits as three CX gates.
+fn emit_swap(out: &mut QuantumCircuit, a: usize, b: usize) {
+    out.swap(a, b);
+}
+
+/// Exchanges the occupants of two (possibly distant) physical qubits using
+/// adjacent SWAPs only, leaving every other qubit in place. Returns the
+/// number of SWAPs emitted.
+fn distant_swap(
+    out: &mut QuantumCircuit,
+    coupling: &CouplingMap,
+    layout: &mut Layout,
+    a: usize,
+    b: usize,
+) -> usize {
+    let path = coupling
+        .shortest_path(a, b)
+        .expect("coupling map connectivity was checked");
+    let mut swaps = 0;
+    // Walk forward … (moves the occupant of `a` to `b`)
+    for window in path.windows(2) {
+        emit_swap(out, window[0], window[1]);
+        layout.swap_physical(window[0], window[1]);
+        swaps += 1;
+    }
+    // … and backward over the interior (restores everything else).
+    for window in path.windows(2).rev().skip(1) {
+        emit_swap(out, window[0], window[1]);
+        layout.swap_physical(window[0], window[1]);
+        swaps += 1;
+    }
+    swaps
+}
+
+/// Appends SWAPs so that `layout` becomes `target_layout`.
+fn restore(
+    out: &mut QuantumCircuit,
+    coupling: &CouplingMap,
+    layout: &mut Layout,
+    target_layout: &Layout,
+) -> usize {
+    let mut swaps = 0;
+    for logical in 0..layout.num_logical() {
+        let home = target_layout.physical(logical);
+        let current = layout.physical(logical);
+        if current != home {
+            swaps += distant_swap(out, coupling, layout, current, home);
+        }
+    }
+    debug_assert_eq!(layout, target_layout);
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::StandardGate;
+
+    fn two_qubit_ops_are_adjacent(circuit: &QuantumCircuit, coupling: &CouplingMap) -> bool {
+        circuit.iter().all(|op| {
+            let qubits = op.qubits();
+            qubits.len() < 2 || coupling.are_adjacent(qubits[0], qubits[1])
+        })
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        let coupling = CouplingMap::line(3);
+        let routed = route(&qc, &coupling, Layout::trivial(3, 3), true).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.len(), qc.len());
+        assert!(routed.final_layout.is_trivial());
+    }
+
+    #[test]
+    fn distant_cx_gets_routed() {
+        let mut qc = QuantumCircuit::new(4, 0);
+        qc.cx(0, 3);
+        let coupling = CouplingMap::line(4);
+        let routed = route(&qc, &coupling, Layout::trivial(4, 4), false).unwrap();
+        assert!(routed.swaps_inserted >= 2);
+        assert!(two_qubit_ops_are_adjacent(&routed.circuit, &coupling));
+        assert!(!routed.final_layout.is_trivial());
+    }
+
+    #[test]
+    fn restore_layout_returns_to_the_initial_mapping() {
+        let mut qc = QuantumCircuit::new(4, 0);
+        qc.cx(0, 3).cx(3, 1).cx(2, 0);
+        let coupling = CouplingMap::line(4);
+        let routed = route(&qc, &coupling, Layout::trivial(4, 4), true).unwrap();
+        assert!(two_qubit_ops_are_adjacent(&routed.circuit, &coupling));
+        assert!(routed.final_layout.is_trivial());
+    }
+
+    #[test]
+    fn routing_onto_a_larger_device_pads_with_idle_qubits() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let coupling = CouplingMap::ibmq_london();
+        let routed = route(&qc, &coupling, Layout::trivial(3, 5), true).unwrap();
+        assert_eq!(routed.circuit.num_qubits(), 5);
+        assert!(two_qubit_ops_are_adjacent(&routed.circuit, &coupling));
+        assert_eq!(routed.circuit.measurement_count(), 3);
+    }
+
+    #[test]
+    fn measurements_and_conditions_follow_the_layout() {
+        let mut qc = QuantumCircuit::new(3, 1);
+        qc.cx(0, 2).measure(2, 0).gate_if(StandardGate::X, 0, 0, true);
+        let coupling = CouplingMap::line(3);
+        let routed = route(&qc, &coupling, Layout::trivial(3, 3), false).unwrap();
+        // After routing the measurement must target whichever physical qubit
+        // carries logical qubit 2.
+        let measure_targets: Vec<usize> = routed
+            .circuit
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Measure { qubit, .. } => Some(qubit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measure_targets.len(), 1);
+        assert_eq!(
+            measure_targets[0],
+            routed.final_layout.physical(2),
+            "measurement does not follow the routed qubit"
+        );
+        // The classically-controlled gate survives with its condition.
+        assert!(routed.circuit.iter().any(|op| op.condition.is_some()));
+    }
+
+    #[test]
+    fn oversized_circuits_are_rejected() {
+        let qc = QuantumCircuit::new(6, 0);
+        let coupling = CouplingMap::ibmq_london();
+        assert!(matches!(
+            route(&qc, &coupling, Layout::trivial(5, 5), true),
+            Err(CompileError::InvalidLayout { .. }) | Err(CompileError::NotEnoughPhysicalQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn three_qubit_gates_are_rejected() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.ccx(0, 1, 2);
+        let coupling = CouplingMap::line(3);
+        assert!(matches!(
+            route(&qc, &coupling, Layout::trivial(3, 3), true),
+            Err(CompileError::UnroutableOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_layout_is_rejected() {
+        let qc = QuantumCircuit::new(2, 0);
+        let coupling = CouplingMap::line(4);
+        assert!(matches!(
+            route(&qc, &coupling, Layout::trivial(3, 4), true),
+            Err(CompileError::InvalidLayout { .. })
+        ));
+    }
+}

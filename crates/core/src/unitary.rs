@@ -1,0 +1,405 @@
+//! Functional (unitary) equivalence checking of quantum circuits.
+//!
+//! Two circuits `G` and `G'` over the same register are equivalent exactly
+//! when the miter `U · U'†` is the identity (possibly up to a global phase).
+//! The miter is built as a decision diagram; the scheduling of gates from `G`
+//! and inverted gates from `G'` is governed by the configured
+//! [`Strategy`](crate::Strategy). Close to equivalent circuits the
+//! proportional schedule keeps the intermediate diagram near the identity and
+//! therefore small — the key insight of the underlying QCEC tool.
+
+use crate::equivalence::{Configuration, Equivalence, Strategy};
+use circuit::{OpKind, Operation, QuantumCircuit};
+use dd::{DdPackage, MEdge};
+use sim::{dd_controls, gate_matrix};
+use std::time::{Duration, Instant};
+
+/// Error raised when a circuit cannot be checked functionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The circuit contains dynamic primitives; reconstruct it first.
+    NonUnitaryCircuit {
+        /// Which circuit (`"left"` / `"right"`).
+        which: &'static str,
+        /// Offending operation.
+        operation: String,
+    },
+    /// The circuits act on different register sizes.
+    RegisterMismatch {
+        /// Qubits of the left circuit.
+        left: usize,
+        /// Qubits of the right circuit.
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NonUnitaryCircuit { which, operation } => write!(
+                f,
+                "the {which} circuit contains the non-unitary operation `{operation}`; \
+                 apply the unitary reconstruction first"
+            ),
+            CheckError::RegisterMismatch { left, right } => write!(
+                f,
+                "register mismatch: left circuit has {left} qubits, right circuit has {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Outcome of a functional equivalence check, with diagnostics.
+#[derive(Debug, Clone)]
+pub struct FunctionalCheck {
+    /// The verdict.
+    pub equivalence: Equivalence,
+    /// Normalised identity fidelity `|tr(U·U'†)| / 2^n` of the final miter.
+    pub identity_fidelity: f64,
+    /// Size (node count) of the final miter diagram.
+    pub final_diagram_size: usize,
+    /// Largest intermediate miter size observed.
+    pub peak_diagram_size: usize,
+    /// Wall-clock time of the check (the paper's `t_ver`).
+    pub duration: Duration,
+}
+
+/// Extracts the unitary gate sequence of a circuit, rejecting dynamic
+/// primitives.
+fn unitary_ops<'a>(
+    circuit: &'a QuantumCircuit,
+    which: &'static str,
+) -> Result<Vec<&'a Operation>, CheckError> {
+    let mut ops = Vec::with_capacity(circuit.len());
+    for op in circuit.ops() {
+        match (&op.kind, op.condition) {
+            (OpKind::Barrier, _) | (OpKind::Measure { .. }, None) => {
+                // Barriers are no-ops; trailing measurements of reconstructed
+                // circuits do not affect the unitary functionality and are
+                // skipped.
+            }
+            (OpKind::Unitary { .. }, None) => ops.push(op),
+            _ => {
+                return Err(CheckError::NonUnitaryCircuit {
+                    which,
+                    operation: op.to_string(),
+                })
+            }
+        }
+    }
+    Ok(ops)
+}
+
+fn apply_left(package: &mut DdPackage, miter: MEdge, op: &Operation) -> MEdge {
+    let OpKind::Unitary {
+        gate,
+        target,
+        controls,
+    } = &op.kind
+    else {
+        unreachable!("filtered to unitary operations")
+    };
+    let matrix = gate_matrix(*gate);
+    let gate_dd = package.make_gate(&matrix, *target, &dd_controls(controls));
+    package.mul_matrices(gate_dd, miter)
+}
+
+fn apply_right_inverse(package: &mut DdPackage, miter: MEdge, op: &Operation) -> MEdge {
+    let OpKind::Unitary {
+        gate,
+        target,
+        controls,
+    } = &op.kind
+    else {
+        unreachable!("filtered to unitary operations")
+    };
+    let matrix = gate_matrix(gate.inverse());
+    let gate_dd = package.make_gate(&matrix, *target, &dd_controls(controls));
+    package.mul_matrices(miter, gate_dd)
+}
+
+/// Checks whether two unitary circuits implement the same functionality.
+///
+/// Trailing measurements and barriers are ignored; any other non-unitary
+/// operation is an error (run the reconstruction of the `transform` crate
+/// first).
+///
+/// # Errors
+///
+/// [`CheckError::RegisterMismatch`] when the circuits act on different
+/// numbers of qubits, [`CheckError::NonUnitaryCircuit`] when a circuit
+/// contains resets or classically-controlled operations.
+///
+/// # Examples
+///
+/// A CNOT and its H·CZ·H decomposition realise the same GHZ-preparation
+/// unitary:
+///
+/// ```
+/// use algorithms::ghz;
+/// use circuit::QuantumCircuit;
+/// use qcec::{check_functional_equivalence, Configuration};
+///
+/// let reference = ghz::ghz(3, false);
+/// let mut decomposed = QuantumCircuit::new(3, 0);
+/// decomposed.h(0);
+/// for q in 1..3 {
+///     decomposed.h(q).cz(q - 1, q).h(q);
+/// }
+/// let check = check_functional_equivalence(&reference, &decomposed, &Configuration::default())?;
+/// assert!(check.equivalence.considered_equivalent());
+/// # Ok::<(), qcec::CheckError>(())
+/// ```
+pub fn check_functional_equivalence(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &Configuration,
+) -> Result<FunctionalCheck, CheckError> {
+    if left.num_qubits() != right.num_qubits() {
+        return Err(CheckError::RegisterMismatch {
+            left: left.num_qubits(),
+            right: right.num_qubits(),
+        });
+    }
+    let start = Instant::now();
+    let n = left.num_qubits();
+    let left_ops = unitary_ops(left, "left")?;
+    let right_ops = unitary_ops(right, "right")?;
+
+    let mut package = DdPackage::new(n);
+    let mut miter = package.identity();
+    let mut peak = package.matrix_size(miter);
+
+    match config.strategy {
+        Strategy::Reference => {
+            for op in &left_ops {
+                miter = apply_left(&mut package, miter, op);
+                peak = peak.max(package.matrix_size(miter));
+            }
+            for op in &right_ops {
+                miter = apply_right_inverse(&mut package, miter, op);
+                peak = peak.max(package.matrix_size(miter));
+            }
+        }
+        Strategy::OneToOne | Strategy::Proportional => {
+            // Interleave gates of the left circuit with inverted gates of the
+            // right circuit. For the proportional schedule the side that lags
+            // behind in *relative* progress goes next, so that both circuits
+            // are exhausted at (roughly) the same time and the intermediate
+            // miter stays close to the identity for near-equivalent circuits.
+            let total_left = left_ops.len().max(1);
+            let total_right = right_ops.len().max(1);
+            let mut li = 0;
+            let mut ri = 0;
+            let mut steps = 0usize;
+            while li < left_ops.len() || ri < right_ops.len() {
+                let take_left = if li >= left_ops.len() {
+                    false
+                } else if ri >= right_ops.len() {
+                    true
+                } else {
+                    match config.strategy {
+                        Strategy::OneToOne => li <= ri,
+                        // Compare progress fractions li/L vs ri/R without
+                        // floating point: li·R ≤ ri·L.
+                        Strategy::Proportional => li * total_right <= ri * total_left,
+                        Strategy::Reference => unreachable!(),
+                    }
+                };
+                if take_left {
+                    miter = apply_left(&mut package, miter, left_ops[li]);
+                    li += 1;
+                } else {
+                    miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
+                    ri += 1;
+                }
+                steps += 1;
+                if steps % 50 == 0 {
+                    peak = peak.max(package.matrix_size(miter));
+                }
+            }
+        }
+    }
+
+    let identity_fidelity = package.identity_fidelity(miter);
+    let equivalence = if identity_fidelity >= 1.0 - config.tolerance {
+        // Distinguish a genuine identity from one with a global phase by
+        // looking at the (complex) trace direction.
+        let trace = package.trace(miter);
+        let dim = 2f64.powi(n as i32);
+        if (trace.re / dim - 1.0).abs() < config.tolerance && (trace.im / dim).abs() < config.tolerance
+        {
+            Equivalence::Equivalent
+        } else {
+            Equivalence::EquivalentUpToGlobalPhase
+        }
+    } else {
+        Equivalence::NotEquivalent
+    };
+
+    Ok(FunctionalCheck {
+        equivalence,
+        identity_fidelity,
+        final_diagram_size: package.matrix_size(miter),
+        peak_diagram_size: peak,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorithms::{ghz, qft, random};
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let qc = random::random_unitary_circuit(4, 24, 3);
+        for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+            let config = Configuration {
+                strategy,
+                ..Default::default()
+            };
+            let check = check_functional_equivalence(&qc, &qc, &config).unwrap();
+            assert_eq!(check.equivalence, Equivalence::Equivalent, "{strategy:?}");
+            assert!((check.identity_fidelity - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cnot_decomposition_is_equivalent() {
+        let a = ghz::ghz(6, false);
+        let mut b = circuit::QuantumCircuit::new(6, 0);
+        b.h(0);
+        for q in 1..6 {
+            b.h(q).cz(q - 1, q).h(q);
+        }
+        let check =
+            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn fixed_input_equivalent_circuits_can_differ_functionally() {
+        // The log-depth GHZ preparation produces the same state from |0…0⟩
+        // but is a different unitary.
+        let a = ghz::ghz(4, false);
+        let b = ghz::ghz_log_depth(4, false);
+        let check =
+            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn detects_non_equivalence() {
+        let a = ghz::ghz(4, false);
+        let mut b = ghz::ghz(4, false);
+        b.z(2);
+        let check =
+            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::NotEquivalent);
+        assert!(check.identity_fidelity < 1.0 - 1e-3);
+    }
+
+    #[test]
+    fn detects_global_phase_difference() {
+        use circuit::QuantumCircuit;
+        let theta = 0.9;
+        let mut a = QuantumCircuit::new(1, 0);
+        a.rz(theta, 0);
+        let mut b = QuantumCircuit::new(1, 0);
+        b.p(theta, 0);
+        let check =
+            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::EquivalentUpToGlobalPhase);
+    }
+
+    #[test]
+    fn circuit_against_its_inverse_composition_is_identity() {
+        let qc = random::random_unitary_circuit(5, 40, 9);
+        let inv = qc.inverse().unwrap();
+        let mut composed = circuit::QuantumCircuit::new(5, 0);
+        composed.append(&qc);
+        composed.append(&inv);
+        let empty = circuit::QuantumCircuit::new(5, 0);
+        let check =
+            check_functional_equivalence(&composed, &empty, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn trailing_measurements_are_ignored() {
+        let with = ghz::ghz(3, true);
+        let without = ghz::ghz(3, false);
+        let check =
+            check_functional_equivalence(&with, &without, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn rejects_dynamic_circuits() {
+        let mut dynamic = circuit::QuantumCircuit::new(2, 1);
+        dynamic.h(0).measure(0, 0).x_if(1, 0);
+        let static_c = ghz::ghz(2, false);
+        assert!(matches!(
+            check_functional_equivalence(&dynamic, &static_c, &Configuration::default()),
+            Err(CheckError::NonUnitaryCircuit { which: "left", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_register_mismatch() {
+        let a = ghz::ghz(3, false);
+        let b = ghz::ghz(4, false);
+        assert!(matches!(
+            check_functional_equivalence(&a, &b, &Configuration::default()),
+            Err(CheckError::RegisterMismatch { left: 3, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn qft_against_itself_with_reordered_rotations() {
+        // The controlled-phase rotations within one QFT level commute; a
+        // reversed ordering must still be equivalent.
+        let n = 5;
+        let a = qft::qft_static(n, None, false);
+        let mut b = circuit::QuantumCircuit::new(n, 0);
+        for j in (0..n).rev() {
+            b.h(j);
+            for k in 0..j {
+                let angle = std::f64::consts::PI / (1u64 << (j - k)) as f64;
+                b.cp(angle, k, j);
+            }
+        }
+        let check =
+            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        assert_eq!(check.equivalence, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn proportional_strategy_keeps_peak_small_for_identical_circuits() {
+        let qc = qft::qft_static(8, None, false);
+        let proportional = check_functional_equivalence(
+            &qc,
+            &qc,
+            &Configuration {
+                strategy: Strategy::Proportional,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reference = check_functional_equivalence(
+            &qc,
+            &qc,
+            &Configuration {
+                strategy: Strategy::Reference,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(proportional.peak_diagram_size <= reference.peak_diagram_size);
+        assert_eq!(proportional.equivalence, Equivalence::Equivalent);
+        assert_eq!(reference.equivalence, Equivalence::Equivalent);
+    }
+}

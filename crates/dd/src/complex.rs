@@ -1,0 +1,322 @@
+//! Complex numbers with tolerance-aware comparison.
+//!
+//! The decision-diagram package stores edge weights as complex numbers. Two
+//! weights that differ by less than [`TOLERANCE`] are considered equal, which
+//! keeps the diagrams canonical in the presence of floating-point round-off.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// Absolute tolerance used when interning and comparing complex values.
+///
+/// Chosen to be well above the round-off accumulated by the gate sequences in
+/// the paper's benchmark families (hundreds to thousands of gates) while still
+/// far below any physically meaningful amplitude difference. Equivalence
+/// decisions at the checker level use their own, coarser threshold.
+pub const TOLERANCE: f64 = 1e-12;
+
+/// A complex number used as a decision-diagram edge weight.
+///
+/// # Examples
+///
+/// ```
+/// use dd::Complex;
+///
+/// let a = Complex::new(1.0, 0.0);
+/// let b = Complex::new(0.0, 1.0);
+/// assert!((a * b).approx_eq(Complex::new(0.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates the complex number `e^{i theta}` on the unit circle.
+    ///
+    /// ```
+    /// use dd::Complex;
+    /// let c = Complex::from_phase(std::f64::consts::PI);
+    /// assert!(c.approx_eq(Complex::new(-1.0, 0.0)));
+    /// ```
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) of the complex number.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1 / z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `z` is (numerically) zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "attempted to invert a zero complex value");
+        Complex {
+            re: self.re / n,
+            im: -self.im / n,
+        }
+    }
+
+    /// Returns `true` when the value is within [`TOLERANCE`] of zero in both
+    /// components.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.re.abs() < TOLERANCE && self.im.abs() < TOLERANCE
+    }
+
+    /// Returns `true` when the value is within [`TOLERANCE`] of one.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        (self.re - 1.0).abs() < TOLERANCE && self.im.abs() < TOLERANCE
+    }
+
+    /// Component-wise comparison within [`TOLERANCE`].
+    #[inline]
+    pub fn approx_eq(self, other: Complex) -> bool {
+        (self.re - other.re).abs() < TOLERANCE && (self.im - other.im).abs() < TOLERANCE
+    }
+
+    /// Component-wise comparison within a caller-provided tolerance.
+    #[inline]
+    pub fn approx_eq_with(self, other: Complex, eps: f64) -> bool {
+        (self.re - other.re).abs() < eps && (self.im - other.im).abs() < eps
+    }
+
+    /// Square root of a complex number (principal branch).
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex {
+            re: self.re * rhs,
+            im: self.im * rhs,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im.abs() < TOLERANCE {
+            write!(f, "{:.6}", self.re)
+        } else if self.re.abs() < TOLERANCE {
+            write!(f, "{:.6}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        } else {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!((a + b).approx_eq(Complex::new(4.0, 1.0)));
+        assert!((a - b).approx_eq(Complex::new(-2.0, 3.0)));
+        assert!((a * b).approx_eq(Complex::new(5.0, 5.0)));
+        assert!((-a).approx_eq(Complex::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(0.3, -0.7);
+        let b = Complex::new(-1.2, 0.4);
+        let c = a * b;
+        assert!((c / b).approx_eq(a));
+        assert!((c / a).approx_eq(b));
+    }
+
+    #[test]
+    fn recip_of_unit_phase_is_conjugate() {
+        let p = Complex::from_phase(0.77);
+        assert!(p.recip().approx_eq(p.conj()));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let c = Complex::from_polar(2.0, 1.1);
+        assert!((c.abs() - 2.0).abs() < 1e-12);
+        assert!((c.arg() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_one_predicates() {
+        assert!(Complex::ZERO.is_zero());
+        assert!(Complex::ONE.is_one());
+        assert!(!Complex::I.is_zero());
+        assert!(!Complex::I.is_one());
+        assert!(Complex::new(1e-13, -1e-13).is_zero());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let c = Complex::new(-3.0, 4.0);
+        let s = c.sqrt();
+        assert!((s * s).approx_eq(c));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex::real(0.5)), "0.500000");
+        assert_eq!(format!("{}", Complex::new(0.0, -0.25)), "-0.250000i");
+        assert_eq!(format!("{}", Complex::new(1.0, 1.0)), "1.000000+1.000000i");
+    }
+}

@@ -1,0 +1,257 @@
+//! Standard single-qubit gate matrices.
+//!
+//! The decision-diagram package builds multi-qubit operators out of 2x2
+//! matrices plus control qubits (see [`DdPackage::make_gate`]). This module
+//! provides the usual gate library as plain [`GateMatrix`] values.
+//!
+//! [`DdPackage::make_gate`]: crate::DdPackage::make_gate
+
+use crate::complex::Complex;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A dense 2x2 complex matrix in row-major order: `m[row][column]`.
+pub type GateMatrix = [[Complex; 2]; 2];
+
+/// Identity gate.
+pub fn id() -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::ONE],
+    ]
+}
+
+/// Hadamard gate.
+pub fn h() -> GateMatrix {
+    let s = Complex::real(FRAC_1_SQRT_2);
+    [[s, s], [s, -s]]
+}
+
+/// Pauli-X (NOT) gate.
+pub fn x() -> GateMatrix {
+    [
+        [Complex::ZERO, Complex::ONE],
+        [Complex::ONE, Complex::ZERO],
+    ]
+}
+
+/// Pauli-Y gate.
+pub fn y() -> GateMatrix {
+    [
+        [Complex::ZERO, -Complex::I],
+        [Complex::I, Complex::ZERO],
+    ]
+}
+
+/// Pauli-Z gate.
+pub fn z() -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, -Complex::ONE],
+    ]
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> GateMatrix {
+    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]]
+}
+
+/// Inverse phase gate S† = diag(1, -i).
+pub fn sdg() -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, -Complex::I],
+    ]
+}
+
+/// T gate = diag(1, e^{iπ/4}).
+pub fn t() -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::from_phase(std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// Inverse T gate = diag(1, e^{-iπ/4}).
+pub fn tdg() -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [
+            Complex::ZERO,
+            Complex::from_phase(-std::f64::consts::FRAC_PI_4),
+        ],
+    ]
+}
+
+/// Phase gate P(θ) = diag(1, e^{iθ}).
+pub fn phase(theta: f64) -> GateMatrix {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::from_phase(theta)],
+    ]
+}
+
+/// Rotation about the X axis by angle θ.
+pub fn rx(theta: f64) -> GateMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    [[c, s], [s, c]]
+}
+
+/// Rotation about the Y axis by angle θ.
+pub fn ry(theta: f64) -> GateMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::real((theta / 2.0).sin());
+    [[c, -s], [s, c]]
+}
+
+/// Rotation about the Z axis by angle θ.
+pub fn rz(theta: f64) -> GateMatrix {
+    [
+        [Complex::from_phase(-theta / 2.0), Complex::ZERO],
+        [Complex::ZERO, Complex::from_phase(theta / 2.0)],
+    ]
+}
+
+/// Square root of X.
+pub fn sx() -> GateMatrix {
+    let a = Complex::new(0.5, 0.5);
+    let b = Complex::new(0.5, -0.5);
+    [[a, b], [b, a]]
+}
+
+/// Inverse square root of X.
+pub fn sxdg() -> GateMatrix {
+    let a = Complex::new(0.5, -0.5);
+    let b = Complex::new(0.5, 0.5);
+    [[a, b], [b, a]]
+}
+
+/// General single-qubit gate U3(θ, φ, λ) following the OpenQASM convention.
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> GateMatrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    [
+        [
+            Complex::real(c),
+            -Complex::from_phase(lambda) * s,
+        ],
+        [
+            Complex::from_phase(phi) * s,
+            Complex::from_phase(phi + lambda) * c,
+        ],
+    ]
+}
+
+/// Complex-conjugate transpose of a 2x2 matrix.
+pub fn adjoint(m: &GateMatrix) -> GateMatrix {
+    [
+        [m[0][0].conj(), m[1][0].conj()],
+        [m[0][1].conj(), m[1][1].conj()],
+    ]
+}
+
+/// Product `a * b` of two 2x2 matrices.
+pub fn matmul(a: &GateMatrix, b: &GateMatrix) -> GateMatrix {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, entry) in row.iter_mut().enumerate() {
+            *entry = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// Returns `true` when `m` is unitary within the package tolerance.
+pub fn is_unitary(m: &GateMatrix) -> bool {
+    let prod = matmul(&adjoint(m), m);
+    prod[0][0].is_one()
+        && prod[1][1].is_one()
+        && prod[0][1].is_zero()
+        && prod[1][0].is_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &GateMatrix, b: &GateMatrix) -> bool {
+        a.iter()
+            .flatten()
+            .zip(b.iter().flatten())
+            .all(|(x, y)| x.approx_eq(*y))
+    }
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for m in [
+            id(),
+            h(),
+            x(),
+            y(),
+            z(),
+            s(),
+            sdg(),
+            t(),
+            tdg(),
+            sx(),
+            sxdg(),
+            phase(0.3),
+            rx(1.2),
+            ry(-0.7),
+            rz(2.9),
+            u3(0.4, 1.1, -2.3),
+        ] {
+            assert!(is_unitary(&m), "gate {m:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn involutions_square_to_identity() {
+        for m in [x(), y(), z(), h()] {
+            assert!(approx_eq(&matmul(&m, &m), &id()));
+        }
+    }
+
+    #[test]
+    fn adjoint_pairs_cancel() {
+        assert!(approx_eq(&matmul(&s(), &sdg()), &id()));
+        assert!(approx_eq(&matmul(&t(), &tdg()), &id()));
+        assert!(approx_eq(&matmul(&sx(), &sxdg()), &id()));
+        let m = phase(0.9);
+        assert!(approx_eq(&matmul(&adjoint(&m), &m), &id()));
+    }
+
+    #[test]
+    fn s_is_two_t_gates() {
+        assert!(approx_eq(&matmul(&t(), &t()), &s()));
+    }
+
+    #[test]
+    fn phase_matches_special_cases() {
+        assert!(approx_eq(&phase(std::f64::consts::PI), &z()));
+        assert!(approx_eq(&phase(std::f64::consts::FRAC_PI_2), &s()));
+    }
+
+    #[test]
+    fn u3_reduces_to_named_gates() {
+        use std::f64::consts::PI;
+        // U3(π, 0, π) = X
+        assert!(approx_eq(&u3(PI, 0.0, PI), &x()));
+        // U3(π/2, 0, π) = H
+        assert!(approx_eq(&u3(PI / 2.0, 0.0, PI), &h()));
+    }
+
+    #[test]
+    fn rz_differs_from_phase_by_global_phase() {
+        let theta = 0.77;
+        let a = rz(theta);
+        let b = phase(theta);
+        // a = e^{-iθ/2} * b
+        let factor = Complex::from_phase(-theta / 2.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(a[i][j].approx_eq(factor * b[i][j]));
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A small, fast, deterministic hasher for the package-internal tables.
+//!
+//! The unique and compute tables of the decision-diagram package perform a
+//! very large number of lookups keyed on small tuples of integers. The
+//! default SipHash implementation in the standard library is unnecessarily
+//! expensive for that access pattern, so the package uses an FxHash-style
+//! multiply-xor hasher (the same construction used by rustc's `FxHashMap`).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Seed constant of the FxHash construction (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher specialised for small integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the package-internal fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a: FxHashMap<u64, u32> = FxHashMap::default();
+        a.insert(42, 1);
+        a.insert(7, 2);
+        assert_eq!(a.get(&42), Some(&1));
+        assert_eq!(a.get(&7), Some(&2));
+        assert_eq!(a.get(&8), None);
+    }
+
+    #[test]
+    fn hasher_distinguishes_values() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = FxBuildHasher::default();
+        let hash = |v: u64| {
+            let mut h = bh.build_hasher();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(hash(1), hash(2));
+        assert_ne!(hash(0), hash(u64::MAX));
+    }
+}

@@ -1,0 +1,55 @@
+//! # dd — decision diagrams for quantum states and operators
+//!
+//! This crate implements a QMDD-style decision-diagram package: a compact,
+//! canonical representation of `2^n`-dimensional state vectors and
+//! `2^n × 2^n` unitary matrices with the operations needed for quantum
+//! circuit simulation and equivalence checking.
+//!
+//! It is the substrate on which the equivalence-checking schemes of
+//! *Burgholzer & Wille, "Handling Non-Unitaries in Quantum Circuit
+//! Equivalence Checking" (DAC 2022)* are reproduced: the paper's tool (QCEC)
+//! builds on an equivalent C++ package.
+//!
+//! ## Highlights
+//!
+//! * Canonical diagrams through weight normalisation, an interning
+//!   [`ComplexTable`] and hash-consed unique tables.
+//! * Vector diagrams ([`VEdge`]) and matrix diagrams ([`MEdge`]) with
+//!   addition, matrix-vector and matrix-matrix multiplication, Kronecker-free
+//!   controlled-gate construction, conjugate transposition, inner products,
+//!   traces, measurement probabilities and projections.
+//! * Dense conversions (for small registers) used extensively by the test
+//!   suite to validate the diagram algebra against straightforward linear
+//!   algebra.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dd::{Control, DdPackage, gates};
+//!
+//! // Build a Bell state and check its measurement statistics.
+//! let mut p = DdPackage::new(2);
+//! let mut state = p.zero_state();
+//! state = p.apply_gate(state, &gates::h(), 0, &[]);
+//! state = p.apply_gate(state, &gates::x(), 1, &[Control::pos(0)]);
+//! let (p0, p1) = p.probabilities(state, 1);
+//! assert!((p0 - 0.5).abs() < 1e-12);
+//! assert!((p1 - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod gates;
+mod hash;
+mod node;
+mod package;
+mod table;
+
+mod export;
+
+pub use complex::{Complex, TOLERANCE};
+pub use gates::GateMatrix;
+pub use node::{MEdge, MNode, NodeId, VEdge, VNode};
+pub use package::{Control, DdPackage, PackageStats};
+pub use table::{CIdx, ComplexTable};

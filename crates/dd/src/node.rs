@@ -1,0 +1,196 @@
+//! Node and edge types of the decision-diagram package.
+//!
+//! Vector decision diagrams (vDDs) represent `2^n`-dimensional state vectors;
+//! their nodes have two successor edges (qubit value 0 and 1). Matrix
+//! decision diagrams (mDDs) represent `2^n x 2^n` operators; their nodes have
+//! four successor edges indexed by `(row bit, column bit)` in the order
+//! `00, 01, 10, 11`.
+//!
+//! Every non-zero edge at qubit level `q` points to a node whose variable is
+//! exactly `q` (levels are never skipped); the only exceptions are the
+//! canonical zero edge and terminal edges below level 0. This keeps all
+//! recursive operations in [`DdPackage`](crate::DdPackage) level-synchronous.
+
+use crate::table::CIdx;
+
+/// Identifier of a node inside the package arena.
+///
+/// The all-ones value is reserved for the terminal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The terminal (leaf) node shared by all diagrams.
+    pub const TERMINAL: NodeId = NodeId(u32::MAX);
+
+    /// Returns `true` if this is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == NodeId::TERMINAL
+    }
+
+    /// Raw arena offset; only meaningful for non-terminal nodes.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Edge of a vector decision diagram: a target node and a complex weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VEdge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned complex weight multiplied along the path.
+    pub weight: CIdx,
+}
+
+impl VEdge {
+    /// The canonical zero edge (terminal node, weight 0).
+    pub const ZERO: VEdge = VEdge {
+        node: NodeId::TERMINAL,
+        weight: CIdx::ZERO,
+    };
+
+    /// The terminal edge with weight one.
+    pub const ONE: VEdge = VEdge {
+        node: NodeId::TERMINAL,
+        weight: CIdx::ONE,
+    };
+
+    /// Creates an edge from its parts.
+    #[inline]
+    pub const fn new(node: NodeId, weight: CIdx) -> Self {
+        VEdge { node, weight }
+    }
+
+    /// Terminal edge carrying `weight`.
+    #[inline]
+    pub const fn terminal(weight: CIdx) -> Self {
+        VEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` for the canonical zero edge.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` when the edge points to the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+
+    /// Returns a copy of this edge with a different weight.
+    #[inline]
+    pub fn with_weight(self, weight: CIdx) -> Self {
+        VEdge {
+            node: self.node,
+            weight,
+        }
+    }
+}
+
+/// Edge of a matrix decision diagram: a target node and a complex weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MEdge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned complex weight multiplied along the path.
+    pub weight: CIdx,
+}
+
+impl MEdge {
+    /// The canonical zero edge (terminal node, weight 0).
+    pub const ZERO: MEdge = MEdge {
+        node: NodeId::TERMINAL,
+        weight: CIdx::ZERO,
+    };
+
+    /// The terminal edge with weight one.
+    pub const ONE: MEdge = MEdge {
+        node: NodeId::TERMINAL,
+        weight: CIdx::ONE,
+    };
+
+    /// Creates an edge from its parts.
+    #[inline]
+    pub const fn new(node: NodeId, weight: CIdx) -> Self {
+        MEdge { node, weight }
+    }
+
+    /// Terminal edge carrying `weight`.
+    #[inline]
+    pub const fn terminal(weight: CIdx) -> Self {
+        MEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` for the canonical zero edge.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` when the edge points to the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+
+    /// Returns a copy of this edge with a different weight.
+    #[inline]
+    pub fn with_weight(self, weight: CIdx) -> Self {
+        MEdge {
+            node: self.node,
+            weight,
+        }
+    }
+}
+
+/// A vector decision-diagram node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VNode {
+    /// Qubit index this node decides on (0 = least-significant qubit).
+    pub var: u16,
+    /// Successor edges for qubit value 0 and 1.
+    pub children: [VEdge; 2],
+}
+
+/// A matrix decision-diagram node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MNode {
+    /// Qubit index this node decides on (0 = least-significant qubit).
+    pub var: u16,
+    /// Successor edges indexed by `(row bit, column bit)`: `00, 01, 10, 11`.
+    pub children: [MEdge; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_predicates() {
+        assert!(NodeId::TERMINAL.is_terminal());
+        assert!(!NodeId(0).is_terminal());
+        assert!(VEdge::ZERO.is_zero());
+        assert!(VEdge::ZERO.is_terminal());
+        assert!(MEdge::ONE.is_terminal());
+        assert!(!MEdge::ONE.is_zero());
+    }
+
+    #[test]
+    fn with_weight_preserves_node() {
+        let e = VEdge::new(NodeId(7), CIdx::ONE);
+        let f = e.with_weight(CIdx::ZERO);
+        assert_eq!(f.node, NodeId(7));
+        assert!(f.weight.is_zero());
+    }
+}

@@ -1,0 +1,1495 @@
+//! The decision-diagram package: arenas, unique tables, compute tables and
+//! all operations on vector and matrix decision diagrams.
+//!
+//! A [`DdPackage`] owns every node and interned complex value of the diagrams
+//! built through it. Edges ([`VEdge`], [`MEdge`]) are plain copyable handles
+//! that are only meaningful together with the package that created them.
+//!
+//! # Examples
+//!
+//! Applying a Hadamard gate to |0⟩ and reading the outcome probabilities:
+//!
+//! ```
+//! use dd::{DdPackage, gates};
+//!
+//! let mut p = DdPackage::new(1);
+//! let state = p.zero_state();
+//! let state = p.apply_gate(state, &gates::h(), 0, &[]);
+//! let (p0, p1) = p.probabilities(state, 0);
+//! assert!((p0 - 0.5).abs() < 1e-12);
+//! assert!((p1 - 0.5).abs() < 1e-12);
+//! ```
+
+use crate::complex::{Complex, TOLERANCE};
+use crate::gates::GateMatrix;
+use crate::hash::FxHashMap;
+use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
+use crate::table::{CIdx, ComplexTable};
+
+/// A control qubit of a multi-qubit gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Control {
+    /// The controlling qubit.
+    pub qubit: usize,
+    /// `true` for a regular (positive) control, `false` for a negative
+    /// control that triggers on |0⟩.
+    pub positive: bool,
+}
+
+impl Control {
+    /// Positive control on `qubit`.
+    pub const fn pos(qubit: usize) -> Self {
+        Control {
+            qubit,
+            positive: true,
+        }
+    }
+
+    /// Negative control on `qubit`.
+    pub const fn neg(qubit: usize) -> Self {
+        Control {
+            qubit,
+            positive: false,
+        }
+    }
+}
+
+/// Statistics about the current contents of a [`DdPackage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackageStats {
+    /// Number of distinct vector nodes allocated.
+    pub vector_nodes: usize,
+    /// Number of distinct matrix nodes allocated.
+    pub matrix_nodes: usize,
+    /// Number of distinct interned complex values.
+    pub complex_values: usize,
+}
+
+/// Decision-diagram package for up to `n_qubits` qubits.
+///
+/// All diagram-producing methods take `&mut self` because they may allocate
+/// nodes or interned weights.
+#[derive(Debug)]
+pub struct DdPackage {
+    n_qubits: usize,
+    ctab: ComplexTable,
+    pub(crate) vnodes: Vec<VNode>,
+    vunique: FxHashMap<VNode, NodeId>,
+    pub(crate) mnodes: Vec<MNode>,
+    munique: FxHashMap<MNode, NodeId>,
+    ct_mat_vec: FxHashMap<(NodeId, NodeId), VEdge>,
+    ct_mat_mat: FxHashMap<(NodeId, NodeId), MEdge>,
+    ct_add_vec: FxHashMap<(NodeId, NodeId, CIdx), VEdge>,
+    ct_add_mat: FxHashMap<(NodeId, NodeId, CIdx), MEdge>,
+    ct_transpose: FxHashMap<NodeId, MEdge>,
+    ct_inner: FxHashMap<(NodeId, NodeId), Complex>,
+    ct_trace: FxHashMap<NodeId, Complex>,
+    vnorm_cache: FxHashMap<NodeId, f64>,
+    ident_cache: Vec<MEdge>,
+}
+
+impl DdPackage {
+    /// Creates a package for diagrams over `n_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds `u16::MAX` (the level encoding width).
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(
+            n_qubits <= u16::MAX as usize,
+            "qubit count {n_qubits} exceeds the supported maximum"
+        );
+        DdPackage {
+            n_qubits,
+            ctab: ComplexTable::new(),
+            vnodes: Vec::new(),
+            vunique: FxHashMap::default(),
+            mnodes: Vec::new(),
+            munique: FxHashMap::default(),
+            ct_mat_vec: FxHashMap::default(),
+            ct_mat_mat: FxHashMap::default(),
+            ct_add_vec: FxHashMap::default(),
+            ct_add_mat: FxHashMap::default(),
+            ct_transpose: FxHashMap::default(),
+            ct_inner: FxHashMap::default(),
+            ct_trace: FxHashMap::default(),
+            vnorm_cache: FxHashMap::default(),
+            ident_cache: vec![MEdge::ONE],
+        }
+    }
+
+    /// Number of qubits this package was created for.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Returns allocation statistics.
+    pub fn stats(&self) -> PackageStats {
+        PackageStats {
+            vector_nodes: self.vnodes.len(),
+            matrix_nodes: self.mnodes.len(),
+            complex_values: self.ctab.len(),
+        }
+    }
+
+    /// Drops all memoisation tables (unique tables and nodes are kept).
+    ///
+    /// Useful between independent computations to bound memory growth.
+    pub fn clear_compute_tables(&mut self) {
+        self.ct_mat_vec.clear();
+        self.ct_mat_mat.clear();
+        self.ct_add_vec.clear();
+        self.ct_add_mat.clear();
+        self.ct_transpose.clear();
+        self.ct_inner.clear();
+        self.ct_trace.clear();
+        self.vnorm_cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Complex value access
+    // ------------------------------------------------------------------
+
+    /// Interns a complex value and returns its index.
+    #[inline]
+    pub fn intern(&mut self, value: Complex) -> CIdx {
+        self.ctab.lookup(value)
+    }
+
+    /// Returns the complex value behind an index.
+    #[inline]
+    pub fn value(&self, idx: CIdx) -> Complex {
+        self.ctab.value(idx)
+    }
+
+    /// The complex weight carried by a vector edge.
+    #[inline]
+    pub fn vweight(&self, e: VEdge) -> Complex {
+        self.ctab.value(e.weight)
+    }
+
+    /// The complex weight carried by a matrix edge.
+    #[inline]
+    pub fn mweight(&self, e: MEdge) -> Complex {
+        self.ctab.value(e.weight)
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction (normalisation + hash consing)
+    // ------------------------------------------------------------------
+
+    /// Creates (or reuses) a vector node.
+    ///
+    /// Nodes are normalised so that the sum of the squared magnitudes of the
+    /// child weights is one and the largest-magnitude child weight is real
+    /// and positive. The extracted factor is returned on the new edge. This
+    /// keeps all weights of a normalised state at magnitude at most one,
+    /// which avoids the numerical underflow a plain "divide by the first
+    /// non-zero child" rule would cause for wide registers.
+    pub fn make_vnode(&mut self, var: u16, mut children: [VEdge; 2]) -> VEdge {
+        for c in &mut children {
+            if c.weight.is_zero() {
+                *c = VEdge::ZERO;
+            }
+        }
+        if children.iter().all(|c| c.is_zero()) {
+            return VEdge::ZERO;
+        }
+        // Norm of the child weights and the (first) largest-magnitude child.
+        let weights: Vec<Complex> = children.iter().map(|c| self.ctab.value(c.weight)).collect();
+        let norm = weights.iter().map(|w| w.norm_sqr()).sum::<f64>().sqrt();
+        let max_mag = weights.iter().map(|w| w.abs()).fold(0.0f64, f64::max);
+        let anchor = weights
+            .iter()
+            .find(|w| w.abs() >= max_mag - TOLERANCE)
+            .copied()
+            .expect("at least one non-zero child");
+        // The extracted factor restores both the norm and the anchor phase.
+        let scale = anchor / anchor.abs() * norm;
+        let top = self.intern(scale);
+        for c in &mut children {
+            if !c.is_zero() {
+                let w = self.ctab.value(c.weight) / scale;
+                c.weight = self.intern(w);
+                if c.weight.is_zero() {
+                    *c = VEdge::ZERO;
+                }
+            }
+        }
+        let node = VNode { var, children };
+        let id = if let Some(&id) = self.vunique.get(&node) {
+            id
+        } else {
+            let id = NodeId(self.vnodes.len() as u32);
+            self.vnodes.push(node);
+            self.vunique.insert(node, id);
+            id
+        };
+        VEdge::new(id, top)
+    }
+
+    /// Creates (or reuses) a matrix node.
+    ///
+    /// Nodes are normalised by the first child weight whose magnitude equals
+    /// the maximum over all children (within tolerance); that child weight
+    /// becomes exactly one. All child weights therefore have magnitude at
+    /// most one, which keeps round-off well below the interning tolerance.
+    pub fn make_mnode(&mut self, var: u16, mut children: [MEdge; 4]) -> MEdge {
+        for c in &mut children {
+            if c.weight.is_zero() {
+                *c = MEdge::ZERO;
+            }
+        }
+        if children.iter().all(|c| c.is_zero()) {
+            return MEdge::ZERO;
+        }
+        let weights: Vec<Complex> = children.iter().map(|c| self.ctab.value(c.weight)).collect();
+        let max_mag = weights.iter().map(|w| w.abs()).fold(0.0f64, f64::max);
+        let anchor_idx = weights
+            .iter()
+            .position(|w| w.abs() >= max_mag - TOLERANCE)
+            .expect("at least one non-zero child");
+        let top = children[anchor_idx].weight;
+        if !top.is_one() {
+            for c in &mut children {
+                if !c.is_zero() {
+                    c.weight = self.ctab.div(c.weight, top);
+                }
+            }
+        }
+        let node = MNode { var, children };
+        let id = if let Some(&id) = self.munique.get(&node) {
+            id
+        } else {
+            let id = NodeId(self.mnodes.len() as u32);
+            self.mnodes.push(node);
+            self.munique.insert(node, id);
+            id
+        };
+        MEdge::new(id, top)
+    }
+
+    #[inline]
+    fn vnode(&self, id: NodeId) -> VNode {
+        self.vnodes[id.index()]
+    }
+
+    #[inline]
+    fn mnode(&self, id: NodeId) -> MNode {
+        self.mnodes[id.index()]
+    }
+
+    /// Successor edges of a non-terminal vector edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a terminal (or zero) edge.
+    pub fn vector_children(&self, e: VEdge) -> [VEdge; 2] {
+        assert!(!e.is_terminal(), "terminal edges have no children");
+        self.vnode(e.node).children
+    }
+
+    /// Successor edges of a non-terminal matrix edge in the order
+    /// `(row, col) = 00, 01, 10, 11`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a terminal (or zero) edge.
+    pub fn matrix_children(&self, e: MEdge) -> [MEdge; 4] {
+        assert!(!e.is_terminal(), "terminal edges have no children");
+        self.mnode(e.node).children
+    }
+
+    /// Qubit level of a vector edge, or `None` for terminal edges.
+    pub fn vedge_level(&self, e: VEdge) -> Option<u16> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.vnode(e.node).var)
+        }
+    }
+
+    /// Qubit level of a matrix edge, or `None` for terminal edges.
+    pub fn medge_level(&self, e: MEdge) -> Option<u16> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.mnode(e.node).var)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State construction
+    // ------------------------------------------------------------------
+
+    /// The all-zeros computational basis state |0...0⟩.
+    pub fn zero_state(&mut self) -> VEdge {
+        let bits = vec![false; self.n_qubits];
+        self.basis_state(&bits)
+    }
+
+    /// Computational basis state |b_{n-1} ... b_0⟩ where `bits[q]` is the
+    /// value of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the package qubit count.
+    pub fn basis_state(&mut self, bits: &[bool]) -> VEdge {
+        assert_eq!(bits.len(), self.n_qubits, "basis state length mismatch");
+        let mut e = VEdge::ONE;
+        for (q, &bit) in bits.iter().enumerate() {
+            let children = if bit {
+                [VEdge::ZERO, e]
+            } else {
+                [e, VEdge::ZERO]
+            };
+            e = self.make_vnode(q as u16, children);
+        }
+        e
+    }
+
+    /// Builds a state-vector decision diagram from dense amplitudes.
+    ///
+    /// The amplitude at index `i` corresponds to the basis state whose qubit
+    /// `q` has value `(i >> q) & 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len() != 2^n`.
+    pub fn from_amplitudes(&mut self, amplitudes: &[Complex]) -> VEdge {
+        assert_eq!(
+            amplitudes.len(),
+            1usize << self.n_qubits,
+            "amplitude vector has wrong length"
+        );
+        self.from_amplitudes_rec(amplitudes, self.n_qubits)
+    }
+
+    fn from_amplitudes_rec(&mut self, amps: &[Complex], level: usize) -> VEdge {
+        if level == 0 {
+            let w = self.intern(amps[0]);
+            return if w.is_zero() {
+                VEdge::ZERO
+            } else {
+                VEdge::terminal(w)
+            };
+        }
+        let half = amps.len() / 2;
+        let lo = self.from_amplitudes_rec(&amps[..half], level - 1);
+        let hi = self.from_amplitudes_rec(&amps[half..], level - 1);
+        self.make_vnode((level - 1) as u16, [lo, hi])
+    }
+
+    /// Expands a vector decision diagram into a dense amplitude vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package has more than 24 qubits (the dense vector would
+    /// not reasonably fit in memory).
+    pub fn amplitudes(&self, v: VEdge) -> Vec<Complex> {
+        assert!(
+            self.n_qubits <= 24,
+            "dense expansion is limited to 24 qubits"
+        );
+        let mut out = vec![Complex::ZERO; 1usize << self.n_qubits];
+        self.amplitudes_rec(v, self.n_qubits, Complex::ONE, 0, &mut out);
+        out
+    }
+
+    fn amplitudes_rec(
+        &self,
+        e: VEdge,
+        level: usize,
+        acc: Complex,
+        offset: usize,
+        out: &mut [Complex],
+    ) {
+        if e.is_zero() {
+            return;
+        }
+        let acc = acc * self.ctab.value(e.weight);
+        if level == 0 {
+            out[offset] = acc;
+            return;
+        }
+        let node = self.vnode(e.node);
+        debug_assert_eq!(node.var as usize, level - 1);
+        let half = 1usize << (level - 1);
+        self.amplitudes_rec(node.children[0], level - 1, acc, offset, out);
+        self.amplitudes_rec(node.children[1], level - 1, acc, offset + half, out);
+    }
+
+    /// Amplitude of a single computational basis state.
+    pub fn amplitude(&self, v: VEdge, basis_index: usize) -> Complex {
+        let mut acc = Complex::ONE;
+        let mut e = v;
+        for level in (0..self.n_qubits).rev() {
+            if e.is_zero() {
+                return Complex::ZERO;
+            }
+            acc = acc * self.ctab.value(e.weight);
+            let node = self.vnode(e.node);
+            debug_assert_eq!(node.var as usize, level);
+            let bit = (basis_index >> level) & 1;
+            e = node.children[bit];
+        }
+        if e.is_zero() {
+            return Complex::ZERO;
+        }
+        acc * self.ctab.value(e.weight)
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix construction
+    // ------------------------------------------------------------------
+
+    /// Identity operator on the `k` lowest qubits (levels `0..k`).
+    ///
+    /// `k == 0` yields the terminal one edge.
+    pub fn make_ident(&mut self, k: usize) -> MEdge {
+        assert!(k <= self.n_qubits, "identity larger than the package");
+        while self.ident_cache.len() <= k {
+            let below = *self
+                .ident_cache
+                .last()
+                .expect("identity cache always holds the terminal entry");
+            let level = (self.ident_cache.len() - 1) as u16;
+            let next = self.make_mnode(level, [below, MEdge::ZERO, MEdge::ZERO, below]);
+            self.ident_cache.push(next);
+        }
+        self.ident_cache[k]
+    }
+
+    /// Identity operator on all qubits of the package.
+    pub fn identity(&mut self) -> MEdge {
+        self.make_ident(self.n_qubits)
+    }
+
+    /// Builds the matrix decision diagram of a (multi-)controlled
+    /// single-qubit gate acting on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` or any control is out of range, or if a control
+    /// coincides with the target.
+    pub fn make_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) -> MEdge {
+        let n = self.n_qubits;
+        assert!(target < n, "gate target {target} out of range");
+        let mut ctrl: Vec<Option<bool>> = vec![None; n];
+        for c in controls {
+            assert!(c.qubit < n, "control qubit {} out of range", c.qubit);
+            assert_ne!(c.qubit, target, "control coincides with target");
+            ctrl[c.qubit] = Some(c.positive);
+        }
+
+        // Entries of the 2x2 gate as (eventually wrapped) matrix edges in the
+        // order (row, col) = 00, 01, 10, 11.
+        let mut em = [MEdge::ZERO; 4];
+        for row in 0..2 {
+            for col in 0..2 {
+                let w = self.intern(u[row][col]);
+                em[row * 2 + col] = if w.is_zero() {
+                    MEdge::ZERO
+                } else {
+                    MEdge::terminal(w)
+                };
+            }
+        }
+
+        // Wrap the levels below the target.
+        for z in 0..target {
+            let var = z as u16;
+            match ctrl[z] {
+                None => {
+                    for e in em.iter_mut() {
+                        *e = self.make_mnode(var, [*e, MEdge::ZERO, MEdge::ZERO, *e]);
+                    }
+                }
+                Some(positive) => {
+                    let ident_below = self.make_ident(z);
+                    for row in 0..2 {
+                        for col in 0..2 {
+                            let i = row * 2 + col;
+                            let diag = if row == col { ident_below } else { MEdge::ZERO };
+                            em[i] = if positive {
+                                self.make_mnode(var, [diag, MEdge::ZERO, MEdge::ZERO, em[i]])
+                            } else {
+                                self.make_mnode(var, [em[i], MEdge::ZERO, MEdge::ZERO, diag])
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
+        // The target level itself.
+        let mut e = self.make_mnode(target as u16, em);
+
+        // Wrap the levels above the target.
+        for z in (target + 1)..n {
+            let var = z as u16;
+            e = match ctrl[z] {
+                None => self.make_mnode(var, [e, MEdge::ZERO, MEdge::ZERO, e]),
+                Some(true) => {
+                    let ident_below = self.make_ident(z);
+                    self.make_mnode(var, [ident_below, MEdge::ZERO, MEdge::ZERO, e])
+                }
+                Some(false) => {
+                    let ident_below = self.make_ident(z);
+                    self.make_mnode(var, [e, MEdge::ZERO, MEdge::ZERO, ident_below])
+                }
+            };
+        }
+        e
+    }
+
+    /// Builds a matrix decision diagram from a dense row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `2^n x 2^n` for the package qubit count,
+    /// or if the package has more than 12 qubits.
+    pub fn from_matrix(&mut self, matrix: &[Vec<Complex>]) -> MEdge {
+        let dim = 1usize << self.n_qubits;
+        assert!(self.n_qubits <= 12, "dense construction limited to 12 qubits");
+        assert_eq!(matrix.len(), dim, "matrix has wrong number of rows");
+        assert!(
+            matrix.iter().all(|row| row.len() == dim),
+            "matrix has wrong number of columns"
+        );
+        self.from_matrix_rec(matrix, 0, 0, self.n_qubits)
+    }
+
+    fn from_matrix_rec(
+        &mut self,
+        matrix: &[Vec<Complex>],
+        row: usize,
+        col: usize,
+        level: usize,
+    ) -> MEdge {
+        if level == 0 {
+            let w = self.intern(matrix[row][col]);
+            return if w.is_zero() {
+                MEdge::ZERO
+            } else {
+                MEdge::terminal(w)
+            };
+        }
+        let half = 1usize << (level - 1);
+        let mut children = [MEdge::ZERO; 4];
+        for rbit in 0..2 {
+            for cbit in 0..2 {
+                children[rbit * 2 + cbit] = self.from_matrix_rec(
+                    matrix,
+                    row + rbit * half,
+                    col + cbit * half,
+                    level - 1,
+                );
+            }
+        }
+        self.make_mnode((level - 1) as u16, children)
+    }
+
+    /// Expands a matrix decision diagram into a dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package has more than 12 qubits.
+    pub fn to_matrix(&self, m: MEdge) -> Vec<Vec<Complex>> {
+        assert!(self.n_qubits <= 12, "dense expansion limited to 12 qubits");
+        let dim = 1usize << self.n_qubits;
+        let mut out = vec![vec![Complex::ZERO; dim]; dim];
+        self.to_matrix_rec(m, self.n_qubits, Complex::ONE, 0, 0, &mut out);
+        out
+    }
+
+    fn to_matrix_rec(
+        &self,
+        e: MEdge,
+        level: usize,
+        acc: Complex,
+        row: usize,
+        col: usize,
+        out: &mut [Vec<Complex>],
+    ) {
+        if e.is_zero() {
+            return;
+        }
+        let acc = acc * self.ctab.value(e.weight);
+        if level == 0 {
+            out[row][col] = acc;
+            return;
+        }
+        let node = self.mnode(e.node);
+        debug_assert_eq!(node.var as usize, level - 1);
+        let half = 1usize << (level - 1);
+        for rbit in 0..2 {
+            for cbit in 0..2 {
+                self.to_matrix_rec(
+                    node.children[rbit * 2 + cbit],
+                    level - 1,
+                    acc,
+                    row + rbit * half,
+                    col + cbit * half,
+                    out,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Adds two vector decision diagrams.
+    pub fn add_vectors(&mut self, a: VEdge, b: VEdge) -> VEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.is_terminal() && b.is_terminal() {
+            let w = self.ctab.add(a.weight, b.weight);
+            return if w.is_zero() {
+                VEdge::ZERO
+            } else {
+                VEdge::terminal(w)
+            };
+        }
+        debug_assert!(!a.is_terminal() && !b.is_terminal());
+        let ratio = self.ctab.div(b.weight, a.weight);
+        let key = (a.node, b.node, ratio);
+        if let Some(&cached) = self.ct_add_vec.get(&key) {
+            let w = self.ctab.mul(cached.weight, a.weight);
+            return if w.is_zero() {
+                VEdge::ZERO
+            } else {
+                VEdge::new(cached.node, w)
+            };
+        }
+        let an = self.vnode(a.node);
+        let bn = self.vnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "vector addition level mismatch");
+        let mut children = [VEdge::ZERO; 2];
+        for (i, child) in children.iter_mut().enumerate() {
+            let bw = self.ctab.mul(bn.children[i].weight, ratio);
+            let bc = bn.children[i].with_weight(bw);
+            *child = self.add_vectors(an.children[i], bc);
+        }
+        let result = self.make_vnode(an.var, children);
+        self.ct_add_vec.insert(key, result);
+        let w = self.ctab.mul(result.weight, a.weight);
+        if w.is_zero() {
+            VEdge::ZERO
+        } else {
+            VEdge::new(result.node, w)
+        }
+    }
+
+    /// Adds two matrix decision diagrams.
+    pub fn add_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.is_terminal() && b.is_terminal() {
+            let w = self.ctab.add(a.weight, b.weight);
+            return if w.is_zero() {
+                MEdge::ZERO
+            } else {
+                MEdge::terminal(w)
+            };
+        }
+        debug_assert!(!a.is_terminal() && !b.is_terminal());
+        let ratio = self.ctab.div(b.weight, a.weight);
+        let key = (a.node, b.node, ratio);
+        if let Some(&cached) = self.ct_add_mat.get(&key) {
+            let w = self.ctab.mul(cached.weight, a.weight);
+            return if w.is_zero() {
+                MEdge::ZERO
+            } else {
+                MEdge::new(cached.node, w)
+            };
+        }
+        let an = self.mnode(a.node);
+        let bn = self.mnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "matrix addition level mismatch");
+        let mut children = [MEdge::ZERO; 4];
+        for (i, child) in children.iter_mut().enumerate() {
+            let bw = self.ctab.mul(bn.children[i].weight, ratio);
+            let bc = bn.children[i].with_weight(bw);
+            *child = self.add_matrices(an.children[i], bc);
+        }
+        let result = self.make_mnode(an.var, children);
+        self.ct_add_mat.insert(key, result);
+        let w = self.ctab.mul(result.weight, a.weight);
+        if w.is_zero() {
+            MEdge::ZERO
+        } else {
+            MEdge::new(result.node, w)
+        }
+    }
+
+    /// Applies a matrix decision diagram to a vector decision diagram.
+    pub fn mul_mat_vec(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        if m.is_zero() || v.is_zero() {
+            return VEdge::ZERO;
+        }
+        if m.is_terminal() && v.is_terminal() {
+            let w = self.ctab.mul(m.weight, v.weight);
+            return VEdge::terminal(w);
+        }
+        debug_assert!(!m.is_terminal() && !v.is_terminal());
+        let key = (m.node, v.node);
+        let result = if let Some(&cached) = self.ct_mat_vec.get(&key) {
+            cached
+        } else {
+            let mn = self.mnode(m.node);
+            let vn = self.vnode(v.node);
+            debug_assert_eq!(mn.var, vn.var, "matrix-vector level mismatch");
+            let mut children = [VEdge::ZERO; 2];
+            for (row, child) in children.iter_mut().enumerate() {
+                let mut acc = VEdge::ZERO;
+                for col in 0..2 {
+                    let product = self.mul_mat_vec(mn.children[row * 2 + col], vn.children[col]);
+                    acc = self.add_vectors(acc, product);
+                }
+                *child = acc;
+            }
+            let r = self.make_vnode(mn.var, children);
+            self.ct_mat_vec.insert(key, r);
+            r
+        };
+        let w = self.ctab.mul(m.weight, v.weight);
+        let w = self.ctab.mul(result.weight, w);
+        if w.is_zero() {
+            VEdge::ZERO
+        } else {
+            VEdge::new(result.node, w)
+        }
+    }
+
+    /// Multiplies two matrix decision diagrams (`a · b`).
+    pub fn mul_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero() || b.is_zero() {
+            return MEdge::ZERO;
+        }
+        if a.is_terminal() && b.is_terminal() {
+            let w = self.ctab.mul(a.weight, b.weight);
+            return MEdge::terminal(w);
+        }
+        debug_assert!(!a.is_terminal() && !b.is_terminal());
+        let key = (a.node, b.node);
+        let result = if let Some(&cached) = self.ct_mat_mat.get(&key) {
+            cached
+        } else {
+            let an = self.mnode(a.node);
+            let bn = self.mnode(b.node);
+            debug_assert_eq!(an.var, bn.var, "matrix-matrix level mismatch");
+            let mut children = [MEdge::ZERO; 4];
+            for row in 0..2 {
+                for col in 0..2 {
+                    let mut acc = MEdge::ZERO;
+                    for k in 0..2 {
+                        let product =
+                            self.mul_matrices(an.children[row * 2 + k], bn.children[k * 2 + col]);
+                        acc = self.add_matrices(acc, product);
+                    }
+                    children[row * 2 + col] = acc;
+                }
+            }
+            let r = self.make_mnode(an.var, children);
+            self.ct_mat_mat.insert(key, r);
+            r
+        };
+        let w = self.ctab.mul(a.weight, b.weight);
+        let w = self.ctab.mul(result.weight, w);
+        if w.is_zero() {
+            MEdge::ZERO
+        } else {
+            MEdge::new(result.node, w)
+        }
+    }
+
+    /// Complex-conjugate transpose of a matrix decision diagram.
+    pub fn conjugate_transpose(&mut self, m: MEdge) -> MEdge {
+        if m.is_terminal() {
+            let w = self.ctab.conj(m.weight);
+            return if w.is_zero() {
+                MEdge::ZERO
+            } else {
+                MEdge::terminal(w)
+            };
+        }
+        let result = if let Some(&cached) = self.ct_transpose.get(&m.node) {
+            cached
+        } else {
+            let node = self.mnode(m.node);
+            let transposed = [
+                node.children[0],
+                node.children[2],
+                node.children[1],
+                node.children[3],
+            ];
+            let mut children = [MEdge::ZERO; 4];
+            for (i, child) in children.iter_mut().enumerate() {
+                *child = self.conjugate_transpose(transposed[i]);
+            }
+            let r = self.make_mnode(node.var, children);
+            self.ct_transpose.insert(m.node, r);
+            r
+        };
+        let w = self.ctab.conj(m.weight);
+        let w = self.ctab.mul(result.weight, w);
+        if w.is_zero() {
+            MEdge::ZERO
+        } else {
+            MEdge::new(result.node, w)
+        }
+    }
+
+    /// Convenience: applies a (controlled) single-qubit gate to a state.
+    pub fn apply_gate(
+        &mut self,
+        state: VEdge,
+        u: &GateMatrix,
+        target: usize,
+        controls: &[Control],
+    ) -> VEdge {
+        let gate = self.make_gate(u, target, controls);
+        self.mul_mat_vec(gate, state)
+    }
+
+    // ------------------------------------------------------------------
+    // Inner products, traces and identity checks
+    // ------------------------------------------------------------------
+
+    /// Hermitian inner product `⟨a|b⟩`.
+    pub fn inner_product(&mut self, a: VEdge, b: VEdge) -> Complex {
+        if a.is_zero() || b.is_zero() {
+            return Complex::ZERO;
+        }
+        let scale = self.ctab.value(a.weight).conj() * self.ctab.value(b.weight);
+        if a.is_terminal() && b.is_terminal() {
+            return scale;
+        }
+        debug_assert!(!a.is_terminal() && !b.is_terminal());
+        let key = (a.node, b.node);
+        let inner = if let Some(&cached) = self.ct_inner.get(&key) {
+            cached
+        } else {
+            let an = self.vnode(a.node);
+            let bn = self.vnode(b.node);
+            debug_assert_eq!(an.var, bn.var, "inner product level mismatch");
+            let mut acc = Complex::ZERO;
+            for k in 0..2 {
+                acc += self.inner_product(an.children[k], bn.children[k]);
+            }
+            self.ct_inner.insert(key, acc);
+            acc
+        };
+        scale * inner
+    }
+
+    /// Fidelity `|⟨a|b⟩|^2` between two states.
+    pub fn fidelity(&mut self, a: VEdge, b: VEdge) -> f64 {
+        self.inner_product(a, b).norm_sqr()
+    }
+
+    /// Squared norm `⟨v|v⟩` of a state.
+    pub fn norm_sqr(&mut self, v: VEdge) -> f64 {
+        if v.is_zero() {
+            return 0.0;
+        }
+        let w = self.ctab.value(v.weight).norm_sqr();
+        w * self.node_norm_sqr(v.node)
+    }
+
+    fn node_norm_sqr(&mut self, node: NodeId) -> f64 {
+        if node.is_terminal() {
+            return 1.0;
+        }
+        if let Some(&cached) = self.vnorm_cache.get(&node) {
+            return cached;
+        }
+        let n = self.vnode(node);
+        let mut total = 0.0;
+        for child in n.children {
+            if child.is_zero() {
+                continue;
+            }
+            let w = self.ctab.value(child.weight).norm_sqr();
+            total += w * self.node_norm_sqr(child.node);
+        }
+        self.vnorm_cache.insert(node, total);
+        total
+    }
+
+    /// Trace of a matrix decision diagram.
+    pub fn trace(&mut self, m: MEdge) -> Complex {
+        if m.is_zero() {
+            return Complex::ZERO;
+        }
+        let scale = self.ctab.value(m.weight);
+        if m.is_terminal() {
+            return scale;
+        }
+        let inner = if let Some(&cached) = self.ct_trace.get(&m.node) {
+            cached
+        } else {
+            let node = self.mnode(m.node);
+            let t0 = self.trace(node.children[0]);
+            let t3 = self.trace(node.children[3]);
+            let acc = t0 + t3;
+            self.ct_trace.insert(m.node, acc);
+            acc
+        };
+        scale * inner
+    }
+
+    /// Normalised identity fidelity `|tr(M)| / 2^n` of a matrix diagram.
+    ///
+    /// The value is 1 exactly when `M` is the identity up to a global phase,
+    /// making it a numerically robust equivalence criterion.
+    pub fn identity_fidelity(&mut self, m: MEdge) -> f64 {
+        let dim = 2f64.powi(self.n_qubits as i32);
+        self.trace(m).abs() / dim
+    }
+
+    /// Structural identity check: `m` equals the identity diagram node-for-node.
+    ///
+    /// With `up_to_global_phase`, the top weight only needs unit magnitude.
+    pub fn is_identity(&mut self, m: MEdge, up_to_global_phase: bool) -> bool {
+        let ident = self.identity();
+        if m.node != ident.node {
+            return false;
+        }
+        let w = self.ctab.value(m.weight);
+        if up_to_global_phase {
+            (w.abs() - 1.0).abs() < TOLERANCE
+        } else {
+            w.is_one()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement support
+    // ------------------------------------------------------------------
+
+    /// Probabilities of measuring `qubit` as 0 and 1 in state `v`.
+    ///
+    /// The state does not need to be normalised; the returned values are the
+    /// squared norms of the two projections.
+    pub fn probabilities(&mut self, v: VEdge, qubit: usize) -> (f64, f64) {
+        assert!(qubit < self.n_qubits, "qubit {qubit} out of range");
+        let mut cache: FxHashMap<NodeId, (f64, f64)> = FxHashMap::default();
+        let (p0, p1) = self.prob_rec(v, qubit, &mut cache);
+        (p0, p1)
+    }
+
+    fn prob_rec(
+        &mut self,
+        e: VEdge,
+        qubit: usize,
+        cache: &mut FxHashMap<NodeId, (f64, f64)>,
+    ) -> (f64, f64) {
+        if e.is_zero() {
+            return (0.0, 0.0);
+        }
+        debug_assert!(!e.is_terminal(), "probability query below the target qubit");
+        let w = self.ctab.value(e.weight).norm_sqr();
+        if let Some(&(c0, c1)) = cache.get(&e.node) {
+            return (w * c0, w * c1);
+        }
+        let node = self.vnode(e.node);
+        let (n0, n1) = if node.var as usize == qubit {
+            let p0 = if node.children[0].is_zero() {
+                0.0
+            } else {
+                let cw = self.ctab.value(node.children[0].weight).norm_sqr();
+                cw * self.node_norm_sqr(node.children[0].node)
+            };
+            let p1 = if node.children[1].is_zero() {
+                0.0
+            } else {
+                let cw = self.ctab.value(node.children[1].weight).norm_sqr();
+                cw * self.node_norm_sqr(node.children[1].node)
+            };
+            (p0, p1)
+        } else {
+            let (a0, a1) = self.prob_rec(node.children[0], qubit, cache);
+            let (b0, b1) = self.prob_rec(node.children[1], qubit, cache);
+            (a0 + b0, a1 + b1)
+        };
+        cache.insert(e.node, (n0, n1));
+        (w * n0, w * n1)
+    }
+
+    /// Projects `qubit` onto `outcome`, optionally renormalising the result.
+    ///
+    /// Returns the projected state and the probability of the outcome.
+    pub fn collapse(
+        &mut self,
+        v: VEdge,
+        qubit: usize,
+        outcome: bool,
+        renormalize: bool,
+    ) -> (VEdge, f64) {
+        let (p0, p1) = self.probabilities(v, qubit);
+        let p = if outcome { p1 } else { p0 };
+        if p <= TOLERANCE {
+            return (VEdge::ZERO, 0.0);
+        }
+        let mut cache: FxHashMap<NodeId, VEdge> = FxHashMap::default();
+        let projected = self.project_rec(v, qubit, outcome, &mut cache);
+        let result = if renormalize {
+            let scale = self.intern(Complex::real(1.0 / p.sqrt()));
+            let w = self.ctab.mul(projected.weight, scale);
+            VEdge::new(projected.node, w)
+        } else {
+            projected
+        };
+        (result, p)
+    }
+
+    fn project_rec(
+        &mut self,
+        e: VEdge,
+        qubit: usize,
+        outcome: bool,
+        cache: &mut FxHashMap<NodeId, VEdge>,
+    ) -> VEdge {
+        if e.is_zero() {
+            return VEdge::ZERO;
+        }
+        debug_assert!(!e.is_terminal(), "projection below the target qubit");
+        let result = if let Some(&cached) = cache.get(&e.node) {
+            cached
+        } else {
+            let node = self.vnode(e.node);
+            let r = if node.var as usize == qubit {
+                let mut children = [VEdge::ZERO; 2];
+                children[outcome as usize] = node.children[outcome as usize];
+                self.make_vnode(node.var, children)
+            } else {
+                let c0 = self.project_rec(node.children[0], qubit, outcome, cache);
+                let c1 = self.project_rec(node.children[1], qubit, outcome, cache);
+                self.make_vnode(node.var, [c0, c1])
+            };
+            cache.insert(e.node, r);
+            r
+        };
+        let w = self.ctab.mul(result.weight, e.weight);
+        if w.is_zero() {
+            VEdge::ZERO
+        } else {
+            VEdge::new(result.node, w)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Diagram statistics
+    // ------------------------------------------------------------------
+
+    /// Number of distinct nodes reachable from a vector edge (excluding the
+    /// terminal).
+    pub fn vector_size(&self, v: VEdge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.vsize_rec(v, &mut seen);
+        seen.len()
+    }
+
+    fn vsize_rec(&self, e: VEdge, seen: &mut std::collections::HashSet<NodeId>) {
+        if e.is_zero() || e.is_terminal() || !seen.insert(e.node) {
+            return;
+        }
+        let node = self.vnode(e.node);
+        for child in node.children {
+            self.vsize_rec(child, seen);
+        }
+    }
+
+    /// Number of distinct nodes reachable from a matrix edge (excluding the
+    /// terminal).
+    pub fn matrix_size(&self, m: MEdge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.msize_rec(m, &mut seen);
+        seen.len()
+    }
+
+    fn msize_rec(&self, e: MEdge, seen: &mut std::collections::HashSet<NodeId>) {
+        if e.is_zero() || e.is_terminal() || !seen.insert(e.node) {
+            return;
+        }
+        let node = self.mnode(e.node);
+        for child in node.children {
+            self.msize_rec(child, seen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    fn dense_kron(a: &[Vec<Complex>], b: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+        let n = a.len() * b.len();
+        let mut out = vec![vec![Complex::ZERO; n]; n];
+        for (i, arow) in a.iter().enumerate() {
+            for (j, aval) in arow.iter().enumerate() {
+                for (k, brow) in b.iter().enumerate() {
+                    for (l, bval) in brow.iter().enumerate() {
+                        out[i * b.len() + k][j * b.len() + l] = *aval * *bval;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn gate_to_dense(g: &GateMatrix) -> Vec<Vec<Complex>> {
+        vec![
+            vec![g[0][0], g[0][1]],
+            vec![g[1][0], g[1][1]],
+        ]
+    }
+
+    fn ident_dense(n: usize) -> Vec<Vec<Complex>> {
+        let dim = 1 << n;
+        let mut m = vec![vec![Complex::ZERO; dim]; dim];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = Complex::ONE;
+        }
+        m
+    }
+
+    fn assert_matrix_eq(a: &[Vec<Complex>], b: &[Vec<Complex>]) {
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert!(x.approx_eq(*y), "{x} != {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_state_amplitudes() {
+        let mut p = DdPackage::new(3);
+        let state = p.basis_state(&[true, false, true]); // |101⟩ = index 5
+        let amps = p.amplitudes(state);
+        for (i, amp) in amps.iter().enumerate() {
+            if i == 0b101 {
+                assert!(amp.is_one());
+            } else {
+                assert!(amp.is_zero());
+            }
+        }
+        assert!((p.norm_sqr(state) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut p = DdPackage::new(2);
+        let mut state = p.zero_state();
+        state = p.apply_gate(state, &gates::h(), 0, &[]);
+        state = p.apply_gate(state, &gates::h(), 1, &[]);
+        let amps = p.amplitudes(state);
+        for amp in amps {
+            assert!(amp.approx_eq(Complex::real(0.5)));
+        }
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut p = DdPackage::new(2);
+        let mut state = p.zero_state();
+        state = p.apply_gate(state, &gates::h(), 0, &[]);
+        state = p.apply_gate(state, &gates::x(), 1, &[Control::pos(0)]);
+        let amps = p.amplitudes(state);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(amps[0b00].approx_eq(Complex::real(s)));
+        assert!(amps[0b11].approx_eq(Complex::real(s)));
+        assert!(amps[0b01].is_zero());
+        assert!(amps[0b10].is_zero());
+        let (p0, p1) = p.probabilities(state, 0);
+        assert!((p0 - 0.5).abs() < 1e-12);
+        assert!((p1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_bell_state() {
+        let mut p = DdPackage::new(2);
+        let mut state = p.zero_state();
+        state = p.apply_gate(state, &gates::h(), 0, &[]);
+        state = p.apply_gate(state, &gates::x(), 1, &[Control::pos(0)]);
+        let (collapsed, prob) = p.collapse(state, 0, true, true);
+        assert!((prob - 0.5).abs() < 1e-12);
+        let amps = p.amplitudes(collapsed);
+        assert!(amps[0b11].is_one());
+        assert!(amps[0b00].is_zero());
+    }
+
+    #[test]
+    fn collapse_impossible_outcome_returns_zero() {
+        let mut p = DdPackage::new(1);
+        let state = p.zero_state();
+        let (collapsed, prob) = p.collapse(state, 0, true, true);
+        assert!(collapsed.is_zero());
+        assert_eq!(prob, 0.0);
+    }
+
+    #[test]
+    fn gate_dd_matches_dense_kron_no_control() {
+        // H on qubit 1 of a 3-qubit register: I ⊗ H ⊗ I (qubit 2 ⊗ 1 ⊗ 0).
+        let mut p = DdPackage::new(3);
+        let dd = p.make_gate(&gates::h(), 1, &[]);
+        let dense = dense_kron(
+            &dense_kron(&ident_dense(1), &gate_to_dense(&gates::h())),
+            &ident_dense(1),
+        );
+        assert_matrix_eq(&p.to_matrix(dd), &dense);
+    }
+
+    #[test]
+    fn gate_dd_matches_dense_cnot() {
+        // CNOT with control 0, target 1 in a 2-qubit register.
+        let mut p = DdPackage::new(2);
+        let dd = p.make_gate(&gates::x(), 1, &[Control::pos(0)]);
+        // Basis order: index = q1 q0. CX(control=0, target=1):
+        // |00⟩→|00⟩, |01⟩→|11⟩, |10⟩→|10⟩, |11⟩→|01⟩.
+        let mut dense = vec![vec![Complex::ZERO; 4]; 4];
+        dense[0b00][0b00] = Complex::ONE;
+        dense[0b11][0b01] = Complex::ONE;
+        dense[0b10][0b10] = Complex::ONE;
+        dense[0b01][0b11] = Complex::ONE;
+        assert_matrix_eq(&p.to_matrix(dd), &dense);
+    }
+
+    #[test]
+    fn gate_dd_negative_control() {
+        let mut p = DdPackage::new(2);
+        let dd = p.make_gate(&gates::x(), 1, &[Control::neg(0)]);
+        // X on qubit 1 applied only when qubit 0 is |0⟩.
+        let mut dense = vec![vec![Complex::ZERO; 4]; 4];
+        dense[0b10][0b00] = Complex::ONE;
+        dense[0b00][0b10] = Complex::ONE;
+        dense[0b01][0b01] = Complex::ONE;
+        dense[0b11][0b11] = Complex::ONE;
+        assert_matrix_eq(&p.to_matrix(dd), &dense);
+    }
+
+    #[test]
+    fn gate_dd_control_above_target() {
+        let mut p = DdPackage::new(2);
+        let dd = p.make_gate(&gates::x(), 0, &[Control::pos(1)]);
+        // CX with control 1, target 0: |10⟩→|11⟩, |11⟩→|10⟩.
+        let mut dense = vec![vec![Complex::ZERO; 4]; 4];
+        dense[0b00][0b00] = Complex::ONE;
+        dense[0b01][0b01] = Complex::ONE;
+        dense[0b11][0b10] = Complex::ONE;
+        dense[0b10][0b11] = Complex::ONE;
+        assert_matrix_eq(&p.to_matrix(dd), &dense);
+    }
+
+    #[test]
+    fn toffoli_dense() {
+        let mut p = DdPackage::new(3);
+        let dd = p.make_gate(&gates::x(), 2, &[Control::pos(0), Control::pos(1)]);
+        let dense = p.to_matrix(dd);
+        let dim = 8;
+        for row in 0..dim {
+            for col in 0..dim {
+                let expected = if col & 0b011 == 0b011 {
+                    // both controls set: flip bit 2
+                    usize::from(row == col ^ 0b100)
+                } else {
+                    usize::from(row == col)
+                };
+                assert!(
+                    dense[row][col].approx_eq(Complex::real(expected as f64)),
+                    "mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_product_matches_gate_composition() {
+        let mut p = DdPackage::new(2);
+        let h0 = p.make_gate(&gates::h(), 0, &[]);
+        let cx = p.make_gate(&gates::x(), 1, &[Control::pos(0)]);
+        let circuit = p.mul_matrices(cx, h0);
+        // Apply to |00⟩ and compare with the Bell state.
+        let zero = p.zero_state();
+        let bell_via_matrix = p.mul_mat_vec(circuit, zero);
+        let mut bell_via_gates = p.zero_state();
+        bell_via_gates = p.apply_gate(bell_via_gates, &gates::h(), 0, &[]);
+        bell_via_gates = p.apply_gate(bell_via_gates, &gates::x(), 1, &[Control::pos(0)]);
+        assert!((p.fidelity(bell_via_matrix, bell_via_gates) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unitary_times_adjoint_is_identity() {
+        let mut p = DdPackage::new(3);
+        let mut u = p.identity();
+        for (q, gate) in [gates::h(), gates::t(), gates::sx()].iter().enumerate() {
+            let g = p.make_gate(gate, q, &[]);
+            u = p.mul_matrices(g, u);
+        }
+        let cx = p.make_gate(&gates::x(), 2, &[Control::pos(0)]);
+        u = p.mul_matrices(cx, u);
+        let udag = p.conjugate_transpose(u);
+        let product = p.mul_matrices(udag, u);
+        assert!(p.is_identity(product, false));
+        assert!((p.identity_fidelity(product) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_fidelity_detects_non_identity() {
+        let mut p = DdPackage::new(2);
+        let x0 = p.make_gate(&gates::x(), 0, &[]);
+        assert!(p.identity_fidelity(x0) < 0.5);
+        assert!(!p.is_identity(x0, true));
+    }
+
+    #[test]
+    fn global_phase_identity() {
+        let mut p = DdPackage::new(1);
+        // RZ(θ) equals P(θ) up to a global phase, so RZ(θ)·P(θ)† should be
+        // the identity only up to a global phase.
+        let theta = 0.7;
+        let rz = p.make_gate(&gates::rz(theta), 0, &[]);
+        let phase = p.make_gate(&gates::phase(theta), 0, &[]);
+        let phase_dag = p.conjugate_transpose(phase);
+        let product = p.mul_matrices(rz, phase_dag);
+        assert!(!p.is_identity(product, false));
+        assert!(p.is_identity(product, true));
+        assert!((p.identity_fidelity(product) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_states() {
+        let mut p = DdPackage::new(2);
+        let a = p.basis_state(&[false, false]);
+        let b = p.basis_state(&[true, false]);
+        assert!(p.inner_product(a, b).is_zero());
+        assert!(p.inner_product(a, a).is_one());
+        assert_eq!(p.fidelity(a, b), 0.0);
+    }
+
+    #[test]
+    fn add_vectors_and_scale() {
+        let mut p = DdPackage::new(1);
+        let zero = p.basis_state(&[false]);
+        let one = p.basis_state(&[true]);
+        let sum = p.add_vectors(zero, one);
+        let amps = p.amplitudes(sum);
+        assert!(amps[0].is_one());
+        assert!(amps[1].is_one());
+        // |0⟩ + |1⟩ has squared norm 2.
+        assert!((p.norm_sqr(sum) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_cancellation_yields_zero() {
+        let mut p = DdPackage::new(2);
+        let a = p.basis_state(&[true, false]);
+        let minus_w = p.intern(Complex::real(-1.0));
+        let b = VEdge::new(a.node, minus_w);
+        let sum = p.add_vectors(a, b);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn from_amplitudes_roundtrip() {
+        let mut p = DdPackage::new(2);
+        let amps = vec![
+            Complex::new(0.5, 0.0),
+            Complex::new(0.0, 0.5),
+            Complex::new(-0.5, 0.0),
+            Complex::new(0.0, -0.5),
+        ];
+        let v = p.from_amplitudes(&amps);
+        let back = p.amplitudes(v);
+        for (a, b) in amps.iter().zip(back.iter()) {
+            assert!(a.approx_eq(*b));
+        }
+        for i in 0..4 {
+            assert!(p.amplitude(v, i).approx_eq(amps[i]));
+        }
+    }
+
+    #[test]
+    fn from_matrix_roundtrip() {
+        let mut p = DdPackage::new(2);
+        let cx = p.make_gate(&gates::x(), 1, &[Control::pos(0)]);
+        let dense = p.to_matrix(cx);
+        let rebuilt = p.from_matrix(&dense);
+        assert_eq!(cx, rebuilt);
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut p = DdPackage::new(4);
+        let a = p.zero_state();
+        let b = p.zero_state();
+        assert_eq!(a, b);
+        let before = p.stats().vector_nodes;
+        let _ = p.zero_state();
+        assert_eq!(p.stats().vector_nodes, before);
+    }
+
+    #[test]
+    fn ghz_state_has_linear_size() {
+        let n = 16;
+        let mut p = DdPackage::new(n);
+        let mut state = p.zero_state();
+        state = p.apply_gate(state, &gates::h(), 0, &[]);
+        for q in 1..n {
+            state = p.apply_gate(state, &gates::x(), q, &[Control::pos(q - 1)]);
+        }
+        assert!(p.vector_size(state) <= 2 * n);
+        let (p0, p1) = p.probabilities(state, n - 1);
+        assert!((p0 - 0.5).abs() < 1e-10);
+        assert!((p1 - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn large_identity_structural_check() {
+        let mut p = DdPackage::new(64);
+        let mut u = p.identity();
+        // A few self-inverse layers: H on every qubit, applied twice.
+        for _ in 0..2 {
+            for q in 0..64 {
+                let g = p.make_gate(&gates::h(), q, &[]);
+                u = p.mul_matrices(g, u);
+            }
+        }
+        assert!(p.is_identity(u, false));
+    }
+
+    #[test]
+    fn clear_compute_tables_keeps_results_valid() {
+        let mut p = DdPackage::new(2);
+        let h = p.make_gate(&gates::h(), 0, &[]);
+        let a = p.mul_matrices(h, h);
+        p.clear_compute_tables();
+        let b = p.mul_matrices(h, h);
+        assert_eq!(a, b);
+        assert!(p.is_identity(a, false));
+    }
+
+    #[test]
+    fn stats_report_allocations() {
+        let mut p = DdPackage::new(2);
+        assert_eq!(p.stats().vector_nodes, 0);
+        let _ = p.zero_state();
+        assert!(p.stats().vector_nodes > 0);
+        assert!(p.stats().complex_values >= 2);
+    }
+}

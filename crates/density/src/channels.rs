@@ -1,0 +1,286 @@
+//! Standard single-qubit Kraus channels.
+//!
+//! These channels power the optional noise model of the
+//! [`DensityMatrixSimulator`](crate::DensityMatrixSimulator) — an extension in
+//! the spirit of the decoherence-aware decision-diagram simulation the paper
+//! cites as related work — and provide the Kraus-operator building blocks for
+//! the reset and dephasing operations of [`DensityMatrix`](crate::DensityMatrix).
+
+use crate::matrix::DensityMatrix;
+use dd::{gates, Complex, GateMatrix};
+use std::fmt;
+
+/// A single-qubit quantum channel in Kraus representation.
+///
+/// # Examples
+///
+/// ```
+/// use density::{DensityMatrix, KrausChannel};
+/// use dd::gates;
+///
+/// let mut rho = DensityMatrix::new(1).unwrap();
+/// rho.apply_gate(&gates::h(), 0, &[]);
+/// // Complete phase damping turns |+⟩⟨+| into the maximally mixed state.
+/// KrausChannel::phase_damping(1.0).apply(&mut rho, 0);
+/// assert!((rho.purity() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    name: String,
+    operators: Vec<GateMatrix>,
+}
+
+impl KrausChannel {
+    /// Creates a channel from explicit Kraus operators.
+    pub fn new(name: impl Into<String>, operators: Vec<GateMatrix>) -> Self {
+        KrausChannel {
+            name: name.into(),
+            operators,
+        }
+    }
+
+    /// Human-readable channel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The Kraus operators of the channel.
+    pub fn operators(&self) -> &[GateMatrix] {
+        &self.operators
+    }
+
+    /// The identity channel (no noise).
+    pub fn identity() -> Self {
+        KrausChannel::new("identity", vec![gates::id()])
+    }
+
+    /// Bit-flip channel: applies X with probability `p`.
+    pub fn bit_flip(p: f64) -> Self {
+        KrausChannel::new("bit_flip", flip_operators(p, gates::x()))
+    }
+
+    /// Phase-flip channel: applies Z with probability `p`.
+    pub fn phase_flip(p: f64) -> Self {
+        KrausChannel::new("phase_flip", flip_operators(p, gates::z()))
+    }
+
+    /// Bit-and-phase-flip channel: applies Y with probability `p`.
+    pub fn bit_phase_flip(p: f64) -> Self {
+        KrausChannel::new("bit_phase_flip", flip_operators(p, gates::y()))
+    }
+
+    /// Single-qubit depolarising channel with error probability `p`
+    /// (X, Y and Z each occur with probability `p/3`).
+    pub fn depolarizing(p: f64) -> Self {
+        let keep = (1.0 - p).max(0.0).sqrt();
+        let err = (p / 3.0).max(0.0).sqrt();
+        let operators = vec![
+            scale(gates::id(), keep),
+            scale(gates::x(), err),
+            scale(gates::y(), err),
+            scale(gates::z(), err),
+        ];
+        KrausChannel::new("depolarizing", operators)
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma`
+    /// (spontaneous emission |1⟩ → |0⟩).
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        let gamma = gamma.clamp(0.0, 1.0);
+        let k0: GateMatrix = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::real((1.0 - gamma).sqrt())],
+        ];
+        let k1: GateMatrix = [
+            [Complex::ZERO, Complex::real(gamma.sqrt())],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        KrausChannel::new("amplitude_damping", vec![k0, k1])
+    }
+
+    /// Phase-damping channel with damping parameter `lambda`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        let lambda = lambda.clamp(0.0, 1.0);
+        let k0: GateMatrix = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::real((1.0 - lambda).sqrt())],
+        ];
+        let k1: GateMatrix = [
+            [Complex::ZERO, Complex::ZERO],
+            [Complex::ZERO, Complex::real(lambda.sqrt())],
+        ];
+        KrausChannel::new("phase_damping", vec![k0, k1])
+    }
+
+    /// The reset channel: measures the qubit and flips it to |0⟩ on
+    /// outcome 1, discarding the outcome.
+    pub fn reset() -> Self {
+        let k0: GateMatrix = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        let k1: GateMatrix = [
+            [Complex::ZERO, Complex::ONE],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        KrausChannel::new("reset", vec![k0, k1])
+    }
+
+    /// Complete dephasing (a non-selective computational-basis measurement).
+    pub fn dephasing() -> Self {
+        let p0: GateMatrix = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        let p1: GateMatrix = [
+            [Complex::ZERO, Complex::ZERO],
+            [Complex::ZERO, Complex::ONE],
+        ];
+        KrausChannel::new("dephasing", vec![p0, p1])
+    }
+
+    /// Checks the completeness relation `Σ_k K_k† K_k = I` within `tolerance`.
+    pub fn is_trace_preserving(&self, tolerance: f64) -> bool {
+        let mut sum = [[Complex::ZERO; 2]; 2];
+        for k in &self.operators {
+            let product = gates::matmul(&gates::adjoint(k), k);
+            for (row, product_row) in sum.iter_mut().zip(product.iter()) {
+                for (entry, &value) in row.iter_mut().zip(product_row.iter()) {
+                    *entry += value;
+                }
+            }
+        }
+        (sum[0][0] - Complex::ONE).abs() <= tolerance
+            && (sum[1][1] - Complex::ONE).abs() <= tolerance
+            && sum[0][1].abs() <= tolerance
+            && sum[1][0].abs() <= tolerance
+    }
+
+    /// Applies the channel to `target` of a density matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target qubit is out of range.
+    pub fn apply(&self, rho: &mut DensityMatrix, target: usize) {
+        rho.apply_kraus(&self.operators, target);
+    }
+}
+
+impl fmt::Display for KrausChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} Kraus operators)", self.name, self.operators.len())
+    }
+}
+
+fn flip_operators(p: f64, flip: GateMatrix) -> Vec<GateMatrix> {
+    let p = p.clamp(0.0, 1.0);
+    vec![scale(gates::id(), (1.0 - p).sqrt()), scale(flip, p.sqrt())]
+}
+
+fn scale(m: GateMatrix, factor: f64) -> GateMatrix {
+    [
+        [m[0][0] * factor, m[0][1] * factor],
+        [m[1][0] * factor, m[1][1] * factor],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd::gates;
+
+    #[test]
+    fn all_standard_channels_are_trace_preserving() {
+        let channels = [
+            KrausChannel::identity(),
+            KrausChannel::bit_flip(0.1),
+            KrausChannel::phase_flip(0.25),
+            KrausChannel::bit_phase_flip(0.4),
+            KrausChannel::depolarizing(0.3),
+            KrausChannel::amplitude_damping(0.2),
+            KrausChannel::phase_damping(0.7),
+            KrausChannel::reset(),
+            KrausChannel::dephasing(),
+        ];
+        for channel in &channels {
+            assert!(
+                channel.is_trace_preserving(1e-10),
+                "{channel} is not trace preserving"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_mixes_populations() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        KrausChannel::bit_flip(0.25).apply(&mut rho, 0);
+        assert!((rho.element(0, 0).re - 0.75).abs() < 1e-12);
+        assert!((rho.element(1, 1).re - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_limit_is_maximally_mixed() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        KrausChannel::depolarizing(0.75).apply(&mut rho, 0);
+        // p = 3/4 depolarising maps every state to I/2.
+        assert!((rho.element(0, 0).re - 0.5).abs() < 1e-10);
+        assert!((rho.element(1, 1).re - 0.5).abs() < 1e-10);
+        assert!(rho.element(0, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::x(), 0, &[]);
+        KrausChannel::amplitude_damping(0.3).apply(&mut rho, 0);
+        assert!((rho.element(1, 1).re - 0.7).abs() < 1e-12);
+        assert!((rho.element(0, 0).re - 0.3).abs() < 1e-12);
+        // Full damping returns the ground state.
+        KrausChannel::amplitude_damping(1.0).apply(&mut rho, 0);
+        assert!((rho.element(0, 0).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_channel_matches_density_matrix_reset() {
+        let mut via_channel = DensityMatrix::new(2).unwrap();
+        via_channel.apply_gate(&gates::h(), 0, &[]);
+        via_channel.apply_gate(&gates::x(), 1, &[dd::Control::pos(0)]);
+        let mut via_method = via_channel.clone();
+        KrausChannel::reset().apply(&mut via_channel, 0);
+        via_method.reset(0);
+        assert!(via_channel.approx_eq(&via_method, 1e-12));
+    }
+
+    #[test]
+    fn dephasing_channel_matches_dephase_method() {
+        let mut via_channel = DensityMatrix::new(1).unwrap();
+        via_channel.apply_gate(&gates::h(), 0, &[]);
+        let mut via_method = via_channel.clone();
+        KrausChannel::dephasing().apply(&mut via_channel, 0);
+        via_method.dephase(0);
+        assert!(via_channel.approx_eq(&via_method, 1e-12));
+    }
+
+    #[test]
+    fn zero_noise_channels_are_identities() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::u3(0.4, 0.2, 1.3), 0, &[]);
+        let before = rho.clone();
+        KrausChannel::bit_flip(0.0).apply(&mut rho, 0);
+        KrausChannel::depolarizing(0.0).apply(&mut rho, 0);
+        KrausChannel::amplitude_damping(0.0).apply(&mut rho, 0);
+        KrausChannel::phase_damping(0.0).apply(&mut rho, 0);
+        assert!(rho.approx_eq(&before, 1e-12));
+    }
+
+    #[test]
+    fn display_mentions_name_and_operator_count() {
+        let channel = KrausChannel::depolarizing(0.1);
+        let text = channel.to_string();
+        assert!(text.contains("depolarizing"));
+        assert!(text.contains('4'));
+        assert_eq!(channel.name(), "depolarizing");
+        assert_eq!(channel.operators().len(), 4);
+    }
+}

@@ -1,0 +1,424 @@
+//! Ensemble simulation: one unnormalised density matrix per classical record.
+//!
+//! A single density matrix cannot report the distribution over mid-circuit
+//! measurement *records* — exactly the limitation the paper points out for
+//! density-matrix simulators. The ensemble simulator fixes this by keeping a
+//! separate (unnormalised) density matrix for every classical record that has
+//! non-zero probability. Its memory use is exponential in both the number of
+//! qubits and the number of measurements, so it only serves as a small-scale
+//! reference oracle for the paper's extraction scheme.
+
+use crate::error::DensityError;
+use crate::matrix::DensityMatrix;
+use circuit::{OpKind, QuantumCircuit};
+use dd::Control;
+use sim::{gate_matrix, OutcomeDistribution};
+
+/// Options of the ensemble simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Branches whose trace (path probability) falls below this threshold are
+    /// dropped.
+    pub prune_threshold: f64,
+    /// Maximum number of simultaneously tracked branches.
+    pub max_branches: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            prune_threshold: 1e-12,
+            max_branches: 1 << 16,
+        }
+    }
+}
+
+/// One branch of the ensemble: a classical record and the unnormalised state
+/// conditioned on it.
+#[derive(Debug, Clone)]
+pub struct EnsembleBranch {
+    /// Values of the classical bits along this branch.
+    pub record: Vec<bool>,
+    /// Unnormalised conditional state; its trace is the branch probability.
+    pub state: DensityMatrix,
+}
+
+impl EnsembleBranch {
+    /// The probability of this branch (the trace of its unnormalised state).
+    pub fn probability(&self) -> f64 {
+        self.state.trace()
+    }
+}
+
+/// Simulates a dynamic circuit while tracking every classical record.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use density::EnsembleSimulator;
+///
+/// // Measure both halves of a Bell pair: the records 00 and 11 each occur
+/// // with probability 1/2.
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+/// let mut ensemble = EnsembleSimulator::new(&qc)?;
+/// ensemble.run(&qc)?;
+/// let distribution = ensemble.outcome_distribution();
+/// assert!((distribution.probability(&[false, false]) - 0.5).abs() < 1e-12);
+/// assert!((distribution.probability(&[true, true]) - 0.5).abs() < 1e-12);
+/// assert!(distribution.probability(&[true, false]) < 1e-12);
+/// # Ok::<(), density::DensityError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnsembleSimulator {
+    n_qubits: usize,
+    n_bits: usize,
+    config: EnsembleConfig,
+    branches: Vec<EnsembleBranch>,
+}
+
+impl EnsembleSimulator {
+    /// Creates a simulator sized for `circuit`, starting from |0…0⟩ with an
+    /// all-zero classical record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::TooManyQubits`] when the circuit register is
+    /// too wide for the dense representation.
+    pub fn new(circuit: &QuantumCircuit) -> Result<Self, DensityError> {
+        Self::with_config(circuit, EnsembleConfig::default())
+    }
+
+    /// Creates a simulator with explicit [`EnsembleConfig`] options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::TooManyQubits`] when the circuit register is
+    /// too wide for the dense representation.
+    pub fn with_config(
+        circuit: &QuantumCircuit,
+        config: EnsembleConfig,
+    ) -> Result<Self, DensityError> {
+        let state = DensityMatrix::new(circuit.num_qubits())?;
+        Ok(EnsembleSimulator {
+            n_qubits: circuit.num_qubits(),
+            n_bits: circuit.num_bits(),
+            config,
+            branches: vec![EnsembleBranch {
+                record: vec![false; circuit.num_bits()],
+                state,
+            }],
+        })
+    }
+
+    /// Number of qubits of the simulated register.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of classical bits of the simulated register.
+    pub fn num_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// The currently tracked branches.
+    pub fn branches(&self) -> &[EnsembleBranch] {
+        &self.branches
+    }
+
+    /// Runs all operations of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::QubitOutOfRange`] /
+    /// [`DensityError::BitOutOfRange`] for malformed circuits and
+    /// [`DensityError::BranchLimitExceeded`] when the number of classical
+    /// records exceeds the configured budget.
+    pub fn run(&mut self, circuit: &QuantumCircuit) -> Result<(), DensityError> {
+        for op in circuit.iter() {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single operation to every branch.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn apply(&mut self, op: &circuit::Operation) -> Result<(), DensityError> {
+        for q in op.qubits() {
+            if q >= self.n_qubits {
+                return Err(DensityError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: self.n_qubits,
+                });
+            }
+        }
+        for b in op.bits() {
+            if b >= self.n_bits {
+                return Err(DensityError::BitOutOfRange {
+                    bit: b,
+                    n_bits: self.n_bits,
+                });
+            }
+        }
+        match &op.kind {
+            OpKind::Barrier => {}
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                let matrix = gate_matrix(*gate);
+                let dd_controls: Vec<Control> = controls
+                    .iter()
+                    .map(|c| Control {
+                        qubit: c.qubit,
+                        positive: c.positive,
+                    })
+                    .collect();
+                for branch in &mut self.branches {
+                    let apply = match op.condition {
+                        None => true,
+                        Some(cond) => branch.record[cond.bit] == cond.value,
+                    };
+                    if apply {
+                        branch.state.apply_gate(&matrix, *target, &dd_controls);
+                    }
+                }
+            }
+            OpKind::Reset { qubit } => {
+                for branch in &mut self.branches {
+                    branch.state.reset(*qubit);
+                }
+            }
+            OpKind::Measure { qubit, bit } => {
+                let mut next = Vec::with_capacity(self.branches.len() * 2);
+                for branch in self.branches.drain(..) {
+                    for outcome in [false, true] {
+                        let mut state = branch.state.clone();
+                        let probability = state.project(*qubit, outcome, false);
+                        if probability < self.config.prune_threshold {
+                            continue;
+                        }
+                        let mut record = branch.record.clone();
+                        record[*bit] = outcome;
+                        next.push(EnsembleBranch { record, state });
+                    }
+                }
+                // Merge branches whose records coincide (an earlier
+                // measurement of the same classical bit was overwritten).
+                next.sort_by(|a, b| a.record.cmp(&b.record));
+                let mut merged: Vec<EnsembleBranch> = Vec::with_capacity(next.len());
+                for branch in next {
+                    match merged.last_mut() {
+                        Some(last) if last.record == branch.record => {
+                            for i in 0..branch.state.dim() {
+                                for j in 0..branch.state.dim() {
+                                    *last.state.element_mut(i, j) =
+                                        last.state.element(i, j) + branch.state.element(i, j);
+                                }
+                            }
+                        }
+                        _ => merged.push(branch),
+                    }
+                }
+                if merged.len() > self.config.max_branches {
+                    return Err(DensityError::BranchLimitExceeded {
+                        limit: self.config.max_branches,
+                    });
+                }
+                self.branches = merged;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit Kraus channel to `qubit` of every branch.
+    ///
+    /// This is how noise models are combined with record tracking: the
+    /// channel acts on the conditional state of each classical record
+    /// independently (used by the `noise_study` example).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit is out of range.
+    pub fn apply_channel(&mut self, channel: &crate::channels::KrausChannel, qubit: usize) {
+        for branch in &mut self.branches {
+            channel.apply(&mut branch.state, qubit);
+        }
+    }
+
+    /// The probability distribution over classical records.
+    pub fn outcome_distribution(&self) -> OutcomeDistribution {
+        let mut distribution = OutcomeDistribution::new(self.n_bits);
+        for branch in &self.branches {
+            distribution.add(branch.record.clone(), branch.probability());
+        }
+        distribution
+    }
+
+    /// The total (record-averaged) density matrix `Σ_r ρ_r`.
+    pub fn mixed_state(&self) -> DensityMatrix {
+        let mut total = DensityMatrix::new(self.n_qubits).expect("register already validated");
+        // Start from zero, not |0…0⟩⟨0…0|.
+        *total.element_mut(0, 0) = dd::Complex::ZERO;
+        for branch in &self.branches {
+            for i in 0..total.dim() {
+                for j in 0..total.dim() {
+                    *total.element_mut(i, j) =
+                        total.element(i, j) + branch.state.element(i, j);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total probability mass across all branches (1 up to pruning).
+    pub fn total_probability(&self) -> f64 {
+        self.branches.iter().map(EnsembleBranch::probability).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::QuantumCircuit;
+
+    #[test]
+    fn unconditional_gates_do_not_branch() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1).t(1);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        assert_eq!(ensemble.branches().len(), 1);
+        assert!((ensemble.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_splits_branches() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).measure(0, 0);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        assert_eq!(ensemble.branches().len(), 2);
+        let distribution = ensemble.outcome_distribution();
+        assert!((distribution.probability(&[false]) - 0.5).abs() < 1e-12);
+        assert!((distribution.probability(&[true]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_measurement_keeps_single_branch() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.x(0).measure(0, 0);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        assert_eq!(ensemble.branches().len(), 1);
+        assert_eq!(ensemble.branches()[0].record, vec![true]);
+    }
+
+    #[test]
+    fn classically_controlled_gate_applies_per_branch() {
+        // Measure a |+⟩ qubit, then flip qubit 1 only when the outcome was 1:
+        // afterwards qubit 1 is perfectly correlated with the record.
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).measure(0, 0).x_if(1, 0);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        for branch in ensemble.branches() {
+            let mut state = branch.state.clone();
+            state.normalize();
+            let (p0, p1) = state.probabilities(1);
+            if branch.record[0] {
+                assert!((p1 - 1.0).abs() < 1e-12);
+            } else {
+                assert!((p0 - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_does_not_branch_but_reuses_qubit() {
+        let mut qc = QuantumCircuit::new(1, 2);
+        qc.h(0).measure(0, 0).reset(0).h(0).measure(0, 1);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        let distribution = ensemble.outcome_distribution();
+        assert_eq!(distribution.len(), 4);
+        for (_, p) in distribution.iter() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn teleportation_preserves_the_state() {
+        let mut ensemble_qc = QuantumCircuit::new(3, 2);
+        // Prepare an arbitrary state on qubit 0 and teleport it to qubit 2.
+        ensemble_qc.ry(0.8, 0).rz(0.3, 0);
+        ensemble_qc.h(1).cx(1, 2);
+        ensemble_qc.cx(0, 1).h(0);
+        ensemble_qc.measure(0, 0).measure(1, 1);
+        ensemble_qc.x_if(2, 1).gate_if(circuit::StandardGate::Z, 2, 0, true);
+        let mut ensemble = EnsembleSimulator::new(&ensemble_qc).unwrap();
+        ensemble.run(&ensemble_qc).unwrap();
+
+        // Every branch's reduced state on qubit 2 equals the prepared state.
+        let mut reference = DensityMatrix::new(1).unwrap();
+        reference.apply_gate(&dd::gates::ry(0.8), 0, &[]);
+        reference.apply_gate(&dd::gates::rz(0.3), 0, &[]);
+        for branch in ensemble.branches() {
+            let mut state = branch.state.clone();
+            state.normalize();
+            let reduced = state.partial_trace(&[0, 1]);
+            assert!(
+                reduced.approx_eq(&reference, 1e-9),
+                "teleported state differs in branch {:?}",
+                branch.record
+            );
+        }
+        assert_eq!(ensemble.branches().len(), 4);
+    }
+
+    #[test]
+    fn branch_limit_is_enforced() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).h(1).h(2).measure(0, 0).measure(1, 1).measure(2, 2);
+        let config = EnsembleConfig {
+            max_branches: 4,
+            ..Default::default()
+        };
+        let mut ensemble = EnsembleSimulator::with_config(&qc, config).unwrap();
+        assert!(matches!(
+            ensemble.run(&qc),
+            Err(DensityError::BranchLimitExceeded { limit: 4 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_reported() {
+        let qc = QuantumCircuit::new(1, 1);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        assert!(matches!(
+            ensemble.apply(&circuit::Operation::measure(3, 0)),
+            Err(DensityError::QubitOutOfRange { qubit: 3, .. })
+        ));
+        assert!(matches!(
+            ensemble.apply(&circuit::Operation::measure(0, 5)),
+            Err(DensityError::BitOutOfRange { bit: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_state_trace_is_total_probability() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        let mixed = ensemble.mixed_state();
+        assert!((mixed.trace() - 1.0).abs() < 1e-12);
+        // The mixture of the two post-measurement states is diagonal.
+        assert!(mixed.element(0, 3).abs() < 1e-12);
+    }
+}

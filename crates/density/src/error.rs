@@ -1,0 +1,113 @@
+//! Error type of the density-matrix layer.
+
+use std::fmt;
+
+/// Errors produced by the density-matrix simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DensityError {
+    /// The register is too large for a dense density-matrix representation.
+    TooManyQubits {
+        /// Requested register size.
+        n_qubits: usize,
+        /// Hard limit of the dense representation.
+        limit: usize,
+    },
+    /// An operation references a qubit outside the register.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Register size.
+        n_qubits: usize,
+    },
+    /// An operation references a classical bit outside the register.
+    BitOutOfRange {
+        /// Offending bit index.
+        bit: usize,
+        /// Register size.
+        n_bits: usize,
+    },
+    /// A plain density-matrix simulation cannot apply classically-controlled
+    /// operations, because it does not track the measurement record
+    /// (the limitation discussed in Section 5 of the paper). Use
+    /// [`EnsembleSimulator`](crate::EnsembleSimulator) instead.
+    ClassicallyControlledUnsupported {
+        /// Display form of the offending operation.
+        operation: String,
+    },
+    /// The ensemble simulation exceeded its branch budget.
+    BranchLimitExceeded {
+        /// Configured maximum number of branches.
+        limit: usize,
+    },
+    /// An amplitude vector with a length that is not a power of two (or that
+    /// disagrees with the register size) was supplied.
+    InvalidAmplitudes {
+        /// Length of the offending vector.
+        len: usize,
+        /// Expected length.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DensityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DensityError::TooManyQubits { n_qubits, limit } => write!(
+                f,
+                "dense density matrices are limited to {limit} qubits ({n_qubits} requested)"
+            ),
+            DensityError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            DensityError::BitOutOfRange { bit, n_bits } => {
+                write!(f, "classical bit {bit} out of range for {n_bits}-bit register")
+            }
+            DensityError::ClassicallyControlledUnsupported { operation } => write!(
+                f,
+                "a single density matrix cannot apply `{operation}`: the measurement record is \
+                 not tracked (use the ensemble simulator)"
+            ),
+            DensityError::BranchLimitExceeded { limit } => {
+                write!(f, "ensemble simulation exceeded the branch budget of {limit}")
+            }
+            DensityError::InvalidAmplitudes { len, expected } => write!(
+                f,
+                "amplitude vector of length {len} does not match the expected length {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DensityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = DensityError::TooManyQubits {
+            n_qubits: 20,
+            limit: 12,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("12"));
+
+        let e = DensityError::ClassicallyControlledUnsupported {
+            operation: "if (c[0] == 1) x q[1]".into(),
+        };
+        assert!(e.to_string().contains("ensemble"));
+
+        let e = DensityError::BranchLimitExceeded { limit: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        takes_error(&DensityError::QubitOutOfRange {
+            qubit: 5,
+            n_qubits: 2,
+        });
+    }
+}

@@ -1,0 +1,60 @@
+//! # density — density-matrix simulation of dynamic quantum circuits
+//!
+//! Section 5 of *Burgholzer & Wille, "Handling Non-Unitaries in Quantum
+//! Circuit Equivalence Checking" (DAC 2022)* discusses density-matrix
+//! simulators as the natural — but insufficient — tool for circuits with
+//! non-unitary primitives: a density matrix handles resets, mid-circuit
+//! measurements and decoherence without leaving the formalism, yet a single
+//! simulation run only yields the state for *one particular* set of
+//! measurement outcomes, not the complete outcome distribution.
+//!
+//! This crate provides that baseline, plus the fix:
+//!
+//! * [`DensityMatrix`] — a dense `2^n × 2^n` density operator with
+//!   (controlled) gate application, Kraus channels, projective measurements,
+//!   resets, dephasing, partial traces and fidelity computations.
+//! * [`DensityMatrixSimulator`] — runs a circuit on a single density matrix.
+//!   Measurements are treated non-selectively (the paper's limitation: the
+//!   record distribution is lost), and an optional [`NoiseModel`] inserts a
+//!   Kraus channel after every gate.
+//! * [`EnsembleSimulator`] — tracks one unnormalised density matrix per
+//!   classical measurement record and therefore recovers the *complete*
+//!   outcome distribution. It serves as an exponential-memory reference
+//!   oracle against which the paper's extraction scheme
+//!   ([`sim::extract_distribution`]) is cross-validated in the test suite.
+//! * [`KrausChannel`] — standard single-qubit noise channels (bit flip,
+//!   phase flip, depolarising, amplitude damping, phase damping) used by the
+//!   noise-model extension.
+//!
+//! Everything here is *dense* and therefore limited to small registers
+//! (see [`MAX_DENSE_QUBITS`]); it exists for validation and ablation, not
+//! for the Table 1 scale runs, which use the decision-diagram machinery.
+//!
+//! ```
+//! use density::EnsembleSimulator;
+//! use algorithms::qpe;
+//!
+//! // The paper's running example: 3-bit IQPE of U = P(3π/8).
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let iqpe = qpe::iqpe_dynamic(phi, 3);
+//! let mut ensemble = EnsembleSimulator::new(&iqpe)?;
+//! ensemble.run(&iqpe)?;
+//! let distribution = ensemble.outcome_distribution();
+//! // |001⟩ (c0 = 1) is one of the two most probable estimates of 3/16.
+//! assert!(distribution.probability(&[true, false, false]) > 0.3);
+//! # Ok::<(), density::DensityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod channels;
+mod ensemble;
+mod error;
+mod matrix;
+mod simulator;
+
+pub use channels::KrausChannel;
+pub use ensemble::{EnsembleBranch, EnsembleConfig, EnsembleSimulator};
+pub use error::DensityError;
+pub use matrix::{DensityMatrix, MAX_DENSE_QUBITS};
+pub use simulator::{DensityMatrixSimulator, NoiseModel};

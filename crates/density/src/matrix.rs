@@ -1,0 +1,660 @@
+//! A dense density matrix over a small qubit register.
+
+use crate::error::DensityError;
+use dd::{Complex, Control, GateMatrix, TOLERANCE};
+
+/// Hard limit on the register size of the dense representation.
+///
+/// A 12-qubit density matrix already occupies `4^12 · 16 B = 256 MiB`;
+/// anything larger belongs to the decision-diagram machinery.
+pub const MAX_DENSE_QUBITS: usize = 12;
+
+/// A dense `2^n × 2^n` density operator.
+///
+/// The basis-state convention matches the rest of the workspace: basis index
+/// `i` assigns qubit `q` the value `(i >> q) & 1` (qubit 0 is the least
+/// significant bit).
+///
+/// The matrix is stored row-major. The type deliberately does not enforce
+/// positivity or unit trace on every operation — projections produce
+/// *unnormalised* states whose trace is the branch probability, which is
+/// exactly what the ensemble simulator needs.
+///
+/// # Examples
+///
+/// ```
+/// use density::DensityMatrix;
+/// use dd::gates;
+///
+/// let mut rho = DensityMatrix::new(2).unwrap();
+/// rho.apply_gate(&gates::h(), 0, &[]);
+/// rho.apply_gate(&gates::x(), 1, &[dd::Control::pos(0)]);
+/// let (p0, p1) = rho.probabilities(1);
+/// assert!((p0 - 0.5).abs() < 1e-12 && (p1 - 0.5).abs() < 1e-12);
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    dim: usize,
+    data: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// The pure state |0…0⟩⟨0…0| on `n_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::TooManyQubits`] when `n_qubits` exceeds
+    /// [`MAX_DENSE_QUBITS`].
+    pub fn new(n_qubits: usize) -> Result<Self, DensityError> {
+        if n_qubits > MAX_DENSE_QUBITS {
+            return Err(DensityError::TooManyQubits {
+                n_qubits,
+                limit: MAX_DENSE_QUBITS,
+            });
+        }
+        let dim = 1usize << n_qubits;
+        let mut data = vec![Complex::ZERO; dim * dim];
+        data[0] = Complex::ONE;
+        Ok(DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        })
+    }
+
+    /// The pure computational basis state described by `bits`
+    /// (`bits[q]` is the value of qubit `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::TooManyQubits`] for oversized registers.
+    pub fn from_basis_bits(bits: &[bool]) -> Result<Self, DensityError> {
+        let mut rho = DensityMatrix::new(bits.len())?;
+        let index = bits
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &b)| acc | (usize::from(b) << q));
+        rho.data[0] = Complex::ZERO;
+        rho.data[index * rho.dim + index] = Complex::ONE;
+        Ok(rho)
+    }
+
+    /// The pure state |ψ⟩⟨ψ| built from a dense amplitude vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::InvalidAmplitudes`] when the length is not a
+    /// power of two, or [`DensityError::TooManyQubits`] when the register
+    /// would be too large.
+    pub fn from_amplitudes(amplitudes: &[Complex]) -> Result<Self, DensityError> {
+        let len = amplitudes.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(DensityError::InvalidAmplitudes {
+                len,
+                expected: len.next_power_of_two().max(1),
+            });
+        }
+        let n_qubits = len.trailing_zeros() as usize;
+        if n_qubits > MAX_DENSE_QUBITS {
+            return Err(DensityError::TooManyQubits {
+                n_qubits,
+                limit: MAX_DENSE_QUBITS,
+            });
+        }
+        let dim = len;
+        let mut data = vec![Complex::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                data[i * dim + j] = amplitudes[i] * amplitudes[j].conj();
+            }
+        }
+        Ok(DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        })
+    }
+
+    /// Number of qubits of the register.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Dimension `2^n` of the Hilbert space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Matrix element `⟨i|ρ|j⟩`.
+    pub fn element(&self, i: usize, j: usize) -> Complex {
+        self.data[i * self.dim + j]
+    }
+
+    /// Mutable access to a matrix element (used by the test suites to
+    /// construct counter-examples).
+    pub fn element_mut(&mut self, i: usize, j: usize) -> &mut Complex {
+        &mut self.data[i * self.dim + j]
+    }
+
+    /// The trace of the matrix (1 for a normalised state; the branch
+    /// probability for projected, unnormalised states).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.element(i, i).re).sum()
+    }
+
+    /// The purity `Tr(ρ²)`, which is 1 exactly for pure states and `1/2^n`
+    /// for the maximally mixed state.
+    pub fn purity(&self) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                // Tr(ρ²) = Σ_{ij} ρ_ij ρ_ji = Σ_{ij} |ρ_ij|² for Hermitian ρ.
+                sum += (self.element(i, j) * self.element(j, i)).re;
+            }
+        }
+        sum
+    }
+
+    /// Returns `true` when the matrix is Hermitian within `tolerance`.
+    pub fn is_hermitian(&self, tolerance: f64) -> bool {
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                let a = self.element(i, j);
+                let b = self.element(j, i).conj();
+                if (a.re - b.re).abs() > tolerance || (a.im - b.im).abs() > tolerance {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The diagonal of the matrix, i.e. the probabilities of the
+    /// computational basis states.
+    pub fn diagonal_probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.element(i, i).re).collect()
+    }
+
+    /// Rescales the matrix so its trace becomes one (no-op for zero trace).
+    pub fn normalize(&mut self) {
+        let trace = self.trace();
+        if trace > TOLERANCE {
+            let scale = 1.0 / trace;
+            for value in &mut self.data {
+                *value = *value * scale;
+            }
+        }
+    }
+
+    fn check_qubit(&self, qubit: usize) -> Result<(), DensityError> {
+        if qubit >= self.n_qubits {
+            return Err(DensityError::QubitOutOfRange {
+                qubit,
+                n_qubits: self.n_qubits,
+            });
+        }
+        Ok(())
+    }
+
+    fn controls_satisfied(index: usize, controls: &[Control]) -> bool {
+        controls
+            .iter()
+            .all(|c| ((index >> c.qubit) & 1 == 1) == c.positive)
+    }
+
+    /// Applies the (multi-controlled) single-qubit unitary `u` on `target`:
+    /// `ρ → CU ρ CU†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target or a control qubit is out of range; the circuit
+    /// simulators validate indices before calling this.
+    pub fn apply_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) {
+        self.check_qubit(target).expect("target in range");
+        for c in controls {
+            self.check_qubit(c.qubit).expect("control in range");
+        }
+        self.left_multiply(u, target, controls);
+        self.right_multiply_adjoint(u, target, controls);
+    }
+
+    /// Left-multiplies by the controlled extension of the (not necessarily
+    /// unitary) 2×2 operator `m`: `ρ → M ρ`.
+    fn left_multiply(&mut self, m: &GateMatrix, target: usize, controls: &[Control]) {
+        let bit = 1usize << target;
+        for row0 in 0..self.dim {
+            if row0 & bit != 0 || !Self::controls_satisfied(row0, controls) {
+                continue;
+            }
+            let row1 = row0 | bit;
+            for col in 0..self.dim {
+                let a = self.data[row0 * self.dim + col];
+                let b = self.data[row1 * self.dim + col];
+                self.data[row0 * self.dim + col] = m[0][0] * a + m[0][1] * b;
+                self.data[row1 * self.dim + col] = m[1][0] * a + m[1][1] * b;
+            }
+        }
+    }
+
+    /// Right-multiplies by the adjoint of the controlled extension of `m`:
+    /// `ρ → ρ M†`.
+    fn right_multiply_adjoint(&mut self, m: &GateMatrix, target: usize, controls: &[Control]) {
+        let bit = 1usize << target;
+        for col0 in 0..self.dim {
+            if col0 & bit != 0 || !Self::controls_satisfied(col0, controls) {
+                continue;
+            }
+            let col1 = col0 | bit;
+            for row in 0..self.dim {
+                let a = self.data[row * self.dim + col0];
+                let b = self.data[row * self.dim + col1];
+                self.data[row * self.dim + col0] = a * m[0][0].conj() + b * m[0][1].conj();
+                self.data[row * self.dim + col1] = a * m[1][0].conj() + b * m[1][1].conj();
+            }
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ → Σ_k K_k ρ K_k†` on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target qubit is out of range.
+    pub fn apply_kraus(&mut self, kraus: &[GateMatrix], target: usize) {
+        self.check_qubit(target).expect("target in range");
+        let mut accumulated = vec![Complex::ZERO; self.data.len()];
+        for k in kraus {
+            let mut term = self.clone();
+            term.left_multiply(k, target, &[]);
+            term.right_multiply_adjoint(k, target, &[]);
+            for (acc, value) in accumulated.iter_mut().zip(term.data.iter()) {
+                *acc += *value;
+            }
+        }
+        self.data = accumulated;
+    }
+
+    /// Probabilities of measuring `qubit` as 0 and 1 (not renormalised, i.e.
+    /// they sum to the trace of the matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit is out of range.
+    pub fn probabilities(&self, qubit: usize) -> (f64, f64) {
+        self.check_qubit(qubit).expect("qubit in range");
+        let bit = 1usize << qubit;
+        let mut p0 = 0.0;
+        let mut p1 = 0.0;
+        for i in 0..self.dim {
+            let p = self.element(i, i).re;
+            if i & bit == 0 {
+                p0 += p;
+            } else {
+                p1 += p;
+            }
+        }
+        (p0, p1)
+    }
+
+    /// Projects `qubit` onto `outcome` and returns the outcome probability.
+    ///
+    /// When `renormalize` is `false` the result is the *unnormalised*
+    /// post-measurement state `P ρ P` whose trace equals the returned
+    /// probability (relative to the trace before the projection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit is out of range.
+    pub fn project(&mut self, qubit: usize, outcome: bool, renormalize: bool) -> f64 {
+        let (p0, p1) = self.probabilities(qubit);
+        let probability = if outcome { p1 } else { p0 };
+        let bit = 1usize << qubit;
+        let wanted = usize::from(outcome) << qubit;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i & bit != wanted || j & bit != wanted {
+                    self.data[i * self.dim + j] = Complex::ZERO;
+                }
+            }
+        }
+        if renormalize && probability > TOLERANCE {
+            let scale = 1.0 / probability;
+            for value in &mut self.data {
+                *value = *value * scale;
+            }
+        }
+        probability
+    }
+
+    /// Applies the reset channel `ρ → P₀ ρ P₀ + X P₁ ρ P₁ X` on `qubit`
+    /// (measure, flip on outcome 1, discard the outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit is out of range.
+    pub fn reset(&mut self, qubit: usize) {
+        // Kraus operators |0⟩⟨0| and |0⟩⟨1|.
+        let k0: GateMatrix = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        let k1: GateMatrix = [
+            [Complex::ZERO, Complex::ONE],
+            [Complex::ZERO, Complex::ZERO],
+        ];
+        self.apply_kraus(&[k0, k1], qubit);
+    }
+
+    /// Applies a non-selective measurement (complete dephasing) of `qubit`:
+    /// all coherences between the |0⟩ and |1⟩ subspaces of the qubit are
+    /// erased, the populations are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit is out of range.
+    pub fn dephase(&mut self, qubit: usize) {
+        self.check_qubit(qubit).expect("qubit in range");
+        let bit = 1usize << qubit;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if (i & bit) != (j & bit) {
+                    self.data[i * self.dim + j] = Complex::ZERO;
+                }
+            }
+        }
+    }
+
+    /// The reduced density matrix obtained by tracing out the qubits in
+    /// `traced` (duplicates are ignored).
+    ///
+    /// The remaining qubits keep their relative order and are re-indexed from
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a traced qubit is out of range.
+    pub fn partial_trace(&self, traced: &[usize]) -> DensityMatrix {
+        for &q in traced {
+            self.check_qubit(q).expect("traced qubit in range");
+        }
+        let kept: Vec<usize> = (0..self.n_qubits).filter(|q| !traced.contains(q)).collect();
+        let kept_n = kept.len();
+        let kept_dim = 1usize << kept_n;
+        let traced_qubits: Vec<usize> = (0..self.n_qubits)
+            .filter(|q| traced.contains(q))
+            .collect();
+        let traced_dim = 1usize << traced_qubits.len();
+
+        let expand = |kept_index: usize, traced_index: usize| -> usize {
+            let mut full = 0usize;
+            for (pos, &q) in kept.iter().enumerate() {
+                full |= ((kept_index >> pos) & 1) << q;
+            }
+            for (pos, &q) in traced_qubits.iter().enumerate() {
+                full |= ((traced_index >> pos) & 1) << q;
+            }
+            full
+        };
+
+        let mut reduced = vec![Complex::ZERO; kept_dim * kept_dim];
+        for i in 0..kept_dim {
+            for j in 0..kept_dim {
+                let mut sum = Complex::ZERO;
+                for t in 0..traced_dim {
+                    sum += self.element(expand(i, t), expand(j, t));
+                }
+                reduced[i * kept_dim + j] = sum;
+            }
+        }
+        DensityMatrix {
+            n_qubits: kept_n,
+            dim: kept_dim,
+            data: reduced,
+        }
+    }
+
+    /// The fidelity `⟨ψ|ρ|ψ⟩` with a pure state given by dense amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the amplitude vector length differs from the matrix
+    /// dimension.
+    pub fn fidelity_with_pure(&self, amplitudes: &[Complex]) -> f64 {
+        assert_eq!(amplitudes.len(), self.dim, "amplitude length mismatch");
+        let mut fidelity = Complex::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                fidelity += amplitudes[i].conj() * self.element(i, j) * amplitudes[j];
+            }
+        }
+        fidelity.re
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ.
+    pub fn max_difference(&self, other: &DensityMatrix) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when the two matrices agree element-wise within
+    /// `tolerance`.
+    pub fn approx_eq(&self, other: &DensityMatrix, tolerance: f64) -> bool {
+        self.dim == other.dim && self.max_difference(other) <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd::gates;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn new_is_ground_state() {
+        let rho = DensityMatrix::new(2).unwrap();
+        assert_eq!(rho.num_qubits(), 2);
+        assert_eq!(rho.dim(), 4);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.element(0, 0).re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_register_is_rejected() {
+        assert!(matches!(
+            DensityMatrix::new(MAX_DENSE_QUBITS + 1),
+            Err(DensityError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn basis_bits_sets_the_right_diagonal_entry() {
+        // Qubit 0 = 1, qubit 1 = 0, qubit 2 = 1 → index 0b101 = 5.
+        let rho = DensityMatrix::from_basis_bits(&[true, false, true]).unwrap();
+        assert!((rho.element(5, 5).re - 1.0).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_matches_outer_product() {
+        let amps = [c(0.6, 0.0), c(0.0, 0.8)];
+        let rho = DensityMatrix::from_amplitudes(&amps).unwrap();
+        assert!((rho.element(0, 0).re - 0.36).abs() < 1e-12);
+        assert!((rho.element(1, 1).re - 0.64).abs() < 1e-12);
+        // ⟨0|ρ|1⟩ = a0 · conj(a1) = 0.6 · (0 − 0.8i) = −0.48i.
+        assert!((rho.element(0, 1).im + 0.48).abs() < 1e-12);
+        assert!(rho.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_non_power_of_two() {
+        let amps = vec![Complex::ONE; 3];
+        assert!(matches!(
+            DensityMatrix::from_amplitudes(&amps),
+            Err(DensityError::InvalidAmplitudes { .. })
+        ));
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_coherent_state() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rho.element(i, j).re - 0.5).abs() < 1e-12);
+            }
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities_and_purity() {
+        let mut rho = DensityMatrix::new(2).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.apply_gate(&gates::x(), 1, &[Control::pos(0)]);
+        let (p0, p1) = rho.probabilities(0);
+        assert!((p0 - 0.5).abs() < 1e-12 && (p1 - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        // The reduced state of either qubit is maximally mixed.
+        let reduced = rho.partial_trace(&[1]);
+        assert_eq!(reduced.num_qubits(), 1);
+        assert!((reduced.purity() - 0.5).abs() < 1e-12);
+        assert!((reduced.element(0, 0).re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_control_triggers_on_zero() {
+        let mut rho = DensityMatrix::new(2).unwrap();
+        // Control qubit 0 is |0⟩, so a negative control applies X to qubit 1.
+        rho.apply_gate(&gates::x(), 1, &[Control::neg(0)]);
+        let (p0, p1) = rho.probabilities(1);
+        assert!(p0.abs() < 1e-12 && (p1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_returns_branch_probability() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::ry(std::f64::consts::FRAC_PI_3), 0, &[]);
+        let (p0, p1) = rho.probabilities(0);
+        let mut branch0 = rho.clone();
+        let q0 = branch0.project(0, false, false);
+        let mut branch1 = rho.clone();
+        let q1 = branch1.project(0, true, false);
+        assert!((q0 - p0).abs() < 1e-12);
+        assert!((q1 - p1).abs() < 1e-12);
+        assert!((branch0.trace() - p0).abs() < 1e-12);
+        assert!((branch1.trace() - p1).abs() < 1e-12);
+        // Renormalised projection has unit trace.
+        let mut renorm = rho.clone();
+        renorm.project(0, true, true);
+        assert!((renorm.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_maps_any_state_to_ground() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.apply_gate(&gates::t(), 0, &[]);
+        rho.reset(0);
+        assert!((rho.element(0, 0).re - 1.0).abs() < 1e-12);
+        assert!(rho.element(1, 1).abs() < 1e-12);
+        assert!(rho.element(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_only_touches_the_target_qubit() {
+        let mut rho = DensityMatrix::new(2).unwrap();
+        rho.apply_gate(&gates::x(), 1, &[]);
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.reset(0);
+        let (p0, p1) = rho.probabilities(1);
+        assert!(p0.abs() < 1e-12 && (p1 - 1.0).abs() < 1e-12);
+        let (q0, q1) = rho.probabilities(0);
+        assert!((q0 - 1.0).abs() < 1e-12 && q1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherences_keeps_populations() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.dephase(0);
+        assert!((rho.element(0, 0).re - 0.5).abs() < 1e-12);
+        assert!((rho.element(1, 1).re - 0.5).abs() < 1e-12);
+        assert!(rho.element(0, 1).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_with_pure_state() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        let plus = [c(std::f64::consts::FRAC_1_SQRT_2, 0.0); 2];
+        assert!((rho.fidelity_with_pure(&plus) - 1.0).abs() < 1e-12);
+        let zero = [Complex::ONE, Complex::ZERO];
+        assert!((rho.fidelity_with_pure(&zero) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_is_exact() {
+        let mut rho = DensityMatrix::new(2).unwrap();
+        rho.apply_gate(&gates::x(), 0, &[]);
+        rho.apply_gate(&gates::h(), 1, &[]);
+        let q0 = rho.partial_trace(&[1]);
+        assert!((q0.element(1, 1).re - 1.0).abs() < 1e-12);
+        let q1 = rho.partial_trace(&[0]);
+        assert!((q1.element(0, 1).re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_restores_unit_trace() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.project(0, true, false);
+        assert!((rho.trace() - 0.5).abs() < 1e-12);
+        rho.normalize();
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::new(3).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.apply_gate(&gates::x(), 2, &[Control::pos(0)]);
+        rho.apply_gate(&gates::phase(0.7), 1, &[Control::pos(2)]);
+        rho.apply_gate(&gates::u3(0.3, 1.1, -0.4), 1, &[]);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+        assert!(rho.is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn kraus_identity_channel_is_a_no_op() {
+        let mut rho = DensityMatrix::new(2).unwrap();
+        rho.apply_gate(&gates::h(), 0, &[]);
+        rho.apply_gate(&gates::x(), 1, &[Control::pos(0)]);
+        let before = rho.clone();
+        rho.apply_kraus(&[gates::id()], 0);
+        assert!(rho.approx_eq(&before, 1e-12));
+    }
+
+    #[test]
+    fn max_difference_detects_changes() {
+        let a = DensityMatrix::new(1).unwrap();
+        let mut b = DensityMatrix::new(1).unwrap();
+        b.apply_gate(&gates::x(), 0, &[]);
+        assert!(a.max_difference(&b) > 0.9);
+        assert!(!a.approx_eq(&b, 1e-6));
+    }
+}

@@ -1,0 +1,271 @@
+//! Single-density-matrix simulation of (dynamic) circuits, with optional noise.
+
+use crate::channels::KrausChannel;
+use crate::error::DensityError;
+use crate::matrix::DensityMatrix;
+use circuit::{OpKind, QuantumCircuit};
+use dd::Control;
+use sim::gate_matrix;
+
+/// A simple noise model: a Kraus channel applied to every qubit an operation
+/// touches, immediately after the operation.
+///
+/// This mirrors the decoherence-aware density-matrix simulation the paper
+/// cites as related work; it is an extension beyond the paper's noiseless
+/// evaluation and is used by the examples to illustrate why verifying the
+/// *ideal* circuits matters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Channel applied after every single-qubit gate (on its target).
+    pub single_qubit: Option<KrausChannel>,
+    /// Channel applied after every controlled gate (on target and controls).
+    pub two_qubit: Option<KrausChannel>,
+    /// Channel applied after measurements and resets (on the measured qubit).
+    pub readout: Option<KrausChannel>,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            single_qubit: None,
+            two_qubit: None,
+            readout: None,
+        }
+    }
+
+    /// A uniform depolarising model with error probability `p1` after
+    /// single-qubit gates and `p2` after controlled gates.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            single_qubit: Some(KrausChannel::depolarizing(p1)),
+            two_qubit: Some(KrausChannel::depolarizing(p2)),
+            readout: None,
+        }
+    }
+
+    /// Returns `true` when no channel is configured.
+    pub fn is_noiseless(&self) -> bool {
+        self.single_qubit.is_none() && self.two_qubit.is_none() && self.readout.is_none()
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::noiseless()
+    }
+}
+
+/// Simulates a circuit on a single density matrix.
+///
+/// Measurements are applied *non-selectively* (the qubit is dephased and the
+/// record discarded); consequently the simulator cannot report the
+/// distribution over measurement records — the limitation of density-matrix
+/// simulators the paper discusses in Section 5. Classically-controlled
+/// operations are therefore rejected; use the
+/// [`EnsembleSimulator`](crate::EnsembleSimulator) or the extraction scheme
+/// for circuits that contain them.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use density::{DensityMatrixSimulator, NoiseModel};
+///
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+/// let mut sim = DensityMatrixSimulator::new(2, NoiseModel::noiseless())?;
+/// sim.run(&qc)?;
+/// let probabilities = sim.state().diagonal_probabilities();
+/// assert!((probabilities[0] - 0.5).abs() < 1e-12);
+/// assert!((probabilities[3] - 0.5).abs() < 1e-12);
+/// # Ok::<(), density::DensityError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrixSimulator {
+    state: DensityMatrix,
+    noise: NoiseModel,
+    applied_operations: usize,
+}
+
+impl DensityMatrixSimulator {
+    /// Creates a simulator in the |0…0⟩ state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::TooManyQubits`] for oversized registers.
+    pub fn new(n_qubits: usize, noise: NoiseModel) -> Result<Self, DensityError> {
+        Ok(DensityMatrixSimulator {
+            state: DensityMatrix::new(n_qubits)?,
+            noise,
+            applied_operations: 0,
+        })
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &DensityMatrix {
+        &self.state
+    }
+
+    /// Number of operations applied so far.
+    pub fn applied_operations(&self) -> usize {
+        self.applied_operations
+    }
+
+    /// Runs all operations of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DensityError::ClassicallyControlledUnsupported`] when the
+    /// circuit conditions an operation on a classical bit, and index errors
+    /// for malformed circuits.
+    pub fn run(&mut self, circuit: &QuantumCircuit) -> Result<(), DensityError> {
+        for op in circuit.iter() {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single operation.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn apply(&mut self, op: &circuit::Operation) -> Result<(), DensityError> {
+        let n_qubits = self.state.num_qubits();
+        for q in op.qubits() {
+            if q >= n_qubits {
+                return Err(DensityError::QubitOutOfRange { qubit: q, n_qubits });
+            }
+        }
+        if op.condition.is_some() {
+            return Err(DensityError::ClassicallyControlledUnsupported {
+                operation: op.to_string(),
+            });
+        }
+        match &op.kind {
+            OpKind::Barrier => {}
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                let matrix = gate_matrix(*gate);
+                let dd_controls: Vec<Control> = controls
+                    .iter()
+                    .map(|c| Control {
+                        qubit: c.qubit,
+                        positive: c.positive,
+                    })
+                    .collect();
+                self.state.apply_gate(&matrix, *target, &dd_controls);
+                let channel = if controls.is_empty() {
+                    &self.noise.single_qubit
+                } else {
+                    &self.noise.two_qubit
+                };
+                if let Some(channel) = channel {
+                    channel.apply(&mut self.state, *target);
+                    for c in controls {
+                        channel.apply(&mut self.state, c.qubit);
+                    }
+                }
+            }
+            OpKind::Measure { qubit, .. } => {
+                self.state.dephase(*qubit);
+                if let Some(channel) = &self.noise.readout {
+                    channel.apply(&mut self.state, *qubit);
+                }
+            }
+            OpKind::Reset { qubit } => {
+                self.state.reset(*qubit);
+                if let Some(channel) = &self.noise.readout {
+                    channel.apply(&mut self.state, *qubit);
+                }
+            }
+        }
+        self.applied_operations += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::{Operation, StandardGate};
+
+    #[test]
+    fn noiseless_unitary_run_stays_pure() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.h(0).cx(0, 1).cx(1, 2).t(2);
+        let mut sim = DensityMatrixSimulator::new(3, NoiseModel::noiseless()).unwrap();
+        sim.run(&qc).unwrap();
+        assert!((sim.state().purity() - 1.0).abs() < 1e-10);
+        assert_eq!(sim.applied_operations(), 4);
+    }
+
+    #[test]
+    fn classically_controlled_operation_is_rejected() {
+        let mut sim = DensityMatrixSimulator::new(1, NoiseModel::noiseless()).unwrap();
+        let op = Operation::conditioned(
+            StandardGate::X,
+            0,
+            vec![],
+            circuit::ClassicalCondition::is_one(0),
+        );
+        assert!(matches!(
+            sim.apply(&op),
+            Err(DensityError::ClassicallyControlledUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn measurement_dephases_the_state() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).measure(0, 0);
+        let mut sim = DensityMatrixSimulator::new(1, NoiseModel::noiseless()).unwrap();
+        sim.run(&qc).unwrap();
+        assert!((sim.state().purity() - 0.5).abs() < 1e-12);
+        let probabilities = sim.state().diagonal_probabilities();
+        assert!((probabilities[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_after_measurement_reuses_the_qubit() {
+        let mut qc = QuantumCircuit::new(1, 2);
+        qc.h(0).measure(0, 0).reset(0);
+        let mut sim = DensityMatrixSimulator::new(1, NoiseModel::noiseless()).unwrap();
+        sim.run(&qc).unwrap();
+        let probabilities = sim.state().diagonal_probabilities();
+        assert!((probabilities[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_noise_reduces_purity() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        let mut ideal = DensityMatrixSimulator::new(2, NoiseModel::noiseless()).unwrap();
+        ideal.run(&qc).unwrap();
+        let mut noisy =
+            DensityMatrixSimulator::new(2, NoiseModel::depolarizing(0.01, 0.05)).unwrap();
+        noisy.run(&qc).unwrap();
+        assert!(noisy.state().purity() < ideal.state().purity());
+        assert!((noisy.state().trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_model_classification() {
+        assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(NoiseModel::default().is_noiseless());
+        assert!(!NoiseModel::depolarizing(0.001, 0.01).is_noiseless());
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_reported() {
+        let mut sim = DensityMatrixSimulator::new(1, NoiseModel::noiseless()).unwrap();
+        assert!(matches!(
+            sim.apply(&Operation::reset(4)),
+            Err(DensityError::QubitOutOfRange { qubit: 4, .. })
+        ));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based and cross-validation tests for the density-matrix layer.
+//!
+//! The density-matrix simulators are the workspace's independent reference
+//! implementation: here they are checked against the decision-diagram
+//! state-vector simulator (for unitary circuits) and against the paper's
+//! extraction scheme (for dynamic circuits).
+
+use algorithms::{qpe, random};
+use circuit::QuantumCircuit;
+use density::{DensityMatrix, DensityMatrixSimulator, EnsembleSimulator, NoiseModel};
+use proptest::prelude::*;
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+
+/// Builds the density matrix |ψ⟩⟨ψ| of the state-vector simulation of a
+/// unitary circuit.
+fn pure_reference(circuit: &QuantumCircuit) -> DensityMatrix {
+    let mut sim = StateVectorSimulator::new(circuit.num_qubits());
+    sim.run(&circuit.without_measurements())
+        .expect("reference circuit is unitary");
+    DensityMatrix::from_amplitudes(&sim.amplitudes()).expect("small register")
+}
+
+#[test]
+fn density_simulation_matches_statevector_on_ghz() {
+    let qc = algorithms::ghz::ghz(4, false);
+    let mut sim = DensityMatrixSimulator::new(4, NoiseModel::noiseless()).unwrap();
+    sim.run(&qc).unwrap();
+    let reference = pure_reference(&qc);
+    assert!(sim.state().approx_eq(&reference, 1e-10));
+}
+
+#[test]
+fn ensemble_matches_extraction_on_iqpe() {
+    // The paper's running example for several precisions.
+    for precision in 1..=4 {
+        let phi = 3.0 * std::f64::consts::PI / 8.0;
+        let iqpe = qpe::iqpe_dynamic(phi, precision);
+        let mut ensemble = EnsembleSimulator::new(&iqpe).unwrap();
+        ensemble.run(&iqpe).unwrap();
+        let extracted = extract_distribution(&iqpe, &ExtractionConfig::default()).unwrap();
+        assert!(
+            ensemble
+                .outcome_distribution()
+                .approx_eq(&extracted.distribution, 1e-9),
+            "precision {precision}: ensemble and extraction disagree"
+        );
+    }
+}
+
+#[test]
+fn ensemble_matches_extraction_on_random_dynamic_circuits() {
+    for seed in 0..8u64 {
+        let qc = random::random_dynamic_circuit(3, 3, 20, seed);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        let extracted = extract_distribution(&qc, &ExtractionConfig::default()).unwrap();
+        assert!(
+            ensemble
+                .outcome_distribution()
+                .approx_eq(&extracted.distribution, 1e-9),
+            "seed {seed}: ensemble and extraction disagree"
+        );
+    }
+}
+
+#[test]
+fn ensemble_mixed_state_matches_single_density_matrix_for_unconditioned_circuits() {
+    // Without classically-controlled operations, averaging the ensemble over
+    // the records must give exactly the single-density-matrix simulation.
+    for seed in 0..4u64 {
+        let mut qc = QuantumCircuit::new(3, 2);
+        qc.append(&algorithms::random::random_unitary_circuit(3, 12, seed));
+        qc.measure(0, 0);
+        qc.h(1);
+        qc.measure(1, 1);
+        qc.reset(0);
+        qc.h(0);
+
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        let mut single = DensityMatrixSimulator::new(3, NoiseModel::noiseless()).unwrap();
+        single.run(&qc).unwrap();
+        assert!(
+            ensemble.mixed_state().approx_eq(single.state(), 1e-9),
+            "seed {seed}: ensemble average and density matrix disagree"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unitary evolution on a density matrix agrees with the state-vector
+    /// simulator for random unitary circuits.
+    #[test]
+    fn density_matches_statevector_on_random_unitary_circuits(
+        seed in 0u64..5000,
+        len in 1usize..24,
+        n_qubits in 1usize..5,
+    ) {
+        let qc = random::random_unitary_circuit(n_qubits, len, seed);
+        let mut sim = DensityMatrixSimulator::new(n_qubits, NoiseModel::noiseless()).unwrap();
+        sim.run(&qc).unwrap();
+        let reference = pure_reference(&qc);
+        prop_assert!(sim.state().approx_eq(&reference, 1e-9));
+        prop_assert!((sim.state().purity() - 1.0).abs() < 1e-9);
+    }
+
+    /// The ensemble's record distribution always sums to one and matches the
+    /// extraction scheme on random dynamic circuits.
+    #[test]
+    fn ensemble_distribution_is_normalised_and_matches_extraction(
+        seed in 0u64..5000,
+        len in 4usize..28,
+    ) {
+        let qc = random::random_dynamic_circuit(3, 2, len, seed);
+        let mut ensemble = EnsembleSimulator::new(&qc).unwrap();
+        ensemble.run(&qc).unwrap();
+        let distribution = ensemble.outcome_distribution();
+        prop_assert!((distribution.total() - 1.0).abs() < 1e-9);
+        let extracted = extract_distribution(&qc, &ExtractionConfig::default()).unwrap();
+        prop_assert!(distribution.approx_eq(&extracted.distribution, 1e-9));
+    }
+
+    /// Projective measurement branches always sum back to the pre-measurement
+    /// probabilities and traces stay within [0, 1].
+    #[test]
+    fn projection_probabilities_are_consistent(
+        seed in 0u64..5000,
+        n_qubits in 1usize..4,
+        qubit_choice in 0usize..4,
+    ) {
+        let qubit = qubit_choice % n_qubits;
+        let qc = random::random_unitary_circuit(n_qubits, 10, seed);
+        let mut sim = DensityMatrixSimulator::new(n_qubits, NoiseModel::noiseless()).unwrap();
+        sim.run(&qc).unwrap();
+        let rho = sim.state().clone();
+        let (p0, p1) = rho.probabilities(qubit);
+        prop_assert!((p0 + p1 - 1.0).abs() < 1e-9);
+        let mut branch0 = rho.clone();
+        let q0 = branch0.project(qubit, false, false);
+        let mut branch1 = rho.clone();
+        let q1 = branch1.project(qubit, true, false);
+        prop_assert!((q0 - p0).abs() < 1e-9);
+        prop_assert!((q1 - p1).abs() < 1e-9);
+        prop_assert!((branch0.trace() + branch1.trace() - 1.0).abs() < 1e-9);
+    }
+
+    /// Noise never increases purity beyond 1 and never breaks the unit trace.
+    #[test]
+    fn noisy_simulation_is_physical(
+        seed in 0u64..5000,
+        p1 in 0.0f64..0.2,
+        p2 in 0.0f64..0.2,
+    ) {
+        let qc = random::random_unitary_circuit(3, 15, seed);
+        let mut sim = DensityMatrixSimulator::new(3, NoiseModel::depolarizing(p1, p2)).unwrap();
+        sim.run(&qc).unwrap();
+        prop_assert!((sim.state().trace() - 1.0).abs() < 1e-8);
+        prop_assert!(sim.state().purity() <= 1.0 + 1e-8);
+        prop_assert!(sim.state().is_hermitian(1e-8));
+    }
+}

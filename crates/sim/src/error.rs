@@ -1,0 +1,47 @@
+//! Error type of the simulation layer.
+
+use std::fmt;
+
+/// Error returned by the simulators and the extraction scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A dynamic-circuit primitive was encountered where only unitary
+    /// operations are supported.
+    UnsupportedOperation {
+        /// Description of the offending operation.
+        operation: String,
+        /// What the caller was trying to do.
+        context: &'static str,
+    },
+    /// The branching extraction exceeded the configured branch budget.
+    BranchLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The provided initial state has the wrong number of qubits.
+    InitialStateMismatch {
+        /// Qubits in the circuit.
+        expected: usize,
+        /// Qubits provided.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedOperation { operation, context } => {
+                write!(f, "operation `{operation}` is not supported during {context}")
+            }
+            SimError::BranchLimitExceeded { limit } => {
+                write!(f, "extraction exceeded the branch limit of {limit}")
+            }
+            SimError::InitialStateMismatch { expected, provided } => write!(
+                f,
+                "initial state has {provided} qubits but the circuit expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

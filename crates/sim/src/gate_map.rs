@@ -1,0 +1,104 @@
+//! Mapping from the symbolic circuit IR onto numeric decision-diagram gates.
+
+use circuit::{QuantumControl, StandardGate};
+use dd::{gates, Control, GateMatrix};
+
+/// Returns the 2x2 matrix of a symbolic gate.
+pub fn gate_matrix(gate: StandardGate) -> GateMatrix {
+    match gate {
+        StandardGate::I => gates::id(),
+        StandardGate::H => gates::h(),
+        StandardGate::X => gates::x(),
+        StandardGate::Y => gates::y(),
+        StandardGate::Z => gates::z(),
+        StandardGate::S => gates::s(),
+        StandardGate::Sdg => gates::sdg(),
+        StandardGate::T => gates::t(),
+        StandardGate::Tdg => gates::tdg(),
+        StandardGate::Sx => gates::sx(),
+        StandardGate::Sxdg => gates::sxdg(),
+        StandardGate::Phase(theta) => gates::phase(theta),
+        StandardGate::Rx(theta) => gates::rx(theta),
+        StandardGate::Ry(theta) => gates::ry(theta),
+        StandardGate::Rz(theta) => gates::rz(theta),
+        StandardGate::U(theta, phi, lambda) => gates::u3(theta, phi, lambda),
+    }
+}
+
+/// Converts circuit-level quantum controls into decision-diagram controls.
+pub fn controls(controls: &[QuantumControl]) -> Vec<Control> {
+    controls
+        .iter()
+        .map(|c| Control {
+            qubit: c.qubit,
+            positive: c.positive,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd::gates::{is_unitary, matmul};
+
+    #[test]
+    fn every_gate_maps_to_a_unitary_matrix() {
+        let all = [
+            StandardGate::I,
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::Sdg,
+            StandardGate::T,
+            StandardGate::Tdg,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.37),
+            StandardGate::Rx(-1.1),
+            StandardGate::Ry(0.6),
+            StandardGate::Rz(2.4),
+            StandardGate::U(0.2, 1.3, -0.8),
+        ];
+        for g in all {
+            assert!(is_unitary(&gate_matrix(g)), "{g} should be unitary");
+        }
+    }
+
+    #[test]
+    fn symbolic_inverse_matches_matrix_adjoint() {
+        let gates_to_check = [
+            StandardGate::H,
+            StandardGate::S,
+            StandardGate::T,
+            StandardGate::Sx,
+            StandardGate::Phase(0.9),
+            StandardGate::Rx(1.7),
+            StandardGate::Ry(-0.4),
+            StandardGate::Rz(0.55),
+            StandardGate::U(0.3, -1.0, 2.0),
+        ];
+        for g in gates_to_check {
+            let product = matmul(&gate_matrix(g.inverse()), &gate_matrix(g));
+            assert!(
+                product[0][0].is_one()
+                    && product[1][1].is_one()
+                    && product[0][1].is_zero()
+                    && product[1][0].is_zero(),
+                "inverse of {g} is not its adjoint"
+            );
+        }
+    }
+
+    #[test]
+    fn control_polarity_is_preserved() {
+        let qc = [QuantumControl::pos(3), QuantumControl::neg(1)];
+        let dd_controls = controls(&qc);
+        assert_eq!(dd_controls.len(), 2);
+        assert_eq!(dd_controls[0].qubit, 3);
+        assert!(dd_controls[0].positive);
+        assert_eq!(dd_controls[1].qubit, 1);
+        assert!(!dd_controls[1].positive);
+    }
+}

@@ -1,0 +1,280 @@
+//! Deferred measurement: move all measurements to the end of the circuit,
+//! replacing classically-controlled operations by quantum-controlled ones
+//! (Section 4 of the paper).
+//!
+//! The deferred measurement principle states that delaying a measurement to
+//! the end of a computation does not change the distribution of outcomes —
+//! provided everything that happens to the measured qubit in between commutes
+//! with the measurement. For the dynamic circuits considered here this is the
+//! case by construction: after a qubit is measured it is either abandoned
+//! (reset substitution has moved later operations onto a fresh qubit) or only
+//! takes part in operations that are diagonal on it.
+
+use crate::error::TransformError;
+use circuit::{OpKind, Operation, QuantumCircuit, QuantumControl};
+
+/// Result of the deferred-measurement pass.
+#[derive(Debug, Clone)]
+pub struct DeferredMeasurements {
+    /// The rewritten circuit: a unitary prefix followed only by measurements.
+    pub circuit: QuantumCircuit,
+    /// Number of classically-controlled operations that were replaced by
+    /// quantum-controlled ones.
+    pub replaced_conditions: usize,
+    /// `(qubit, bit)` pairs of the measurements now located at the end, in
+    /// their original order.
+    pub measurements: Vec<(usize, usize)>,
+}
+
+/// Moves every measurement to the end of `circuit`.
+///
+/// Classically-controlled operations are rewritten into quantum-controlled
+/// operations on the qubit whose (deferred) measurement produces the
+/// condition bit. Conditions on bits that are never written by a measurement
+/// are resolved statically (the bit reads 0).
+///
+/// # Errors
+///
+/// * [`TransformError::UnexpectedReset`] if the circuit still contains reset
+///   operations — run [`substitute_resets`](crate::substitute_resets) first.
+/// * [`TransformError::QubitUsedAfterMeasurement`] if a measured qubit is
+///   later used in a way that does not commute with the measurement (target
+///   of a non-diagonal gate), in which case the measurement cannot be
+///   deferred.
+pub fn defer_measurements(
+    circuit: &QuantumCircuit,
+) -> Result<DeferredMeasurements, TransformError> {
+    let mut out = QuantumCircuit::with_name(
+        circuit.num_qubits(),
+        circuit.num_bits(),
+        format!("{}_deferred", circuit.name()),
+    );
+    // bit_source[b] = qubit whose deferred measurement defines classical bit b.
+    let mut bit_source: Vec<Option<usize>> = vec![None; circuit.num_bits()];
+    // measured[q] = true once qubit q has been measured.
+    let mut measured = vec![false; circuit.num_qubits()];
+    let mut measurements: Vec<(usize, usize)> = Vec::new();
+    let mut replaced_conditions = 0;
+
+    for op in circuit.ops() {
+        match &op.kind {
+            OpKind::Reset { qubit } => {
+                return Err(TransformError::UnexpectedReset { qubit: *qubit });
+            }
+            OpKind::Measure { qubit, bit } => {
+                measured[*qubit] = true;
+                bit_source[*bit] = Some(*qubit);
+                measurements.push((*qubit, *bit));
+            }
+            OpKind::Barrier => out.push(Operation::barrier()),
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                // Deferring is only sound if measured qubits are not modified
+                // afterwards: the target must not have been measured unless
+                // the gate is diagonal, and controls are always fine (a
+                // control is diagonal on the controlling qubit).
+                if measured[*target] && !gate.is_diagonal() {
+                    return Err(TransformError::QubitUsedAfterMeasurement {
+                        qubit: *target,
+                        operation: op.to_string(),
+                    });
+                }
+                let mut controls = controls.clone();
+                match op.condition {
+                    None => {
+                        out.push(Operation::unitary(*gate, *target, controls));
+                    }
+                    Some(cond) => match bit_source[cond.bit] {
+                        Some(source_qubit) => {
+                            controls.push(QuantumControl {
+                                qubit: source_qubit,
+                                positive: cond.value,
+                            });
+                            replaced_conditions += 1;
+                            out.push(Operation::unitary(*gate, *target, controls));
+                        }
+                        None => {
+                            // The bit was never written, so it reads 0: the
+                            // operation is applied iff the condition expects 0.
+                            if !cond.value {
+                                out.push(Operation::unitary(*gate, *target, controls));
+                            }
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    for &(qubit, bit) in &measurements {
+        out.push(Operation::measure(qubit, bit));
+    }
+
+    Ok(DeferredMeasurements {
+        circuit: out,
+        replaced_conditions,
+        measurements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::StandardGate;
+
+    #[test]
+    fn measurements_move_to_the_end() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).measure(0, 0).h(1).measure(1, 1);
+        let result = defer_measurements(&qc).expect("deferrable");
+        let ops = result.circuit.ops();
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[0].kind, OpKind::Unitary { .. }));
+        assert!(matches!(ops[1].kind, OpKind::Unitary { .. }));
+        assert!(matches!(ops[2].kind, OpKind::Measure { .. }));
+        assert!(matches!(ops[3].kind, OpKind::Measure { .. }));
+        assert_eq!(result.measurements, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn classical_condition_becomes_quantum_control() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).measure(0, 0).x_if(1, 0);
+        let result = defer_measurements(&qc).expect("deferrable");
+        assert_eq!(result.replaced_conditions, 1);
+        let ops = result.circuit.ops();
+        // h, cx (from the condition), measure
+        assert_eq!(ops.len(), 3);
+        match &ops[1].kind {
+            OpKind::Unitary {
+                gate: StandardGate::X,
+                target,
+                controls,
+            } => {
+                assert_eq!(*target, 1);
+                assert_eq!(controls.len(), 1);
+                assert_eq!(controls[0], QuantumControl::pos(0));
+            }
+            other => panic!("expected a controlled X, found {other:?}"),
+        }
+        assert!(ops[1].condition.is_none());
+    }
+
+    #[test]
+    fn condition_on_zero_value_becomes_negative_control() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).measure(0, 0).gate_if(StandardGate::X, 1, 0, false);
+        let result = defer_measurements(&qc).expect("deferrable");
+        match &result.circuit.ops()[1].kind {
+            OpKind::Unitary { controls, .. } => {
+                assert_eq!(controls[0], QuantumControl::neg(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition_on_unwritten_bit_is_resolved_statically() {
+        let mut qc = QuantumCircuit::new(1, 2);
+        qc.gate_if(StandardGate::X, 0, 1, true); // never applied (bit 1 reads 0)
+        qc.gate_if(StandardGate::Z, 0, 1, false); // always applied
+        let result = defer_measurements(&qc).expect("deferrable");
+        assert_eq!(result.circuit.len(), 1);
+        assert!(matches!(
+            result.circuit.ops()[0].kind,
+            OpKind::Unitary {
+                gate: StandardGate::Z,
+                ..
+            }
+        ));
+        assert_eq!(result.replaced_conditions, 0);
+    }
+
+    #[test]
+    fn rejects_resets() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).reset(0);
+        assert!(matches!(
+            defer_measurements(&qc),
+            Err(TransformError::UnexpectedReset { qubit: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_diagonal_gate_after_measurement() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.measure(0, 0).h(0);
+        assert!(matches!(
+            defer_measurements(&qc),
+            Err(TransformError::QubitUsedAfterMeasurement { qubit: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn diagonal_gate_after_measurement_is_allowed() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).measure(0, 0).z(0).x_if(1, 0);
+        let result = defer_measurements(&qc).expect("diagonal gates commute");
+        assert_eq!(result.circuit.measurement_count(), 1);
+    }
+
+    #[test]
+    fn measured_qubit_may_act_as_control() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).measure(0, 0).cx(0, 1);
+        let result = defer_measurements(&qc).expect("controls commute");
+        assert!(matches!(
+            result.circuit.ops().last().unwrap().kind,
+            OpKind::Measure { .. }
+        ));
+    }
+
+    #[test]
+    fn rebinding_a_bit_uses_the_measurement_in_effect() {
+        // Bit 0 is written by qubit 0, used as a condition, then re-written
+        // by qubit 1. The first condition must refer to qubit 0.
+        let mut qc = QuantumCircuit::new(3, 1);
+        qc.h(0).measure(0, 0).x_if(2, 0).h(1).measure(1, 0).x_if(2, 0);
+        let result = defer_measurements(&qc).expect("deferrable");
+        let controls: Vec<usize> = result
+            .circuit
+            .ops()
+            .iter()
+            .filter_map(|op| match &op.kind {
+                OpKind::Unitary {
+                    gate: StandardGate::X,
+                    controls,
+                    ..
+                } if !controls.is_empty() => Some(controls[0].qubit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(controls, vec![0, 1]);
+    }
+
+    #[test]
+    fn iqpe_example_from_the_paper() {
+        // Fig. 3a → Fig. 3b: after reset substitution the 3-bit IQPE circuit
+        // defers to a unitary circuit plus 3 trailing measurements, with all
+        // classically-controlled rotations replaced by controlled rotations.
+        let phi = 3.0 * std::f64::consts::PI / 8.0;
+        let iqpe = algorithms::qpe::iqpe_dynamic(phi, 3);
+        let reset_free = crate::substitute_resets(&iqpe).circuit;
+        let result = defer_measurements(&reset_free).expect("deferrable");
+        assert_eq!(result.replaced_conditions, 3); // -π/2, -π/4, -π/2
+        assert_eq!(result.circuit.measurement_count(), 3);
+        // Everything before the trailing measurements is unitary.
+        let ops = result.circuit.ops();
+        let first_measure = ops
+            .iter()
+            .position(|op| matches!(op.kind, OpKind::Measure { .. }))
+            .unwrap();
+        assert!(ops[..first_measure].iter().all(|op| op.is_unitary()));
+        assert!(ops[first_measure..]
+            .iter()
+            .all(|op| matches!(op.kind, OpKind::Measure { .. })));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type of the transformation passes.
+
+use std::fmt;
+
+/// Error returned by the unitary-reconstruction passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// A measured qubit is modified afterwards in a way that does not commute
+    /// with the measurement, so the measurement cannot be deferred.
+    QubitUsedAfterMeasurement {
+        /// The offending qubit.
+        qubit: usize,
+        /// Description of the offending operation.
+        operation: String,
+    },
+    /// A reset remains in the circuit although the pass requires a reset-free
+    /// input (run reset substitution first).
+    UnexpectedReset {
+        /// The qubit being reset.
+        qubit: usize,
+    },
+    /// The two circuits cannot be aligned because their register sizes differ
+    /// after reconstruction.
+    RegisterMismatch {
+        /// Qubits in the reference circuit.
+        reference_qubits: usize,
+        /// Qubits in the transformed circuit.
+        transformed_qubits: usize,
+    },
+    /// The two circuits cannot be aligned because their measurement maps
+    /// disagree.
+    MeasurementMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::QubitUsedAfterMeasurement { qubit, operation } => write!(
+                f,
+                "qubit {qubit} is modified by `{operation}` after being measured; \
+                 the measurement cannot be deferred"
+            ),
+            TransformError::UnexpectedReset { qubit } => write!(
+                f,
+                "reset of qubit {qubit} encountered; run reset substitution before \
+                 deferring measurements"
+            ),
+            TransformError::RegisterMismatch {
+                reference_qubits,
+                transformed_qubits,
+            } => write!(
+                f,
+                "register sizes differ: reference has {reference_qubits} qubits, \
+                 transformed circuit has {transformed_qubits}"
+            ),
+            TransformError::MeasurementMismatch { detail } => {
+                write!(f, "measurement maps cannot be aligned: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}

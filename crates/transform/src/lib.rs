@@ -1,0 +1,44 @@
+//! # transform — unitary reconstruction of dynamic quantum circuits
+//!
+//! Implementation of the circuit-transformation scheme from Section 4 of
+//! *Burgholzer & Wille, "Handling Non-Unitaries in Quantum Circuit
+//! Equivalence Checking" (DAC 2022)*:
+//!
+//! 1. [`substitute_resets`] — every reset is replaced by a fresh qubit, so an
+//!    `n`-qubit circuit with `r` resets becomes an `(n + r)`-qubit circuit
+//!    without resets.
+//! 2. [`defer_measurements`] — all measurements are moved to the end of the
+//!    circuit, replacing classically-controlled operations with
+//!    quantum-controlled ones (the deferred measurement principle).
+//!
+//! [`reconstruct_unitary`] runs both passes and reports the transformation
+//! time (`t_trans` in the paper's Table 1). [`align_to_reference`] renames
+//! the qubits of a reconstructed circuit so that they line up with a static
+//! reference circuit, using the classical measurement bits as the common
+//! frame of reference.
+//!
+//! ```
+//! use algorithms::qpe;
+//! use transform::{align_to_reference, reconstruct_unitary};
+//!
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let static_qpe = qpe::qpe_static(phi, 3, true);
+//! let iqpe = qpe::iqpe_dynamic(phi, 3);
+//!
+//! let reconstruction = reconstruct_unitary(&iqpe)?;
+//! let aligned = align_to_reference(&static_qpe, &reconstruction.circuit)?;
+//! assert_eq!(aligned.num_qubits(), static_qpe.num_qubits());
+//! # Ok::<(), transform::TransformError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod deferred_measurement;
+mod error;
+mod reconstruction;
+mod reset_substitution;
+
+pub use deferred_measurement::{defer_measurements, DeferredMeasurements};
+pub use error::TransformError;
+pub use reconstruction::{align_to_reference, reconstruct_unitary, Reconstruction};
+pub use reset_substitution::{substitute_resets, ResetSubstitution};

@@ -1,0 +1,266 @@
+//! The combined unitary-reconstruction pipeline and the measurement-based
+//! qubit alignment used when comparing a reconstructed circuit against a
+//! static reference.
+
+use crate::deferred_measurement::defer_measurements;
+use crate::error::TransformError;
+use crate::reset_substitution::substitute_resets;
+use circuit::{OpKind, QuantumCircuit};
+use std::time::{Duration, Instant};
+
+/// Result of [`reconstruct_unitary`].
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    /// The reconstructed circuit: a unitary prefix followed by measurements
+    /// only.
+    pub circuit: QuantumCircuit,
+    /// Number of fresh qubits introduced for resets (the paper's `r`).
+    pub added_qubits: usize,
+    /// Number of classically-controlled operations turned into
+    /// quantum-controlled operations.
+    pub replaced_conditions: usize,
+    /// Wall-clock time spent in the transformation (the paper's `t_trans`).
+    pub duration: Duration,
+}
+
+impl Reconstruction {
+    /// The unitary part of the reconstructed circuit (trailing measurements
+    /// stripped), suitable for building a system matrix.
+    pub fn unitary_circuit(&self) -> QuantumCircuit {
+        self.circuit.without_measurements()
+    }
+}
+
+/// Applies the full transformation scheme of Section 4 of the paper:
+/// reset substitution followed by the deferred-measurement principle.
+///
+/// The result contains only unitary operations followed by measurements at
+/// the very end, and can therefore be handled by any conventional
+/// equivalence-checking or simulation back-end.
+///
+/// # Errors
+///
+/// Returns the underlying [`TransformError`] when a measurement cannot be
+/// deferred (see [`defer_measurements`]).
+///
+/// # Examples
+///
+/// ```
+/// use algorithms::qpe;
+/// use transform::reconstruct_unitary;
+///
+/// let phi = 3.0 * std::f64::consts::PI / 8.0;
+/// let iqpe = qpe::iqpe_dynamic(phi, 3);
+/// let rec = reconstruct_unitary(&iqpe)?;
+/// assert_eq!(rec.circuit.num_qubits(), 4); // 2 original + 2 resets
+/// assert_eq!(rec.circuit.reset_count(), 0);
+/// # Ok::<(), transform::TransformError>(())
+/// ```
+pub fn reconstruct_unitary(circuit: &QuantumCircuit) -> Result<Reconstruction, TransformError> {
+    let start = Instant::now();
+    let reset_free = substitute_resets(circuit);
+    let deferred = defer_measurements(&reset_free.circuit)?;
+    let duration = start.elapsed();
+    Ok(Reconstruction {
+        circuit: deferred.circuit,
+        added_qubits: reset_free.added_qubits,
+        replaced_conditions: deferred.replaced_conditions,
+        duration,
+    })
+}
+
+/// Map from classical bits to the qubit measured into them (last writer wins).
+fn measurement_map(circuit: &QuantumCircuit) -> Vec<Option<usize>> {
+    let mut map = vec![None; circuit.num_bits()];
+    for op in circuit.ops() {
+        if let OpKind::Measure { qubit, bit } = op.kind {
+            map[bit] = Some(qubit);
+        }
+    }
+    map
+}
+
+/// Renames the qubits of `transformed` so that they line up with `reference`.
+///
+/// Qubits are matched through the classical bits they are measured into: the
+/// qubit of `transformed` that produces classical bit `b` is renamed to the
+/// qubit of `reference` that produces the same bit. Unmeasured qubits are
+/// matched to the remaining reference qubits in increasing index order.
+///
+/// This realises the paper's requirement that "the transformed versions of
+/// both circuits have the same number of primary inputs and outputs": the
+/// classical outputs define which qubit is which.
+///
+/// # Errors
+///
+/// * [`TransformError::RegisterMismatch`] when the qubit counts differ.
+/// * [`TransformError::MeasurementMismatch`] when a classical bit is measured
+///   in one circuit but not the other.
+pub fn align_to_reference(
+    reference: &QuantumCircuit,
+    transformed: &QuantumCircuit,
+) -> Result<QuantumCircuit, TransformError> {
+    if reference.num_qubits() != transformed.num_qubits() {
+        return Err(TransformError::RegisterMismatch {
+            reference_qubits: reference.num_qubits(),
+            transformed_qubits: transformed.num_qubits(),
+        });
+    }
+    let n = reference.num_qubits();
+    let bits = reference.num_bits().max(transformed.num_bits());
+    let mut ref_map = measurement_map(reference);
+    let mut trans_map = measurement_map(transformed);
+    ref_map.resize(bits, None);
+    trans_map.resize(bits, None);
+
+    // mapping[q_transformed] = q_reference
+    let mut mapping: Vec<Option<usize>> = vec![None; n];
+    let mut used_reference = vec![false; n];
+
+    for bit in 0..bits {
+        match (trans_map[bit], ref_map[bit]) {
+            (Some(tq), Some(rq)) => {
+                if let Some(existing) = mapping[tq] {
+                    if existing != rq {
+                        return Err(TransformError::MeasurementMismatch {
+                            detail: format!(
+                                "transformed qubit {tq} would map to both reference qubits \
+                                 {existing} and {rq}"
+                            ),
+                        });
+                    }
+                } else if used_reference[rq] {
+                    return Err(TransformError::MeasurementMismatch {
+                        detail: format!("reference qubit {rq} is the target of two mappings"),
+                    });
+                } else {
+                    mapping[tq] = Some(rq);
+                    used_reference[rq] = true;
+                }
+            }
+            (None, None) => {}
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(TransformError::MeasurementMismatch {
+                    detail: format!(
+                        "classical bit {bit} is measured in only one of the circuits"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Match the remaining (unmeasured) qubits in increasing order.
+    let mut free_reference = (0..n).filter(|&q| !used_reference[q]);
+    for q in 0..n {
+        if mapping[q].is_none() {
+            mapping[q] = Some(
+                free_reference
+                    .next()
+                    .expect("counting argument: as many free slots as unmapped qubits"),
+            );
+        }
+    }
+
+    let mapping: Vec<usize> = mapping.into_iter().map(|m| m.expect("fully mapped")).collect();
+    Ok(transformed.map_qubits(n, |q| mapping[q]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::StandardGate;
+
+    #[test]
+    fn reconstruction_of_iqpe_matches_paper_example() {
+        // Example 4 + 5: 2-qubit, 3-bit IQPE → 4-qubit unitary circuit with
+        // 3 quantum-controlled rotations and 3 trailing measurements.
+        let phi = 3.0 * std::f64::consts::PI / 8.0;
+        let iqpe = algorithms::qpe::iqpe_dynamic(phi, 3);
+        let rec = reconstruct_unitary(&iqpe).expect("reconstructible");
+        assert_eq!(rec.added_qubits, 2);
+        assert_eq!(rec.replaced_conditions, 3);
+        assert_eq!(rec.circuit.num_qubits(), 4);
+        assert!(rec.circuit.reset_count() == 0);
+        assert!(rec.unitary_circuit().is_unitary());
+        // t_trans is measured.
+        assert!(rec.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn reconstruction_of_static_circuit_is_identity_like() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let rec = reconstruct_unitary(&qc).expect("already unitary");
+        assert_eq!(rec.added_qubits, 0);
+        assert_eq!(rec.replaced_conditions, 0);
+        assert_eq!(rec.circuit.ops(), qc.ops());
+    }
+
+    #[test]
+    fn alignment_by_measurement_bits() {
+        // Reference: qubit 0 → bit 0, qubit 1 → bit 1.
+        let mut reference = QuantumCircuit::new(2, 2);
+        reference.h(0).measure(0, 0).measure(1, 1);
+        // Transformed: measurement map is swapped.
+        let mut transformed = QuantumCircuit::new(2, 2);
+        transformed.h(1).measure(1, 0).measure(0, 1);
+        let aligned = align_to_reference(&reference, &transformed).expect("alignable");
+        // After alignment the H acts on qubit 0 again.
+        assert!(matches!(
+            aligned.ops()[0].kind,
+            OpKind::Unitary {
+                gate: StandardGate::H,
+                target: 0,
+                ..
+            }
+        ));
+        assert_eq!(measurement_map(&aligned), measurement_map(&reference));
+    }
+
+    #[test]
+    fn alignment_handles_unmeasured_qubits() {
+        // Reference: ψ is qubit 2 (unmeasured), counting qubits 0, 1.
+        let mut reference = QuantumCircuit::new(3, 2);
+        reference.x(2).measure(0, 0).measure(1, 1);
+        // Transformed: ψ is qubit 0, the measured qubits are 1 and 2.
+        let mut transformed = QuantumCircuit::new(3, 2);
+        transformed.x(0).measure(1, 0).measure(2, 1);
+        let aligned = align_to_reference(&reference, &transformed).expect("alignable");
+        assert_eq!(aligned.ops()[0].qubits(), vec![2]);
+        assert_eq!(measurement_map(&aligned), measurement_map(&reference));
+    }
+
+    #[test]
+    fn alignment_rejects_size_mismatch() {
+        let reference = QuantumCircuit::new(3, 0);
+        let transformed = QuantumCircuit::new(2, 0);
+        assert!(matches!(
+            align_to_reference(&reference, &transformed),
+            Err(TransformError::RegisterMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn alignment_rejects_inconsistent_measurements() {
+        let mut reference = QuantumCircuit::new(2, 1);
+        reference.measure(0, 0);
+        let transformed = QuantumCircuit::new(2, 1);
+        assert!(matches!(
+            align_to_reference(&reference, &transformed),
+            Err(TransformError::MeasurementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_pipeline_aligns_iqpe_with_static_qpe() {
+        let phi = 3.0 * std::f64::consts::PI / 8.0;
+        let m = 3;
+        let static_qpe = algorithms::qpe::qpe_static(phi, m, true);
+        let iqpe = algorithms::qpe::iqpe_dynamic(phi, m);
+        let rec = reconstruct_unitary(&iqpe).expect("reconstructible");
+        let aligned =
+            align_to_reference(&static_qpe, &rec.circuit).expect("same register sizes");
+        assert_eq!(aligned.num_qubits(), static_qpe.num_qubits());
+        assert_eq!(measurement_map(&aligned), measurement_map(&static_qpe));
+    }
+}

@@ -1,0 +1,170 @@
+//! Reset substitution: replace every reset by a fresh qubit (Section 4 of
+//! the paper).
+//!
+//! A reset can be interpreted as measuring a qubit, flipping it back to |0⟩
+//! when the outcome was |1⟩ and discarding the outcome. Functionally, the
+//! same effect is obtained by *abandoning* the qubit and continuing all
+//! subsequent operations on a freshly allocated qubit in state |0⟩. An
+//! `n`-qubit circuit with `r` resets therefore becomes an `(n + r)`-qubit
+//! circuit without any reset primitives.
+
+use circuit::{OpKind, QuantumCircuit};
+
+/// Result of the reset-substitution pass.
+#[derive(Debug, Clone)]
+pub struct ResetSubstitution {
+    /// The reset-free circuit on `original qubits + added_qubits` qubits.
+    pub circuit: QuantumCircuit,
+    /// Number of freshly introduced qubits (= number of resets substituted).
+    pub added_qubits: usize,
+    /// For every original qubit, the physical qubit holding its final state
+    /// (i.e. after the last substitution affecting it).
+    pub final_location: Vec<usize>,
+}
+
+/// Replaces every reset in `circuit` by a fresh qubit.
+///
+/// The fresh qubits are appended after the original register in the order the
+/// resets appear in the circuit. All operations following a reset of qubit
+/// `q` act on the fresh qubit that replaced `q`.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::QuantumCircuit;
+/// use transform::substitute_resets;
+///
+/// let mut qc = QuantumCircuit::new(1, 2);
+/// qc.h(0).measure(0, 0).reset(0).h(0).measure(0, 1);
+/// let result = substitute_resets(&qc);
+/// assert_eq!(result.added_qubits, 1);
+/// assert_eq!(result.circuit.num_qubits(), 2);
+/// assert_eq!(result.circuit.reset_count(), 0);
+/// ```
+pub fn substitute_resets(circuit: &QuantumCircuit) -> ResetSubstitution {
+    let n = circuit.num_qubits();
+    let resets = circuit.reset_count();
+    let mut out = QuantumCircuit::with_name(
+        n + resets,
+        circuit.num_bits(),
+        format!("{}_reset_free", circuit.name()),
+    );
+    // current[q] = physical qubit currently holding original qubit q.
+    let mut current: Vec<usize> = (0..n).collect();
+    let mut next_fresh = n;
+
+    for op in circuit.ops() {
+        match &op.kind {
+            OpKind::Reset { qubit } => {
+                current[*qubit] = next_fresh;
+                next_fresh += 1;
+            }
+            _ => {
+                out.push(op.map_qubits(|q| current[q]));
+            }
+        }
+    }
+
+    ResetSubstitution {
+        circuit: out,
+        added_qubits: resets,
+        final_location: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::StandardGate;
+
+    #[test]
+    fn circuit_without_resets_is_unchanged() {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let result = substitute_resets(&qc);
+        assert_eq!(result.added_qubits, 0);
+        assert_eq!(result.circuit.num_qubits(), 2);
+        assert_eq!(result.circuit.ops(), qc.ops());
+        assert_eq!(result.final_location, vec![0, 1]);
+    }
+
+    #[test]
+    fn each_reset_introduces_one_qubit() {
+        let mut qc = QuantumCircuit::new(1, 3);
+        for i in 0..3 {
+            qc.h(0);
+            qc.measure(0, i);
+            if i < 2 {
+                qc.reset(0);
+            }
+        }
+        let result = substitute_resets(&qc);
+        assert_eq!(result.added_qubits, 2);
+        assert_eq!(result.circuit.num_qubits(), 3);
+        assert_eq!(result.circuit.reset_count(), 0);
+        // The three Hadamards act on three different qubits.
+        let h_targets: Vec<usize> = result
+            .circuit
+            .ops()
+            .iter()
+            .filter_map(|op| match &op.kind {
+                OpKind::Unitary {
+                    gate: StandardGate::H,
+                    target,
+                    ..
+                } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(h_targets, vec![0, 1, 2]);
+        assert_eq!(result.final_location, vec![2]);
+    }
+
+    #[test]
+    fn untouched_qubits_keep_their_index() {
+        let mut qc = QuantumCircuit::new(2, 1);
+        qc.h(0).cx(0, 1).measure(0, 0).reset(0).cx(0, 1);
+        let result = substitute_resets(&qc);
+        assert_eq!(result.circuit.num_qubits(), 3);
+        // The last CX has its control on the fresh qubit 2 and target still 1.
+        let last = result.circuit.ops().last().unwrap();
+        assert_eq!(last.qubits(), vec![1, 2]);
+        assert_eq!(result.final_location, vec![2, 1]);
+    }
+
+    #[test]
+    fn gate_count_is_reduced_by_the_number_of_resets() {
+        let mut qc = QuantumCircuit::new(1, 2);
+        qc.h(0).measure(0, 0).reset(0).x(0).measure(0, 1);
+        let before = qc.gate_count();
+        let result = substitute_resets(&qc);
+        assert_eq!(result.circuit.gate_count(), before - 1);
+    }
+
+    #[test]
+    fn classically_controlled_ops_are_remapped() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).measure(0, 0).reset(0).p_if(0.5, 0, 0);
+        let result = substitute_resets(&qc);
+        let last = result.circuit.ops().last().unwrap();
+        assert_eq!(last.qubits(), vec![1]);
+        assert!(last.condition.is_some());
+    }
+
+    #[test]
+    fn example_from_the_paper_iqpe() {
+        // Fig. 2 → Fig. 3a: the 3-bit IQPE circuit on 2 qubits with 2 resets
+        // becomes a 4-qubit circuit.
+        let phi = 3.0 * std::f64::consts::PI / 8.0;
+        let iqpe = algorithms::qpe::iqpe_dynamic(phi, 3);
+        assert_eq!(iqpe.num_qubits(), 2);
+        assert_eq!(iqpe.reset_count(), 2);
+        let result = substitute_resets(&iqpe);
+        assert_eq!(result.circuit.num_qubits(), 4);
+        assert_eq!(result.circuit.reset_count(), 0);
+        assert_eq!(
+            result.circuit.gate_count(),
+            iqpe.gate_count() - iqpe.reset_count()
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Walk-through of the paper's running example (Figures 1–4 and Examples
+//! 1–7): the 3-bit phase estimation of U = P(3π/8).
+//!
+//! Run with: `cargo run --release --example iqpe_walkthrough`
+
+use algorithms::qpe;
+use qcec::{check_functional_equivalence, Configuration};
+use sim::{extract_distribution, ExtractionConfig};
+use transform::{align_to_reference, defer_measurements, substitute_resets};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let phi = 3.0 * std::f64::consts::PI / 8.0;
+    let precision = 3;
+
+    // Figure 1a: the static 3-bit QPE circuit.
+    let static_qpe = qpe::qpe_static(phi, precision, true);
+    println!("=== Figure 1a — static QPE ===");
+    println!("{static_qpe}");
+
+    // Figure 2: the dynamic (iterative) realization on two qubits.
+    let iqpe = qpe::iqpe_dynamic(phi, precision);
+    println!("=== Figure 2 — dynamic IQPE ===");
+    println!("{iqpe}");
+
+    // Example 4 / Figure 3a: substitute every reset with a fresh qubit.
+    let reset_free = substitute_resets(&iqpe);
+    println!(
+        "=== Figure 3a — after reset substitution ({} fresh qubits) ===",
+        reset_free.added_qubits
+    );
+    println!("{}", reset_free.circuit);
+
+    // Example 5 / Figure 3b: defer all measurements to the end.
+    let deferred = defer_measurements(&reset_free.circuit)?;
+    println!(
+        "=== Figure 3b — after deferring measurements ({} conditions replaced) ===",
+        deferred.replaced_conditions
+    );
+    println!("{}", deferred.circuit);
+
+    // Example 6: the reconstructed circuit is equivalent to the original QPE.
+    let aligned = align_to_reference(&static_qpe, &deferred.circuit)?;
+    let check = check_functional_equivalence(&static_qpe, &aligned, &Configuration::default())?;
+    println!(
+        "=== Example 6 — equivalence of Fig. 3b and Fig. 1a: {} (identity fidelity {:.6}) ===",
+        check.equivalence, check.identity_fidelity
+    );
+    println!();
+
+    // Example 7 / Figure 4: extract the measurement-outcome distribution of
+    // the dynamic circuit by branching simulation.
+    let extraction = extract_distribution(&iqpe, &ExtractionConfig::default())?;
+    println!(
+        "=== Figure 4 — extracted distribution ({} branching points, {} leaf simulations) ===",
+        extraction.branch_points, extraction.leaves
+    );
+    print!("{}", extraction.distribution);
+    let p001 = extraction.distribution.probability(&[true, false, false].to_vec());
+    println!();
+    println!(
+        "P(|001⟩) = {:.3}  (the paper's Example 7 computes 1/2 · 0.85 · 0.96 ≈ 0.408)",
+        p001
+    );
+
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Comparison of the approaches discussed in Section 5 of the paper for
+//! obtaining the measurement-outcome distribution of a dynamic circuit:
+//!
+//! * the paper's branching **extraction** scheme (exact, decision diagrams),
+//! * a dense **density-matrix ensemble** simulation (exact, exponential memory),
+//! * **stochastic sampling** of individual executions (approximate),
+//!
+//! plus the classical simulation of the static counterpart as the reference.
+//!
+//! Run with: `cargo run --release --example methods_comparison`
+
+use algorithms::qpe;
+use density::EnsembleSimulator;
+use sim::{
+    extract_distribution, sample_distribution, shots_to_reach_tolerance, ExtractionConfig,
+    ShotConfig, StateVectorSimulator,
+};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example: θ = 3/16 is *not* representable with three
+    // fractional bits, so the outcome distribution has several non-zero
+    // entries and the stochastic baseline actually has to work for it.
+    let phi = 3.0 * std::f64::consts::PI / 8.0;
+    let precision = 3;
+    let static_qpe = qpe::qpe_static(phi, precision, true);
+    let iqpe = qpe::iqpe_dynamic(phi, precision);
+    println!(
+        "IQPE with {precision}-bit precision: {} qubits / {} gates (static: {} qubits / {} gates)",
+        iqpe.num_qubits(),
+        iqpe.gate_count(),
+        static_qpe.num_qubits(),
+        static_qpe.gate_count()
+    );
+    println!();
+
+    // Reference: classical simulation of the static circuit.
+    let start = Instant::now();
+    let mut reference = StateVectorSimulator::new(static_qpe.num_qubits());
+    reference.run(&static_qpe)?;
+    let reference_distribution = reference.outcome_distribution();
+    println!("static simulation        : {:>10.3?}", start.elapsed());
+
+    // Scheme 2: branching extraction.
+    let extraction = extract_distribution(&iqpe, &ExtractionConfig::default())?;
+    println!(
+        "extraction (paper)       : {:>10.3?}  ({} leaves, TV distance to reference {:.2e})",
+        extraction.duration,
+        extraction.leaves,
+        extraction
+            .distribution
+            .total_variation_distance(&reference_distribution)
+    );
+
+    // Density-matrix ensemble (exact but dense).
+    let start = Instant::now();
+    let mut ensemble = EnsembleSimulator::new(&iqpe)?;
+    ensemble.run(&iqpe)?;
+    let ensemble_distribution = ensemble.outcome_distribution();
+    println!(
+        "density-matrix ensemble  : {:>10.3?}  ({} branches, TV distance {:.2e})",
+        start.elapsed(),
+        ensemble.branches().len(),
+        ensemble_distribution.total_variation_distance(&reference_distribution)
+    );
+
+    // Stochastic sampling with a fixed shot budget.
+    for shots in [256usize, 4096] {
+        let result = sample_distribution(&iqpe, &ShotConfig { shots, seed: 1 })?;
+        println!(
+            "stochastic, {:>6} shots : {:>10.3?}  (TV distance {:.2e})",
+            shots,
+            result.duration,
+            result
+                .distribution
+                .total_variation_distance(&reference_distribution)
+        );
+    }
+
+    // How many shots does it take to match the extraction within 1%?
+    match shots_to_reach_tolerance(&iqpe, &extraction.distribution, 0.01, 1 << 20, 7) {
+        Ok(shots) => println!("\nshots needed to reach a 1% total-variation distance: {shots}"),
+        Err(budget) => println!("\nno convergence to 1% within {budget} shots"),
+    }
+
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Why dynamic circuits (and their verification) matter on noisy hardware.
+//!
+//! Example 3 of the paper argues that the dynamic IQPE realization reduces
+//! the quantum cost of phase estimation — "significantly improving the
+//! expected fidelity when executing the circuit on an actual device". This
+//! example quantifies that claim with the density-matrix noise model: both
+//! realizations are compiled to the IBMQ London device and simulated under a
+//! depolarising noise model, and the probability of reading the correct
+//! phase estimate is compared.
+//!
+//! (The verification flows themselves always compare the *ideal* circuits;
+//! the noise model only illustrates why one would prefer the dynamic
+//! realization in the first place.)
+//!
+//! Run with: `cargo run --release --example noise_study`
+
+use algorithms::qpe;
+use circuit::{OpKind, QuantumCircuit};
+use compile::{Compiler, Target};
+use density::{DensityMatrixSimulator, EnsembleSimulator, NoiseModel};
+
+/// Probability of reading the expected phase bits from the static circuit,
+/// simulated with the given noise model. Measurements are non-selective, so
+/// the diagonal of the final density matrix is read directly.
+fn static_success_probability(
+    circuit: &QuantumCircuit,
+    noise: NoiseModel,
+    expected: &[bool],
+) -> f64 {
+    let mut simulator =
+        DensityMatrixSimulator::new(circuit.num_qubits(), noise).expect("small register");
+    simulator
+        .run(&circuit.without_measurements())
+        .expect("static circuit is unitary");
+    let diagonal = simulator.state().diagonal_probabilities();
+    diagonal
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| {
+            expected
+                .iter()
+                .enumerate()
+                .all(|(bit, &value)| ((index >> bit) & 1 == 1) == value)
+        })
+        .map(|(_, probability)| probability)
+        .sum()
+}
+
+/// Probability of reading the expected phase bits from the dynamic circuit
+/// under noise: an ensemble simulation with a noise channel applied to every
+/// qubit an operation touches, immediately after the operation.
+fn dynamic_success_probability(
+    circuit: &QuantumCircuit,
+    noise: &NoiseModel,
+    expected: &[bool],
+) -> f64 {
+    let mut ensemble = EnsembleSimulator::new(circuit).expect("small register");
+    for op in circuit.iter() {
+        ensemble.apply(op).expect("dynamic circuit simulates");
+        if let OpKind::Unitary {
+            target, controls, ..
+        } = &op.kind
+        {
+            let channel = if controls.is_empty() {
+                &noise.single_qubit
+            } else {
+                &noise.two_qubit
+            };
+            if let Some(channel) = channel {
+                ensemble.apply_channel(channel, *target);
+                for control in controls {
+                    ensemble.apply_channel(channel, control.qubit);
+                }
+            }
+        }
+    }
+    ensemble.outcome_distribution().probability(expected)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A phase that is exactly representable with 3 bits, so the ideal
+    // algorithm succeeds with certainty: θ = 5/8 = 0.101₂ (phase_from_bits
+    // already returns the phase-gate angle φ = 2πθ).
+    let bits = [true, false, true];
+    let phi = qpe::phase_from_bits(&bits);
+    let precision = bits.len();
+
+    let static_qpe = qpe::qpe_static(phi, precision, true);
+    let iqpe = qpe::iqpe_dynamic(phi, precision);
+
+    // Compile both to the London device so the gate counts are realistic.
+    let compiled_static = Compiler::new(Target::ibmq_london()).compile(&static_qpe)?;
+    let compiled_dynamic = Compiler::new(Target::ibmq_london()).compile(&iqpe)?;
+    println!(
+        "compiled static QPE  : {} qubits, {} gates ({} SWAPs)",
+        compiled_static.circuit.num_qubits(),
+        compiled_static.gate_count(),
+        compiled_static.swaps_inserted
+    );
+    println!(
+        "compiled dynamic IQPE: {} qubits, {} gates ({} SWAPs)",
+        compiled_dynamic.circuit.num_qubits(),
+        compiled_dynamic.gate_count(),
+        compiled_dynamic.swaps_inserted
+    );
+    println!();
+
+    let ideal_static = static_success_probability(
+        &compiled_static.circuit,
+        NoiseModel::noiseless(),
+        &bits,
+    );
+    let ideal_dynamic =
+        dynamic_success_probability(&compiled_dynamic.circuit, &NoiseModel::noiseless(), &bits);
+    println!("ideal success probability : static {ideal_static:.4}, dynamic {ideal_dynamic:.4}");
+    println!("(depolarising noise applied after every gate)");
+    for (p1, p2) in [(0.001, 0.01), (0.002, 0.02), (0.005, 0.05)] {
+        let noise = NoiseModel::depolarizing(p1, p2);
+        let noisy_static =
+            static_success_probability(&compiled_static.circuit, noise.clone(), &bits);
+        let noisy_dynamic =
+            dynamic_success_probability(&compiled_dynamic.circuit, &noise, &bits);
+        println!(
+            "p1 = {p1:.3}, p2 = {p2:.3}     : static {noisy_static:.4}, dynamic {noisy_dynamic:.4}"
+        );
+    }
+    println!();
+    println!(
+        "The dynamic realization retains a higher success probability because far fewer \
+         two-qubit gates (and no routing SWAPs) are needed — the paper's Example 3."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! OpenQASM round trip: export a dynamic circuit, parse it back and prove the
+//! parsed circuit equivalent to the original.
+//!
+//! Run with: `cargo run --release --example qasm_roundtrip`
+
+use algorithms::qpe;
+use circuit::qasm;
+use qcec::{verify_dynamic_functional, verify_fixed_input, Configuration};
+use sim::ExtractionConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let phi = qpe::phase_from_bits(&[true, false, true, true]);
+    let iqpe = qpe::iqpe_dynamic(phi, 4);
+
+    let text = qasm::to_qasm(&iqpe);
+    println!("=== exported OpenQASM ===\n{text}");
+
+    let parsed = qasm::from_qasm(&text)?;
+    println!(
+        "parsed back: {} qubits, {} classical bits, {} operations",
+        parsed.num_qubits(),
+        parsed.num_bits(),
+        parsed.len()
+    );
+
+    // The parsed circuit must be fully functionally equivalent to the
+    // original dynamic circuit (both go through the same reconstruction).
+    let config = Configuration::default();
+    let functional = verify_dynamic_functional(&iqpe, &parsed, &config)?;
+    println!("functional equivalence of original and re-parsed circuit: {}", functional.equivalence);
+    assert!(functional.equivalence.considered_equivalent());
+
+    // … and it must produce the same measurement-outcome distribution.
+    let fixed = verify_fixed_input(&iqpe, &parsed, &config, &ExtractionConfig::default())?;
+    println!(
+        "fixed-input equivalence: {} (TVD = {:.2e})",
+        fixed.equivalence, fixed.total_variation_distance
+    );
+    assert!(fixed.equivalence.considered_equivalent());
+
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # nonunitary-qcec — equivalence checking of dynamic quantum circuits
+//!
+//! Workspace façade crate: re-exports the individual crates of this
+//! reproduction of *Burgholzer & Wille, "Handling Non-Unitaries in Quantum
+//! Circuit Equivalence Checking" (DAC 2022)* so that downstream users can
+//! depend on a single crate.
+//!
+//! * [`dd`] — decision-diagram package (states, unitaries, their algebra),
+//! * [`circuit`] — quantum-circuit IR with measurements, resets and
+//!   classically-controlled operations,
+//! * [`algorithms`] — benchmark circuit generators (BV, QFT, QPE, …),
+//! * [`transform`] — reset substitution + deferred measurements (Section 4),
+//! * [`sim`] — decision-diagram simulation, measurement-outcome extraction
+//!   (Section 5) and stochastic shot sampling,
+//! * [`density`] — dense density-matrix / ensemble simulation (the reference
+//!   oracle and the noise-model extension),
+//! * [`compile`] — compilation passes (decomposition, basis rewriting,
+//!   routing) for the "verify compilation results" use case,
+//! * [`qcec`] — the equivalence-checking flows built on all of the above.
+//!
+//! ```
+//! use algorithms::qpe;
+//! use qcec::{verify_dynamic_functional, Configuration};
+//!
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let report = verify_dynamic_functional(
+//!     &qpe::qpe_static(phi, 3, true),
+//!     &qpe::iqpe_dynamic(phi, 3),
+//!     &Configuration::default(),
+//! )?;
+//! assert!(report.equivalence.considered_equivalent());
+//! # Ok::<(), qcec::DynamicCheckError>(())
+//! ```
+
+pub use algorithms;
+pub use circuit;
+pub use compile;
+pub use dd;
+pub use density;
+pub use qcec;
+pub use sim;
+pub use transform;

@@ -1,0 +1,136 @@
+//! Cross-validation of the three independent routes to the measurement
+//! outcome distribution of a dynamic circuit:
+//!
+//! 1. the paper's branching extraction scheme (`sim::extract_distribution`),
+//! 2. the dense density-matrix ensemble (`density::EnsembleSimulator`),
+//! 3. stochastic shot sampling (`sim::sample_distribution`),
+//!
+//! and, for the static counterparts, the state-vector simulation. Agreement
+//! of all of them on the benchmark families is strong evidence that each is
+//! implemented correctly.
+
+use algorithms::{bv, deutsch_jozsa, qpe, teleport};
+use density::EnsembleSimulator;
+use sim::{
+    extract_distribution, sample_distribution, ExtractionConfig, ShotConfig,
+    StateVectorSimulator,
+};
+
+fn exact_methods_agree(circuit: &circuit::QuantumCircuit) {
+    let extraction = extract_distribution(circuit, &ExtractionConfig::default()).unwrap();
+    let mut ensemble = EnsembleSimulator::new(circuit).unwrap();
+    ensemble.run(circuit).unwrap();
+    assert!(
+        extraction
+            .distribution
+            .approx_eq(&ensemble.outcome_distribution(), 1e-9),
+        "extraction and ensemble disagree for {}",
+        circuit.name()
+    );
+}
+
+fn sampling_converges(circuit: &circuit::QuantumCircuit, shots: usize, tolerance: f64) {
+    let extraction = extract_distribution(circuit, &ExtractionConfig::default()).unwrap();
+    let sampled = sample_distribution(circuit, &ShotConfig { shots, seed: 2024 }).unwrap();
+    let distance = extraction
+        .distribution
+        .total_variation_distance(&sampled.distribution);
+    assert!(
+        distance < tolerance,
+        "sampling of {} did not converge: TV distance {distance}",
+        circuit.name()
+    );
+}
+
+#[test]
+fn iqpe_distribution_agrees_across_methods() {
+    let phi = 3.0 * std::f64::consts::PI / 8.0;
+    for precision in 2..=4 {
+        let iqpe = qpe::iqpe_dynamic(phi, precision);
+        exact_methods_agree(&iqpe);
+    }
+    let iqpe = qpe::iqpe_dynamic(phi, 3);
+    sampling_converges(&iqpe, 20_000, 0.05);
+}
+
+#[test]
+fn dynamic_bv_distribution_agrees_across_methods() {
+    let hidden = [true, false, true, true, false];
+    let dynamic = bv::bv_dynamic(&hidden);
+    exact_methods_agree(&dynamic);
+    sampling_converges(&dynamic, 200, 1e-9); // deterministic output
+
+    // The static counterpart's simulation gives the same (deterministic)
+    // answer: the hidden string itself.
+    let static_circuit = bv::bv_static(&hidden, true);
+    let mut simulator = StateVectorSimulator::new(static_circuit.num_qubits());
+    simulator.run(&static_circuit).unwrap();
+    let reference = simulator.outcome_distribution();
+    let extraction = extract_distribution(&dynamic, &ExtractionConfig::default()).unwrap();
+    assert!(reference.approx_eq(&extraction.distribution, 1e-9));
+    assert!((reference.probability(&hidden) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn dynamic_deutsch_jozsa_distribution_agrees_across_methods() {
+    // Balanced oracle: the outcome reveals the mask deterministically.
+    let oracle = deutsch_jozsa::random_balanced_oracle(4, 5);
+    let dynamic = deutsch_jozsa::dj_dynamic(4, &oracle);
+    exact_methods_agree(&dynamic);
+
+    let static_circuit = deutsch_jozsa::dj_static(4, &oracle, true);
+    let mut simulator = StateVectorSimulator::new(static_circuit.num_qubits());
+    simulator.run(&static_circuit).unwrap();
+    let extraction = extract_distribution(&dynamic, &ExtractionConfig::default()).unwrap();
+    assert!(simulator
+        .outcome_distribution()
+        .approx_eq(&extraction.distribution, 1e-9));
+
+    // Constant oracle: the all-zeros outcome has probability one.
+    let constant = deutsch_jozsa::dj_dynamic(3, &deutsch_jozsa::Oracle::Constant(true));
+    let extraction = extract_distribution(&constant, &ExtractionConfig::default()).unwrap();
+    assert!((extraction.distribution.probability(&[false; 3]) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn teleportation_distribution_agrees_across_methods() {
+    let circuit = teleport::teleport(0.7, 0.3, -0.4, true);
+    exact_methods_agree(&circuit);
+}
+
+#[test]
+fn grover_amplifies_the_marked_state() {
+    use algorithms::grover;
+    let marked = 0b101;
+    let circuit = grover::grover(3, marked, None, true);
+    let mut simulator = StateVectorSimulator::new(3);
+    simulator.run(&circuit).unwrap();
+    let distribution = simulator.outcome_distribution();
+    let p_marked = distribution.probability_of_index(marked);
+    assert!(
+        p_marked > 0.9,
+        "Grover success probability too low: {p_marked}"
+    );
+    // And the density-matrix simulation agrees with the decision-diagram one.
+    let mut rho = density::DensityMatrixSimulator::new(3, density::NoiseModel::noiseless()).unwrap();
+    rho.run(&circuit.without_measurements()).unwrap();
+    let diagonal = rho.state().diagonal_probabilities();
+    assert!((diagonal[marked] - p_marked).abs() < 1e-9);
+}
+
+#[test]
+fn noise_degrades_the_grover_peak_but_verification_uses_ideal_circuits() {
+    use algorithms::grover;
+    let marked = 0b11;
+    let circuit = grover::grover(2, marked, None, false);
+    let mut ideal = density::DensityMatrixSimulator::new(2, density::NoiseModel::noiseless()).unwrap();
+    ideal.run(&circuit).unwrap();
+    let mut noisy =
+        density::DensityMatrixSimulator::new(2, density::NoiseModel::depolarizing(0.02, 0.05))
+            .unwrap();
+    noisy.run(&circuit).unwrap();
+    let p_ideal = ideal.state().diagonal_probabilities()[marked];
+    let p_noisy = noisy.state().diagonal_probabilities()[marked];
+    assert!(p_ideal > 0.99);
+    assert!(p_noisy < p_ideal);
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the Section 5 flow: extraction vs. simulation, and
+//! the consistency of the two schemes with each other.
+
+use algorithms::{bv, ghz, qft, qpe, random};
+use qcec::{verify_fixed_input, Configuration, Equivalence};
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use transform::reconstruct_unitary;
+
+#[test]
+fn extraction_agrees_with_reconstruction_plus_simulation() {
+    // For any well-formed dynamic circuit, extracting its distribution
+    // directly (Section 5) must agree with reconstructing it (Section 4) and
+    // simulating the resulting unitary circuit.
+    for seed in 0..12u64 {
+        let dynamic = random::random_dynamic_circuit(3, 3, 25, seed);
+        let extraction = extract_distribution(&dynamic, &ExtractionConfig::default())
+            .expect("extraction succeeds");
+
+        let reconstruction = reconstruct_unitary(&dynamic).expect("reconstructible");
+        let mut simulator = StateVectorSimulator::new(reconstruction.circuit.num_qubits());
+        simulator.run(&reconstruction.circuit).expect("unitary circuit");
+        let reference = simulator.outcome_distribution();
+
+        assert!(
+            reference.approx_eq(&extraction.distribution, 1e-9),
+            "seed {seed}: extraction and reconstruction disagree\nextraction:\n{}\nreference:\n{}",
+            extraction.distribution,
+            reference
+        );
+    }
+}
+
+#[test]
+fn bv_families_produce_identical_spike_distributions() {
+    for len in [3usize, 8, 17] {
+        let hidden = bv::random_hidden_string(len, len as u64);
+        let report = verify_fixed_input(
+            &bv::bv_static(&hidden, true),
+            &bv::bv_dynamic(&hidden),
+            &Configuration::default(),
+            &ExtractionConfig::default(),
+        )
+        .expect("verification runs");
+        assert_eq!(report.equivalence, Equivalence::Equivalent, "len {len}");
+        assert_eq!(report.dynamic_distribution.len(), 1);
+    }
+}
+
+#[test]
+fn qpe_families_produce_identical_distributions() {
+    // Exact phase: single spike. Inexact phase: full distribution.
+    for (precision, exact) in [(4usize, true), (4, false), (6, true)] {
+        let phi = if exact {
+            qpe::random_exact_phase(precision, 7)
+        } else {
+            2.0 * std::f64::consts::PI * 0.23456
+        };
+        let report = verify_fixed_input(
+            &qpe::qpe_static(phi, precision, true),
+            &qpe::iqpe_dynamic(phi, precision),
+            &Configuration::default(),
+            &ExtractionConfig::default(),
+        )
+        .expect("verification runs");
+        assert_eq!(report.equivalence, Equivalence::Equivalent);
+        if exact {
+            assert_eq!(report.dynamic_distribution.len(), 1);
+        } else {
+            assert!(report.dynamic_distribution.len() > 1);
+        }
+    }
+}
+
+#[test]
+fn qft_extraction_is_dense_but_correct() {
+    let n = 6;
+    let report = verify_fixed_input(
+        &qft::qft_static(n, None, true),
+        &qft::qft_dynamic(n),
+        &Configuration::default(),
+        &ExtractionConfig::default(),
+    )
+    .expect("verification runs");
+    assert_eq!(report.equivalence, Equivalence::Equivalent);
+    assert_eq!(report.dynamic_distribution.len(), 1 << n);
+    // Uniform distribution.
+    for (_, p) in report.dynamic_distribution.iter() {
+        assert!((p - 1.0 / (1 << n) as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fixed_input_equivalence_is_weaker_than_functional_equivalence() {
+    // The linear and logarithmic GHZ preparations differ as unitaries but
+    // produce the same outcome distribution from |0…0⟩.
+    let a = ghz::ghz(5, true);
+    let b = ghz::ghz_log_depth(5, true);
+    let fixed = verify_fixed_input(
+        &a,
+        &b,
+        &Configuration::default(),
+        &ExtractionConfig::default(),
+    )
+    .expect("verification runs");
+    assert_eq!(fixed.equivalence, Equivalence::Equivalent);
+
+    let functional =
+        qcec::check_functional_equivalence(&a, &b, &Configuration::default()).expect("checkable");
+    assert_eq!(functional.equivalence, Equivalence::NotEquivalent);
+}
+
+#[test]
+fn distribution_mismatch_is_reported_with_distance() {
+    let report = verify_fixed_input(
+        &bv::bv_static(&[true, false, true, false], true),
+        &bv::bv_dynamic(&[true, false, false, false]),
+        &Configuration::default(),
+        &ExtractionConfig::default(),
+    )
+    .expect("verification runs");
+    assert_eq!(report.equivalence, Equivalence::NotEquivalent);
+    assert!((report.total_variation_distance - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn leaves_scale_with_sparsity_not_with_register_width() {
+    // 40-bit BV: a single leaf. 8-bit dynamic QFT: 256 leaves.
+    let bv_result = extract_distribution(
+        &bv::bv_dynamic(&bv::random_hidden_string(40, 11)),
+        &ExtractionConfig::default(),
+    )
+    .expect("extraction succeeds");
+    assert_eq!(bv_result.leaves, 1);
+
+    let qft_result = extract_distribution(&qft::qft_dynamic(8), &ExtractionConfig::default())
+        .expect("extraction succeeds");
+    assert_eq!(qft_result.leaves, 256);
+}

@@ -1,0 +1,163 @@
+//! Equivalence checking of the additional benchmark families
+//! (Deutsch–Jozsa, Grover) and error-injection checks: the verification flows
+//! must accept the correct dynamic realizations and reject broken ones.
+
+use algorithms::deutsch_jozsa::{dj_dynamic, dj_static, random_balanced_oracle, Oracle};
+use algorithms::grover;
+use circuit::{OpKind, QuantumCircuit, StandardGate};
+use compile::{Compiler, Target};
+use qcec::{
+    check_functional_equivalence, verify_dynamic_functional, verify_fixed_input, Configuration,
+};
+use sim::ExtractionConfig;
+
+#[test]
+fn dynamic_deutsch_jozsa_is_equivalent_to_its_static_counterpart() {
+    for (m, seed) in [(2usize, 1u64), (4, 2), (6, 3)] {
+        let oracle = random_balanced_oracle(m, seed);
+        let static_circuit = dj_static(m, &oracle, true);
+        let dynamic_circuit = dj_dynamic(m, &oracle);
+
+        let functional =
+            verify_dynamic_functional(&static_circuit, &dynamic_circuit, &Configuration::default())
+                .unwrap();
+        assert!(
+            functional.equivalence.considered_equivalent(),
+            "functional verification failed for m = {m}"
+        );
+        assert_eq!(functional.added_qubits, m - 1);
+
+        let fixed = verify_fixed_input(
+            &static_circuit,
+            &dynamic_circuit,
+            &Configuration::default(),
+            &ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert!(fixed.equivalence.considered_equivalent());
+    }
+}
+
+#[test]
+fn constant_oracle_deutsch_jozsa_verifies_too() {
+    for bit in [false, true] {
+        let oracle = Oracle::Constant(bit);
+        let static_circuit = dj_static(3, &oracle, true);
+        let dynamic_circuit = dj_dynamic(3, &oracle);
+        let fixed = verify_fixed_input(
+            &static_circuit,
+            &dynamic_circuit,
+            &Configuration::default(),
+            &ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert!(fixed.equivalence.considered_equivalent());
+    }
+}
+
+#[test]
+fn broken_dynamic_deutsch_jozsa_is_rejected() {
+    let oracle = Oracle::BalancedParity {
+        mask: vec![true, true, false, true],
+        offset: false,
+    };
+    let static_circuit = dj_static(4, &oracle, true);
+    // Break the dynamic circuit: flip one oracle bit.
+    let broken_oracle = Oracle::BalancedParity {
+        mask: vec![true, false, false, true],
+        offset: false,
+    };
+    let broken = dj_dynamic(4, &broken_oracle);
+    let functional =
+        verify_dynamic_functional(&static_circuit, &broken, &Configuration::default()).unwrap();
+    assert!(!functional.equivalence.considered_equivalent());
+    let fixed = verify_fixed_input(
+        &static_circuit,
+        &broken,
+        &Configuration::default(),
+        &ExtractionConfig::default(),
+    )
+    .unwrap();
+    assert!(!fixed.equivalence.considered_equivalent());
+}
+
+#[test]
+fn grover_survives_compilation_to_a_line_device() {
+    let circuit = grover::grover(3, 0b010, Some(1), false);
+    let compiled = Compiler::new(Target::line(3)).compile(&circuit).unwrap();
+    let check =
+        check_functional_equivalence(&circuit, &compiled.circuit, &Configuration::default())
+            .unwrap();
+    assert!(check.equivalence.considered_equivalent());
+    // The multi-controlled Z gates must be gone after compilation.
+    assert!(compiled.circuit.ops().iter().all(|op| op.qubits().len() <= 2));
+}
+
+#[test]
+fn a_wrongly_marked_grover_oracle_is_detected() {
+    let good = grover::grover(3, 0b010, Some(2), false);
+    let bad = grover::grover(3, 0b011, Some(2), false);
+    let check = check_functional_equivalence(&good, &bad, &Configuration::default()).unwrap();
+    assert!(!check.equivalence.considered_equivalent());
+}
+
+#[test]
+fn single_gate_mutations_are_detected_by_the_functional_check() {
+    // Take the dynamic DJ circuit, reconstruct it, and mutate one gate of the
+    // static reference: every mutation must be caught.
+    let oracle = random_balanced_oracle(3, 9);
+    let unmeasured = dj_static(3, &oracle, false);
+    let dynamic_circuit = dj_dynamic(3, &oracle);
+
+    let mutations: Vec<Box<dyn Fn(&mut QuantumCircuit)>> = vec![
+        Box::new(|qc: &mut QuantumCircuit| {
+            qc.x(0);
+        }),
+        Box::new(|qc: &mut QuantumCircuit| {
+            qc.p(0.3, 1);
+        }),
+        Box::new(|qc: &mut QuantumCircuit| {
+            qc.cx(0, 2);
+        }),
+    ];
+    for (index, mutate) in mutations.iter().enumerate() {
+        // Mutate the unitary part, then append the trailing measurements.
+        let mut broken_reference = unmeasured.clone();
+        mutate(&mut broken_reference);
+        for q in 0..3 {
+            broken_reference.measure(q, q);
+        }
+        let functional = verify_dynamic_functional(
+            &broken_reference,
+            &dynamic_circuit,
+            &Configuration::default(),
+        )
+        .unwrap();
+        assert!(
+            !functional.equivalence.considered_equivalent(),
+            "mutation {index} was not detected"
+        );
+    }
+}
+
+#[test]
+fn deutsch_jozsa_oracle_structure_matches_between_realizations() {
+    // The reconstructed dynamic circuit uses exactly as many CX gates as the
+    // static circuit (one per set mask bit).
+    let oracle = Oracle::BalancedParity {
+        mask: vec![true, true, true, false, true],
+        offset: false,
+    };
+    let static_circuit = dj_static(5, &oracle, true);
+    let dynamic_circuit = dj_dynamic(5, &oracle);
+    let count_cx = |qc: &QuantumCircuit| {
+        qc.ops()
+            .iter()
+            .filter(|op| {
+                matches!(&op.kind, OpKind::Unitary { gate: StandardGate::X, controls, .. } if controls.len() == 1)
+            })
+            .count()
+    };
+    assert_eq!(count_cx(&static_circuit), 4);
+    assert_eq!(count_cx(&dynamic_circuit), 4);
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests: the transformation passes preserve the
+//! observable behaviour of arbitrary well-formed dynamic circuits.
+
+use algorithms::random;
+use circuit::{OpKind, QuantumCircuit};
+use proptest::prelude::*;
+use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use transform::{defer_measurements, reconstruct_unitary, substitute_resets};
+
+fn distribution_of_dynamic(circuit: &QuantumCircuit) -> sim::OutcomeDistribution {
+    extract_distribution(circuit, &ExtractionConfig::default())
+        .expect("extraction succeeds")
+        .distribution
+}
+
+fn distribution_of_reconstructed(circuit: &QuantumCircuit) -> sim::OutcomeDistribution {
+    let reconstruction = reconstruct_unitary(circuit).expect("reconstructible");
+    let mut simulator = StateVectorSimulator::new(reconstruction.circuit.num_qubits());
+    simulator
+        .run(&reconstruction.circuit)
+        .expect("reconstructed circuit is unitary");
+    simulator.outcome_distribution()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reset substitution + deferred measurements preserve the
+    /// measurement-outcome distribution of random well-formed dynamic
+    /// circuits.
+    #[test]
+    fn reconstruction_preserves_distribution(seed in 0u64..512, len in 10usize..40) {
+        let dynamic = random::random_dynamic_circuit(3, 3, len, seed);
+        let direct = distribution_of_dynamic(&dynamic);
+        let reconstructed = distribution_of_reconstructed(&dynamic);
+        prop_assert!(
+            direct.approx_eq(&reconstructed, 1e-9),
+            "seed {seed}, len {len}"
+        );
+    }
+
+    /// Reset substitution never changes the number of non-reset operations,
+    /// introduces exactly one qubit per reset and leaves no reset behind.
+    #[test]
+    fn reset_substitution_invariants(seed in 0u64..512, len in 5usize..60) {
+        let dynamic = random::random_dynamic_circuit(4, 4, len, seed);
+        let resets = dynamic.reset_count();
+        let result = substitute_resets(&dynamic);
+        prop_assert_eq!(result.added_qubits, resets);
+        prop_assert_eq!(result.circuit.reset_count(), 0);
+        prop_assert_eq!(result.circuit.num_qubits(), dynamic.num_qubits() + resets);
+        prop_assert_eq!(result.circuit.gate_count(), dynamic.gate_count() - resets);
+        prop_assert_eq!(result.circuit.measurement_count(), dynamic.measurement_count());
+    }
+
+    /// After deferring measurements, the circuit is a unitary prefix followed
+    /// by measurements only, with no classical conditions left.
+    #[test]
+    fn deferred_circuits_have_unitary_prefix(seed in 0u64..512, len in 5usize..60) {
+        let dynamic = random::random_dynamic_circuit(4, 4, len, seed);
+        let reset_free = substitute_resets(&dynamic).circuit;
+        let deferred = defer_measurements(&reset_free).expect("well-formed circuits defer");
+        let ops = deferred.circuit.ops();
+        let first_measure = ops
+            .iter()
+            .position(|op| matches!(op.kind, OpKind::Measure { .. }))
+            .unwrap_or(ops.len());
+        for op in &ops[..first_measure] {
+            prop_assert!(op.condition.is_none());
+            let is_dynamic_kind =
+                matches!(op.kind, OpKind::Measure { .. } | OpKind::Reset { .. });
+            prop_assert!(!is_dynamic_kind);
+        }
+        for op in &ops[first_measure..] {
+            let is_measurement = matches!(op.kind, OpKind::Measure { .. });
+            prop_assert!(is_measurement);
+        }
+        prop_assert_eq!(deferred.circuit.measurement_count(), dynamic.measurement_count());
+    }
+
+    /// The extracted distribution is always a probability distribution.
+    #[test]
+    fn extraction_yields_a_probability_distribution(seed in 0u64..512, len in 10usize..50) {
+        let dynamic = random::random_dynamic_circuit(3, 3, len, seed);
+        let distribution = distribution_of_dynamic(&dynamic);
+        let total = distribution.total();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total probability {total}");
+        for (_, p) in distribution.iter() {
+            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Sequential and parallel extraction agree on random dynamic circuits.
+    #[test]
+    fn parallel_extraction_is_consistent(seed in 0u64..256) {
+        let dynamic = random::random_dynamic_circuit(3, 3, 30, seed);
+        let sequential = distribution_of_dynamic(&dynamic);
+        let parallel = sim::extract_distribution_parallel(
+            &dynamic,
+            &ExtractionConfig::default(),
+            4,
+        )
+        .expect("extraction succeeds")
+        .distribution;
+        prop_assert!(sequential.approx_eq(&parallel, 1e-9));
+    }
+}

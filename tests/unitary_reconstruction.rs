@@ -1,0 +1,154 @@
+//! Integration tests for the Section 4 flow across all benchmark families:
+//! transformation, alignment and functional equivalence checking.
+
+use algorithms::{bv, qft, qpe};
+use qcec::{verify_dynamic_functional, Configuration, Equivalence, Strategy};
+use transform::reconstruct_unitary;
+
+#[test]
+fn iqpe_matches_static_qpe_for_several_precisions() {
+    for precision in [1usize, 2, 3, 5, 8] {
+        let phi = qpe::random_exact_phase(precision, precision as u64 + 1);
+        let static_qpe = qpe::qpe_static(phi, precision, true);
+        let iqpe = qpe::iqpe_dynamic(phi, precision);
+        let report = verify_dynamic_functional(&static_qpe, &iqpe, &Configuration::default())
+            .expect("verification runs");
+        assert!(
+            report.equivalence.considered_equivalent(),
+            "precision {precision}"
+        );
+        assert_eq!(report.added_qubits, precision.saturating_sub(1));
+    }
+}
+
+#[test]
+fn iqpe_with_inexact_phase_is_still_functionally_equivalent() {
+    // Functional equivalence holds for any phase, not only exactly
+    // representable ones.
+    let phi = 2.0 * std::f64::consts::PI * 0.337;
+    let static_qpe = qpe::qpe_static(phi, 4, true);
+    let iqpe = qpe::iqpe_dynamic(phi, 4);
+    let report = verify_dynamic_functional(&static_qpe, &iqpe, &Configuration::default())
+        .expect("verification runs");
+    assert!(report.equivalence.considered_equivalent());
+}
+
+#[test]
+fn dynamic_bv_matches_static_bv_for_various_strings() {
+    for (len, seed) in [(1usize, 1u64), (4, 2), (9, 3), (16, 4)] {
+        let hidden = bv::random_hidden_string(len, seed);
+        let report = verify_dynamic_functional(
+            &bv::bv_static(&hidden, true),
+            &bv::bv_dynamic(&hidden),
+            &Configuration::default(),
+        )
+        .expect("verification runs");
+        assert!(report.equivalence.considered_equivalent(), "len {len}");
+    }
+
+    // Edge cases: all-zeros and all-ones hidden strings.
+    for hidden in [vec![false; 6], vec![true; 6]] {
+        let report = verify_dynamic_functional(
+            &bv::bv_static(&hidden, true),
+            &bv::bv_dynamic(&hidden),
+            &Configuration::default(),
+        )
+        .expect("verification runs");
+        assert!(report.equivalence.considered_equivalent());
+    }
+}
+
+#[test]
+fn dynamic_qft_matches_static_qft() {
+    for n in [1usize, 2, 3, 6, 8] {
+        let report = verify_dynamic_functional(
+            &qft::qft_static(n, None, true),
+            &qft::qft_dynamic(n),
+            &Configuration::default(),
+        )
+        .expect("verification runs");
+        assert!(report.equivalence.considered_equivalent(), "n = {n}");
+    }
+}
+
+#[test]
+fn approximate_qft_pair_is_equivalent() {
+    // Both sides approximated with the same cutoff (as in the paper's large
+    // instances) must still be equivalent.
+    let n = 10;
+    let cutoff = 4;
+    let report = verify_dynamic_functional(
+        &qft::qft_static(n, Some(cutoff), true),
+        &qft::qft_dynamic_approx(n, Some(cutoff)),
+        &Configuration::default(),
+    )
+    .expect("verification runs");
+    assert!(report.equivalence.considered_equivalent());
+}
+
+#[test]
+fn every_strategy_agrees_on_the_verdict() {
+    let phi = qpe::random_exact_phase(4, 99);
+    let static_qpe = qpe::qpe_static(phi, 4, true);
+    let iqpe = qpe::iqpe_dynamic(phi, 4);
+    for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+        let config = Configuration {
+            strategy,
+            ..Default::default()
+        };
+        let report = verify_dynamic_functional(&static_qpe, &iqpe, &config)
+            .expect("verification runs");
+        assert!(
+            report.equivalence.considered_equivalent(),
+            "strategy {strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn broken_dynamic_circuits_are_rejected() {
+    // Wrong correction angle in the IQPE feedback.
+    let phi = qpe::random_exact_phase(3, 5);
+    let static_qpe = qpe::qpe_static(phi, 3, true);
+    let mut broken = qpe::iqpe_dynamic(phi, 3);
+    broken.z(0); // extra gate on the working qubit at the very end
+    let report = verify_dynamic_functional(&static_qpe, &broken, &Configuration::default())
+        .expect("verification runs");
+    assert_eq!(report.equivalence, Equivalence::NotEquivalent);
+
+    // Hidden-string mismatch in BV.
+    let report = verify_dynamic_functional(
+        &bv::bv_static(&[true, true, false, false], true),
+        &bv::bv_dynamic(&[true, true, false, true]),
+        &Configuration::default(),
+    )
+    .expect("verification runs");
+    assert_eq!(report.equivalence, Equivalence::NotEquivalent);
+}
+
+#[test]
+fn reconstruction_qubit_accounting_matches_the_paper() {
+    // n_dyn + r = n_static for every benchmark family (the paper's argument
+    // that the scheme augments the circuit "just enough").
+    let phi = qpe::random_exact_phase(6, 17);
+    let cases = vec![
+        (
+            qpe::qpe_static(phi, 6, true).num_qubits(),
+            qpe::iqpe_dynamic(phi, 6),
+        ),
+        (
+            bv::bv_static(&bv::random_hidden_string(9, 2), true).num_qubits(),
+            bv::bv_dynamic(&bv::random_hidden_string(9, 2)),
+        ),
+        (qft::qft_static(7, None, true).num_qubits(), qft::qft_dynamic(7)),
+    ];
+    for (n_static, dynamic) in cases {
+        let reconstruction = reconstruct_unitary(&dynamic).expect("reconstructible");
+        assert_eq!(
+            dynamic.num_qubits() + reconstruction.added_qubits,
+            n_static,
+            "n_dyn + r must equal n_static"
+        );
+        assert_eq!(reconstruction.circuit.num_qubits(), n_static);
+    }
+}
