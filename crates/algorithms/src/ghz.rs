@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn log_depth_ghz_has_same_gate_count() {
         for n in [1usize, 2, 3, 7, 8, 13] {
-            assert_eq!(ghz(n, false).gate_count(), ghz_log_depth(n, false).gate_count());
+            assert_eq!(
+                ghz(n, false).gate_count(),
+                ghz_log_depth(n, false).gate_count()
+            );
         }
     }
 

@@ -13,7 +13,9 @@ use circuit::{QuantumCircuit, QuantumControl, StandardGate};
 pub fn optimal_iterations(n_qubits: usize) -> usize {
     let amplitude = 1.0 / (1u64 << n_qubits) as f64;
     let angle = amplitude.sqrt().asin();
-    ((std::f64::consts::FRAC_PI_4 / angle) - 0.5).round().max(1.0) as usize
+    ((std::f64::consts::FRAC_PI_4 / angle) - 0.5)
+        .round()
+        .max(1.0) as usize
 }
 
 /// Appends a phase flip of the basis state `marked` (little-endian) to `qc`.

@@ -143,7 +143,15 @@ mod tests {
         let count_h = |qc: &QuantumCircuit| {
             qc.ops()
                 .iter()
-                .filter(|op| matches!(op.kind, circuit::OpKind::Unitary { gate: circuit::StandardGate::H, .. }))
+                .filter(|op| {
+                    matches!(
+                        op.kind,
+                        circuit::OpKind::Unitary {
+                            gate: circuit::StandardGate::H,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count_h(&full), count_h(&approx));

@@ -74,7 +74,11 @@ pub fn qpe_static(phi: f64, precision: usize, measured: bool) -> QuantumCircuit 
     for j in 0..m {
         for i in 0..j {
             let distance = j - i;
-            qc.cp(-std::f64::consts::PI / (1u128 << distance.min(127)) as f64, i, j);
+            qc.cp(
+                -std::f64::consts::PI / (1u128 << distance.min(127)) as f64,
+                i,
+                j,
+            );
         }
         qc.h(j);
     }
@@ -162,7 +166,11 @@ mod tests {
             assert_eq!(qc.gate_count(), 1 + 3 * m + m * (m - 1) / 2, "n = {n}");
             assert_eq!(qc.num_qubits(), n);
             let diff = qc.gate_count().abs_diff(paper) as f64;
-            assert!(diff / paper as f64 <= 0.01, "n = {n}: {} vs paper {paper}", qc.gate_count());
+            assert!(
+                diff / paper as f64 <= 0.01,
+                "n = {n}: {} vs paper {paper}",
+                qc.gate_count()
+            );
         }
     }
 
@@ -175,7 +183,11 @@ mod tests {
             assert_eq!(qc.gate_count(), 5 * m + m * (m - 1) / 2, "n = {n}");
             assert_eq!(qc.num_qubits(), 2);
             let diff = qc.gate_count().abs_diff(paper) as f64;
-            assert!(diff / paper as f64 <= 0.01, "n = {n}: {} vs paper {paper}", qc.gate_count());
+            assert!(
+                diff / paper as f64 <= 0.01,
+                "n = {n}: {} vs paper {paper}",
+                qc.gate_count()
+            );
         }
     }
 

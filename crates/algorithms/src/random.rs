@@ -60,11 +60,7 @@ pub fn random_dynamic_circuit(
 ) -> QuantumCircuit {
     assert!(n_qubits >= 1 && n_bits >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut qc = QuantumCircuit::with_name(
-        n_qubits,
-        n_bits,
-        format!("random_dynamic_{seed}"),
-    );
+    let mut qc = QuantumCircuit::with_name(n_qubits, n_bits, format!("random_dynamic_{seed}"));
     // Tracks which qubits are currently "retired" (measured, not yet reset)
     // and which classical bits already hold a measurement outcome.
     let mut measured = vec![false; n_qubits];
@@ -134,7 +130,7 @@ mod tests {
     fn dynamic_generator_is_well_formed() {
         for seed in 0..20 {
             let qc = random_dynamic_circuit(4, 4, 60, seed);
-            let mut retired = vec![false; 4];
+            let mut retired = [false; 4];
             for op in qc.ops() {
                 match &op.kind {
                     OpKind::Measure { qubit, .. } => {
@@ -144,7 +140,9 @@ mod tests {
                     OpKind::Reset { qubit } => {
                         retired[*qubit] = false;
                     }
-                    OpKind::Unitary { target, controls, .. } => {
+                    OpKind::Unitary {
+                        target, controls, ..
+                    } => {
                         assert!(!retired[*target], "gate on retired qubit (seed {seed})");
                         for c in controls {
                             assert!(!retired[c.qubit], "control on retired qubit (seed {seed})");

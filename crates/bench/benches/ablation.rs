@@ -17,7 +17,11 @@ fn bench_strategies(c: &mut Criterion) {
     let instance = build_instance(Family::Qpe, 11);
     let reconstruction = reconstruct_unitary(&instance.dynamic_circuit).unwrap();
     let aligned = align_to_reference(&instance.static_circuit, &reconstruction.circuit).unwrap();
-    for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+    for strategy in [
+        Strategy::Reference,
+        Strategy::OneToOne,
+        Strategy::Proportional,
+    ] {
         let config = Configuration {
             strategy,
             ..Default::default()
@@ -46,13 +50,9 @@ fn bench_pruning(c: &mut Criterion) {
             prune_threshold: threshold,
             max_leaves: None,
         };
-        group.bench_with_input(
-            BenchmarkId::new("bv17", label),
-            &config,
-            |b, config| {
-                b.iter(|| extract_distribution(&instance.dynamic_circuit, config).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("bv17", label), &config, |b, config| {
+            b.iter(|| extract_distribution(&instance.dynamic_circuit, config).unwrap())
+        });
     }
     group.finish();
 }
@@ -87,5 +87,10 @@ fn bench_parallel_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_pruning, bench_parallel_extraction);
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_pruning,
+    bench_parallel_extraction
+);
 criterion_main!(benches);

@@ -50,7 +50,14 @@ fn bench_distribution_methods(c: &mut Criterion) {
             dynamic,
             |b, circuit| {
                 b.iter(|| {
-                    sample_distribution(circuit, &ShotConfig { shots: 1024, seed: 7 }).unwrap()
+                    sample_distribution(
+                        circuit,
+                        &ShotConfig {
+                            shots: 1024,
+                            seed: 7,
+                        },
+                    )
+                    .unwrap()
                 })
             },
         );

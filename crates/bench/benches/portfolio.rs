@@ -1,0 +1,90 @@
+//! Portfolio speedup on QPE/IQPE instances.
+//!
+//! Compares the wall time of the parallel portfolio against each single
+//! scheme run alone, on the paper's hardest family (phase estimation, static
+//! vs. iterative-dynamic). The portfolio should track the fastest scheme per
+//! instance — that is the whole point of racing them — while a fixed single
+//! scheme is sometimes the slow one.
+
+use bench::{build_instance, Family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd::Budget;
+use portfolio::{run_scheme, verify_portfolio, PortfolioConfig, Scheme};
+use qcec::Strategy;
+
+fn bench_portfolio_vs_single_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio");
+    group.sample_size(10);
+    for n in [7usize, 9, 11] {
+        let instance = build_instance(Family::Qpe, n);
+        let static_circuit = &instance.static_circuit;
+        let dynamic_circuit = &instance.dynamic_circuit;
+        let config = PortfolioConfig::default();
+
+        group.bench_with_input(BenchmarkId::new("race", n), &n, |b, _| {
+            b.iter(|| verify_portfolio(static_circuit, dynamic_circuit, &config))
+        });
+        for scheme in [
+            Scheme::DynamicFunctional(Strategy::Proportional),
+            Scheme::DynamicFunctional(Strategy::Reference),
+            Scheme::FixedInput,
+        ] {
+            group.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    run_scheme(
+                        scheme,
+                        static_circuit,
+                        dynamic_circuit,
+                        &config,
+                        &Budget::unlimited(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    // Pair-level fan-out: a three-pair QPE workload raced concurrently, the
+    // shape the batch driver produces (file I/O excluded — circuits are
+    // prebuilt).
+    let mut group = c.benchmark_group("portfolio_batch");
+    group.sample_size(10);
+    let instances: Vec<_> = [7usize, 8, 9]
+        .iter()
+        .map(|&n| build_instance(Family::Qpe, n))
+        .collect();
+    let config = PortfolioConfig::default();
+    group.bench_with_input(BenchmarkId::new("qpe_three_pairs", "7-9"), &(), |b, _| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = instances
+                    .iter()
+                    .map(|instance| {
+                        let config = &config;
+                        scope.spawn(move || {
+                            verify_portfolio(
+                                &instance.static_circuit,
+                                &instance.dynamic_circuit,
+                                config,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("portfolio worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_portfolio_vs_single_schemes,
+    bench_batch_throughput
+);
+criterion_main!(benches);

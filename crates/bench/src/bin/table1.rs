@@ -12,6 +12,7 @@
 //! counts (the QPE rows then take a long time, exactly as in the paper).
 
 use bench::{build_instance, format_section, run_row, Family, RowOptions};
+use dd::Budget;
 use qcec::Configuration;
 
 struct Args {
@@ -79,8 +80,10 @@ fn main() {
     };
 
     let config = Configuration::default();
+    // `--leaf-limit` maps onto the same shared budget type the cancellation
+    // machinery and the portfolio engine use.
     let options = RowOptions {
-        extraction_leaf_limit: args.leaf_limit,
+        budget: Budget::unlimited().with_leaf_limit(args.leaf_limit),
         ..Default::default()
     };
 
@@ -89,7 +92,8 @@ fn main() {
         "mode: {} instance sizes; extraction leaf limit: {}\n",
         if args.full { "paper" } else { "reduced" },
         options
-            .extraction_leaf_limit
+            .budget
+            .max_leaves()
             .map(|l| l.to_string())
             .unwrap_or_else(|| "unlimited".into())
     );

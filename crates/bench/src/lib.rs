@@ -16,8 +16,9 @@
 
 use algorithms::{bv, qft, qpe};
 use circuit::QuantumCircuit;
-use qcec::{check_functional_equivalence, Configuration, Equivalence};
-use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
+use dd::Budget;
+use qcec::{check_functional_equivalence_with, Configuration, Equivalence};
+use sim::{extract_distribution_budgeted, ExtractionConfig, StateVectorSimulator};
 use std::time::{Duration, Instant};
 use transform::{align_to_reference, reconstruct_unitary};
 
@@ -124,7 +125,10 @@ pub fn build_instance(family: Family, n: usize) -> Instance {
             }
         }
         Family::Qpe => {
-            assert!(n >= 2, "QPE needs at least one counting qubit plus the eigenstate");
+            assert!(
+                n >= 2,
+                "QPE needs at least one counting qubit plus the eigenstate"
+            );
             let m = n - 1;
             let phi = qpe::random_exact_phase(m, SEED ^ n as u64);
             Instance {
@@ -162,10 +166,13 @@ pub struct TableRow {
 }
 
 /// Options controlling a [`run_row`] invocation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RowOptions {
-    /// Leaf budget for the extraction scheme (`None` = unlimited).
-    pub extraction_leaf_limit: Option<usize>,
+    /// Resource budget shared by every measurement of the row — the same
+    /// [`dd::Budget`] the cancellation machinery and the portfolio engine
+    /// use, so `table1 --leaf-limit` and a portfolio leaf limit mean exactly
+    /// the same thing. The default caps extraction at `2^22` leaves.
+    pub budget: Budget,
     /// Skip the functional-verification part (useful for extraction-only
     /// sweeps).
     pub skip_functional: bool,
@@ -176,7 +183,7 @@ pub struct RowOptions {
 impl Default for RowOptions {
     fn default() -> Self {
         RowOptions {
-            extraction_leaf_limit: Some(1 << 22),
+            budget: Budget::unlimited().with_leaf_limit(1 << 22),
             skip_functional: false,
             skip_fixed_input: false,
         }
@@ -212,8 +219,9 @@ pub fn run_row(instance: &Instance, config: &Configuration, options: &RowOptions
         let start = Instant::now();
         let aligned = align_to_reference(static_circuit, &reconstruction.circuit)
             .expect("benchmark circuits align through their measurement bits");
-        let check = check_functional_equivalence(static_circuit, &aligned, config)
-            .expect("benchmark circuits are checkable");
+        let check =
+            check_functional_equivalence_with(static_circuit, &aligned, config, &options.budget)
+                .expect("benchmark circuits are checkable");
         (t_trans, start.elapsed(), check.equivalence)
     };
 
@@ -221,12 +229,13 @@ pub fn run_row(instance: &Instance, config: &Configuration, options: &RowOptions
     let (t_extract, t_sim) = if options.skip_fixed_input {
         (None, Duration::ZERO)
     } else {
-        let extraction_config = ExtractionConfig {
-            max_leaves: options.extraction_leaf_limit,
-            ..Default::default()
-        };
         let start = Instant::now();
-        let extraction = extract_distribution(dynamic_circuit, &extraction_config);
+        let extraction = extract_distribution_budgeted(
+            dynamic_circuit,
+            None,
+            &ExtractionConfig::default(),
+            &options.budget,
+        );
         let t_extract = match extraction {
             Ok(_) => Some(start.elapsed()),
             Err(_) => None,
@@ -333,7 +342,7 @@ mod tests {
     fn extraction_cutoff_produces_dash() {
         let instance = build_instance(Family::Qft, 10);
         let options = RowOptions {
-            extraction_leaf_limit: Some(4),
+            budget: Budget::unlimited().with_leaf_limit(4),
             skip_functional: true,
             ..Default::default()
         };

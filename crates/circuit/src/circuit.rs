@@ -32,10 +32,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             CircuitError::BitOutOfRange { bit, n_bits } => {
-                write!(f, "classical bit {bit} out of range for {n_bits}-bit register")
+                write!(
+                    f,
+                    "classical bit {bit} out of range for {n_bits}-bit register"
+                )
             }
             CircuitError::NonUnitary { operation } => {
                 write!(f, "operation `{operation}` is not unitary")
@@ -453,11 +459,8 @@ impl QuantumCircuit {
     /// measurements, resets or classically-controlled operations, which have
     /// no inverse.
     pub fn inverse(&self) -> Result<QuantumCircuit, CircuitError> {
-        let mut inv = QuantumCircuit::with_name(
-            self.n_qubits,
-            self.n_bits,
-            format!("{}_inverse", self.name),
-        );
+        let mut inv =
+            QuantumCircuit::with_name(self.n_qubits, self.n_bits, format!("{}_inverse", self.name));
         for op in self.ops.iter().rev() {
             match (&op.kind, op.condition) {
                 (
@@ -468,7 +471,11 @@ impl QuantumCircuit {
                     },
                     None,
                 ) => {
-                    inv.push(Operation::unitary(gate.inverse(), *target, controls.clone()));
+                    inv.push(Operation::unitary(
+                        gate.inverse(),
+                        *target,
+                        controls.clone(),
+                    ));
                 }
                 (OpKind::Barrier, _) => inv.push(Operation::barrier()),
                 _ => {
@@ -582,7 +589,9 @@ mod tests {
     #[test]
     fn push_validates_indices() {
         let mut qc = QuantumCircuit::new(2, 1);
-        assert!(qc.try_push(Operation::unitary(StandardGate::H, 5, vec![])).is_err());
+        assert!(qc
+            .try_push(Operation::unitary(StandardGate::H, 5, vec![]))
+            .is_err());
         assert!(qc.try_push(Operation::measure(0, 3)).is_err());
         assert!(qc.try_push(Operation::measure(0, 0)).is_ok());
         assert_eq!(qc.len(), 1);
@@ -596,28 +605,16 @@ mod tests {
         assert_eq!(inv.len(), 4);
         // Last gate of the inverse is H on qubit 0 (inverse of the first gate).
         let ops: Vec<_> = inv.ops().to_vec();
-        assert_eq!(
-            ops[0],
-            Operation::unitary(StandardGate::Tdg, 0, vec![])
-        );
-        assert_eq!(
-            ops[3],
-            Operation::unitary(StandardGate::H, 0, vec![])
-        );
-        assert_eq!(
-            ops[2],
-            Operation::unitary(StandardGate::Sdg, 1, vec![])
-        );
+        assert_eq!(ops[0], Operation::unitary(StandardGate::Tdg, 0, vec![]));
+        assert_eq!(ops[3], Operation::unitary(StandardGate::H, 0, vec![]));
+        assert_eq!(ops[2], Operation::unitary(StandardGate::Sdg, 1, vec![]));
     }
 
     #[test]
     fn inverse_of_dynamic_circuit_fails() {
         let mut qc = QuantumCircuit::new(1, 1);
         qc.h(0).measure(0, 0);
-        assert!(matches!(
-            qc.inverse(),
-            Err(CircuitError::NonUnitary { .. })
-        ));
+        assert!(matches!(qc.inverse(), Err(CircuitError::NonUnitary { .. })));
     }
 
     #[test]
@@ -655,10 +652,7 @@ mod tests {
         let mut qc = QuantumCircuit::new(3, 3);
         qc.measure_all();
         assert_eq!(qc.measurement_count(), 3);
-        assert_eq!(
-            qc.ops()[1],
-            Operation::measure(1, 1)
-        );
+        assert_eq!(qc.ops()[1], Operation::measure(1, 1));
     }
 
     #[test]

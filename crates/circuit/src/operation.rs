@@ -278,12 +278,7 @@ mod tests {
         let r = Operation::reset(2);
         assert!(r.is_dynamic());
 
-        let c = Operation::conditioned(
-            StandardGate::X,
-            0,
-            vec![],
-            ClassicalCondition::is_one(3),
-        );
+        let c = Operation::conditioned(StandardGate::X, 0, vec![], ClassicalCondition::is_one(3));
         assert!(!c.is_unitary());
         assert!(c.is_dynamic());
 
@@ -330,14 +325,13 @@ mod tests {
         assert_eq!(format!("{op}"), "h q[0]");
         let cx = Operation::unitary(StandardGate::X, 1, vec![QuantumControl::pos(0)]);
         assert_eq!(format!("{cx}"), "cx q[0], q[1]");
-        let cond = Operation::conditioned(
-            StandardGate::X,
-            2,
-            vec![],
-            ClassicalCondition::is_one(1),
-        );
+        let cond =
+            Operation::conditioned(StandardGate::X, 2, vec![], ClassicalCondition::is_one(1));
         assert_eq!(format!("{cond}"), "if (c[1] == 1) x q[2]");
-        assert_eq!(format!("{}", Operation::measure(0, 0)), "measure q[0] -> c[0]");
+        assert_eq!(
+            format!("{}", Operation::measure(0, 0)),
+            "measure q[0] -> c[0]"
+        );
         assert_eq!(format!("{}", Operation::reset(5)), "reset q[5]");
     }
 }

@@ -68,7 +68,11 @@ pub fn to_qasm(circuit: &QuantumCircuit) -> String {
 fn op_to_qasm(op: &Operation) -> String {
     let mut line = String::new();
     if let Some(cond) = op.condition {
-        line.push_str(&format!("if (c[{}] == {}) ", cond.bit, u8::from(cond.value)));
+        line.push_str(&format!(
+            "if (c[{}] == {}) ",
+            cond.bit,
+            u8::from(cond.value)
+        ));
     }
     match &op.kind {
         OpKind::Unitary {
@@ -129,10 +133,7 @@ pub fn from_qasm(text: &str) -> Result<QuantumCircuit, ParseQasmError> {
     for (idx, raw_line) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw_line.split("//").next().unwrap_or("").trim();
-        if line.is_empty()
-            || line.starts_with("OPENQASM")
-            || line.starts_with("include")
-        {
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
             continue;
         }
         let stmt = line.trim_end_matches(';').trim();
@@ -271,7 +272,10 @@ fn parse_gate(name: &str, params: &[f64], lineno: usize) -> Result<StandardGate,
         } else {
             Err(err(
                 lineno,
-                format!("gate `{name}` expects {n} parameters, found {}", params.len()),
+                format!(
+                    "gate `{name}` expects {n} parameters, found {}",
+                    params.len()
+                ),
             ))
         }
     };
@@ -347,7 +351,12 @@ mod tests {
     #[test]
     fn roundtrip_static_circuit() {
         let mut qc = QuantumCircuit::new(3, 0);
-        qc.h(0).cx(0, 1).ccx(0, 1, 2).p(0.25, 2).rz(-1.5, 1).swap(0, 2);
+        qc.h(0)
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .p(0.25, 2)
+            .rz(-1.5, 1)
+            .swap(0, 2);
         let back = roundtrip(&qc);
         assert_eq!(back.num_qubits(), 3);
         assert_eq!(back.ops(), qc.ops());
@@ -414,7 +423,11 @@ mod tests {
         let mut qc = QuantumCircuit::new(1, 0);
         qc.p(theta, 0);
         let back = roundtrip(&qc);
-        if let OpKind::Unitary { gate: StandardGate::Phase(t), .. } = back.ops()[0].kind {
+        if let OpKind::Unitary {
+            gate: StandardGate::Phase(t),
+            ..
+        } = back.ops()[0].kind
+        {
             assert!((t - theta).abs() < 1e-12);
         } else {
             panic!("expected a phase gate");

@@ -206,7 +206,10 @@ mod tests {
             }
         }
         let phase = phase.expect("non-zero unitary");
-        assert!((phase.abs() - 1.0).abs() < 1e-6, "not a pure phase: {phase:?}");
+        assert!(
+            (phase.abs() - 1.0).abs() < 1e-6,
+            "not a pure phase: {phase:?}"
+        );
         for i in 0..dim {
             for j in 0..dim {
                 assert!(
@@ -279,7 +282,8 @@ mod tests {
     #[test]
     fn identity_gates_are_dropped() {
         let mut qc = QuantumCircuit::new(1, 0);
-        qc.gate(StandardGate::I, 0).gate(StandardGate::Phase(0.0), 0);
+        qc.gate(StandardGate::I, 0)
+            .gate(StandardGate::Phase(0.0), 0);
         let rewritten = rewrite_to_basis(&qc, NativeBasis::IbmRzSxX);
         assert!(rewritten.circuit.is_empty());
     }
@@ -309,7 +313,14 @@ mod tests {
     #[test]
     fn a_realistic_mixed_circuit_stays_equivalent() {
         let mut qc = QuantumCircuit::new(3, 0);
-        qc.h(0).cx(0, 1).t(1).sdg(2).cx(1, 2).ry(0.4, 0).cx(2, 0).p(1.1, 2);
+        qc.h(0)
+            .cx(0, 1)
+            .t(1)
+            .sdg(2)
+            .cx(1, 2)
+            .ry(0.4, 0)
+            .cx(2, 0)
+            .p(1.1, 2);
         for basis in [NativeBasis::U3Cx, NativeBasis::IbmRzSxX] {
             let rewritten = rewrite_to_basis(&qc, basis);
             assert_equivalent_up_to_phase(&qc, &rewritten.circuit);

@@ -185,8 +185,8 @@ impl CouplingMap {
         seen[0] = true;
         let mut count = 1;
         while let Some(current) = queue.pop_front() {
-            for next in 0..self.n_qubits {
-                if self.adjacency[current][next] && !seen[next] {
+            for (next, &connected) in self.adjacency[current].iter().enumerate() {
+                if connected && !seen[next] {
                     seen[next] = true;
                     count += 1;
                     queue.push_back(next);

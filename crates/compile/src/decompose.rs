@@ -15,7 +15,9 @@
 //! circuits equal up to global phase as equivalent.
 
 use crate::math::{approx_eq, sqrt_unitary, zyz_decompose};
-use circuit::{ClassicalCondition, OpKind, Operation, QuantumCircuit, QuantumControl, StandardGate};
+use circuit::{
+    ClassicalCondition, OpKind, Operation, QuantumCircuit, QuantumControl, StandardGate,
+};
 use dd::{gates, GateMatrix};
 use sim::gate_matrix;
 
@@ -143,7 +145,10 @@ fn push_rotation(
         _ => false,
     };
     if !trivial {
-        out.push(with_condition(Operation::unitary(gate, target, vec![]), condition));
+        out.push(with_condition(
+            Operation::unitary(gate, target, vec![]),
+            condition,
+        ));
     }
 }
 
@@ -225,10 +230,20 @@ fn emit_abc(
     let delta = angles.delta;
 
     // C = Rz((δ−β)/2)
-    push_rotation(out, StandardGate::Rz((delta - beta) / 2.0), target, condition);
+    push_rotation(
+        out,
+        StandardGate::Rz((delta - beta) / 2.0),
+        target,
+        condition,
+    );
     push_cx(out, control, target, condition);
     // B = Ry(−γ/2) · Rz(−(δ+β)/2)
-    push_rotation(out, StandardGate::Rz(-(delta + beta) / 2.0), target, condition);
+    push_rotation(
+        out,
+        StandardGate::Rz(-(delta + beta) / 2.0),
+        target,
+        condition,
+    );
     push_rotation(out, StandardGate::Ry(-gamma / 2.0), target, condition);
     push_cx(out, control, target, condition);
     // A = Rz(β) · Ry(γ/2)
@@ -247,10 +262,16 @@ fn emit_toffoli(
     condition: Option<ClassicalCondition>,
 ) {
     let h = |out: &mut Vec<Operation>, q: usize| {
-        out.push(with_condition(Operation::unitary(StandardGate::H, q, vec![]), condition));
+        out.push(with_condition(
+            Operation::unitary(StandardGate::H, q, vec![]),
+            condition,
+        ));
     };
     let t = |out: &mut Vec<Operation>, q: usize| {
-        out.push(with_condition(Operation::unitary(StandardGate::T, q, vec![]), condition));
+        out.push(with_condition(
+            Operation::unitary(StandardGate::T, q, vec![]),
+            condition,
+        ));
     };
     let tdg = |out: &mut Vec<Operation>, q: usize| {
         out.push(with_condition(
@@ -467,8 +488,11 @@ mod tests {
             ClassicalCondition::is_one(0),
         ));
         let decomposed = decompose_controls(&qc);
-        assert!(decomposed.circuit.ops().iter().all(|op| op.condition
-            == Some(ClassicalCondition::is_one(0))));
+        assert!(decomposed
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| op.condition == Some(ClassicalCondition::is_one(0))));
         assert!(decomposed.expanded_operations == 1);
     }
 

@@ -111,15 +111,18 @@ fn next_on_wires(ops: &[Operation], start: usize, qubits: &[usize]) -> Option<us
 
 /// Returns `true` when `a` followed by `b` is the identity.
 fn is_inverse_pair(a: &Operation, b: &Operation) -> bool {
-    let (OpKind::Unitary {
-        gate: gate_a,
-        target: target_a,
-        controls: controls_a,
-    }, OpKind::Unitary {
-        gate: gate_b,
-        target: target_b,
-        controls: controls_b,
-    }) = (&a.kind, &b.kind)
+    let (
+        OpKind::Unitary {
+            gate: gate_a,
+            target: target_a,
+            controls: controls_a,
+        },
+        OpKind::Unitary {
+            gate: gate_b,
+            target: target_b,
+            controls: controls_b,
+        },
+    ) = (&a.kind, &b.kind)
     else {
         return false;
     };

@@ -155,9 +155,7 @@ impl Compiler {
     /// handle.
     pub fn compile(&self, circuit: &QuantumCircuit) -> Result<CompilationResult, CompileError> {
         let start = Instant::now();
-        self.target
-            .coupling
-            .check_capacity(circuit.num_qubits())?;
+        self.target.coupling.check_capacity(circuit.num_qubits())?;
 
         let decomposed = decompose_controls(circuit);
         let rewritten = rewrite_to_basis(&decomposed.circuit, self.target.basis);
@@ -242,7 +240,7 @@ mod tests {
             .unwrap();
         let optimized = Compiler::new(target).compile(&qc).unwrap();
         assert!(optimized.gate_count() < unoptimized.gate_count());
-        assert_eq!(optimized.optimization.iterations >= 1, true);
+        assert!(optimized.optimization.iterations >= 1);
         assert_eq!(unoptimized.optimization, OptimizationReport::default());
     }
 

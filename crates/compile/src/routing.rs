@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn measurements_and_conditions_follow_the_layout() {
         let mut qc = QuantumCircuit::new(3, 1);
-        qc.cx(0, 2).measure(2, 0).gate_if(StandardGate::X, 0, 0, true);
+        qc.cx(0, 2)
+            .measure(2, 0)
+            .gate_if(StandardGate::X, 0, 0, true);
         let coupling = CouplingMap::line(3);
         let routed = route(&qc, &coupling, Layout::trivial(3, 3), false).unwrap();
         // After routing the measurement must target whichever physical qubit
@@ -291,7 +293,8 @@ mod tests {
         let coupling = CouplingMap::ibmq_london();
         assert!(matches!(
             route(&qc, &coupling, Layout::trivial(5, 5), true),
-            Err(CompileError::InvalidLayout { .. }) | Err(CompileError::NotEnoughPhysicalQubits { .. })
+            Err(CompileError::InvalidLayout { .. })
+                | Err(CompileError::NotEnoughPhysicalQubits { .. })
         ));
     }
 

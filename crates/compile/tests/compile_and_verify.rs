@@ -20,7 +20,10 @@ fn compile_and_check(circuit: &QuantumCircuit, target: Target) {
     let compiled = Compiler::new(target.clone())
         .compile(circuit)
         .expect("compilation succeeds");
-    let reference = pad(&circuit.without_measurements(), target.coupling.num_qubits());
+    let reference = pad(
+        &circuit.without_measurements(),
+        target.coupling.num_qubits(),
+    );
     let check = check_functional_equivalence(
         &reference,
         &compiled.circuit.without_measurements(),
@@ -118,9 +121,7 @@ fn compiled_dynamic_iqpe_produces_the_same_outcome_distribution() {
     let original = extract_distribution(&iqpe, &ExtractionConfig::default()).unwrap();
     let after = extract_distribution(&compiled.circuit, &ExtractionConfig::default()).unwrap();
     assert!(
-        original
-            .distribution
-            .approx_eq(&after.distribution, 1e-6),
+        original.distribution.approx_eq(&after.distribution, 1e-6),
         "distribution changed by compilation"
     );
 }
@@ -142,10 +143,8 @@ fn an_injected_compiler_bug_is_caught_by_the_checker() {
     let circuit = qpe::qpe_static(phi, 3, false);
     let target = Target::ibmq_london();
     let compiled = Compiler::new(target.clone()).compile(&circuit).unwrap();
-    let mut broken = QuantumCircuit::new(
-        compiled.circuit.num_qubits(),
-        compiled.circuit.num_bits(),
-    );
+    let mut broken =
+        QuantumCircuit::new(compiled.circuit.num_qubits(), compiled.circuit.num_bits());
     let dropped = compiled
         .circuit
         .iter()

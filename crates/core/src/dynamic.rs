@@ -9,10 +9,12 @@
 //!   distribution of the other circuit.
 
 use crate::equivalence::{Configuration, Equivalence};
-use crate::unitary::{check_functional_equivalence, CheckError, FunctionalCheck};
+use crate::unitary::{check_functional_equivalence_with, CheckError, FunctionalCheck};
 use circuit::QuantumCircuit;
+use dd::{Budget, LimitExceeded};
 use sim::{
-    extract_distribution, ExtractionConfig, OutcomeDistribution, SimError, StateVectorSimulator,
+    extract_distribution_budgeted, ExtractionConfig, OutcomeDistribution, SimError,
+    StateVectorSimulator,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -106,15 +108,44 @@ pub fn verify_dynamic_functional(
     dynamic: &QuantumCircuit,
     config: &Configuration,
 ) -> Result<FunctionalVerification, DynamicCheckError> {
+    verify_dynamic_functional_with(reference, dynamic, config, &Budget::unlimited())
+}
+
+/// Budget-aware variant of [`verify_dynamic_functional`].
+///
+/// The unitary reconstruction checks the budget's cancel token between
+/// passes, and the functional equivalence check observes the budget inside
+/// the miter construction (see
+/// [`check_functional_equivalence_with`](crate::check_functional_equivalence_with)).
+///
+/// # Errors
+///
+/// Same as [`verify_dynamic_functional`], plus
+/// [`CheckError::LimitExceeded`] wrapped in [`DynamicCheckError::Check`].
+pub fn verify_dynamic_functional_with(
+    reference: &QuantumCircuit,
+    dynamic: &QuantumCircuit,
+    config: &Configuration,
+    budget: &Budget,
+) -> Result<FunctionalVerification, DynamicCheckError> {
+    let cancelled =
+        || DynamicCheckError::Check(CheckError::LimitExceeded(LimitExceeded::Cancelled));
     // Reconstruct both sides (a static reference passes through unchanged).
     let reference_rec = reconstruct_unitary(reference)?;
+    if budget.cancel_token().is_cancelled() {
+        return Err(cancelled());
+    }
     let dynamic_rec = reconstruct_unitary(dynamic)?;
     let transformation_time = reference_rec.duration + dynamic_rec.duration;
 
+    if budget.cancel_token().is_cancelled() {
+        return Err(cancelled());
+    }
     let aligned = align_to_reference(&reference_rec.circuit, &dynamic_rec.circuit)?;
 
     let start = Instant::now();
-    let check = check_functional_equivalence(&reference_rec.circuit, &aligned, config)?;
+    let check =
+        check_functional_equivalence_with(&reference_rec.circuit, &aligned, config, budget)?;
     let verification_time = start.elapsed();
 
     Ok(FunctionalVerification {
@@ -151,12 +182,28 @@ pub fn outcome_distribution(
     circuit: &QuantumCircuit,
     extraction: &ExtractionConfig,
 ) -> Result<(OutcomeDistribution, Duration), DynamicCheckError> {
+    outcome_distribution_with(circuit, extraction, &Budget::unlimited())
+}
+
+/// Budget-aware variant of [`outcome_distribution`]: both the branching
+/// extraction and the plain simulation stop cooperatively when the budget's
+/// cancel token fires or a resource limit trips.
+///
+/// # Errors
+///
+/// Propagates simulation/extraction errors, including
+/// [`SimError::Interrupted`] wrapped in [`DynamicCheckError::Simulation`].
+pub fn outcome_distribution_with(
+    circuit: &QuantumCircuit,
+    extraction: &ExtractionConfig,
+    budget: &Budget,
+) -> Result<(OutcomeDistribution, Duration), DynamicCheckError> {
     let start = Instant::now();
     if circuit.is_dynamic() {
-        let result = extract_distribution(circuit, extraction)?;
+        let result = extract_distribution_budgeted(circuit, None, extraction, budget)?;
         Ok((result.distribution, start.elapsed()))
     } else {
-        let mut sim = StateVectorSimulator::new(circuit.num_qubits());
+        let mut sim = StateVectorSimulator::with_budget(circuit.num_qubits(), budget.clone());
         sim.run(circuit)?;
         let dist = sim.outcome_distribution();
         Ok((dist, start.elapsed()))
@@ -177,8 +224,27 @@ pub fn verify_fixed_input(
     config: &Configuration,
     extraction: &ExtractionConfig,
 ) -> Result<FixedInputVerification, DynamicCheckError> {
-    let (reference_distribution, reference_time) = outcome_distribution(reference, extraction)?;
-    let (dynamic_distribution, dynamic_time) = outcome_distribution(dynamic, extraction)?;
+    verify_fixed_input_with(reference, dynamic, config, extraction, &Budget::unlimited())
+}
+
+/// Budget-aware variant of [`verify_fixed_input`]; see
+/// [`outcome_distribution_with`] for how the budget is observed.
+///
+/// # Errors
+///
+/// Same as [`verify_fixed_input`], plus [`SimError::Interrupted`] wrapped in
+/// [`DynamicCheckError::Simulation`].
+pub fn verify_fixed_input_with(
+    reference: &QuantumCircuit,
+    dynamic: &QuantumCircuit,
+    config: &Configuration,
+    extraction: &ExtractionConfig,
+    budget: &Budget,
+) -> Result<FixedInputVerification, DynamicCheckError> {
+    let (reference_distribution, reference_time) =
+        outcome_distribution_with(reference, extraction, budget)?;
+    let (dynamic_distribution, dynamic_time) =
+        outcome_distribution_with(dynamic, extraction, budget)?;
 
     if reference_distribution.n_bits() != dynamic_distribution.n_bits() {
         return Ok(FixedInputVerification {

@@ -23,6 +23,19 @@
 //!   circuit is extracted by branching simulation and compared with the
 //!   distribution of the reference for the fixed all-zeros input.
 //!
+//! ## Budgets and cancellation
+//!
+//! Every check has a `*_with` variant taking a [`Budget`]
+//! ([`check_functional_equivalence_with`], [`verify_dynamic_functional_with`],
+//! [`verify_fixed_input_with`], [`check_simulative_equivalence_with`]) that
+//! observes a shared [`CancelToken`] and optional node/leaf limits deep
+//! inside the decision-diagram hot loops. This is the foundation of the
+//! `portfolio` crate, which races all applicable schemes across threads and
+//! cancels the losers the moment one scheme produces a conclusive verdict —
+//! the same portfolio idea the QCEC tool uses in production. A check stopped
+//! by its budget reports [`CheckError::LimitExceeded`] (or
+//! `SimError::Interrupted` on the simulation side) instead of a verdict.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -58,9 +71,18 @@ mod simulation;
 mod unitary;
 
 pub use dynamic::{
-    outcome_distribution, verify_dynamic_functional, verify_fixed_input, DynamicCheckError,
+    outcome_distribution, outcome_distribution_with, verify_dynamic_functional,
+    verify_dynamic_functional_with, verify_fixed_input, verify_fixed_input_with, DynamicCheckError,
     FixedInputVerification, FunctionalVerification,
 };
 pub use equivalence::{Configuration, Equivalence, Strategy};
-pub use simulation::{check_simulative_equivalence, SimulativeCheck};
-pub use unitary::{check_functional_equivalence, CheckError, FunctionalCheck};
+pub use simulation::{
+    check_simulative_equivalence, check_simulative_equivalence_with, SimulativeCheck,
+};
+pub use unitary::{
+    check_functional_equivalence, check_functional_equivalence_with, CheckError, FunctionalCheck,
+};
+
+// Re-export the shared resource-limit vocabulary so downstream users do not
+// need a direct `dd` dependency to budget or cancel a check.
+pub use dd::{Budget, CancelToken, LimitExceeded};

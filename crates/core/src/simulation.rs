@@ -10,9 +10,10 @@
 use crate::equivalence::{Configuration, Equivalence};
 use crate::unitary::CheckError;
 use circuit::QuantumCircuit;
+use dd::{Budget, LimitExceeded};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sim::StateVectorSimulator;
+use sim::{SimError, StateVectorSimulator};
 use std::time::{Duration, Instant};
 
 /// Outcome of a simulative equivalence check.
@@ -42,6 +43,36 @@ pub fn check_simulative_equivalence(
     right: &QuantumCircuit,
     config: &Configuration,
 ) -> Result<SimulativeCheck, CheckError> {
+    check_simulative_equivalence_with(left, right, config, &Budget::unlimited())
+}
+
+/// Maps a simulator failure onto the checker's error type, keeping budget
+/// interruptions distinguishable from genuinely unsupported circuits.
+fn run_error(which: &'static str, error: SimError) -> CheckError {
+    match error {
+        SimError::Interrupted(reason) => CheckError::LimitExceeded(reason),
+        other => CheckError::NonUnitaryCircuit {
+            which,
+            operation: other.to_string(),
+        },
+    }
+}
+
+/// Budget-aware variant of [`check_simulative_equivalence`].
+///
+/// The budget's cancel token is checked between stimuli and inside each
+/// simulation run, so a cancelled check returns quickly even mid-circuit.
+///
+/// # Errors
+///
+/// Same as [`check_simulative_equivalence`], plus
+/// [`CheckError::LimitExceeded`] when the budget stops the check.
+pub fn check_simulative_equivalence_with(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &Configuration,
+    budget: &Budget,
+) -> Result<SimulativeCheck, CheckError> {
     if left.num_qubits() != right.num_qubits() {
         return Err(CheckError::RegisterMismatch {
             left: left.num_qubits(),
@@ -58,6 +89,9 @@ pub fn check_simulative_equivalence(
     let right_unitary = right.without_measurements();
 
     for run in 0..config.simulation_runs.max(1) {
+        if budget.cancel_token().is_cancelled() {
+            return Err(CheckError::LimitExceeded(LimitExceeded::Cancelled));
+        }
         // The first stimulus is always |0…0⟩ (the most common fixed input);
         // the remaining stimuli are random basis states.
         let bits: Vec<bool> = if run == 0 {
@@ -65,20 +99,16 @@ pub fn check_simulative_equivalence(
         } else {
             (0..n).map(|_| rng.r#gen::<bool>()).collect()
         };
-        let mut sim_left = StateVectorSimulator::with_initial_state(&bits);
+        let mut sim_left =
+            StateVectorSimulator::with_budget_and_initial_state(&bits, budget.clone());
         sim_left
             .run(&left_unitary)
-            .map_err(|e| CheckError::NonUnitaryCircuit {
-                which: "left",
-                operation: e.to_string(),
-            })?;
-        let mut sim_right = StateVectorSimulator::with_initial_state(&bits);
+            .map_err(|e| run_error("left", e))?;
+        let mut sim_right =
+            StateVectorSimulator::with_budget_and_initial_state(&bits, budget.clone());
         sim_right
             .run(&right_unitary)
-            .map_err(|e| CheckError::NonUnitaryCircuit {
-                which: "right",
-                operation: e.to_string(),
-            })?;
+            .map_err(|e| run_error("right", e))?;
         let fidelity = sim_left.fidelity_with(&sim_right);
         min_fidelity = min_fidelity.min(fidelity);
         runs += 1;

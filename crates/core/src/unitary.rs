@@ -10,7 +10,7 @@
 
 use crate::equivalence::{Configuration, Equivalence, Strategy};
 use circuit::{OpKind, Operation, QuantumCircuit};
-use dd::{DdPackage, MEdge};
+use dd::{Budget, DdPackage, LimitExceeded, MEdge};
 use sim::{dd_controls, gate_matrix};
 use std::time::{Duration, Instant};
 
@@ -31,6 +31,9 @@ pub enum CheckError {
         /// Qubits of the right circuit.
         right: usize,
     },
+    /// The check was stopped by its [`Budget`](dd::Budget): cancelled by a
+    /// competing portfolio scheme or out of its node budget.
+    LimitExceeded(LimitExceeded),
 }
 
 impl std::fmt::Display for CheckError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for CheckError {
                 f,
                 "register mismatch: left circuit has {left} qubits, right circuit has {right}"
             ),
+            CheckError::LimitExceeded(reason) => write!(f, "check stopped early: {reason}"),
         }
     }
 }
@@ -157,6 +161,27 @@ pub fn check_functional_equivalence(
     right: &QuantumCircuit,
     config: &Configuration,
 ) -> Result<FunctionalCheck, CheckError> {
+    check_functional_equivalence_with(left, right, config, &Budget::unlimited())
+}
+
+/// Budget-aware variant of [`check_functional_equivalence`].
+///
+/// The miter construction observes `budget` cooperatively: when the budget's
+/// cancel token fires or its node limit trips, the check stops within a few
+/// hundred decision-diagram node allocations and returns
+/// [`CheckError::LimitExceeded`]. This is what lets the portfolio engine
+/// cancel losing schemes instead of letting them burn a core to completion.
+///
+/// # Errors
+///
+/// Same as [`check_functional_equivalence`], plus
+/// [`CheckError::LimitExceeded`].
+pub fn check_functional_equivalence_with(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &Configuration,
+    budget: &Budget,
+) -> Result<FunctionalCheck, CheckError> {
     if left.num_qubits() != right.num_qubits() {
         return Err(CheckError::RegisterMismatch {
             left: left.num_qubits(),
@@ -168,7 +193,7 @@ pub fn check_functional_equivalence(
     let left_ops = unitary_ops(left, "left")?;
     let right_ops = unitary_ops(right, "right")?;
 
-    let mut package = DdPackage::new(n);
+    let mut package = DdPackage::with_budget(n, budget.clone());
     let mut miter = package.identity();
     let mut peak = package.matrix_size(miter);
 
@@ -176,10 +201,16 @@ pub fn check_functional_equivalence(
         Strategy::Reference => {
             for op in &left_ops {
                 miter = apply_left(&mut package, miter, op);
+                if let Some(reason) = package.limit_exceeded() {
+                    return Err(CheckError::LimitExceeded(reason));
+                }
                 peak = peak.max(package.matrix_size(miter));
             }
             for op in &right_ops {
                 miter = apply_right_inverse(&mut package, miter, op);
+                if let Some(reason) = package.limit_exceeded() {
+                    return Err(CheckError::LimitExceeded(reason));
+                }
                 peak = peak.max(package.matrix_size(miter));
             }
         }
@@ -215,8 +246,11 @@ pub fn check_functional_equivalence(
                     miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
                     ri += 1;
                 }
+                if let Some(reason) = package.limit_exceeded() {
+                    return Err(CheckError::LimitExceeded(reason));
+                }
                 steps += 1;
-                if steps % 50 == 0 {
+                if steps.is_multiple_of(50) {
                     peak = peak.max(package.matrix_size(miter));
                 }
             }
@@ -229,7 +263,8 @@ pub fn check_functional_equivalence(
         // looking at the (complex) trace direction.
         let trace = package.trace(miter);
         let dim = 2f64.powi(n as i32);
-        if (trace.re / dim - 1.0).abs() < config.tolerance && (trace.im / dim).abs() < config.tolerance
+        if (trace.re / dim - 1.0).abs() < config.tolerance
+            && (trace.im / dim).abs() < config.tolerance
         {
             Equivalence::Equivalent
         } else {
@@ -256,7 +291,11 @@ mod tests {
     #[test]
     fn identical_circuits_are_equivalent() {
         let qc = random::random_unitary_circuit(4, 24, 3);
-        for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+        for strategy in [
+            Strategy::Reference,
+            Strategy::OneToOne,
+            Strategy::Proportional,
+        ] {
             let config = Configuration {
                 strategy,
                 ..Default::default()
@@ -275,8 +314,7 @@ mod tests {
         for q in 1..6 {
             b.h(q).cz(q - 1, q).h(q);
         }
-        let check =
-            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        let check = check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
         assert_eq!(check.equivalence, Equivalence::Equivalent);
     }
 
@@ -286,8 +324,7 @@ mod tests {
         // but is a different unitary.
         let a = ghz::ghz(4, false);
         let b = ghz::ghz_log_depth(4, false);
-        let check =
-            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        let check = check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
         assert_eq!(check.equivalence, Equivalence::NotEquivalent);
     }
 
@@ -296,8 +333,7 @@ mod tests {
         let a = ghz::ghz(4, false);
         let mut b = ghz::ghz(4, false);
         b.z(2);
-        let check =
-            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        let check = check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
         assert_eq!(check.equivalence, Equivalence::NotEquivalent);
         assert!(check.identity_fidelity < 1.0 - 1e-3);
     }
@@ -310,8 +346,7 @@ mod tests {
         a.rz(theta, 0);
         let mut b = QuantumCircuit::new(1, 0);
         b.p(theta, 0);
-        let check =
-            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        let check = check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
         assert_eq!(check.equivalence, Equivalence::EquivalentUpToGlobalPhase);
     }
 
@@ -372,8 +407,7 @@ mod tests {
                 b.cp(angle, k, j);
             }
         }
-        let check =
-            check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
+        let check = check_functional_equivalence(&a, &b, &Configuration::default()).unwrap();
         assert_eq!(check.equivalence, Equivalence::Equivalent);
     }
 

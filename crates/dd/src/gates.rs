@@ -14,10 +14,7 @@ pub type GateMatrix = [[Complex; 2]; 2];
 
 /// Identity gate.
 pub fn id() -> GateMatrix {
-    [
-        [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::ONE],
-    ]
+    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]]
 }
 
 /// Hadamard gate.
@@ -28,18 +25,12 @@ pub fn h() -> GateMatrix {
 
 /// Pauli-X (NOT) gate.
 pub fn x() -> GateMatrix {
-    [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ]
+    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
 /// Pauli-Y gate.
 pub fn y() -> GateMatrix {
-    [
-        [Complex::ZERO, -Complex::I],
-        [Complex::I, Complex::ZERO],
-    ]
+    [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]]
 }
 
 /// Pauli-Z gate.
@@ -57,17 +48,17 @@ pub fn s() -> GateMatrix {
 
 /// Inverse phase gate S† = diag(1, -i).
 pub fn sdg() -> GateMatrix {
-    [
-        [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, -Complex::I],
-    ]
+    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, -Complex::I]]
 }
 
 /// T gate = diag(1, e^{iπ/4}).
 pub fn t() -> GateMatrix {
     [
         [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::from_phase(std::f64::consts::FRAC_PI_4)],
+        [
+            Complex::ZERO,
+            Complex::from_phase(std::f64::consts::FRAC_PI_4),
+        ],
     ]
 }
 
@@ -131,10 +122,7 @@ pub fn u3(theta: f64, phi: f64, lambda: f64) -> GateMatrix {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
     [
-        [
-            Complex::real(c),
-            -Complex::from_phase(lambda) * s,
-        ],
+        [Complex::real(c), -Complex::from_phase(lambda) * s],
         [
             Complex::from_phase(phi) * s,
             Complex::from_phase(phi + lambda) * c,
@@ -164,10 +152,7 @@ pub fn matmul(a: &GateMatrix, b: &GateMatrix) -> GateMatrix {
 /// Returns `true` when `m` is unitary within the package tolerance.
 pub fn is_unitary(m: &GateMatrix) -> bool {
     let prod = matmul(&adjoint(m), m);
-    prod[0][0].is_one()
-        && prod[1][1].is_one()
-        && prod[0][1].is_zero()
-        && prod[1][0].is_zero()
+    prod[0][0].is_one() && prod[1][1].is_one() && prod[0][1].is_zero() && prod[1][0].is_zero()
 }
 
 #[cfg(test)]

@@ -92,13 +92,9 @@ mod tests {
 
     #[test]
     fn hasher_distinguishes_values() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let hash = |v: u64| {
-            let mut h = bh.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
+        let hash = |v: u64| bh.hash_one(v);
         assert_ne!(hash(1), hash(2));
         assert_ne!(hash(0), hash(u64::MAX));
     }

@@ -42,6 +42,7 @@
 mod complex;
 pub mod gates;
 mod hash;
+mod limits;
 mod node;
 mod package;
 mod table;
@@ -50,6 +51,7 @@ mod export;
 
 pub use complex::{Complex, TOLERANCE};
 pub use gates::GateMatrix;
+pub use limits::{Budget, CancelToken, LimitExceeded};
 pub use node::{MEdge, MNode, NodeId, VEdge, VNode};
 pub use package::{Control, DdPackage, PackageStats};
 pub use table::{CIdx, ComplexTable};

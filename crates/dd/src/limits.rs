@@ -1,0 +1,171 @@
+//! Cooperative cancellation and resource budgets.
+//!
+//! The portfolio verification engine races several schemes against each other
+//! and cancels the losers; long-running single checks need node and leaf
+//! budgets so one pathological instance cannot take a worker down. Both
+//! concerns share one vocabulary defined here:
+//!
+//! * [`CancelToken`] — a cheaply clonable flag, set once, observed
+//!   cooperatively by every hot loop (decision-diagram operations, the miter
+//!   construction, branching extraction).
+//! * [`Budget`] — a cancel token plus optional hard limits on decision-diagram
+//!   node allocations and extraction leaves. This is the *single* resource
+//!   limit type used by every entry point (the `qcec` checks, the extraction
+//!   scheme, the `table1` harness and the portfolio engine).
+//! * [`LimitExceeded`] — why a computation stopped early.
+//!
+//! The [`DdPackage`](crate::DdPackage) observes its budget inside node
+//! allocation (the one place every diagram operation funnels through), so a
+//! cancelled worker unwinds within a few hundred allocations without any
+//! per-recursion atomic traffic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, one-way cancellation flag.
+///
+/// Clones observe the same flag; cancelling is idempotent and cannot be
+/// undone. The flag is checked with relaxed ordering — cancellation is a
+/// latency optimisation, not a synchronisation point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every computation observing this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once [`cancel`](Self::cancel) has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a budgeted computation stopped before producing a verdict.
+///
+/// The budget's *leaf* cap is enforced by the extraction itself and is
+/// reported as `SimError::BranchLimitExceeded` (it is a property of the
+/// branching walk, not of the decision-diagram package), so it has no
+/// variant here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitExceeded {
+    /// The [`CancelToken`] was triggered (typically: another portfolio
+    /// scheme finished first).
+    Cancelled,
+    /// The decision-diagram package allocated more nodes than the budget
+    /// allows.
+    NodeLimit,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LimitExceeded::Cancelled => write!(f, "cancelled"),
+            LimitExceeded::NodeLimit => write!(f, "decision-diagram node budget exhausted"),
+        }
+    }
+}
+
+/// A resource budget shared by all verification entry points.
+///
+/// Cloning is cheap and keeps the cancel token shared, so one budget can be
+/// handed to many workers and cancelled centrally.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    cancel: CancelToken,
+    max_nodes: Option<usize>,
+    max_leaves: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with no limits and a fresh cancel token.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Replaces the cancel token (builder style).
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Caps decision-diagram node allocations (builder style).
+    #[must_use]
+    pub fn with_node_limit(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Caps extraction leaves (builder style). `None` removes the cap.
+    #[must_use]
+    pub fn with_leaf_limit(mut self, max_leaves: impl Into<Option<usize>>) -> Self {
+        self.max_leaves = max_leaves.into();
+        self
+    }
+
+    /// The budget's cancel token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Requests cancellation of every computation using this budget.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Node-allocation cap, if any.
+    pub fn max_nodes(&self) -> Option<usize> {
+        self.max_nodes
+    }
+
+    /// Extraction-leaf cap, if any.
+    pub fn max_leaves(&self) -> Option<usize> {
+        self.max_leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_between_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builder_and_shared_cancel() {
+        let budget = Budget::unlimited()
+            .with_node_limit(1000)
+            .with_leaf_limit(64);
+        assert_eq!(budget.max_nodes(), Some(1000));
+        assert_eq!(budget.max_leaves(), Some(64));
+        let clone = budget.clone();
+        budget.cancel();
+        assert!(clone.cancel_token().is_cancelled());
+        let uncapped = Budget::unlimited().with_leaf_limit(None);
+        assert_eq!(uncapped.max_leaves(), None);
+    }
+
+    #[test]
+    fn limit_display() {
+        assert_eq!(LimitExceeded::Cancelled.to_string(), "cancelled");
+        assert!(LimitExceeded::NodeLimit.to_string().contains("node"));
+    }
+}

@@ -23,6 +23,7 @@
 use crate::complex::{Complex, TOLERANCE};
 use crate::gates::GateMatrix;
 use crate::hash::FxHashMap;
+use crate::limits::{Budget, LimitExceeded};
 use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
 use crate::table::{CIdx, ComplexTable};
 
@@ -86,6 +87,9 @@ pub struct DdPackage {
     ct_trace: FxHashMap<NodeId, Complex>,
     vnorm_cache: FxHashMap<NodeId, f64>,
     ident_cache: Vec<MEdge>,
+    budget: Budget,
+    exceeded: Option<LimitExceeded>,
+    allocs_since_check: u32,
 }
 
 impl DdPackage {
@@ -95,6 +99,25 @@ impl DdPackage {
     ///
     /// Panics if `n_qubits` exceeds `u16::MAX` (the level encoding width).
     pub fn new(n_qubits: usize) -> Self {
+        DdPackage::with_budget(n_qubits, Budget::unlimited())
+    }
+
+    /// Creates a package whose operations observe `budget`: cancellation via
+    /// the budget's [`CancelToken`](crate::CancelToken) and the node limit
+    /// are checked inside node allocation, the one funnel every diagram
+    /// operation passes through.
+    ///
+    /// Once a limit trips, [`limit_exceeded`](Self::limit_exceeded) reports
+    /// it, in-flight recursive operations unwind quickly by returning zero
+    /// edges, and no further compute-table entries are recorded (so the
+    /// memoisation is never poisoned by partial results). A package in this
+    /// state must be discarded; results obtained after the trip are
+    /// meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds `u16::MAX` (the level encoding width).
+    pub fn with_budget(n_qubits: usize, budget: Budget) -> Self {
         assert!(
             n_qubits <= u16::MAX as usize,
             "qubit count {n_qubits} exceeds the supported maximum"
@@ -115,6 +138,9 @@ impl DdPackage {
             ct_trace: FxHashMap::default(),
             vnorm_cache: FxHashMap::default(),
             ident_cache: vec![MEdge::ONE],
+            budget,
+            exceeded: None,
+            allocs_since_check: 0,
         }
     }
 
@@ -122,6 +148,43 @@ impl DdPackage {
     #[inline]
     pub fn n_qubits(&self) -> usize {
         self.n_qubits
+    }
+
+    /// The budget this package observes.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Returns the limit that stopped this package, if any tripped.
+    ///
+    /// Callers of diagram operations on a budgeted package must check this
+    /// after each operation: once set, operation results are zero edges and
+    /// carry no meaning.
+    #[inline]
+    pub fn limit_exceeded(&self) -> Option<LimitExceeded> {
+        self.exceeded
+    }
+
+    /// Budget bookkeeping on the node-allocation path.
+    ///
+    /// The cancel flag is an atomic shared across threads, so it is polled
+    /// only every 256 allocations; the node cap is a plain comparison and is
+    /// checked every time.
+    #[inline]
+    fn charge_allocation(&mut self) {
+        if self.exceeded.is_some() {
+            return;
+        }
+        if let Some(max) = self.budget.max_nodes() {
+            if self.vnodes.len() + self.mnodes.len() > max {
+                self.exceeded = Some(LimitExceeded::NodeLimit);
+                return;
+            }
+        }
+        self.allocs_since_check = self.allocs_since_check.wrapping_add(1);
+        if self.allocs_since_check & 0xFF == 0 && self.budget.cancel_token().is_cancelled() {
+            self.exceeded = Some(LimitExceeded::Cancelled);
+        }
     }
 
     /// Returns allocation statistics.
@@ -188,6 +251,7 @@ impl DdPackage {
     /// which avoids the numerical underflow a plain "divide by the first
     /// non-zero child" rule would cause for wide registers.
     pub fn make_vnode(&mut self, var: u16, mut children: [VEdge; 2]) -> VEdge {
+        self.charge_allocation();
         for c in &mut children {
             if c.weight.is_zero() {
                 *c = VEdge::ZERO;
@@ -236,6 +300,7 @@ impl DdPackage {
     /// becomes exactly one. All child weights therefore have magnitude at
     /// most one, which keeps round-off well below the interning tolerance.
     pub fn make_mnode(&mut self, var: u16, mut children: [MEdge; 4]) -> MEdge {
+        self.charge_allocation();
         for c in &mut children {
             if c.weight.is_zero() {
                 *c = MEdge::ZERO;
@@ -363,10 +428,10 @@ impl DdPackage {
             1usize << self.n_qubits,
             "amplitude vector has wrong length"
         );
-        self.from_amplitudes_rec(amplitudes, self.n_qubits)
+        self.build_amplitudes_rec(amplitudes, self.n_qubits)
     }
 
-    fn from_amplitudes_rec(&mut self, amps: &[Complex], level: usize) -> VEdge {
+    fn build_amplitudes_rec(&mut self, amps: &[Complex], level: usize) -> VEdge {
         if level == 0 {
             let w = self.intern(amps[0]);
             return if w.is_zero() {
@@ -376,8 +441,8 @@ impl DdPackage {
             };
         }
         let half = amps.len() / 2;
-        let lo = self.from_amplitudes_rec(&amps[..half], level - 1);
-        let hi = self.from_amplitudes_rec(&amps[half..], level - 1);
+        let lo = self.build_amplitudes_rec(&amps[..half], level - 1);
+        let hi = self.build_amplitudes_rec(&amps[half..], level - 1);
         self.make_vnode((level - 1) as u16, [lo, hi])
     }
 
@@ -428,7 +493,7 @@ impl DdPackage {
             if e.is_zero() {
                 return Complex::ZERO;
             }
-            acc = acc * self.ctab.value(e.weight);
+            acc *= self.ctab.value(e.weight);
             let node = self.vnode(e.node);
             debug_assert_eq!(node.var as usize, level);
             let bit = (basis_index >> level) & 1;
@@ -473,6 +538,9 @@ impl DdPackage {
     ///
     /// Panics if `target` or any control is out of range, or if a control
     /// coincides with the target.
+    // The explicit level indices mirror the textbook construction; an
+    // enumerate-based rewrite would obscure the wrap-above/wrap-below split.
+    #[allow(clippy::needless_range_loop)]
     pub fn make_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) -> MEdge {
         let n = self.n_qubits;
         assert!(target < n, "gate target {target} out of range");
@@ -552,16 +620,19 @@ impl DdPackage {
     /// or if the package has more than 12 qubits.
     pub fn from_matrix(&mut self, matrix: &[Vec<Complex>]) -> MEdge {
         let dim = 1usize << self.n_qubits;
-        assert!(self.n_qubits <= 12, "dense construction limited to 12 qubits");
+        assert!(
+            self.n_qubits <= 12,
+            "dense construction limited to 12 qubits"
+        );
         assert_eq!(matrix.len(), dim, "matrix has wrong number of rows");
         assert!(
             matrix.iter().all(|row| row.len() == dim),
             "matrix has wrong number of columns"
         );
-        self.from_matrix_rec(matrix, 0, 0, self.n_qubits)
+        self.build_matrix_rec(matrix, 0, 0, self.n_qubits)
     }
 
-    fn from_matrix_rec(
+    fn build_matrix_rec(
         &mut self,
         matrix: &[Vec<Complex>],
         row: usize,
@@ -580,12 +651,8 @@ impl DdPackage {
         let mut children = [MEdge::ZERO; 4];
         for rbit in 0..2 {
             for cbit in 0..2 {
-                children[rbit * 2 + cbit] = self.from_matrix_rec(
-                    matrix,
-                    row + rbit * half,
-                    col + cbit * half,
-                    level - 1,
-                );
+                children[rbit * 2 + cbit] =
+                    self.build_matrix_rec(matrix, row + rbit * half, col + cbit * half, level - 1);
             }
         }
         self.make_mnode((level - 1) as u16, children)
@@ -644,6 +711,9 @@ impl DdPackage {
 
     /// Adds two vector decision diagrams.
     pub fn add_vectors(&mut self, a: VEdge, b: VEdge) -> VEdge {
+        if self.exceeded.is_some() {
+            return VEdge::ZERO;
+        }
         if a.is_zero() {
             return b;
         }
@@ -679,7 +749,9 @@ impl DdPackage {
             *child = self.add_vectors(an.children[i], bc);
         }
         let result = self.make_vnode(an.var, children);
-        self.ct_add_vec.insert(key, result);
+        if self.exceeded.is_none() {
+            self.ct_add_vec.insert(key, result);
+        }
         let w = self.ctab.mul(result.weight, a.weight);
         if w.is_zero() {
             VEdge::ZERO
@@ -690,6 +762,9 @@ impl DdPackage {
 
     /// Adds two matrix decision diagrams.
     pub fn add_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if self.exceeded.is_some() {
+            return MEdge::ZERO;
+        }
         if a.is_zero() {
             return b;
         }
@@ -725,7 +800,9 @@ impl DdPackage {
             *child = self.add_matrices(an.children[i], bc);
         }
         let result = self.make_mnode(an.var, children);
-        self.ct_add_mat.insert(key, result);
+        if self.exceeded.is_none() {
+            self.ct_add_mat.insert(key, result);
+        }
         let w = self.ctab.mul(result.weight, a.weight);
         if w.is_zero() {
             MEdge::ZERO
@@ -736,6 +813,9 @@ impl DdPackage {
 
     /// Applies a matrix decision diagram to a vector decision diagram.
     pub fn mul_mat_vec(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        if self.exceeded.is_some() {
+            return VEdge::ZERO;
+        }
         if m.is_zero() || v.is_zero() {
             return VEdge::ZERO;
         }
@@ -761,7 +841,9 @@ impl DdPackage {
                 *child = acc;
             }
             let r = self.make_vnode(mn.var, children);
-            self.ct_mat_vec.insert(key, r);
+            if self.exceeded.is_none() {
+                self.ct_mat_vec.insert(key, r);
+            }
             r
         };
         let w = self.ctab.mul(m.weight, v.weight);
@@ -775,6 +857,9 @@ impl DdPackage {
 
     /// Multiplies two matrix decision diagrams (`a · b`).
     pub fn mul_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if self.exceeded.is_some() {
+            return MEdge::ZERO;
+        }
         if a.is_zero() || b.is_zero() {
             return MEdge::ZERO;
         }
@@ -803,7 +888,9 @@ impl DdPackage {
                 }
             }
             let r = self.make_mnode(an.var, children);
-            self.ct_mat_mat.insert(key, r);
+            if self.exceeded.is_none() {
+                self.ct_mat_mat.insert(key, r);
+            }
             r
         };
         let w = self.ctab.mul(a.weight, b.weight);
@@ -817,6 +904,9 @@ impl DdPackage {
 
     /// Complex-conjugate transpose of a matrix decision diagram.
     pub fn conjugate_transpose(&mut self, m: MEdge) -> MEdge {
+        if self.exceeded.is_some() {
+            return MEdge::ZERO;
+        }
         if m.is_terminal() {
             let w = self.ctab.conj(m.weight);
             return if w.is_zero() {
@@ -840,7 +930,9 @@ impl DdPackage {
                 *child = self.conjugate_transpose(transposed[i]);
             }
             let r = self.make_mnode(node.var, children);
-            self.ct_transpose.insert(m.node, r);
+            if self.exceeded.is_none() {
+                self.ct_transpose.insert(m.node, r);
+            }
             r
         };
         let w = self.ctab.conj(m.weight);
@@ -1153,10 +1245,7 @@ mod tests {
     }
 
     fn gate_to_dense(g: &GateMatrix) -> Vec<Vec<Complex>> {
-        vec![
-            vec![g[0][0], g[0][1]],
-            vec![g[1][0], g[1][1]],
-        ]
+        vec![vec![g[0][0], g[0][1]], vec![g[1][0], g[1][1]]]
     }
 
     fn ident_dense(n: usize) -> Vec<Vec<Complex>> {
@@ -1302,6 +1391,7 @@ mod tests {
         let dd = p.make_gate(&gates::x(), 2, &[Control::pos(0), Control::pos(1)]);
         let dense = p.to_matrix(dd);
         let dim = 8;
+        #[allow(clippy::needless_range_loop)]
         for row in 0..dim {
             for col in 0..dim {
                 let expected = if col & 0b011 == 0b011 {
@@ -1419,8 +1509,8 @@ mod tests {
         for (a, b) in amps.iter().zip(back.iter()) {
             assert!(a.approx_eq(*b));
         }
-        for i in 0..4 {
-            assert!(p.amplitude(v, i).approx_eq(amps[i]));
+        for (i, amp) in amps.iter().enumerate() {
+            assert!(p.amplitude(v, i).approx_eq(*amp));
         }
     }
 
@@ -1482,6 +1572,57 @@ mod tests {
         let b = p.mul_matrices(h, h);
         assert_eq!(a, b);
         assert!(p.is_identity(a, false));
+    }
+
+    #[test]
+    fn node_limit_trips_and_poisons_results() {
+        use crate::limits::{Budget, LimitExceeded};
+        let budget = Budget::unlimited().with_node_limit(8);
+        let mut p = DdPackage::with_budget(10, budget);
+        let mut state = p.zero_state();
+        for q in 0..10 {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+            let g = p.make_gate(&gates::phase(0.1 * q as f64), q, &[]);
+            state = p.mul_mat_vec(g, state);
+            if p.limit_exceeded().is_some() {
+                break;
+            }
+        }
+        assert_eq!(p.limit_exceeded(), Some(LimitExceeded::NodeLimit));
+        // Operations after the trip unwind to zero edges.
+        let z = p.zero_state();
+        assert!(p.mul_mat_vec(MEdge::ZERO, z).is_zero());
+    }
+
+    #[test]
+    fn cancellation_is_observed_during_diagram_construction() {
+        use crate::limits::{Budget, CancelToken, LimitExceeded};
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel_token(token.clone());
+        let mut p = DdPackage::with_budget(12, budget);
+        token.cancel();
+        // Keep allocating until the 256-allocation poll notices the flag.
+        let mut state = p.zero_state();
+        for round in 0..64 {
+            for q in 0..12 {
+                state = p.apply_gate(state, &gates::ry(0.37 + round as f64 + q as f64), q, &[]);
+            }
+            if p.limit_exceeded().is_some() {
+                break;
+            }
+        }
+        assert_eq!(p.limit_exceeded(), Some(LimitExceeded::Cancelled));
+    }
+
+    #[test]
+    fn unbudgeted_package_never_trips() {
+        let mut p = DdPackage::new(8);
+        let mut state = p.zero_state();
+        for q in 0..8 {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+        }
+        assert_eq!(p.limit_exceeded(), None);
+        assert!((p.norm_sqr(state) - 1.0).abs() < 1e-9);
     }
 
     #[test]

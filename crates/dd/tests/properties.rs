@@ -104,6 +104,7 @@ mod dense {
         let dim = 1 << n;
         let u = g.matrix();
         let mut out = vec![vec![Complex::ZERO; dim]; dim];
+        #[allow(clippy::needless_range_loop)]
         for col in 0..dim {
             let control_ok = match g.control {
                 Some((q, positive)) => (((col >> q) & 1) == 1) == positive,
@@ -134,9 +135,7 @@ fn approx_vec_eq(a: &[Complex], b: &[Complex]) -> bool {
 }
 
 fn approx_mat_eq(a: &[Vec<Complex>], b: &[Vec<Complex>]) -> bool {
-    a.iter()
-        .zip(b.iter())
-        .all(|(ra, rb)| approx_vec_eq(ra, rb))
+    a.iter().zip(b.iter()).all(|(ra, rb)| approx_vec_eq(ra, rb))
 }
 
 const N: usize = 4;

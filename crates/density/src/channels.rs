@@ -168,7 +168,12 @@ impl KrausChannel {
 
 impl fmt::Display for KrausChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} Kraus operators)", self.name, self.operators.len())
+        write!(
+            f,
+            "{} ({} Kraus operators)",
+            self.name,
+            self.operators.len()
+        )
     }
 }
 

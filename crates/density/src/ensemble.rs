@@ -268,8 +268,7 @@ impl EnsembleSimulator {
         for branch in &self.branches {
             for i in 0..total.dim() {
                 for j in 0..total.dim() {
-                    *total.element_mut(i, j) =
-                        total.element(i, j) + branch.state.element(i, j);
+                    *total.element_mut(i, j) = total.element(i, j) + branch.state.element(i, j);
                 }
             }
         }
@@ -360,7 +359,9 @@ mod tests {
         ensemble_qc.h(1).cx(1, 2);
         ensemble_qc.cx(0, 1).h(0);
         ensemble_qc.measure(0, 0).measure(1, 1);
-        ensemble_qc.x_if(2, 1).gate_if(circuit::StandardGate::Z, 2, 0, true);
+        ensemble_qc
+            .x_if(2, 1)
+            .gate_if(circuit::StandardGate::Z, 2, 0, true);
         let mut ensemble = EnsembleSimulator::new(&ensemble_qc).unwrap();
         ensemble.run(&ensemble_qc).unwrap();
 

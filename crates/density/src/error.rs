@@ -57,10 +57,16 @@ impl fmt::Display for DensityError {
                 "dense density matrices are limited to {limit} qubits ({n_qubits} requested)"
             ),
             DensityError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             DensityError::BitOutOfRange { bit, n_bits } => {
-                write!(f, "classical bit {bit} out of range for {n_bits}-bit register")
+                write!(
+                    f,
+                    "classical bit {bit} out of range for {n_bits}-bit register"
+                )
             }
             DensityError::ClassicallyControlledUnsupported { operation } => write!(
                 f,
@@ -68,7 +74,10 @@ impl fmt::Display for DensityError {
                  not tracked (use the ensemble simulator)"
             ),
             DensityError::BranchLimitExceeded { limit } => {
-                write!(f, "ensemble simulation exceeded the branch budget of {limit}")
+                write!(
+                    f,
+                    "ensemble simulation exceeded the branch budget of {limit}"
+                )
             }
             DensityError::InvalidAmplitudes { len, expected } => write!(
                 f,

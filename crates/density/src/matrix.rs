@@ -381,9 +381,7 @@ impl DensityMatrix {
         let kept: Vec<usize> = (0..self.n_qubits).filter(|q| !traced.contains(q)).collect();
         let kept_n = kept.len();
         let kept_dim = 1usize << kept_n;
-        let traced_qubits: Vec<usize> = (0..self.n_qubits)
-            .filter(|q| traced.contains(q))
-            .collect();
+        let traced_qubits: Vec<usize> = (0..self.n_qubits).filter(|q| traced.contains(q)).collect();
         let traced_dim = 1usize << traced_qubits.len();
 
         let expand = |kept_index: usize, traced_index: usize| -> usize {

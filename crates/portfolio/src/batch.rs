@@ -1,0 +1,342 @@
+//! Batch verification driver: fan a workload of circuit pairs over a worker
+//! pool of portfolio races and emit a machine-readable JSON report.
+//!
+//! A workload is described by a [`Manifest`] — either written by hand /
+//! another tool as JSON:
+//!
+//! ```json
+//! {
+//!   "pairs": [
+//!     { "name": "qpe_3", "left": "qpe_3.left.qasm", "right": "qpe_3.right.qasm" }
+//!   ]
+//! }
+//! ```
+//!
+//! or discovered from a directory of OpenQASM files with
+//! [`manifest_from_dir`], which pairs files by shared stem: `X.left.qasm` +
+//! `X.right.qasm` (also accepted: `X_left/X_right`, `X_a/X_b`).
+//!
+//! [`run_batch`] is the library entry point behind the `verify` binary; it
+//! is what the ROADMAP calls the workload entry point for heavy traffic —
+//! every pair is one independent portfolio race, so throughput scales with
+//! the worker pool.
+
+use crate::engine::{verify_portfolio, PortfolioConfig, Scheme, SchemeReport};
+use circuit::qasm;
+use qcec::Equivalence;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One circuit pair of a batch workload.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PairSpec {
+    /// Display name; defaults to the left file's stem.
+    pub name: Option<String>,
+    /// Path to the left (reference) circuit, relative to the manifest.
+    pub left: String,
+    /// Path to the right (candidate) circuit, relative to the manifest.
+    pub right: String,
+}
+
+/// A batch workload: a list of circuit pairs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Manifest {
+    /// The circuit pairs to verify.
+    pub pairs: Vec<PairSpec>,
+}
+
+/// Error raised while loading a workload.
+#[derive(Debug)]
+pub enum BatchError {
+    /// The manifest file or a QASM directory could not be read.
+    Io(std::io::Error),
+    /// The manifest was not valid JSON of the expected shape.
+    Manifest(serde::Error),
+    /// A directory scan found a stem with other than exactly two files.
+    UnpairedFiles {
+        /// The offending stem.
+        stem: String,
+        /// Files sharing the stem.
+        files: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Io(e) => write!(f, "i/o error: {e}"),
+            BatchError::Manifest(e) => write!(f, "invalid manifest: {e}"),
+            BatchError::UnpairedFiles { stem, files } => write!(
+                f,
+                "stem `{stem}` does not form a pair (found {})",
+                files.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<std::io::Error> for BatchError {
+    fn from(e: std::io::Error) -> Self {
+        BatchError::Io(e)
+    }
+}
+
+/// Loads a JSON manifest from disk. Relative pair paths are resolved against
+/// the manifest's directory.
+///
+/// # Errors
+///
+/// [`BatchError::Io`] / [`BatchError::Manifest`] on unreadable or malformed
+/// input.
+pub fn load_manifest(path: &Path) -> Result<Manifest, BatchError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut manifest: Manifest = serde_json::from_str(&text).map_err(BatchError::Manifest)?;
+    if let Some(dir) = path.parent() {
+        for pair in &mut manifest.pairs {
+            pair.left = resolve(dir, &pair.left);
+            pair.right = resolve(dir, &pair.right);
+        }
+    }
+    Ok(manifest)
+}
+
+fn resolve(dir: &Path, file: &str) -> String {
+    let path = Path::new(file);
+    if path.is_absolute() {
+        file.to_string()
+    } else {
+        dir.join(path).to_string_lossy().into_owned()
+    }
+}
+
+/// Builds a manifest by pairing the `.qasm` files of a directory.
+///
+/// Files pair up when they share a stem after stripping a `left`/`right` or
+/// `a`/`b` suffix (separated by `.` or `_`): `qpe.left.qasm` with
+/// `qpe.right.qasm`, `bv_a.qasm` with `bv_b.qasm`. Pairs are sorted by stem
+/// so reports are deterministic.
+///
+/// # Errors
+///
+/// [`BatchError::Io`] when the directory cannot be read,
+/// [`BatchError::UnpairedFiles`] when a stem has other than two files.
+pub fn manifest_from_dir(dir: &Path) -> Result<Manifest, BatchError> {
+    let mut groups: std::collections::BTreeMap<String, Vec<PathBuf>> = Default::default();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("qasm") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let base = strip_side_suffix(stem);
+        groups
+            .entry(base.to_string())
+            .or_default()
+            .push(path.clone());
+    }
+    let mut pairs = Vec::new();
+    for (stem, mut files) in groups {
+        if files.len() != 2 {
+            return Err(BatchError::UnpairedFiles {
+                stem,
+                files: files
+                    .iter()
+                    .map(|p| p.to_string_lossy().into_owned())
+                    .collect(),
+            });
+        }
+        files.sort(); // `a` < `b`, `left` < `right` — alphabetical works
+        pairs.push(PairSpec {
+            name: Some(stem),
+            left: files[0].to_string_lossy().into_owned(),
+            right: files[1].to_string_lossy().into_owned(),
+        });
+    }
+    Ok(Manifest { pairs })
+}
+
+fn strip_side_suffix(stem: &str) -> &str {
+    for suffix in [".left", ".right", "_left", "_right", ".a", ".b", "_a", "_b"] {
+        if let Some(base) = stem.strip_suffix(suffix) {
+            if !base.is_empty() {
+                return base;
+            }
+        }
+    }
+    stem
+}
+
+/// Options of a [`run_batch`] invocation.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads racing pairs concurrently (each pair additionally
+    /// spawns its portfolio's scheme threads). Defaults to the available
+    /// parallelism divided by the typical scheme count.
+    pub workers: usize,
+    /// Portfolio configuration applied to every pair.
+    pub portfolio: PortfolioConfig,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        BatchOptions {
+            // Each pair races ~4 schemes; keep pair-level × scheme-level
+            // threads near the hardware width.
+            workers: (parallelism / 4).max(1),
+            portfolio: PortfolioConfig::default(),
+        }
+    }
+}
+
+/// Verification report of one pair.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PairReport {
+    /// Pair name (from the manifest or derived from the file stem).
+    pub name: String,
+    /// Left circuit path.
+    pub left: String,
+    /// Right circuit path.
+    pub right: String,
+    /// Combined portfolio verdict.
+    pub verdict: Equivalence,
+    /// Convenience flag: does the verdict count as equivalent?
+    pub considered_equivalent: bool,
+    /// Scheme that produced the verdict.
+    pub winner: Option<Scheme>,
+    /// Wall time until the verdict (seconds in JSON).
+    pub time_to_verdict: Duration,
+    /// Wall time until all schemes stopped (seconds in JSON).
+    pub total_time: Duration,
+    /// Peak decision-diagram node count across all schemes of this pair.
+    pub peak_nodes: Option<usize>,
+    /// Per-scheme telemetry.
+    pub schemes: Vec<SchemeReport>,
+    /// Load/parse failure, when the pair never ran.
+    pub error: Option<String>,
+}
+
+/// Report of a whole batch run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchReport {
+    /// Tool identifier, for provenance.
+    pub generated_by: String,
+    /// Number of pairs in the workload.
+    pub pairs_total: usize,
+    /// Pairs whose verdict counts as equivalent.
+    pub pairs_equivalent: usize,
+    /// Pairs that failed to load or produced no information.
+    pub pairs_failed: usize,
+    /// Wall time of the whole batch (seconds in JSON).
+    pub total_time: Duration,
+    /// Per-pair reports, in manifest order.
+    pub pairs: Vec<PairReport>,
+}
+
+fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
+    PairReport {
+        name,
+        left: spec.left.clone(),
+        right: spec.right.clone(),
+        verdict: Equivalence::NoInformation,
+        considered_equivalent: false,
+        winner: None,
+        time_to_verdict: Duration::ZERO,
+        total_time: Duration::ZERO,
+        peak_nodes: None,
+        schemes: Vec::new(),
+        error: Some(error),
+    }
+}
+
+fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
+    let name = spec.name.clone().unwrap_or_else(|| {
+        Path::new(&spec.left)
+            .file_stem()
+            .map(|s| strip_side_suffix(&s.to_string_lossy()).to_string())
+            .unwrap_or_else(|| spec.left.clone())
+    });
+    let left_text = match std::fs::read_to_string(&spec.left) {
+        Ok(text) => text,
+        Err(e) => return failed_pair(spec, name, format!("cannot read {}: {e}", spec.left)),
+    };
+    let right_text = match std::fs::read_to_string(&spec.right) {
+        Ok(text) => text,
+        Err(e) => return failed_pair(spec, name, format!("cannot read {}: {e}", spec.right)),
+    };
+    let left = match qasm::from_qasm(&left_text) {
+        Ok(circuit) => circuit,
+        Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.left)),
+    };
+    let right = match qasm::from_qasm(&right_text) {
+        Ok(circuit) => circuit,
+        Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.right)),
+    };
+
+    let result = verify_portfolio(&left, &right, &options.portfolio);
+    PairReport {
+        name,
+        left: spec.left.clone(),
+        right: spec.right.clone(),
+        verdict: result.verdict,
+        considered_equivalent: result.verdict.considered_equivalent(),
+        winner: result.winner,
+        time_to_verdict: result.time_to_verdict,
+        total_time: result.total_time,
+        peak_nodes: result.schemes.iter().filter_map(|s| s.peak_nodes).max(),
+        schemes: result.schemes,
+        error: None,
+    }
+}
+
+/// Fans the manifest's pairs over a pool of `options.workers` threads, each
+/// running full portfolio races, and collects a [`BatchReport`].
+pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PairReport>>> =
+        Mutex::new((0..manifest.pairs.len()).map(|_| None).collect());
+
+    let workers = options.workers.clamp(1, manifest.pairs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = manifest.pairs.get(index) else {
+                    break;
+                };
+                let report = run_pair(spec, options);
+                results
+                    .lock()
+                    .expect("no worker panics while holding the lock")[index] = Some(report);
+            });
+        }
+    });
+
+    let pairs: Vec<PairReport> = results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect();
+    BatchReport {
+        generated_by: format!("nonunitary-qcec verify {}", env!("CARGO_PKG_VERSION")),
+        pairs_total: pairs.len(),
+        pairs_equivalent: pairs.iter().filter(|p| p.considered_equivalent).count(),
+        pairs_failed: pairs
+            .iter()
+            .filter(|p| p.error.is_some() || p.verdict == Equivalence::NoInformation)
+            .count(),
+        total_time: start.elapsed(),
+        pairs,
+    }
+}

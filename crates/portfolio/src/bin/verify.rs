@@ -1,0 +1,158 @@
+//! Batch portfolio-verification driver.
+//!
+//! ```text
+//! verify --manifest pairs.json [options]
+//! verify --dir path/to/qasm/   [options]
+//!
+//! options:
+//!   --out FILE        write the JSON report to FILE (default: stdout)
+//!   --workers N       pair-level worker threads (default: cores / 4)
+//!   --node-limit N    per-scheme decision-diagram node budget
+//!   --leaf-limit N    extraction leaf budget for the fixed-input scheme
+//!   --compact         emit compact instead of pretty-printed JSON
+//! ```
+//!
+//! The exit code is 0 when every pair verified as equivalent, 1 when any
+//! pair was non-equivalent or failed, and 2 on usage errors.
+
+use portfolio::batch::{load_manifest, manifest_from_dir, run_batch, BatchOptions, Manifest};
+use std::path::PathBuf;
+
+struct Args {
+    manifest: Option<PathBuf>,
+    dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+    workers: Option<usize>,
+    node_limit: Option<usize>,
+    leaf_limit: Option<usize>,
+    compact: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        manifest: None,
+        dir: None,
+        out: None,
+        workers: None,
+        node_limit: None,
+        leaf_limit: None,
+        compact: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "invalid --workers")?,
+                )
+            }
+            "--node-limit" => {
+                args.node_limit = Some(
+                    value("--node-limit")?
+                        .parse()
+                        .map_err(|_| "invalid --node-limit")?,
+                )
+            }
+            "--leaf-limit" => {
+                args.leaf_limit = Some(
+                    value("--leaf-limit")?
+                        .parse()
+                        .map_err(|_| "invalid --leaf-limit")?,
+                )
+            }
+            "--compact" => args.compact = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
+                     [--node-limit N] [--leaf-limit N] [--compact]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.manifest.is_some() == args.dir.is_some() {
+        return Err("exactly one of --manifest or --dir is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let manifest: Manifest = match (&args.manifest, &args.dir) {
+        (Some(path), None) => load_manifest(path),
+        (None, Some(dir)) => manifest_from_dir(dir),
+        _ => unreachable!("validated by parse_args"),
+    }
+    .unwrap_or_else(|error| {
+        eprintln!("error: {error}");
+        std::process::exit(2);
+    });
+
+    let mut options = BatchOptions::default();
+    if let Some(workers) = args.workers {
+        options.workers = workers.max(1);
+    }
+    options.portfolio.node_limit = args.node_limit;
+    options.portfolio.leaf_limit = args.leaf_limit;
+
+    let report = run_batch(&manifest, &options);
+    for pair in &report.pairs {
+        let status = match &pair.error {
+            Some(error) => format!("ERROR ({error})"),
+            None => format!(
+                "{} via {} in {:.4}s",
+                pair.verdict,
+                pair.winner.map(|s| s.name()).unwrap_or_else(|| "-".into()),
+                pair.time_to_verdict.as_secs_f64()
+            ),
+        };
+        eprintln!("{:<24} {status}", pair.name);
+    }
+    eprintln!(
+        "{} pairs, {} equivalent, {} failed, {:.4}s total",
+        report.pairs_total,
+        report.pairs_equivalent,
+        report.pairs_failed,
+        report.total_time.as_secs_f64()
+    );
+
+    let json = if args.compact {
+        serde_json::to_string(&report)
+    } else {
+        serde_json::to_string_pretty(&report)
+    }
+    .unwrap_or_else(|error| {
+        eprintln!("error: cannot serialize report: {error}");
+        std::process::exit(2);
+    });
+
+    match &args.out {
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, json + "\n") {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(2);
+            }
+        }
+        None => println!("{json}"),
+    }
+
+    let all_equivalent = report.pairs_failed == 0 && report.pairs_equivalent == report.pairs_total;
+    std::process::exit(i32::from(!all_equivalent));
+}

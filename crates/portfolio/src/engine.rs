@@ -1,0 +1,456 @@
+//! The scheme-racing engine.
+
+use circuit::QuantumCircuit;
+use dd::{Budget, CancelToken, LimitExceeded};
+use qcec::{
+    check_functional_equivalence_with, check_simulative_equivalence_with,
+    verify_dynamic_functional_with, verify_fixed_input_with, CheckError, Configuration,
+    DynamicCheckError, Equivalence, Strategy,
+};
+use sim::{ExtractionConfig, SimError};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One verification scheme the portfolio can race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    /// Miter-based functional equivalence of unitary circuits with the given
+    /// gate schedule (requires both circuits to be free of dynamic
+    /// primitives).
+    Functional(Strategy),
+    /// Random-stimulus simulation of unitary circuits; refutes equivalence
+    /// conclusively, confirms it only probabilistically.
+    Simulative,
+    /// The paper's Section 4 flow — unitary reconstruction followed by a
+    /// functional check with the given gate schedule. Handles dynamic
+    /// circuits (static circuits pass through the reconstruction unchanged).
+    DynamicFunctional(Strategy),
+    /// The paper's Section 5 flow — compare complete measurement-outcome
+    /// distributions for the all-zeros input.
+    FixedInput,
+}
+
+impl Scheme {
+    /// Short stable name used in reports and benchmarks.
+    pub fn name(self) -> String {
+        match self {
+            Scheme::Functional(strategy) => format!("functional({})", strategy_name(strategy)),
+            Scheme::Simulative => "simulative".to_string(),
+            Scheme::DynamicFunctional(strategy) => {
+                format!("dynamic-functional({})", strategy_name(strategy))
+            }
+            Scheme::FixedInput => "fixed-input".to_string(),
+        }
+    }
+}
+
+fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Reference => "reference",
+        Strategy::OneToOne => "one-to-one",
+        Strategy::Proportional => "proportional",
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration of a portfolio run.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioConfig {
+    /// Configuration shared by the underlying checks.
+    pub configuration: Configuration,
+    /// Extraction settings for the fixed-input scheme.
+    pub extraction: ExtractionConfig,
+    /// Schemes to race; empty selects [`applicable_schemes`] automatically.
+    pub schemes: Vec<Scheme>,
+    /// Optional per-scheme decision-diagram node budget.
+    pub node_limit: Option<usize>,
+    /// Optional leaf budget for the fixed-input scheme.
+    pub leaf_limit: Option<usize>,
+}
+
+/// Telemetry of one scheme's run inside a portfolio.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SchemeReport {
+    /// Which scheme ran.
+    pub scheme: Scheme,
+    /// The verdict it produced, if it finished.
+    pub verdict: Option<Equivalence>,
+    /// Whether the verdict proves (non-)equivalence.
+    pub conclusive: bool,
+    /// Whether the scheme was cancelled because a competitor won.
+    pub cancelled: bool,
+    /// Failure description when the scheme neither finished nor was
+    /// cancelled (e.g. node budget exhausted, unsupported circuit).
+    pub error: Option<String>,
+    /// Wall-clock time the scheme ran for (serialized as seconds).
+    pub duration: Duration,
+    /// Peak decision-diagram size observed (miter size for functional
+    /// schemes, extraction leaves for the fixed-input scheme).
+    pub peak_nodes: Option<usize>,
+}
+
+/// Outcome of a portfolio race.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PortfolioResult {
+    /// The combined verdict (see the crate docs for verdict semantics).
+    pub verdict: Equivalence,
+    /// Scheme that produced the verdict, if any scheme finished.
+    pub winner: Option<Scheme>,
+    /// Wall time from launch until the winning verdict arrived.
+    pub time_to_verdict: Duration,
+    /// Wall time until every worker had stopped (losers unwind after
+    /// cancellation, so this stays close to `time_to_verdict`).
+    pub total_time: Duration,
+    /// Telemetry of every scheme, in completion order.
+    pub schemes: Vec<SchemeReport>,
+}
+
+/// Selects the schemes worth racing for a circuit pair.
+///
+/// Static pairs race the three miter schedules against random-stimulus
+/// simulation; pairs with dynamic primitives race the Section 4
+/// reconstruction flow (all three schedules) against the Section 5
+/// fixed-input extraction.
+///
+/// The first scheme in the list is the heuristically fastest one (extraction
+/// for dynamic pairs, the proportional schedule for static ones);
+/// [`verify_portfolio`] runs it inline on the calling thread, so when the
+/// favourite wins, the race costs essentially no overhead over running the
+/// fastest scheme alone.
+pub fn applicable_schemes(left: &QuantumCircuit, right: &QuantumCircuit) -> Vec<Scheme> {
+    let strategies = [
+        Strategy::Proportional,
+        Strategy::OneToOne,
+        Strategy::Reference,
+    ];
+    if left.is_dynamic() || right.is_dynamic() {
+        let mut schemes = vec![Scheme::FixedInput];
+        schemes.extend(strategies.iter().map(|&s| Scheme::DynamicFunctional(s)));
+        schemes
+    } else {
+        let mut schemes: Vec<Scheme> = strategies.iter().map(|&s| Scheme::Functional(s)).collect();
+        schemes.push(Scheme::Simulative);
+        schemes
+    }
+}
+
+fn conclusive(verdict: Equivalence) -> bool {
+    matches!(
+        verdict,
+        Equivalence::Equivalent
+            | Equivalence::EquivalentUpToGlobalPhase
+            | Equivalence::NotEquivalent
+    )
+}
+
+/// Runs a single scheme under `budget` and reports its telemetry.
+///
+/// This is the worker body of [`verify_portfolio`], exposed so benchmarks
+/// and tests can time individual schemes under identical conditions.
+pub fn run_scheme(
+    scheme: Scheme,
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    budget: &Budget,
+) -> SchemeReport {
+    let start = Instant::now();
+    let (verdict, peak_nodes, error, cancelled) = match scheme {
+        Scheme::Functional(strategy) => {
+            let configuration = Configuration {
+                strategy,
+                ..config.configuration
+            };
+            match check_functional_equivalence_with(left, right, &configuration, budget) {
+                Ok(check) => (
+                    Some(check.equivalence),
+                    Some(check.peak_diagram_size),
+                    None,
+                    false,
+                ),
+                Err(error) => classify_check_error(error),
+            }
+        }
+        Scheme::Simulative => {
+            match check_simulative_equivalence_with(left, right, &config.configuration, budget) {
+                Ok(check) => (Some(check.equivalence), None, None, false),
+                Err(error) => classify_check_error(error),
+            }
+        }
+        Scheme::DynamicFunctional(strategy) => {
+            let configuration = Configuration {
+                strategy,
+                ..config.configuration
+            };
+            match verify_dynamic_functional_with(left, right, &configuration, budget) {
+                Ok(report) => (
+                    Some(report.equivalence),
+                    Some(report.check.peak_diagram_size),
+                    None,
+                    false,
+                ),
+                Err(error) => classify_dynamic_error(error),
+            }
+        }
+        Scheme::FixedInput => {
+            match verify_fixed_input_with(
+                left,
+                right,
+                &config.configuration,
+                &config.extraction,
+                budget,
+            ) {
+                Ok(report) => {
+                    let support =
+                        report.reference_distribution.len() + report.dynamic_distribution.len();
+                    (Some(report.equivalence), Some(support), None, false)
+                }
+                Err(error) => classify_dynamic_error(error),
+            }
+        }
+    };
+    SchemeReport {
+        scheme,
+        verdict,
+        // `ProbablyEquivalent` (simulative agreement) is advisory, so it
+        // never counts as conclusive and never cancels competitors.
+        conclusive: verdict.map(conclusive).unwrap_or(false),
+        cancelled,
+        error,
+        duration: start.elapsed(),
+        peak_nodes,
+    }
+}
+
+type Classified = (Option<Equivalence>, Option<usize>, Option<String>, bool);
+
+fn classify_check_error(error: CheckError) -> Classified {
+    match error {
+        CheckError::LimitExceeded(LimitExceeded::Cancelled) => (None, None, None, true),
+        other => (None, None, Some(other.to_string()), false),
+    }
+}
+
+fn classify_dynamic_error(error: DynamicCheckError) -> Classified {
+    match error {
+        DynamicCheckError::Check(CheckError::LimitExceeded(LimitExceeded::Cancelled))
+        | DynamicCheckError::Simulation(SimError::Interrupted(LimitExceeded::Cancelled)) => {
+            (None, None, None, true)
+        }
+        other => (None, None, Some(other.to_string()), false),
+    }
+}
+
+/// Instances this small finish in microseconds under any scheme; spawning
+/// threads would cost more than simply trying the schemes one after another.
+fn is_tiny(left: &QuantumCircuit, right: &QuantumCircuit) -> bool {
+    left.num_qubits().max(right.num_qubits()) <= 8 && left.len().max(right.len()) <= 256
+}
+
+/// Scheme order for the sequential small-instance path: the proportional
+/// schedule first (QCEC's default, typically fastest on near-equivalent
+/// pairs), then the fixed-input extraction, then the remaining schedules.
+fn sequential_order(left: &QuantumCircuit, right: &QuantumCircuit) -> Vec<Scheme> {
+    if left.is_dynamic() || right.is_dynamic() {
+        vec![
+            Scheme::DynamicFunctional(Strategy::Proportional),
+            Scheme::FixedInput,
+            Scheme::DynamicFunctional(Strategy::OneToOne),
+            Scheme::DynamicFunctional(Strategy::Reference),
+        ]
+    } else {
+        vec![
+            Scheme::Functional(Strategy::Proportional),
+            Scheme::Functional(Strategy::OneToOne),
+            Scheme::Functional(Strategy::Reference),
+            Scheme::Simulative,
+        ]
+    }
+}
+
+/// Folds scheme reports into the final result: first conclusive verdict
+/// wins; otherwise the strongest advisory verdict is used.
+fn combine(
+    start: Instant,
+    reports: Vec<SchemeReport>,
+    verdict: Option<Equivalence>,
+    winner: Option<Scheme>,
+    time_to_verdict: Option<Duration>,
+) -> PortfolioResult {
+    let total_time = start.elapsed();
+    let (verdict, winner) = match verdict {
+        Some(verdict) => (Some(verdict), winner),
+        None => match reports
+            .iter()
+            .find(|r| r.verdict == Some(Equivalence::ProbablyEquivalent))
+        {
+            Some(report) => (report.verdict, Some(report.scheme)),
+            None => (None, None),
+        },
+    };
+    PortfolioResult {
+        verdict: verdict.unwrap_or(Equivalence::NoInformation),
+        winner,
+        time_to_verdict: time_to_verdict.unwrap_or(total_time),
+        total_time,
+        schemes: reports,
+    }
+}
+
+/// Tries the schemes one after another on the calling thread — the fast path
+/// for tiny instances, where thread spawn/join would dominate the wall time.
+fn verify_sequential(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    schemes: Vec<Scheme>,
+    budget: &Budget,
+) -> PortfolioResult {
+    let start = Instant::now();
+    let mut reports = Vec::new();
+    let mut verdict = None;
+    let mut winner = None;
+    let mut time_to_verdict = None;
+    for scheme in schemes {
+        let report = run_scheme(scheme, left, right, config, budget);
+        let conclusive = report.conclusive;
+        if conclusive {
+            verdict = report.verdict;
+            winner = Some(report.scheme);
+            time_to_verdict = Some(start.elapsed());
+        }
+        reports.push(report);
+        if conclusive {
+            break;
+        }
+    }
+    combine(start, reports, verdict, winner, time_to_verdict)
+}
+
+/// Races all configured (or [`applicable_schemes`]) verification schemes for
+/// a circuit pair across `std::thread` workers and returns the first
+/// conclusive verdict plus per-scheme telemetry.
+///
+/// Every worker owns its own decision-diagram package; the workers share one
+/// [`CancelToken`], so the moment a conclusive verdict arrives the losing
+/// schemes stop burning cores and unwind. The wall time of the whole call
+/// therefore tracks the *fastest* scheme, while the verdict quality matches
+/// the best scheme that could have run alone. Two refinements keep the
+/// overhead over the fastest single scheme small:
+///
+/// * tiny instances (≤ 8 qubits, ≤ 256 operations) skip the threads
+///   entirely and try the schemes sequentially — they finish in
+///   microseconds, below the cost of a thread spawn;
+/// * in a race, the heuristically fastest scheme runs inline on the calling
+///   thread while only the competitors are spawned.
+pub fn verify_portfolio(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+) -> PortfolioResult {
+    let auto = config.schemes.is_empty();
+    let schemes = if auto {
+        applicable_schemes(left, right)
+    } else {
+        config.schemes.clone()
+    };
+    let cancel = CancelToken::new();
+
+    let make_budget = || {
+        let mut budget = Budget::unlimited().with_cancel_token(cancel.clone());
+        if let Some(max_nodes) = config.node_limit {
+            budget = budget.with_node_limit(max_nodes);
+        }
+        if let Some(max_leaves) = config.leaf_limit {
+            budget = budget.with_leaf_limit(max_leaves);
+        }
+        budget
+    };
+
+    if auto && is_tiny(left, right) {
+        let order = sequential_order(left, right);
+        return verify_sequential(left, right, config, order, &make_budget());
+    }
+
+    let start = Instant::now();
+    let mut reports: Vec<SchemeReport> = Vec::with_capacity(schemes.len());
+    let mut verdict: Option<Equivalence> = None;
+    let mut winner: Option<Scheme> = None;
+    let mut time_to_verdict: Option<Duration> = None;
+
+    std::thread::scope(|scope| {
+        // Reports travel with the race-relative instant their scheme
+        // finished, so `time_to_verdict` reflects when the verdict was
+        // *produced*, not when the collector got around to processing it
+        // (the collector is busy running the inline favourite).
+        let (sender, receiver) = mpsc::channel::<(SchemeReport, Duration)>();
+        // Race schemes[1..] on worker threads …
+        for &scheme in &schemes[1..] {
+            let budget = make_budget();
+            let sender = sender.clone();
+            let cancel = cancel.clone();
+            scope.spawn(move || {
+                let report = run_scheme(scheme, left, right, config, &budget);
+                let finished_at = start.elapsed();
+                if report.conclusive {
+                    // Cancel from inside the worker so losers start unwinding
+                    // even before the collector thread observes the report.
+                    cancel.cancel();
+                }
+                // The receiver only disappears once the scope ends, but be
+                // tolerant anyway: a worker must never panic on send.
+                let _ = sender.send((report, finished_at));
+            });
+        }
+        drop(sender);
+
+        // … and the favourite inline on the calling thread: when it wins —
+        // the common case, given the ordering of `applicable_schemes` — the
+        // race adds no thread-spawn latency over the fastest single scheme.
+        let mut handle = |report: SchemeReport, finished_at: Duration| {
+            // The race winner is the conclusive scheme that *finished*
+            // first — reports can be handled out of finish order because
+            // the collector is busy with the inline scheme.
+            if report.conclusive && time_to_verdict.map(|t| finished_at < t).unwrap_or(true) {
+                verdict = report.verdict;
+                winner = Some(report.scheme);
+                time_to_verdict = Some(finished_at);
+            }
+            reports.push(report);
+        };
+        let inline_report = run_scheme(schemes[0], left, right, config, &make_budget());
+        let inline_finished_at = start.elapsed();
+        if inline_report.conclusive {
+            cancel.cancel();
+        }
+        handle(inline_report, inline_finished_at);
+
+        while let Ok((report, finished_at)) = receiver.recv() {
+            handle(report, finished_at);
+        }
+    });
+
+    // Refutation precedence: when the fixed-input scheme won with its weaker
+    // all-zeros-input equivalence claim but a functional scheme *also*
+    // finished and proved the circuits differ, the refutation stands (the
+    // time to the first verdict is kept as the race telemetry).
+    if winner == Some(Scheme::FixedInput)
+        && verdict
+            .map(Equivalence::considered_equivalent)
+            .unwrap_or(false)
+    {
+        if let Some(refutation) = reports.iter().find(|r| {
+            r.scheme != Scheme::FixedInput && r.verdict == Some(Equivalence::NotEquivalent)
+        }) {
+            verdict = refutation.verdict;
+            winner = Some(refutation.scheme);
+        }
+    }
+
+    combine(start, reports, verdict, winner, time_to_verdict)
+}

@@ -1,0 +1,66 @@
+//! # portfolio — parallel portfolio verification of quantum circuits
+//!
+//! No single equivalence-checking scheme wins everywhere: functional
+//! checking after unitary reconstruction (the paper's Section 4) is
+//! unbeatable when the miter stays close to the identity, while fixed-input
+//! distribution extraction (Section 5) can be exponentially faster — or
+//! exponentially slower — depending on how many measurement outcomes carry
+//! probability mass. Exactly as the QCEC tool does, this crate therefore
+//! **races every applicable scheme concurrently** and returns the first
+//! conclusive verdict:
+//!
+//! * [`verify_portfolio`] spawns one `std::thread` worker per scheme, each
+//!   with its own decision-diagram package and a shared
+//!   [`CancelToken`](qcec::CancelToken). The first conclusive verdict cancels
+//!   the losers, which unwind within a few hundred node allocations thanks to
+//!   the budget plumbing inside [`dd`], [`sim`] and [`qcec`].
+//! * Per-scheme telemetry ([`SchemeReport`]) records verdicts, wall times,
+//!   peak diagram sizes and whether the scheme was cancelled — the raw data
+//!   behind portfolio-weight tuning.
+//! * The [`batch`] module fans whole workloads (a JSON manifest or a
+//!   directory of QASM pairs) over a worker pool and produces a
+//!   machine-readable JSON report; the `verify` binary is its CLI.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use algorithms::qpe;
+//! use portfolio::{verify_portfolio, PortfolioConfig};
+//!
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let result = verify_portfolio(
+//!     &qpe::qpe_static(phi, 3, true),
+//!     &qpe::iqpe_dynamic(phi, 3),
+//!     &PortfolioConfig::default(),
+//! );
+//! assert!(result.verdict.considered_equivalent());
+//! println!("winner: {:?} in {:?}", result.winner, result.time_to_verdict);
+//! ```
+//!
+//! ## Verdict semantics
+//!
+//! A verdict is *conclusive* when it proves something: `Equivalent`,
+//! `EquivalentUpToGlobalPhase` or `NotEquivalent`. `ProbablyEquivalent`
+//! (simulative agreement on random stimuli) never beats a conclusive verdict
+//! and is only returned when every scheme that finished was inconclusive.
+//! Note that for *dynamic* circuit pairs the fixed-input scheme proves
+//! equivalence of the measurement-outcome distributions for the all-zeros
+//! input — a weaker statement than full functional equivalence. The
+//! [`SchemeReport::scheme`] of the winner tells which semantics produced the
+//! verdict, and two precedence rules keep races sound:
+//!
+//! * a fixed-input *refutation* is also a functional refutation, so
+//!   `NotEquivalent` from any scheme is always safe to report;
+//! * when the fixed-input scheme claims equivalence but a functional scheme
+//!   in the same race finished with a refutation, the refutation wins — the
+//!   weaker claim never overrides the stronger proof.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+mod engine;
+
+pub use engine::{
+    applicable_schemes, run_scheme, verify_portfolio, PortfolioConfig, PortfolioResult, Scheme,
+    SchemeReport,
+};

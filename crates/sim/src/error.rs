@@ -25,13 +25,19 @@ pub enum SimError {
         /// Qubits provided.
         provided: usize,
     },
+    /// The computation was stopped by its [`dd::Budget`]: cancelled by a
+    /// competing scheme or out of its node budget.
+    Interrupted(dd::LimitExceeded),
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnsupportedOperation { operation, context } => {
-                write!(f, "operation `{operation}` is not supported during {context}")
+                write!(
+                    f,
+                    "operation `{operation}` is not supported during {context}"
+                )
             }
             SimError::BranchLimitExceeded { limit } => {
                 write!(f, "extraction exceeded the branch limit of {limit}")
@@ -40,6 +46,7 @@ impl fmt::Display for SimError {
                 f,
                 "initial state has {provided} qubits but the circuit expects {expected}"
             ),
+            SimError::Interrupted(reason) => write!(f, "simulation interrupted: {reason}"),
         }
     }
 }

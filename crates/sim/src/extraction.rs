@@ -16,7 +16,7 @@ use crate::distribution::OutcomeDistribution;
 use crate::error::SimError;
 use crate::gate_map;
 use circuit::{OpKind, QuantumCircuit};
-use dd::{gates, DdPackage, VEdge};
+use dd::{gates, Budget, DdPackage, VEdge};
 use std::time::{Duration, Instant};
 
 /// Configuration of the extraction scheme.
@@ -73,6 +73,9 @@ impl<'a> Extractor<'a> {
         let mut state = state;
         let mut idx = start;
         while idx < self.ops.len() {
+            if let Some(reason) = self.package.limit_exceeded() {
+                return Err(SimError::Interrupted(reason));
+            }
             let op = &self.ops[idx];
             match &op.kind {
                 OpKind::Barrier => {}
@@ -190,9 +193,41 @@ pub fn extract_distribution_from(
     initial: Option<&[bool]>,
     config: &ExtractionConfig,
 ) -> Result<ExtractionResult, SimError> {
+    extract_distribution_budgeted(circuit, initial, config, &Budget::unlimited())
+}
+
+/// Budget-aware variant of [`extract_distribution_from`].
+///
+/// The extraction observes `budget` cooperatively: its decision-diagram
+/// package stops on cancellation or when the node limit trips (reported as
+/// [`SimError::Interrupted`]), and the budget's leaf limit is merged with
+/// [`ExtractionConfig::max_leaves`] (the smaller of the two applies,
+/// reported as [`SimError::BranchLimitExceeded`]).
+///
+/// This is the entry point the portfolio engine uses to race the Section 5
+/// scheme against functional verification: when another scheme wins, the
+/// shared cancel token makes this extraction return within a few hundred
+/// node allocations instead of finishing a hopeless branch walk.
+///
+/// # Errors
+///
+/// Same as [`extract_distribution_from`], plus [`SimError::Interrupted`].
+pub fn extract_distribution_budgeted(
+    circuit: &QuantumCircuit,
+    initial: Option<&[bool]>,
+    config: &ExtractionConfig,
+    budget: &Budget,
+) -> Result<ExtractionResult, SimError> {
     let start = Instant::now();
     let n = circuit.num_qubits();
-    let mut package = DdPackage::new(n);
+    let mut package = DdPackage::with_budget(n, budget.clone());
+    let config = &ExtractionConfig {
+        max_leaves: match (config.max_leaves, budget.max_leaves()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        ..*config
+    };
     let state = match initial {
         None => package.zero_state(),
         Some(bits) => {
@@ -266,11 +301,12 @@ pub fn extract_distribution_parallel(
         std::thread::scope(|scope| {
             let handles: Vec<_> = prefixes
                 .iter()
-                .map(|prefix| {
-                    scope.spawn(move || run_with_forced_prefix(circuit, prefix, config))
-                })
+                .map(|prefix| scope.spawn(move || run_with_forced_prefix(circuit, prefix, config)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
     let mut distribution = OutcomeDistribution::new(circuit.num_bits());
@@ -335,9 +371,9 @@ fn run_with_forced_prefix(
                         if apply {
                             let matrix = gate_map::gate_matrix(*gate);
                             let dd_controls = gate_map::controls(controls);
-                            state =
-                                self.package
-                                    .apply_gate(state, &matrix, *target, &dd_controls);
+                            state = self
+                                .package
+                                .apply_gate(state, &matrix, *target, &dd_controls);
                         }
                     }
                     OpKind::Measure { .. } | OpKind::Reset { .. } => {
@@ -359,8 +395,7 @@ fn run_with_forced_prefix(
                             if branch_probability < self.config.prune_threshold {
                                 continue;
                             }
-                            let (collapsed, _) =
-                                self.package.collapse(state, qubit, value, true);
+                            let (collapsed, _) = self.package.collapse(state, qubit, value, true);
                             let next_state = match record_bit {
                                 Some(bit) => {
                                     bits[bit] = value;
@@ -368,12 +403,7 @@ fn run_with_forced_prefix(
                                 }
                                 None => {
                                     if value {
-                                        self.package.apply_gate(
-                                            collapsed,
-                                            &gates::x(),
-                                            qubit,
-                                            &[],
-                                        )
+                                        self.package.apply_gate(collapsed, &gates::x(), qubit, &[])
                                     } else {
                                         collapsed
                                     }
@@ -436,7 +466,7 @@ mod tests {
         let result = extract_distribution(&iqpe, &ExtractionConfig::default()).unwrap();
         let d = &result.distribution;
         // Bits are little-endian: outcome[i] = classical bit i = c_i.
-        let p = |c2: bool, c1: bool, c0: bool| d.probability(&vec![c0, c1, c2]);
+        let p = |c2: bool, c1: bool, c0: bool| d.probability(&[c0, c1, c2]);
         // Fig. 4 leaf probabilities (paper rounds to two decimals):
         // |000⟩: 0.5·0.15·0.69, |100⟩: 0.5·0.15·0.31, |010⟩: 0.5·0.85·0.96·... —
         // we check the two headline values and the normalisation.
@@ -508,14 +538,11 @@ mod tests {
         // A circuit that simply measures both qubits, started in |10⟩.
         let mut qc = circuit::QuantumCircuit::new(2, 2);
         qc.measure(0, 0).measure(1, 1);
-        let result = extract_distribution_from(
-            &qc,
-            Some(&[false, true]),
-            &ExtractionConfig::default(),
-        )
-        .unwrap();
+        let result =
+            extract_distribution_from(&qc, Some(&[false, true]), &ExtractionConfig::default())
+                .unwrap();
         assert_eq!(result.distribution.len(), 1);
-        assert!((result.distribution.probability(&vec![false, true]) - 1.0).abs() < 1e-12);
+        assert!((result.distribution.probability(&[false, true]) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -525,6 +552,42 @@ mod tests {
             extract_distribution_from(&qc, Some(&[true]), &ExtractionConfig::default()),
             Err(SimError::InitialStateMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn budget_leaf_limit_merges_with_config() {
+        let circuit = qft::qft_dynamic(6);
+        let budget = dd::Budget::unlimited().with_leaf_limit(10);
+        assert!(matches!(
+            extract_distribution_budgeted(&circuit, None, &ExtractionConfig::default(), &budget),
+            Err(SimError::BranchLimitExceeded { limit: 10 })
+        ));
+        // The tighter of the two limits wins.
+        let config = ExtractionConfig {
+            max_leaves: Some(5),
+            ..Default::default()
+        };
+        assert!(matches!(
+            extract_distribution_budgeted(&circuit, None, &config, &budget),
+            Err(SimError::BranchLimitExceeded { limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_extraction() {
+        let circuit = qft::qft_dynamic(10);
+        let token = dd::CancelToken::new();
+        let budget = dd::Budget::unlimited().with_cancel_token(token.clone());
+        token.cancel();
+        let started = std::time::Instant::now();
+        let result =
+            extract_distribution_budgeted(&circuit, None, &ExtractionConfig::default(), &budget);
+        assert!(matches!(
+            result,
+            Err(SimError::Interrupted(dd::LimitExceeded::Cancelled))
+        ));
+        // A full 2^10-leaf walk would take far longer than the early exit.
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
     }
 
     #[test]

@@ -62,6 +62,31 @@ impl StateVectorSimulator {
         sim
     }
 
+    /// Creates a simulator whose decision-diagram package observes `budget`
+    /// (see [`DdPackage::with_budget`]): [`run`](Self::run) then stops with
+    /// [`SimError::Interrupted`] when the budget's cancel token fires or its
+    /// node limit trips.
+    pub fn with_budget(n_qubits: usize, budget: dd::Budget) -> Self {
+        let mut package = DdPackage::with_budget(n_qubits, budget);
+        let state = package.zero_state();
+        StateVectorSimulator {
+            package,
+            state,
+            n_qubits,
+            measurements: Vec::new(),
+            n_bits: 0,
+            applied_gates: 0,
+        }
+    }
+
+    /// Combines [`with_budget`](Self::with_budget) and
+    /// [`with_initial_state`](Self::with_initial_state).
+    pub fn with_budget_and_initial_state(bits: &[bool], budget: dd::Budget) -> Self {
+        let mut sim = StateVectorSimulator::with_budget(bits.len(), budget);
+        sim.state = sim.package.basis_state(bits);
+        sim
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.n_qubits
@@ -141,6 +166,9 @@ impl StateVectorSimulator {
         self.n_bits = self.n_bits.max(circuit.num_bits());
         for op in circuit.ops() {
             self.apply(op)?;
+            if let Some(reason) = self.package.limit_exceeded() {
+                return Err(SimError::Interrupted(reason));
+            }
         }
         Ok(())
     }
@@ -312,12 +340,7 @@ impl StateVectorSimulator {
 /// Re-creates the decision diagram `state` (owned by `source`) inside
 /// `target`, preserving amplitudes.
 fn clone_state_into(target: &mut DdPackage, source: &DdPackage, state: VEdge) -> VEdge {
-    fn rec(
-        target: &mut DdPackage,
-        source: &DdPackage,
-        edge: VEdge,
-        level: usize,
-    ) -> VEdge {
+    fn rec(target: &mut DdPackage, source: &DdPackage, edge: VEdge, level: usize) -> VEdge {
         if edge.is_zero() {
             return VEdge::ZERO;
         }
@@ -349,8 +372,8 @@ mod tests {
         assert!((sim.norm_sqr() - 1.0).abs() < 1e-10);
         let dist = sim.outcome_distribution();
         assert_eq!(dist.len(), 2);
-        assert!((dist.probability(&vec![false; 4]) - 0.5).abs() < 1e-10);
-        assert!((dist.probability(&vec![true; 4]) - 0.5).abs() < 1e-10);
+        assert!((dist.probability(&[false; 4]) - 0.5).abs() < 1e-10);
+        assert!((dist.probability(&[true; 4]) - 0.5).abs() < 1e-10);
     }
 
     #[test]
@@ -376,11 +399,18 @@ mod tests {
         sim.run(&circuit).expect("unitary circuit");
         let dist = sim.outcome_distribution();
         let (outcome, p) = dist.most_probable().expect("non-empty");
-        assert!(p > 0.99, "exact phase should be recovered with certainty, got {p}");
+        assert!(
+            p > 0.99,
+            "exact phase should be recovered with certainty, got {p}"
+        );
         // Classical bit k holds the k-th most significant fractional bit.
         let estimate: Vec<bool> = outcome.clone();
         assert_eq!(estimate.len(), 3);
-        assert_eq!(&estimate[..], &pattern[..], "estimate should equal the phase bits");
+        assert_eq!(
+            &estimate[..],
+            &pattern[..],
+            "estimate should equal the phase bits"
+        );
     }
 
     #[test]

@@ -61,10 +61,7 @@ pub struct ShotResult {
 /// Never fails for well-formed circuits; the `Result` mirrors the other
 /// simulator entry points (an out-of-range index would panic inside the
 /// decision-diagram package instead).
-pub fn sample_record(
-    circuit: &QuantumCircuit,
-    rng: &mut impl Rng,
-) -> Result<Vec<bool>, SimError> {
+pub fn sample_record(circuit: &QuantumCircuit, rng: &mut impl Rng) -> Result<Vec<bool>, SimError> {
     let mut package = DdPackage::new(circuit.num_qubits());
     let mut state = package.zero_state();
     let mut bits = vec![false; circuit.num_bits()];
@@ -200,8 +197,22 @@ mod tests {
     fn sampling_is_reproducible_for_a_fixed_seed() {
         let mut qc = QuantumCircuit::new(1, 1);
         qc.h(0).measure(0, 0);
-        let a = sample_distribution(&qc, &ShotConfig { shots: 128, seed: 3 }).unwrap();
-        let b = sample_distribution(&qc, &ShotConfig { shots: 128, seed: 3 }).unwrap();
+        let a = sample_distribution(
+            &qc,
+            &ShotConfig {
+                shots: 128,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let b = sample_distribution(
+            &qc,
+            &ShotConfig {
+                shots: 128,
+                seed: 3,
+            },
+        )
+        .unwrap();
         assert!(a.distribution.approx_eq(&b.distribution, 1e-12));
     }
 
@@ -211,7 +222,14 @@ mod tests {
         // two classical bits must always agree.
         let mut qc = QuantumCircuit::new(2, 2);
         qc.h(0).measure(0, 0).x_if(1, 0).measure(1, 1);
-        let result = sample_distribution(&qc, &ShotConfig { shots: 200, seed: 11 }).unwrap();
+        let result = sample_distribution(
+            &qc,
+            &ShotConfig {
+                shots: 200,
+                seed: 11,
+            },
+        )
+        .unwrap();
         for (record, p) in result.distribution.iter() {
             assert_eq!(record[0], record[1], "records disagree with p = {p}");
         }
@@ -221,7 +239,14 @@ mod tests {
     fn reset_restores_the_ground_state() {
         let mut qc = QuantumCircuit::new(1, 2);
         qc.h(0).measure(0, 0).reset(0).measure(0, 1);
-        let result = sample_distribution(&qc, &ShotConfig { shots: 300, seed: 5 }).unwrap();
+        let result = sample_distribution(
+            &qc,
+            &ShotConfig {
+                shots: 300,
+                seed: 5,
+            },
+        )
+        .unwrap();
         // Classical bit 1 is measured after the reset and must always be 0.
         for (record, _) in result.distribution.iter() {
             assert!(!record[1]);
@@ -232,10 +257,20 @@ mod tests {
     fn empirical_distribution_converges_to_uniform() {
         let mut qc = QuantumCircuit::new(2, 2);
         qc.h(0).h(1).measure(0, 0).measure(1, 1);
-        let result = sample_distribution(&qc, &ShotConfig { shots: 8000, seed: 17 }).unwrap();
+        let result = sample_distribution(
+            &qc,
+            &ShotConfig {
+                shots: 8000,
+                seed: 17,
+            },
+        )
+        .unwrap();
         for index in 0..4 {
             let p = result.distribution.probability_of_index(index);
-            assert!((p - 0.25).abs() < 0.05, "outcome {index} has probability {p}");
+            assert!(
+                (p - 0.25).abs() < 0.05,
+                "outcome {index} has probability {p}"
+            );
         }
         assert!((result.distribution.total() - 1.0).abs() < 1e-9);
     }

@@ -237,7 +237,12 @@ mod tests {
         // Bit 0 is written by qubit 0, used as a condition, then re-written
         // by qubit 1. The first condition must refer to qubit 0.
         let mut qc = QuantumCircuit::new(3, 1);
-        qc.h(0).measure(0, 0).x_if(2, 0).h(1).measure(1, 0).x_if(2, 0);
+        qc.h(0)
+            .measure(0, 0)
+            .x_if(2, 0)
+            .h(1)
+            .measure(1, 0)
+            .x_if(2, 0);
         let result = defer_measurements(&qc).expect("deferrable");
         let controls: Vec<usize> = result
             .circuit

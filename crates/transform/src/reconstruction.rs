@@ -141,9 +141,7 @@ pub fn align_to_reference(
             (None, None) => {}
             (Some(_), None) | (None, Some(_)) => {
                 return Err(TransformError::MeasurementMismatch {
-                    detail: format!(
-                        "classical bit {bit} is measured in only one of the circuits"
-                    ),
+                    detail: format!("classical bit {bit} is measured in only one of the circuits"),
                 });
             }
         }
@@ -151,9 +149,9 @@ pub fn align_to_reference(
 
     // Match the remaining (unmeasured) qubits in increasing order.
     let mut free_reference = (0..n).filter(|&q| !used_reference[q]);
-    for q in 0..n {
-        if mapping[q].is_none() {
-            mapping[q] = Some(
+    for slot in mapping.iter_mut().take(n) {
+        if slot.is_none() {
+            *slot = Some(
                 free_reference
                     .next()
                     .expect("counting argument: as many free slots as unmapped qubits"),
@@ -161,7 +159,10 @@ pub fn align_to_reference(
         }
     }
 
-    let mapping: Vec<usize> = mapping.into_iter().map(|m| m.expect("fully mapped")).collect();
+    let mapping: Vec<usize> = mapping
+        .into_iter()
+        .map(|m| m.expect("fully mapped"))
+        .collect();
     Ok(transformed.map_qubits(n, |q| mapping[q]))
 }
 
@@ -258,8 +259,7 @@ mod tests {
         let static_qpe = algorithms::qpe::qpe_static(phi, m, true);
         let iqpe = algorithms::qpe::iqpe_dynamic(phi, m);
         let rec = reconstruct_unitary(&iqpe).expect("reconstructible");
-        let aligned =
-            align_to_reference(&static_qpe, &rec.circuit).expect("same register sizes");
+        let aligned = align_to_reference(&static_qpe, &rec.circuit).expect("same register sizes");
         assert_eq!(aligned.num_qubits(), static_qpe.num_qubits());
         assert_eq!(measurement_map(&aligned), measurement_map(&static_qpe));
     }

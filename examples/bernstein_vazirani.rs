@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dynamic_circuit = bv::bv_dynamic(&hidden);
     println!(
         "hidden string ({n_bits} bits): {}",
-        hidden.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+        hidden
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>()
     );
     println!(
         "static circuit : {} qubits, {} gates",
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "extraction: {} leaf simulation(s) in {:?}, P(hidden string) = {:.6}",
         extraction.leaves, t_extract, probability
     );
-    assert_eq!(outcome, &hidden, "extraction must recover the hidden string");
+    assert_eq!(
+        outcome, &hidden,
+        "extraction must recover the hidden string"
+    );
 
     // Reference: plain simulation of the static circuit.
     let start = Instant::now();

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compile to the T-shaped IBMQ London device (Fig. 1b).
     let target = Target::ibmq_london();
     let compiled = Compiler::new(target.clone()).compile(&static_qpe)?;
-    println!("original circuit : {} qubits, {} gates", static_qpe.num_qubits(), static_qpe.gate_count());
+    println!(
+        "original circuit : {} qubits, {} gates",
+        static_qpe.num_qubits(),
+        static_qpe.gate_count()
+    );
     println!(
         "compiled circuit : {} qubits, {} gates ({} SWAPs, {} ops decomposed, {} gates rebased, compiled in {:?})",
         compiled.circuit.num_qubits(),
@@ -33,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verify: the compiled circuit (on 5 physical qubits) must be equivalent
     // to the original padded with idle qubits.
     let padded = static_qpe.map_qubits(target.coupling.num_qubits(), |q| q);
-    let check = check_functional_equivalence(&padded, &compiled.circuit, &Configuration::default())?;
+    let check =
+        check_functional_equivalence(&padded, &compiled.circuit, &Configuration::default())?;
     println!("verification     : {}", check.equivalence);
 
     // Inject a compiler bug (drop the first CX) and check again.
@@ -42,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .position(|op| op.qubits().len() == 2)
         .expect("compiled circuit contains a CX");
-    let mut broken = QuantumCircuit::new(compiled.circuit.num_qubits(), compiled.circuit.num_bits());
+    let mut broken =
+        QuantumCircuit::new(compiled.circuit.num_qubits(), compiled.circuit.num_bits());
     for (index, op) in compiled.circuit.iter().enumerate() {
         if index != dropped {
             broken.push(op.clone());
@@ -65,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "distribution distance before vs. after compilation: {:.2e}",
-        before.distribution.total_variation_distance(&after.distribution)
+        before
+            .distribution
+            .total_variation_distance(&after.distribution)
     );
 
     Ok(())

@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         extraction.branch_points, extraction.leaves
     );
     print!("{}", extraction.distribution);
-    let p001 = extraction.distribution.probability(&[true, false, false].to_vec());
+    let p001 = extraction
+        .distribution
+        .probability([true, false, false].as_ref());
     println!();
     println!(
         "P(|001⟩) = {:.3}  (the paper's Example 7 computes 1/2 · 0.85 · 0.96 ≈ 0.408)",

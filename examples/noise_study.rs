@@ -105,11 +105,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    let ideal_static = static_success_probability(
-        &compiled_static.circuit,
-        NoiseModel::noiseless(),
-        &bits,
-    );
+    let ideal_static =
+        static_success_probability(&compiled_static.circuit, NoiseModel::noiseless(), &bits);
     let ideal_dynamic =
         dynamic_success_probability(&compiled_dynamic.circuit, &NoiseModel::noiseless(), &bits);
     println!("ideal success probability : static {ideal_static:.4}, dynamic {ideal_dynamic:.4}");
@@ -118,8 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let noise = NoiseModel::depolarizing(p1, p2);
         let noisy_static =
             static_success_probability(&compiled_static.circuit, noise.clone(), &bits);
-        let noisy_dynamic =
-            dynamic_success_probability(&compiled_dynamic.circuit, &noise, &bits);
+        let noisy_dynamic = dynamic_success_probability(&compiled_dynamic.circuit, &noise, &bits);
         println!(
             "p1 = {p1:.3}, p2 = {p2:.3}     : static {noisy_static:.4}, dynamic {noisy_dynamic:.4}"
         );

@@ -1,0 +1,105 @@
+//! Portfolio verification in action: race all applicable schemes on
+//! instances where different schemes win, then drive a small batch through
+//! the library behind the `verify` binary.
+//!
+//! Run with `cargo run --release --example portfolio_race`.
+
+use algorithms::{bv, qft, qpe};
+use portfolio::batch::{run_batch, BatchOptions, Manifest, PairSpec};
+use portfolio::{verify_portfolio, PortfolioConfig};
+
+fn race(name: &str, left: &circuit::QuantumCircuit, right: &circuit::QuantumCircuit) {
+    let result = verify_portfolio(left, right, &PortfolioConfig::default());
+    println!(
+        "{name}: {} (winner: {}, verdict after {:.2} ms, all workers done after {:.2} ms)",
+        result.verdict,
+        result
+            .winner
+            .map(|s| s.name())
+            .unwrap_or_else(|| "-".into()),
+        result.time_to_verdict.as_secs_f64() * 1e3,
+        result.total_time.as_secs_f64() * 1e3,
+    );
+    for scheme in &result.schemes {
+        let status = if scheme.cancelled {
+            "cancelled".to_string()
+        } else if let Some(verdict) = scheme.verdict {
+            format!("{verdict}")
+        } else {
+            scheme.error.clone().unwrap_or_else(|| "?".into())
+        };
+        println!(
+            "    {:<36} {:>10.2} ms  {}",
+            scheme.scheme.name(),
+            scheme.duration.as_secs_f64() * 1e3,
+            status
+        );
+    }
+}
+
+fn main() {
+    // The paper's running example: tiny, resolved sequentially without
+    // spawning a single thread.
+    let phi = 3.0 * std::f64::consts::PI / 8.0;
+    race(
+        "qpe_3 (paper Example 6)",
+        &qpe::qpe_static(phi, 3, true),
+        &qpe::iqpe_dynamic(phi, 3),
+    );
+
+    // Dynamic QFT at 14 qubits: the fixed-input extraction wins while the
+    // three reconstruction schedules get cancelled mid-miter.
+    race(
+        "qft_14 (extraction wins)",
+        &qft::qft_static(14, None, true),
+        &qft::qft_dynamic(14),
+    );
+
+    // A wrong hidden string: whichever scheme finishes first refutes it.
+    race(
+        "bv_24 (injected bug)",
+        &bv::bv_static(&bv::random_hidden_string(24, 7), true),
+        &bv::bv_dynamic(&bv::random_hidden_string(24, 8)),
+    );
+
+    // The same pairs as a batch workload, the way the `verify` binary runs
+    // them (pairs fan out over a worker pool, each pair races internally).
+    let dir = std::env::temp_dir().join(format!("portfolio-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let mut manifest = Manifest { pairs: Vec::new() };
+    for (name, left, right) in [
+        (
+            "qpe_3",
+            qpe::qpe_static(phi, 3, true),
+            qpe::iqpe_dynamic(phi, 3),
+        ),
+        ("qft_6", qft::qft_static(6, None, true), qft::qft_dynamic(6)),
+        (
+            "bv_12",
+            bv::bv_static(&bv::random_hidden_string(12, 3), true),
+            bv::bv_dynamic(&bv::random_hidden_string(12, 3)),
+        ),
+    ] {
+        let left_path = dir.join(format!("{name}.left.qasm"));
+        let right_path = dir.join(format!("{name}.right.qasm"));
+        std::fs::write(&left_path, circuit::qasm::to_qasm(&left)).expect("write qasm");
+        std::fs::write(&right_path, circuit::qasm::to_qasm(&right)).expect("write qasm");
+        manifest.pairs.push(PairSpec {
+            name: Some(name.to_string()),
+            left: left_path.to_string_lossy().into_owned(),
+            right: right_path.to_string_lossy().into_owned(),
+        });
+    }
+    let report = run_batch(&manifest, &BatchOptions::default());
+    println!(
+        "\nbatch: {}/{} pairs equivalent in {:.2} ms",
+        report.pairs_equivalent,
+        report.pairs_total,
+        report.total_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

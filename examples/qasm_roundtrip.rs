@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // original dynamic circuit (both go through the same reconstruction).
     let config = Configuration::default();
     let functional = verify_dynamic_functional(&iqpe, &parsed, &config)?;
-    println!("functional equivalence of original and re-parsed circuit: {}", functional.equivalence);
+    println!(
+        "functional equivalence of original and re-parsed circuit: {}",
+        functional.equivalence
+    );
     assert!(functional.equivalence.considered_equivalent());
 
     // … and it must produce the same measurement-outcome distribution.

@@ -16,8 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let static_qpe = qpe::qpe_static(phi, precision, true);
     let dynamic_iqpe = qpe::iqpe_dynamic(phi, precision);
 
-    println!("static QPE : {} qubits, {} gates", static_qpe.num_qubits(), static_qpe.gate_count());
-    println!("dynamic IQPE: {} qubits, {} gates", dynamic_iqpe.num_qubits(), dynamic_iqpe.gate_count());
+    println!(
+        "static QPE : {} qubits, {} gates",
+        static_qpe.num_qubits(),
+        static_qpe.gate_count()
+    );
+    println!(
+        "dynamic IQPE: {} qubits, {} gates",
+        dynamic_iqpe.num_qubits(),
+        dynamic_iqpe.gate_count()
+    );
     println!();
 
     // Scheme 1 (Section 4): unitary reconstruction + functional equivalence.

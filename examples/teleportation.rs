@@ -11,10 +11,10 @@ use sim::{extract_distribution, ExtractionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let payloads = [
-        (0.0, 0.0, 0.0),                                  // |0⟩
-        (std::f64::consts::PI, 0.0, 0.0),                 // |1⟩
-        (std::f64::consts::FRAC_PI_2, 0.0, 0.0),          // |+⟩
-        (1.1, 0.7, -0.3),                                 // generic state
+        (0.0, 0.0, 0.0),                         // |0⟩
+        (std::f64::consts::PI, 0.0, 0.0),        // |1⟩
+        (std::f64::consts::FRAC_PI_2, 0.0, 0.0), // |+⟩
+        (1.1, 0.7, -0.3),                        // generic state
     ];
 
     for (theta, phi, lambda) in payloads {
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             extraction.distribution.len(),
             extraction.leaves
         );
-        assert!((p1 - expected).abs() < 1e-9, "teleportation corrupted the payload");
+        assert!(
+            (p1 - expected).abs() < 1e-9,
+            "teleportation corrupted the payload"
+        );
 
         // Reference: preparing the payload directly on the target qubit must
         // give the same marginal on classical bit 2.

@@ -16,7 +16,35 @@
 //!   oracle and the noise-model extension),
 //! * [`compile`] — compilation passes (decomposition, basis rewriting,
 //!   routing) for the "verify compilation results" use case,
-//! * [`qcec`] — the equivalence-checking flows built on all of the above.
+//! * [`qcec`] — the equivalence-checking flows built on all of the above,
+//! * [`portfolio`] — the parallel portfolio engine racing all applicable
+//!   schemes with cooperative cancellation, plus the `verify` batch driver
+//!   that fans whole workloads (JSON manifests or QASM directories) over a
+//!   worker pool and emits machine-readable JSON reports.
+//!
+//! Long-running checks share one resource-limit vocabulary
+//! ([`qcec::Budget`] / [`qcec::CancelToken`], re-exported from [`dd`]):
+//! every entry point — the single-scheme checks, the extraction, the
+//! `table1` harness and the portfolio — can be cancelled cooperatively and
+//! capped in decision-diagram nodes and extraction leaves.
+//!
+//! Racing the schemes instead of picking one is the practical upshot of the
+//! paper: functional reconstruction (Section 4) and fixed-input extraction
+//! (Section 5) have wildly different cost profiles per circuit family, so
+//! the portfolio's wall time tracks whichever happens to be fast:
+//!
+//! ```
+//! use algorithms::qpe;
+//! use portfolio::{verify_portfolio, PortfolioConfig};
+//!
+//! let phi = 3.0 * std::f64::consts::PI / 8.0;
+//! let result = verify_portfolio(
+//!     &qpe::qpe_static(phi, 3, true),
+//!     &qpe::iqpe_dynamic(phi, 3),
+//!     &PortfolioConfig::default(),
+//! );
+//! assert!(result.verdict.considered_equivalent());
+//! ```
 //!
 //! ```
 //! use algorithms::qpe;
@@ -37,6 +65,7 @@ pub use circuit;
 pub use compile;
 pub use dd;
 pub use density;
+pub use portfolio;
 pub use qcec;
 pub use sim;
 pub use transform;

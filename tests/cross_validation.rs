@@ -12,8 +12,7 @@
 use algorithms::{bv, deutsch_jozsa, qpe, teleport};
 use density::EnsembleSimulator;
 use sim::{
-    extract_distribution, sample_distribution, ExtractionConfig, ShotConfig,
-    StateVectorSimulator,
+    extract_distribution, sample_distribution, ExtractionConfig, ShotConfig, StateVectorSimulator,
 };
 
 fn exact_methods_agree(circuit: &circuit::QuantumCircuit) {
@@ -112,7 +111,8 @@ fn grover_amplifies_the_marked_state() {
         "Grover success probability too low: {p_marked}"
     );
     // And the density-matrix simulation agrees with the decision-diagram one.
-    let mut rho = density::DensityMatrixSimulator::new(3, density::NoiseModel::noiseless()).unwrap();
+    let mut rho =
+        density::DensityMatrixSimulator::new(3, density::NoiseModel::noiseless()).unwrap();
     rho.run(&circuit.without_measurements()).unwrap();
     let diagonal = rho.state().diagonal_probabilities();
     assert!((diagonal[marked] - p_marked).abs() < 1e-9);
@@ -123,7 +123,8 @@ fn noise_degrades_the_grover_peak_but_verification_uses_ideal_circuits() {
     use algorithms::grover;
     let marked = 0b11;
     let circuit = grover::grover(2, marked, None, false);
-    let mut ideal = density::DensityMatrixSimulator::new(2, density::NoiseModel::noiseless()).unwrap();
+    let mut ideal =
+        density::DensityMatrixSimulator::new(2, density::NoiseModel::noiseless()).unwrap();
     ideal.run(&circuit).unwrap();
     let mut noisy =
         density::DensityMatrixSimulator::new(2, density::NoiseModel::depolarizing(0.02, 0.05))

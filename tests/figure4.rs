@@ -8,7 +8,7 @@ use sim::{extract_distribution, ExtractionConfig, StateVectorSimulator};
 /// Probability of the outcome `c2 c1 c0` (most-significant bit first, as the
 /// paper prints them).
 fn prob(dist: &sim::OutcomeDistribution, c2: u8, c1: u8, c0: u8) -> f64 {
-    dist.probability(&vec![c0 == 1, c1 == 1, c2 == 1])
+    dist.probability(&[c0 == 1, c1 == 1, c2 == 1])
 }
 
 #[test]
@@ -78,7 +78,10 @@ fn most_probable_outcomes_are_001_and_010() {
     let result = extract_distribution(&iqpe, &ExtractionConfig::default()).expect("extraction");
     let top = result.distribution.top_k(2);
     let as_msb_string = |bits: &Vec<bool>| -> String {
-        bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        bits.iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     };
     let mut labels: Vec<String> = top.iter().map(|(bits, _)| as_msb_string(bits)).collect();
     labels.sort();

@@ -18,7 +18,9 @@ fn extraction_agrees_with_reconstruction_plus_simulation() {
 
         let reconstruction = reconstruct_unitary(&dynamic).expect("reconstructible");
         let mut simulator = StateVectorSimulator::new(reconstruction.circuit.num_qubits());
-        simulator.run(&reconstruction.circuit).expect("unitary circuit");
+        simulator
+            .run(&reconstruction.circuit)
+            .expect("unitary circuit");
         let reference = simulator.outcome_distribution();
 
         assert!(

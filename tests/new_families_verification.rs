@@ -90,7 +90,11 @@ fn grover_survives_compilation_to_a_line_device() {
             .unwrap();
     assert!(check.equivalence.considered_equivalent());
     // The multi-controlled Z gates must be gone after compilation.
-    assert!(compiled.circuit.ops().iter().all(|op| op.qubits().len() <= 2));
+    assert!(compiled
+        .circuit
+        .ops()
+        .iter()
+        .all(|op| op.qubits().len() <= 2));
 }
 
 #[test]
@@ -109,6 +113,7 @@ fn single_gate_mutations_are_detected_by_the_functional_check() {
     let unmeasured = dj_static(3, &oracle, false);
     let dynamic_circuit = dj_dynamic(3, &oracle);
 
+    #[allow(clippy::type_complexity)]
     let mutations: Vec<Box<dyn Fn(&mut QuantumCircuit)>> = vec![
         Box::new(|qc: &mut QuantumCircuit| {
             qc.x(0);

@@ -86,7 +86,7 @@ proptest! {
         let total = distribution.total();
         prop_assert!((total - 1.0).abs() < 1e-9, "total probability {total}");
         for (_, p) in distribution.iter() {
-            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
         }
     }
 

@@ -91,13 +91,17 @@ fn every_strategy_agrees_on_the_verdict() {
     let phi = qpe::random_exact_phase(4, 99);
     let static_qpe = qpe::qpe_static(phi, 4, true);
     let iqpe = qpe::iqpe_dynamic(phi, 4);
-    for strategy in [Strategy::Reference, Strategy::OneToOne, Strategy::Proportional] {
+    for strategy in [
+        Strategy::Reference,
+        Strategy::OneToOne,
+        Strategy::Proportional,
+    ] {
         let config = Configuration {
             strategy,
             ..Default::default()
         };
-        let report = verify_dynamic_functional(&static_qpe, &iqpe, &config)
-            .expect("verification runs");
+        let report =
+            verify_dynamic_functional(&static_qpe, &iqpe, &config).expect("verification runs");
         assert!(
             report.equivalence.considered_equivalent(),
             "strategy {strategy:?}"
@@ -140,7 +144,10 @@ fn reconstruction_qubit_accounting_matches_the_paper() {
             bv::bv_static(&bv::random_hidden_string(9, 2), true).num_qubits(),
             bv::bv_dynamic(&bv::random_hidden_string(9, 2)),
         ),
-        (qft::qft_static(7, None, true).num_qubits(), qft::qft_dynamic(7)),
+        (
+            qft::qft_static(7, None, true).num_qubits(),
+            qft::qft_dynamic(7),
+        ),
     ];
     for (n_static, dynamic) in cases {
         let reconstruction = reconstruct_unitary(&dynamic).expect("reconstructible");

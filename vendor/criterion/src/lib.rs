@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed over enough iterations to fill a small measurement window
+//! (scaled by `sample_size`), and the mean per-iteration wall time is
+//! printed. No statistics, plots or baselines — but the relative numbers are
+//! honest and the output is grep-friendly:
+//!
+//! ```text
+//! portfolio/qpe/9         time: 12.345 ms  (34 iterations)
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--test` flags from the harness are ignored.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(self, name, 100, Duration::from_millis(300), f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(filter) => name.contains(filter.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (scales the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window directly.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measurement_window = window;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        let window = self.scaled_window();
+        run_benchmark(self.criterion, &name, self.sample_size, window, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `f` under `id` (a [`BenchmarkId`] or a plain string)
+    /// without an explicit input.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().0);
+        let window = self.scaled_window();
+        run_benchmark(self.criterion, &name, self.sample_size, window, f);
+        self
+    }
+
+    /// Finishes the group (stateless in this stand-in).
+    pub fn finish(self) {}
+
+    fn scaled_window(&self) -> Duration {
+        // criterion's default is 100 samples; treat smaller sample sizes as a
+        // request for a proportionally shorter measurement.
+        self.measurement_window
+            .mul_f64((self.sample_size as f64 / 100.0).clamp(0.05, 1.0))
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier `"{function}/{parameter}"`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    window: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring for the window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and single-shot estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(20));
+
+        let iterations = (self.window.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iterations));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    _sample_size: usize,
+    window: Duration,
+    mut f: F,
+) {
+    if !criterion.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        window,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, iterations)) => {
+            let mean = total / iterations as u32;
+            println!(
+                "{name:<48} time: {}  ({iterations} iterations)",
+                format_duration(mean)
+            );
+        }
+        None => println!("{name:<48} (no measurement — Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        // Would hang for a long time if not skipped: iter is never called.
+        c.bench_function("other", |_b| panic!("must be filtered out"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! simplified value-tree model of the vendored `serde` crate. Supported
+//! shapes — exactly the ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit, tuple and struct variants (externally tagged, following
+//!   serde's JSON conventions: `"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Generics, serde attributes (`#[serde(...)]`) and tuple structs are not
+//! supported and produce a compile error, so accidental reliance on missing
+//! behaviour fails loudly instead of silently misbehaving.
+//!
+//! The macro is written against the bare `proc_macro` API (no `syn`/`quote`,
+//! which are unavailable offline): the input is parsed with a small
+//! hand-rolled scanner and the generated impl is assembled as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with a list of variants.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a struct with named fields or an enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a struct with named fields or an enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body \
+             (tuple structs are not supported), found {other:?}"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // the `#` and the bracketed group
+            }
+            // `pub`, optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` pairs, returning the field names. Types are
+/// skipped with angle-bracket awareness so `BTreeMap<Vec<bool>, f64>` does
+/// not split at its inner comma.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(ident.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        let name = ident.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to past the separating comma (also skips discriminants, which
+        // this workspace does not use on serde types).
+        while let Some(token) = tokens.get(i) {
+            i += 1;
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in body {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_token {
+        count + 1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "pairs.push((\"{field}\".to_string(), serde::Serialize::serialize(&self.{field})));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> serde::Value {{\n\
+                 let mut pairs: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(pairs)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        // Missing fields decode from `Null`, so `Option<T>` fields behave
+        // like real serde (absent => None) while required fields still fail
+        // with a field-specific error.
+        inits.push_str(&format!(
+            "{field}: match value.get(\"{field}\") {{\n\
+                 Some(field_value) => serde::Deserialize::deserialize(field_value)?,\n\
+                 None => serde::Deserialize::deserialize(&serde::Value::Null)\n\
+                     .map_err(|_| serde::Error::missing_field(\"{name}\", \"{field}\"))?,\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if !matches!(value, serde::Value::Object(_)) {{\n\
+                     return Err(serde::Error::unexpected(\"object\", value));\n\
+                 }}\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{v} => serde::Value::String(\"{v}\".to_string()),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let bindings: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                let pattern = bindings.join(", ");
+                let inner = if *arity == 1 {
+                    "serde::Serialize::serialize(f0)".to_string()
+                } else {
+                    let items: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{v}({pattern}) => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let pattern = fields.join(", ");
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {pattern} }} => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         serde::Value::Object(vec![{}]))]),\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+            }
+            VariantKind::Tuple(arity) => {
+                let body = if *arity == 1 {
+                    format!("Ok({name}::{v}(serde::Deserialize::deserialize(inner)?))")
+                } else {
+                    let mut extract = format!(
+                        "let items = inner.as_array()\
+                             .ok_or_else(|| serde::Error::unexpected(\"array\", inner))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return Err(serde::Error::custom(\"wrong tuple-variant arity\"));\n\
+                         }}\n"
+                    );
+                    let args: Vec<String> = (0..*arity)
+                        .map(|k| format!("serde::Deserialize::deserialize(&items[{k}])?"))
+                        .collect();
+                    extract.push_str(&format!("Ok({name}::{v}({}))", args.join(", ")));
+                    format!("{{ {extract} }}")
+                };
+                tagged_arms.push_str(&format!("\"{v}\" => {body},\n"));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::deserialize(inner.get(\"{f}\")\
+                                 .ok_or_else(|| serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => Ok({name}::{v} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match value {{\n\
+                     serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => Err(serde::Error::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::Error::unexpected(\"enum representation\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
