@@ -1,0 +1,116 @@
+//! Memory-managed DD core: peak-node and throughput characteristics.
+//!
+//! The headline measurement is a repeated-apply QPE-style workload (layers
+//! of controlled rotations with fresh angles, so every layer creates new
+//! nodes and orphans the previous state): with garbage collection enabled
+//! the peak live-node count must stay bounded near the GC threshold, at
+//! least 4× below the unbounded no-GC arena. The bench prints both peaks
+//! and their ratio, then times the workload in both configurations and the
+//! gate-cache effect on a QFT-style rotation sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd::{gates, Budget, Control, DdPackage, MemoryConfig};
+
+const QUBITS: usize = 10;
+const ROUNDS: usize = 40;
+const GC_THRESHOLD: usize = 4096;
+
+/// QPE-style repeated application: Hadamard layer, then `ROUNDS` layers of
+/// controlled-phase + rotation gates whose angles differ per layer, so no
+/// layer's diagram can be reused and the previous state becomes garbage.
+fn qpe_like_workload(package: &mut DdPackage) {
+    let mut state = package.zero_state();
+    for q in 0..QUBITS {
+        state = package.apply_gate(state, &gates::h(), q, &[]);
+    }
+    for round in 0..ROUNDS {
+        for q in 1..QUBITS {
+            let angle = std::f64::consts::PI / (1.5 + (round * QUBITS + q) as f64);
+            state = package.apply_gate(state, &gates::phase(angle), q, &[Control::pos(q - 1)]);
+            state = package.apply_gate(state, &gates::ry(angle * 0.7), q, &[]);
+        }
+    }
+    black_box(package.norm_sqr(state));
+}
+
+fn package(gc_threshold: Option<usize>) -> DdPackage {
+    let config = MemoryConfig {
+        gc_threshold,
+        ..Default::default()
+    };
+    DdPackage::with_config(QUBITS, Budget::unlimited(), config)
+}
+
+fn bench_gc_peak_nodes(c: &mut Criterion) {
+    // One instrumented run per configuration, printed before the timings so
+    // the bound shows up in every bench log.
+    let mut without_gc = package(None);
+    qpe_like_workload(&mut without_gc);
+    let peak_without = without_gc.memory_stats().peak_nodes;
+
+    let mut with_gc = package(Some(GC_THRESHOLD));
+    qpe_like_workload(&mut with_gc);
+    let stats = with_gc.memory_stats();
+    let peak_with = stats.peak_nodes;
+
+    println!(
+        "ddmem/peak-nodes: no-gc = {peak_without}, gc = {peak_with} \
+         ({:.1}x lower, {} collections, {} nodes reclaimed)",
+        peak_without as f64 / peak_with as f64,
+        stats.gc_runs,
+        stats.reclaimed_nodes,
+    );
+    assert!(
+        peak_with * 4 <= peak_without,
+        "GC should bound the peak at least 4x below the unbounded arena \
+         (no-gc {peak_without} vs gc {peak_with})"
+    );
+
+    let mut group = c.benchmark_group("ddmem");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("repeated-apply", "no-gc"), &(), |b, _| {
+        b.iter(|| {
+            let mut p = package(None);
+            qpe_like_workload(&mut p);
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("repeated-apply", "gc"), &(), |b, _| {
+        b.iter(|| {
+            let mut p = package(Some(GC_THRESHOLD));
+            qpe_like_workload(&mut p);
+        })
+    });
+    group.finish();
+}
+
+fn bench_gate_cache(c: &mut Criterion) {
+    // QFT-style controlled-rotation ladder applied repeatedly: after the
+    // first sweep every gate diagram comes from the gate cache.
+    let mut group = c.benchmark_group("ddmem_gate_cache");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("qft-sweep", QUBITS), &(), |b, _| {
+        let mut package = package(None);
+        let mut state = package.zero_state();
+        b.iter(|| {
+            for j in (0..QUBITS).rev() {
+                state = package.apply_gate(state, &gates::h(), j, &[]);
+                for k in 0..j {
+                    let angle = std::f64::consts::PI / (1u64 << (j - k)) as f64;
+                    state = package.apply_gate(state, &gates::phase(angle), j, &[Control::pos(k)]);
+                }
+            }
+            black_box(state)
+        });
+        let gate = package.gate_cache_counters();
+        println!(
+            "ddmem/gate-cache: {} lookups, {} hits ({:.1}% hit rate)",
+            gate.lookups,
+            gate.hits,
+            100.0 * gate.hits as f64 / gate.lookups.max(1) as f64,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc_peak_nodes, bench_gate_cache);
+criterion_main!(benches);

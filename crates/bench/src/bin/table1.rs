@@ -4,14 +4,21 @@
 //!
 //! ```text
 //! table1 [--section bv|qft|qpe|all] [--full] [--sizes 8,12,16] [--leaf-limit N]
+//!        [--measure-all] [--deadline SECS]
 //! ```
 //!
 //! By default the harness runs reduced instance sizes that finish within a
 //! couple of minutes on a laptop while preserving the qualitative shape of
 //! the paper's results. `--full` switches to the paper's original qubit
-//! counts (the QPE rows then take a long time, exactly as in the paper).
+//! counts.
+//!
+//! Rows run through the **portfolio engine** by default, so each row
+//! finishes at the speed of its best scheme and reports the winner; pass
+//! `--measure-all` to time every scheme separately (the paper's original
+//! four-column protocol — the QPE rows then take a long time, exactly as in
+//! the paper). `--deadline` bounds each row's wall-clock time.
 
-use bench::{build_instance, format_section, run_row, Family, RowOptions};
+use bench::{build_instance, format_section, run_row, Family, RowOptions, RowRunner};
 use dd::Budget;
 use qcec::Configuration;
 
@@ -20,6 +27,8 @@ struct Args {
     full: bool,
     sizes: Option<Vec<usize>>,
     leaf_limit: Option<usize>,
+    measure_all: bool,
+    deadline: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
         full: false,
         sizes: None,
         leaf_limit: Some(1 << 22),
+        measure_all: false,
+        deadline: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -57,10 +68,19 @@ fn parse_args() -> Result<Args, String> {
                     Some(value.parse().map_err(|_| "invalid --leaf-limit")?)
                 };
             }
+            "--measure-all" => args.measure_all = true,
+            "--deadline" => {
+                let value = iter.next().ok_or("--deadline requires a value")?;
+                let seconds: f64 = value.parse().map_err(|_| "invalid --deadline")?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".to_string());
+                }
+                args.deadline = Some(seconds);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: table1 [--section bv|qft|qpe|all] [--full] [--sizes a,b,c] \
-                     [--leaf-limit N|none]"
+                     [--leaf-limit N|none] [--measure-all] [--deadline SECS]"
                 );
                 std::process::exit(0);
             }
@@ -80,20 +100,35 @@ fn main() {
     };
 
     let config = Configuration::default();
-    // `--leaf-limit` maps onto the same shared budget type the cancellation
-    // machinery and the portfolio engine use.
-    let options = RowOptions {
-        budget: Budget::unlimited().with_leaf_limit(args.leaf_limit),
-        ..Default::default()
+    // `--leaf-limit` and `--deadline` map onto the same shared budget type
+    // the cancellation machinery and the portfolio engine use. The budget is
+    // rebuilt per row so the deadline is a *per-row* bound.
+    let row_options = || {
+        let mut budget = Budget::unlimited().with_leaf_limit(args.leaf_limit);
+        if let Some(seconds) = args.deadline {
+            budget = budget.with_deadline(std::time::Duration::from_secs_f64(seconds));
+        }
+        RowOptions {
+            budget,
+            runner: if args.measure_all {
+                RowRunner::MeasureAll
+            } else {
+                RowRunner::Portfolio
+            },
+            ..Default::default()
+        }
     };
 
     println!("Reproduction of Table 1 — \"Handling Non-Unitaries in Quantum Circuit Equivalence Checking\" (DAC 2022)");
     println!(
-        "mode: {} instance sizes; extraction leaf limit: {}\n",
+        "mode: {} instance sizes; runner: {}; extraction leaf limit: {}\n",
         if args.full { "paper" } else { "reduced" },
-        options
-            .budget
-            .max_leaves()
+        if args.measure_all {
+            "measure-all (paper protocol)"
+        } else {
+            "portfolio race"
+        },
+        args.leaf_limit
             .map(|l| l.to_string())
             .unwrap_or_else(|| "unlimited".into())
     );
@@ -108,7 +143,7 @@ fn main() {
         for n in sizes {
             let instance = build_instance(*family, n);
             eprintln!("running {} n={n} …", family.name());
-            rows.push(run_row(&instance, &config, &options));
+            rows.push(run_row(&instance, &config, &row_options()));
         }
         println!("{}", format_section(*family, &rows));
     }

@@ -17,7 +17,8 @@
 use algorithms::{bv, qft, qpe};
 use circuit::QuantumCircuit;
 use dd::Budget;
-use qcec::{check_functional_equivalence_with, Configuration, Equivalence};
+use portfolio::{verify_portfolio, PortfolioConfig, Scheme};
+use qcec::{check_functional_equivalence_with, Configuration, Equivalence, Strategy};
 use sim::{extract_distribution_budgeted, ExtractionConfig, StateVectorSimulator};
 use std::time::{Duration, Instant};
 use transform::{align_to_reference, reconstruct_unitary};
@@ -163,6 +164,28 @@ pub struct TableRow {
     pub t_extract: Option<Duration>,
     /// Runtime of the classical simulation of the static circuit.
     pub t_sim: Duration,
+    /// Winning scheme of a portfolio row (`None` for measure-all rows).
+    pub winner: Option<String>,
+}
+
+/// How a Table 1 row obtains its verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowRunner {
+    /// Measure every scheme separately — the paper's original protocol,
+    /// filling all four timing columns. The library default, so tests and
+    /// ablation sweeps keep the paper's semantics.
+    #[default]
+    MeasureAll,
+    /// Race all applicable schemes through the portfolio engine: the row
+    /// finishes at the speed of the best scheme and reports the winner.
+    /// The `table1` binary defaults to this (pass `--measure-all` there for
+    /// the paper protocol).
+    ///
+    /// The budget's node/leaf limits and deadline carry over into the race,
+    /// but its *cancel token* does not — the engine manages its own
+    /// winner-cancels-losers token. To bound a portfolio row externally,
+    /// give the budget a deadline.
+    Portfolio,
 }
 
 /// Options controlling a [`run_row`] invocation.
@@ -178,6 +201,8 @@ pub struct RowOptions {
     pub skip_functional: bool,
     /// Skip the extraction/simulation part.
     pub skip_fixed_input: bool,
+    /// Scheme runner for the row (see [`RowRunner`]).
+    pub runner: RowRunner,
 }
 
 impl Default for RowOptions {
@@ -186,6 +211,7 @@ impl Default for RowOptions {
             budget: Budget::unlimited().with_leaf_limit(1 << 22),
             skip_functional: false,
             skip_fixed_input: false,
+            runner: RowRunner::default(),
         }
     }
 }
@@ -197,7 +223,12 @@ pub fn unitary_gate_count(circuit: &QuantumCircuit) -> usize {
     counts.unitary + counts.resets + counts.classically_controlled
 }
 
-/// Performs the four measurements of one Table 1 row.
+/// Performs the measurements of one Table 1 row.
+///
+/// With [`RowRunner::MeasureAll`] the four timings of the paper are measured
+/// separately; with [`RowRunner::Portfolio`] all applicable schemes race and
+/// the row reports the winner's verdict and time (losing schemes are
+/// cancelled, so their columns may be empty).
 ///
 /// # Panics
 ///
@@ -206,6 +237,10 @@ pub fn unitary_gate_count(circuit: &QuantumCircuit) -> usize {
 pub fn run_row(instance: &Instance, config: &Configuration, options: &RowOptions) -> TableRow {
     let static_circuit = &instance.static_circuit;
     let dynamic_circuit = &instance.dynamic_circuit;
+
+    if options.runner == RowRunner::Portfolio {
+        return run_row_portfolio(instance, config, options);
+    }
 
     // --- Scheme 1: transformation + functional verification -------------
     let (t_trans, t_ver, functional) = if options.skip_functional {
@@ -259,6 +294,64 @@ pub fn run_row(instance: &Instance, config: &Configuration, options: &RowOptions
         functional,
         t_extract,
         t_sim,
+        winner: None,
+    }
+}
+
+/// Portfolio-runner body of [`run_row`]: one race instead of four separate
+/// measurements, so the row finishes at the speed of the best scheme.
+fn run_row_portfolio(
+    instance: &Instance,
+    config: &Configuration,
+    options: &RowOptions,
+) -> TableRow {
+    let static_circuit = &instance.static_circuit;
+    let dynamic_circuit = &instance.dynamic_circuit;
+    let strategies = [
+        Strategy::Proportional,
+        Strategy::OneToOne,
+        Strategy::Reference,
+    ];
+    let schemes = if options.skip_functional {
+        vec![Scheme::FixedInput]
+    } else if options.skip_fixed_input {
+        strategies
+            .iter()
+            .map(|&s| Scheme::DynamicFunctional(s))
+            .collect()
+    } else {
+        Vec::new() // auto-select
+    };
+    let portfolio_config = PortfolioConfig {
+        configuration: *config,
+        schemes,
+        node_limit: options.budget.max_nodes(),
+        leaf_limit: options.budget.max_leaves(),
+        deadline: options
+            .budget
+            .deadline()
+            .map(|at| at.saturating_duration_since(Instant::now())),
+        ..Default::default()
+    };
+    let result = verify_portfolio(static_circuit, dynamic_circuit, &portfolio_config);
+    // The losing schemes are cancelled, so only the columns the winner (or a
+    // scheme that still finished) covers are populated.
+    let t_extract = result
+        .schemes
+        .iter()
+        .find(|r| r.scheme == Scheme::FixedInput && r.verdict.is_some())
+        .map(|r| r.duration);
+    TableRow {
+        n_static: static_circuit.num_qubits(),
+        g_static: unitary_gate_count(static_circuit),
+        n_dynamic: dynamic_circuit.num_qubits(),
+        g_dynamic: dynamic_circuit.gate_count(),
+        t_trans: Duration::ZERO,
+        t_ver: result.time_to_verdict,
+        functional: result.verdict,
+        t_extract,
+        t_sim: Duration::ZERO,
+        winner: result.winner.map(|s| s.name()),
     }
 }
 
@@ -267,15 +360,31 @@ pub fn seconds(duration: Duration) -> String {
     format!("{:.4}", duration.as_secs_f64())
 }
 
+/// Formats a possibly-unmeasured duration: skipped phases carry exactly
+/// `Duration::ZERO` (a real measurement is never exact zero) and print as
+/// "—", matching the cut-off `t_extract` column.
+fn seconds_or_dash(duration: Duration) -> String {
+    if duration == Duration::ZERO {
+        "—".into()
+    } else {
+        seconds(duration)
+    }
+}
+
 /// Renders a table section (header plus rows) in the layout of the paper's
-/// Table 1.
+/// Table 1. Portfolio rows get an extra trailing `winner` column.
 pub fn format_section(family: Family, rows: &[TableRow]) -> String {
+    let with_winner = rows.iter().any(|row| row.winner.is_some());
     let mut out = String::new();
     out.push_str(&format!("{}\n", family.title()));
     out.push_str(&format!(
-        "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}\n",
+        "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}",
         "n", "|G|", "n'", "|G'|", "t_trans[s]", "t_ver[s]", "verdict", "t_extract[s]", "t_sim[s]"
     ));
+    if with_winner {
+        out.push_str(&format!(" {:>28}", "winner"));
+    }
+    out.push('\n');
     for row in rows {
         let verdict = match row.functional {
             Equivalence::Equivalent => "equiv",
@@ -285,17 +394,21 @@ pub fn format_section(family: Family, rows: &[TableRow]) -> String {
             Equivalence::NoInformation => "-",
         };
         out.push_str(&format!(
-            "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}\n",
+            "{:>5} {:>7} {:>5} {:>7} {:>12} {:>12} {:>12} {:>13} {:>12}",
             row.n_static,
             row.g_static,
             row.n_dynamic,
             row.g_dynamic,
-            seconds(row.t_trans),
+            seconds_or_dash(row.t_trans),
             seconds(row.t_ver),
             verdict,
             row.t_extract.map(seconds).unwrap_or_else(|| "—".into()),
-            seconds(row.t_sim),
+            seconds_or_dash(row.t_sim),
         ));
+        if with_winner {
+            out.push_str(&format!(" {:>28}", row.winner.as_deref().unwrap_or("-")));
+        }
+        out.push('\n');
     }
     out
 }
@@ -361,6 +474,32 @@ mod tests {
         assert!(text.contains("t_trans"));
         assert!(text.contains("t_extract"));
         assert!(text.contains("equiv"));
+    }
+
+    #[test]
+    fn portfolio_runner_verifies_and_names_a_winner() {
+        for family in [Family::BernsteinVazirani, Family::Qft, Family::Qpe] {
+            let instance = build_instance(family, 6);
+            let options = RowOptions {
+                runner: RowRunner::Portfolio,
+                ..Default::default()
+            };
+            let row = run_row(&instance, &Configuration::default(), &options);
+            assert!(
+                row.functional.considered_equivalent(),
+                "{family:?} portfolio row not equivalent"
+            );
+            assert!(row.winner.is_some(), "{family:?} row has no winner");
+            assert!(row.t_ver.as_nanos() > 0);
+        }
+        let instance = build_instance(Family::Qpe, 6);
+        let options = RowOptions {
+            runner: RowRunner::Portfolio,
+            ..Default::default()
+        };
+        let row = run_row(&instance, &Configuration::default(), &options);
+        let text = format_section(Family::Qpe, &[row]);
+        assert!(text.contains("winner"));
     }
 
     #[test]

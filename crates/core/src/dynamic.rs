@@ -173,6 +173,9 @@ pub struct FixedInputVerification {
     pub reference_time: Duration,
     /// Time to obtain the dynamic circuit's distribution (`t_extract`).
     pub dynamic_time: Duration,
+    /// Aggregated decision-diagram memory telemetry of both distribution
+    /// computations.
+    pub memory: dd::MemoryStats,
 }
 
 /// Obtains the measurement-outcome distribution of a circuit for the
@@ -198,15 +201,27 @@ pub fn outcome_distribution_with(
     extraction: &ExtractionConfig,
     budget: &Budget,
 ) -> Result<(OutcomeDistribution, Duration), DynamicCheckError> {
+    let (distribution, duration, _) = outcome_distribution_telemetry(circuit, extraction, budget)?;
+    Ok((distribution, duration))
+}
+
+/// [`outcome_distribution_with`] plus the decision-diagram memory telemetry
+/// of the computation.
+fn outcome_distribution_telemetry(
+    circuit: &QuantumCircuit,
+    extraction: &ExtractionConfig,
+    budget: &Budget,
+) -> Result<(OutcomeDistribution, Duration, dd::MemoryStats), DynamicCheckError> {
     let start = Instant::now();
     if circuit.is_dynamic() {
         let result = extract_distribution_budgeted(circuit, None, extraction, budget)?;
-        Ok((result.distribution, start.elapsed()))
+        Ok((result.distribution, start.elapsed(), result.memory))
     } else {
         let mut sim = StateVectorSimulator::with_budget(circuit.num_qubits(), budget.clone());
         sim.run(circuit)?;
         let dist = sim.outcome_distribution();
-        Ok((dist, start.elapsed()))
+        let memory = sim.memory_stats();
+        Ok((dist, start.elapsed(), memory))
     }
 }
 
@@ -241,10 +256,11 @@ pub fn verify_fixed_input_with(
     extraction: &ExtractionConfig,
     budget: &Budget,
 ) -> Result<FixedInputVerification, DynamicCheckError> {
-    let (reference_distribution, reference_time) =
-        outcome_distribution_with(reference, extraction, budget)?;
-    let (dynamic_distribution, dynamic_time) =
-        outcome_distribution_with(dynamic, extraction, budget)?;
+    let (reference_distribution, reference_time, reference_memory) =
+        outcome_distribution_telemetry(reference, extraction, budget)?;
+    let (dynamic_distribution, dynamic_time, dynamic_memory) =
+        outcome_distribution_telemetry(dynamic, extraction, budget)?;
+    let memory = reference_memory.merged_with(&dynamic_memory);
 
     if reference_distribution.n_bits() != dynamic_distribution.n_bits() {
         return Ok(FixedInputVerification {
@@ -254,6 +270,7 @@ pub fn verify_fixed_input_with(
             dynamic_distribution,
             reference_time,
             dynamic_time,
+            memory,
         });
     }
 
@@ -270,6 +287,7 @@ pub fn verify_fixed_input_with(
         dynamic_distribution,
         reference_time,
         dynamic_time,
+        memory,
     })
 }
 

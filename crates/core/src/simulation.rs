@@ -28,6 +28,8 @@ pub struct SimulativeCheck {
     pub min_fidelity: f64,
     /// Wall-clock time of the check.
     pub duration: Duration,
+    /// Aggregated decision-diagram memory telemetry of all simulator runs.
+    pub memory: dd::MemoryStats,
 }
 
 /// Compares the action of two unitary circuits on random computational-basis
@@ -84,6 +86,7 @@ pub fn check_simulative_equivalence_with(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut min_fidelity = 1.0f64;
     let mut runs = 0;
+    let mut memory = dd::MemoryStats::default();
 
     let left_unitary = left.without_measurements();
     let right_unitary = right.without_measurements();
@@ -110,6 +113,9 @@ pub fn check_simulative_equivalence_with(
             .run(&right_unitary)
             .map_err(|e| run_error("right", e))?;
         let fidelity = sim_left.fidelity_with(&sim_right);
+        memory = memory
+            .merged_with(&sim_left.memory_stats())
+            .merged_with(&sim_right.memory_stats());
         min_fidelity = min_fidelity.min(fidelity);
         runs += 1;
         if fidelity < 1.0 - config.tolerance {
@@ -118,6 +124,7 @@ pub fn check_simulative_equivalence_with(
                 runs,
                 min_fidelity,
                 duration: start.elapsed(),
+                memory,
             });
         }
     }
@@ -127,6 +134,7 @@ pub fn check_simulative_equivalence_with(
         runs,
         min_fidelity,
         duration: start.elapsed(),
+        memory,
     })
 }
 

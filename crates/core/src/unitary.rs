@@ -68,6 +68,9 @@ pub struct FunctionalCheck {
     pub peak_diagram_size: usize,
     /// Wall-clock time of the check (the paper's `t_ver`).
     pub duration: Duration,
+    /// Memory-system telemetry of the decision-diagram package (compute-table
+    /// hit rates, garbage-collection runs, peak live nodes).
+    pub memory: dd::MemoryStats,
 }
 
 /// Extracts the unitary gate sequence of a circuit, rejecting dynamic
@@ -280,6 +283,7 @@ pub fn check_functional_equivalence_with(
         final_diagram_size: package.matrix_size(miter),
         peak_diagram_size: peak,
         duration: start.elapsed(),
+        memory: package.memory_stats(),
     })
 }
 

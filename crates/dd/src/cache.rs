@@ -1,0 +1,277 @@
+//! Fixed-size lossy caches and open-addressed unique tables.
+//!
+//! The decision-diagram package performs enormous numbers of memoisation
+//! lookups. Growing `HashMap`s without bound — the seed implementation — is
+//! both slower (rehashing, pointer chasing) and unbounded in memory. This
+//! module provides the two specialised structures mature DD packages use
+//! instead:
+//!
+//! * [`LossyCache`]: a fixed-size, power-of-two, direct-mapped cache with a
+//!   single probe per lookup. A colliding insert simply overwrites the slot;
+//!   an evicted entry is recomputed on demand, never wrong. Each cache keeps
+//!   hit/lookup counters for telemetry.
+//! * [`UniqueTable`]: an open-addressed (linear probing) hash set of node
+//!   ids used for hash-consing, one per qubit level. Kept at a load factor
+//!   of at most ½ and rebuilt wholesale after garbage collection, so no
+//!   tombstones are needed.
+
+use crate::hash::fx_hash;
+use std::hash::Hash;
+
+/// Hit/lookup counters of one cache, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Stable table name (e.g. `"mat_vec"`).
+    pub name: &'static str,
+    /// Lookups since package creation (cleared tables keep their counters).
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+}
+
+impl CacheCounters {
+    /// Hit rate in `[0, 1]`, or `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.lookups as f64)
+        }
+    }
+}
+
+/// A direct-mapped, overwrite-on-collision memoisation cache.
+///
+/// The slot array is allocated lazily on the first insert and starts small:
+/// it quadruples (dropping the recomputable contents) whenever the insert
+/// traffic since the last resize exceeds twice the capacity, up to the
+/// configured bound. Short-lived packages therefore pay kilobytes, while
+/// miter-scale workloads quickly reach the full fixed size.
+#[derive(Debug, Clone)]
+pub(crate) struct LossyCache<K, V> {
+    name: &'static str,
+    max_bits: u32,
+    slots: Vec<Option<(K, V)>>,
+    inserts: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+/// Initial slot count (log2) of a lossy cache.
+const MIN_BITS: u32 = 8;
+
+impl<K: Eq + Hash + Clone, V: Copy> LossyCache<K, V> {
+    /// Creates a cache bounded at `2^max_bits` slots. Bounds *below*
+    /// [`MIN_BITS`] are honoured exactly (the cache never grows), which lets
+    /// tests apply maximum eviction pressure.
+    pub fn new(name: &'static str, max_bits: u32) -> Self {
+        LossyCache {
+            name,
+            max_bits,
+            slots: Vec::new(),
+            inserts: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Single-probe lookup under the caller-computed hash.
+    #[inline]
+    pub fn get_by(&mut self, hash: u64, eq: impl Fn(&K) -> bool) -> Option<V> {
+        self.lookups += 1;
+        if self.slots.is_empty() {
+            return None;
+        }
+        match &self.slots[(hash as usize) & (self.slots.len() - 1)] {
+            Some((k, v)) if eq(k) => {
+                self.hits += 1;
+                Some(*v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Single-probe lookup.
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.get_by(fx_hash(key), |k| k == key)
+    }
+
+    /// Inserts under the caller-computed hash, overwriting the slot.
+    #[inline]
+    pub fn insert_hashed(&mut self, hash: u64, key: K, value: V) {
+        if self.slots.is_empty() {
+            self.slots = vec![None; 1usize << MIN_BITS.min(self.max_bits)];
+        } else if self.inserts >= self.slots.len() as u64 * 2
+            && self.slots.len() < 1usize << self.max_bits
+        {
+            let grown = (self.slots.len() * 4).min(1usize << self.max_bits);
+            self.slots = vec![None; grown];
+            self.inserts = 0;
+        }
+        self.inserts += 1;
+        let slot = (hash as usize) & (self.slots.len() - 1);
+        self.slots[slot] = Some((key, value));
+    }
+
+    /// Inserts, overwriting whatever occupied the slot.
+    #[inline]
+    pub fn insert(&mut self, key: K, value: V) {
+        self.insert_hashed(fx_hash(&key), key, value);
+    }
+
+    /// Drops all entries but keeps the slot allocation and the counters.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Iterates over the live entries (used to treat cached gate diagrams as
+    /// garbage-collection roots).
+    pub fn entries(&self) -> impl Iterator<Item = &(K, V)> {
+        self.slots.iter().flatten()
+    }
+
+    /// This cache's counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            name: self.name,
+            lookups: self.lookups,
+            hits: self.hits,
+        }
+    }
+}
+
+/// Sentinel marking an empty unique-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressed hash set of node ids for one qubit level.
+///
+/// The table only stores arena indices; key equality is delegated to the
+/// caller (who owns the node arena), keeping this structure borrow-friendly.
+#[derive(Debug, Clone)]
+pub(crate) struct UniqueTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl UniqueTable {
+    pub fn new() -> Self {
+        UniqueTable {
+            slots: vec![EMPTY; 64],
+            len: 0,
+        }
+    }
+
+    /// Finds the id of a node equal (per `eq`) to the probe key.
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        loop {
+            match self.slots[idx] {
+                EMPTY => return None,
+                id => {
+                    if eq(id) {
+                        return Some(id);
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts an id not currently present, growing at load factor ½.
+    ///
+    /// `rehash` recomputes the hash of a stored id during growth.
+    pub fn insert(&mut self, hash: u64, id: u32, rehash: impl Fn(u32) -> u64) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            let doubled = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![EMPTY; doubled]);
+            for stored in old {
+                if stored != EMPTY {
+                    self.place(rehash(stored), stored);
+                }
+            }
+        }
+        self.place(hash, id);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn place(&mut self, hash: u64, id: u32) {
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        while self.slots[idx] != EMPTY {
+            idx = (idx + 1) & mask;
+        }
+        self.slots[idx] = id;
+    }
+
+    /// Empties the table, keeping its allocation (used before the
+    /// rebuild-after-sweep pass of the garbage collector).
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_cache_hits_and_overwrites() {
+        let mut cache: LossyCache<u64, u32> = LossyCache::new("test", 2);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        // Force a collision: with 4 slots, keys hashing to the same slot
+        // overwrite each other. Insert many keys and check the survivors are
+        // still correct.
+        for k in 0..32u64 {
+            cache.insert(k, k as u32 * 2);
+        }
+        for k in 0..32u64 {
+            if let Some(v) = cache.get(&k) {
+                assert_eq!(v, k as u32 * 2);
+            }
+        }
+        let counters = cache.counters();
+        assert!(counters.lookups >= 33);
+        assert!(counters.hits >= 1);
+        assert!(counters.hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn lossy_cache_clear_keeps_counters() {
+        let mut cache: LossyCache<u64, u32> = LossyCache::new("test", 4);
+        cache.insert(7, 7);
+        assert_eq!(cache.get(&7), Some(7));
+        cache.clear();
+        assert_eq!(cache.get(&7), None);
+        assert_eq!(cache.counters().hits, 1);
+        assert_eq!(cache.counters().lookups, 2);
+    }
+
+    #[test]
+    fn unique_table_insert_find_grow() {
+        let mut table = UniqueTable::new();
+        let keys: Vec<u64> = (0..200).collect();
+        for &k in &keys {
+            let hash = fx_hash(&k);
+            assert_eq!(table.find(hash, |id| keys[id as usize] == k), None);
+            table.insert(hash, k as u32, |id| fx_hash(&keys[id as usize]));
+        }
+        for &k in &keys {
+            let hash = fx_hash(&k);
+            assert_eq!(
+                table.find(hash, |id| keys[id as usize] == k),
+                Some(k as u32)
+            );
+        }
+        table.clear();
+        assert_eq!(table.find(fx_hash(&3u64), |_| true), None);
+    }
+}

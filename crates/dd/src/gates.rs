@@ -130,6 +130,25 @@ pub fn u3(theta: f64, phi: f64, lambda: f64) -> GateMatrix {
     ]
 }
 
+/// The raw bit patterns of a gate matrix, row-major `(re, im)` interleaved.
+///
+/// Used as the hashable part of the package's gate-diagram cache key: two
+/// matrices built from the same parameters produce bit-identical entries, so
+/// exact bit equality is the right cache criterion (near-misses simply build
+/// a fresh diagram).
+pub(crate) fn matrix_bits(m: &GateMatrix) -> [u64; 8] {
+    [
+        m[0][0].re.to_bits(),
+        m[0][0].im.to_bits(),
+        m[0][1].re.to_bits(),
+        m[0][1].im.to_bits(),
+        m[1][0].re.to_bits(),
+        m[1][0].im.to_bits(),
+        m[1][1].re.to_bits(),
+        m[1][1].im.to_bits(),
+    ]
+}
+
 /// Complex-conjugate transpose of a 2x2 matrix.
 pub fn adjoint(m: &GateMatrix) -> GateMatrix {
     [

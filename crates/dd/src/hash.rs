@@ -73,6 +73,17 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Hashes any `Hash` value with the package-internal FxHasher.
+///
+/// Used by the open-addressed unique tables and lossy compute caches, which
+/// manage their own slot arrays instead of going through `HashMap`.
+#[inline]
+pub(crate) fn fx_hash<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A `HashMap` using the package-internal fast hasher.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 

@@ -18,9 +18,36 @@
 //!   addition, matrix-vector and matrix-matrix multiplication, Kronecker-free
 //!   controlled-gate construction, conjugate transposition, inner products,
 //!   traces, measurement probabilities and projections.
+//! * A managed memory system (see below): bounded lossy compute tables,
+//!   per-level open-addressed unique tables, a gate-diagram cache and
+//!   mark-and-sweep garbage collection with recycled arena slots.
 //! * Dense conversions (for small registers) used extensively by the test
 //!   suite to validate the diagram algebra against straightforward linear
 //!   algebra.
+//!
+//! ## Memory model
+//!
+//! A [`DdPackage`] owns two node arenas (vector and matrix) with free lists.
+//! Hash-consing goes through one open-addressed unique table per qubit
+//! level; memoisation goes through fixed-size *lossy* caches — direct
+//! mapped, one probe per lookup, overwrite on collision — so cache memory is
+//! bounded by construction and an evicted entry only ever costs a
+//! recomputation, never a wrong result. Sizing is controlled by
+//! [`MemoryConfig`]; hit rates and collection counts are reported by
+//! [`DdPackage::memory_stats`].
+//!
+//! Garbage collection is mark-and-sweep from three root sets: edges
+//! registered through [`DdPackage::protect_vector`] /
+//! [`DdPackage::protect_matrix`] (reference counted), the identity and
+//! gate-diagram caches, and the operands of the operation that triggered an
+//! automatic run. Automatic collection only happens at the *entry* of
+//! top-level operations (`apply_gate`, the multiplications, additions and
+//! the conjugate transpose), never mid-recursion. **Callers must protect any
+//! edge they hold across other package operations** and unprotect it when
+//! done; an edge that is an operand of the current call is protected
+//! automatically. After a collection the node-keyed compute tables are
+//! cleared (arena slots are recycled under the same ids), while cached gate
+//! diagrams remain valid because they are roots.
 //!
 //! ## Quick example
 //!
@@ -39,6 +66,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod complex;
 pub mod gates;
 mod hash;
@@ -49,9 +77,12 @@ mod table;
 
 mod export;
 
+pub use cache::CacheCounters;
 pub use complex::{Complex, TOLERANCE};
 pub use gates::GateMatrix;
 pub use limits::{Budget, CancelToken, LimitExceeded};
 pub use node::{MEdge, MNode, NodeId, VEdge, VNode};
-pub use package::{Control, DdPackage, PackageStats};
+pub use package::{
+    Control, DdPackage, MemoryConfig, MemoryStats, PackageStats, DEFAULT_GC_THRESHOLD,
+};
 pub use table::{CIdx, ComplexTable};

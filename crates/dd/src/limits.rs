@@ -21,6 +21,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A shared, one-way cancellation flag.
 ///
@@ -64,6 +65,8 @@ pub enum LimitExceeded {
     /// The decision-diagram package allocated more nodes than the budget
     /// allows.
     NodeLimit,
+    /// The budget's wall-clock deadline passed.
+    Deadline,
 }
 
 impl std::fmt::Display for LimitExceeded {
@@ -71,6 +74,7 @@ impl std::fmt::Display for LimitExceeded {
         match self {
             LimitExceeded::Cancelled => write!(f, "cancelled"),
             LimitExceeded::NodeLimit => write!(f, "decision-diagram node budget exhausted"),
+            LimitExceeded::Deadline => write!(f, "wall-clock deadline exceeded"),
         }
     }
 }
@@ -84,6 +88,7 @@ pub struct Budget {
     cancel: CancelToken,
     max_nodes: Option<usize>,
     max_leaves: Option<usize>,
+    deadline: Option<Instant>,
 }
 
 impl Budget {
@@ -113,6 +118,24 @@ impl Budget {
         self
     }
 
+    /// Sets a wall-clock deadline `timeout` from now (builder style).
+    ///
+    /// The [`DdPackage`](crate::DdPackage) polls the deadline on its
+    /// node-allocation path (at the same reduced cadence as the cancel flag),
+    /// so a computation stops within a few hundred allocations of the
+    /// deadline passing and reports [`LimitExceeded::Deadline`].
+    #[must_use]
+    pub fn with_deadline(self, timeout: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Sets an absolute wall-clock deadline (builder style).
+    #[must_use]
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The budget's cancel token.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
@@ -131,6 +154,18 @@ impl Budget {
     /// Extraction-leaf cap, if any.
     pub fn max_leaves(&self) -> Option<usize> {
         self.max_leaves
+    }
+
+    /// The wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Returns `true` once the deadline (if any) has passed.
+    #[inline]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
     }
 }
 
@@ -167,5 +202,18 @@ mod tests {
     fn limit_display() {
         assert_eq!(LimitExceeded::Cancelled.to_string(), "cancelled");
         assert!(LimitExceeded::NodeLimit.to_string().contains("node"));
+        assert!(LimitExceeded::Deadline.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn deadline_observation() {
+        let unlimited = Budget::unlimited();
+        assert_eq!(unlimited.deadline(), None);
+        assert!(!unlimited.deadline_exceeded());
+        let expired = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert!(expired.deadline().is_some());
+        assert!(expired.deadline_exceeded());
+        let generous = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert!(!generous.deadline_exceeded());
     }
 }

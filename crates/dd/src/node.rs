@@ -154,6 +154,12 @@ impl MEdge {
     }
 }
 
+/// Variable value marking a freed arena slot awaiting reuse.
+///
+/// Real nodes always have `var < n_qubits ≤ u16::MAX`, so the all-ones value
+/// can never collide with a live node.
+pub(crate) const FREE_VAR: u16 = u16::MAX;
+
 /// A vector decision-diagram node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VNode {
@@ -163,6 +169,20 @@ pub struct VNode {
     pub children: [VEdge; 2],
 }
 
+impl VNode {
+    /// Sentinel stored in freed arena slots.
+    pub(crate) const FREE: VNode = VNode {
+        var: FREE_VAR,
+        children: [VEdge::ZERO; 2],
+    };
+
+    /// Returns `true` when this arena slot is on the free list.
+    #[inline]
+    pub(crate) fn is_free(&self) -> bool {
+        self.var == FREE_VAR
+    }
+}
+
 /// A matrix decision-diagram node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MNode {
@@ -170,6 +190,20 @@ pub struct MNode {
     pub var: u16,
     /// Successor edges indexed by `(row bit, column bit)`: `00, 01, 10, 11`.
     pub children: [MEdge; 4],
+}
+
+impl MNode {
+    /// Sentinel stored in freed arena slots.
+    pub(crate) const FREE: MNode = MNode {
+        var: FREE_VAR,
+        children: [MEdge::ZERO; 4],
+    };
+
+    /// Returns `true` when this arena slot is on the free list.
+    #[inline]
+    pub(crate) fn is_free(&self) -> bool {
+        self.var == FREE_VAR
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,10 @@
 //! assert!((p1 - 0.5).abs() < 1e-12);
 //! ```
 
+use crate::cache::{CacheCounters, LossyCache, UniqueTable};
 use crate::complex::{Complex, TOLERANCE};
-use crate::gates::GateMatrix;
-use crate::hash::FxHashMap;
+use crate::gates::{self, GateMatrix};
+use crate::hash::{fx_hash, FxHashMap};
 use crate::limits::{Budget, LimitExceeded};
 use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
 use crate::table::{CIdx, ComplexTable};
@@ -58,35 +59,184 @@ impl Control {
 /// Statistics about the current contents of a [`DdPackage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PackageStats {
-    /// Number of distinct vector nodes allocated.
+    /// Number of distinct *live* vector nodes (allocated minus collected).
     pub vector_nodes: usize,
-    /// Number of distinct matrix nodes allocated.
+    /// Number of distinct *live* matrix nodes (allocated minus collected).
     pub matrix_nodes: usize,
     /// Number of distinct interned complex values.
     pub complex_values: usize,
+}
+
+/// Sizing and garbage-collection knobs of a [`DdPackage`].
+///
+/// The compute tables are *lossy*: direct-mapped, overwriting on collision.
+/// All sizes are powers of two given as the bit count of the table's
+/// *bound*: a table starts at 256 slots (or the bound, when smaller) and
+/// quadruples under insert pressure up to the bound, so bigger bounds trade
+/// memory for fewer recomputations while short-lived packages stay small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// log2 slots of the binary compute tables (mat·vec, mat·mat, add).
+    pub binary_cache_bits: u32,
+    /// log2 slots of the unary compute tables (transpose, inner product,
+    /// trace, norm).
+    pub unary_cache_bits: u32,
+    /// log2 slots of the gate-diagram cache keyed by
+    /// `(GateMatrix, target, controls)`.
+    pub gate_cache_bits: u32,
+    /// Live-node count that triggers automatic garbage collection at the
+    /// next operation safe point; `None` disables automatic collection
+    /// (explicit [`DdPackage::garbage_collect`] still works). When a run
+    /// reclaims less than a quarter of the threshold the threshold doubles,
+    /// so workloads with mostly-live diagrams do not thrash.
+    pub gc_threshold: Option<usize>,
+}
+
+/// Default automatic-GC trigger (live nodes across both arenas).
+pub const DEFAULT_GC_THRESHOLD: usize = 1 << 18;
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            binary_cache_bits: 16,
+            unary_cache_bits: 14,
+            gate_cache_bits: 12,
+            gc_threshold: Some(DEFAULT_GC_THRESHOLD),
+        }
+    }
+}
+
+/// Memory-system telemetry of a [`DdPackage`].
+///
+/// Counters are cumulative over the package's lifetime; garbage collection
+/// and [`DdPackage::clear_compute_tables`] never reset them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryStats {
+    /// Live vector nodes right now.
+    pub live_vector_nodes: usize,
+    /// Live matrix nodes right now.
+    pub live_matrix_nodes: usize,
+    /// Highest live node count (both arenas) ever observed.
+    pub peak_nodes: usize,
+    /// Nodes ever allocated (unique-table misses).
+    pub allocated_nodes: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub reclaimed_nodes: u64,
+    /// Completed garbage-collection runs.
+    pub gc_runs: usize,
+    /// Distinct interned complex values.
+    pub complex_values: usize,
+    /// Compute-table lookups across all eight tables.
+    pub compute_lookups: u64,
+    /// Compute-table lookups answered from cache.
+    pub compute_hits: u64,
+    /// Gate-diagram cache lookups.
+    pub gate_lookups: u64,
+    /// Gate-diagram cache hits.
+    pub gate_hits: u64,
+}
+
+impl MemoryStats {
+    /// Fraction of compute-table lookups served from cache, or `None` before
+    /// the first lookup.
+    pub fn compute_hit_rate(&self) -> Option<f64> {
+        if self.compute_lookups == 0 {
+            None
+        } else {
+            Some(self.compute_hits as f64 / self.compute_lookups as f64)
+        }
+    }
+
+    /// Fraction of gate-diagram builds avoided by the gate cache.
+    pub fn gate_hit_rate(&self) -> Option<f64> {
+        if self.gate_lookups == 0 {
+            None
+        } else {
+            Some(self.gate_hits as f64 / self.gate_lookups as f64)
+        }
+    }
+
+    /// Aggregates telemetry of several packages (e.g. the two simulators of
+    /// a simulative check): counters add up, gauges take the maximum.
+    #[must_use]
+    pub fn merged_with(&self, other: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            live_vector_nodes: self.live_vector_nodes.max(other.live_vector_nodes),
+            live_matrix_nodes: self.live_matrix_nodes.max(other.live_matrix_nodes),
+            peak_nodes: self.peak_nodes.max(other.peak_nodes),
+            allocated_nodes: self.allocated_nodes + other.allocated_nodes,
+            reclaimed_nodes: self.reclaimed_nodes + other.reclaimed_nodes,
+            gc_runs: self.gc_runs + other.gc_runs,
+            complex_values: self.complex_values.max(other.complex_values),
+            compute_lookups: self.compute_lookups + other.compute_lookups,
+            compute_hits: self.compute_hits + other.compute_hits,
+            gate_lookups: self.gate_lookups + other.gate_lookups,
+            gate_hits: self.gate_hits + other.gate_hits,
+        }
+    }
+}
+
+/// Cache key of a gate diagram: exact matrix bit patterns plus placement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GateKey {
+    matrix: [u64; 8],
+    target: u32,
+    controls: Vec<Control>,
 }
 
 /// Decision-diagram package for up to `n_qubits` qubits.
 ///
 /// All diagram-producing methods take `&mut self` because they may allocate
 /// nodes or interned weights.
+///
+/// # Memory model
+///
+/// Nodes live in per-kind arenas with free lists and are hash-consed through
+/// one open-addressed unique table per qubit level. Memoisation goes through
+/// fixed-size lossy caches (see [`MemoryConfig`]). A mark-and-sweep
+/// [`garbage_collect`](Self::garbage_collect) reclaims nodes unreachable
+/// from the *roots*:
+///
+/// * edges registered via [`protect_vector`](Self::protect_vector) /
+///   [`protect_matrix`](Self::protect_matrix) (reference counted),
+/// * the identity cache and the gate-diagram cache,
+/// * the operand edges of the operation that triggered an automatic run
+///   (collection only ever happens at the entry of a top-level operation,
+///   never in the middle of a recursion).
+///
+/// **Contract for callers:** an edge merely held in a variable across *other*
+/// package operations is not a root. On a package that may collect (the
+/// default), protect such edges and unprotect them when done; edges passed
+/// as operands to the current operation are protected automatically. After a
+/// collection, unprotected edges may dangle — using one is not memory-unsafe
+/// (arena slots are recycled, not freed) but yields meaningless diagrams.
 #[derive(Debug)]
 pub struct DdPackage {
     n_qubits: usize,
     ctab: ComplexTable,
     pub(crate) vnodes: Vec<VNode>,
-    vunique: FxHashMap<VNode, NodeId>,
+    vfree: Vec<u32>,
+    vunique: Vec<UniqueTable>,
     pub(crate) mnodes: Vec<MNode>,
-    munique: FxHashMap<MNode, NodeId>,
-    ct_mat_vec: FxHashMap<(NodeId, NodeId), VEdge>,
-    ct_mat_mat: FxHashMap<(NodeId, NodeId), MEdge>,
-    ct_add_vec: FxHashMap<(NodeId, NodeId, CIdx), VEdge>,
-    ct_add_mat: FxHashMap<(NodeId, NodeId, CIdx), MEdge>,
-    ct_transpose: FxHashMap<NodeId, MEdge>,
-    ct_inner: FxHashMap<(NodeId, NodeId), Complex>,
-    ct_trace: FxHashMap<NodeId, Complex>,
-    vnorm_cache: FxHashMap<NodeId, f64>,
+    mfree: Vec<u32>,
+    munique: Vec<UniqueTable>,
+    ct_mat_vec: LossyCache<(NodeId, NodeId), VEdge>,
+    ct_mat_mat: LossyCache<(NodeId, NodeId), MEdge>,
+    ct_add_vec: LossyCache<(NodeId, NodeId, CIdx), VEdge>,
+    ct_add_mat: LossyCache<(NodeId, NodeId, CIdx), MEdge>,
+    ct_transpose: LossyCache<NodeId, MEdge>,
+    ct_inner: LossyCache<(NodeId, NodeId), Complex>,
+    ct_trace: LossyCache<NodeId, Complex>,
+    vnorm_cache: LossyCache<NodeId, f64>,
+    gate_cache: LossyCache<GateKey, MEdge>,
     ident_cache: Vec<MEdge>,
+    vroots: FxHashMap<u32, u32>,
+    mroots: FxHashMap<u32, u32>,
+    gc_threshold: Option<usize>,
+    gc_runs: usize,
+    allocated_nodes: u64,
+    reclaimed_nodes: u64,
+    peak_nodes: usize,
     budget: Budget,
     exceeded: Option<LimitExceeded>,
     allocs_since_check: u32,
@@ -103,9 +253,9 @@ impl DdPackage {
     }
 
     /// Creates a package whose operations observe `budget`: cancellation via
-    /// the budget's [`CancelToken`](crate::CancelToken) and the node limit
-    /// are checked inside node allocation, the one funnel every diagram
-    /// operation passes through.
+    /// the budget's [`CancelToken`](crate::CancelToken), the wall-clock
+    /// deadline and the node limit are checked inside node allocation, the
+    /// one funnel every diagram operation passes through.
     ///
     /// Once a limit trips, [`limit_exceeded`](Self::limit_exceeded) reports
     /// it, in-flight recursive operations unwind quickly by returning zero
@@ -118,26 +268,47 @@ impl DdPackage {
     ///
     /// Panics if `n_qubits` exceeds `u16::MAX` (the level encoding width).
     pub fn with_budget(n_qubits: usize, budget: Budget) -> Self {
+        DdPackage::with_config(n_qubits, budget, MemoryConfig::default())
+    }
+
+    /// Creates a package with explicit [`MemoryConfig`] sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds `u16::MAX` (the level encoding width).
+    pub fn with_config(n_qubits: usize, budget: Budget, config: MemoryConfig) -> Self {
         assert!(
             n_qubits <= u16::MAX as usize,
             "qubit count {n_qubits} exceeds the supported maximum"
         );
+        let binary = config.binary_cache_bits;
+        let unary = config.unary_cache_bits;
         DdPackage {
             n_qubits,
             ctab: ComplexTable::new(),
             vnodes: Vec::new(),
-            vunique: FxHashMap::default(),
+            vfree: Vec::new(),
+            vunique: (0..n_qubits).map(|_| UniqueTable::new()).collect(),
             mnodes: Vec::new(),
-            munique: FxHashMap::default(),
-            ct_mat_vec: FxHashMap::default(),
-            ct_mat_mat: FxHashMap::default(),
-            ct_add_vec: FxHashMap::default(),
-            ct_add_mat: FxHashMap::default(),
-            ct_transpose: FxHashMap::default(),
-            ct_inner: FxHashMap::default(),
-            ct_trace: FxHashMap::default(),
-            vnorm_cache: FxHashMap::default(),
+            mfree: Vec::new(),
+            munique: (0..n_qubits).map(|_| UniqueTable::new()).collect(),
+            ct_mat_vec: LossyCache::new("mat_vec", binary),
+            ct_mat_mat: LossyCache::new("mat_mat", binary),
+            ct_add_vec: LossyCache::new("add_vec", binary),
+            ct_add_mat: LossyCache::new("add_mat", binary),
+            ct_transpose: LossyCache::new("transpose", unary),
+            ct_inner: LossyCache::new("inner", unary),
+            ct_trace: LossyCache::new("trace", unary),
+            vnorm_cache: LossyCache::new("vnorm", unary),
+            gate_cache: LossyCache::new("gate", config.gate_cache_bits),
             ident_cache: vec![MEdge::ONE],
+            vroots: FxHashMap::default(),
+            mroots: FxHashMap::default(),
+            gc_threshold: config.gc_threshold,
+            gc_runs: 0,
+            allocated_nodes: 0,
+            reclaimed_nodes: 0,
+            peak_nodes: 0,
             budget,
             exceeded: None,
             allocs_since_check: 0,
@@ -167,39 +338,59 @@ impl DdPackage {
 
     /// Budget bookkeeping on the node-allocation path.
     ///
-    /// The cancel flag is an atomic shared across threads, so it is polled
-    /// only every 256 allocations; the node cap is a plain comparison and is
-    /// checked every time.
+    /// The cancel flag is an atomic shared across threads and the deadline
+    /// needs a clock read, so both are polled only every 256 allocations; the
+    /// node cap is a plain comparison and is checked every time.
     #[inline]
     fn charge_allocation(&mut self) {
         if self.exceeded.is_some() {
             return;
         }
         if let Some(max) = self.budget.max_nodes() {
-            if self.vnodes.len() + self.mnodes.len() > max {
+            if self.live_nodes() > max {
                 self.exceeded = Some(LimitExceeded::NodeLimit);
                 return;
             }
         }
         self.allocs_since_check = self.allocs_since_check.wrapping_add(1);
-        if self.allocs_since_check & 0xFF == 0 && self.budget.cancel_token().is_cancelled() {
-            self.exceeded = Some(LimitExceeded::Cancelled);
+        if self.allocs_since_check & 0xFF == 0 {
+            if self.budget.cancel_token().is_cancelled() {
+                self.exceeded = Some(LimitExceeded::Cancelled);
+            } else if self.budget.deadline_exceeded() {
+                self.exceeded = Some(LimitExceeded::Deadline);
+            }
         }
     }
 
-    /// Returns allocation statistics.
+    /// Returns allocation statistics (live node counts).
     pub fn stats(&self) -> PackageStats {
         PackageStats {
-            vector_nodes: self.vnodes.len(),
-            matrix_nodes: self.mnodes.len(),
+            vector_nodes: self.vnodes.len() - self.vfree.len(),
+            matrix_nodes: self.mnodes.len() - self.mfree.len(),
             complex_values: self.ctab.len(),
         }
     }
 
+    /// Live nodes across both arenas.
+    #[inline]
+    fn live_nodes(&self) -> usize {
+        self.vnodes.len() - self.vfree.len() + self.mnodes.len() - self.mfree.len()
+    }
+
     /// Drops all memoisation tables (unique tables and nodes are kept).
     ///
-    /// Useful between independent computations to bound memory growth.
+    /// Useful between independent computations to bound memory growth. The
+    /// hit/lookup counters survive; the gate-diagram cache is dropped too.
     pub fn clear_compute_tables(&mut self) {
+        self.clear_node_keyed_caches();
+        self.gate_cache.clear();
+    }
+
+    /// Clears the memoisation tables whose entries reference nodes — called
+    /// after a collection, when freed arena slots may be recycled under the
+    /// same [`NodeId`]s. The gate cache is kept: its entries are collection
+    /// roots and therefore stay valid.
+    fn clear_node_keyed_caches(&mut self) {
         self.ct_mat_vec.clear();
         self.ct_mat_mat.clear();
         self.ct_add_vec.clear();
@@ -208,6 +399,216 @@ impl DdPackage {
         self.ct_inner.clear();
         self.ct_trace.clear();
         self.vnorm_cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Roots, garbage collection and memory telemetry
+    // ------------------------------------------------------------------
+
+    /// Registers a vector edge as a garbage-collection root (refcounted).
+    ///
+    /// Protect every edge you hold across other package operations; balance
+    /// with [`unprotect_vector`](Self::unprotect_vector).
+    pub fn protect_vector(&mut self, e: VEdge) {
+        if !e.is_terminal() {
+            *self.vroots.entry(e.node.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one protection of a vector edge.
+    pub fn unprotect_vector(&mut self, e: VEdge) {
+        if e.is_terminal() {
+            return;
+        }
+        if let Some(count) = self.vroots.get_mut(&e.node.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.vroots.remove(&e.node.0);
+            }
+        } else {
+            debug_assert!(false, "unprotect_vector without matching protect");
+        }
+    }
+
+    /// Registers a matrix edge as a garbage-collection root (refcounted).
+    pub fn protect_matrix(&mut self, e: MEdge) {
+        if !e.is_terminal() {
+            *self.mroots.entry(e.node.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one protection of a matrix edge.
+    pub fn unprotect_matrix(&mut self, e: MEdge) {
+        if e.is_terminal() {
+            return;
+        }
+        if let Some(count) = self.mroots.get_mut(&e.node.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.mroots.remove(&e.node.0);
+            }
+        } else {
+            debug_assert!(false, "unprotect_matrix without matching protect");
+        }
+    }
+
+    /// The automatic-collection threshold currently in force.
+    pub fn gc_threshold(&self) -> Option<usize> {
+        self.gc_threshold
+    }
+
+    /// Replaces the automatic-collection threshold (`None` disables).
+    pub fn set_gc_threshold(&mut self, threshold: Option<usize>) {
+        self.gc_threshold = threshold;
+    }
+
+    /// Mark-and-sweep collection from the registered roots (plus the
+    /// identity and gate caches). Returns the number of reclaimed nodes.
+    ///
+    /// Node-keyed compute tables are invalidated because freed arena slots
+    /// are recycled under the same ids.
+    pub fn garbage_collect(&mut self) -> usize {
+        self.collect_garbage(&[], &[])
+    }
+
+    /// [`garbage_collect`](Self::garbage_collect) with additional temporary
+    /// roots — the operand edges of an in-flight operation entry point.
+    pub fn collect_garbage(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
+        // --- mark ---------------------------------------------------------
+        let mut vmark = vec![false; self.vnodes.len()];
+        let mut mmark = vec![false; self.mnodes.len()];
+        for &id in self.vroots.keys() {
+            mark_vector(&self.vnodes, &mut vmark, NodeId(id));
+        }
+        for e in keep_vectors {
+            if !e.is_zero() {
+                mark_vector(&self.vnodes, &mut vmark, e.node);
+            }
+        }
+        for &id in self.mroots.keys() {
+            mark_matrix(&self.mnodes, &mut mmark, NodeId(id));
+        }
+        for e in keep_matrices {
+            if !e.is_zero() {
+                mark_matrix(&self.mnodes, &mut mmark, e.node);
+            }
+        }
+        for e in &self.ident_cache {
+            if !e.is_zero() {
+                mark_matrix(&self.mnodes, &mut mmark, e.node);
+            }
+        }
+        for (_, e) in self.gate_cache.entries() {
+            if !e.is_zero() {
+                mark_matrix(&self.mnodes, &mut mmark, e.node);
+            }
+        }
+
+        // --- sweep --------------------------------------------------------
+        let mut reclaimed = 0usize;
+        for (idx, marked) in vmark.iter().enumerate() {
+            if !marked && !self.vnodes[idx].is_free() {
+                self.vnodes[idx] = VNode::FREE;
+                self.vfree.push(idx as u32);
+                reclaimed += 1;
+            }
+        }
+        for (idx, marked) in mmark.iter().enumerate() {
+            if !marked && !self.mnodes[idx].is_free() {
+                self.mnodes[idx] = MNode::FREE;
+                self.mfree.push(idx as u32);
+                reclaimed += 1;
+            }
+        }
+
+        // --- rebuild the per-level unique tables --------------------------
+        let (vnodes, vunique) = (&self.vnodes, &mut self.vunique);
+        for table in vunique.iter_mut() {
+            table.clear();
+        }
+        for (idx, node) in vnodes.iter().enumerate() {
+            if !node.is_free() {
+                vunique[node.var as usize].insert(fx_hash(node), idx as u32, |id| {
+                    fx_hash(&vnodes[id as usize])
+                });
+            }
+        }
+        let (mnodes, munique) = (&self.mnodes, &mut self.munique);
+        for table in munique.iter_mut() {
+            table.clear();
+        }
+        for (idx, node) in mnodes.iter().enumerate() {
+            if !node.is_free() {
+                munique[node.var as usize].insert(fx_hash(node), idx as u32, |id| {
+                    fx_hash(&mnodes[id as usize])
+                });
+            }
+        }
+
+        self.clear_node_keyed_caches();
+        self.gc_runs += 1;
+        self.reclaimed_nodes += reclaimed as u64;
+        reclaimed
+    }
+
+    /// Automatic-collection check at an operation safe point. The operands
+    /// of the operation about to run are passed as temporary roots.
+    #[inline]
+    fn maybe_gc(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) {
+        let Some(threshold) = self.gc_threshold else {
+            return;
+        };
+        if self.exceeded.is_some() || self.live_nodes() < threshold {
+            return;
+        }
+        let reclaimed = self.collect_garbage(keep_vectors, keep_matrices);
+        // Mostly-live heap: double the threshold instead of thrashing.
+        if reclaimed * 4 < threshold {
+            self.gc_threshold = Some(threshold.saturating_mul(2));
+        }
+    }
+
+    /// Memory-system telemetry (see [`MemoryStats`]).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut compute_lookups = 0;
+        let mut compute_hits = 0;
+        for counters in self.compute_table_counters() {
+            compute_lookups += counters.lookups;
+            compute_hits += counters.hits;
+        }
+        let gate = self.gate_cache.counters();
+        MemoryStats {
+            live_vector_nodes: self.vnodes.len() - self.vfree.len(),
+            live_matrix_nodes: self.mnodes.len() - self.mfree.len(),
+            peak_nodes: self.peak_nodes,
+            allocated_nodes: self.allocated_nodes,
+            reclaimed_nodes: self.reclaimed_nodes,
+            gc_runs: self.gc_runs,
+            complex_values: self.ctab.len(),
+            compute_lookups,
+            compute_hits,
+            gate_lookups: gate.lookups,
+            gate_hits: gate.hits,
+        }
+    }
+
+    /// Per-table hit/lookup counters of the eight compute tables.
+    pub fn compute_table_counters(&self) -> [CacheCounters; 8] {
+        [
+            self.ct_mat_vec.counters(),
+            self.ct_mat_mat.counters(),
+            self.ct_add_vec.counters(),
+            self.ct_add_mat.counters(),
+            self.ct_transpose.counters(),
+            self.ct_inner.counters(),
+            self.ct_trace.counters(),
+            self.vnorm_cache.counters(),
+        ]
+    }
+
+    /// Counters of the gate-diagram cache.
+    pub fn gate_cache_counters(&self) -> CacheCounters {
+        self.gate_cache.counters()
     }
 
     // ------------------------------------------------------------------
@@ -282,15 +683,35 @@ impl DdPackage {
             }
         }
         let node = VNode { var, children };
-        let id = if let Some(&id) = self.vunique.get(&node) {
-            id
-        } else {
-            let id = NodeId(self.vnodes.len() as u32);
-            self.vnodes.push(node);
-            self.vunique.insert(node, id);
-            id
-        };
+        let id = self.intern_vnode(node);
         VEdge::new(id, top)
+    }
+
+    /// Hash-conses a vector node: returns the existing id or allocates one
+    /// (recycling a freed arena slot when available).
+    fn intern_vnode(&mut self, node: VNode) -> NodeId {
+        let level = node.var as usize;
+        let hash = fx_hash(&node);
+        let vnodes = &self.vnodes;
+        if let Some(id) = self.vunique[level].find(hash, |id| vnodes[id as usize] == node) {
+            return NodeId(id);
+        }
+        let idx = match self.vfree.pop() {
+            Some(idx) => {
+                self.vnodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                let idx = self.vnodes.len() as u32;
+                self.vnodes.push(node);
+                idx
+            }
+        };
+        self.allocated_nodes += 1;
+        self.peak_nodes = self.peak_nodes.max(self.live_nodes());
+        let (vnodes, vunique) = (&self.vnodes, &mut self.vunique);
+        vunique[level].insert(hash, idx, |id| fx_hash(&vnodes[id as usize]));
+        NodeId(idx)
     }
 
     /// Creates (or reuses) a matrix node.
@@ -324,15 +745,34 @@ impl DdPackage {
             }
         }
         let node = MNode { var, children };
-        let id = if let Some(&id) = self.munique.get(&node) {
-            id
-        } else {
-            let id = NodeId(self.mnodes.len() as u32);
-            self.mnodes.push(node);
-            self.munique.insert(node, id);
-            id
-        };
+        let id = self.intern_mnode(node);
         MEdge::new(id, top)
+    }
+
+    /// Hash-conses a matrix node; see [`intern_vnode`](Self::intern_vnode).
+    fn intern_mnode(&mut self, node: MNode) -> NodeId {
+        let level = node.var as usize;
+        let hash = fx_hash(&node);
+        let mnodes = &self.mnodes;
+        if let Some(id) = self.munique[level].find(hash, |id| mnodes[id as usize] == node) {
+            return NodeId(id);
+        }
+        let idx = match self.mfree.pop() {
+            Some(idx) => {
+                self.mnodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                let idx = self.mnodes.len() as u32;
+                self.mnodes.push(node);
+                idx
+            }
+        };
+        self.allocated_nodes += 1;
+        self.peak_nodes = self.peak_nodes.max(self.live_nodes());
+        let (mnodes, munique) = (&self.mnodes, &mut self.munique);
+        munique[level].insert(hash, idx, |id| fx_hash(&mnodes[id as usize]));
+        NodeId(idx)
     }
 
     #[inline]
@@ -534,14 +974,42 @@ impl DdPackage {
     /// Builds the matrix decision diagram of a (multi-)controlled
     /// single-qubit gate acting on `target`.
     ///
+    /// Gate diagrams are cached by `(matrix bits, target, controls)`, so the
+    /// repeated controlled rotations of QFT/QPE-style circuits build each
+    /// diagram once. Cached diagrams are garbage-collection roots and stay
+    /// valid across collections.
+    ///
     /// # Panics
     ///
     /// Panics if `target` or any control is out of range, or if a control
     /// coincides with the target.
+    pub fn make_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) -> MEdge {
+        // Hash the borrowed parts so a cache hit allocates nothing; the
+        // owned key is only built on a miss.
+        let matrix = gates::matrix_bits(u);
+        let hash = fx_hash(&(&matrix, target as u32, controls));
+        let hit = self.gate_cache.get_by(hash, |k| {
+            k.matrix == matrix && k.target == target as u32 && k.controls == controls
+        });
+        if let Some(cached) = hit {
+            return cached;
+        }
+        let e = self.build_gate(u, target, controls);
+        if self.exceeded.is_none() {
+            let key = GateKey {
+                matrix,
+                target: target as u32,
+                controls: controls.to_vec(),
+            };
+            self.gate_cache.insert_hashed(hash, key, e);
+        }
+        e
+    }
+
     // The explicit level indices mirror the textbook construction; an
     // enumerate-based rewrite would obscure the wrap-above/wrap-below split.
     #[allow(clippy::needless_range_loop)]
-    pub fn make_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) -> MEdge {
+    fn build_gate(&mut self, u: &GateMatrix, target: usize, controls: &[Control]) -> MEdge {
         let n = self.n_qubits;
         assert!(target < n, "gate target {target} out of range");
         let mut ctrl: Vec<Option<bool>> = vec![None; n];
@@ -710,7 +1178,15 @@ impl DdPackage {
     // ------------------------------------------------------------------
 
     /// Adds two vector decision diagrams.
+    ///
+    /// This is a garbage-collection safe point: `a` and `b` are protected
+    /// for the duration of the operation.
     pub fn add_vectors(&mut self, a: VEdge, b: VEdge) -> VEdge {
+        self.maybe_gc(&[a, b], &[]);
+        self.add_vectors_rec(a, b)
+    }
+
+    fn add_vectors_rec(&mut self, a: VEdge, b: VEdge) -> VEdge {
         if self.exceeded.is_some() {
             return VEdge::ZERO;
         }
@@ -731,7 +1207,7 @@ impl DdPackage {
         debug_assert!(!a.is_terminal() && !b.is_terminal());
         let ratio = self.ctab.div(b.weight, a.weight);
         let key = (a.node, b.node, ratio);
-        if let Some(&cached) = self.ct_add_vec.get(&key) {
+        if let Some(cached) = self.ct_add_vec.get(&key) {
             let w = self.ctab.mul(cached.weight, a.weight);
             return if w.is_zero() {
                 VEdge::ZERO
@@ -746,7 +1222,7 @@ impl DdPackage {
         for (i, child) in children.iter_mut().enumerate() {
             let bw = self.ctab.mul(bn.children[i].weight, ratio);
             let bc = bn.children[i].with_weight(bw);
-            *child = self.add_vectors(an.children[i], bc);
+            *child = self.add_vectors_rec(an.children[i], bc);
         }
         let result = self.make_vnode(an.var, children);
         if self.exceeded.is_none() {
@@ -761,7 +1237,15 @@ impl DdPackage {
     }
 
     /// Adds two matrix decision diagrams.
+    ///
+    /// This is a garbage-collection safe point: `a` and `b` are protected
+    /// for the duration of the operation.
     pub fn add_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        self.maybe_gc(&[], &[a, b]);
+        self.add_matrices_rec(a, b)
+    }
+
+    fn add_matrices_rec(&mut self, a: MEdge, b: MEdge) -> MEdge {
         if self.exceeded.is_some() {
             return MEdge::ZERO;
         }
@@ -782,7 +1266,7 @@ impl DdPackage {
         debug_assert!(!a.is_terminal() && !b.is_terminal());
         let ratio = self.ctab.div(b.weight, a.weight);
         let key = (a.node, b.node, ratio);
-        if let Some(&cached) = self.ct_add_mat.get(&key) {
+        if let Some(cached) = self.ct_add_mat.get(&key) {
             let w = self.ctab.mul(cached.weight, a.weight);
             return if w.is_zero() {
                 MEdge::ZERO
@@ -797,7 +1281,7 @@ impl DdPackage {
         for (i, child) in children.iter_mut().enumerate() {
             let bw = self.ctab.mul(bn.children[i].weight, ratio);
             let bc = bn.children[i].with_weight(bw);
-            *child = self.add_matrices(an.children[i], bc);
+            *child = self.add_matrices_rec(an.children[i], bc);
         }
         let result = self.make_mnode(an.var, children);
         if self.exceeded.is_none() {
@@ -812,7 +1296,15 @@ impl DdPackage {
     }
 
     /// Applies a matrix decision diagram to a vector decision diagram.
+    ///
+    /// This is a garbage-collection safe point: `m` and `v` are protected
+    /// for the duration of the operation.
     pub fn mul_mat_vec(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        self.maybe_gc(&[v], &[m]);
+        self.mul_mat_vec_rec(m, v)
+    }
+
+    fn mul_mat_vec_rec(&mut self, m: MEdge, v: VEdge) -> VEdge {
         if self.exceeded.is_some() {
             return VEdge::ZERO;
         }
@@ -825,7 +1317,7 @@ impl DdPackage {
         }
         debug_assert!(!m.is_terminal() && !v.is_terminal());
         let key = (m.node, v.node);
-        let result = if let Some(&cached) = self.ct_mat_vec.get(&key) {
+        let result = if let Some(cached) = self.ct_mat_vec.get(&key) {
             cached
         } else {
             let mn = self.mnode(m.node);
@@ -835,8 +1327,9 @@ impl DdPackage {
             for (row, child) in children.iter_mut().enumerate() {
                 let mut acc = VEdge::ZERO;
                 for col in 0..2 {
-                    let product = self.mul_mat_vec(mn.children[row * 2 + col], vn.children[col]);
-                    acc = self.add_vectors(acc, product);
+                    let product =
+                        self.mul_mat_vec_rec(mn.children[row * 2 + col], vn.children[col]);
+                    acc = self.add_vectors_rec(acc, product);
                 }
                 *child = acc;
             }
@@ -856,7 +1349,15 @@ impl DdPackage {
     }
 
     /// Multiplies two matrix decision diagrams (`a · b`).
+    ///
+    /// This is a garbage-collection safe point: `a` and `b` are protected
+    /// for the duration of the operation.
     pub fn mul_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        self.maybe_gc(&[], &[a, b]);
+        self.mul_matrices_rec(a, b)
+    }
+
+    fn mul_matrices_rec(&mut self, a: MEdge, b: MEdge) -> MEdge {
         if self.exceeded.is_some() {
             return MEdge::ZERO;
         }
@@ -869,7 +1370,7 @@ impl DdPackage {
         }
         debug_assert!(!a.is_terminal() && !b.is_terminal());
         let key = (a.node, b.node);
-        let result = if let Some(&cached) = self.ct_mat_mat.get(&key) {
+        let result = if let Some(cached) = self.ct_mat_mat.get(&key) {
             cached
         } else {
             let an = self.mnode(a.node);
@@ -880,9 +1381,9 @@ impl DdPackage {
                 for col in 0..2 {
                     let mut acc = MEdge::ZERO;
                     for k in 0..2 {
-                        let product =
-                            self.mul_matrices(an.children[row * 2 + k], bn.children[k * 2 + col]);
-                        acc = self.add_matrices(acc, product);
+                        let product = self
+                            .mul_matrices_rec(an.children[row * 2 + k], bn.children[k * 2 + col]);
+                        acc = self.add_matrices_rec(acc, product);
                     }
                     children[row * 2 + col] = acc;
                 }
@@ -903,7 +1404,15 @@ impl DdPackage {
     }
 
     /// Complex-conjugate transpose of a matrix decision diagram.
+    ///
+    /// This is a garbage-collection safe point: `m` is protected for the
+    /// duration of the operation.
     pub fn conjugate_transpose(&mut self, m: MEdge) -> MEdge {
+        self.maybe_gc(&[], &[m]);
+        self.conjugate_transpose_rec(m)
+    }
+
+    fn conjugate_transpose_rec(&mut self, m: MEdge) -> MEdge {
         if self.exceeded.is_some() {
             return MEdge::ZERO;
         }
@@ -915,7 +1424,7 @@ impl DdPackage {
                 MEdge::terminal(w)
             };
         }
-        let result = if let Some(&cached) = self.ct_transpose.get(&m.node) {
+        let result = if let Some(cached) = self.ct_transpose.get(&m.node) {
             cached
         } else {
             let node = self.mnode(m.node);
@@ -927,7 +1436,7 @@ impl DdPackage {
             ];
             let mut children = [MEdge::ZERO; 4];
             for (i, child) in children.iter_mut().enumerate() {
-                *child = self.conjugate_transpose(transposed[i]);
+                *child = self.conjugate_transpose_rec(transposed[i]);
             }
             let r = self.make_mnode(node.var, children);
             if self.exceeded.is_none() {
@@ -971,7 +1480,7 @@ impl DdPackage {
         }
         debug_assert!(!a.is_terminal() && !b.is_terminal());
         let key = (a.node, b.node);
-        let inner = if let Some(&cached) = self.ct_inner.get(&key) {
+        let inner = if let Some(cached) = self.ct_inner.get(&key) {
             cached
         } else {
             let an = self.vnode(a.node);
@@ -1005,7 +1514,7 @@ impl DdPackage {
         if node.is_terminal() {
             return 1.0;
         }
-        if let Some(&cached) = self.vnorm_cache.get(&node) {
+        if let Some(cached) = self.vnorm_cache.get(&node) {
             return cached;
         }
         let n = self.vnode(node);
@@ -1030,7 +1539,7 @@ impl DdPackage {
         if m.is_terminal() {
             return scale;
         }
-        let inner = if let Some(&cached) = self.ct_trace.get(&m.node) {
+        let inner = if let Some(cached) = self.ct_trace.get(&m.node) {
             cached
         } else {
             let node = self.mnode(m.node);
@@ -1220,6 +1729,41 @@ impl DdPackage {
         let node = self.mnode(e.node);
         for child in node.children {
             self.msize_rec(child, seen);
+        }
+    }
+}
+
+/// Marks every vector node reachable from `id` (recursion depth is bounded
+/// by the number of qubit levels).
+fn mark_vector(nodes: &[VNode], marks: &mut [bool], id: NodeId) {
+    if id.is_terminal() {
+        return;
+    }
+    let idx = id.index();
+    if marks[idx] {
+        return;
+    }
+    marks[idx] = true;
+    for child in nodes[idx].children {
+        if !child.is_zero() {
+            mark_vector(nodes, marks, child.node);
+        }
+    }
+}
+
+/// Marks every matrix node reachable from `id`.
+fn mark_matrix(nodes: &[MNode], marks: &mut [bool], id: NodeId) {
+    if id.is_terminal() {
+        return;
+    }
+    let idx = id.index();
+    if marks[idx] {
+        return;
+    }
+    marks[idx] = true;
+    for child in nodes[idx].children {
+        if !child.is_zero() {
+            mark_matrix(nodes, marks, child.node);
         }
     }
 }
@@ -1632,5 +2176,159 @@ mod tests {
         let _ = p.zero_state();
         assert!(p.stats().vector_nodes > 0);
         assert!(p.stats().complex_values >= 2);
+    }
+
+    #[test]
+    fn garbage_collect_reclaims_unprotected_nodes() {
+        let mut p = DdPackage::new(4);
+        let mut state = p.zero_state();
+        for round in 0..8 {
+            for q in 0..4 {
+                state = p.apply_gate(state, &gates::ry(0.3 + round as f64 + q as f64), q, &[]);
+            }
+        }
+        let before = p.stats().vector_nodes;
+        p.protect_vector(state);
+        let reclaimed = p.garbage_collect();
+        assert!(reclaimed > 0, "intermediate states should be garbage");
+        assert!(p.stats().vector_nodes < before);
+        // The protected state is still intact and normalised.
+        assert!((p.norm_sqr(state) - 1.0).abs() < 1e-9);
+        // A second collection with unchanged roots finds nothing new.
+        assert_eq!(p.garbage_collect(), 0);
+        p.unprotect_vector(state);
+        assert!(p.garbage_collect() > 0);
+        assert_eq!(p.stats().vector_nodes, 0);
+    }
+
+    #[test]
+    fn collected_slots_are_recycled_and_canonicity_survives() {
+        let mut p = DdPackage::new(3);
+        let mut state = p.zero_state();
+        for q in 0..3 {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+            state = p.apply_gate(state, &gates::phase(0.4 * (q + 1) as f64), q, &[]);
+        }
+        p.protect_vector(state);
+        p.garbage_collect();
+        let arena_len = p.vnodes.len();
+        // Re-applying the same gates must reproduce the identical edge via
+        // hash-consing, reusing freed slots instead of growing the arena.
+        let mut rebuilt = p.zero_state();
+        for q in 0..3 {
+            rebuilt = p.apply_gate(rebuilt, &gates::h(), q, &[]);
+            rebuilt = p.apply_gate(rebuilt, &gates::phase(0.4 * (q + 1) as f64), q, &[]);
+        }
+        assert_eq!(state, rebuilt);
+        assert!(p.vnodes.len() <= arena_len.max(8));
+    }
+
+    #[test]
+    fn automatic_gc_bounds_live_nodes() {
+        let config = MemoryConfig {
+            gc_threshold: Some(512),
+            ..Default::default()
+        };
+        let mut p = DdPackage::with_config(6, Budget::unlimited(), config);
+        let mut state = p.zero_state();
+        for round in 0..40 {
+            for q in 0..6 {
+                let angle = 0.1 + 0.37 * (round * 6 + q) as f64;
+                state = p.apply_gate(state, &gates::ry(angle), q, &[]);
+            }
+        }
+        let stats = p.memory_stats();
+        assert!(stats.gc_runs > 0, "threshold should have triggered GC");
+        assert!(stats.reclaimed_nodes > 0);
+        // The live heap stays near the (possibly adaptively doubled)
+        // threshold instead of growing with the circuit length.
+        let threshold = p.gc_threshold().unwrap();
+        assert!(stats.peak_nodes < 2 * threshold + 512);
+        assert!((p.norm_sqr(state) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_and_gate_caches_survive_collection() {
+        let mut p = DdPackage::new(3);
+        let ident = p.identity();
+        let gate = p.make_gate(&gates::h(), 1, &[Control::pos(0)]);
+        p.garbage_collect();
+        // Both caches are roots: the cached edges still compare and behave
+        // identically after the sweep.
+        assert_eq!(p.identity(), ident);
+        assert_eq!(p.make_gate(&gates::h(), 1, &[Control::pos(0)]), gate);
+        assert!(p.is_identity(ident, false));
+    }
+
+    #[test]
+    fn gate_cache_hits_on_repeated_gates() {
+        let mut p = DdPackage::new(4);
+        let before = p.gate_cache_counters();
+        let first = p.make_gate(&gates::phase(0.77), 2, &[Control::pos(0)]);
+        for _ in 0..10 {
+            assert_eq!(
+                p.make_gate(&gates::phase(0.77), 2, &[Control::pos(0)]),
+                first
+            );
+        }
+        let after = p.gate_cache_counters();
+        assert_eq!(after.lookups - before.lookups, 11);
+        assert_eq!(after.hits - before.hits, 10);
+        // A different placement misses.
+        let other = p.make_gate(&gates::phase(0.77), 2, &[Control::neg(0)]);
+        assert_ne!(other, first);
+    }
+
+    #[test]
+    fn compute_tables_report_hits() {
+        let mut p = DdPackage::new(4);
+        let mut state = p.zero_state();
+        for q in 0..4 {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+        }
+        for q in 0..4 {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+        }
+        let stats = p.memory_stats();
+        assert!(stats.compute_lookups > 0);
+        assert!(stats.compute_hits > 0);
+        let rate = stats.compute_hit_rate().unwrap();
+        assert!(rate > 0.0 && rate <= 1.0);
+        let names: Vec<_> = p.compute_table_counters().iter().map(|c| c.name).collect();
+        assert!(names.contains(&"mat_vec"));
+        assert!(names.contains(&"vnorm"));
+    }
+
+    #[test]
+    fn deadline_trips_during_construction() {
+        use crate::limits::{Budget, LimitExceeded};
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let mut p = DdPackage::with_budget(10, budget);
+        let mut state = p.zero_state();
+        for round in 0..64 {
+            for q in 0..10 {
+                state = p.apply_gate(state, &gates::ry(0.21 + (round * 10 + q) as f64), q, &[]);
+            }
+            if p.limit_exceeded().is_some() {
+                break;
+            }
+        }
+        assert_eq!(p.limit_exceeded(), Some(LimitExceeded::Deadline));
+    }
+
+    #[test]
+    fn merged_memory_stats_accumulate() {
+        let mut a = DdPackage::new(2);
+        let mut b = DdPackage::new(2);
+        let s = a.zero_state();
+        let _ = a.apply_gate(s, &gates::h(), 0, &[]);
+        let t = b.zero_state();
+        let _ = b.apply_gate(t, &gates::x(), 1, &[]);
+        let merged = a.memory_stats().merged_with(&b.memory_stats());
+        assert_eq!(
+            merged.allocated_nodes,
+            a.memory_stats().allocated_nodes + b.memory_stats().allocated_nodes
+        );
+        assert!(merged.peak_nodes >= a.memory_stats().peak_nodes);
     }
 }

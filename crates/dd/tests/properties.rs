@@ -1,7 +1,7 @@
 //! Property-based tests validating the decision-diagram algebra against
 //! straightforward dense linear algebra on small registers.
 
-use dd::{gates, Complex, Control, DdPackage, GateMatrix};
+use dd::{gates, Budget, Complex, Control, DdPackage, GateMatrix, MemoryConfig};
 use proptest::prelude::*;
 
 /// A randomly chosen (controlled) single-qubit gate description.
@@ -307,4 +307,92 @@ proptest! {
         let b = p.intern(Complex::new(re, im));
         prop_assert_eq!(a, b);
     }
+
+    /// Garbage collection preserves canonicity: after protecting the final
+    /// state and collecting, re-interning the same circuit (through recycled
+    /// arena slots) reproduces the *identical* edge, and the amplitudes
+    /// match an untouched package's.
+    #[test]
+    fn gc_preserves_canonicity(circuit in random_circuit(N, 12)) {
+        let mut p = DdPackage::new(N);
+        let mut state = p.zero_state();
+        for g in &circuit {
+            state = p.apply_gate(state, &g.matrix(), g.target, &g.controls());
+        }
+        p.protect_vector(state);
+        p.garbage_collect();
+        let mut rebuilt = p.zero_state();
+        for g in &circuit {
+            rebuilt = p.apply_gate(rebuilt, &g.matrix(), g.target, &g.controls());
+        }
+        prop_assert_eq!(state, rebuilt);
+
+        let mut reference = DdPackage::new(N);
+        let mut ref_state = reference.zero_state();
+        for g in &circuit {
+            ref_state = reference.apply_gate(ref_state, &g.matrix(), g.target, &g.controls());
+        }
+        prop_assert!(approx_vec_eq(&p.amplitudes(state), &reference.amplitudes(ref_state)));
+    }
+
+    /// Lossy compute-table eviction never changes results: a package whose
+    /// caches are at the minimum size (maximum eviction pressure) computes
+    /// the same amplitudes as one with default-sized caches.
+    #[test]
+    fn lossy_eviction_preserves_results(circuit in random_circuit(N, 12)) {
+        let tiny = MemoryConfig {
+            binary_cache_bits: 1,
+            unary_cache_bits: 1,
+            gate_cache_bits: 1,
+            gc_threshold: None,
+        };
+        let mut small = DdPackage::with_config(N, Budget::unlimited(), tiny);
+        let mut large = DdPackage::new(N);
+        let mut small_state = small.zero_state();
+        let mut large_state = large.zero_state();
+        for g in &circuit {
+            small_state = small.apply_gate(small_state, &g.matrix(), g.target, &g.controls());
+            large_state = large.apply_gate(large_state, &g.matrix(), g.target, &g.controls());
+        }
+        prop_assert!(approx_vec_eq(&small.amplitudes(small_state), &large.amplitudes(large_state)));
+        prop_assert!((small.norm_sqr(small_state) - 1.0).abs() < 1e-8);
+    }
+}
+
+/// Regression: a long repeated-gate circuit's peak node count stays bounded
+/// with GC enabled, at least 4x below the unbounded no-GC arena.
+#[test]
+fn repeated_gate_circuit_peak_nodes_stay_bounded() {
+    const QUBITS: usize = 8;
+    const ROUNDS: usize = 60;
+    let run = |gc_threshold: Option<usize>| {
+        let config = MemoryConfig {
+            gc_threshold,
+            ..Default::default()
+        };
+        let mut p = DdPackage::with_config(QUBITS, Budget::unlimited(), config);
+        let mut state = p.zero_state();
+        for q in 0..QUBITS {
+            state = p.apply_gate(state, &gates::h(), q, &[]);
+        }
+        for round in 0..ROUNDS {
+            for q in 1..QUBITS {
+                let angle = 0.1 + 0.37 * (round * QUBITS + q) as f64;
+                state = p.apply_gate(state, &gates::phase(angle), q, &[Control::pos(q - 1)]);
+                state = p.apply_gate(state, &gates::ry(angle), q, &[]);
+            }
+        }
+        assert!((p.norm_sqr(state) - 1.0).abs() < 1e-8);
+        p.memory_stats()
+    };
+    let without_gc = run(None);
+    let with_gc = run(Some(2048));
+    assert_eq!(without_gc.gc_runs, 0);
+    assert!(with_gc.gc_runs > 0, "threshold should have triggered GC");
+    assert!(
+        with_gc.peak_nodes * 4 <= without_gc.peak_nodes,
+        "GC peak {} should be at least 4x below the no-GC peak {}",
+        with_gc.peak_nodes,
+        without_gc.peak_nodes
+    );
 }

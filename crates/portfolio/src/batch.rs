@@ -219,6 +219,10 @@ pub struct PairReport {
     pub total_time: Duration,
     /// Peak decision-diagram node count across all schemes of this pair.
     pub peak_nodes: Option<usize>,
+    /// Decision-diagram garbage-collection runs summed over all schemes.
+    pub gc_runs: usize,
+    /// Best compute-table hit rate any scheme of this pair reported.
+    pub cache_hit_rate: Option<f64>,
     /// Per-scheme telemetry.
     pub schemes: Vec<SchemeReport>,
     /// Load/parse failure, when the pair never ran.
@@ -236,6 +240,8 @@ pub struct BatchReport {
     pub pairs_equivalent: usize,
     /// Pairs that failed to load or produced no information.
     pub pairs_failed: usize,
+    /// Decision-diagram garbage-collection runs summed over the whole batch.
+    pub gc_runs_total: usize,
     /// Wall time of the whole batch (seconds in JSON).
     pub total_time: Duration,
     /// Per-pair reports, in manifest order.
@@ -253,6 +259,8 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         time_to_verdict: Duration::ZERO,
         total_time: Duration::ZERO,
         peak_nodes: None,
+        gc_runs: 0,
+        cache_hit_rate: None,
         schemes: Vec::new(),
         error: Some(error),
     }
@@ -293,6 +301,14 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
         time_to_verdict: result.time_to_verdict,
         total_time: result.total_time,
         peak_nodes: result.schemes.iter().filter_map(|s| s.peak_nodes).max(),
+        gc_runs: result.schemes.iter().filter_map(|s| s.gc_runs).sum(),
+        cache_hit_rate: result
+            .schemes
+            .iter()
+            .filter_map(|s| s.cache_hit_rate)
+            .fold(None, |best: Option<f64>, rate| {
+                Some(best.map_or(rate, |b| b.max(rate)))
+            }),
         schemes: result.schemes,
         error: None,
     }
@@ -336,6 +352,7 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
             .iter()
             .filter(|p| p.error.is_some() || p.verdict == Equivalence::NoInformation)
             .count(),
+        gc_runs_total: pairs.iter().map(|p| p.gc_runs).sum(),
         total_time: start.elapsed(),
         pairs,
     }

@@ -9,6 +9,7 @@
 //!   --workers N       pair-level worker threads (default: cores / 4)
 //!   --node-limit N    per-scheme decision-diagram node budget
 //!   --leaf-limit N    extraction leaf budget for the fixed-input scheme
+//!   --deadline SECS   wall-clock deadline per pair (fractional seconds ok)
 //!   --compact         emit compact instead of pretty-printed JSON
 //! ```
 //!
@@ -25,6 +26,7 @@ struct Args {
     workers: Option<usize>,
     node_limit: Option<usize>,
     leaf_limit: Option<usize>,
+    deadline: Option<f64>,
     compact: bool,
 }
 
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         workers: None,
         node_limit: None,
         leaf_limit: None,
+        deadline: None,
         compact: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -69,11 +72,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "invalid --leaf-limit")?,
                 )
             }
+            "--deadline" => {
+                let seconds: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| "invalid --deadline")?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".to_string());
+                }
+                args.deadline = Some(seconds);
+            }
             "--compact" => args.compact = true,
             "--help" | "-h" => {
                 println!(
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
-                     [--node-limit N] [--leaf-limit N] [--compact]"
+                     [--node-limit N] [--leaf-limit N] [--deadline SECS] [--compact]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +123,7 @@ fn main() {
     }
     options.portfolio.node_limit = args.node_limit;
     options.portfolio.leaf_limit = args.leaf_limit;
+    options.portfolio.deadline = args.deadline.map(std::time::Duration::from_secs_f64);
 
     let report = run_batch(&manifest, &options);
     for pair in &report.pairs {

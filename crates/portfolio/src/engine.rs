@@ -1,6 +1,7 @@
 //! The scheme-racing engine.
 
 use circuit::QuantumCircuit;
+use dd::MemoryStats;
 use dd::{Budget, CancelToken, LimitExceeded};
 use qcec::{
     check_functional_equivalence_with, check_simulative_equivalence_with,
@@ -71,6 +72,9 @@ pub struct PortfolioConfig {
     pub node_limit: Option<usize>,
     /// Optional leaf budget for the fixed-input scheme.
     pub leaf_limit: Option<usize>,
+    /// Optional wall-clock deadline per race, enforced inside decision-
+    /// diagram allocation (reported as a scheme error when it trips).
+    pub deadline: Option<Duration>,
 }
 
 /// Telemetry of one scheme's run inside a portfolio.
@@ -92,6 +96,11 @@ pub struct SchemeReport {
     /// Peak decision-diagram size observed (miter size for functional
     /// schemes, extraction leaves for the fixed-input scheme).
     pub peak_nodes: Option<usize>,
+    /// Fraction of decision-diagram compute-table lookups served from the
+    /// lossy caches, when the scheme ran far enough to report it.
+    pub cache_hit_rate: Option<f64>,
+    /// Decision-diagram garbage-collection runs during the scheme.
+    pub gc_runs: Option<usize>,
 }
 
 /// Outcome of a portfolio race.
@@ -160,7 +169,7 @@ pub fn run_scheme(
     budget: &Budget,
 ) -> SchemeReport {
     let start = Instant::now();
-    let (verdict, peak_nodes, error, cancelled) = match scheme {
+    let (verdict, peak_nodes, error, cancelled, memory) = match scheme {
         Scheme::Functional(strategy) => {
             let configuration = Configuration {
                 strategy,
@@ -172,13 +181,20 @@ pub fn run_scheme(
                     Some(check.peak_diagram_size),
                     None,
                     false,
+                    Some(check.memory),
                 ),
                 Err(error) => classify_check_error(error),
             }
         }
         Scheme::Simulative => {
             match check_simulative_equivalence_with(left, right, &config.configuration, budget) {
-                Ok(check) => (Some(check.equivalence), None, None, false),
+                Ok(check) => (
+                    Some(check.equivalence),
+                    None,
+                    None,
+                    false,
+                    Some(check.memory),
+                ),
                 Err(error) => classify_check_error(error),
             }
         }
@@ -193,6 +209,7 @@ pub fn run_scheme(
                     Some(report.check.peak_diagram_size),
                     None,
                     false,
+                    Some(report.check.memory),
                 ),
                 Err(error) => classify_dynamic_error(error),
             }
@@ -208,7 +225,13 @@ pub fn run_scheme(
                 Ok(report) => {
                     let support =
                         report.reference_distribution.len() + report.dynamic_distribution.len();
-                    (Some(report.equivalence), Some(support), None, false)
+                    (
+                        Some(report.equivalence),
+                        Some(support),
+                        None,
+                        false,
+                        Some(report.memory),
+                    )
                 }
                 Err(error) => classify_dynamic_error(error),
             }
@@ -224,15 +247,23 @@ pub fn run_scheme(
         error,
         duration: start.elapsed(),
         peak_nodes,
+        cache_hit_rate: memory.and_then(|m| m.compute_hit_rate()),
+        gc_runs: memory.map(|m| m.gc_runs),
     }
 }
 
-type Classified = (Option<Equivalence>, Option<usize>, Option<String>, bool);
+type Classified = (
+    Option<Equivalence>,
+    Option<usize>,
+    Option<String>,
+    bool,
+    Option<MemoryStats>,
+);
 
 fn classify_check_error(error: CheckError) -> Classified {
     match error {
-        CheckError::LimitExceeded(LimitExceeded::Cancelled) => (None, None, None, true),
-        other => (None, None, Some(other.to_string()), false),
+        CheckError::LimitExceeded(LimitExceeded::Cancelled) => (None, None, None, true, None),
+        other => (None, None, Some(other.to_string()), false, None),
     }
 }
 
@@ -240,9 +271,9 @@ fn classify_dynamic_error(error: DynamicCheckError) -> Classified {
     match error {
         DynamicCheckError::Check(CheckError::LimitExceeded(LimitExceeded::Cancelled))
         | DynamicCheckError::Simulation(SimError::Interrupted(LimitExceeded::Cancelled)) => {
-            (None, None, None, true)
+            (None, None, None, true, None)
         }
-        other => (None, None, Some(other.to_string()), false),
+        other => (None, None, Some(other.to_string()), false, None),
     }
 }
 
@@ -361,6 +392,9 @@ pub fn verify_portfolio(
     };
     let cancel = CancelToken::new();
 
+    // One shared absolute deadline for the whole race, fixed up front so
+    // every scheme (including late-starting workers) counts down together.
+    let deadline_at = config.deadline.map(|timeout| Instant::now() + timeout);
     let make_budget = || {
         let mut budget = Budget::unlimited().with_cancel_token(cancel.clone());
         if let Some(max_nodes) = config.node_limit {
@@ -368,6 +402,9 @@ pub fn verify_portfolio(
         }
         if let Some(max_leaves) = config.leaf_limit {
             budget = budget.with_leaf_limit(max_leaves);
+        }
+        if let Some(at) = deadline_at {
+            budget = budget.with_deadline_at(at);
         }
         budget
     };

@@ -34,6 +34,46 @@ fn equivalent_dynamic_pair_verifies_regardless_of_winner() {
 }
 
 #[test]
+fn winning_scheme_reports_memory_telemetry() {
+    let (static_qpe, iqpe) = paper_qpe_pair();
+    let result = verify_portfolio(&static_qpe, &iqpe, &PortfolioConfig::default());
+    let winner = result.winner.expect("paper pair verifies");
+    let report = result
+        .schemes
+        .iter()
+        .find(|r| r.scheme == winner)
+        .expect("winner has a report");
+    assert!(report.gc_runs.is_some(), "winner should carry GC telemetry");
+    let rate = report
+        .cache_hit_rate
+        .expect("winner should carry a compute-table hit rate");
+    assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+}
+
+#[test]
+fn expired_deadline_stops_every_scheme() {
+    // An already-expired deadline must not crash the race: every scheme
+    // stops inside decision-diagram allocation and reports the deadline as
+    // its failure, leaving no verdict.
+    let n = 10;
+    let config = PortfolioConfig {
+        deadline: Some(std::time::Duration::ZERO),
+        ..Default::default()
+    };
+    let left = qft::qft_static(n, None, true);
+    let right = qft::qft_dynamic(n);
+    let started = std::time::Instant::now();
+    let result = verify_portfolio(&left, &right, &config);
+    assert_eq!(result.verdict, Equivalence::NoInformation);
+    assert!(result.schemes.iter().all(|r| r.verdict.is_none()));
+    assert!(result
+        .schemes
+        .iter()
+        .any(|r| r.error.as_deref().is_some_and(|e| e.contains("deadline"))));
+    assert!(started.elapsed() < std::time::Duration::from_secs(10));
+}
+
+#[test]
 fn non_equivalent_pair_is_refuted() {
     let static_bv = bv::bv_static(&[true, false, true], true);
     let dynamic_bv = bv::bv_dynamic(&[true, true, true]);

@@ -52,6 +52,9 @@ pub struct ExtractionResult {
     pub branch_points: usize,
     /// Wall-clock time of the extraction (the paper's `t_extract`).
     pub duration: Duration,
+    /// Decision-diagram memory telemetry (aggregated over all worker
+    /// packages for the parallel variant).
+    pub memory: dd::MemoryStats,
 }
 
 struct Extractor<'a> {
@@ -63,6 +66,12 @@ struct Extractor<'a> {
 }
 
 impl<'a> Extractor<'a> {
+    // Every frame of the branch walk protects the state it holds, so the
+    // package's automatic garbage collection (triggered inside gate
+    // applications deeper in the recursion) never reclaims a sibling
+    // branch's state. Error paths skip the unprotect — the whole extraction
+    // (and its package) is abandoned on error, so leaked protections are
+    // irrelevant.
     fn explore(
         &mut self,
         start: usize,
@@ -71,6 +80,7 @@ impl<'a> Extractor<'a> {
         probability: f64,
     ) -> Result<(), SimError> {
         let mut state = state;
+        self.package.protect_vector(state);
         let mut idx = start;
         while idx < self.ops.len() {
             if let Some(reason) = self.package.limit_exceeded() {
@@ -91,9 +101,12 @@ impl<'a> Extractor<'a> {
                     if apply {
                         let matrix = gate_map::gate_matrix(*gate);
                         let dd_controls = gate_map::controls(controls);
-                        state = self
+                        let next = self
                             .package
                             .apply_gate(state, &matrix, *target, &dd_controls);
+                        self.package.unprotect_vector(state);
+                        self.package.protect_vector(next);
+                        state = next;
                     }
                 }
                 OpKind::Measure { qubit, bit } => {
@@ -113,6 +126,7 @@ impl<'a> Extractor<'a> {
                         self.explore(idx + 1, collapsed, bits, branch_probability)?;
                     }
                     bits[*bit] = previous;
+                    self.package.unprotect_vector(state);
                     return Ok(());
                 }
                 OpKind::Reset { qubit } => {
@@ -132,12 +146,14 @@ impl<'a> Extractor<'a> {
                         };
                         self.explore(idx + 1, reinitialised, bits, branch_probability)?;
                     }
+                    self.package.unprotect_vector(state);
                     return Ok(());
                 }
             }
             idx += 1;
         }
         // Leaf: record the probability of this classical-bit assignment.
+        self.package.unprotect_vector(state);
         self.leaves += 1;
         if let Some(limit) = self.config.max_leaves {
             if self.leaves > limit {
@@ -259,6 +275,7 @@ pub fn extract_distribution_budgeted(
         leaves: extractor.leaves,
         branch_points,
         duration: start.elapsed(),
+        memory: extractor.package.memory_stats(),
     })
 }
 
@@ -297,7 +314,7 @@ pub fn extract_distribution_parallel(
         .map(|mask| (0..depth).map(|i| (mask >> i) & 1 == 1).collect())
         .collect();
 
-    let results: Vec<Result<(OutcomeDistribution, usize), SimError>> =
+    let results: Vec<Result<(OutcomeDistribution, usize, dd::MemoryStats), SimError>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = prefixes
                 .iter()
@@ -311,9 +328,11 @@ pub fn extract_distribution_parallel(
 
     let mut distribution = OutcomeDistribution::new(circuit.num_bits());
     let mut leaves = 0;
+    let mut memory = dd::MemoryStats::default();
     for result in results {
-        let (partial, partial_leaves) = result?;
+        let (partial, partial_leaves, partial_memory) = result?;
         leaves += partial_leaves;
+        memory = memory.merged_with(&partial_memory);
         for (outcome, p) in partial.iter() {
             distribution.add(outcome.clone(), p);
         }
@@ -323,6 +342,7 @@ pub fn extract_distribution_parallel(
         leaves,
         branch_points: branch_ops.len(),
         duration: start.elapsed(),
+        memory,
     })
 }
 
@@ -333,7 +353,7 @@ fn run_with_forced_prefix(
     circuit: &QuantumCircuit,
     forced: &[bool],
     config: &ExtractionConfig,
-) -> Result<(OutcomeDistribution, usize), SimError> {
+) -> Result<(OutcomeDistribution, usize, dd::MemoryStats), SimError> {
     struct ForcedExtractor<'a> {
         package: DdPackage,
         ops: &'a [circuit::Operation],
@@ -354,6 +374,7 @@ fn run_with_forced_prefix(
             branch_index: usize,
         ) -> Result<(), SimError> {
             let mut state = state;
+            self.package.protect_vector(state);
             let mut idx = start;
             while idx < self.ops.len() {
                 let op = &self.ops[idx];
@@ -371,9 +392,12 @@ fn run_with_forced_prefix(
                         if apply {
                             let matrix = gate_map::gate_matrix(*gate);
                             let dd_controls = gate_map::controls(controls);
-                            state = self
-                                .package
-                                .apply_gate(state, &matrix, *target, &dd_controls);
+                            let next =
+                                self.package
+                                    .apply_gate(state, &matrix, *target, &dd_controls);
+                            self.package.unprotect_vector(state);
+                            self.package.protect_vector(next);
+                            state = next;
                         }
                     }
                     OpKind::Measure { .. } | OpKind::Reset { .. } => {
@@ -420,11 +444,13 @@ fn run_with_forced_prefix(
                         if let (Some(bit), Some(previous)) = (record_bit, previous) {
                             bits[bit] = previous;
                         }
+                        self.package.unprotect_vector(state);
                         return Ok(());
                     }
                 }
                 idx += 1;
             }
+            self.package.unprotect_vector(state);
             self.leaves += 1;
             if let Some(limit) = self.config.max_leaves {
                 if self.leaves > limit {
@@ -449,7 +475,8 @@ fn run_with_forced_prefix(
     };
     let mut bits = vec![false; circuit.num_bits()];
     extractor.explore(0, state, &mut bits, 1.0, 0)?;
-    Ok((extractor.distribution, extractor.leaves))
+    let memory = extractor.package.memory_stats();
+    Ok((extractor.distribution, extractor.leaves, memory))
 }
 
 #[cfg(test)]

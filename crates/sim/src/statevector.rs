@@ -42,33 +42,28 @@ pub struct StateVectorSimulator {
 impl StateVectorSimulator {
     /// Creates a simulator for `n_qubits` qubits in the all-zeros state.
     pub fn new(n_qubits: usize) -> Self {
-        let mut package = DdPackage::new(n_qubits);
-        let state = package.zero_state();
-        StateVectorSimulator {
-            package,
-            state,
-            n_qubits,
-            measurements: Vec::new(),
-            n_bits: 0,
-            applied_gates: 0,
-        }
+        StateVectorSimulator::with_budget(n_qubits, dd::Budget::unlimited())
     }
 
     /// Creates a simulator initialised to the computational basis state given
     /// by `bits` (`bits[q]` is the value of qubit `q`).
     pub fn with_initial_state(bits: &[bool]) -> Self {
         let mut sim = StateVectorSimulator::new(bits.len());
-        sim.state = sim.package.basis_state(bits);
+        let initial = sim.package.basis_state(bits);
+        sim.set_state(initial);
         sim
     }
 
     /// Creates a simulator whose decision-diagram package observes `budget`
     /// (see [`DdPackage::with_budget`]): [`run`](Self::run) then stops with
-    /// [`SimError::Interrupted`] when the budget's cancel token fires or its
-    /// node limit trips.
+    /// [`SimError::Interrupted`] when the budget's cancel token fires, its
+    /// deadline passes or its node limit trips.
     pub fn with_budget(n_qubits: usize, budget: dd::Budget) -> Self {
         let mut package = DdPackage::with_budget(n_qubits, budget);
         let state = package.zero_state();
+        // The current state is the garbage-collection root of the simulator:
+        // everything else the package holds may be reclaimed between gates.
+        package.protect_vector(state);
         StateVectorSimulator {
             package,
             state,
@@ -83,8 +78,17 @@ impl StateVectorSimulator {
     /// [`with_initial_state`](Self::with_initial_state).
     pub fn with_budget_and_initial_state(bits: &[bool], budget: dd::Budget) -> Self {
         let mut sim = StateVectorSimulator::with_budget(bits.len(), budget);
-        sim.state = sim.package.basis_state(bits);
+        let initial = sim.package.basis_state(bits);
+        sim.set_state(initial);
         sim
+    }
+
+    /// Replaces the current state, moving the garbage-collection protection
+    /// from the old edge to the new one.
+    fn set_state(&mut self, state: VEdge) {
+        self.package.unprotect_vector(self.state);
+        self.package.protect_vector(state);
+        self.state = state;
     }
 
     /// Number of qubits.
@@ -132,9 +136,10 @@ impl StateVectorSimulator {
             } => {
                 let matrix = gate_map::gate_matrix(*gate);
                 let dd_controls = gate_map::controls(controls);
-                self.state = self
+                let next = self
                     .package
                     .apply_gate(self.state, &matrix, *target, &dd_controls);
+                self.set_state(next);
                 self.applied_gates += 1;
                 Ok(())
             }
@@ -198,6 +203,11 @@ impl StateVectorSimulator {
     /// Number of decision-diagram nodes of the current state.
     pub fn state_size(&self) -> usize {
         self.package.vector_size(self.state)
+    }
+
+    /// Memory telemetry of the backing decision-diagram package.
+    pub fn memory_stats(&self) -> dd::MemoryStats {
+        self.package.memory_stats()
     }
 
     /// Fidelity `|⟨self|other⟩|²` with another simulator state over the same
