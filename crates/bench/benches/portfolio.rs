@@ -5,8 +5,14 @@
 //! vs. iterative-dynamic). The portfolio should track the fastest scheme per
 //! instance — that is the whole point of racing them — while a fixed single
 //! scheme is sometimes the slow one.
+//!
+//! The `portfolio_shared` group additionally races the shared
+//! decision-diagram store against private per-scheme packages on the
+//! QPE/IQPE miters and records the comparison (wall times, cross-thread hit
+//! rates, peak nodes) in `BENCH_shared.json` at the repository root, so the
+//! shared-package perf trajectory is tracked across PRs.
 
-use bench::{build_instance, Family};
+use bench::{build_instance, min_wall_time, Family};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dd::Budget;
 use portfolio::{run_scheme, verify_portfolio, PortfolioConfig, Scheme};
@@ -82,9 +88,111 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shared_vs_private(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for n in [7usize, 9, 11] {
+        let instance = build_instance(Family::Qpe, n);
+        let static_circuit = &instance.static_circuit;
+        let dynamic_circuit = &instance.dynamic_circuit;
+        // Explicit schemes force the threaded racing path even for the
+        // smallest instance (the sequential fast path never shares).
+        let schemes = portfolio::applicable_schemes(static_circuit, dynamic_circuit);
+        let shared_config = PortfolioConfig {
+            schemes: schemes.clone(),
+            ..PortfolioConfig::default()
+        };
+        let private_config = PortfolioConfig {
+            schemes,
+            shared_package: false,
+            ..PortfolioConfig::default()
+        };
+
+        // One instrumented run for the sharing telemetry, then timed runs.
+        let instrumented = verify_portfolio(static_circuit, dynamic_circuit, &shared_config);
+        let store = instrumented
+            .shared_store
+            .expect("non-tiny race uses the shared store");
+        let shared_secs = min_wall_time(3, || {
+            verify_portfolio(static_circuit, dynamic_circuit, &shared_config)
+        })
+        .as_secs_f64();
+        let private_secs = min_wall_time(3, || {
+            verify_portfolio(static_circuit, dynamic_circuit, &private_config)
+        })
+        .as_secs_f64();
+        println!(
+            "portfolio_shared/qpe/{n}: shared {shared_secs:.3}s vs private {private_secs:.3}s \
+             ({:.2}x), cross-thread hit rate {:.1}%, peak {} nodes, winner {}",
+            private_secs / shared_secs,
+            100.0 * store.cross_thread_hit_rate.unwrap_or(0.0),
+            store.peak_nodes,
+            instrumented
+                .winner
+                .map(|s| s.name())
+                .unwrap_or_else(|| "-".into()),
+        );
+        rows.push(format!(
+            "    {{ \"family\": \"qpe\", \"n\": {n}, \"shared_secs\": {shared_secs:.6}, \
+             \"private_secs\": {private_secs:.6}, \"speedup\": {:.4}, \
+             \"cross_thread_hit_rate\": {:.6}, \"cross_thread_hits\": {}, \
+             \"shared_peak_nodes\": {}, \"shared_allocated_nodes\": {}, \"winner\": \"{}\" }}",
+            private_secs / shared_secs,
+            store.cross_thread_hit_rate.unwrap_or(0.0),
+            store.cross_thread_hits,
+            store.peak_nodes,
+            store.allocated_nodes,
+            instrumented
+                .winner
+                .map(|s| s.name())
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"portfolio_shared\",\n  \"description\": \"shared-store vs \
+         private-package portfolio races on QPE/IQPE miters (min of 3 runs)\",\n  \
+         \"instances\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shared.json");
+    if let Err(error) = std::fs::write(path, &json) {
+        eprintln!("portfolio_shared: cannot write {path}: {error}");
+    } else {
+        println!("portfolio_shared: wrote {path}");
+    }
+
+    // Criterion timings for the grep-friendly log (smaller sample budget:
+    // the explicit min-of-3 above is the recorded comparison).
+    let mut group = c.benchmark_group("portfolio_shared");
+    group.sample_size(10);
+    for n in [7usize, 9] {
+        let instance = build_instance(Family::Qpe, n);
+        let static_circuit = &instance.static_circuit;
+        let dynamic_circuit = &instance.dynamic_circuit;
+        let schemes = portfolio::applicable_schemes(static_circuit, dynamic_circuit);
+        let shared_config = PortfolioConfig {
+            schemes: schemes.clone(),
+            ..PortfolioConfig::default()
+        };
+        let private_config = PortfolioConfig {
+            schemes,
+            shared_package: false,
+            ..PortfolioConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("shared", n), &n, |b, _| {
+            b.iter(|| verify_portfolio(static_circuit, dynamic_circuit, &shared_config))
+        });
+        group.bench_with_input(BenchmarkId::new("private", n), &n, |b, _| {
+            b.iter(|| verify_portfolio(static_circuit, dynamic_circuit, &private_config))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_portfolio_vs_single_schemes,
-    bench_batch_throughput
+    bench_batch_throughput,
+    bench_shared_vs_private
 );
 criterion_main!(benches);

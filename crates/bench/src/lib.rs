@@ -23,6 +23,21 @@ use sim::{extract_distribution_budgeted, ExtractionConfig, StateVectorSimulator}
 use std::time::{Duration, Instant};
 use transform::{align_to_reference, reconstruct_unitary};
 
+/// Minimum wall time over `runs` evaluations of `f`, discarding the results.
+///
+/// The standard noise-robust aggregate of the bench targets: minima are far
+/// more stable than means for sub-millisecond portfolio races, where thread
+/// spawn and scheduler jitter dominate individual samples.
+pub fn min_wall_time<T>(runs: usize, mut f: impl FnMut() -> T) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
 /// The three benchmark families of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {

@@ -75,6 +75,24 @@ pub fn check_simulative_equivalence_with(
     config: &Configuration,
     budget: &Budget,
 ) -> Result<SimulativeCheck, CheckError> {
+    check_simulative_equivalence_in(left, right, config, budget, None)
+}
+
+/// [`check_simulative_equivalence_with`] with an optional shared
+/// decision-diagram store (see [`dd::SharedStore`]): both simulators attach
+/// as workspaces, so the gate diagrams they build are shared with each other
+/// and with every other racing scheme.
+///
+/// # Errors
+///
+/// Same as [`check_simulative_equivalence_with`].
+pub fn check_simulative_equivalence_in(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &Configuration,
+    budget: &Budget,
+    store: Option<&std::sync::Arc<dd::SharedStore>>,
+) -> Result<SimulativeCheck, CheckError> {
     if left.num_qubits() != right.num_qubits() {
         return Err(CheckError::RegisterMismatch {
             left: left.num_qubits(),
@@ -103,12 +121,12 @@ pub fn check_simulative_equivalence_with(
             (0..n).map(|_| rng.r#gen::<bool>()).collect()
         };
         let mut sim_left =
-            StateVectorSimulator::with_budget_and_initial_state(&bits, budget.clone());
+            StateVectorSimulator::with_budget_and_initial_state_in(&bits, budget.clone(), store);
         sim_left
             .run(&left_unitary)
             .map_err(|e| run_error("left", e))?;
         let mut sim_right =
-            StateVectorSimulator::with_budget_and_initial_state(&bits, budget.clone());
+            StateVectorSimulator::with_budget_and_initial_state_in(&bits, budget.clone(), store);
         sim_right
             .run(&right_unitary)
             .map_err(|e| run_error("right", e))?;

@@ -36,7 +36,7 @@ impl DdPackage {
         if e.is_zero() || e.is_terminal() || !seen.insert(e.node) {
             return;
         }
-        let node = self.vnodes[e.node.index()];
+        let node = self.vnode(e.node);
         let _ = writeln!(out, "  {} [label=\"q{}\"];", node_name(e.node), node.var);
         for (i, child) in node.children.iter().enumerate() {
             if child.is_zero() {
@@ -73,7 +73,7 @@ impl DdPackage {
         if e.is_zero() || e.is_terminal() || !seen.insert(e.node) {
             return;
         }
-        let node = self.mnodes[e.node.index()];
+        let node = self.mnode(e.node);
         let _ = writeln!(out, "  {} [label=\"q{}\"];", node_name(e.node), node.var);
         for (i, child) in node.children.iter().enumerate() {
             if child.is_zero() {
@@ -115,6 +115,19 @@ mod tests {
         assert!(dot.contains("q1"));
         assert!(dot.contains("q2"));
         assert!(dot.contains("terminal"));
+    }
+
+    #[test]
+    fn dot_export_works_on_shared_workspaces() {
+        // Regression: the exporter must read nodes through the shared-store
+        // dispatchers, not the (empty) private arenas of a workspace.
+        let store = crate::SharedStore::new();
+        let mut ws = store.workspace(2);
+        let mut state = ws.zero_state();
+        state = ws.apply_gate(state, &gates::h(), 0, &[]);
+        assert!(ws.vector_to_dot(state).starts_with("digraph"));
+        let cx = ws.make_gate(&gates::x(), 1, &[crate::Control::pos(0)]);
+        assert!(ws.matrix_to_dot(cx).contains("q1"));
     }
 
     #[test]

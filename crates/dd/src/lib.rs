@@ -47,7 +47,42 @@
 //! done; an edge that is an operand of the current call is protected
 //! automatically. After a collection the node-keyed compute tables are
 //! cleared (arena slots are recycled under the same ids), while cached gate
-//! diagrams remain valid because they are roots.
+//! diagrams remain valid because they are roots. The same pass compacts the
+//! [`ComplexTable`]: weights referenced by no surviving node, protected
+//! edge or cached diagram are freed and their slots recycled, bounding
+//! weight-table growth on long runs (`MemoryStats::complex_entries` /
+//! `complex_reclaimed` report the effect).
+//!
+//! ## Concurrency model
+//!
+//! A [`DdPackage`] by itself is single-threaded (`Send`, not `Sync`). For
+//! portfolio racing, the canonicity-carrying half can be split into a
+//! [`SharedStore`] with one package-*workspace* per thread
+//! ([`SharedStore::workspace`]):
+//!
+//! * **Shared (in the store):** the canonical complex table (one mutex,
+//!   shielded by per-workspace memo caches), the vector/matrix unique
+//!   tables (sharded by node hash into independently locked maps), the
+//!   append-only node arenas (reader/writer locks; readers fill
+//!   per-workspace mirrors in bulk), the gate-diagram L2 cache, free lists
+//!   and telemetry counters. Any thread interning the same
+//!   `(weight, children)` gets the *same* canonical edge, so racing schemes
+//!   turn duplicated construction into cross-thread cache hits
+//!   ([`MemoryStats::cross_thread_hits`]).
+//! * **Thread-local (in each workspace):** the lossy compute caches (they
+//!   are overwrite-on-collision, so thread-local is correct and lock-free),
+//!   the identity cache (canonical interning makes independently built
+//!   identities identical), [`Budget`]/[`CancelToken`], protection roots and
+//!   [`MemoryStats`].
+//! * **GC safe-point protocol:** collection on a shared store is *deferred
+//!   while more than one workspace is attached* — the arenas stay
+//!   append-only, which is exactly what the lock-free read mirrors rely
+//!   on. A workspace that is the sole attachment (checked under the store's
+//!   GC lock, which attachment also takes) may collect: it sweeps from its
+//!   own roots plus the shared gate cache, rebuilds the sharded unique
+//!   tables, compacts the complex table and invalidates its mirrors.
+//!   Workspaces attached later start with empty mirrors and can never see a
+//!   stale slot.
 //!
 //! ## Quick example
 //!
@@ -73,6 +108,7 @@ mod hash;
 mod limits;
 mod node;
 mod package;
+pub mod store;
 mod table;
 
 mod export;
@@ -85,4 +121,5 @@ pub use node::{MEdge, MNode, NodeId, VEdge, VNode};
 pub use package::{
     Control, DdPackage, MemoryConfig, MemoryStats, PackageStats, DEFAULT_GC_THRESHOLD,
 };
+pub use store::{SharedStore, SharedStoreStats};
 pub use table::{CIdx, ComplexTable};

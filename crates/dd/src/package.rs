@@ -26,7 +26,10 @@ use crate::gates::{self, GateMatrix};
 use crate::hash::{fx_hash, FxHashMap};
 use crate::limits::{Budget, LimitExceeded};
 use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
+use crate::store::{SharedHandle, SharedStore};
 use crate::table::{CIdx, ComplexTable};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// A control qubit of a multi-qubit gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,8 +127,21 @@ pub struct MemoryStats {
     pub reclaimed_nodes: u64,
     /// Completed garbage-collection runs.
     pub gc_runs: usize,
-    /// Distinct interned complex values.
+    /// Complex-table slots (live entries plus compaction-freed slots).
     pub complex_values: usize,
+    /// *Live* interned complex weights (slots minus compaction-freed ones).
+    pub complex_entries: usize,
+    /// Complex-table entries reclaimed by garbage-collection compaction.
+    pub complex_reclaimed: u64,
+    /// Live nodes in the attached [`SharedStore`](crate::SharedStore)
+    /// (`0` for a private package).
+    pub shared_nodes: usize,
+    /// Shared-store canonical lookups (unique tables and the shared gate
+    /// cache) answered by an existing entry. `0` for a private package.
+    pub intern_hits: u64,
+    /// Subset of [`intern_hits`](Self::intern_hits) where the entry was
+    /// created by a *different* workspace of the same shared store.
+    pub cross_thread_hits: u64,
     /// Compute-table lookups across all eight tables.
     pub compute_lookups: u64,
     /// Compute-table lookups answered from cache.
@@ -156,6 +172,16 @@ impl MemoryStats {
         }
     }
 
+    /// Fraction of shared-store canonical hits served by an entry another
+    /// workspace created, or `None` for private packages (no shared hits).
+    pub fn cross_thread_hit_rate(&self) -> Option<f64> {
+        if self.intern_hits == 0 {
+            None
+        } else {
+            Some(self.cross_thread_hits as f64 / self.intern_hits as f64)
+        }
+    }
+
     /// Aggregates telemetry of several packages (e.g. the two simulators of
     /// a simulative check): counters add up, gauges take the maximum.
     #[must_use]
@@ -168,6 +194,11 @@ impl MemoryStats {
             reclaimed_nodes: self.reclaimed_nodes + other.reclaimed_nodes,
             gc_runs: self.gc_runs + other.gc_runs,
             complex_values: self.complex_values.max(other.complex_values),
+            complex_entries: self.complex_entries.max(other.complex_entries),
+            complex_reclaimed: self.complex_reclaimed + other.complex_reclaimed,
+            shared_nodes: self.shared_nodes.max(other.shared_nodes),
+            intern_hits: self.intern_hits + other.intern_hits,
+            cross_thread_hits: self.cross_thread_hits + other.cross_thread_hits,
             compute_lookups: self.compute_lookups + other.compute_lookups,
             compute_hits: self.compute_hits + other.compute_hits,
             gate_lookups: self.gate_lookups + other.gate_lookups,
@@ -176,10 +207,18 @@ impl MemoryStats {
     }
 }
 
-/// Cache key of a gate diagram: exact matrix bit patterns plus placement.
+/// Cache key of a gate diagram: exact matrix bit patterns plus placement
+/// *and register size* — the diagram wraps identity levels up to the
+/// package's qubit count, so the same gate in registers of different widths
+/// is a different diagram.
+///
+/// Shared between each package's lossy L1 gate cache and the
+/// [`SharedStore`](crate::SharedStore)'s exact L2 map (where workspaces of
+/// different sizes coexist).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct GateKey {
+pub(crate) struct GateKey {
     matrix: [u64; 8],
+    n_qubits: u32,
     target: u32,
     controls: Vec<Control>,
 }
@@ -232,14 +271,26 @@ pub struct DdPackage {
     ident_cache: Vec<MEdge>,
     vroots: FxHashMap<u32, u32>,
     mroots: FxHashMap<u32, u32>,
+    /// Weight indices of protected edges (refcounted): roots of the
+    /// complex-table compaction, the same way `vroots`/`mroots` are roots of
+    /// the node sweep.
+    wroots: FxHashMap<u32, u32>,
     gc_threshold: Option<usize>,
     gc_runs: usize,
     allocated_nodes: u64,
     reclaimed_nodes: u64,
+    complex_reclaimed: u64,
+    /// Node-budget meter of a shared workspace: fresh allocations into the
+    /// store, re-snapped to the store's live count after a sole-attachment
+    /// collection (see `charge_allocation`). Unused in private mode.
+    charged_nodes: usize,
     peak_nodes: usize,
     budget: Budget,
     exceeded: Option<LimitExceeded>,
     allocs_since_check: u32,
+    /// Present when this package is a workspace of a [`SharedStore`]; all
+    /// node/weight canonicalisation then goes through the store.
+    shared: Option<SharedHandle>,
 }
 
 impl DdPackage {
@@ -304,15 +355,49 @@ impl DdPackage {
             ident_cache: vec![MEdge::ONE],
             vroots: FxHashMap::default(),
             mroots: FxHashMap::default(),
+            wroots: FxHashMap::default(),
             gc_threshold: config.gc_threshold,
             gc_runs: 0,
             allocated_nodes: 0,
             reclaimed_nodes: 0,
+            complex_reclaimed: 0,
+            charged_nodes: 0,
             peak_nodes: 0,
             budget,
             exceeded: None,
             allocs_since_check: 0,
+            shared: None,
         }
+    }
+
+    /// Creates a workspace attached to `store` (see
+    /// [`SharedStore::workspace_with`]): node and weight canonicalisation go
+    /// through the store's concurrent tables, while the lossy compute caches,
+    /// the budget and all telemetry stay thread-local.
+    pub(crate) fn attached(
+        store: &Arc<SharedStore>,
+        n_qubits: usize,
+        budget: Budget,
+        config: MemoryConfig,
+    ) -> Self {
+        let mut package = DdPackage::with_config(n_qubits, budget, config);
+        package.shared = Some(SharedHandle::new(store));
+        package
+    }
+
+    /// Creates either a workspace attached to `store` or a private package:
+    /// the one-liner the verification schemes use to honour an optional
+    /// shared store without duplicating construction logic.
+    pub fn with_store(store: Option<&Arc<SharedStore>>, n_qubits: usize, budget: Budget) -> Self {
+        match store {
+            Some(store) => store.workspace_with(n_qubits, budget, MemoryConfig::default()),
+            None => DdPackage::with_budget(n_qubits, budget),
+        }
+    }
+
+    /// The shared store this package is attached to, if any.
+    pub fn shared_store(&self) -> Option<&Arc<SharedStore>> {
+        self.shared.as_ref().map(|handle| &handle.store)
     }
 
     /// Number of qubits this package was created for.
@@ -341,13 +426,27 @@ impl DdPackage {
     /// The cancel flag is an atomic shared across threads and the deadline
     /// needs a clock read, so both are polled only every 256 allocations; the
     /// node cap is a plain comparison and is checked every time.
+    ///
+    /// On a shared-store workspace the cap meters `charged_nodes`: the
+    /// nodes *this workspace* allocated (store misses it paid for), not the
+    /// store-wide live count — budgets keep their per-scheme meaning in a
+    /// race, and reusing a node another scheme interned costs nothing; that
+    /// reuse is the point of sharing. While collection is deferred (other
+    /// workspaces attached) nothing is reclaimed, so the charge is also the
+    /// scheme's true live contribution to the store; after a
+    /// sole-attachment collection the charge re-snaps to the store's live
+    /// count, mirroring how a private package's live meter shrinks under GC.
     #[inline]
     fn charge_allocation(&mut self) {
         if self.exceeded.is_some() {
             return;
         }
         if let Some(max) = self.budget.max_nodes() {
-            if self.live_nodes() > max {
+            let metered = match &self.shared {
+                None => self.live_nodes(),
+                Some(_) => self.charged_nodes,
+            };
+            if metered > max {
                 self.exceeded = Some(LimitExceeded::NodeLimit);
                 return;
             }
@@ -363,18 +462,32 @@ impl DdPackage {
     }
 
     /// Returns allocation statistics (live node counts).
+    ///
+    /// For a workspace of a [`SharedStore`], the counts are store-wide: the
+    /// nodes are collectively owned, there is no per-workspace arena.
     pub fn stats(&self) -> PackageStats {
-        PackageStats {
-            vector_nodes: self.vnodes.len() - self.vfree.len(),
-            matrix_nodes: self.mnodes.len() - self.mfree.len(),
-            complex_values: self.ctab.len(),
+        match &self.shared {
+            None => PackageStats {
+                vector_nodes: self.vnodes.len() - self.vfree.len(),
+                matrix_nodes: self.mnodes.len() - self.mfree.len(),
+                complex_values: self.ctab.len(),
+            },
+            Some(handle) => PackageStats {
+                vector_nodes: handle.store.vlive.load(Ordering::Relaxed),
+                matrix_nodes: handle.store.mlive.load(Ordering::Relaxed),
+                complex_values: handle.store.ctab.lock().expect("complex table lock").len(),
+            },
         }
     }
 
-    /// Live nodes across both arenas.
+    /// Live nodes across both arenas (store-wide for shared workspaces, so
+    /// node budgets meter the collective heap they contribute to).
     #[inline]
     fn live_nodes(&self) -> usize {
-        self.vnodes.len() - self.vfree.len() + self.mnodes.len() - self.mfree.len()
+        match &self.shared {
+            None => self.vnodes.len() - self.vfree.len() + self.mnodes.len() - self.mfree.len(),
+            Some(handle) => handle.store.live_nodes(),
+        }
     }
 
     /// Drops all memoisation tables (unique tables and nodes are kept).
@@ -405,7 +518,32 @@ impl DdPackage {
     // Roots, garbage collection and memory telemetry
     // ------------------------------------------------------------------
 
-    /// Registers a vector edge as a garbage-collection root (refcounted).
+    /// Refcounts the weight of a protected edge so complex-table compaction
+    /// keeps it (terminal edges carry meaningful weights too).
+    fn protect_weight(&mut self, weight: CIdx) {
+        if !weight.is_zero() && !weight.is_one() {
+            *self.wroots.entry(weight.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one weight protection.
+    fn unprotect_weight(&mut self, weight: CIdx) {
+        if weight.is_zero() || weight.is_one() {
+            return;
+        }
+        if let Some(count) = self.wroots.get_mut(&weight.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.wroots.remove(&weight.0);
+            }
+        } else {
+            debug_assert!(false, "unprotect of a weight without matching protect");
+        }
+    }
+
+    /// Registers a vector edge as a garbage-collection root (refcounted);
+    /// the edge's node survives the sweep and its weight survives the
+    /// complex-table compaction.
     ///
     /// Protect every edge you hold across other package operations; balance
     /// with [`unprotect_vector`](Self::unprotect_vector).
@@ -413,10 +551,12 @@ impl DdPackage {
         if !e.is_terminal() {
             *self.vroots.entry(e.node.0).or_insert(0) += 1;
         }
+        self.protect_weight(e.weight);
     }
 
     /// Releases one protection of a vector edge.
     pub fn unprotect_vector(&mut self, e: VEdge) {
+        self.unprotect_weight(e.weight);
         if e.is_terminal() {
             return;
         }
@@ -435,10 +575,12 @@ impl DdPackage {
         if !e.is_terminal() {
             *self.mroots.entry(e.node.0).or_insert(0) += 1;
         }
+        self.protect_weight(e.weight);
     }
 
     /// Releases one protection of a matrix edge.
     pub fn unprotect_matrix(&mut self, e: MEdge) {
+        self.unprotect_weight(e.weight);
         if e.is_terminal() {
             return;
         }
@@ -466,7 +608,13 @@ impl DdPackage {
     /// identity and gate caches). Returns the number of reclaimed nodes.
     ///
     /// Node-keyed compute tables are invalidated because freed arena slots
-    /// are recycled under the same ids.
+    /// are recycled under the same ids. The complex table is compacted in
+    /// the same pass: weights referenced by no surviving node, protected
+    /// edge or cached gate diagram are freed for reuse.
+    ///
+    /// On a workspace of a [`SharedStore`], collection is **deferred** (a
+    /// no-op returning `0`) while any *other* workspace is attached — see
+    /// the `dd::store` module docs for the protocol.
     pub fn garbage_collect(&mut self) -> usize {
         self.collect_garbage(&[], &[])
     }
@@ -474,6 +622,9 @@ impl DdPackage {
     /// [`garbage_collect`](Self::garbage_collect) with additional temporary
     /// roots — the operand edges of an in-flight operation entry point.
     pub fn collect_garbage(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
+        if self.shared.is_some() {
+            return self.collect_shared(keep_vectors, keep_matrices);
+        }
         // --- mark ---------------------------------------------------------
         let mut vmark = vec![false; self.vnodes.len()];
         let mut mmark = vec![false; self.mnodes.len()];
@@ -545,7 +696,187 @@ impl DdPackage {
             }
         }
 
+        // --- compact the complex table ------------------------------------
+        let gate_edges: Vec<MEdge> = self.gate_cache.entries().map(|(_, e)| *e).collect();
+        let cmark = mark_weights(
+            &self.vnodes,
+            &self.mnodes,
+            &self.wroots,
+            keep_vectors,
+            keep_matrices,
+            &self.ident_cache,
+            &gate_edges,
+            self.ctab.len(),
+        );
+        self.complex_reclaimed += self.ctab.retain_marked(&cmark) as u64;
+
         self.clear_node_keyed_caches();
+        self.gc_runs += 1;
+        self.reclaimed_nodes += reclaimed as u64;
+        reclaimed
+    }
+
+    /// Shared-store collection: only runs when this workspace is the sole
+    /// attachment (checked under the store's GC lock, which attachment also
+    /// takes), otherwise collection is deferred and `0` is returned. Sweeps
+    /// the shared arenas from this workspace's roots plus the shared gate
+    /// cache, rebuilds the sharded unique tables, compacts the shared
+    /// complex table, and finally invalidates this workspace's read mirrors
+    /// and memo caches (slots may be recycled under the same ids).
+    fn collect_shared(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
+        let store = Arc::clone(&self.shared.as_ref().expect("shared workspace").store);
+        let _guard = store.gc_lock.lock().expect("gc lock");
+        if store.attached.load(Ordering::Acquire) != 1 {
+            // Deferred: the arenas must stay append-only while other
+            // workspaces hold mirrors into them.
+            return 0;
+        }
+        let reclaimed;
+        {
+            let mut varena = store.varena.write().expect("vector arena lock");
+            let mut marena = store.marena.write().expect("matrix arena lock");
+
+            // --- mark -----------------------------------------------------
+            let mut vmark = vec![false; varena.len()];
+            let mut mmark = vec![false; marena.len()];
+            for &id in self.vroots.keys() {
+                mark_vector(&varena, &mut vmark, NodeId(id));
+            }
+            for e in keep_vectors {
+                if !e.is_zero() {
+                    mark_vector(&varena, &mut vmark, e.node);
+                }
+            }
+            for &id in self.mroots.keys() {
+                mark_matrix(&marena, &mut mmark, NodeId(id));
+            }
+            let shared_gates: Vec<MEdge> = {
+                let cache = store.gate_cache.lock().expect("gate cache lock");
+                cache.values().map(|(e, _)| *e).collect()
+            };
+            let local_gates: Vec<MEdge> = self.gate_cache.entries().map(|(_, e)| *e).collect();
+            for e in keep_matrices
+                .iter()
+                .chain(&self.ident_cache)
+                .chain(&shared_gates)
+                .chain(&local_gates)
+            {
+                if !e.is_zero() {
+                    mark_matrix(&marena, &mut mmark, e.node);
+                }
+            }
+
+            // --- sweep ----------------------------------------------------
+            let mut freed = 0usize;
+            {
+                let mut vfree = store.vfree.lock().expect("vector free list");
+                for (idx, marked) in vmark.iter().enumerate() {
+                    if !marked && !varena[idx].is_free() {
+                        varena[idx] = VNode::FREE;
+                        vfree.push(idx as u32);
+                        freed += 1;
+                    }
+                }
+            }
+            {
+                let mut mfree = store.mfree.lock().expect("matrix free list");
+                for (idx, marked) in mmark.iter().enumerate() {
+                    if !marked && !marena[idx].is_free() {
+                        marena[idx] = MNode::FREE;
+                        mfree.push(idx as u32);
+                        freed += 1;
+                    }
+                }
+            }
+            reclaimed = freed;
+
+            // --- rebuild the sharded unique tables ------------------------
+            // Take each shard lock exactly once: we are the sole attachment
+            // and hold both arena write locks, so nothing contends — per-node
+            // locking would just pay 2N uncontended mutex round-trips.
+            let ws_id = self.shared.as_ref().expect("shared workspace").ws_id;
+            let mut vlive = 0usize;
+            {
+                let mut shards: Vec<_> = store
+                    .vshards
+                    .iter()
+                    .map(|shard| shard.lock().expect("vector shard lock"))
+                    .collect();
+                for shard in shards.iter_mut() {
+                    shard.clear();
+                }
+                for (idx, node) in varena.iter().enumerate() {
+                    if !node.is_free() {
+                        vlive += 1;
+                        let hash = fx_hash(node);
+                        shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
+                            *node,
+                            crate::store::Interned {
+                                id: idx as u32,
+                                owner: ws_id,
+                            },
+                        );
+                    }
+                }
+            }
+            let mut mlive = 0usize;
+            {
+                let mut shards: Vec<_> = store
+                    .mshards
+                    .iter()
+                    .map(|shard| shard.lock().expect("matrix shard lock"))
+                    .collect();
+                for shard in shards.iter_mut() {
+                    shard.clear();
+                }
+                for (idx, node) in marena.iter().enumerate() {
+                    if !node.is_free() {
+                        mlive += 1;
+                        let hash = fx_hash(node);
+                        shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
+                            *node,
+                            crate::store::Interned {
+                                id: idx as u32,
+                                owner: ws_id,
+                            },
+                        );
+                    }
+                }
+            }
+            store.vlive.store(vlive, Ordering::Relaxed);
+            store.mlive.store(mlive, Ordering::Relaxed);
+
+            // --- compact the shared complex table -------------------------
+            let mut ctab = store.ctab.lock().expect("complex table lock");
+            let gate_edges: Vec<MEdge> = shared_gates.iter().chain(&local_gates).copied().collect();
+            let cmark = mark_weights(
+                &varena,
+                &marena,
+                &self.wroots,
+                keep_vectors,
+                keep_matrices,
+                &self.ident_cache,
+                &gate_edges,
+                ctab.len(),
+            );
+            self.complex_reclaimed += ctab.retain_marked(&cmark) as u64;
+        }
+        store
+            .reclaimed
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+        store.gc_runs.fetch_add(1, Ordering::Relaxed);
+
+        // Freed slots may be recycled under the same ids from now on: drop
+        // every local structure that remembers pre-collection state.
+        self.clear_node_keyed_caches();
+        self.shared
+            .as_mut()
+            .expect("shared workspace")
+            .clear_local();
+        // Everything still live is at most attributable to this (sole)
+        // workspace: re-snap its node-budget meter, mirroring how a private
+        // package's live count shrinks under GC.
+        self.charged_nodes = store.live_nodes();
         self.gc_runs += 1;
         self.reclaimed_nodes += reclaimed as u64;
         reclaimed
@@ -560,6 +891,14 @@ impl DdPackage {
         };
         if self.exceeded.is_some() || self.live_nodes() < threshold {
             return;
+        }
+        // Shared-store deferral: while other workspaces are attached their
+        // mirrors rely on append-only arenas, so automatic collection waits
+        // until this workspace is the sole attachment.
+        if let Some(handle) = &self.shared {
+            if handle.store.attached.load(Ordering::Acquire) > 1 {
+                return;
+            }
         }
         let reclaimed = self.collect_garbage(keep_vectors, keep_matrices);
         // Mostly-live heap: double the threshold instead of thrashing.
@@ -577,14 +916,34 @@ impl DdPackage {
             compute_hits += counters.hits;
         }
         let gate = self.gate_cache.counters();
+        let package_stats = self.stats();
+        let (complex_values, complex_entries, shared_nodes, intern_hits, cross_thread_hits) =
+            match &self.shared {
+                None => (self.ctab.len(), self.ctab.live_len(), 0, 0, 0),
+                Some(handle) => {
+                    let table = handle.store.ctab.lock().expect("complex table lock");
+                    (
+                        table.len(),
+                        table.live_len(),
+                        handle.store.live_nodes(),
+                        handle.intern_hits,
+                        handle.cross_thread_hits,
+                    )
+                }
+            };
         MemoryStats {
-            live_vector_nodes: self.vnodes.len() - self.vfree.len(),
-            live_matrix_nodes: self.mnodes.len() - self.mfree.len(),
+            live_vector_nodes: package_stats.vector_nodes,
+            live_matrix_nodes: package_stats.matrix_nodes,
             peak_nodes: self.peak_nodes,
             allocated_nodes: self.allocated_nodes,
             reclaimed_nodes: self.reclaimed_nodes,
             gc_runs: self.gc_runs,
-            complex_values: self.ctab.len(),
+            complex_values,
+            complex_entries,
+            complex_reclaimed: self.complex_reclaimed,
+            shared_nodes,
+            intern_hits,
+            cross_thread_hits,
             compute_lookups,
             compute_hits,
             gate_lookups: gate.lookups,
@@ -618,25 +977,74 @@ impl DdPackage {
     /// Interns a complex value and returns its index.
     #[inline]
     pub fn intern(&mut self, value: Complex) -> CIdx {
-        self.ctab.lookup(value)
+        match &mut self.shared {
+            None => self.ctab.lookup(value),
+            Some(handle) => handle.intern(value),
+        }
+    }
+
+    /// Value behind an interned index, from the private table or the shared
+    /// store's mirror. All weight reads funnel through here.
+    #[inline]
+    fn cval(&self, idx: CIdx) -> Complex {
+        match &self.shared {
+            None => self.ctab.value(idx),
+            Some(handle) => handle.value(idx),
+        }
+    }
+
+    /// Interns the product of two interned weights.
+    #[inline]
+    fn cmul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        match &mut self.shared {
+            None => self.ctab.mul(a, b),
+            Some(handle) => handle.mul(a, b),
+        }
+    }
+
+    /// Interns the sum of two interned weights.
+    #[inline]
+    fn cadd(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        match &mut self.shared {
+            None => self.ctab.add(a, b),
+            Some(handle) => handle.add(a, b),
+        }
+    }
+
+    /// Interns the quotient of two interned weights.
+    #[inline]
+    fn cdiv(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        match &mut self.shared {
+            None => self.ctab.div(a, b),
+            Some(handle) => handle.div(a, b),
+        }
+    }
+
+    /// Interns the conjugate of an interned weight.
+    #[inline]
+    fn cconj(&mut self, a: CIdx) -> CIdx {
+        match &mut self.shared {
+            None => self.ctab.conj(a),
+            Some(handle) => handle.conj(a),
+        }
     }
 
     /// Returns the complex value behind an index.
     #[inline]
     pub fn value(&self, idx: CIdx) -> Complex {
-        self.ctab.value(idx)
+        self.cval(idx)
     }
 
     /// The complex weight carried by a vector edge.
     #[inline]
     pub fn vweight(&self, e: VEdge) -> Complex {
-        self.ctab.value(e.weight)
+        self.cval(e.weight)
     }
 
     /// The complex weight carried by a matrix edge.
     #[inline]
     pub fn mweight(&self, e: MEdge) -> Complex {
-        self.ctab.value(e.weight)
+        self.cval(e.weight)
     }
 
     // ------------------------------------------------------------------
@@ -662,7 +1070,7 @@ impl DdPackage {
             return VEdge::ZERO;
         }
         // Norm of the child weights and the (first) largest-magnitude child.
-        let weights: Vec<Complex> = children.iter().map(|c| self.ctab.value(c.weight)).collect();
+        let weights: Vec<Complex> = children.iter().map(|c| self.cval(c.weight)).collect();
         let norm = weights.iter().map(|w| w.norm_sqr()).sum::<f64>().sqrt();
         let max_mag = weights.iter().map(|w| w.abs()).fold(0.0f64, f64::max);
         let anchor = weights
@@ -675,7 +1083,7 @@ impl DdPackage {
         let top = self.intern(scale);
         for c in &mut children {
             if !c.is_zero() {
-                let w = self.ctab.value(c.weight) / scale;
+                let w = self.cval(c.weight) / scale;
                 c.weight = self.intern(w);
                 if c.weight.is_zero() {
                     *c = VEdge::ZERO;
@@ -690,6 +1098,15 @@ impl DdPackage {
     /// Hash-conses a vector node: returns the existing id or allocates one
     /// (recycling a freed arena slot when available).
     fn intern_vnode(&mut self, node: VNode) -> NodeId {
+        if let Some(handle) = &mut self.shared {
+            let (id, fresh) = handle.intern_vnode(node);
+            if fresh {
+                self.allocated_nodes += 1;
+                self.charged_nodes += 1;
+                self.peak_nodes = self.peak_nodes.max(handle.store.live_nodes());
+            }
+            return id;
+        }
         let level = node.var as usize;
         let hash = fx_hash(&node);
         let vnodes = &self.vnodes;
@@ -730,7 +1147,7 @@ impl DdPackage {
         if children.iter().all(|c| c.is_zero()) {
             return MEdge::ZERO;
         }
-        let weights: Vec<Complex> = children.iter().map(|c| self.ctab.value(c.weight)).collect();
+        let weights: Vec<Complex> = children.iter().map(|c| self.cval(c.weight)).collect();
         let max_mag = weights.iter().map(|w| w.abs()).fold(0.0f64, f64::max);
         let anchor_idx = weights
             .iter()
@@ -740,7 +1157,7 @@ impl DdPackage {
         if !top.is_one() {
             for c in &mut children {
                 if !c.is_zero() {
-                    c.weight = self.ctab.div(c.weight, top);
+                    c.weight = self.cdiv(c.weight, top);
                 }
             }
         }
@@ -751,6 +1168,15 @@ impl DdPackage {
 
     /// Hash-conses a matrix node; see [`intern_vnode`](Self::intern_vnode).
     fn intern_mnode(&mut self, node: MNode) -> NodeId {
+        if let Some(handle) = &mut self.shared {
+            let (id, fresh) = handle.intern_mnode(node);
+            if fresh {
+                self.allocated_nodes += 1;
+                self.charged_nodes += 1;
+                self.peak_nodes = self.peak_nodes.max(handle.store.live_nodes());
+            }
+            return id;
+        }
         let level = node.var as usize;
         let hash = fx_hash(&node);
         let mnodes = &self.mnodes;
@@ -776,13 +1202,19 @@ impl DdPackage {
     }
 
     #[inline]
-    fn vnode(&self, id: NodeId) -> VNode {
-        self.vnodes[id.index()]
+    pub(crate) fn vnode(&self, id: NodeId) -> VNode {
+        match &self.shared {
+            None => self.vnodes[id.index()],
+            Some(handle) => handle.vnode(id),
+        }
     }
 
     #[inline]
-    fn mnode(&self, id: NodeId) -> MNode {
-        self.mnodes[id.index()]
+    pub(crate) fn mnode(&self, id: NodeId) -> MNode {
+        match &self.shared {
+            None => self.mnodes[id.index()],
+            Some(handle) => handle.mnode(id),
+        }
     }
 
     /// Successor edges of a non-terminal vector edge.
@@ -913,7 +1345,7 @@ impl DdPackage {
         if e.is_zero() {
             return;
         }
-        let acc = acc * self.ctab.value(e.weight);
+        let acc = acc * self.cval(e.weight);
         if level == 0 {
             out[offset] = acc;
             return;
@@ -933,7 +1365,7 @@ impl DdPackage {
             if e.is_zero() {
                 return Complex::ZERO;
             }
-            acc *= self.ctab.value(e.weight);
+            acc *= self.cval(e.weight);
             let node = self.vnode(e.node);
             debug_assert_eq!(node.var as usize, level);
             let bit = (basis_index >> level) & 1;
@@ -942,7 +1374,7 @@ impl DdPackage {
         if e.is_zero() {
             return Complex::ZERO;
         }
-        acc * self.ctab.value(e.weight)
+        acc * self.cval(e.weight)
     }
 
     // ------------------------------------------------------------------
@@ -987,17 +1419,51 @@ impl DdPackage {
         // Hash the borrowed parts so a cache hit allocates nothing; the
         // owned key is only built on a miss.
         let matrix = gates::matrix_bits(u);
-        let hash = fx_hash(&(&matrix, target as u32, controls));
+        let n_qubits = self.n_qubits as u32;
+        let hash = fx_hash(&(&matrix, n_qubits, target as u32, controls));
         let hit = self.gate_cache.get_by(hash, |k| {
-            k.matrix == matrix && k.target == target as u32 && k.controls == controls
+            k.matrix == matrix
+                && k.n_qubits == n_qubits
+                && k.target == target as u32
+                && k.controls == controls
         });
         if let Some(cached) = hit {
             return cached;
+        }
+        // On a shared store, consult the exact L2 map: a diagram another
+        // workspace already built is canonical here too, so it can be
+        // adopted (and promoted into the lossy L1) without rebuilding.
+        if self.shared.is_some() {
+            let key = GateKey {
+                matrix,
+                n_qubits,
+                target: target as u32,
+                controls: controls.to_vec(),
+            };
+            if let Some(cached) = self
+                .shared
+                .as_mut()
+                .expect("shared workspace")
+                .gate_get(&key)
+            {
+                self.gate_cache.insert_hashed(hash, key, cached);
+                return cached;
+            }
+            let e = self.build_gate(u, target, controls);
+            if self.exceeded.is_none() {
+                self.shared
+                    .as_mut()
+                    .expect("shared workspace")
+                    .gate_insert(key.clone(), e);
+                self.gate_cache.insert_hashed(hash, key, e);
+            }
+            return e;
         }
         let e = self.build_gate(u, target, controls);
         if self.exceeded.is_none() {
             let key = GateKey {
                 matrix,
+                n_qubits,
                 target: target as u32,
                 controls: controls.to_vec(),
             };
@@ -1151,7 +1617,7 @@ impl DdPackage {
         if e.is_zero() {
             return;
         }
-        let acc = acc * self.ctab.value(e.weight);
+        let acc = acc * self.cval(e.weight);
         if level == 0 {
             out[row][col] = acc;
             return;
@@ -1197,7 +1663,7 @@ impl DdPackage {
             return a;
         }
         if a.is_terminal() && b.is_terminal() {
-            let w = self.ctab.add(a.weight, b.weight);
+            let w = self.cadd(a.weight, b.weight);
             return if w.is_zero() {
                 VEdge::ZERO
             } else {
@@ -1205,10 +1671,10 @@ impl DdPackage {
             };
         }
         debug_assert!(!a.is_terminal() && !b.is_terminal());
-        let ratio = self.ctab.div(b.weight, a.weight);
+        let ratio = self.cdiv(b.weight, a.weight);
         let key = (a.node, b.node, ratio);
         if let Some(cached) = self.ct_add_vec.get(&key) {
-            let w = self.ctab.mul(cached.weight, a.weight);
+            let w = self.cmul(cached.weight, a.weight);
             return if w.is_zero() {
                 VEdge::ZERO
             } else {
@@ -1220,7 +1686,7 @@ impl DdPackage {
         debug_assert_eq!(an.var, bn.var, "vector addition level mismatch");
         let mut children = [VEdge::ZERO; 2];
         for (i, child) in children.iter_mut().enumerate() {
-            let bw = self.ctab.mul(bn.children[i].weight, ratio);
+            let bw = self.cmul(bn.children[i].weight, ratio);
             let bc = bn.children[i].with_weight(bw);
             *child = self.add_vectors_rec(an.children[i], bc);
         }
@@ -1228,7 +1694,7 @@ impl DdPackage {
         if self.exceeded.is_none() {
             self.ct_add_vec.insert(key, result);
         }
-        let w = self.ctab.mul(result.weight, a.weight);
+        let w = self.cmul(result.weight, a.weight);
         if w.is_zero() {
             VEdge::ZERO
         } else {
@@ -1256,7 +1722,7 @@ impl DdPackage {
             return a;
         }
         if a.is_terminal() && b.is_terminal() {
-            let w = self.ctab.add(a.weight, b.weight);
+            let w = self.cadd(a.weight, b.weight);
             return if w.is_zero() {
                 MEdge::ZERO
             } else {
@@ -1264,10 +1730,10 @@ impl DdPackage {
             };
         }
         debug_assert!(!a.is_terminal() && !b.is_terminal());
-        let ratio = self.ctab.div(b.weight, a.weight);
+        let ratio = self.cdiv(b.weight, a.weight);
         let key = (a.node, b.node, ratio);
         if let Some(cached) = self.ct_add_mat.get(&key) {
-            let w = self.ctab.mul(cached.weight, a.weight);
+            let w = self.cmul(cached.weight, a.weight);
             return if w.is_zero() {
                 MEdge::ZERO
             } else {
@@ -1279,7 +1745,7 @@ impl DdPackage {
         debug_assert_eq!(an.var, bn.var, "matrix addition level mismatch");
         let mut children = [MEdge::ZERO; 4];
         for (i, child) in children.iter_mut().enumerate() {
-            let bw = self.ctab.mul(bn.children[i].weight, ratio);
+            let bw = self.cmul(bn.children[i].weight, ratio);
             let bc = bn.children[i].with_weight(bw);
             *child = self.add_matrices_rec(an.children[i], bc);
         }
@@ -1287,7 +1753,7 @@ impl DdPackage {
         if self.exceeded.is_none() {
             self.ct_add_mat.insert(key, result);
         }
-        let w = self.ctab.mul(result.weight, a.weight);
+        let w = self.cmul(result.weight, a.weight);
         if w.is_zero() {
             MEdge::ZERO
         } else {
@@ -1312,7 +1778,7 @@ impl DdPackage {
             return VEdge::ZERO;
         }
         if m.is_terminal() && v.is_terminal() {
-            let w = self.ctab.mul(m.weight, v.weight);
+            let w = self.cmul(m.weight, v.weight);
             return VEdge::terminal(w);
         }
         debug_assert!(!m.is_terminal() && !v.is_terminal());
@@ -1339,8 +1805,8 @@ impl DdPackage {
             }
             r
         };
-        let w = self.ctab.mul(m.weight, v.weight);
-        let w = self.ctab.mul(result.weight, w);
+        let w = self.cmul(m.weight, v.weight);
+        let w = self.cmul(result.weight, w);
         if w.is_zero() {
             VEdge::ZERO
         } else {
@@ -1365,7 +1831,7 @@ impl DdPackage {
             return MEdge::ZERO;
         }
         if a.is_terminal() && b.is_terminal() {
-            let w = self.ctab.mul(a.weight, b.weight);
+            let w = self.cmul(a.weight, b.weight);
             return MEdge::terminal(w);
         }
         debug_assert!(!a.is_terminal() && !b.is_terminal());
@@ -1394,8 +1860,8 @@ impl DdPackage {
             }
             r
         };
-        let w = self.ctab.mul(a.weight, b.weight);
-        let w = self.ctab.mul(result.weight, w);
+        let w = self.cmul(a.weight, b.weight);
+        let w = self.cmul(result.weight, w);
         if w.is_zero() {
             MEdge::ZERO
         } else {
@@ -1417,7 +1883,7 @@ impl DdPackage {
             return MEdge::ZERO;
         }
         if m.is_terminal() {
-            let w = self.ctab.conj(m.weight);
+            let w = self.cconj(m.weight);
             return if w.is_zero() {
                 MEdge::ZERO
             } else {
@@ -1444,8 +1910,8 @@ impl DdPackage {
             }
             r
         };
-        let w = self.ctab.conj(m.weight);
-        let w = self.ctab.mul(result.weight, w);
+        let w = self.cconj(m.weight);
+        let w = self.cmul(result.weight, w);
         if w.is_zero() {
             MEdge::ZERO
         } else {
@@ -1474,7 +1940,7 @@ impl DdPackage {
         if a.is_zero() || b.is_zero() {
             return Complex::ZERO;
         }
-        let scale = self.ctab.value(a.weight).conj() * self.ctab.value(b.weight);
+        let scale = self.cval(a.weight).conj() * self.cval(b.weight);
         if a.is_terminal() && b.is_terminal() {
             return scale;
         }
@@ -1506,7 +1972,7 @@ impl DdPackage {
         if v.is_zero() {
             return 0.0;
         }
-        let w = self.ctab.value(v.weight).norm_sqr();
+        let w = self.cval(v.weight).norm_sqr();
         w * self.node_norm_sqr(v.node)
     }
 
@@ -1523,7 +1989,7 @@ impl DdPackage {
             if child.is_zero() {
                 continue;
             }
-            let w = self.ctab.value(child.weight).norm_sqr();
+            let w = self.cval(child.weight).norm_sqr();
             total += w * self.node_norm_sqr(child.node);
         }
         self.vnorm_cache.insert(node, total);
@@ -1535,7 +2001,7 @@ impl DdPackage {
         if m.is_zero() {
             return Complex::ZERO;
         }
-        let scale = self.ctab.value(m.weight);
+        let scale = self.cval(m.weight);
         if m.is_terminal() {
             return scale;
         }
@@ -1569,7 +2035,7 @@ impl DdPackage {
         if m.node != ident.node {
             return false;
         }
-        let w = self.ctab.value(m.weight);
+        let w = self.cval(m.weight);
         if up_to_global_phase {
             (w.abs() - 1.0).abs() < TOLERANCE
         } else {
@@ -1602,7 +2068,7 @@ impl DdPackage {
             return (0.0, 0.0);
         }
         debug_assert!(!e.is_terminal(), "probability query below the target qubit");
-        let w = self.ctab.value(e.weight).norm_sqr();
+        let w = self.cval(e.weight).norm_sqr();
         if let Some(&(c0, c1)) = cache.get(&e.node) {
             return (w * c0, w * c1);
         }
@@ -1611,13 +2077,13 @@ impl DdPackage {
             let p0 = if node.children[0].is_zero() {
                 0.0
             } else {
-                let cw = self.ctab.value(node.children[0].weight).norm_sqr();
+                let cw = self.cval(node.children[0].weight).norm_sqr();
                 cw * self.node_norm_sqr(node.children[0].node)
             };
             let p1 = if node.children[1].is_zero() {
                 0.0
             } else {
-                let cw = self.ctab.value(node.children[1].weight).norm_sqr();
+                let cw = self.cval(node.children[1].weight).norm_sqr();
                 cw * self.node_norm_sqr(node.children[1].node)
             };
             (p0, p1)
@@ -1649,7 +2115,7 @@ impl DdPackage {
         let projected = self.project_rec(v, qubit, outcome, &mut cache);
         let result = if renormalize {
             let scale = self.intern(Complex::real(1.0 / p.sqrt()));
-            let w = self.ctab.mul(projected.weight, scale);
+            let w = self.cmul(projected.weight, scale);
             VEdge::new(projected.node, w)
         } else {
             projected
@@ -1684,7 +2150,7 @@ impl DdPackage {
             cache.insert(e.node, r);
             r
         };
-        let w = self.ctab.mul(result.weight, e.weight);
+        let w = self.cmul(result.weight, e.weight);
         if w.is_zero() {
             VEdge::ZERO
         } else {
@@ -1749,6 +2215,55 @@ fn mark_vector(nodes: &[VNode], marks: &mut [bool], id: NodeId) {
             mark_vector(nodes, marks, child.node);
         }
     }
+}
+
+/// Computes the live set of the complex table for compaction: the canonical
+/// constants, every weight referenced by a surviving node, the weights of
+/// protected edges (`wroots`), the in-flight operands and the cached
+/// identity/gate diagrams' top weights.
+#[allow(clippy::too_many_arguments)]
+fn mark_weights(
+    vnodes: &[VNode],
+    mnodes: &[MNode],
+    wroots: &FxHashMap<u32, u32>,
+    keep_vectors: &[VEdge],
+    keep_matrices: &[MEdge],
+    ident_cache: &[MEdge],
+    gate_edges: &[MEdge],
+    table_len: usize,
+) -> Vec<bool> {
+    let mut marks = vec![false; table_len];
+    let mut mark = |idx: CIdx| {
+        if let Some(slot) = marks.get_mut(idx.index()) {
+            *slot = true;
+        }
+    };
+    mark(CIdx::ZERO);
+    mark(CIdx::ONE);
+    for node in vnodes {
+        if !node.is_free() {
+            for child in node.children {
+                mark(child.weight);
+            }
+        }
+    }
+    for node in mnodes {
+        if !node.is_free() {
+            for child in node.children {
+                mark(child.weight);
+            }
+        }
+    }
+    for &idx in wroots.keys() {
+        mark(CIdx(idx));
+    }
+    for e in keep_vectors {
+        mark(e.weight);
+    }
+    for e in keep_matrices.iter().chain(ident_cache).chain(gate_edges) {
+        mark(e.weight);
+    }
+    marks
 }
 
 /// Marks every matrix node reachable from `id`.

@@ -1,0 +1,610 @@
+//! Thread-safe shared decision-diagram core for portfolio racing.
+//!
+//! A [`SharedStore`] is the *canonicity-preserving* half of a
+//! [`DdPackage`](crate::DdPackage) split out so that several packages — one
+//! per racing thread — can intern into the same node space. It owns
+//!
+//! * the canonical [`ComplexTable`] (one mutex: interning is rare relative
+//!   to weight *reads*, which go through per-workspace mirrors and memos),
+//! * the vector/matrix unique tables, sharded by node hash into
+//!   [`SHARDS`] independently locked maps,
+//! * the append-only node arenas behind reader/writer locks (readers are
+//!   per-workspace mirrors filling in bulk; writers append on interning
+//!   misses),
+//! * the shared gate-diagram cache (an L2 behind every workspace's lossy L1),
+//! * the free lists and telemetry counters.
+//!
+//! The per-thread half stays inside `DdPackage`: lossy compute caches (they
+//! are overwrite-on-collision, so thread-local is both correct and
+//! lock-free), `Budget`/`CancelToken`, protection roots and `MemoryStats`.
+//! [`SharedHandle`] is the glue a package holds when attached: read mirrors
+//! of the arenas and the complex table (lock-free after first touch, valid
+//! because arenas are append-only while more than one workspace is
+//! attached), plus thread-local memo caches for weight arithmetic keyed on
+//! canonical [`CIdx`] pairs so repeated products never touch the complex
+//! mutex.
+//!
+//! # Canonicity across threads
+//!
+//! Node normalisation is a deterministic function of canonical inputs: equal
+//! child edges produce bit-identical weights, the complex mutex linearises
+//! tolerance merging, and each shard mutex linearises node interning — so
+//! two threads constructing the same subdiagram always end up with the
+//! *same* `(NodeId, CIdx)` edge. That is what turns the portfolio's
+//! duplicated work into cross-thread cache hits.
+//!
+//! # Garbage collection protocol
+//!
+//! Collection on a shared store is **deferred while more than one workspace
+//! is attached** (the documented alternative to a stop-the-world barrier):
+//! arenas are append-only during a race, which is exactly the invariant the
+//! lock-free mirrors rely on. A workspace that finds itself the *sole*
+//! attachment (checked under [`SharedStore::gc_lock`], which attachment also
+//! takes) may run a full mark-and-sweep — including complex-table
+//! compaction — and then invalidates its own mirrors; workspaces attaching
+//! later start with empty mirrors and can never observe a stale slot. The
+//! only mid-race effect is that the automatic GC threshold is ignored while
+//! racing, traded for cross-thread structure sharing.
+
+use crate::cache::LossyCache;
+use crate::complex::Complex;
+use crate::hash::{fx_hash, FxHashMap};
+use crate::limits::Budget;
+use crate::node::{MEdge, MNode, NodeId, VNode};
+use crate::package::{DdPackage, GateKey, MemoryConfig};
+use crate::table::{CIdx, ComplexTable};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of independently locked unique-table shards per node kind.
+///
+/// Sixteen shards keep lock contention negligible for the portfolio's
+/// typical 4–8 racing schemes while staying cheap to clear and rebuild
+/// during collection. Must be a power of two (shard = hash & (SHARDS - 1)).
+pub const SHARDS: usize = 16;
+
+/// A unique-table entry: the canonical node id plus the workspace that first
+/// interned it (for cross-thread telemetry).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Interned {
+    pub(crate) id: u32,
+    pub(crate) owner: u32,
+}
+
+/// Aggregate telemetry of a [`SharedStore`].
+///
+/// Workspace-local counters (intern hits, cross-thread hits) are flushed
+/// into the store when a workspace detaches, so the totals are complete once
+/// a race has finished and its packages are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SharedStoreStats {
+    /// Live nodes (both kinds) right now.
+    pub live_nodes: usize,
+    /// Highest live node count ever observed.
+    pub peak_nodes: usize,
+    /// Nodes ever allocated across all workspaces (unique-table misses).
+    pub allocated_nodes: u64,
+    /// Nodes reclaimed by shared-store collections.
+    pub reclaimed_nodes: u64,
+    /// Completed shared-store collections.
+    pub gc_runs: usize,
+    /// Live interned complex weights.
+    pub complex_entries: usize,
+    /// Unique-table and gate-cache lookups answered by an existing canonical
+    /// entry (from any workspace, including the asking one).
+    pub intern_hits: u64,
+    /// Subset of `intern_hits` where the entry was created by a *different*
+    /// workspace — the cross-thread sharing the store exists for.
+    pub cross_thread_hits: u64,
+    /// Workspaces currently attached.
+    pub attached: usize,
+}
+
+impl SharedStoreStats {
+    /// Fraction of canonical-store hits served by another workspace's
+    /// entry, or `None` before the first hit.
+    pub fn cross_thread_hit_rate(&self) -> Option<f64> {
+        if self.intern_hits == 0 {
+            None
+        } else {
+            Some(self.cross_thread_hits as f64 / self.intern_hits as f64)
+        }
+    }
+}
+
+/// The thread-safe shared core of a set of decision-diagram workspaces.
+///
+/// Create one per circuit pair (or longer-lived unit of sharing), then
+/// attach one workspace per thread with [`workspace`](Self::workspace) /
+/// [`workspace_with`](Self::workspace_with). Workspaces of *different* qubit
+/// counts may share a store: unique tables are sharded by node hash, not by
+/// level, so a miter package and a reconstruction package with extra
+/// ancillas still share their common low-level subdiagrams.
+///
+/// # Examples
+///
+/// ```
+/// use dd::{gates, SharedStore};
+///
+/// let store = SharedStore::new();
+/// let mut a = store.workspace(2);
+/// let mut b = store.workspace(2);
+/// let ga = a.make_gate(&gates::h(), 0, &[]);
+/// let gb = b.make_gate(&gates::h(), 0, &[]);
+/// // Canonical across workspaces: the same (node, weight) handle.
+/// assert_eq!(ga, gb);
+/// // Per-workspace telemetry flushes into the store when workspaces detach.
+/// drop((a, b));
+/// assert!(store.stats().cross_thread_hits > 0);
+/// ```
+#[derive(Debug)]
+pub struct SharedStore {
+    pub(crate) ctab: Mutex<ComplexTable>,
+    pub(crate) vshards: Vec<Mutex<FxHashMap<VNode, Interned>>>,
+    pub(crate) mshards: Vec<Mutex<FxHashMap<MNode, Interned>>>,
+    pub(crate) varena: RwLock<Vec<VNode>>,
+    pub(crate) marena: RwLock<Vec<MNode>>,
+    pub(crate) vfree: Mutex<Vec<u32>>,
+    pub(crate) mfree: Mutex<Vec<u32>>,
+    /// Shared gate-diagram cache (L2 behind each workspace's lossy L1).
+    pub(crate) gate_cache: Mutex<FxHashMap<GateKey, (MEdge, u32)>>,
+    /// Serialises attachment against collection: GC holds it for the whole
+    /// run and only proceeds when `attached == 1`, so no other workspace can
+    /// appear (or fill mirrors) mid-sweep.
+    pub(crate) gc_lock: Mutex<()>,
+    pub(crate) attached: AtomicUsize,
+    next_workspace: AtomicU32,
+    pub(crate) vlive: AtomicUsize,
+    pub(crate) mlive: AtomicUsize,
+    pub(crate) peak_nodes: AtomicUsize,
+    pub(crate) allocated: AtomicU64,
+    pub(crate) reclaimed: AtomicU64,
+    pub(crate) gc_runs: AtomicUsize,
+    pub(crate) intern_hits: AtomicU64,
+    pub(crate) cross_thread_hits: AtomicU64,
+}
+
+impl SharedStore {
+    /// Creates an empty shared store.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<SharedStore> {
+        Arc::new(SharedStore {
+            ctab: Mutex::new(ComplexTable::new()),
+            vshards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            mshards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            varena: RwLock::new(Vec::new()),
+            marena: RwLock::new(Vec::new()),
+            vfree: Mutex::new(Vec::new()),
+            mfree: Mutex::new(Vec::new()),
+            gate_cache: Mutex::new(FxHashMap::default()),
+            gc_lock: Mutex::new(()),
+            attached: AtomicUsize::new(0),
+            next_workspace: AtomicU32::new(0),
+            vlive: AtomicUsize::new(0),
+            mlive: AtomicUsize::new(0),
+            peak_nodes: AtomicUsize::new(0),
+            allocated: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            gc_runs: AtomicUsize::new(0),
+            intern_hits: AtomicU64::new(0),
+            cross_thread_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Attaches an unbudgeted workspace over `n_qubits` qubits.
+    pub fn workspace(self: &Arc<Self>, n_qubits: usize) -> DdPackage {
+        self.workspace_with(n_qubits, Budget::unlimited(), MemoryConfig::default())
+    }
+
+    /// Attaches a workspace with an explicit budget and memory configuration.
+    ///
+    /// The workspace's lossy compute caches are sized by `config` as usual;
+    /// its automatic-GC threshold only takes effect while it is the sole
+    /// attachment (see the module docs for the deferral protocol).
+    pub fn workspace_with(
+        self: &Arc<Self>,
+        n_qubits: usize,
+        budget: Budget,
+        config: MemoryConfig,
+    ) -> DdPackage {
+        DdPackage::attached(self, n_qubits, budget, config)
+    }
+
+    /// Number of workspaces currently attached.
+    pub fn attached_workspaces(&self) -> usize {
+        self.attached.load(Ordering::Acquire)
+    }
+
+    /// Live nodes across both arenas.
+    pub(crate) fn live_nodes(&self) -> usize {
+        self.vlive.load(Ordering::Relaxed) + self.mlive.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate telemetry (see [`SharedStoreStats`]).
+    pub fn stats(&self) -> SharedStoreStats {
+        SharedStoreStats {
+            live_nodes: self.live_nodes(),
+            peak_nodes: self.peak_nodes.load(Ordering::Relaxed),
+            allocated_nodes: self.allocated.load(Ordering::Relaxed),
+            reclaimed_nodes: self.reclaimed.load(Ordering::Relaxed),
+            gc_runs: self.gc_runs.load(Ordering::Relaxed),
+            complex_entries: self.ctab.lock().expect("complex table lock").live_len(),
+            intern_hits: self.intern_hits.load(Ordering::Relaxed),
+            cross_thread_hits: self.cross_thread_hits.load(Ordering::Relaxed),
+            attached: self.attached.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The package-side handle of one attachment: mirrors, memos and telemetry.
+///
+/// Mirrors are `RefCell`s because diagram *reads* (`vnode`, weight lookups)
+/// happen behind `&self` package methods; the package itself is `Send` but
+/// not `Sync`, which is exactly the one-workspace-per-thread contract.
+#[derive(Debug)]
+pub(crate) struct SharedHandle {
+    pub(crate) store: Arc<SharedStore>,
+    pub(crate) ws_id: u32,
+    vmirror: RefCell<Vec<VNode>>,
+    mmirror: RefCell<Vec<MNode>>,
+    cmirror: RefCell<Vec<Complex>>,
+    mul_memo: LossyCache<(CIdx, CIdx), CIdx>,
+    add_memo: LossyCache<(CIdx, CIdx), CIdx>,
+    div_memo: LossyCache<(CIdx, CIdx), CIdx>,
+    /// Exact-bits memo for raw value interning: identical bit patterns must
+    /// map to the canonical index, so memoising on bits is loss-free.
+    bits_memo: LossyCache<(u64, u64), CIdx>,
+    pub(crate) intern_hits: u64,
+    pub(crate) cross_thread_hits: u64,
+}
+
+/// log2 slots of the weight-arithmetic memo caches.
+const MEMO_BITS: u32 = 14;
+
+impl SharedHandle {
+    pub(crate) fn new(store: &Arc<SharedStore>) -> Self {
+        // Attachment synchronises with collection: once this increment is
+        // visible (under the gc_lock), no GC can start until we detach.
+        let _guard = store.gc_lock.lock().expect("gc lock");
+        store.attached.fetch_add(1, Ordering::AcqRel);
+        SharedHandle {
+            store: Arc::clone(store),
+            ws_id: store.next_workspace.fetch_add(1, Ordering::Relaxed),
+            vmirror: RefCell::new(Vec::new()),
+            mmirror: RefCell::new(Vec::new()),
+            cmirror: RefCell::new(Vec::new()),
+            mul_memo: LossyCache::new("shared_mul", MEMO_BITS),
+            add_memo: LossyCache::new("shared_add", MEMO_BITS),
+            div_memo: LossyCache::new("shared_div", MEMO_BITS),
+            bits_memo: LossyCache::new("shared_intern", MEMO_BITS),
+            intern_hits: 0,
+            cross_thread_hits: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node reads (mirrored, lock-free after first touch)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn vnode(&self, id: NodeId) -> VNode {
+        let idx = id.index();
+        {
+            let mirror = self.vmirror.borrow();
+            if idx < mirror.len() {
+                let node = mirror[idx];
+                // A freed slot may have been recycled since it was mirrored
+                // (only across an exclusive GC); refetch below.
+                if !node.is_free() {
+                    return node;
+                }
+            }
+        }
+        let mut mirror = self.vmirror.borrow_mut();
+        let arena = self.store.varena.read().expect("vector arena lock");
+        let len = mirror.len();
+        if idx < len {
+            mirror[idx] = arena[idx];
+        } else {
+            mirror.extend_from_slice(&arena[len..]);
+        }
+        mirror[idx]
+    }
+
+    pub(crate) fn mnode(&self, id: NodeId) -> MNode {
+        let idx = id.index();
+        {
+            let mirror = self.mmirror.borrow();
+            if idx < mirror.len() {
+                let node = mirror[idx];
+                if !node.is_free() {
+                    return node;
+                }
+            }
+        }
+        let mut mirror = self.mmirror.borrow_mut();
+        let arena = self.store.marena.read().expect("matrix arena lock");
+        let len = mirror.len();
+        if idx < len {
+            mirror[idx] = arena[idx];
+        } else {
+            mirror.extend_from_slice(&arena[len..]);
+        }
+        mirror[idx]
+    }
+
+    // ------------------------------------------------------------------
+    // Complex weights
+    // ------------------------------------------------------------------
+
+    pub(crate) fn value(&self, idx: CIdx) -> Complex {
+        let i = idx.index();
+        {
+            let mirror = self.cmirror.borrow();
+            if i < mirror.len() {
+                let v = mirror[i];
+                // NaN marks a compaction-freed (possibly recycled) slot.
+                if !v.re.is_nan() {
+                    return v;
+                }
+            }
+        }
+        let mut mirror = self.cmirror.borrow_mut();
+        let table = self.store.ctab.lock().expect("complex table lock");
+        let len = mirror.len();
+        if i < len {
+            mirror[i] = table.values()[i];
+        } else {
+            mirror.extend_from_slice(&table.values()[len..]);
+        }
+        mirror[i]
+    }
+
+    pub(crate) fn intern(&mut self, value: Complex) -> CIdx {
+        if value.is_zero() {
+            return CIdx::ZERO;
+        }
+        if value.is_one() {
+            return CIdx::ONE;
+        }
+        let key = (value.re.to_bits(), value.im.to_bits());
+        if let Some(idx) = self.bits_memo.get(&key) {
+            return idx;
+        }
+        let idx = self
+            .store
+            .ctab
+            .lock()
+            .expect("complex table lock")
+            .lookup(value);
+        self.bits_memo.insert(key, idx);
+        idx
+    }
+
+    pub(crate) fn mul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() || b.is_zero() {
+            return CIdx::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if let Some(idx) = self.mul_memo.get(&(a, b)) {
+            return idx;
+        }
+        let product = self.value(a) * self.value(b);
+        let idx = self.intern(product);
+        self.mul_memo.insert((a, b), idx);
+        idx
+    }
+
+    pub(crate) fn add(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if let Some(idx) = self.add_memo.get(&(a, b)) {
+            return idx;
+        }
+        let sum = self.value(a) + self.value(b);
+        let idx = self.intern(sum);
+        self.add_memo.insert((a, b), idx);
+        idx
+    }
+
+    pub(crate) fn div(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        debug_assert!(!b.is_zero(), "division of interned values by zero");
+        if a.is_zero() {
+            return CIdx::ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if let Some(idx) = self.div_memo.get(&(a, b)) {
+            return idx;
+        }
+        let quotient = self.value(a) / self.value(b);
+        let idx = self.intern(quotient);
+        self.div_memo.insert((a, b), idx);
+        idx
+    }
+
+    pub(crate) fn conj(&mut self, a: CIdx) -> CIdx {
+        if a.is_zero() || a.is_one() {
+            return a;
+        }
+        let conj = self.value(a).conj();
+        self.intern(conj)
+    }
+
+    // ------------------------------------------------------------------
+    // Node interning (sharded unique tables)
+    // ------------------------------------------------------------------
+
+    /// Interns a vector node; returns the canonical id and whether it was
+    /// freshly allocated by this call.
+    pub(crate) fn intern_vnode(&mut self, node: VNode) -> (NodeId, bool) {
+        let hash = fx_hash(&node);
+        let shard = &self.store.vshards[(hash as usize) & (SHARDS - 1)];
+        let mut map = shard.lock().expect("vector shard lock");
+        if let Some(found) = map.get(&node) {
+            self.intern_hits += 1;
+            if found.owner != self.ws_id {
+                self.cross_thread_hits += 1;
+            }
+            return (NodeId(found.id), false);
+        }
+        let id = {
+            let slot = self.store.vfree.lock().expect("vector free list").pop();
+            let mut arena = self.store.varena.write().expect("vector arena lock");
+            match slot {
+                Some(slot) => {
+                    arena[slot as usize] = node;
+                    slot
+                }
+                None => {
+                    arena.push(node);
+                    (arena.len() - 1) as u32
+                }
+            }
+        };
+        map.insert(
+            node,
+            Interned {
+                id,
+                owner: self.ws_id,
+            },
+        );
+        drop(map);
+        self.note_allocation(
+            self.store.vlive.fetch_add(1, Ordering::Relaxed)
+                + 1
+                + self.store.mlive.load(Ordering::Relaxed),
+        );
+        {
+            let mut mirror = self.vmirror.borrow_mut();
+            let idx = id as usize;
+            if idx < mirror.len() {
+                mirror[idx] = node;
+            } else if idx == mirror.len() {
+                mirror.push(node);
+            }
+        }
+        (NodeId(id), true)
+    }
+
+    /// Interns a matrix node; see [`intern_vnode`](Self::intern_vnode).
+    pub(crate) fn intern_mnode(&mut self, node: MNode) -> (NodeId, bool) {
+        let hash = fx_hash(&node);
+        let shard = &self.store.mshards[(hash as usize) & (SHARDS - 1)];
+        let mut map = shard.lock().expect("matrix shard lock");
+        if let Some(found) = map.get(&node) {
+            self.intern_hits += 1;
+            if found.owner != self.ws_id {
+                self.cross_thread_hits += 1;
+            }
+            return (NodeId(found.id), false);
+        }
+        let id = {
+            let slot = self.store.mfree.lock().expect("matrix free list").pop();
+            let mut arena = self.store.marena.write().expect("matrix arena lock");
+            match slot {
+                Some(slot) => {
+                    arena[slot as usize] = node;
+                    slot
+                }
+                None => {
+                    arena.push(node);
+                    (arena.len() - 1) as u32
+                }
+            }
+        };
+        map.insert(
+            node,
+            Interned {
+                id,
+                owner: self.ws_id,
+            },
+        );
+        drop(map);
+        self.note_allocation(
+            self.store.mlive.fetch_add(1, Ordering::Relaxed)
+                + 1
+                + self.store.vlive.load(Ordering::Relaxed),
+        );
+        {
+            let mut mirror = self.mmirror.borrow_mut();
+            let idx = id as usize;
+            if idx < mirror.len() {
+                mirror[idx] = node;
+            } else if idx == mirror.len() {
+                mirror.push(node);
+            }
+        }
+        (NodeId(id), true)
+    }
+
+    fn note_allocation(&self, live: usize) {
+        self.store.allocated.fetch_add(1, Ordering::Relaxed);
+        self.store.peak_nodes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared gate cache (L2)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn gate_get(&mut self, key: &GateKey) -> Option<MEdge> {
+        let map = self.store.gate_cache.lock().expect("gate cache lock");
+        let (edge, owner) = map.get(key)?;
+        let (edge, owner) = (*edge, *owner);
+        drop(map);
+        self.intern_hits += 1;
+        if owner != self.ws_id {
+            self.cross_thread_hits += 1;
+        }
+        Some(edge)
+    }
+
+    pub(crate) fn gate_insert(&mut self, key: GateKey, edge: MEdge) {
+        self.store
+            .gate_cache
+            .lock()
+            .expect("gate cache lock")
+            .entry(key)
+            .or_insert((edge, self.ws_id));
+    }
+
+    /// Invalidates every mirror and memo — required after an exclusive
+    /// collection recycles arena slots and compacts the complex table.
+    pub(crate) fn clear_local(&mut self) {
+        self.vmirror.borrow_mut().clear();
+        self.mmirror.borrow_mut().clear();
+        self.cmirror.borrow_mut().clear();
+        self.mul_memo.clear();
+        self.add_memo.clear();
+        self.div_memo.clear();
+        self.bits_memo.clear();
+    }
+}
+
+impl Drop for SharedHandle {
+    fn drop(&mut self) {
+        // Flush local telemetry so SharedStore::stats() is complete once a
+        // race's workspaces are gone, then detach.
+        self.store
+            .intern_hits
+            .fetch_add(self.intern_hits, Ordering::Relaxed);
+        self.store
+            .cross_thread_hits
+            .fetch_add(self.cross_thread_hits, Ordering::Relaxed);
+        self.store.attached.fetch_sub(1, Ordering::AcqRel);
+    }
+}

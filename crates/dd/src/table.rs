@@ -60,6 +60,10 @@ const BUCKET: f64 = TOLERANCE;
 pub struct ComplexTable {
     values: Vec<Complex>,
     buckets: FxHashMap<(i64, i64), Vec<u32>>,
+    /// Slots freed by [`retain_marked`](Self::retain_marked), recycled by the
+    /// next inserts. Freed slots hold a NaN sentinel and are absent from the
+    /// buckets, so lookups can never resolve to them.
+    free: Vec<u32>,
 }
 
 impl Default for ComplexTable {
@@ -74,6 +78,7 @@ impl ComplexTable {
         let mut table = ComplexTable {
             values: Vec::with_capacity(1024),
             buckets: FxHashMap::default(),
+            free: Vec::new(),
         };
         let zero = table.insert(Complex::ZERO);
         let one = table.insert(Complex::ONE);
@@ -90,8 +95,17 @@ impl ComplexTable {
     }
 
     fn insert(&mut self, value: Complex) -> CIdx {
-        let idx = self.values.len() as u32;
-        self.values.push(value);
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.values[slot as usize] = value;
+                slot
+            }
+            None => {
+                let idx = self.values.len() as u32;
+                self.values.push(value);
+                idx
+            }
+        };
         self.buckets
             .entry(Self::bucket_key(value))
             .or_default()
@@ -133,16 +147,59 @@ impl ComplexTable {
         self.values[idx.0 as usize]
     }
 
-    /// Number of distinct interned values.
+    /// Number of value slots (live entries plus compaction-freed slots).
     #[inline]
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// Number of *live* interned values (slots minus freed slots).
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.values.len() - self.free.len()
+    }
+
     /// Returns `true` when only the canonical constants are stored.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.len() <= 2
+        self.live_len() <= 2
+    }
+
+    /// The raw value slots (freed slots hold a NaN sentinel). Used by shared
+    /// workspaces to extend their lock-free read mirrors in one copy.
+    #[inline]
+    pub(crate) fn values(&self) -> &[Complex] {
+        &self.values
+    }
+
+    /// Compacts the table: every slot whose index is *not* marked is freed
+    /// for reuse and removed from the lookup buckets, so long runs stop
+    /// accumulating weights that no live diagram references. Indices of
+    /// marked entries are stable across the compaction. Returns the number
+    /// of freed slots.
+    ///
+    /// The canonical constants `0` and `1` are always kept, and indices
+    /// beyond `marked.len()` are treated as unmarked.
+    pub fn retain_marked(&mut self, marked: &[bool]) -> usize {
+        let sentinel = Complex::new(f64::NAN, f64::NAN);
+        let mut freed = 0;
+        self.buckets.clear();
+        for idx in 0..self.values.len() {
+            let keep = idx <= 1 || marked.get(idx).copied().unwrap_or(false);
+            if keep {
+                if !self.values[idx].re.is_nan() {
+                    self.buckets
+                        .entry(Self::bucket_key(self.values[idx]))
+                        .or_default()
+                        .push(idx as u32);
+                }
+            } else if !self.values[idx].re.is_nan() {
+                self.values[idx] = sentinel;
+                self.free.push(idx as u32);
+                freed += 1;
+            }
+        }
+        freed
     }
 
     /// Interns the product of two interned values.

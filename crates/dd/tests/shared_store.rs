@@ -1,0 +1,196 @@
+//! Threaded stress tests of the shared decision-diagram store: several
+//! workspaces interning overlapping QFT/QPE gate sequences concurrently must
+//! agree on *pointer-identical* canonical edges, and a final collection once
+//! the racers detach must leave the store clean and consistent.
+
+use dd::{gates, Control, DdPackage, MEdge, SharedStore, VEdge};
+use std::sync::Arc;
+
+const QUBITS: usize = 8;
+
+/// A QFT-style state preparation: Hadamards plus the controlled-phase
+/// ladder. Every thread builds the identical sequence, so every intermediate
+/// node and gate diagram overlaps across threads.
+fn qft_state(package: &mut DdPackage) -> VEdge {
+    let mut state = package.zero_state();
+    for j in (0..QUBITS).rev() {
+        state = package.apply_gate(state, &gates::h(), j, &[]);
+        for k in 0..j {
+            let angle = std::f64::consts::PI / (1u64 << (j - k)) as f64;
+            state = package.apply_gate(state, &gates::phase(angle), j, &[Control::pos(k)]);
+        }
+    }
+    state
+}
+
+/// A QPE-style controlled-rotation block as a matrix diagram.
+fn qpe_gate_block(package: &mut DdPackage) -> MEdge {
+    let mut block = package.identity();
+    for q in 1..QUBITS {
+        let angle = 3.0 * std::f64::consts::PI / (1u64 << q) as f64;
+        let gate = package.make_gate(&gates::phase(angle), q, &[Control::pos(0)]);
+        block = package.mul_matrices(gate, block);
+    }
+    block
+}
+
+#[test]
+fn concurrent_interning_yields_pointer_identical_edges() {
+    let store = SharedStore::new();
+    let threads = 6;
+
+    let results: Vec<(VEdge, MEdge, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut workspace = store.workspace(QUBITS);
+                    let state = qft_state(&mut workspace);
+                    let block = qpe_gate_block(&mut workspace);
+                    let norm = workspace.norm_sqr(state);
+                    (state, block, norm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Canonicity across threads: every workspace ended up with the *same*
+    // (NodeId, CIdx) handles, not merely equivalent diagrams.
+    let (first_state, first_block, _) = results[0];
+    for (state, block, norm) in &results {
+        assert_eq!(*state, first_state, "state edges diverged across threads");
+        assert_eq!(*block, first_block, "gate blocks diverged across threads");
+        assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm}");
+    }
+
+    let stats = store.stats();
+    assert_eq!(stats.attached, 0, "all workspaces detached");
+    assert!(
+        stats.cross_thread_hits > 0,
+        "overlapping sequences must share nodes across threads: {stats:?}"
+    );
+    assert!(stats.cross_thread_hit_rate().unwrap() > 0.0);
+    // Sharing bound: the store holds one copy of the common structure, far
+    // fewer nodes than the sum of six private packages would.
+    assert!(
+        (stats.allocated_nodes as usize) < threads * stats.peak_nodes,
+        "allocations should be sublinear in the thread count: {stats:?}"
+    );
+}
+
+#[test]
+fn final_collection_after_detach_is_clean() {
+    let store = SharedStore::new();
+
+    // Race a few workspaces, then drop them all.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                let mut workspace = store.workspace(QUBITS);
+                let state = qft_state(&mut workspace);
+                workspace.norm_sqr(state)
+            });
+        }
+    });
+    let before = store.stats();
+    assert!(before.live_nodes > 0);
+
+    // A sole fresh workspace may collect: with no protected roots, the
+    // whole race's heap is garbage (minus the shared gate cache's diagrams).
+    let mut collector = store.workspace(QUBITS);
+    let reclaimed = collector.garbage_collect();
+    assert!(reclaimed > 0, "the race's heap should be collectable");
+    let after = store.stats();
+    assert!(after.live_nodes < before.live_nodes);
+    assert_eq!(after.gc_runs, 1);
+
+    // The store stays fully usable: rebuilding the same sequence yields a
+    // normalised state again, and a rebuilt diagram is self-consistent.
+    let rebuilt = qft_state(&mut collector);
+    assert!((collector.norm_sqr(rebuilt) - 1.0).abs() < 1e-9);
+    let again = qft_state(&mut collector);
+    assert_eq!(rebuilt, again, "post-GC interning lost canonicity");
+    // Compaction telemetry: the collection reclaimed complex entries too.
+    assert!(collector.memory_stats().complex_reclaimed > 0);
+}
+
+#[test]
+fn collection_is_deferred_while_racing() {
+    let store = SharedStore::new();
+    let mut a = store.workspace(QUBITS);
+    let _b = store.workspace(QUBITS);
+    let state = qft_state(&mut a);
+    a.protect_vector(state);
+    // Two workspaces attached: collection must refuse (deferred), nothing
+    // is reclaimed and the diagram stays intact.
+    assert_eq!(a.garbage_collect(), 0);
+    assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
+    drop(_b);
+    // Sole attachment: collection proceeds; the protected state survives.
+    assert!(a.garbage_collect() > 0);
+    assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn node_budgets_stay_per_workspace_on_a_shared_store() {
+    use dd::{Budget, LimitExceeded, MemoryConfig};
+    // Fill the store with one unbudgeted workspace, then attach a tightly
+    // budgeted one: hits on existing canonical nodes must cost it nothing,
+    // so the identical (fully shared) sequence fits in a tiny budget...
+    let store = SharedStore::new();
+    let mut filler = store.workspace(QUBITS);
+    let warm = qft_state(&mut filler);
+    filler.protect_vector(warm);
+
+    let budget = Budget::unlimited().with_node_limit(64);
+    let mut frugal = store.workspace_with(QUBITS, budget.clone(), MemoryConfig::default());
+    let state = qft_state(&mut frugal);
+    assert_eq!(frugal.limit_exceeded(), None, "shared hits must be free");
+    assert_eq!(state, warm);
+
+    // ...while a workspace forced to allocate fresh structure still trips
+    // its own per-workspace limit.
+    let mut fresh = store.workspace_with(QUBITS, budget, MemoryConfig::default());
+    let mut state = fresh.zero_state();
+    for round in 0..32 {
+        for q in 0..QUBITS {
+            let angle = 0.17 + (round * QUBITS + q) as f64;
+            state = fresh.apply_gate(state, &gates::ry(angle), q, &[]);
+        }
+        if fresh.limit_exceeded().is_some() {
+            break;
+        }
+    }
+    assert_eq!(fresh.limit_exceeded(), Some(LimitExceeded::NodeLimit));
+}
+
+#[test]
+fn workspaces_of_different_sizes_share_low_level_structure() {
+    // A miter-sized workspace and a wider reconstruction workspace share
+    // the store: identical low-level gate diagrams intern to the same edge.
+    let store = SharedStore::new();
+    let mut small = store.workspace(4);
+    let gate_small = small.make_gate(&gates::h(), 1, &[Control::pos(0)]);
+    drop(small);
+    let mut wide = store.workspace(6);
+    // Same gate in the lower levels of a wider register: the wrapped levels
+    // above differ, but the shared store still serves the common subpart —
+    // observable as cross-thread hits once both workspaces are gone.
+    let state = wide.zero_state();
+    let state = wide.apply_gate(state, &gates::h(), 1, &[Control::pos(0)]);
+    assert!((wide.norm_sqr(state) - 1.0).abs() < 1e-12);
+    drop(wide);
+    let stats = store.stats();
+    assert!(stats.cross_thread_hits > 0, "{stats:?}");
+    // The 4-qubit gate diagram itself is still canonical and reusable.
+    let mut third = store.workspace(4);
+    assert_eq!(
+        third.make_gate(&gates::h(), 1, &[Control::pos(0)]),
+        gate_small
+    );
+}

@@ -21,7 +21,7 @@
 //! every pair is one independent portfolio race, so throughput scales with
 //! the worker pool.
 
-use crate::engine::{verify_portfolio, PortfolioConfig, Scheme, SchemeReport};
+use crate::engine::{verify_portfolio, PortfolioConfig, Scheme, SchemeReport, SharedStoreReport};
 use circuit::qasm;
 use qcec::Equivalence;
 use std::path::{Path, PathBuf};
@@ -223,6 +223,10 @@ pub struct PairReport {
     pub gc_runs: usize,
     /// Best compute-table hit rate any scheme of this pair reported.
     pub cache_hit_rate: Option<f64>,
+    /// Shared decision-diagram store telemetry of this pair's race (peak
+    /// nodes, cross-thread hit rate, store-level GC runs); `None` when the
+    /// pair raced with private packages or took the sequential fast path.
+    pub shared_store: Option<SharedStoreReport>,
     /// Per-scheme telemetry.
     pub schemes: Vec<SchemeReport>,
     /// Load/parse failure, when the pair never ran.
@@ -261,6 +265,7 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         peak_nodes: None,
         gc_runs: 0,
         cache_hit_rate: None,
+        shared_store: None,
         schemes: Vec::new(),
         error: Some(error),
     }
@@ -309,6 +314,7 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
             .fold(None, |best: Option<f64>, rate| {
                 Some(best.map_or(rate, |b| b.max(rate)))
             }),
+        shared_store: result.shared_store,
         schemes: result.schemes,
         error: None,
     }

@@ -10,6 +10,8 @@
 //!   --node-limit N    per-scheme decision-diagram node budget
 //!   --leaf-limit N    extraction leaf budget for the fixed-input scheme
 //!   --deadline SECS   wall-clock deadline per pair (fractional seconds ok)
+//!   --private-packages race schemes on private DD packages instead of the
+//!                     shared store (for sharing/contention comparisons)
 //!   --compact         emit compact instead of pretty-printed JSON
 //! ```
 //!
@@ -27,6 +29,7 @@ struct Args {
     node_limit: Option<usize>,
     leaf_limit: Option<usize>,
     deadline: Option<f64>,
+    private_packages: bool,
     compact: bool,
 }
 
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         node_limit: None,
         leaf_limit: None,
         deadline: None,
+        private_packages: false,
         compact: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -81,11 +85,13 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.deadline = Some(seconds);
             }
+            "--private-packages" => args.private_packages = true,
             "--compact" => args.compact = true,
             "--help" | "-h" => {
                 println!(
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
-                     [--node-limit N] [--leaf-limit N] [--deadline SECS] [--compact]"
+                     [--node-limit N] [--leaf-limit N] [--deadline SECS] \
+                     [--private-packages] [--compact]"
                 );
                 std::process::exit(0);
             }
@@ -124,6 +130,7 @@ fn main() {
     options.portfolio.node_limit = args.node_limit;
     options.portfolio.leaf_limit = args.leaf_limit;
     options.portfolio.deadline = args.deadline.map(std::time::Duration::from_secs_f64);
+    options.portfolio.shared_package = !args.private_packages;
 
     let report = run_batch(&manifest, &options);
     for pair in &report.pairs {

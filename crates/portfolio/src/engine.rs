@@ -2,14 +2,14 @@
 
 use circuit::QuantumCircuit;
 use dd::MemoryStats;
-use dd::{Budget, CancelToken, LimitExceeded};
+use dd::{Budget, CancelToken, LimitExceeded, SharedStore, SharedStoreStats};
 use qcec::{
-    check_functional_equivalence_with, check_simulative_equivalence_with,
-    verify_dynamic_functional_with, verify_fixed_input_with, CheckError, Configuration,
-    DynamicCheckError, Equivalence, Strategy,
+    check_functional_equivalence_in, check_simulative_equivalence_in, verify_dynamic_functional_in,
+    verify_fixed_input_in, CheckError, Configuration, DynamicCheckError, Equivalence, Strategy,
 };
 use sim::{ExtractionConfig, SimError};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One verification scheme the portfolio can race.
@@ -60,7 +60,7 @@ impl std::fmt::Display for Scheme {
 }
 
 /// Configuration of a portfolio run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PortfolioConfig {
     /// Configuration shared by the underlying checks.
     pub configuration: Configuration,
@@ -68,13 +68,36 @@ pub struct PortfolioConfig {
     pub extraction: ExtractionConfig,
     /// Schemes to race; empty selects [`applicable_schemes`] automatically.
     pub schemes: Vec<Scheme>,
-    /// Optional per-scheme decision-diagram node budget.
+    /// Optional per-scheme decision-diagram node budget. The budget keeps
+    /// its per-scheme meaning under [`shared_package`](Self::shared_package):
+    /// each scheme is metered on the nodes *it* allocated into the shared
+    /// store, so reusing a competitor's node costs nothing.
     pub node_limit: Option<usize>,
     /// Optional leaf budget for the fixed-input scheme.
     pub leaf_limit: Option<usize>,
     /// Optional wall-clock deadline per race, enforced inside decision-
     /// diagram allocation (reported as a scheme error when it trips).
     pub deadline: Option<Duration>,
+    /// Race all schemes against one shared decision-diagram store
+    /// ([`dd::SharedStore`]) instead of private per-scheme packages, so the
+    /// miter, simulative and extraction walkers reuse each other's gate
+    /// diagrams and subdiagrams (default: `true`). The tiny-instance
+    /// sequential fast path is unaffected either way.
+    pub shared_package: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            configuration: Configuration::default(),
+            extraction: ExtractionConfig::default(),
+            schemes: Vec::new(),
+            node_limit: None,
+            leaf_limit: None,
+            deadline: None,
+            shared_package: true,
+        }
+    }
 }
 
 /// Telemetry of one scheme's run inside a portfolio.
@@ -101,6 +124,52 @@ pub struct SchemeReport {
     pub cache_hit_rate: Option<f64>,
     /// Decision-diagram garbage-collection runs during the scheme.
     pub gc_runs: Option<usize>,
+    /// Live nodes of the shared store as this scheme finished (`None` when
+    /// racing with private packages).
+    pub shared_nodes: Option<usize>,
+    /// Fraction of this scheme's canonical-store hits served by structure
+    /// another racing scheme built first (`None` with private packages).
+    pub cross_thread_hit_rate: Option<f64>,
+}
+
+/// Telemetry of the shared decision-diagram store behind one portfolio race
+/// (see [`dd::SharedStoreStats`]; reported into the batch JSON as the
+/// per-pair `shared_store` block).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SharedStoreReport {
+    /// Live nodes when the race ended.
+    pub shared_nodes: usize,
+    /// Peak live nodes across the whole race.
+    pub peak_nodes: usize,
+    /// Nodes allocated across all schemes (unique-table misses).
+    pub allocated_nodes: u64,
+    /// Canonical lookups (unique tables + shared gate cache) answered by an
+    /// existing entry.
+    pub intern_hits: u64,
+    /// Subset of `intern_hits` served by a *different* scheme's entry.
+    pub cross_thread_hits: u64,
+    /// `cross_thread_hits / intern_hits`, the headline sharing metric.
+    pub cross_thread_hit_rate: Option<f64>,
+    /// Store-level garbage collections (deferred while schemes race, so
+    /// usually `0` unless a sole surviving scheme collected).
+    pub gc_runs: usize,
+    /// Live interned complex weights at race end.
+    pub complex_entries: usize,
+}
+
+impl From<SharedStoreStats> for SharedStoreReport {
+    fn from(stats: SharedStoreStats) -> Self {
+        SharedStoreReport {
+            shared_nodes: stats.live_nodes,
+            peak_nodes: stats.peak_nodes,
+            allocated_nodes: stats.allocated_nodes,
+            intern_hits: stats.intern_hits,
+            cross_thread_hits: stats.cross_thread_hits,
+            cross_thread_hit_rate: stats.cross_thread_hit_rate(),
+            gc_runs: stats.gc_runs,
+            complex_entries: stats.complex_entries,
+        }
+    }
 }
 
 /// Outcome of a portfolio race.
@@ -117,6 +186,10 @@ pub struct PortfolioResult {
     pub total_time: Duration,
     /// Telemetry of every scheme, in completion order.
     pub schemes: Vec<SchemeReport>,
+    /// Shared-store telemetry when the race used one
+    /// ([`PortfolioConfig::shared_package`]); `None` for private-package
+    /// races and the sequential fast path.
+    pub shared_store: Option<SharedStoreReport>,
 }
 
 /// Selects the schemes worth racing for a circuit pair.
@@ -160,13 +233,29 @@ fn conclusive(verdict: Equivalence) -> bool {
 /// Runs a single scheme under `budget` and reports its telemetry.
 ///
 /// This is the worker body of [`verify_portfolio`], exposed so benchmarks
-/// and tests can time individual schemes under identical conditions.
+/// and tests can time individual schemes under identical conditions. The
+/// scheme uses a private decision-diagram package; see [`run_scheme_in`] to
+/// run it against a shared store.
 pub fn run_scheme(
     scheme: Scheme,
     left: &QuantumCircuit,
     right: &QuantumCircuit,
     config: &PortfolioConfig,
     budget: &Budget,
+) -> SchemeReport {
+    run_scheme_in(scheme, left, right, config, budget, None)
+}
+
+/// [`run_scheme`] with an optional shared decision-diagram store: the
+/// scheme's packages then attach as workspaces of `store`, interning into
+/// the same canonical node space as every other scheme racing on it.
+pub fn run_scheme_in(
+    scheme: Scheme,
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    budget: &Budget,
+    store: Option<&Arc<SharedStore>>,
 ) -> SchemeReport {
     let start = Instant::now();
     let (verdict, peak_nodes, error, cancelled, memory) = match scheme {
@@ -175,7 +264,7 @@ pub fn run_scheme(
                 strategy,
                 ..config.configuration
             };
-            match check_functional_equivalence_with(left, right, &configuration, budget) {
+            match check_functional_equivalence_in(left, right, &configuration, budget, store) {
                 Ok(check) => (
                     Some(check.equivalence),
                     Some(check.peak_diagram_size),
@@ -187,7 +276,8 @@ pub fn run_scheme(
             }
         }
         Scheme::Simulative => {
-            match check_simulative_equivalence_with(left, right, &config.configuration, budget) {
+            match check_simulative_equivalence_in(left, right, &config.configuration, budget, store)
+            {
                 Ok(check) => (
                     Some(check.equivalence),
                     None,
@@ -203,7 +293,7 @@ pub fn run_scheme(
                 strategy,
                 ..config.configuration
             };
-            match verify_dynamic_functional_with(left, right, &configuration, budget) {
+            match verify_dynamic_functional_in(left, right, &configuration, budget, store) {
                 Ok(report) => (
                     Some(report.equivalence),
                     Some(report.check.peak_diagram_size),
@@ -215,12 +305,13 @@ pub fn run_scheme(
             }
         }
         Scheme::FixedInput => {
-            match verify_fixed_input_with(
+            match verify_fixed_input_in(
                 left,
                 right,
                 &config.configuration,
                 &config.extraction,
                 budget,
+                store,
             ) {
                 Ok(report) => {
                     let support =
@@ -249,6 +340,8 @@ pub fn run_scheme(
         peak_nodes,
         cache_hit_rate: memory.and_then(|m| m.compute_hit_rate()),
         gc_runs: memory.map(|m| m.gc_runs),
+        shared_nodes: memory.and_then(|m| (m.shared_nodes > 0).then_some(m.shared_nodes)),
+        cross_thread_hit_rate: memory.and_then(|m| m.cross_thread_hit_rate()),
     }
 }
 
@@ -330,6 +423,7 @@ fn combine(
         time_to_verdict: time_to_verdict.unwrap_or(total_time),
         total_time,
         schemes: reports,
+        shared_store: None,
     }
 }
 
@@ -367,7 +461,12 @@ fn verify_sequential(
 /// a circuit pair across `std::thread` workers and returns the first
 /// conclusive verdict plus per-scheme telemetry.
 ///
-/// Every worker owns its own decision-diagram package; the workers share one
+/// By default the workers race against one shared decision-diagram store
+/// ([`PortfolioConfig::shared_package`]): whichever scheme builds a gate
+/// diagram or subdiagram first, the others get it as a cache hit — the
+/// miter, the simulative check and the extraction walkers intern largely
+/// the same structure. Set the flag to `false` for fully private
+/// per-scheme packages. The workers additionally share one
 /// [`CancelToken`], so the moment a conclusive verdict arrives the losing
 /// schemes stop burning cores and unwind. The wall time of the whole call
 /// therefore tracks the *fastest* scheme, while the verdict quality matches
@@ -414,6 +513,11 @@ pub fn verify_portfolio(
         return verify_sequential(left, right, config, order, &make_budget());
     }
 
+    // Shared-package racing: one concurrent store for the whole race, so
+    // every scheme interning the same gate diagram or subdiagram gets the
+    // other schemes' work as cache hits instead of rebuilding it.
+    let store = config.shared_package.then(SharedStore::new);
+
     let start = Instant::now();
     let mut reports: Vec<SchemeReport> = Vec::with_capacity(schemes.len());
     let mut verdict: Option<Equivalence> = None;
@@ -431,8 +535,9 @@ pub fn verify_portfolio(
             let budget = make_budget();
             let sender = sender.clone();
             let cancel = cancel.clone();
+            let store = store.as_ref();
             scope.spawn(move || {
-                let report = run_scheme(scheme, left, right, config, &budget);
+                let report = run_scheme_in(scheme, left, right, config, &budget, store);
                 let finished_at = start.elapsed();
                 if report.conclusive {
                     // Cancel from inside the worker so losers start unwinding
@@ -460,7 +565,14 @@ pub fn verify_portfolio(
             }
             reports.push(report);
         };
-        let inline_report = run_scheme(schemes[0], left, right, config, &make_budget());
+        let inline_report = run_scheme_in(
+            schemes[0],
+            left,
+            right,
+            config,
+            &make_budget(),
+            store.as_ref(),
+        );
         let inline_finished_at = start.elapsed();
         if inline_report.conclusive {
             cancel.cancel();
@@ -489,5 +601,9 @@ pub fn verify_portfolio(
         }
     }
 
-    combine(start, reports, verdict, winner, time_to_verdict)
+    let mut result = combine(start, reports, verdict, winner, time_to_verdict);
+    // Every scheme's workspaces are gone by now (the scope joined all
+    // workers), so the store's flushed counters are complete.
+    result.shared_store = store.map(|store| SharedStoreReport::from(store.stats()));
+    result
 }

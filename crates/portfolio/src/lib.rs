@@ -9,17 +9,41 @@
 //! **races every applicable scheme concurrently** and returns the first
 //! conclusive verdict:
 //!
-//! * [`verify_portfolio`] spawns one `std::thread` worker per scheme, each
-//!   with its own decision-diagram package and a shared
-//!   [`CancelToken`](qcec::CancelToken). The first conclusive verdict cancels
-//!   the losers, which unwind within a few hundred node allocations thanks to
-//!   the budget plumbing inside [`dd`], [`sim`] and [`qcec`].
+//! * [`verify_portfolio`] spawns one `std::thread` worker per scheme and a
+//!   shared [`CancelToken`](qcec::CancelToken). The first conclusive verdict
+//!   cancels the losers, which unwind within a few hundred node allocations
+//!   thanks to the budget plumbing inside [`dd`], [`sim`] and [`qcec`].
+//! * **Shared-package racing** ([`PortfolioConfig::shared_package`], default
+//!   on): the racing schemes attach to one concurrent
+//!   [`dd::SharedStore`], so the miter construction, the simulative check
+//!   and the extraction walkers reuse each other's gate diagrams, complex
+//!   weights and subdiagrams instead of re-interning them privately. The
+//!   tiny-instance sequential fast path is unchanged.
 //! * Per-scheme telemetry ([`SchemeReport`]) records verdicts, wall times,
 //!   peak diagram sizes and whether the scheme was cancelled — the raw data
 //!   behind portfolio-weight tuning.
 //! * The [`batch`] module fans whole workloads (a JSON manifest or a
 //!   directory of QASM pairs) over a worker pool and produces a
 //!   machine-readable JSON report; the `verify` binary is its CLI.
+//!
+//! ## Shared-store telemetry in reports
+//!
+//! When a race uses the shared store, three layers of telemetry surface the
+//! sharing:
+//!
+//! * [`SchemeReport::shared_nodes`] — live nodes of the store as that scheme
+//!   finished — and [`SchemeReport::cross_thread_hit_rate`] — the fraction
+//!   of the scheme's canonical lookups (unique tables plus the shared gate
+//!   cache) answered by structure *another* scheme built first.
+//! * [`PortfolioResult::shared_store`] (a [`SharedStoreReport`]) aggregates
+//!   the whole race: `shared_nodes` (live at race end), `peak_nodes`,
+//!   `allocated_nodes`, `intern_hits`, `cross_thread_hits`,
+//!   `cross_thread_hit_rate`, `gc_runs` (store-level collections; deferred
+//!   while schemes race) and `complex_entries` (live interned weights).
+//! * The batch JSON report repeats that block per pair
+//!   (`pairs[i].shared_store`) next to the existing `peak_nodes` /
+//!   `gc_runs` scheme aggregates, so perf trajectories across a workload
+//!   can be mined for lock-contention or sharing regressions.
 //!
 //! ## Quick start
 //!
@@ -61,6 +85,6 @@ pub mod batch;
 mod engine;
 
 pub use engine::{
-    applicable_schemes, run_scheme, verify_portfolio, PortfolioConfig, PortfolioResult, Scheme,
-    SchemeReport,
+    applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, PortfolioConfig,
+    PortfolioResult, Scheme, SchemeReport, SharedStoreReport,
 };

@@ -248,6 +248,75 @@ fn functional_refutation_outranks_fixed_input_equivalence() {
 }
 
 #[test]
+fn shared_store_race_matches_private_packages() {
+    // Non-tiny dynamic pair → threaded racing path. The shared-store race
+    // (default) and the private-package race must agree on the verdict; only
+    // the shared race carries store telemetry.
+    let n = 10;
+    let left = qft::qft_static(n, None, true);
+    let right = qft::qft_dynamic(n);
+    let shared = verify_portfolio(&left, &right, &PortfolioConfig::default());
+    let private = verify_portfolio(
+        &left,
+        &right,
+        &PortfolioConfig {
+            shared_package: false,
+            ..Default::default()
+        },
+    );
+    assert!(shared.verdict.considered_equivalent());
+    assert_eq!(
+        shared.verdict.considered_equivalent(),
+        private.verdict.considered_equivalent()
+    );
+    let store = shared.shared_store.expect("shared race reports its store");
+    assert!(store.peak_nodes > 0);
+    assert!(store.allocated_nodes > 0);
+    assert!(private.shared_store.is_none());
+
+    // The telemetry block is machine-readable with the documented fields
+    // (this is the per-pair `shared_store` object of the batch JSON report).
+    let json = serde_json::to_string(&store).unwrap();
+    for field in [
+        "shared_nodes",
+        "peak_nodes",
+        "allocated_nodes",
+        "intern_hits",
+        "cross_thread_hits",
+        "cross_thread_hit_rate",
+        "gc_runs",
+        "complex_entries",
+    ] {
+        assert!(json.contains(field), "missing `{field}` in {json}");
+    }
+}
+
+#[test]
+fn racing_schemes_share_structure_across_threads() {
+    // Two miter schedules over the same equivalent pair intern essentially
+    // identical gate diagrams and subdiagrams: whichever thread is second to
+    // any common node records a cross-thread hit, so the race must observe
+    // sharing no matter how the schemes interleave or who wins.
+    let left = ghz::ghz(10, false);
+    let right = ghz::ghz(10, false);
+    let config = PortfolioConfig {
+        schemes: vec![
+            Scheme::Functional(Strategy::Proportional),
+            Scheme::Functional(Strategy::Reference),
+        ],
+        ..Default::default()
+    };
+    let result = verify_portfolio(&left, &right, &config);
+    assert_eq!(result.verdict, Equivalence::Equivalent);
+    let store = result.shared_store.expect("explicit schemes race threaded");
+    assert!(
+        store.cross_thread_hits > 0,
+        "overlapping schemes should share canonical structure: {store:?}"
+    );
+    assert!(store.cross_thread_hit_rate.unwrap() > 0.0);
+}
+
+#[test]
 fn explicit_scheme_list_is_respected() {
     let (static_qpe, iqpe) = paper_qpe_pair();
     let config = PortfolioConfig {
@@ -312,6 +381,9 @@ fn batch_driver_reports_a_three_pair_manifest() {
         assert!(pair.get("winner").is_some());
         assert!(pair.get("time_to_verdict").unwrap().as_f64().is_some());
         assert!(!pair.get("schemes").unwrap().as_array().unwrap().is_empty());
+        // The shared_store block is always rendered: `null` for pairs that
+        // took the sequential fast path, an object for threaded races.
+        assert!(pair.get("shared_store").is_some());
     }
     let bv_pair = rendered_pairs
         .iter()

@@ -59,7 +59,19 @@ impl StateVectorSimulator {
     /// [`SimError::Interrupted`] when the budget's cancel token fires, its
     /// deadline passes or its node limit trips.
     pub fn with_budget(n_qubits: usize, budget: dd::Budget) -> Self {
-        let mut package = DdPackage::with_budget(n_qubits, budget);
+        StateVectorSimulator::with_budget_in(n_qubits, budget, None)
+    }
+
+    /// [`with_budget`](Self::with_budget), optionally attaching the
+    /// simulator's package as a workspace of a shared decision-diagram store
+    /// (see [`dd::SharedStore`]) so racing verification schemes reuse each
+    /// other's subdiagrams.
+    pub fn with_budget_in(
+        n_qubits: usize,
+        budget: dd::Budget,
+        store: Option<&std::sync::Arc<dd::SharedStore>>,
+    ) -> Self {
+        let mut package = DdPackage::with_store(store, n_qubits, budget);
         let state = package.zero_state();
         // The current state is the garbage-collection root of the simulator:
         // everything else the package holds may be reclaimed between gates.
@@ -77,7 +89,17 @@ impl StateVectorSimulator {
     /// Combines [`with_budget`](Self::with_budget) and
     /// [`with_initial_state`](Self::with_initial_state).
     pub fn with_budget_and_initial_state(bits: &[bool], budget: dd::Budget) -> Self {
-        let mut sim = StateVectorSimulator::with_budget(bits.len(), budget);
+        StateVectorSimulator::with_budget_and_initial_state_in(bits, budget, None)
+    }
+
+    /// [`with_budget_and_initial_state`](Self::with_budget_and_initial_state)
+    /// with an optional shared decision-diagram store.
+    pub fn with_budget_and_initial_state_in(
+        bits: &[bool],
+        budget: dd::Budget,
+        store: Option<&std::sync::Arc<dd::SharedStore>>,
+    ) -> Self {
+        let mut sim = StateVectorSimulator::with_budget_in(bits.len(), budget, store);
         let initial = sim.package.basis_state(bits);
         sim.set_state(initial);
         sim

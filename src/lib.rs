@@ -31,7 +31,11 @@
 //! Racing the schemes instead of picking one is the practical upshot of the
 //! paper: functional reconstruction (Section 4) and fixed-input extraction
 //! (Section 5) have wildly different cost profiles per circuit family, so
-//! the portfolio's wall time tracks whichever happens to be fast:
+//! the portfolio's wall time tracks whichever happens to be fast. Racing
+//! schemes share one concurrent decision-diagram store by default
+//! ([`dd::SharedStore`]), so the miter, simulative and extraction walkers
+//! reuse each other's gate diagrams and subdiagrams instead of re-interning
+//! them per thread:
 //!
 //! ```
 //! use algorithms::qpe;
