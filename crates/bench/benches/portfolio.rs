@@ -124,7 +124,7 @@ fn bench_shared_vs_private(c: &mut Criterion) {
             "portfolio_shared/qpe/{n}: shared {shared_secs:.3}s vs private {private_secs:.3}s \
              ({:.2}x), cross-thread hit rate {:.1}%, peak {} nodes, winner {}",
             private_secs / shared_secs,
-            100.0 * store.cross_thread_hit_rate.unwrap_or(0.0),
+            100.0 * store.cross_thread_hit_rate,
             store.peak_nodes,
             instrumented
                 .winner
@@ -137,7 +137,7 @@ fn bench_shared_vs_private(c: &mut Criterion) {
              \"cross_thread_hit_rate\": {:.6}, \"cross_thread_hits\": {}, \
              \"shared_peak_nodes\": {}, \"shared_allocated_nodes\": {}, \"winner\": \"{}\" }}",
             private_secs / shared_secs,
-            store.cross_thread_hit_rate.unwrap_or(0.0),
+            store.cross_thread_hit_rate,
             store.cross_thread_hits,
             store.peak_nodes,
             store.allocated_nodes,

@@ -120,20 +120,17 @@ pub fn check_simulative_equivalence_in(
         } else {
             (0..n).map(|_| rng.r#gen::<bool>()).collect()
         };
-        let mut sim_left =
+        // Both stimulus runs share one simulator (one package, one shared-
+        // store attachment): a thread can only park one workspace at a GC
+        // safe point, so a second simultaneous attachment would stall the
+        // store's mid-race barrier collections into their deferral fallback.
+        let mut sim =
             StateVectorSimulator::with_budget_and_initial_state_in(&bits, budget.clone(), store);
-        sim_left
-            .run(&left_unitary)
-            .map_err(|e| run_error("left", e))?;
-        let mut sim_right =
-            StateVectorSimulator::with_budget_and_initial_state_in(&bits, budget.clone(), store);
-        sim_right
-            .run(&right_unitary)
+        sim.run(&left_unitary).map_err(|e| run_error("left", e))?;
+        let fidelity = sim
+            .fidelity_with_rerun(&right_unitary, &bits)
             .map_err(|e| run_error("right", e))?;
-        let fidelity = sim_left.fidelity_with(&sim_right);
-        memory = memory
-            .merged_with(&sim_left.memory_stats())
-            .merged_with(&sim_right.memory_stats());
+        memory = memory.merged_with(&sim.memory_stats());
         min_fidelity = min_fidelity.min(fidelity);
         runs += 1;
         if fidelity < 1.0 - config.tolerance {

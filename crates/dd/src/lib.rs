@@ -74,15 +74,32 @@
 //!   the identity cache (canonical interning makes independently built
 //!   identities identical), [`Budget`]/[`CancelToken`], protection roots and
 //!   [`MemoryStats`].
-//! * **GC safe-point protocol:** collection on a shared store is *deferred
-//!   while more than one workspace is attached* — the arenas stay
-//!   append-only, which is exactly what the lock-free read mirrors rely
-//!   on. A workspace that is the sole attachment (checked under the store's
-//!   GC lock, which attachment also takes) may collect: it sweeps from its
-//!   own roots plus the shared gate cache, rebuilds the sharded unique
-//!   tables, compacts the complex table and invalidates its mirrors.
-//!   Workspaces attached later start with empty mirrors and can never see a
-//!   stale slot.
+//! * **GC safe-point barrier:** collection on a shared store stops the
+//!   world *at its safe points* and runs mid-race. A workspace whose GC
+//!   threshold trips elects itself the collector (a non-blocking `try_lock`
+//!   of the store's GC lock, which attachment also takes) and raises a
+//!   `gc_requested` flag; every other workspace polls the flag at its
+//!   operation safe points (the entries of `apply`/`mul`/`add`/
+//!   `transpose`) and *parks* there with its roots published — protected
+//!   edges, in-flight operands, identity and gate caches. Once all other
+//!   attachments are parked (or detached), the collector sweeps from every
+//!   published root set plus the shared gate cache, rebuilds the sharded
+//!   unique tables, compacts the complex table and releases the barrier;
+//!   everyone then invalidates mirrors and node-keyed memos. Protected
+//!   edges keep their node ids, so parked diagrams stay pointer-identical.
+//!   An attachment that never reaches a safe point (idle, or one very long
+//!   operation) makes the collector give up after a bounded patience and
+//!   fall back to deferring collection — which is why a thread should hold
+//!   at most one attached workspace at a time: a second one can never park
+//!   while its sibling runs. Workspaces attached later start with empty
+//!   mirrors and can never see a stale slot.
+//! * **Warm reuse:** a store may outlive a race (the portfolio batch driver
+//!   pools one per register width); [`SharedStore::begin_race`] marks the
+//!   boundary and hits on pre-existing structure are reported as warm hits.
+//! * **Panic isolation:** store locks recover from poisoning (their
+//!   critical sections keep the data consistent at every panic point), so
+//!   one panicking racer cannot take the store — or the other racers —
+//!   down with it.
 //!
 //! ## Quick example
 //!

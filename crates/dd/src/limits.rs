@@ -15,9 +15,11 @@
 //! * [`LimitExceeded`] — why a computation stopped early.
 //!
 //! The [`DdPackage`](crate::DdPackage) observes its budget inside node
-//! allocation (the one place every diagram operation funnels through), so a
-//! cancelled worker unwinds within a few hundred allocations without any
-//! per-recursion atomic traffic.
+//! allocation (the one place every diagram operation funnels through) and —
+//! for the wall-clock deadline — additionally at every operation safe
+//! point, so a cancelled worker unwinds within a few hundred allocations
+//! and a deadline trips even across allocation-free cache-hit stretches,
+//! all without any per-recursion atomic traffic.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -121,9 +123,11 @@ impl Budget {
     /// Sets a wall-clock deadline `timeout` from now (builder style).
     ///
     /// The [`DdPackage`](crate::DdPackage) polls the deadline on its
-    /// node-allocation path (at the same reduced cadence as the cancel flag),
-    /// so a computation stops within a few hundred allocations of the
-    /// deadline passing and reports [`LimitExceeded::Deadline`].
+    /// node-allocation path (at the same reduced cadence as the cancel
+    /// flag) *and* at every operation safe point, so even allocation-free
+    /// stretches — cache-hit-heavy phases, or waiting out a shared-store
+    /// GC barrier — stop promptly after the deadline passes and report
+    /// [`LimitExceeded::Deadline`].
     #[must_use]
     pub fn with_deadline(self, timeout: Duration) -> Self {
         self.with_deadline_at(Instant::now() + timeout)

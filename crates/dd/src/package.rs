@@ -30,6 +30,75 @@ use crate::store::{SharedHandle, SharedStore};
 use crate::table::{CIdx, ComplexTable};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a barrier-GC collector waits for every other attached workspace
+/// to park at a safe point before abandoning the round (falling back to
+/// deferral). Bounds the stall an idle attachment — or one stuck inside a
+/// single very long operation — can impose on a collection request.
+const BARRIER_PATIENCE: Duration = Duration::from_millis(100);
+
+/// What a shared-store collection attempt did (see
+/// [`DdPackage::collect_garbage`] for the public `usize` view).
+enum SharedGcOutcome {
+    /// A sweep ran and reclaimed this many nodes.
+    Collected(usize),
+    /// Another workspace holds the collector role; nothing was swept here.
+    Contended,
+    /// The barrier timed out waiting for an attachment to reach a safe
+    /// point; the request was abandoned (deferral fallback).
+    Aborted,
+}
+
+/// RAII scope of one barrier-GC round: raises `gc_requested` on `begin` and
+/// guarantees the round is closed on *every* exit path — via
+/// [`complete`](Self::complete) after a successful sweep (bumps the
+/// generation so parked workspaces invalidate their stale mirrors), or via
+/// `Drop` on abort and on collector panic (no generation bump; parked
+/// workspaces resume instead of waiting forever on a dead round).
+struct BarrierRound<'a> {
+    store: &'a crate::store::SharedStore,
+    completed: bool,
+}
+
+impl<'a> BarrierRound<'a> {
+    fn begin(store: &'a crate::store::SharedStore) -> Self {
+        let mut barrier = crate::store::lock(&store.barrier);
+        barrier.request += 1;
+        store.gc_requested.store(true, Ordering::Release);
+        drop(barrier);
+        BarrierRound {
+            store,
+            completed: false,
+        }
+    }
+
+    /// Closes the round after a successful sweep: parked workspaces wake,
+    /// see the generation advance and invalidate their mirrors and memos.
+    fn complete(mut self) {
+        let mut barrier = crate::store::lock(&self.store.barrier);
+        barrier.generation += 1;
+        self.completed = true;
+        self.store.gc_requested.store(false, Ordering::Release);
+        self.store.barrier_cv.notify_all();
+    }
+}
+
+impl Drop for BarrierRound<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let mut barrier = crate::store::lock(&self.store.barrier);
+        // Invalidate the round id so any workspace parked on it stops
+        // waiting — whether the collector gave up (abort) or died mid-sweep
+        // (panic), a request that will never finish must not hold parkers.
+        barrier.request += 1;
+        barrier.published.clear();
+        self.store.gc_requested.store(false, Ordering::Release);
+        self.store.barrier_cv.notify_all();
+    }
+}
 
 /// A control qubit of a multi-qubit gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -475,7 +544,7 @@ impl DdPackage {
             Some(handle) => PackageStats {
                 vector_nodes: handle.store.vlive.load(Ordering::Relaxed),
                 matrix_nodes: handle.store.mlive.load(Ordering::Relaxed),
-                complex_values: handle.store.ctab.lock().expect("complex table lock").len(),
+                complex_values: crate::store::lock(&handle.store.ctab).len(),
             },
         }
     }
@@ -612,9 +681,14 @@ impl DdPackage {
     /// the same pass: weights referenced by no surviving node, protected
     /// edge or cached gate diagram are freed for reuse.
     ///
-    /// On a workspace of a [`SharedStore`], collection is **deferred** (a
-    /// no-op returning `0`) while any *other* workspace is attached — see
-    /// the `dd::store` module docs for the protocol.
+    /// On a workspace of a [`SharedStore`] with other workspaces attached,
+    /// this requests a **safe-point barrier** collection: the other
+    /// workspaces park at their next operation safe point with their roots
+    /// published, and this workspace sweeps on behalf of all of them (see
+    /// the `dd::store` module docs). If an attached workspace does not
+    /// reach a safe point within the barrier patience (it is idle or stuck
+    /// in one very long operation), the request is abandoned and `0` is
+    /// returned — the old deferral semantics as a fallback.
     pub fn garbage_collect(&mut self) -> usize {
         self.collect_garbage(&[], &[])
     }
@@ -623,8 +697,17 @@ impl DdPackage {
     /// roots — the operand edges of an in-flight operation entry point.
     pub fn collect_garbage(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
         if self.shared.is_some() {
-            return self.collect_shared(keep_vectors, keep_matrices);
+            return match self.collect_shared(keep_vectors, keep_matrices) {
+                SharedGcOutcome::Collected(reclaimed) => reclaimed,
+                SharedGcOutcome::Contended | SharedGcOutcome::Aborted => 0,
+            };
         }
+        self.collect_private(keep_vectors, keep_matrices)
+    }
+
+    /// Private-package mark-and-sweep (the non-shared half of
+    /// [`collect_garbage`](Self::collect_garbage)).
+    fn collect_private(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
         // --- mark ---------------------------------------------------------
         let mut vmark = vec![false; self.vnodes.len()];
         let mut mmark = vec![false; self.mnodes.len()];
@@ -697,15 +780,18 @@ impl DdPackage {
         }
 
         // --- compact the complex table ------------------------------------
-        let gate_edges: Vec<MEdge> = self.gate_cache.entries().map(|(_, e)| *e).collect();
+        let root_medges: Vec<MEdge> = keep_matrices
+            .iter()
+            .chain(&self.ident_cache)
+            .copied()
+            .chain(self.gate_cache.entries().map(|(_, e)| *e))
+            .collect();
         let cmark = mark_weights(
             &self.vnodes,
             &self.mnodes,
-            &self.wroots,
+            self.wroots.keys().copied(),
             keep_vectors,
-            keep_matrices,
-            &self.ident_cache,
-            &gate_edges,
+            &root_medges,
             self.ctab.len(),
         );
         self.complex_reclaimed += self.ctab.retain_marked(&cmark) as u64;
@@ -716,156 +802,287 @@ impl DdPackage {
         reclaimed
     }
 
-    /// Shared-store collection: only runs when this workspace is the sole
-    /// attachment (checked under the store's GC lock, which attachment also
-    /// takes), otherwise collection is deferred and `0` is returned. Sweeps
-    /// the shared arenas from this workspace's roots plus the shared gate
-    /// cache, rebuilds the sharded unique tables, compacts the shared
-    /// complex table, and finally invalidates this workspace's read mirrors
-    /// and memo caches (slots may be recycled under the same ids).
-    fn collect_shared(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) -> usize {
+    /// Shared-store collection: elects this workspace the collector (a
+    /// non-blocking `try_lock` of the store's GC lock — blocking here while
+    /// another collector waits for the world to park would deadlock) and
+    /// either sweeps immediately (sole attachment) or runs the safe-point
+    /// barrier protocol of the `dd::store` module docs.
+    fn collect_shared(
+        &mut self,
+        keep_vectors: &[VEdge],
+        keep_matrices: &[MEdge],
+    ) -> SharedGcOutcome {
         let store = Arc::clone(&self.shared.as_ref().expect("shared workspace").store);
-        let _guard = store.gc_lock.lock().expect("gc lock");
-        if store.attached.load(Ordering::Acquire) != 1 {
-            // Deferred: the arenas must stay append-only while other
-            // workspaces hold mirrors into them.
-            return 0;
-        }
-        let reclaimed;
-        {
-            let mut varena = store.varena.write().expect("vector arena lock");
-            let mut marena = store.marena.write().expect("matrix arena lock");
-
-            // --- mark -----------------------------------------------------
-            let mut vmark = vec![false; varena.len()];
-            let mut mmark = vec![false; marena.len()];
-            for &id in self.vroots.keys() {
-                mark_vector(&varena, &mut vmark, NodeId(id));
-            }
-            for e in keep_vectors {
-                if !e.is_zero() {
-                    mark_vector(&varena, &mut vmark, e.node);
+        let _guard = match store.gc_lock.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Another workspace is collecting (or attaching). If it is
+                // waiting at the barrier, park for it; either way our own
+                // request is moot — its sweep serves the whole store.
+                if store.gc_requested.load(Ordering::Acquire) {
+                    self.park_for_barrier(keep_vectors, keep_matrices);
                 }
+                return SharedGcOutcome::Contended;
             }
-            for &id in self.mroots.keys() {
-                mark_matrix(&marena, &mut mmark, NodeId(id));
+        };
+        if store.attached.load(Ordering::Acquire) == 1 {
+            // Sole attachment: nothing to coordinate with.
+            let reclaimed = self.sweep_shared(&store, keep_vectors, keep_matrices, &[]);
+            self.finish_shared_collection(&store, reclaimed, false);
+            return SharedGcOutcome::Collected(reclaimed);
+        }
+
+        // --- barrier: stop the world at its safe points -------------------
+        // The round guard ends the round however this function exits: if
+        // the collector panics mid-sweep, the guard's Drop still lowers the
+        // flag and advances the request id so parked workspaces wake up
+        // instead of waiting on the dead round forever.
+        let round = BarrierRound::begin(&store);
+        let published = {
+            let mut barrier = crate::store::lock(&store.barrier);
+            let patience = Instant::now() + BARRIER_PATIENCE;
+            loop {
+                // Detaching workspaces shrink the quorum (a finished scheme
+                // simply leaves); parked workspaces cannot detach, so the
+                // published count never overshoots a stale quorum.
+                let quorum = store.attached.load(Ordering::Acquire) - 1;
+                if barrier.published.len() >= quorum {
+                    break std::mem::take(&mut barrier.published);
+                }
+                if Instant::now() >= patience {
+                    // An attached workspace is not reaching safe points
+                    // (idle, or inside one very long operation): give up and
+                    // fall back to deferral rather than stall its race. The
+                    // round guard releases the parked workspaces.
+                    drop(barrier);
+                    return SharedGcOutcome::Aborted;
+                }
+                let (guard, _) = store
+                    .barrier_cv
+                    .wait_timeout(barrier, patience - Instant::now())
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                barrier = guard;
             }
-            let shared_gates: Vec<MEdge> = {
-                let cache = store.gate_cache.lock().expect("gate cache lock");
-                cache.values().map(|(e, _)| *e).collect()
-            };
-            let local_gates: Vec<MEdge> = self.gate_cache.entries().map(|(_, e)| *e).collect();
-            for e in keep_matrices
+            // The barrier mutex drops here; parked workspaces stay blocked
+            // (their round's request id is still current and the flag is
+            // still up), and no workspace can attach while we hold gc_lock.
+        };
+
+        let reclaimed = self.sweep_shared(&store, keep_vectors, keep_matrices, &published);
+
+        round.complete();
+        store.gc_barrier_runs.fetch_add(1, Ordering::Relaxed);
+        self.finish_shared_collection(&store, reclaimed, true);
+        SharedGcOutcome::Collected(reclaimed)
+    }
+
+    /// Parks this workspace at the store's GC barrier: publishes its roots
+    /// (protected edges, the in-flight operands, the identity and local
+    /// gate caches) and blocks until the collector releases the barrier,
+    /// then invalidates whatever a completed collection made stale.
+    fn park_for_barrier(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) {
+        let store = Arc::clone(&self.shared.as_ref().expect("shared workspace").store);
+        let roots = self.published_roots(keep_vectors, keep_matrices);
+        let mut barrier = crate::store::lock(&store.barrier);
+        if !store.gc_requested.load(Ordering::Acquire) {
+            return; // the round ended before we got here
+        }
+        let request = barrier.request;
+        let generation = barrier.generation;
+        barrier.published.push(roots);
+        store.barrier_cv.notify_all();
+        while barrier.request == request && store.gc_requested.load(Ordering::Acquire) {
+            barrier = store
+                .barrier_cv
+                .wait(barrier)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let collected = barrier.generation != generation;
+        drop(barrier);
+        if collected {
+            // Freed slots may be recycled under the same ids: drop every
+            // local structure remembering pre-collection state. Protected
+            // edges kept their ids, so held diagrams stay valid.
+            self.clear_node_keyed_caches();
+            self.shared
+                .as_mut()
+                .expect("shared workspace")
+                .clear_local();
+            self.charged_nodes = self.charged_nodes.min(store.live_nodes());
+        }
+    }
+
+    /// Snapshot of this workspace's GC roots for publication at the barrier.
+    fn published_roots(
+        &self,
+        keep_vectors: &[VEdge],
+        keep_matrices: &[MEdge],
+    ) -> crate::store::PublishedRoots {
+        let medges: Vec<MEdge> = keep_matrices
+            .iter()
+            .chain(&self.ident_cache)
+            .copied()
+            .chain(self.gate_cache.entries().map(|(_, e)| *e))
+            .filter(|e| !e.is_zero())
+            .collect();
+        crate::store::PublishedRoots {
+            vroots: self.vroots.keys().copied().collect(),
+            mroots: self.mroots.keys().copied().collect(),
+            wroots: self.wroots.keys().copied().collect(),
+            vedges: keep_vectors
                 .iter()
-                .chain(&self.ident_cache)
-                .chain(&shared_gates)
-                .chain(&local_gates)
-            {
-                if !e.is_zero() {
-                    mark_matrix(&marena, &mut mmark, e.node);
-                }
-            }
-
-            // --- sweep ----------------------------------------------------
-            let mut freed = 0usize;
-            {
-                let mut vfree = store.vfree.lock().expect("vector free list");
-                for (idx, marked) in vmark.iter().enumerate() {
-                    if !marked && !varena[idx].is_free() {
-                        varena[idx] = VNode::FREE;
-                        vfree.push(idx as u32);
-                        freed += 1;
-                    }
-                }
-            }
-            {
-                let mut mfree = store.mfree.lock().expect("matrix free list");
-                for (idx, marked) in mmark.iter().enumerate() {
-                    if !marked && !marena[idx].is_free() {
-                        marena[idx] = MNode::FREE;
-                        mfree.push(idx as u32);
-                        freed += 1;
-                    }
-                }
-            }
-            reclaimed = freed;
-
-            // --- rebuild the sharded unique tables ------------------------
-            // Take each shard lock exactly once: we are the sole attachment
-            // and hold both arena write locks, so nothing contends — per-node
-            // locking would just pay 2N uncontended mutex round-trips.
-            let ws_id = self.shared.as_ref().expect("shared workspace").ws_id;
-            let mut vlive = 0usize;
-            {
-                let mut shards: Vec<_> = store
-                    .vshards
-                    .iter()
-                    .map(|shard| shard.lock().expect("vector shard lock"))
-                    .collect();
-                for shard in shards.iter_mut() {
-                    shard.clear();
-                }
-                for (idx, node) in varena.iter().enumerate() {
-                    if !node.is_free() {
-                        vlive += 1;
-                        let hash = fx_hash(node);
-                        shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
-                            *node,
-                            crate::store::Interned {
-                                id: idx as u32,
-                                owner: ws_id,
-                            },
-                        );
-                    }
-                }
-            }
-            let mut mlive = 0usize;
-            {
-                let mut shards: Vec<_> = store
-                    .mshards
-                    .iter()
-                    .map(|shard| shard.lock().expect("matrix shard lock"))
-                    .collect();
-                for shard in shards.iter_mut() {
-                    shard.clear();
-                }
-                for (idx, node) in marena.iter().enumerate() {
-                    if !node.is_free() {
-                        mlive += 1;
-                        let hash = fx_hash(node);
-                        shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
-                            *node,
-                            crate::store::Interned {
-                                id: idx as u32,
-                                owner: ws_id,
-                            },
-                        );
-                    }
-                }
-            }
-            store.vlive.store(vlive, Ordering::Relaxed);
-            store.mlive.store(mlive, Ordering::Relaxed);
-
-            // --- compact the shared complex table -------------------------
-            let mut ctab = store.ctab.lock().expect("complex table lock");
-            let gate_edges: Vec<MEdge> = shared_gates.iter().chain(&local_gates).copied().collect();
-            let cmark = mark_weights(
-                &varena,
-                &marena,
-                &self.wroots,
-                keep_vectors,
-                keep_matrices,
-                &self.ident_cache,
-                &gate_edges,
-                ctab.len(),
-            );
-            self.complex_reclaimed += ctab.retain_marked(&cmark) as u64;
+                .copied()
+                .filter(|e| !e.is_zero())
+                .collect(),
+            medges,
         }
+    }
+
+    /// Sweeps the shared arenas from this workspace's roots, the operand
+    /// edges, every published (parked-workspace) root set and the shared
+    /// gate cache; rebuilds the sharded unique tables and compacts the
+    /// shared complex table. Caller must hold the store's `gc_lock` with
+    /// every other attached workspace parked (or be the sole attachment).
+    fn sweep_shared(
+        &mut self,
+        store: &SharedStore,
+        keep_vectors: &[VEdge],
+        keep_matrices: &[MEdge],
+        published: &[crate::store::PublishedRoots],
+    ) -> usize {
+        // --- assemble the full root sets ------------------------------
+        // The collector's own roots take the exact shape a parked workspace
+        // would publish; the shared gate cache is store-wide and marked
+        // once on top.
+        let own = self.published_roots(keep_vectors, keep_matrices);
+        let mut varena = crate::store::write(&store.varena);
+        let mut marena = crate::store::write(&store.marena);
+        let mut root_vedges: Vec<VEdge> = Vec::new();
+        let mut root_medges: Vec<MEdge> = crate::store::lock(&store.gate_cache)
+            .values()
+            .map(|(e, _)| *e)
+            .filter(|e| !e.is_zero())
+            .collect();
+        let mut vroot_ids: Vec<u32> = Vec::new();
+        let mut mroot_ids: Vec<u32> = Vec::new();
+        let mut wroot_ids: Vec<u32> = Vec::new();
+        for roots in std::iter::once(&own).chain(published) {
+            root_vedges.extend(roots.vedges.iter().copied().filter(|e| !e.is_zero()));
+            root_medges.extend(roots.medges.iter().copied().filter(|e| !e.is_zero()));
+            vroot_ids.extend_from_slice(&roots.vroots);
+            mroot_ids.extend_from_slice(&roots.mroots);
+            wroot_ids.extend_from_slice(&roots.wroots);
+        }
+
+        // --- mark -----------------------------------------------------
+        let mut vmark = vec![false; varena.len()];
+        let mut mmark = vec![false; marena.len()];
+        for &id in &vroot_ids {
+            mark_vector(&varena, &mut vmark, NodeId(id));
+        }
+        for e in &root_vedges {
+            mark_vector(&varena, &mut vmark, e.node);
+        }
+        for &id in &mroot_ids {
+            mark_matrix(&marena, &mut mmark, NodeId(id));
+        }
+        for e in &root_medges {
+            mark_matrix(&marena, &mut mmark, e.node);
+        }
+
+        // --- sweep ----------------------------------------------------
+        let mut reclaimed = 0usize;
+        {
+            let mut vfree = crate::store::lock(&store.vfree);
+            for (idx, marked) in vmark.iter().enumerate() {
+                if !marked && !varena[idx].is_free() {
+                    varena[idx] = VNode::FREE;
+                    vfree.push(idx as u32);
+                    reclaimed += 1;
+                }
+            }
+        }
+        {
+            let mut mfree = crate::store::lock(&store.mfree);
+            for (idx, marked) in mmark.iter().enumerate() {
+                if !marked && !marena[idx].is_free() {
+                    marena[idx] = MNode::FREE;
+                    mfree.push(idx as u32);
+                    reclaimed += 1;
+                }
+            }
+        }
+
+        // --- rebuild the sharded unique tables ------------------------
+        // Take each shard lock exactly once: every other workspace is
+        // parked (or absent) and we hold both arena write locks, so nothing
+        // contends — per-node locking would just pay 2N uncontended mutex
+        // round-trips.
+        let ws_id = self.shared.as_ref().expect("shared workspace").ws_id;
+        let mut vlive = 0usize;
+        {
+            let mut shards: Vec<_> = store.vshards.iter().map(crate::store::lock).collect();
+            for shard in shards.iter_mut() {
+                shard.clear();
+            }
+            for (idx, node) in varena.iter().enumerate() {
+                if !node.is_free() {
+                    vlive += 1;
+                    let hash = fx_hash(node);
+                    shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
+                        *node,
+                        crate::store::Interned {
+                            id: idx as u32,
+                            owner: ws_id,
+                        },
+                    );
+                }
+            }
+        }
+        let mut mlive = 0usize;
+        {
+            let mut shards: Vec<_> = store.mshards.iter().map(crate::store::lock).collect();
+            for shard in shards.iter_mut() {
+                shard.clear();
+            }
+            for (idx, node) in marena.iter().enumerate() {
+                if !node.is_free() {
+                    mlive += 1;
+                    let hash = fx_hash(node);
+                    shards[(hash as usize) & (crate::store::SHARDS - 1)].insert(
+                        *node,
+                        crate::store::Interned {
+                            id: idx as u32,
+                            owner: ws_id,
+                        },
+                    );
+                }
+            }
+        }
+        store.vlive.store(vlive, Ordering::Relaxed);
+        store.mlive.store(mlive, Ordering::Relaxed);
+
+        // --- compact the shared complex table -------------------------
+        let mut ctab = crate::store::lock(&store.ctab);
+        let cmark = mark_weights(
+            &varena,
+            &marena,
+            wroot_ids.iter().copied(),
+            &root_vedges,
+            &root_medges,
+            ctab.len(),
+        );
+        self.complex_reclaimed += ctab.retain_marked(&cmark) as u64;
+        reclaimed
+    }
+
+    /// Post-sweep bookkeeping of the collecting workspace.
+    fn finish_shared_collection(&mut self, store: &SharedStore, reclaimed: usize, barrier: bool) {
         store
             .reclaimed
             .fetch_add(reclaimed as u64, Ordering::Relaxed);
         store.gc_runs.fetch_add(1, Ordering::Relaxed);
-
         // Freed slots may be recycled under the same ids from now on: drop
         // every local structure that remembers pre-collection state.
         self.clear_node_keyed_caches();
@@ -873,17 +1090,38 @@ impl DdPackage {
             .as_mut()
             .expect("shared workspace")
             .clear_local();
-        // Everything still live is at most attributable to this (sole)
-        // workspace: re-snap its node-budget meter, mirroring how a private
-        // package's live count shrinks under GC.
-        self.charged_nodes = store.live_nodes();
+        // Re-snap the node-budget meter, mirroring how a private package's
+        // live meter shrinks under GC: a sole survivor owns everything still
+        // live; after a barrier sweep the survivors are shared between the
+        // parked racers, so the charge is only clamped, never re-attributed.
+        self.charged_nodes = if barrier {
+            self.charged_nodes.min(store.live_nodes())
+        } else {
+            store.live_nodes()
+        };
         self.gc_runs += 1;
         self.reclaimed_nodes += reclaimed as u64;
-        reclaimed
     }
 
-    /// Automatic-collection check at an operation safe point. The operands
-    /// of the operation about to run are passed as temporary roots.
+    /// Operation safe point: polls the shared store's barrier request (park
+    /// if a collector is waiting), the wall-clock deadline (cache-hit-heavy
+    /// stretches allocate nothing, and a barrier park can outlast the
+    /// deadline — both must still trip it) and the automatic-GC threshold.
+    /// The operands of the operation about to run are passed as temporary
+    /// roots.
+    fn safe_point(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) {
+        if let Some(handle) = &self.shared {
+            if handle.store.gc_requested.load(Ordering::Acquire) {
+                self.park_for_barrier(keep_vectors, keep_matrices);
+            }
+        }
+        if self.exceeded.is_none() && self.budget.deadline_exceeded() {
+            self.exceeded = Some(LimitExceeded::Deadline);
+        }
+        self.maybe_gc(keep_vectors, keep_matrices);
+    }
+
+    /// Automatic-collection check at an operation safe point.
     #[inline]
     fn maybe_gc(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) {
         let Some(threshold) = self.gc_threshold else {
@@ -892,18 +1130,27 @@ impl DdPackage {
         if self.exceeded.is_some() || self.live_nodes() < threshold {
             return;
         }
-        // Shared-store deferral: while other workspaces are attached their
-        // mirrors rely on append-only arenas, so automatic collection waits
-        // until this workspace is the sole attachment.
-        if let Some(handle) = &self.shared {
-            if handle.store.attached.load(Ordering::Acquire) > 1 {
-                return;
+        let outcome = if self.shared.is_some() {
+            self.collect_shared(keep_vectors, keep_matrices)
+        } else {
+            SharedGcOutcome::Collected(self.collect_private(keep_vectors, keep_matrices))
+        };
+        match outcome {
+            // A competitor is already collecting on behalf of the store;
+            // re-check at the next safe point.
+            SharedGcOutcome::Contended => {}
+            // An uncooperative attachment stalled the barrier: back off so
+            // the next safe points do not re-pay the barrier patience.
+            SharedGcOutcome::Aborted => {
+                self.gc_threshold = Some(threshold.saturating_mul(2));
             }
-        }
-        let reclaimed = self.collect_garbage(keep_vectors, keep_matrices);
-        // Mostly-live heap: double the threshold instead of thrashing.
-        if reclaimed * 4 < threshold {
-            self.gc_threshold = Some(threshold.saturating_mul(2));
+            SharedGcOutcome::Collected(reclaimed) => {
+                // Mostly-live heap: double the threshold instead of
+                // thrashing.
+                if reclaimed * 4 < threshold {
+                    self.gc_threshold = Some(threshold.saturating_mul(2));
+                }
+            }
         }
     }
 
@@ -921,7 +1168,7 @@ impl DdPackage {
             match &self.shared {
                 None => (self.ctab.len(), self.ctab.live_len(), 0, 0, 0),
                 Some(handle) => {
-                    let table = handle.store.ctab.lock().expect("complex table lock");
+                    let table = crate::store::lock(&handle.store.ctab);
                     (
                         table.len(),
                         table.live_len(),
@@ -1648,7 +1895,7 @@ impl DdPackage {
     /// This is a garbage-collection safe point: `a` and `b` are protected
     /// for the duration of the operation.
     pub fn add_vectors(&mut self, a: VEdge, b: VEdge) -> VEdge {
-        self.maybe_gc(&[a, b], &[]);
+        self.safe_point(&[a, b], &[]);
         self.add_vectors_rec(a, b)
     }
 
@@ -1707,7 +1954,7 @@ impl DdPackage {
     /// This is a garbage-collection safe point: `a` and `b` are protected
     /// for the duration of the operation.
     pub fn add_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
-        self.maybe_gc(&[], &[a, b]);
+        self.safe_point(&[], &[a, b]);
         self.add_matrices_rec(a, b)
     }
 
@@ -1766,7 +2013,7 @@ impl DdPackage {
     /// This is a garbage-collection safe point: `m` and `v` are protected
     /// for the duration of the operation.
     pub fn mul_mat_vec(&mut self, m: MEdge, v: VEdge) -> VEdge {
-        self.maybe_gc(&[v], &[m]);
+        self.safe_point(&[v], &[m]);
         self.mul_mat_vec_rec(m, v)
     }
 
@@ -1819,7 +2066,7 @@ impl DdPackage {
     /// This is a garbage-collection safe point: `a` and `b` are protected
     /// for the duration of the operation.
     pub fn mul_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
-        self.maybe_gc(&[], &[a, b]);
+        self.safe_point(&[], &[a, b]);
         self.mul_matrices_rec(a, b)
     }
 
@@ -1874,7 +2121,7 @@ impl DdPackage {
     /// This is a garbage-collection safe point: `m` is protected for the
     /// duration of the operation.
     pub fn conjugate_transpose(&mut self, m: MEdge) -> MEdge {
-        self.maybe_gc(&[], &[m]);
+        self.safe_point(&[], &[m]);
         self.conjugate_transpose_rec(m)
     }
 
@@ -2219,17 +2466,15 @@ fn mark_vector(nodes: &[VNode], marks: &mut [bool], id: NodeId) {
 
 /// Computes the live set of the complex table for compaction: the canonical
 /// constants, every weight referenced by a surviving node, the weights of
-/// protected edges (`wroots`), the in-flight operands and the cached
-/// identity/gate diagrams' top weights.
-#[allow(clippy::too_many_arguments)]
+/// protected edges (`wroots`, possibly merged over several workspaces at a
+/// barrier) and the top weights of every root edge (operands, identity and
+/// gate caches, published parked-workspace edges).
 fn mark_weights(
     vnodes: &[VNode],
     mnodes: &[MNode],
-    wroots: &FxHashMap<u32, u32>,
-    keep_vectors: &[VEdge],
-    keep_matrices: &[MEdge],
-    ident_cache: &[MEdge],
-    gate_edges: &[MEdge],
+    wroots: impl Iterator<Item = u32>,
+    root_vedges: &[VEdge],
+    root_medges: &[MEdge],
     table_len: usize,
 ) -> Vec<bool> {
     let mut marks = vec![false; table_len];
@@ -2254,13 +2499,13 @@ fn mark_weights(
             }
         }
     }
-    for &idx in wroots.keys() {
+    for idx in wroots {
         mark(CIdx(idx));
     }
-    for e in keep_vectors {
+    for e in root_vedges {
         mark(e.weight);
     }
-    for e in keep_matrices.iter().chain(ident_cache).chain(gate_edges) {
+    for e in root_medges {
         mark(e.weight);
     }
     marks
@@ -2828,6 +3073,90 @@ mod tests {
                 break;
             }
         }
+        assert_eq!(p.limit_exceeded(), Some(LimitExceeded::Deadline));
+    }
+
+    #[test]
+    fn abandoned_barrier_round_lowers_the_flag_and_moves_on() {
+        // Dropping the round guard without completing it (the abort path,
+        // and what a panic unwind does) must lower `gc_requested` and
+        // advance the request id without touching the generation; a
+        // completed round advances the generation instead.
+        let store = SharedStore::new();
+        let (request_before, generation_before) = {
+            let barrier = crate::store::lock(&store.barrier);
+            (barrier.request, barrier.generation)
+        };
+        let round = BarrierRound::begin(&store);
+        assert!(store.gc_requested.load(Ordering::Acquire));
+        drop(round);
+        assert!(!store.gc_requested.load(Ordering::Acquire));
+        {
+            let barrier = crate::store::lock(&store.barrier);
+            // begin() opened request N+1; the abandonment bumped it again
+            // so a workspace parked on N+1 stops waiting.
+            assert_eq!(barrier.request, request_before + 2);
+            assert_eq!(barrier.generation, generation_before);
+        }
+        let round = BarrierRound::begin(&store);
+        round.complete();
+        let barrier = crate::store::lock(&store.barrier);
+        assert!(!store.gc_requested.load(Ordering::Acquire));
+        assert_eq!(barrier.generation, generation_before + 1);
+    }
+
+    #[test]
+    fn parked_workspaces_survive_an_abandoned_round() {
+        use std::sync::atomic::AtomicBool;
+        // A worker parked at the barrier must resume — with its diagrams
+        // intact — when the collector abandons the round instead of
+        // completing it (timeout abort, or a collector panic).
+        let store = SharedStore::new();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let worker = {
+                let store = Arc::clone(&store);
+                let done = &done;
+                scope.spawn(move || {
+                    let mut ws = store.workspace(4);
+                    let mut state = ws.zero_state();
+                    let mut i = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        let angle = 0.1 + (i % 97) as f64;
+                        state = ws.apply_gate(state, &gates::ry(angle), (i % 4) as usize, &[]);
+                        i += 1;
+                    }
+                    ws.norm_sqr(state)
+                })
+            };
+            let round = BarrierRound::begin(&store);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if !crate::store::lock(&store.barrier).published.is_empty() {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "worker never parked");
+                std::thread::yield_now();
+            }
+            drop(round); // the collector "dies" with the worker parked
+            done.store(true, Ordering::Release);
+            let norm = worker.join().expect("worker survived the dead round");
+            assert!((norm - 1.0).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn deadline_trips_at_safe_points_without_allocations() {
+        use crate::limits::{Budget, LimitExceeded};
+        // Build the operands on an unbudgeted package first so the budgeted
+        // operation below is a pure cache-hit / terminal path: zero node
+        // allocations, which used to dodge the deadline poll entirely.
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let mut p = DdPackage::with_budget(2, budget);
+        let a = VEdge::ONE;
+        let b = VEdge::ONE;
+        assert_eq!(p.limit_exceeded(), None);
+        let _ = p.add_vectors(a, b); // allocation-free: both operands terminal
         assert_eq!(p.limit_exceeded(), Some(LimitExceeded::Deadline));
     }
 

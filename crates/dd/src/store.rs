@@ -8,19 +8,19 @@
 //!   to weight *reads*, which go through per-workspace mirrors and memos),
 //! * the vector/matrix unique tables, sharded by node hash into
 //!   [`SHARDS`] independently locked maps,
-//! * the append-only node arenas behind reader/writer locks (readers are
-//!   per-workspace mirrors filling in bulk; writers append on interning
-//!   misses),
+//! * the node arenas behind reader/writer locks (readers are per-workspace
+//!   mirrors filling in bulk; writers append on interning misses; slots are
+//!   only recycled behind the GC barrier),
 //! * the shared gate-diagram cache (an L2 behind every workspace's lossy L1),
-//! * the free lists and telemetry counters.
+//! * the free lists, the GC barrier and telemetry counters.
 //!
 //! The per-thread half stays inside `DdPackage`: lossy compute caches (they
 //! are overwrite-on-collision, so thread-local is both correct and
 //! lock-free), `Budget`/`CancelToken`, protection roots and `MemoryStats`.
 //! [`SharedHandle`] is the glue a package holds when attached: read mirrors
 //! of the arenas and the complex table (lock-free after first touch, valid
-//! because arenas are append-only while more than one workspace is
-//! attached), plus thread-local memo caches for weight arithmetic keyed on
+//! because arenas only recycle slots behind the barrier every workspace
+//! passes), plus thread-local memo caches for weight arithmetic keyed on
 //! canonical [`CIdx`] pairs so repeated products never touch the complex
 //! mutex.
 //!
@@ -33,29 +33,69 @@
 //! *same* `(NodeId, CIdx)` edge. That is what turns the portfolio's
 //! duplicated work into cross-thread cache hits.
 //!
-//! # Garbage collection protocol
+//! # Garbage collection: the safe-point barrier
 //!
-//! Collection on a shared store is **deferred while more than one workspace
-//! is attached** (the documented alternative to a stop-the-world barrier):
-//! arenas are append-only during a race, which is exactly the invariant the
-//! lock-free mirrors rely on. A workspace that finds itself the *sole*
-//! attachment (checked under [`SharedStore::gc_lock`], which attachment also
-//! takes) may run a full mark-and-sweep — including complex-table
-//! compaction — and then invalidates its own mirrors; workspaces attaching
-//! later start with empty mirrors and can never observe a stale slot. The
-//! only mid-race effect is that the automatic GC threshold is ignored while
-//! racing, traded for cross-thread structure sharing.
+//! Collection on a shared store is a **stop-the-world barrier** that runs
+//! *mid-race* (it replaced the PR-3 protocol of deferring collection until a
+//! sole workspace remained, which let miter-heavy races outgrow memory):
+//!
+//! 1. A workspace whose GC threshold trips elects itself the collector by
+//!    `try_lock`ing [`SharedStore::gc_lock`] (never blocking — a blocked
+//!    election would deadlock against a collector waiting for parkers). It
+//!    raises `gc_requested` and waits.
+//! 2. Every other attached workspace polls `gc_requested` at its operation
+//!    safe points (the entries of `apply`/`mul`/`add`/`transpose`, the same
+//!    places automatic collection triggers) and **parks**: it publishes its
+//!    roots — protected edges, in-flight operands, identity and local gate
+//!    caches — into the store's barrier state and blocks.
+//! 3. Once all other attachments are parked (detaching also counts — a
+//!    finished scheme's workspace simply leaves), the collector sweeps from
+//!    *all* published roots plus its own plus the shared gate cache,
+//!    rebuilds the sharded unique tables, compacts the [`ComplexTable`] and
+//!    releases the barrier. Parked workspaces wake, invalidate their
+//!    mirrors and memo caches (slots may now be recycled under the same
+//!    ids) and continue; protected edges keep their node ids, so parked
+//!    diagrams stay pointer-identical across the collection.
+//!
+//! An attached workspace that never reaches a safe point (idle, or stuck in
+//! one very long operation) would stall the world, so the collector gives up
+//! after a bounded patience and falls back to the old deferral semantics
+//! (nothing is reclaimed, the caller's threshold backs off). Attachment
+//! takes `gc_lock` too, so no workspace can appear mid-sweep; workspaces
+//! attaching later start with empty mirrors and can never observe a stale
+//! slot.
+//!
+//! # Warm reuse across races
+//!
+//! A store may outlive a race: the batch driver keeps one store per register
+//! width alive across circuit pairs, running a barrier collection between
+//! pairs so only the gate-diagram cache (a GC root) and the canonical nodes
+//! under it carry over. [`SharedStore::begin_race`] marks the boundary;
+//! canonical hits on structure that predates the mark are counted as
+//! [`SharedStoreStats::warm_hits`] — the cross-*pair* sharing the pool
+//! exists for.
+//!
+//! # Lock poisoning
+//!
+//! Store locks guard data that is consistent at every panic point (critical
+//! sections only move `Copy` values between already-validated structures),
+//! so a racing scheme that panics must not take the whole portfolio down:
+//! every store lock acquisition recovers from poisoning instead of
+//! propagating the panic to innocent schemes. The panicking scheme itself is
+//! reported as failed by the portfolio engine.
 
 use crate::cache::LossyCache;
 use crate::complex::Complex;
 use crate::hash::{fx_hash, FxHashMap};
 use crate::limits::Budget;
-use crate::node::{MEdge, MNode, NodeId, VNode};
+use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
 use crate::package::{DdPackage, GateKey, MemoryConfig};
 use crate::table::{CIdx, ComplexTable};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// Number of independently locked unique-table shards per node kind.
 ///
@@ -64,12 +104,54 @@ use std::sync::{Arc, Mutex, RwLock};
 /// during collection. Must be a power of two (shard = hash & (SHARDS - 1)).
 pub const SHARDS: usize = 16;
 
+/// Locks a store mutex, recovering from poisoning (see the module docs).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks a store arena, recovering from poisoning.
+pub(crate) fn read<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rwlock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks a store arena, recovering from poisoning.
+pub(crate) fn write<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rwlock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A unique-table entry: the canonical node id plus the workspace that first
-/// interned it (for cross-thread telemetry).
+/// interned it (for cross-thread and warm-reuse telemetry).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Interned {
     pub(crate) id: u32,
     pub(crate) owner: u32,
+}
+
+/// Roots one parked workspace publishes into the barrier so the collector
+/// can mark on its behalf: protected node ids and weight indices, in-flight
+/// operand edges, and the workspace's identity/gate-cache edges.
+#[derive(Debug, Default)]
+pub(crate) struct PublishedRoots {
+    pub(crate) vroots: Vec<u32>,
+    pub(crate) mroots: Vec<u32>,
+    pub(crate) wroots: Vec<u32>,
+    pub(crate) vedges: Vec<VEdge>,
+    pub(crate) medges: Vec<MEdge>,
+}
+
+/// Mutable half of the GC barrier (guarded by [`SharedStore::barrier`];
+/// waiting goes through [`SharedStore::barrier_cv`]).
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    /// Monotonic id of barrier *requests*; parked workspaces use it to
+    /// detect that the round they joined ended (however it ended).
+    pub(crate) request: u64,
+    /// Monotonic count of *completed* collections; a parked workspace whose
+    /// round advanced this must invalidate its mirrors and memos.
+    pub(crate) generation: u64,
+    /// Roots of the workspaces parked in the current round (one entry per
+    /// parked workspace — its length is the authoritative parked count).
+    pub(crate) published: Vec<PublishedRoots>,
 }
 
 /// Aggregate telemetry of a [`SharedStore`].
@@ -87,8 +169,11 @@ pub struct SharedStoreStats {
     pub allocated_nodes: u64,
     /// Nodes reclaimed by shared-store collections.
     pub reclaimed_nodes: u64,
-    /// Completed shared-store collections.
+    /// Completed shared-store collections (sole-attachment and barrier).
     pub gc_runs: usize,
+    /// Subset of [`gc_runs`](Self::gc_runs) that ran as safe-point barrier
+    /// collections with other workspaces parked mid-race.
+    pub gc_barrier_runs: usize,
     /// Live interned complex weights.
     pub complex_entries: usize,
     /// Unique-table and gate-cache lookups answered by an existing canonical
@@ -97,6 +182,10 @@ pub struct SharedStoreStats {
     /// Subset of `intern_hits` where the entry was created by a *different*
     /// workspace — the cross-thread sharing the store exists for.
     pub cross_thread_hits: u64,
+    /// Subset of [`cross_thread_hits`](Self::cross_thread_hits) served by
+    /// structure that predates the last [`SharedStore::begin_race`] mark —
+    /// cross-*pair* reuse of a warm store kept alive by the batch driver.
+    pub warm_hits: u64,
     /// Workspaces currently attached.
     pub attached: usize,
 }
@@ -115,8 +204,9 @@ impl SharedStoreStats {
 
 /// The thread-safe shared core of a set of decision-diagram workspaces.
 ///
-/// Create one per circuit pair (or longer-lived unit of sharing), then
-/// attach one workspace per thread with [`workspace`](Self::workspace) /
+/// Create one per circuit pair (or longer-lived unit of sharing, e.g. the
+/// batch driver's per-width warm stores), then attach one workspace per
+/// thread with [`workspace`](Self::workspace) /
 /// [`workspace_with`](Self::workspace_with). Workspaces of *different* qubit
 /// counts may share a store: unique tables are sharded by node hash, not by
 /// level, so a miter package and a reconstruction package with extra
@@ -149,20 +239,33 @@ pub struct SharedStore {
     pub(crate) mfree: Mutex<Vec<u32>>,
     /// Shared gate-diagram cache (L2 behind each workspace's lossy L1).
     pub(crate) gate_cache: Mutex<FxHashMap<GateKey, (MEdge, u32)>>,
-    /// Serialises attachment against collection: GC holds it for the whole
-    /// run and only proceeds when `attached == 1`, so no other workspace can
-    /// appear (or fill mirrors) mid-sweep.
+    /// Serialises attachment against collection and elects the collector:
+    /// the collector holds it for the whole barrier round, so no workspace
+    /// can appear (or fill mirrors) mid-sweep. Collection candidates only
+    /// ever `try_lock` it — blocking here while another collector waits for
+    /// the world to park would deadlock.
     pub(crate) gc_lock: Mutex<()>,
+    /// Raised by the collector; polled by every workspace at its operation
+    /// safe points (park when set).
+    pub(crate) gc_requested: AtomicBool,
+    pub(crate) barrier: Mutex<BarrierState>,
+    pub(crate) barrier_cv: Condvar,
     pub(crate) attached: AtomicUsize,
     next_workspace: AtomicU32,
+    /// Workspace ids below this mark predate the current race (see
+    /// [`begin_race`](Self::begin_race)); hits on their entries count as
+    /// warm hits.
+    pub(crate) warm_floor: AtomicU32,
     pub(crate) vlive: AtomicUsize,
     pub(crate) mlive: AtomicUsize,
     pub(crate) peak_nodes: AtomicUsize,
     pub(crate) allocated: AtomicU64,
     pub(crate) reclaimed: AtomicU64,
     pub(crate) gc_runs: AtomicUsize,
+    pub(crate) gc_barrier_runs: AtomicUsize,
     pub(crate) intern_hits: AtomicU64,
     pub(crate) cross_thread_hits: AtomicU64,
+    pub(crate) warm_hits: AtomicU64,
 }
 
 impl SharedStore {
@@ -183,16 +286,22 @@ impl SharedStore {
             mfree: Mutex::new(Vec::new()),
             gate_cache: Mutex::new(FxHashMap::default()),
             gc_lock: Mutex::new(()),
+            gc_requested: AtomicBool::new(false),
+            barrier: Mutex::new(BarrierState::default()),
+            barrier_cv: Condvar::new(),
             attached: AtomicUsize::new(0),
             next_workspace: AtomicU32::new(0),
+            warm_floor: AtomicU32::new(0),
             vlive: AtomicUsize::new(0),
             mlive: AtomicUsize::new(0),
             peak_nodes: AtomicUsize::new(0),
             allocated: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
             gc_runs: AtomicUsize::new(0),
+            gc_barrier_runs: AtomicUsize::new(0),
             intern_hits: AtomicU64::new(0),
             cross_thread_hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
         })
     }
 
@@ -204,8 +313,8 @@ impl SharedStore {
     /// Attaches a workspace with an explicit budget and memory configuration.
     ///
     /// The workspace's lossy compute caches are sized by `config` as usual;
-    /// its automatic-GC threshold only takes effect while it is the sole
-    /// attachment (see the module docs for the deferral protocol).
+    /// when its automatic-GC threshold trips mid-race, it requests a
+    /// safe-point barrier collection (see the module docs).
     pub fn workspace_with(
         self: &Arc<Self>,
         n_qubits: usize,
@@ -213,6 +322,20 @@ impl SharedStore {
         config: MemoryConfig,
     ) -> DdPackage {
         DdPackage::attached(self, n_qubits, budget, config)
+    }
+
+    /// Marks a race boundary for warm-reuse telemetry: canonical hits on
+    /// structure interned *before* this call are counted as
+    /// [`SharedStoreStats::warm_hits`] by workspaces attached after it.
+    ///
+    /// The batch driver calls this when handing a pooled store to the next
+    /// circuit pair; on a fresh store the call is a no-op (nothing predates
+    /// it).
+    pub fn begin_race(&self) {
+        self.warm_floor.store(
+            self.next_workspace.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Number of workspaces currently attached.
@@ -233,9 +356,11 @@ impl SharedStore {
             allocated_nodes: self.allocated.load(Ordering::Relaxed),
             reclaimed_nodes: self.reclaimed.load(Ordering::Relaxed),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
-            complex_entries: self.ctab.lock().expect("complex table lock").live_len(),
+            gc_barrier_runs: self.gc_barrier_runs.load(Ordering::Relaxed),
+            complex_entries: lock(&self.ctab).live_len(),
             intern_hits: self.intern_hits.load(Ordering::Relaxed),
             cross_thread_hits: self.cross_thread_hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             attached: self.attached.load(Ordering::Acquire),
         }
     }
@@ -250,6 +375,9 @@ impl SharedStore {
 pub(crate) struct SharedHandle {
     pub(crate) store: Arc<SharedStore>,
     pub(crate) ws_id: u32,
+    /// Snapshot of the store's warm floor at attach time: entries owned by
+    /// workspaces below it predate this race.
+    warm_floor: u32,
     vmirror: RefCell<Vec<VNode>>,
     mmirror: RefCell<Vec<MNode>>,
     cmirror: RefCell<Vec<Complex>>,
@@ -261,6 +389,7 @@ pub(crate) struct SharedHandle {
     bits_memo: LossyCache<(u64, u64), CIdx>,
     pub(crate) intern_hits: u64,
     pub(crate) cross_thread_hits: u64,
+    pub(crate) warm_hits: u64,
 }
 
 /// log2 slots of the weight-arithmetic memo caches.
@@ -269,12 +398,15 @@ const MEMO_BITS: u32 = 14;
 impl SharedHandle {
     pub(crate) fn new(store: &Arc<SharedStore>) -> Self {
         // Attachment synchronises with collection: once this increment is
-        // visible (under the gc_lock), no GC can start until we detach.
-        let _guard = store.gc_lock.lock().expect("gc lock");
+        // visible (under the gc_lock), no barrier round can start or finish
+        // without counting us. A panicking sibling may have poisoned the
+        // lock; the guarded data is just the collector election, so recover.
+        let _guard = lock(&store.gc_lock);
         store.attached.fetch_add(1, Ordering::AcqRel);
         SharedHandle {
             store: Arc::clone(store),
             ws_id: store.next_workspace.fetch_add(1, Ordering::Relaxed),
+            warm_floor: store.warm_floor.load(Ordering::Relaxed),
             vmirror: RefCell::new(Vec::new()),
             mmirror: RefCell::new(Vec::new()),
             cmirror: RefCell::new(Vec::new()),
@@ -284,6 +416,19 @@ impl SharedHandle {
             bits_memo: LossyCache::new("shared_intern", MEMO_BITS),
             intern_hits: 0,
             cross_thread_hits: 0,
+            warm_hits: 0,
+        }
+    }
+
+    /// Records a canonical hit on `owner`'s entry for telemetry.
+    #[inline]
+    fn note_hit(&mut self, owner: u32) {
+        self.intern_hits += 1;
+        if owner != self.ws_id {
+            self.cross_thread_hits += 1;
+            if owner < self.warm_floor {
+                self.warm_hits += 1;
+            }
         }
     }
 
@@ -298,14 +443,14 @@ impl SharedHandle {
             if idx < mirror.len() {
                 let node = mirror[idx];
                 // A freed slot may have been recycled since it was mirrored
-                // (only across an exclusive GC); refetch below.
+                // (only across a barrier this workspace passed); refetch.
                 if !node.is_free() {
                     return node;
                 }
             }
         }
         let mut mirror = self.vmirror.borrow_mut();
-        let arena = self.store.varena.read().expect("vector arena lock");
+        let arena = read(&self.store.varena);
         let len = mirror.len();
         if idx < len {
             mirror[idx] = arena[idx];
@@ -327,7 +472,7 @@ impl SharedHandle {
             }
         }
         let mut mirror = self.mmirror.borrow_mut();
-        let arena = self.store.marena.read().expect("matrix arena lock");
+        let arena = read(&self.store.marena);
         let len = mirror.len();
         if idx < len {
             mirror[idx] = arena[idx];
@@ -354,7 +499,7 @@ impl SharedHandle {
             }
         }
         let mut mirror = self.cmirror.borrow_mut();
-        let table = self.store.ctab.lock().expect("complex table lock");
+        let table = lock(&self.store.ctab);
         let len = mirror.len();
         if i < len {
             mirror[i] = table.values()[i];
@@ -375,12 +520,7 @@ impl SharedHandle {
         if let Some(idx) = self.bits_memo.get(&key) {
             return idx;
         }
-        let idx = self
-            .store
-            .ctab
-            .lock()
-            .expect("complex table lock")
-            .lookup(value);
+        let idx = lock(&self.store.ctab).lookup(value);
         self.bits_memo.insert(key, idx);
         idx
     }
@@ -454,17 +594,17 @@ impl SharedHandle {
     pub(crate) fn intern_vnode(&mut self, node: VNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.vshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = shard.lock().expect("vector shard lock");
+        let mut map = lock(shard);
         if let Some(found) = map.get(&node) {
-            self.intern_hits += 1;
-            if found.owner != self.ws_id {
-                self.cross_thread_hits += 1;
-            }
-            return (NodeId(found.id), false);
+            let owner = found.owner;
+            let id = found.id;
+            drop(map);
+            self.note_hit(owner);
+            return (NodeId(id), false);
         }
         let id = {
-            let slot = self.store.vfree.lock().expect("vector free list").pop();
-            let mut arena = self.store.varena.write().expect("vector arena lock");
+            let slot = lock(&self.store.vfree).pop();
+            let mut arena = write(&self.store.varena);
             match slot {
                 Some(slot) => {
                     arena[slot as usize] = node;
@@ -505,17 +645,17 @@ impl SharedHandle {
     pub(crate) fn intern_mnode(&mut self, node: MNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.mshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = shard.lock().expect("matrix shard lock");
+        let mut map = lock(shard);
         if let Some(found) = map.get(&node) {
-            self.intern_hits += 1;
-            if found.owner != self.ws_id {
-                self.cross_thread_hits += 1;
-            }
-            return (NodeId(found.id), false);
+            let owner = found.owner;
+            let id = found.id;
+            drop(map);
+            self.note_hit(owner);
+            return (NodeId(id), false);
         }
         let id = {
-            let slot = self.store.mfree.lock().expect("matrix free list").pop();
-            let mut arena = self.store.marena.write().expect("matrix arena lock");
+            let slot = lock(&self.store.mfree).pop();
+            let mut arena = write(&self.store.marena);
             match slot {
                 Some(slot) => {
                     arena[slot as usize] = node;
@@ -562,28 +702,23 @@ impl SharedHandle {
     // ------------------------------------------------------------------
 
     pub(crate) fn gate_get(&mut self, key: &GateKey) -> Option<MEdge> {
-        let map = self.store.gate_cache.lock().expect("gate cache lock");
+        let map = lock(&self.store.gate_cache);
         let (edge, owner) = map.get(key)?;
         let (edge, owner) = (*edge, *owner);
         drop(map);
-        self.intern_hits += 1;
-        if owner != self.ws_id {
-            self.cross_thread_hits += 1;
-        }
+        self.note_hit(owner);
         Some(edge)
     }
 
     pub(crate) fn gate_insert(&mut self, key: GateKey, edge: MEdge) {
-        self.store
-            .gate_cache
-            .lock()
-            .expect("gate cache lock")
+        lock(&self.store.gate_cache)
             .entry(key)
             .or_insert((edge, self.ws_id));
     }
 
-    /// Invalidates every mirror and memo — required after an exclusive
-    /// collection recycles arena slots and compacts the complex table.
+    /// Invalidates every mirror and memo — required after any collection
+    /// (own, sole or barrier) recycles arena slots and compacts the complex
+    /// table.
     pub(crate) fn clear_local(&mut self) {
         self.vmirror.borrow_mut().clear();
         self.mmirror.borrow_mut().clear();
@@ -598,13 +733,74 @@ impl SharedHandle {
 impl Drop for SharedHandle {
     fn drop(&mut self) {
         // Flush local telemetry so SharedStore::stats() is complete once a
-        // race's workspaces are gone, then detach.
+        // race's workspaces are gone, then detach. A pending barrier may be
+        // waiting for this workspace: the detach shrinks the parked quorum,
+        // so wake the collector to re-count.
         self.store
             .intern_hits
             .fetch_add(self.intern_hits, Ordering::Relaxed);
         self.store
             .cross_thread_hits
             .fetch_add(self.cross_thread_hits, Ordering::Relaxed);
+        self.store
+            .warm_hits
+            .fetch_add(self.warm_hits, Ordering::Relaxed);
         self.store.attached.fetch_sub(1, Ordering::AcqRel);
+        if self.store.gc_requested.load(Ordering::Acquire) {
+            let _barrier = lock(&self.store.barrier);
+            self.store.barrier_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn attach_recovers_from_a_poisoned_gc_lock() {
+        // A scheme thread that panics while holding the gc_lock (e.g. mid
+        // attach) poisons it; later attaches and detaches must recover
+        // instead of cascading the panic through the whole portfolio.
+        let store = SharedStore::new();
+        let poisoner = Arc::clone(&store);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.gc_lock.lock().unwrap();
+            panic!("scheme died while attached");
+        }));
+        assert!(store.gc_lock.is_poisoned(), "test setup: lock not poisoned");
+
+        let mut workspace = store.workspace(2);
+        let gate = workspace.make_gate(&gates::h(), 0, &[]);
+        assert!(!gate.is_zero());
+        drop(workspace);
+        assert_eq!(store.stats().attached, 0);
+
+        // Collection still works on the recovered lock.
+        let mut collector = store.workspace(2);
+        collector.garbage_collect();
+        let rebuilt = collector.make_gate(&gates::h(), 0, &[]);
+        assert_eq!(rebuilt, gate, "canonicity lost across poison recovery");
+    }
+
+    #[test]
+    fn warm_hits_count_reuse_of_pre_race_structure() {
+        let store = SharedStore::new();
+        let mut first = store.workspace(3);
+        let gate = first.make_gate(&gates::h(), 1, &[]);
+        drop(first);
+        assert_eq!(store.stats().warm_hits, 0, "same race: nothing is warm");
+
+        store.begin_race();
+        let mut second = store.workspace(3);
+        assert_eq!(second.make_gate(&gates::h(), 1, &[]), gate);
+        drop(second);
+        let stats = store.stats();
+        assert!(
+            stats.warm_hits > 0,
+            "reuse across begin_race must count as warm: {stats:?}"
+        );
+        assert!(stats.warm_hits <= stats.cross_thread_hits);
     }
 }

@@ -166,7 +166,9 @@ impl ComplexTable {
     }
 
     /// The raw value slots (freed slots hold a NaN sentinel). Used by shared
-    /// workspaces to extend their lock-free read mirrors in one copy.
+    /// workspaces to extend their lock-free read mirrors in one copy; the
+    /// NaN sentinel is what lets a mirror detect a slot that was freed (and
+    /// possibly recycled) by a compaction it did not witness.
     #[inline]
     pub(crate) fn values(&self) -> &[Complex] {
         &self.values
@@ -177,6 +179,11 @@ impl ComplexTable {
     /// accumulating weights that no live diagram references. Indices of
     /// marked entries are stable across the compaction. Returns the number
     /// of freed slots.
+    ///
+    /// On a shared store this runs behind the GC barrier with every other
+    /// workspace parked; the parked workspaces invalidate their value
+    /// mirrors on release (the mark set spans *all* workspaces' roots, so
+    /// every index they can still reach stays stable).
     ///
     /// The canonical constants `0` and `1` are always kept, and indices
     /// beyond `marked.len()` are treated as unmarked.

@@ -120,20 +120,90 @@ fn final_collection_after_detach_is_clean() {
 }
 
 #[test]
-fn collection_is_deferred_while_racing() {
+fn collection_falls_back_to_deferral_when_a_racer_never_parks() {
     let store = SharedStore::new();
     let mut a = store.workspace(QUBITS);
     let _b = store.workspace(QUBITS);
     let state = qft_state(&mut a);
     a.protect_vector(state);
-    // Two workspaces attached: collection must refuse (deferred), nothing
-    // is reclaimed and the diagram stays intact.
+    // Two workspaces attached but `_b` never executes an operation, so it
+    // never reaches a safe point: the barrier request must time out and
+    // fall back to deferral — nothing is reclaimed, nothing deadlocks and
+    // the diagram stays intact.
     assert_eq!(a.garbage_collect(), 0);
+    assert_eq!(store.stats().gc_barrier_runs, 0);
     assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
     drop(_b);
     // Sole attachment: collection proceeds; the protected state survives.
     assert!(a.garbage_collect() > 0);
     assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn barrier_collection_runs_mid_race_and_preserves_parked_diagrams() {
+    use dd::{Budget, MemoryConfig};
+    let store = SharedStore::new();
+    let threads = 4;
+    // A threshold low enough that the racers' churn trips it while all of
+    // them are still attached and polling safe points.
+    let config = MemoryConfig {
+        gc_threshold: Some(1_500),
+        ..MemoryConfig::default()
+    };
+    let go = std::sync::Barrier::new(threads);
+
+    let results: Vec<VEdge> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let go = &go;
+                scope.spawn(move || {
+                    let mut ws = store.workspace_with(QUBITS, Budget::unlimited(), config);
+                    // Every thread protects the identical reference diagram…
+                    let reference = qft_state(&mut ws);
+                    ws.protect_vector(reference);
+                    go.wait();
+                    // …then churns through garbage states: the gate angles
+                    // differ per round, so fresh nodes keep piling up until
+                    // someone's threshold requests a barrier collection
+                    // while everyone is attached and mid-race.
+                    let mut state = ws.zero_state();
+                    for round in 0..160u32 {
+                        for q in 0..QUBITS {
+                            let angle = 0.13 + (round as usize * QUBITS + q) as f64;
+                            state = ws.apply_gate(state, &gates::ry(angle), q, &[]);
+                        }
+                        // The protected reference must survive every
+                        // collection pointer-identically.
+                        assert!(
+                            (ws.norm_sqr(reference) - 1.0).abs() < 1e-9,
+                            "protected diagram damaged in round {round}"
+                        );
+                    }
+                    // Re-interning the reference sequence after the barrier
+                    // collections must reproduce the identical edge.
+                    let rebuilt = qft_state(&mut ws);
+                    assert_eq!(rebuilt, reference, "post-barrier canonicity lost");
+                    reference
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("racer panicked"))
+            .collect()
+    });
+
+    // Pointer-identical canonical edges across every parked workspace.
+    for state in &results {
+        assert_eq!(*state, results[0], "reference edges diverged");
+    }
+    let stats = store.stats();
+    assert!(
+        stats.gc_barrier_runs >= 1,
+        "the race should have collected at a barrier: {stats:?}"
+    );
+    assert!(stats.reclaimed_nodes > 0, "{stats:?}");
 }
 
 #[test]

@@ -21,12 +21,16 @@
 //! every pair is one independent portfolio race, so throughput scales with
 //! the worker pool.
 
-use crate::engine::{verify_portfolio, PortfolioConfig, Scheme, SchemeReport, SharedStoreReport};
+use crate::engine::{
+    verify_portfolio_in, PortfolioConfig, Scheme, SchemeReport, SharedStoreReport,
+};
 use circuit::qasm;
+use dd::SharedStore;
 use qcec::Equivalence;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One circuit pair of a batch workload.
@@ -182,6 +186,14 @@ pub struct BatchOptions {
     pub workers: usize,
     /// Portfolio configuration applied to every pair.
     pub portfolio: PortfolioConfig,
+    /// Keep one shared store per register width alive across pairs
+    /// ([`StorePool`]; default `true`): the gate-diagram L2 cache and the
+    /// canonical nodes under it survive from pair to pair, turning batch
+    /// workloads into cross-*pair* sharing. A barrier collection runs
+    /// between pairs to bound the carry-over. Requires
+    /// [`PortfolioConfig::shared_package`]; ignored (cold stores) when that
+    /// is off.
+    pub warm_stores: bool,
 }
 
 impl Default for BatchOptions {
@@ -194,7 +206,63 @@ impl Default for BatchOptions {
             // threads near the hardware width.
             workers: (parallelism / 4).max(1),
             portfolio: PortfolioConfig::default(),
+            warm_stores: true,
         }
+    }
+}
+
+/// A pool of warm [`SharedStore`]s keyed by register width.
+///
+/// Checkout is exclusive: a store handed to a pair is unavailable until it
+/// is checked back in, so concurrent batch workers of the same width get
+/// separate stores (each worker still reuses its stores across the pairs it
+/// processes) and per-race telemetry deltas stay well-defined. The batch
+/// driver runs a collection before checkin, so only GC roots — the shared
+/// gate-diagram cache and the canonical structure under it — carry over.
+#[derive(Debug, Default)]
+pub struct StorePool {
+    shelves: Mutex<HashMap<usize, Vec<Arc<SharedStore>>>>,
+    warm_checkouts: AtomicUsize,
+}
+
+impl StorePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        StorePool::default()
+    }
+
+    /// Takes a store for `width` qubits out of the pool (creating a fresh
+    /// one when none is shelved). Returns the store and whether it is warm
+    /// (has served an earlier pair).
+    pub fn checkout(&self, width: usize) -> (Arc<SharedStore>, bool) {
+        let shelved = self
+            .shelves
+            .lock()
+            .expect("store pool lock")
+            .get_mut(&width)
+            .and_then(Vec::pop);
+        match shelved {
+            Some(store) => {
+                self.warm_checkouts.fetch_add(1, Ordering::Relaxed);
+                (store, true)
+            }
+            None => (SharedStore::new(), false),
+        }
+    }
+
+    /// Returns a store to the pool for the next same-width pair.
+    pub fn checkin(&self, width: usize, store: Arc<SharedStore>) {
+        self.shelves
+            .lock()
+            .expect("store pool lock")
+            .entry(width)
+            .or_default()
+            .push(store);
+    }
+
+    /// How many checkouts were served by a warm store.
+    pub fn warm_checkouts(&self) -> usize {
+        self.warm_checkouts.load(Ordering::Relaxed)
     }
 }
 
@@ -223,9 +291,14 @@ pub struct PairReport {
     pub gc_runs: usize,
     /// Best compute-table hit rate any scheme of this pair reported.
     pub cache_hit_rate: Option<f64>,
+    /// Whether this pair ran on a warm store from the batch pool (carrying
+    /// canonical structure over from an earlier same-width pair).
+    pub warm_store: bool,
     /// Shared decision-diagram store telemetry of this pair's race (peak
-    /// nodes, cross-thread hit rate, store-level GC runs); `None` when the
-    /// pair raced with private packages or took the sequential fast path.
+    /// nodes, cross-thread hit rate, warm hits, carry-over node count,
+    /// store-level GC and barrier-GC runs); `None` when the pair raced with
+    /// private packages or took the sequential fast path without a warm
+    /// store.
     pub shared_store: Option<SharedStoreReport>,
     /// Per-scheme telemetry.
     pub schemes: Vec<SchemeReport>,
@@ -246,6 +319,12 @@ pub struct BatchReport {
     pub pairs_failed: usize,
     /// Decision-diagram garbage-collection runs summed over the whole batch.
     pub gc_runs_total: usize,
+    /// Mid-race safe-point barrier collections summed over the whole batch.
+    pub gc_barrier_runs_total: usize,
+    /// Warm canonical-store hits (reuse of structure carried over from an
+    /// earlier pair) summed over the whole batch; `0` without
+    /// [`BatchOptions::warm_stores`].
+    pub warm_hits_total: u64,
     /// Wall time of the whole batch (seconds in JSON).
     pub total_time: Duration,
     /// Per-pair reports, in manifest order.
@@ -265,13 +344,14 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         peak_nodes: None,
         gc_runs: 0,
         cache_hit_rate: None,
+        warm_store: false,
         shared_store: None,
         schemes: Vec::new(),
         error: Some(error),
     }
 }
 
-fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
+fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -> PairReport {
     let name = spec.name.clone().unwrap_or_else(|| {
         Path::new(&spec.left)
             .file_stem()
@@ -295,7 +375,26 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
         Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.right)),
     };
 
-    let result = verify_portfolio(&left, &right, &options.portfolio);
+    let (result, warm) = match pool {
+        Some(pool) => {
+            let width = left.num_qubits().max(right.num_qubits());
+            let (store, warm) = pool.checkout(width);
+            let result = verify_portfolio_in(&left, &right, &options.portfolio, Some(&store));
+            // Bound the carry-over before the next pair inherits the store:
+            // a collection from a fresh (root-less) workspace keeps only the
+            // GC roots — the shared gate cache and the canonical structure
+            // under it, exactly the warm value of the pool.
+            let mut collector = store.workspace(width);
+            let _ = collector.garbage_collect();
+            drop(collector);
+            pool.checkin(width, store);
+            (result, warm)
+        }
+        None => (
+            verify_portfolio_in(&left, &right, &options.portfolio, None),
+            false,
+        ),
+    };
     PairReport {
         name,
         left: spec.left.clone(),
@@ -314,6 +413,7 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions) -> PairReport {
             .fold(None, |best: Option<f64>, rate| {
                 Some(best.map_or(rate, |b| b.max(rate)))
             }),
+        warm_store: warm,
         shared_store: result.shared_store,
         schemes: result.schemes,
         error: None,
@@ -327,6 +427,9 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<PairReport>>> =
         Mutex::new((0..manifest.pairs.len()).map(|_| None).collect());
+    // Warm stores only make sense with shared-package racing (a private
+    // race never touches a store).
+    let pool = (options.warm_stores && options.portfolio.shared_package).then(StorePool::new);
 
     let workers = options.workers.clamp(1, manifest.pairs.len().max(1));
     std::thread::scope(|scope| {
@@ -336,7 +439,7 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
                 let Some(spec) = manifest.pairs.get(index) else {
                     break;
                 };
-                let report = run_pair(spec, options);
+                let report = run_pair(spec, options, pool.as_ref());
                 results
                     .lock()
                     .expect("no worker panics while holding the lock")[index] = Some(report);
@@ -359,6 +462,16 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
             .filter(|p| p.error.is_some() || p.verdict == Equivalence::NoInformation)
             .count(),
         gc_runs_total: pairs.iter().map(|p| p.gc_runs).sum(),
+        gc_barrier_runs_total: pairs
+            .iter()
+            .filter_map(|p| p.shared_store.as_ref())
+            .map(|s| s.gc_barrier_runs)
+            .sum(),
+        warm_hits_total: pairs
+            .iter()
+            .filter_map(|p| p.shared_store.as_ref())
+            .map(|s| s.warm_hits)
+            .sum(),
         total_time: start.elapsed(),
         pairs,
     }

@@ -12,6 +12,10 @@
 //!   --deadline SECS   wall-clock deadline per pair (fractional seconds ok)
 //!   --private-packages race schemes on private DD packages instead of the
 //!                     shared store (for sharing/contention comparisons)
+//!   --warm-stores     keep one shared store per register width alive
+//!                     across pairs (default; a barrier GC between pairs
+//!                     bounds the carry-over)
+//!   --cold-stores     create a fresh store per pair instead
 //!   --compact         emit compact instead of pretty-printed JSON
 //! ```
 //!
@@ -30,6 +34,7 @@ struct Args {
     leaf_limit: Option<usize>,
     deadline: Option<f64>,
     private_packages: bool,
+    warm_stores: bool,
     compact: bool,
 }
 
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         leaf_limit: None,
         deadline: None,
         private_packages: false,
+        warm_stores: true,
         compact: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -86,12 +92,14 @@ fn parse_args() -> Result<Args, String> {
                 args.deadline = Some(seconds);
             }
             "--private-packages" => args.private_packages = true,
+            "--warm-stores" => args.warm_stores = true,
+            "--cold-stores" => args.warm_stores = false,
             "--compact" => args.compact = true,
             "--help" | "-h" => {
                 println!(
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
                      [--node-limit N] [--leaf-limit N] [--deadline SECS] \
-                     [--private-packages] [--compact]"
+                     [--private-packages] [--warm-stores | --cold-stores] [--compact]"
                 );
                 std::process::exit(0);
             }
@@ -131,6 +139,7 @@ fn main() {
     options.portfolio.leaf_limit = args.leaf_limit;
     options.portfolio.deadline = args.deadline.map(std::time::Duration::from_secs_f64);
     options.portfolio.shared_package = !args.private_packages;
+    options.warm_stores = args.warm_stores;
 
     let report = run_batch(&manifest, &options);
     for pair in &report.pairs {

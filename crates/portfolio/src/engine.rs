@@ -128,46 +128,79 @@ pub struct SchemeReport {
     /// racing with private packages).
     pub shared_nodes: Option<usize>,
     /// Fraction of this scheme's canonical-store hits served by structure
-    /// another racing scheme built first (`None` with private packages).
+    /// another racing scheme built first. `None` with private packages;
+    /// always `Some` (down to `0.0` for a scheme cancelled before its first
+    /// canonical lookup — never NaN/null) when racing on a shared store.
     pub cross_thread_hit_rate: Option<f64>,
 }
 
 /// Telemetry of the shared decision-diagram store behind one portfolio race
 /// (see [`dd::SharedStoreStats`]; reported into the batch JSON as the
 /// per-pair `shared_store` block).
+///
+/// Counter fields are *per-race deltas*: a warm store kept alive by the
+/// batch driver accumulates across pairs, so each race reports the
+/// difference between its start and end snapshots. Gauges (`shared_nodes`,
+/// `peak_nodes`, `complex_entries`) are end-of-race snapshots.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct SharedStoreReport {
     /// Live nodes when the race ended.
     pub shared_nodes: usize,
-    /// Peak live nodes across the whole race.
+    /// Nodes already live when the race started: the warm carry-over a
+    /// pooled store handed this pair (`0` for a fresh store).
+    pub carried_over_nodes: usize,
+    /// Peak live nodes over the store's lifetime so far.
     pub peak_nodes: usize,
-    /// Nodes allocated across all schemes (unique-table misses).
+    /// Nodes allocated across all schemes of this race (unique-table
+    /// misses).
     pub allocated_nodes: u64,
     /// Canonical lookups (unique tables + shared gate cache) answered by an
     /// existing entry.
     pub intern_hits: u64,
     /// Subset of `intern_hits` served by a *different* scheme's entry.
     pub cross_thread_hits: u64,
+    /// Subset of `cross_thread_hits` served by structure predating this
+    /// race — warm cross-pair reuse.
+    pub warm_hits: u64,
     /// `cross_thread_hits / intern_hits`, the headline sharing metric.
-    pub cross_thread_hit_rate: Option<f64>,
-    /// Store-level garbage collections (deferred while schemes race, so
-    /// usually `0` unless a sole surviving scheme collected).
+    /// `0.0` (never NaN or null) when the race was over before its first
+    /// canonical lookup — the JSON report must stay machine-readable.
+    pub cross_thread_hit_rate: f64,
+    /// Store-level garbage collections during this race (sole-attachment
+    /// and barrier).
     pub gc_runs: usize,
+    /// Subset of `gc_runs` that ran as mid-race safe-point barrier
+    /// collections with the other schemes parked.
+    pub gc_barrier_runs: usize,
     /// Live interned complex weights at race end.
     pub complex_entries: usize,
 }
 
-impl From<SharedStoreStats> for SharedStoreReport {
-    fn from(stats: SharedStoreStats) -> Self {
+impl SharedStoreReport {
+    /// Builds the per-race report from snapshots taken at race start and
+    /// end (identical snapshots — a race that never touched the store —
+    /// yield all-zero deltas).
+    fn delta(start: &SharedStoreStats, end: &SharedStoreStats) -> Self {
+        let intern_hits = end.intern_hits.saturating_sub(start.intern_hits);
+        let cross_thread_hits = end
+            .cross_thread_hits
+            .saturating_sub(start.cross_thread_hits);
         SharedStoreReport {
-            shared_nodes: stats.live_nodes,
-            peak_nodes: stats.peak_nodes,
-            allocated_nodes: stats.allocated_nodes,
-            intern_hits: stats.intern_hits,
-            cross_thread_hits: stats.cross_thread_hits,
-            cross_thread_hit_rate: stats.cross_thread_hit_rate(),
-            gc_runs: stats.gc_runs,
-            complex_entries: stats.complex_entries,
+            shared_nodes: end.live_nodes,
+            carried_over_nodes: start.live_nodes,
+            peak_nodes: end.peak_nodes,
+            allocated_nodes: end.allocated_nodes.saturating_sub(start.allocated_nodes),
+            intern_hits,
+            cross_thread_hits,
+            warm_hits: end.warm_hits.saturating_sub(start.warm_hits),
+            cross_thread_hit_rate: if intern_hits == 0 {
+                0.0
+            } else {
+                cross_thread_hits as f64 / intern_hits as f64
+            },
+            gc_runs: end.gc_runs.saturating_sub(start.gc_runs),
+            gc_barrier_runs: end.gc_barrier_runs.saturating_sub(start.gc_barrier_runs),
+            complex_entries: end.complex_entries,
         }
     }
 }
@@ -341,7 +374,67 @@ pub fn run_scheme_in(
         cache_hit_rate: memory.and_then(|m| m.compute_hit_rate()),
         gc_runs: memory.map(|m| m.gc_runs),
         shared_nodes: memory.and_then(|m| (m.shared_nodes > 0).then_some(m.shared_nodes)),
-        cross_thread_hit_rate: memory.and_then(|m| m.cross_thread_hit_rate()),
+        // A scheme racing on a shared store always reports a finite rate:
+        // a scheme cancelled before its first canonical lookup divides 0
+        // hits by 0 lookups, which must surface as 0.0 — a NaN would make
+        // the JSON report unserializable and a null look like a private
+        // race.
+        cross_thread_hit_rate: match (&memory, store) {
+            (Some(m), Some(_)) => Some(m.cross_thread_hit_rate().unwrap_or(0.0)),
+            (Some(m), None) => m.cross_thread_hit_rate(),
+            (None, Some(_)) => Some(0.0),
+            (None, None) => None,
+        },
+    }
+}
+
+/// [`run_scheme_in`] hardened against scheme panics: a panicking scheme is
+/// reported as failed (with the panic message as its error) instead of
+/// tearing down the whole race. Shared-store locks a panicking scheme may
+/// have poisoned are recovered by the store itself (see `dd::store`).
+fn run_scheme_caught(
+    scheme: Scheme,
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    budget: &Budget,
+    store: Option<&Arc<SharedStore>>,
+) -> SchemeReport {
+    catch_scheme(scheme, store.is_some(), || {
+        run_scheme_in(scheme, left, right, config, budget, store)
+    })
+}
+
+/// Converts a panicking scheme body into a failed [`SchemeReport`].
+fn catch_scheme(scheme: Scheme, shared: bool, run: impl FnOnce() -> SchemeReport) -> SchemeReport {
+    let start = Instant::now();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).unwrap_or_else(|payload| {
+        SchemeReport {
+            scheme,
+            verdict: None,
+            conclusive: false,
+            cancelled: false,
+            error: Some(format!(
+                "scheme panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+            duration: start.elapsed(),
+            peak_nodes: None,
+            cache_hit_rate: None,
+            gc_runs: None,
+            shared_nodes: None,
+            cross_thread_hit_rate: shared.then_some(0.0),
+        }
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -429,12 +522,16 @@ fn combine(
 
 /// Tries the schemes one after another on the calling thread — the fast path
 /// for tiny instances, where thread spawn/join would dominate the wall time.
+/// A warm store (from the batch driver's pool) is still honoured: each
+/// scheme attaches a workspace in turn, so cross-*pair* reuse works even for
+/// instances too small to race.
 fn verify_sequential(
     left: &QuantumCircuit,
     right: &QuantumCircuit,
     config: &PortfolioConfig,
     schemes: Vec<Scheme>,
     budget: &Budget,
+    store: Option<&Arc<SharedStore>>,
 ) -> PortfolioResult {
     let start = Instant::now();
     let mut reports = Vec::new();
@@ -442,7 +539,7 @@ fn verify_sequential(
     let mut winner = None;
     let mut time_to_verdict = None;
     for scheme in schemes {
-        let report = run_scheme(scheme, left, right, config, budget);
+        let report = run_scheme_caught(scheme, left, right, config, budget, store);
         let conclusive = report.conclusive;
         if conclusive {
             verdict = report.verdict;
@@ -483,6 +580,25 @@ pub fn verify_portfolio(
     right: &QuantumCircuit,
     config: &PortfolioConfig,
 ) -> PortfolioResult {
+    verify_portfolio_in(left, right, config, None)
+}
+
+/// [`verify_portfolio`] against an optional *warm* shared store.
+///
+/// When `warm_store` is `Some`, the race attaches to it instead of creating
+/// a fresh [`SharedStore`]: canonical nodes and the gate-diagram L2 cache
+/// left behind by earlier races (the batch driver GCs between pairs, so
+/// only GC roots carry over) are reused, reported as
+/// [`SharedStoreReport::warm_hits`]. The store's warm-reuse epoch is marked
+/// here ([`SharedStore::begin_race`]); telemetry in the result is the
+/// per-race delta. A warm store is honoured even on the tiny-instance
+/// sequential fast path.
+pub fn verify_portfolio_in(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    warm_store: Option<&Arc<SharedStore>>,
+) -> PortfolioResult {
     let auto = config.schemes.is_empty();
     let schemes = if auto {
         applicable_schemes(left, right)
@@ -510,13 +626,29 @@ pub fn verify_portfolio(
 
     if auto && is_tiny(left, right) {
         let order = sequential_order(left, right);
-        return verify_sequential(left, right, config, order, &make_budget());
+        let before = warm_store.map(|store| {
+            store.begin_race();
+            store.stats()
+        });
+        let mut result = verify_sequential(left, right, config, order, &make_budget(), warm_store);
+        if let (Some(store), Some(before)) = (warm_store, before) {
+            result.shared_store = Some(SharedStoreReport::delta(&before, &store.stats()));
+        }
+        return result;
     }
 
-    // Shared-package racing: one concurrent store for the whole race, so
-    // every scheme interning the same gate diagram or subdiagram gets the
-    // other schemes' work as cache hits instead of rebuilding it.
-    let store = config.shared_package.then(SharedStore::new);
+    // Shared-package racing: one concurrent store for the whole race — warm
+    // from the pool, or fresh — so every scheme interning the same gate
+    // diagram or subdiagram gets the other schemes' work as cache hits
+    // instead of rebuilding it.
+    let store = match warm_store {
+        Some(store) => Some(Arc::clone(store)),
+        None => config.shared_package.then(SharedStore::new),
+    };
+    let before = store.as_ref().map(|store| {
+        store.begin_race();
+        store.stats()
+    });
 
     let start = Instant::now();
     let mut reports: Vec<SchemeReport> = Vec::with_capacity(schemes.len());
@@ -537,7 +669,7 @@ pub fn verify_portfolio(
             let cancel = cancel.clone();
             let store = store.as_ref();
             scope.spawn(move || {
-                let report = run_scheme_in(scheme, left, right, config, &budget, store);
+                let report = run_scheme_caught(scheme, left, right, config, &budget, store);
                 let finished_at = start.elapsed();
                 if report.conclusive {
                     // Cancel from inside the worker so losers start unwinding
@@ -565,7 +697,7 @@ pub fn verify_portfolio(
             }
             reports.push(report);
         };
-        let inline_report = run_scheme_in(
+        let inline_report = run_scheme_caught(
             schemes[0],
             left,
             right,
@@ -604,6 +736,51 @@ pub fn verify_portfolio(
     let mut result = combine(start, reports, verdict, winner, time_to_verdict);
     // Every scheme's workspaces are gone by now (the scope joined all
     // workers), so the store's flushed counters are complete.
-    result.shared_store = store.map(|store| SharedStoreReport::from(store.stats()));
+    result.shared_store = match (store, before) {
+        (Some(store), Some(before)) => Some(SharedStoreReport::delta(&before, &store.stats())),
+        _ => None,
+    };
     result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicking_scheme_is_reported_as_failed() {
+        let report = catch_scheme(Scheme::Simulative, true, || {
+            panic!("miter blew up on qubit 7")
+        });
+        assert_eq!(report.scheme, Scheme::Simulative);
+        assert!(!report.conclusive);
+        assert!(!report.cancelled);
+        assert_eq!(report.verdict, None);
+        let error = report.error.expect("panic must surface as an error");
+        assert!(error.contains("panicked"), "{error}");
+        assert!(error.contains("miter blew up on qubit 7"), "{error}");
+        // Shared-store races must keep the rate finite even for a scheme
+        // that died before its first canonical lookup.
+        assert_eq!(report.cross_thread_hit_rate, Some(0.0));
+        let private = catch_scheme(Scheme::Simulative, false, || panic!("boom"));
+        assert_eq!(private.cross_thread_hit_rate, None);
+    }
+
+    #[test]
+    fn shared_store_report_delta_is_finite_on_an_untouched_store() {
+        // A race cancelled before any scheme interned anything produces
+        // identical start/end snapshots: every counter is zero and the hit
+        // rate must be 0.0, not NaN (the vendored JSON writer rejects
+        // non-finite numbers outright).
+        let stats = SharedStoreStats::default();
+        let report = SharedStoreReport::delta(&stats, &stats);
+        assert_eq!(report.intern_hits, 0);
+        assert_eq!(report.cross_thread_hit_rate, 0.0);
+        assert!(report.cross_thread_hit_rate.is_finite());
+        let json = serde_json::to_string(&report).expect("report must serialize");
+        assert!(
+            json.contains("\"cross_thread_hit_rate\":0"),
+            "rate must render as a number, not null: {json}"
+        );
+    }
 }

@@ -36,14 +36,37 @@
 //!   of the scheme's canonical lookups (unique tables plus the shared gate
 //!   cache) answered by structure *another* scheme built first.
 //! * [`PortfolioResult::shared_store`] (a [`SharedStoreReport`]) aggregates
-//!   the whole race: `shared_nodes` (live at race end), `peak_nodes`,
-//!   `allocated_nodes`, `intern_hits`, `cross_thread_hits`,
-//!   `cross_thread_hit_rate`, `gc_runs` (store-level collections; deferred
-//!   while schemes race) and `complex_entries` (live interned weights).
+//!   the whole race: `shared_nodes` (live at race end), `carried_over_nodes`
+//!   (warm carry-over at race start), `peak_nodes`, `allocated_nodes`,
+//!   `intern_hits`, `cross_thread_hits`, `warm_hits`,
+//!   `cross_thread_hit_rate` (always finite — `0.0` for a race cancelled
+//!   before its first lookup), `gc_runs` / `gc_barrier_runs` (store-level
+//!   collections; barrier collections stop the racing schemes at their
+//!   safe points and run *mid-race*) and `complex_entries` (live interned
+//!   weights).
 //! * The batch JSON report repeats that block per pair
-//!   (`pairs[i].shared_store`) next to the existing `peak_nodes` /
-//!   `gc_runs` scheme aggregates, so perf trajectories across a workload
-//!   can be mined for lock-contention or sharing regressions.
+//!   (`pairs[i].shared_store`, plus a `warm_store` flag) next to the
+//!   existing `peak_nodes` / `gc_runs` scheme aggregates, and totals
+//!   `warm_hits_total` / `gc_barrier_runs_total`, so perf trajectories
+//!   across a workload can be mined for lock-contention or sharing
+//!   regressions.
+//!
+//! ## Warm stores across batch pairs
+//!
+//! The [`batch`] driver keeps one shared store per register width alive
+//! across pairs ([`batch::BatchOptions::warm_stores`], default on; the
+//! `verify` binary's `--cold-stores` opts out): after each pair a barrier
+//! collection prunes everything but the gate-diagram L2 cache and the
+//! canonical structure under it, which the next same-width pair then reuses
+//! (reported as `warm_hits`). Checkout is exclusive per worker, so
+//! concurrent workers never share a store mid-pair.
+//!
+//! ## Failure isolation
+//!
+//! A scheme that *panics* (as opposed to erroring) is caught, reported as a
+//! failed [`SchemeReport`] with the panic message as its error, and the
+//! race continues with the remaining schemes; shared-store locks the dead
+//! scheme may have poisoned recover instead of cascading.
 //!
 //! ## Quick start
 //!
@@ -85,6 +108,6 @@ pub mod batch;
 mod engine;
 
 pub use engine::{
-    applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, PortfolioConfig,
-    PortfolioResult, Scheme, SchemeReport, SharedStoreReport,
+    applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, verify_portfolio_in,
+    PortfolioConfig, PortfolioResult, Scheme, SchemeReport, SharedStoreReport,
 };

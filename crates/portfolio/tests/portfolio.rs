@@ -313,7 +313,7 @@ fn racing_schemes_share_structure_across_threads() {
         store.cross_thread_hits > 0,
         "overlapping schemes should share canonical structure: {store:?}"
     );
-    assert!(store.cross_thread_hit_rate.unwrap() > 0.0);
+    assert!(store.cross_thread_hit_rate > 0.0);
 }
 
 #[test]
@@ -443,4 +443,103 @@ fn batch_reports_unreadable_pairs_instead_of_dying() {
     assert_eq!(report.pairs_failed, 1);
     assert!(report.pairs[0].error.is_some());
     assert_eq!(report.pairs[0].verdict, Equivalence::NoInformation);
+}
+
+#[test]
+fn warm_stores_reuse_structure_across_same_width_pairs() {
+    // Three same-width QFT pairs: with warm stores, every pair after the
+    // first must reuse canonical structure carried over from its
+    // predecessor (warm_hits > 0) while producing verdicts identical to a
+    // cold-store run.
+    let dir = temp_dir("warm");
+    let mut manifest = Manifest { pairs: Vec::new() };
+    for i in 0..3 {
+        let left = qft::qft_static(6, None, true);
+        let right = qft::qft_dynamic(6);
+        let left_path = dir.join(format!("qft_{i}.left.qasm"));
+        let right_path = dir.join(format!("qft_{i}.right.qasm"));
+        std::fs::write(&left_path, circuit::qasm::to_qasm(&left)).unwrap();
+        std::fs::write(&right_path, circuit::qasm::to_qasm(&right)).unwrap();
+        manifest.pairs.push(PairSpec {
+            name: Some(format!("qft_{i}")),
+            left: left_path.to_string_lossy().into_owned(),
+            right: right_path.to_string_lossy().into_owned(),
+        });
+    }
+
+    // One worker => pairs run in order on the same pooled store.
+    let warm_options = BatchOptions {
+        workers: 1,
+        ..BatchOptions::default()
+    };
+    let cold_options = BatchOptions {
+        workers: 1,
+        warm_stores: false,
+        ..BatchOptions::default()
+    };
+    let warm = run_batch(&manifest, &warm_options);
+    let cold = run_batch(&manifest, &cold_options);
+
+    assert_eq!(warm.pairs_total, 3);
+    for (w, c) in warm.pairs.iter().zip(cold.pairs.iter()) {
+        assert_eq!(w.verdict, c.verdict, "warm stores changed a verdict");
+        assert!(w.considered_equivalent);
+    }
+    assert!(!warm.pairs[0].warm_store, "first pair starts cold");
+    for pair in &warm.pairs[1..] {
+        assert!(pair.warm_store, "later same-width pairs must be warm");
+        let store = pair
+            .shared_store
+            .as_ref()
+            .expect("warm pairs report store telemetry");
+        assert!(
+            store.warm_hits > 0,
+            "warm pair should reuse carried-over structure: {store:?}"
+        );
+        assert!(
+            store.carried_over_nodes > 0,
+            "the between-pair GC keeps the gate cache alive: {store:?}"
+        );
+    }
+    assert!(warm.warm_hits_total > 0);
+    assert_eq!(cold.warm_hits_total, 0);
+
+    // The warm telemetry survives the JSON rendering as finite numbers.
+    let json = serde_json::to_string(&warm).unwrap();
+    assert!(json.contains("\"warm_hits\""));
+    assert!(json.contains("\"gc_barrier_runs\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_schemes_report_a_finite_cross_thread_hit_rate() {
+    use dd::{Budget, CancelToken, SharedStore};
+    // A scheme cancelled before its first canonical lookup used to divide
+    // 0 hits by 0 lookups; on a shared store the report must say 0.0 (the
+    // vendored JSON writer rejects NaN and a null would read as "private").
+    let (static_qpe, iqpe) = paper_qpe_pair();
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel_token(token);
+    let store = SharedStore::new();
+    let report = portfolio::run_scheme_in(
+        Scheme::DynamicFunctional(Strategy::Proportional),
+        &static_qpe,
+        &iqpe,
+        &PortfolioConfig::default(),
+        &budget,
+        Some(&store),
+    );
+    assert!(report.cancelled);
+    assert_eq!(
+        report.cross_thread_hit_rate,
+        Some(0.0),
+        "shared-store schemes must always report a finite rate"
+    );
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(
+        json.contains("\"cross_thread_hit_rate\":0"),
+        "rate must render as a number: {json}"
+    );
 }

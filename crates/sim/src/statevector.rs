@@ -246,6 +246,40 @@ impl StateVectorSimulator {
         self.package.fidelity(self.state, rebuilt)
     }
 
+    /// Runs `circuit` from the basis state `bits` *in this simulator's own
+    /// package* and returns the fidelity `|⟨before|after⟩|²` between the
+    /// state held before the call and the rerun's final state (which also
+    /// becomes the current state).
+    ///
+    /// Compared to running a second simulator and [`fidelity_with`]
+    /// (Self::fidelity_with), this keeps a single decision-diagram package
+    /// alive — on a shared store, a single *attachment*, which matters for
+    /// the store's barrier garbage collection: a thread can only park one
+    /// workspace at a safe point, so a second simultaneous attachment on
+    /// the same thread would stall mid-race collections into the deferral
+    /// fallback.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run); on error the current state is the rerun's
+    /// partial state and the previous state is released.
+    pub fn fidelity_with_rerun(
+        &mut self,
+        circuit: &QuantumCircuit,
+        bits: &[bool],
+    ) -> Result<f64, SimError> {
+        let previous = self.state;
+        // Keep the finished state alive across the rerun's collections (the
+        // rerun's states take over the simulator's own protection slot).
+        self.package.protect_vector(previous);
+        let fresh = self.package.basis_state(bits);
+        self.set_state(fresh);
+        let outcome = self.run(circuit);
+        let fidelity = outcome.map(|()| self.package.fidelity(previous, self.state));
+        self.package.unprotect_vector(previous);
+        fidelity
+    }
+
     /// Probability distribution over the recorded measurements.
     ///
     /// The distribution ranges over the classical bits of the circuits run so
@@ -488,6 +522,33 @@ mod tests {
         flip.x(0);
         d.run(&flip).unwrap();
         assert!(a.fidelity_with(&d) < 0.6);
+    }
+
+    #[test]
+    fn fidelity_with_rerun_matches_two_simulator_fidelity() {
+        let n = 3;
+        let circuit = ghz::ghz(n, false);
+        let alt = ghz::ghz_log_depth(n, false);
+        let bits = vec![false; n];
+
+        let mut two_sim_a = StateVectorSimulator::with_initial_state(&bits);
+        two_sim_a.run(&circuit).unwrap();
+        let mut two_sim_b = StateVectorSimulator::with_initial_state(&bits);
+        two_sim_b.run(&alt).unwrap();
+        let reference = two_sim_a.fidelity_with(&two_sim_b);
+
+        let mut sim = StateVectorSimulator::with_initial_state(&bits);
+        sim.run(&circuit).unwrap();
+        let rerun = sim.fidelity_with_rerun(&alt, &bits).unwrap();
+        assert!((rerun - reference).abs() < 1e-9, "{rerun} vs {reference}");
+        // The rerun's final state becomes the current state.
+        assert!((sim.norm_sqr() - 1.0).abs() < 1e-9);
+
+        let mut flip = QuantumCircuit::new(n, 0);
+        flip.x(0);
+        let mut sim2 = StateVectorSimulator::with_initial_state(&bits);
+        sim2.run(&circuit).unwrap();
+        assert!(sim2.fidelity_with_rerun(&flip, &bits).unwrap() < 0.6);
     }
 
     #[test]
