@@ -48,7 +48,7 @@ fn bench_pruning(c: &mut Criterion) {
     for (label, threshold) in [("pruned", 1e-12), ("unpruned", -1.0)] {
         let config = ExtractionConfig {
             prune_threshold: threshold,
-            max_leaves: None,
+            ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("bv17", label), &config, |b, config| {
             b.iter(|| extract_distribution(&instance.dynamic_circuit, config).unwrap())

@@ -366,7 +366,7 @@ fn run_row_portfolio(
         functional: result.verdict,
         t_extract,
         t_sim: Duration::ZERO,
-        winner: result.winner.map(|s| s.name()),
+        winner: result.winner.map(|s| s.name().to_string()),
     }
 }
 

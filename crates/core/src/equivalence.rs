@@ -76,6 +76,11 @@ pub struct Configuration {
     /// Tolerance on the total-variation distance for fixed-input
     /// (distribution) equivalence.
     pub distribution_tolerance: f64,
+    /// Decision-diagram memory sizing for the check's packages (compute-
+    /// table bounds and the automatic garbage-collection threshold). The
+    /// portfolio scheduler overrides the GC threshold per scheme from
+    /// recorded peak-node telemetry.
+    pub memory: dd::MemoryConfig,
 }
 
 impl Default for Configuration {
@@ -86,6 +91,7 @@ impl Default for Configuration {
             simulation_runs: 8,
             seed: 0xC0FFEE,
             distribution_tolerance: 1e-8,
+            memory: dd::MemoryConfig::default(),
         }
     }
 }

@@ -124,8 +124,12 @@ pub fn check_simulative_equivalence_in(
         // store attachment): a thread can only park one workspace at a GC
         // safe point, so a second simultaneous attachment would stall the
         // store's mid-race barrier collections into their deferral fallback.
-        let mut sim =
-            StateVectorSimulator::with_budget_and_initial_state_in(&bits, budget.clone(), store);
+        let mut sim = StateVectorSimulator::with_memory_and_initial_state_in(
+            &bits,
+            budget.clone(),
+            config.memory,
+            store,
+        );
         sim.run(&left_unitary).map_err(|e| run_error("left", e))?;
         let fidelity = sim
             .fidelity_with_rerun(&right_unitary, &bits)

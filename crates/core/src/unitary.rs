@@ -214,7 +214,7 @@ pub fn check_functional_equivalence_in(
     let left_ops = unitary_ops(left, "left")?;
     let right_ops = unitary_ops(right, "right")?;
 
-    let mut package = DdPackage::with_store(store, n, budget.clone());
+    let mut package = DdPackage::with_store_config(store, n, budget.clone(), config.memory);
     let mut miter = package.identity();
     let mut peak = package.matrix_size(miter);
 

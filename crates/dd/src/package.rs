@@ -146,7 +146,7 @@ pub struct PackageStats {
 /// *bound*: a table starts at 256 slots (or the bound, when smaller) and
 /// quadruples under insert pressure up to the bound, so bigger bounds trade
 /// memory for fewer recomputations while short-lived packages stay small.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MemoryConfig {
     /// log2 slots of the binary compute tables (mat·vec, mat·mat, add).
     pub binary_cache_bits: u32,
@@ -458,9 +458,22 @@ impl DdPackage {
     /// the one-liner the verification schemes use to honour an optional
     /// shared store without duplicating construction logic.
     pub fn with_store(store: Option<&Arc<SharedStore>>, n_qubits: usize, budget: Budget) -> Self {
+        DdPackage::with_store_config(store, n_qubits, budget, MemoryConfig::default())
+    }
+
+    /// [`with_store`](Self::with_store) with explicit [`MemoryConfig`]
+    /// sizing: the portfolio scheduler uses this to hand each verification
+    /// scheme a garbage-collection threshold tuned from recorded peak-node
+    /// telemetry instead of the static default.
+    pub fn with_store_config(
+        store: Option<&Arc<SharedStore>>,
+        n_qubits: usize,
+        budget: Budget,
+        config: MemoryConfig,
+    ) -> Self {
         match store {
-            Some(store) => store.workspace_with(n_qubits, budget, MemoryConfig::default()),
-            None => DdPackage::with_budget(n_qubits, budget),
+            Some(store) => store.workspace_with(n_qubits, budget, config),
+            None => DdPackage::with_config(n_qubits, budget, config),
         }
     }
 

@@ -21,16 +21,16 @@
 //! every pair is one independent portfolio race, so throughput scales with
 //! the worker pool.
 
-use crate::engine::{
-    verify_portfolio_in, PortfolioConfig, Scheme, SchemeReport, SharedStoreReport,
-};
+use crate::engine::{verify_portfolio_recorded, PortfolioConfig, SchemeReport, SharedStoreReport};
+use crate::scheme::Scheme;
+use crate::telemetry::TelemetryStore;
 use circuit::qasm;
 use dd::SharedStore;
 use qcec::Equivalence;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One circuit pair of a batch workload.
@@ -194,6 +194,19 @@ pub struct BatchOptions {
     /// [`PortfolioConfig::shared_package`]; ignored (cold stores) when that
     /// is off.
     pub warm_stores: bool,
+    /// Most register widths the warm-store pool retains shelves for
+    /// (default [`DEFAULT_STORE_SHELVES`]): very heterogeneous batches
+    /// would otherwise pin every width's node arenas for the whole run.
+    /// Least-recently-used widths are evicted first. `verify
+    /// --store-shelves N` sets this.
+    pub store_shelves: usize,
+    /// Optional persistent telemetry file (`verify --stats-file`): loaded
+    /// before the batch (a missing file starts empty), fed to the
+    /// scheduler of every pair, folded with the batch's new reports and
+    /// saved back afterwards. An unreadable or malformed file is reported
+    /// on stderr and the batch runs cold — and the damaged file is left
+    /// untouched (no save), so recorded history is never clobbered.
+    pub stats: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -207,11 +220,17 @@ impl Default for BatchOptions {
             workers: (parallelism / 4).max(1),
             portfolio: PortfolioConfig::default(),
             warm_stores: true,
+            store_shelves: DEFAULT_STORE_SHELVES,
+            stats: None,
         }
     }
 }
 
-/// A pool of warm [`SharedStore`]s keyed by register width.
+/// Default cap on how many register widths [`StorePool`] keeps shelves for.
+pub const DEFAULT_STORE_SHELVES: usize = 4;
+
+/// A pool of warm [`SharedStore`]s keyed by register width, with an LRU cap
+/// on the number of retained widths.
 ///
 /// Checkout is exclusive: a store handed to a pair is unavailable until it
 /// is checked back in, so concurrent batch workers of the same width get
@@ -219,28 +238,94 @@ impl Default for BatchOptions {
 /// processes) and per-race telemetry deltas stay well-defined. The batch
 /// driver runs a collection before checkin, so only GC roots — the shared
 /// gate-diagram cache and the canonical structure under it — carry over.
-#[derive(Debug, Default)]
+///
+/// Each shelved store pins its width's node arenas and gate cache for the
+/// rest of the batch, so the pool bounds the number of *widths* it retains
+/// (default [`DEFAULT_STORE_SHELVES`]): when a checkin would exceed the cap,
+/// the least-recently-used width's shelf is dropped. Stores currently
+/// checked out are never evicted — they simply face the same cap when they
+/// come back.
+#[derive(Debug)]
 pub struct StorePool {
-    shelves: Mutex<HashMap<usize, Vec<Arc<SharedStore>>>>,
+    inner: Mutex<PoolInner>,
     warm_checkouts: AtomicUsize,
+    max_widths: usize,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    shelves: HashMap<usize, Vec<Arc<SharedStore>>>,
+    /// Widths in use order, least recently used first.
+    recency: Vec<usize>,
+}
+
+impl PoolInner {
+    fn touch(&mut self, width: usize) {
+        self.recency.retain(|&w| w != width);
+        self.recency.push(width);
+    }
+
+    fn evict_down_to(&mut self, max_widths: usize) {
+        // Only widths with shelved stores count against the cap (and only
+        // they can be evicted): a width that is merely checked out holds no
+        // idle memory here.
+        while self
+            .shelves
+            .values()
+            .filter(|shelf| !shelf.is_empty())
+            .count()
+            > max_widths
+        {
+            let Some(victim) = self
+                .recency
+                .iter()
+                .copied()
+                .find(|w| self.shelves.get(w).is_some_and(|shelf| !shelf.is_empty()))
+            else {
+                break;
+            };
+            self.shelves.remove(&victim);
+            self.recency.retain(|&w| w != victim);
+        }
+    }
+}
+
+impl Default for StorePool {
+    fn default() -> Self {
+        StorePool::with_shelves(DEFAULT_STORE_SHELVES)
+    }
 }
 
 impl StorePool {
-    /// Creates an empty pool.
+    /// Creates an empty pool retaining at most [`DEFAULT_STORE_SHELVES`]
+    /// register widths.
     pub fn new() -> Self {
         StorePool::default()
+    }
+
+    /// Creates an empty pool retaining at most `max_widths` register widths
+    /// (clamped to at least 1).
+    pub fn with_shelves(max_widths: usize) -> Self {
+        StorePool {
+            inner: Mutex::new(PoolInner::default()),
+            warm_checkouts: AtomicUsize::new(0),
+            max_widths: max_widths.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Takes a store for `width` qubits out of the pool (creating a fresh
     /// one when none is shelved). Returns the store and whether it is warm
     /// (has served an earlier pair).
     pub fn checkout(&self, width: usize) -> (Arc<SharedStore>, bool) {
-        let shelved = self
-            .shelves
-            .lock()
-            .expect("store pool lock")
-            .get_mut(&width)
-            .and_then(Vec::pop);
+        let shelved = {
+            let mut inner = self.lock();
+            inner.touch(width);
+            inner.shelves.get_mut(&width).and_then(Vec::pop)
+        };
         match shelved {
             Some(store) => {
                 self.warm_checkouts.fetch_add(1, Ordering::Relaxed);
@@ -250,19 +335,27 @@ impl StorePool {
         }
     }
 
-    /// Returns a store to the pool for the next same-width pair.
+    /// Returns a store to the pool for the next same-width pair, evicting
+    /// the least-recently-used width beyond the pool's shelf cap.
     pub fn checkin(&self, width: usize, store: Arc<SharedStore>) {
-        self.shelves
-            .lock()
-            .expect("store pool lock")
-            .entry(width)
-            .or_default()
-            .push(store);
+        let mut inner = self.lock();
+        inner.shelves.entry(width).or_default().push(store);
+        inner.touch(width);
+        inner.evict_down_to(self.max_widths);
     }
 
     /// How many checkouts were served by a warm store.
     pub fn warm_checkouts(&self) -> usize {
         self.warm_checkouts.load(Ordering::Relaxed)
+    }
+
+    /// Number of register widths with at least one shelved store.
+    pub fn shelved_widths(&self) -> usize {
+        self.lock()
+            .shelves
+            .values()
+            .filter(|shelf| !shelf.is_empty())
+            .count()
     }
 }
 
@@ -294,6 +387,11 @@ pub struct PairReport {
     /// Whether this pair ran on a warm store from the batch pool (carrying
     /// canonical structure over from an earlier same-width pair).
     pub warm_store: bool,
+    /// Whether recorded telemetry steered this pair's launch plan (see
+    /// [`PortfolioResult::predicted`](crate::PortfolioResult::predicted)).
+    pub predicted: bool,
+    /// Whether a predicted plan had to launch its escalation wave.
+    pub escalated: bool,
     /// Shared decision-diagram store telemetry of this pair's race (peak
     /// nodes, cross-thread hit rate, warm hits, carry-over node count,
     /// store-level GC and barrier-GC runs); `None` when the pair raced with
@@ -317,6 +415,12 @@ pub struct BatchReport {
     pub pairs_equivalent: usize,
     /// Pairs that failed to load or produced no information.
     pub pairs_failed: usize,
+    /// Pairs whose launch plan was steered by recorded telemetry.
+    pub pairs_predicted: usize,
+    /// Scheme launches summed over the whole batch — the headline savings
+    /// metric of the adaptive scheduler (a race launches every applicable
+    /// scheme; a successful prediction launches `k`).
+    pub schemes_launched_total: usize,
     /// Decision-diagram garbage-collection runs summed over the whole batch.
     pub gc_runs_total: usize,
     /// Mid-race safe-point barrier collections summed over the whole batch.
@@ -345,13 +449,20 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         gc_runs: 0,
         cache_hit_rate: None,
         warm_store: false,
+        predicted: false,
+        escalated: false,
         shared_store: None,
         schemes: Vec::new(),
         error: Some(error),
     }
 }
 
-fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -> PairReport {
+fn run_pair(
+    spec: &PairSpec,
+    options: &BatchOptions,
+    pool: Option<&StorePool>,
+    telemetry: Option<&Mutex<TelemetryStore>>,
+) -> PairReport {
     let name = spec.name.clone().unwrap_or_else(|| {
         Path::new(&spec.left)
             .file_stem()
@@ -379,7 +490,13 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -
         Some(pool) => {
             let width = left.num_qubits().max(right.num_qubits());
             let (store, warm) = pool.checkout(width);
-            let result = verify_portfolio_in(&left, &right, &options.portfolio, Some(&store));
+            let result = verify_portfolio_recorded(
+                &left,
+                &right,
+                &options.portfolio,
+                Some(&store),
+                telemetry,
+            );
             // Bound the carry-over before the next pair inherits the store:
             // a collection from a fresh (root-less) workspace keeps only the
             // GC roots — the shared gate cache and the canonical structure
@@ -391,7 +508,7 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -
             (result, warm)
         }
         None => (
-            verify_portfolio_in(&left, &right, &options.portfolio, None),
+            verify_portfolio_recorded(&left, &right, &options.portfolio, None, telemetry),
             false,
         ),
     };
@@ -414,6 +531,8 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -
                 Some(best.map_or(rate, |b| b.max(rate)))
             }),
         warm_store: warm,
+        predicted: result.predicted,
+        escalated: result.escalated,
         shared_store: result.shared_store,
         schemes: result.schemes,
         error: None,
@@ -422,14 +541,70 @@ fn run_pair(spec: &PairSpec, options: &BatchOptions, pool: Option<&StorePool>) -
 
 /// Fans the manifest's pairs over a pool of `options.workers` threads, each
 /// running full portfolio races, and collects a [`BatchReport`].
+///
+/// With [`BatchOptions::stats`] set, the persistent telemetry store is
+/// loaded first (a missing file starts empty; an unreadable or malformed
+/// one is reported on stderr and treated as empty), fed to every pair's
+/// scheduler, and saved back — with the batch's new telemetry folded in —
+/// when the batch finishes.
 pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
+    match &options.stats {
+        None => run_batch_recorded(manifest, options, None),
+        Some(path) => {
+            // A load failure (unreadable or malformed — a *missing* file is
+            // simply a cold start) runs the batch cold but must NOT save
+            // afterwards: overwriting the existing file with only this
+            // batch's stats would silently destroy the accumulated history.
+            let (store, load_failed) = match TelemetryStore::load(path) {
+                Ok(store) => (store, false),
+                Err(error) => {
+                    eprintln!(
+                        "warning: cannot load stats file {}: {error}; running cold",
+                        path.display()
+                    );
+                    (TelemetryStore::new(), true)
+                }
+            };
+            let telemetry = Mutex::new(store);
+            let report = run_batch_recorded(manifest, options, Some(&telemetry));
+            let store = telemetry
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            if load_failed {
+                eprintln!(
+                    "warning: not saving stats to {} — the existing file failed to load and \
+                     saving would overwrite it; repair or remove it first",
+                    path.display()
+                );
+            } else if let Err(error) = store.save(path) {
+                eprintln!(
+                    "warning: cannot save stats file {}: {error}",
+                    path.display()
+                );
+            }
+            report
+        }
+    }
+}
+
+/// [`run_batch`] against a caller-owned telemetry store: every pair's
+/// scheduler plans against it and folds its reports back in. This is the
+/// building block behind [`BatchOptions::stats`]; use it directly to keep
+/// telemetry in memory across several batches (e.g. a long-running
+/// service).
+pub fn run_batch_recorded(
+    manifest: &Manifest,
+    options: &BatchOptions,
+    telemetry: Option<&Mutex<TelemetryStore>>,
+) -> BatchReport {
     let start = Instant::now();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<PairReport>>> =
         Mutex::new((0..manifest.pairs.len()).map(|_| None).collect());
     // Warm stores only make sense with shared-package racing (a private
     // race never touches a store).
-    let pool = (options.warm_stores && options.portfolio.shared_package).then(StorePool::new);
+    let pool = (options.warm_stores && options.portfolio.shared_package)
+        .then(|| StorePool::with_shelves(options.store_shelves));
 
     let workers = options.workers.clamp(1, manifest.pairs.len().max(1));
     std::thread::scope(|scope| {
@@ -439,7 +614,7 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
                 let Some(spec) = manifest.pairs.get(index) else {
                     break;
                 };
-                let report = run_pair(spec, options, pool.as_ref());
+                let report = run_pair(spec, options, pool.as_ref(), telemetry);
                 results
                     .lock()
                     .expect("no worker panics while holding the lock")[index] = Some(report);
@@ -461,6 +636,8 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
             .iter()
             .filter(|p| p.error.is_some() || p.verdict == Equivalence::NoInformation)
             .count(),
+        pairs_predicted: pairs.iter().filter(|p| p.predicted).count(),
+        schemes_launched_total: pairs.iter().map(|p| p.schemes.len()).sum(),
         gc_runs_total: pairs.iter().map(|p| p.gc_runs).sum(),
         gc_barrier_runs_total: pairs
             .iter()
@@ -474,5 +651,56 @@ pub fn run_batch(manifest: &Manifest, options: &BatchOptions) -> BatchReport {
             .sum(),
         total_time: start.elapsed(),
         pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_pool_evicts_least_recently_used_widths() {
+        let pool = StorePool::with_shelves(2);
+        for width in [4usize, 6, 8] {
+            let (store, warm) = pool.checkout(width);
+            assert!(!warm, "width {width} was never shelved");
+            pool.checkin(width, store);
+        }
+        // Widths 6 and 8 survive; 4 (least recently used) was evicted.
+        assert_eq!(pool.shelved_widths(), 2);
+        assert!(pool.checkout(6).1, "width 6 should still be shelved");
+        assert!(pool.checkout(8).1, "width 8 should still be shelved");
+        assert!(!pool.checkout(4).1, "width 4 should have been evicted");
+    }
+
+    #[test]
+    fn store_pool_checkout_touches_recency() {
+        let pool = StorePool::with_shelves(2);
+        for width in [4usize, 6] {
+            let (store, _) = pool.checkout(width);
+            pool.checkin(width, store);
+        }
+        // Touch width 4 so 6 becomes the eviction victim.
+        let (store, warm) = pool.checkout(4);
+        assert!(warm);
+        pool.checkin(4, store);
+        let (store, _) = pool.checkout(8);
+        pool.checkin(8, store);
+        assert!(pool.checkout(4).1, "width 4 was recently used");
+        assert!(!pool.checkout(6).1, "width 6 was the LRU victim");
+    }
+
+    #[test]
+    fn checked_out_stores_survive_eviction_pressure() {
+        let pool = StorePool::with_shelves(1);
+        let (held, _) = pool.checkout(4);
+        for width in [6usize, 8] {
+            let (store, _) = pool.checkout(width);
+            pool.checkin(width, store);
+        }
+        // The held store was never evictable; returning it applies the cap.
+        pool.checkin(4, held);
+        assert_eq!(pool.shelved_widths(), 1);
+        assert!(pool.checkout(4).1, "the just-returned store is newest");
     }
 }

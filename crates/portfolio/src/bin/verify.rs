@@ -10,6 +10,17 @@
 //!   --node-limit N    per-scheme decision-diagram node budget
 //!   --leaf-limit N    extraction leaf budget for the fixed-input scheme
 //!   --deadline SECS   wall-clock deadline per pair (fractional seconds ok)
+//!   --stats-file FILE persistent scheme telemetry: loaded before the batch,
+//!                     folded with this batch's telemetry, saved back after.
+//!                     Switches the scheduler to the predicted policy (top-2
+//!                     launch, escalate on stall) unless --policy race is
+//!                     given; with an empty/missing file the scheduler
+//!                     degrades to racing everything.
+//!   --policy P        race | predicted — force the launch policy
+//!                     (predicted without --stats-file plans from an empty
+//!                     store, i.e. races)
+//!   --store-shelves N most register widths the warm-store pool retains
+//!                     (LRU-evicted beyond that; default 4)
 //!   --private-packages race schemes on private DD packages instead of the
 //!                     shared store (for sharing/contention comparisons)
 //!   --warm-stores     keep one shared store per register width alive
@@ -23,6 +34,7 @@
 //! pair was non-equivalent or failed, and 2 on usage errors.
 
 use portfolio::batch::{load_manifest, manifest_from_dir, run_batch, BatchOptions, Manifest};
+use portfolio::SchedulePolicy;
 use std::path::PathBuf;
 
 struct Args {
@@ -33,6 +45,9 @@ struct Args {
     node_limit: Option<usize>,
     leaf_limit: Option<usize>,
     deadline: Option<f64>,
+    stats_file: Option<PathBuf>,
+    policy: Option<String>,
+    store_shelves: Option<usize>,
     private_packages: bool,
     warm_stores: bool,
     compact: bool,
@@ -47,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
         node_limit: None,
         leaf_limit: None,
         deadline: None,
+        stats_file: None,
+        policy: None,
+        store_shelves: None,
         private_packages: false,
         warm_stores: true,
         compact: false,
@@ -91,6 +109,25 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.deadline = Some(seconds);
             }
+            "--stats-file" => args.stats_file = Some(PathBuf::from(value("--stats-file")?)),
+            "--policy" => {
+                let policy = value("--policy")?;
+                if policy != "race" && policy != "predicted" {
+                    return Err(format!(
+                        "--policy must be `race` or `predicted`, got `{policy}`"
+                    ));
+                }
+                args.policy = Some(policy);
+            }
+            "--store-shelves" => {
+                let shelves: usize = value("--store-shelves")?
+                    .parse()
+                    .map_err(|_| "invalid --store-shelves")?;
+                if shelves == 0 {
+                    return Err("--store-shelves must be at least 1".to_string());
+                }
+                args.store_shelves = Some(shelves);
+            }
             "--private-packages" => args.private_packages = true,
             "--warm-stores" => args.warm_stores = true,
             "--cold-stores" => args.warm_stores = false,
@@ -99,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
                      [--node-limit N] [--leaf-limit N] [--deadline SECS] \
+                     [--stats-file FILE] [--policy race|predicted] [--store-shelves N] \
                      [--private-packages] [--warm-stores | --cold-stores] [--compact]"
                 );
                 std::process::exit(0);
@@ -140,16 +178,34 @@ fn main() {
     options.portfolio.deadline = args.deadline.map(std::time::Duration::from_secs_f64);
     options.portfolio.shared_package = !args.private_packages;
     options.warm_stores = args.warm_stores;
+    // A stats file implies the predicted policy (that is its point); an
+    // explicit --policy always wins. Prediction with a cold store degrades
+    // to racing inside the scheduler, so the combination is always safe.
+    options.portfolio.policy = match (args.policy.as_deref(), &args.stats_file) {
+        (Some("race"), _) => SchedulePolicy::Race,
+        (Some("predicted"), _) | (None, Some(_)) => SchedulePolicy::predicted(),
+        (None, None) => SchedulePolicy::Race,
+        (Some(other), _) => unreachable!("validated by parse_args: {other}"),
+    };
+    options.stats = args.stats_file;
+    if let Some(shelves) = args.store_shelves {
+        options.store_shelves = shelves;
+    }
 
     let report = run_batch(&manifest, &options);
     for pair in &report.pairs {
         let status = match &pair.error {
             Some(error) => format!("ERROR ({error})"),
             None => format!(
-                "{} via {} in {:.4}s",
+                "{} via {} in {:.4}s{}",
                 pair.verdict,
-                pair.winner.map(|s| s.name()).unwrap_or_else(|| "-".into()),
-                pair.time_to_verdict.as_secs_f64()
+                pair.winner.map(|s| s.name()).unwrap_or("-"),
+                pair.time_to_verdict.as_secs_f64(),
+                match (pair.predicted, pair.escalated) {
+                    (true, true) => " [predicted, escalated]",
+                    (true, false) => " [predicted]",
+                    _ => "",
+                }
             ),
         };
         eprintln!("{:<24} {status}", pair.name);

@@ -1,73 +1,40 @@
-//! The scheme-racing engine.
+//! The portfolio engine: a launcher over scheme-registry entries.
+//!
+//! The engine owns no policy. It asks the [scheduler](crate::scheduler) for
+//! a [`SchedulePlan`] and executes it — sequentially on the calling thread,
+//! or as a thread race with an optional held-back escalation wave — wiring
+//! up budgets, cancellation, the shared decision-diagram store and per-
+//! scheme telemetry along the way. Which schemes launch, in what order and
+//! with what memory hints is entirely the plan's business; what a scheme
+//! *does* is its [registry descriptor](crate::scheme::SchemeDescriptor)'s.
 
+use crate::scheduler::{self, SchedulePlan, SchedulePolicy};
+use crate::scheme::{applicable_descriptors, Scheme};
+use crate::telemetry::TelemetryStore;
 use circuit::QuantumCircuit;
-use dd::MemoryStats;
-use dd::{Budget, CancelToken, LimitExceeded, SharedStore, SharedStoreStats};
-use qcec::{
-    check_functional_equivalence_in, check_simulative_equivalence_in, verify_dynamic_functional_in,
-    verify_fixed_input_in, CheckError, Configuration, DynamicCheckError, Equivalence, Strategy,
-};
-use sim::{ExtractionConfig, SimError};
+use dd::{Budget, CancelToken, SharedStore, SharedStoreStats};
+use qcec::{Configuration, Equivalence};
+use sim::ExtractionConfig;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
-
-/// One verification scheme the portfolio can race.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum Scheme {
-    /// Miter-based functional equivalence of unitary circuits with the given
-    /// gate schedule (requires both circuits to be free of dynamic
-    /// primitives).
-    Functional(Strategy),
-    /// Random-stimulus simulation of unitary circuits; refutes equivalence
-    /// conclusively, confirms it only probabilistically.
-    Simulative,
-    /// The paper's Section 4 flow — unitary reconstruction followed by a
-    /// functional check with the given gate schedule. Handles dynamic
-    /// circuits (static circuits pass through the reconstruction unchanged).
-    DynamicFunctional(Strategy),
-    /// The paper's Section 5 flow — compare complete measurement-outcome
-    /// distributions for the all-zeros input.
-    FixedInput,
-}
-
-impl Scheme {
-    /// Short stable name used in reports and benchmarks.
-    pub fn name(self) -> String {
-        match self {
-            Scheme::Functional(strategy) => format!("functional({})", strategy_name(strategy)),
-            Scheme::Simulative => "simulative".to_string(),
-            Scheme::DynamicFunctional(strategy) => {
-                format!("dynamic-functional({})", strategy_name(strategy))
-            }
-            Scheme::FixedInput => "fixed-input".to_string(),
-        }
-    }
-}
-
-fn strategy_name(strategy: Strategy) -> &'static str {
-    match strategy {
-        Strategy::Reference => "reference",
-        Strategy::OneToOne => "one-to-one",
-        Strategy::Proportional => "proportional",
-    }
-}
-
-impl std::fmt::Display for Scheme {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.name())
-    }
-}
 
 /// Configuration of a portfolio run.
 #[derive(Debug, Clone)]
 pub struct PortfolioConfig {
-    /// Configuration shared by the underlying checks.
+    /// Configuration shared by the underlying checks (including the
+    /// decision-diagram [`MemoryConfig`](dd::MemoryConfig) their packages
+    /// are sized with).
     pub configuration: Configuration,
     /// Extraction settings for the fixed-input scheme.
     pub extraction: ExtractionConfig,
-    /// Schemes to race; empty selects [`applicable_schemes`] automatically.
+    /// Schemes to launch; empty lets the scheduler select and order the
+    /// [`applicable_schemes`] according to [`policy`](Self::policy).
     pub schemes: Vec<Scheme>,
+    /// Launch policy: race everything (default) or launch the predicted
+    /// winners first and escalate on stall. Ignored when
+    /// [`schemes`](Self::schemes) is explicit.
+    pub policy: SchedulePolicy,
     /// Optional per-scheme decision-diagram node budget. The budget keeps
     /// its per-scheme meaning under [`shared_package`](Self::shared_package):
     /// each scheme is metered on the nodes *it* allocated into the shared
@@ -81,8 +48,8 @@ pub struct PortfolioConfig {
     /// Race all schemes against one shared decision-diagram store
     /// ([`dd::SharedStore`]) instead of private per-scheme packages, so the
     /// miter, simulative and extraction walkers reuse each other's gate
-    /// diagrams and subdiagrams (default: `true`). The tiny-instance
-    /// sequential fast path is unaffected either way.
+    /// diagrams and subdiagrams (default: `true`). The sequential
+    /// tiny-instance plan is unaffected either way.
     pub shared_package: bool,
 }
 
@@ -92,11 +59,31 @@ impl Default for PortfolioConfig {
             configuration: Configuration::default(),
             extraction: ExtractionConfig::default(),
             schemes: Vec::new(),
+            policy: SchedulePolicy::Race,
             node_limit: None,
             leaf_limit: None,
             deadline: None,
             shared_package: true,
         }
+    }
+}
+
+impl PortfolioConfig {
+    /// A copy of the config with the scheduler's per-scheme GC-threshold
+    /// hint folded into the memory configuration of every package the
+    /// scheme will create. The hint only *lowers* thresholds, and a
+    /// disabled automatic GC stays disabled.
+    fn with_gc_hint(&self, hint: Option<usize>) -> PortfolioConfig {
+        let mut config = self.clone();
+        if let Some(hint) = hint {
+            if let Some(threshold) = config.configuration.memory.gc_threshold {
+                config.configuration.memory.gc_threshold = Some(threshold.min(hint));
+            }
+            if let Some(threshold) = config.extraction.memory.gc_threshold {
+                config.extraction.memory.gc_threshold = Some(threshold.min(hint));
+            }
+        }
+        config
     }
 }
 
@@ -205,7 +192,7 @@ impl SharedStoreReport {
     }
 }
 
-/// Outcome of a portfolio race.
+/// Outcome of a portfolio run.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PortfolioResult {
     /// The combined verdict (see the crate docs for verdict semantics).
@@ -217,41 +204,36 @@ pub struct PortfolioResult {
     /// Wall time until every worker had stopped (losers unwind after
     /// cancellation, so this stays close to `time_to_verdict`).
     pub total_time: Duration,
-    /// Telemetry of every scheme, in completion order.
+    /// Whether recorded telemetry steered the launch plan (`false` for
+    /// race-everything runs, including predicted runs that degraded to
+    /// racing because the pair's feature bucket had no stats).
+    pub predicted: bool,
+    /// Whether a predicted run had to launch its reserve wave (stall or
+    /// inconclusive primary wave).
+    pub escalated: bool,
+    /// Telemetry of every scheme that launched, in completion order.
     pub schemes: Vec<SchemeReport>,
-    /// Shared-store telemetry when the race used one
+    /// Shared-store telemetry when the run used one
     /// ([`PortfolioConfig::shared_package`]); `None` for private-package
-    /// races and the sequential fast path.
+    /// races and sequential runs without a warm store.
     pub shared_store: Option<SharedStoreReport>,
 }
 
-/// Selects the schemes worth racing for a circuit pair.
+/// Selects the schemes worth racing for a circuit pair, in race-launch
+/// order (the heuristic favourite first).
 ///
-/// Static pairs race the three miter schedules against random-stimulus
-/// simulation; pairs with dynamic primitives race the Section 4
-/// reconstruction flow (all three schedules) against the Section 5
-/// fixed-input extraction.
-///
-/// The first scheme in the list is the heuristically fastest one (extraction
-/// for dynamic pairs, the proportional schedule for static ones);
-/// [`verify_portfolio`] runs it inline on the calling thread, so when the
-/// favourite wins, the race costs essentially no overhead over running the
-/// fastest scheme alone.
+/// This is a registry query: the entries of
+/// [`scheme::REGISTRY`](crate::scheme::REGISTRY) whose applicability
+/// predicate accepts the pair, ordered by their
+/// [`race_rank`](crate::scheme::SchemeDescriptor::race_rank). Static pairs
+/// select the three miter schedules plus random-stimulus simulation; pairs
+/// with dynamic primitives select the Section 4 reconstruction flow (all
+/// three schedules) plus the Section 5 fixed-input extraction.
 pub fn applicable_schemes(left: &QuantumCircuit, right: &QuantumCircuit) -> Vec<Scheme> {
-    let strategies = [
-        Strategy::Proportional,
-        Strategy::OneToOne,
-        Strategy::Reference,
-    ];
-    if left.is_dynamic() || right.is_dynamic() {
-        let mut schemes = vec![Scheme::FixedInput];
-        schemes.extend(strategies.iter().map(|&s| Scheme::DynamicFunctional(s)));
-        schemes
-    } else {
-        let mut schemes: Vec<Scheme> = strategies.iter().map(|&s| Scheme::Functional(s)).collect();
-        schemes.push(Scheme::Simulative);
-        schemes
-    }
+    applicable_descriptors(left, right)
+        .iter()
+        .map(|descriptor| descriptor.scheme)
+        .collect()
 }
 
 fn conclusive(verdict: Equivalence) -> bool {
@@ -282,6 +264,10 @@ pub fn run_scheme(
 /// [`run_scheme`] with an optional shared decision-diagram store: the
 /// scheme's packages then attach as workspaces of `store`, interning into
 /// the same canonical node space as every other scheme racing on it.
+///
+/// The scheme body is the registry descriptor's
+/// [`runner`](crate::scheme::SchemeDescriptor::runner); this function adds
+/// timing and folds the outcome into a [`SchemeReport`].
 pub fn run_scheme_in(
     scheme: Scheme,
     left: &QuantumCircuit,
@@ -291,95 +277,28 @@ pub fn run_scheme_in(
     store: Option<&Arc<SharedStore>>,
 ) -> SchemeReport {
     let start = Instant::now();
-    let (verdict, peak_nodes, error, cancelled, memory) = match scheme {
-        Scheme::Functional(strategy) => {
-            let configuration = Configuration {
-                strategy,
-                ..config.configuration
-            };
-            match check_functional_equivalence_in(left, right, &configuration, budget, store) {
-                Ok(check) => (
-                    Some(check.equivalence),
-                    Some(check.peak_diagram_size),
-                    None,
-                    false,
-                    Some(check.memory),
-                ),
-                Err(error) => classify_check_error(error),
-            }
-        }
-        Scheme::Simulative => {
-            match check_simulative_equivalence_in(left, right, &config.configuration, budget, store)
-            {
-                Ok(check) => (
-                    Some(check.equivalence),
-                    None,
-                    None,
-                    false,
-                    Some(check.memory),
-                ),
-                Err(error) => classify_check_error(error),
-            }
-        }
-        Scheme::DynamicFunctional(strategy) => {
-            let configuration = Configuration {
-                strategy,
-                ..config.configuration
-            };
-            match verify_dynamic_functional_in(left, right, &configuration, budget, store) {
-                Ok(report) => (
-                    Some(report.equivalence),
-                    Some(report.check.peak_diagram_size),
-                    None,
-                    false,
-                    Some(report.check.memory),
-                ),
-                Err(error) => classify_dynamic_error(error),
-            }
-        }
-        Scheme::FixedInput => {
-            match verify_fixed_input_in(
-                left,
-                right,
-                &config.configuration,
-                &config.extraction,
-                budget,
-                store,
-            ) {
-                Ok(report) => {
-                    let support =
-                        report.reference_distribution.len() + report.dynamic_distribution.len();
-                    (
-                        Some(report.equivalence),
-                        Some(support),
-                        None,
-                        false,
-                        Some(report.memory),
-                    )
-                }
-                Err(error) => classify_dynamic_error(error),
-            }
-        }
-    };
+    let outcome = (scheme.descriptor().runner)(left, right, config, budget, store);
     SchemeReport {
         scheme,
-        verdict,
         // `ProbablyEquivalent` (simulative agreement) is advisory, so it
         // never counts as conclusive and never cancels competitors.
-        conclusive: verdict.map(conclusive).unwrap_or(false),
-        cancelled,
-        error,
+        conclusive: outcome.verdict.map(conclusive).unwrap_or(false),
+        verdict: outcome.verdict,
+        cancelled: outcome.cancelled,
+        error: outcome.error,
         duration: start.elapsed(),
-        peak_nodes,
-        cache_hit_rate: memory.and_then(|m| m.compute_hit_rate()),
-        gc_runs: memory.map(|m| m.gc_runs),
-        shared_nodes: memory.and_then(|m| (m.shared_nodes > 0).then_some(m.shared_nodes)),
+        peak_nodes: outcome.peak_nodes,
+        cache_hit_rate: outcome.memory.and_then(|m| m.compute_hit_rate()),
+        gc_runs: outcome.memory.map(|m| m.gc_runs),
+        shared_nodes: outcome
+            .memory
+            .and_then(|m| (m.shared_nodes > 0).then_some(m.shared_nodes)),
         // A scheme racing on a shared store always reports a finite rate:
         // a scheme cancelled before its first canonical lookup divides 0
         // hits by 0 lookups, which must surface as 0.0 — a NaN would make
         // the JSON report unserializable and a null look like a private
         // race.
-        cross_thread_hit_rate: match (&memory, store) {
+        cross_thread_hit_rate: match (&outcome.memory, store) {
             (Some(m), Some(_)) => Some(m.cross_thread_hit_rate().unwrap_or(0.0)),
             (Some(m), None) => m.cross_thread_hit_rate(),
             (None, Some(_)) => Some(0.0),
@@ -438,58 +357,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-type Classified = (
-    Option<Equivalence>,
-    Option<usize>,
-    Option<String>,
-    bool,
-    Option<MemoryStats>,
-);
-
-fn classify_check_error(error: CheckError) -> Classified {
-    match error {
-        CheckError::LimitExceeded(LimitExceeded::Cancelled) => (None, None, None, true, None),
-        other => (None, None, Some(other.to_string()), false, None),
-    }
-}
-
-fn classify_dynamic_error(error: DynamicCheckError) -> Classified {
-    match error {
-        DynamicCheckError::Check(CheckError::LimitExceeded(LimitExceeded::Cancelled))
-        | DynamicCheckError::Simulation(SimError::Interrupted(LimitExceeded::Cancelled)) => {
-            (None, None, None, true, None)
-        }
-        other => (None, None, Some(other.to_string()), false, None),
-    }
-}
-
-/// Instances this small finish in microseconds under any scheme; spawning
-/// threads would cost more than simply trying the schemes one after another.
-fn is_tiny(left: &QuantumCircuit, right: &QuantumCircuit) -> bool {
-    left.num_qubits().max(right.num_qubits()) <= 8 && left.len().max(right.len()) <= 256
-}
-
-/// Scheme order for the sequential small-instance path: the proportional
-/// schedule first (QCEC's default, typically fastest on near-equivalent
-/// pairs), then the fixed-input extraction, then the remaining schedules.
-fn sequential_order(left: &QuantumCircuit, right: &QuantumCircuit) -> Vec<Scheme> {
-    if left.is_dynamic() || right.is_dynamic() {
-        vec![
-            Scheme::DynamicFunctional(Strategy::Proportional),
-            Scheme::FixedInput,
-            Scheme::DynamicFunctional(Strategy::OneToOne),
-            Scheme::DynamicFunctional(Strategy::Reference),
-        ]
-    } else {
-        vec![
-            Scheme::Functional(Strategy::Proportional),
-            Scheme::Functional(Strategy::OneToOne),
-            Scheme::Functional(Strategy::Reference),
-            Scheme::Simulative,
-        ]
-    }
-}
-
 /// Folds scheme reports into the final result: first conclusive verdict
 /// wins; otherwise the strongest advisory verdict is used.
 fn combine(
@@ -515,66 +382,37 @@ fn combine(
         winner,
         time_to_verdict: time_to_verdict.unwrap_or(total_time),
         total_time,
+        predicted: false,
+        escalated: false,
         schemes: reports,
         shared_store: None,
     }
 }
 
-/// Tries the schemes one after another on the calling thread — the fast path
-/// for tiny instances, where thread spawn/join would dominate the wall time.
-/// A warm store (from the batch driver's pool) is still honoured: each
-/// scheme attaches a workspace in turn, so cross-*pair* reuse works even for
-/// instances too small to race.
-fn verify_sequential(
-    left: &QuantumCircuit,
-    right: &QuantumCircuit,
-    config: &PortfolioConfig,
-    schemes: Vec<Scheme>,
-    budget: &Budget,
-    store: Option<&Arc<SharedStore>>,
-) -> PortfolioResult {
-    let start = Instant::now();
-    let mut reports = Vec::new();
-    let mut verdict = None;
-    let mut winner = None;
-    let mut time_to_verdict = None;
-    for scheme in schemes {
-        let report = run_scheme_caught(scheme, left, right, config, budget, store);
-        let conclusive = report.conclusive;
-        if conclusive {
-            verdict = report.verdict;
-            winner = Some(report.scheme);
-            time_to_verdict = Some(start.elapsed());
-        }
-        reports.push(report);
-        if conclusive {
-            break;
-        }
-    }
-    combine(start, reports, verdict, winner, time_to_verdict)
-}
-
-/// Races all configured (or [`applicable_schemes`]) verification schemes for
-/// a circuit pair across `std::thread` workers and returns the first
-/// conclusive verdict plus per-scheme telemetry.
+/// Launches all configured (or scheduler-selected) verification schemes for
+/// a circuit pair and returns the first conclusive verdict plus per-scheme
+/// telemetry.
 ///
-/// By default the workers race against one shared decision-diagram store
+/// Under the default [`SchedulePolicy::Race`] every applicable scheme races
+/// across `std::thread` workers against one shared decision-diagram store
 /// ([`PortfolioConfig::shared_package`]): whichever scheme builds a gate
-/// diagram or subdiagram first, the others get it as a cache hit — the
-/// miter, the simulative check and the extraction walkers intern largely
-/// the same structure. Set the flag to `false` for fully private
-/// per-scheme packages. The workers additionally share one
-/// [`CancelToken`], so the moment a conclusive verdict arrives the losing
-/// schemes stop burning cores and unwind. The wall time of the whole call
-/// therefore tracks the *fastest* scheme, while the verdict quality matches
-/// the best scheme that could have run alone. Two refinements keep the
-/// overhead over the fastest single scheme small:
+/// diagram or subdiagram first, the others get it as a cache hit. The
+/// workers additionally share one [`CancelToken`], so the moment a
+/// conclusive verdict arrives the losing schemes stop burning cores and
+/// unwind. The wall time of the whole call therefore tracks the *fastest*
+/// scheme, while the verdict quality matches the best scheme that could
+/// have run alone. Two plan shapes keep the overhead over the fastest
+/// single scheme small:
 ///
-/// * tiny instances (≤ 8 qubits, ≤ 256 operations) skip the threads
-///   entirely and try the schemes sequentially — they finish in
-///   microseconds, below the cost of a thread spawn;
+/// * tiny instances (≤ 8 qubits, ≤ 256 operations) get a *sequential* plan
+///   — the schemes are tried one after another on the calling thread,
+///   below the cost of a thread spawn;
 /// * in a race, the heuristically fastest scheme runs inline on the calling
 ///   thread while only the competitors are spawned.
+///
+/// Under [`SchedulePolicy::Predicted`] (and recorded stats — see
+/// [`verify_portfolio_recorded`]) only the top-`k` predicted winners launch,
+/// with the rest of the portfolio held back as an escalation wave.
 pub fn verify_portfolio(
     left: &QuantumCircuit,
     right: &QuantumCircuit,
@@ -585,30 +423,63 @@ pub fn verify_portfolio(
 
 /// [`verify_portfolio`] against an optional *warm* shared store.
 ///
-/// When `warm_store` is `Some`, the race attaches to it instead of creating
+/// When `warm_store` is `Some`, the run attaches to it instead of creating
 /// a fresh [`SharedStore`]: canonical nodes and the gate-diagram L2 cache
 /// left behind by earlier races (the batch driver GCs between pairs, so
 /// only GC roots carry over) are reused, reported as
 /// [`SharedStoreReport::warm_hits`]. The store's warm-reuse epoch is marked
 /// here ([`SharedStore::begin_race`]); telemetry in the result is the
-/// per-race delta. A warm store is honoured even on the tiny-instance
-/// sequential fast path.
+/// per-race delta. A warm store is honoured even on the sequential
+/// tiny-instance plan.
 pub fn verify_portfolio_in(
     left: &QuantumCircuit,
     right: &QuantumCircuit,
     config: &PortfolioConfig,
     warm_store: Option<&Arc<SharedStore>>,
 ) -> PortfolioResult {
-    let auto = config.schemes.is_empty();
-    let schemes = if auto {
-        applicable_schemes(left, right)
-    } else {
-        config.schemes.clone()
+    verify_portfolio_recorded(left, right, config, warm_store, None)
+}
+
+/// [`verify_portfolio_in`] wired to a persistent [`TelemetryStore`]: the
+/// scheduler plans against the store's recorded stats (enabling
+/// [`SchedulePolicy::Predicted`] to actually predict), and every scheme
+/// report of the run is folded back in afterwards. This is the entry point
+/// the batch driver uses for `verify --stats-file`.
+pub fn verify_portfolio_recorded(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    warm_store: Option<&Arc<SharedStore>>,
+    telemetry: Option<&Mutex<TelemetryStore>>,
+) -> PortfolioResult {
+    let plan = {
+        // Hold the lock only while planning (a handful of map lookups);
+        // recover from poisoning like every other portfolio lock.
+        let guard = telemetry.map(|store| store.lock().unwrap_or_else(PoisonError::into_inner));
+        scheduler::plan(left, right, config, guard.as_deref())
     };
+    let result = execute_plan(left, right, config, &plan, warm_store);
+    if let Some(telemetry) = telemetry {
+        telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_race(&plan.features, &result.schemes, result.winner);
+    }
+    result
+}
+
+/// Executes a launch plan: the engine proper.
+fn execute_plan(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    plan: &SchedulePlan,
+    warm_store: Option<&Arc<SharedStore>>,
+) -> PortfolioResult {
     let cancel = CancelToken::new();
 
-    // One shared absolute deadline for the whole race, fixed up front so
-    // every scheme (including late-starting workers) counts down together.
+    // One shared absolute deadline for the whole run, fixed up front so
+    // every scheme (including escalation-wave workers) counts down together.
     let deadline_at = config.deadline.map(|timeout| Instant::now() + timeout);
     let make_budget = || {
         let mut budget = Budget::unlimited().with_cancel_token(cancel.clone());
@@ -624,20 +495,47 @@ pub fn verify_portfolio_in(
         budget
     };
 
-    if auto && is_tiny(left, right) {
-        let order = sequential_order(left, right);
+    // Per-launch configs with the scheduler's GC hints folded in; workers
+    // borrow these across the scope below.
+    let launches: Vec<(Scheme, PortfolioConfig)> = plan
+        .all_schemes()
+        .map(|scheduled| (scheduled.scheme, config.with_gc_hint(scheduled.gc_hint)))
+        .collect();
+
+    if plan.sequential {
         let before = warm_store.map(|store| {
             store.begin_race();
             store.stats()
         });
-        let mut result = verify_sequential(left, right, config, order, &make_budget(), warm_store);
+        let start = Instant::now();
+        let budget = make_budget();
+        let mut reports = Vec::new();
+        let mut verdict = None;
+        let mut winner = None;
+        let mut time_to_verdict = None;
+        for (scheme, scheme_config) in &launches {
+            let report =
+                run_scheme_caught(*scheme, left, right, scheme_config, &budget, warm_store);
+            let conclusive = report.conclusive;
+            if conclusive {
+                verdict = report.verdict;
+                winner = Some(report.scheme);
+                time_to_verdict = Some(start.elapsed());
+            }
+            reports.push(report);
+            if conclusive {
+                break;
+            }
+        }
+        let mut result = combine(start, reports, verdict, winner, time_to_verdict);
+        result.predicted = plan.predicted;
         if let (Some(store), Some(before)) = (warm_store, before) {
             result.shared_store = Some(SharedStoreReport::delta(&before, &store.stats()));
         }
         return result;
     }
 
-    // Shared-package racing: one concurrent store for the whole race — warm
+    // Threaded execution: one concurrent store for the whole run — warm
     // from the pool, or fresh — so every scheme interning the same gate
     // diagram or subdiagram gets the other schemes' work as cache hits
     // instead of rebuilding it.
@@ -651,25 +549,46 @@ pub fn verify_portfolio_in(
     });
 
     let start = Instant::now();
-    let mut reports: Vec<SchemeReport> = Vec::with_capacity(schemes.len());
+    let mut reports: Vec<SchemeReport> = Vec::with_capacity(launches.len());
     let mut verdict: Option<Equivalence> = None;
     let mut winner: Option<Scheme> = None;
     let mut time_to_verdict: Option<Duration> = None;
+    let mut escalated = false;
 
+    // The run winner is the conclusive scheme that *finished* first —
+    // reports can be handled out of finish order because the collector may
+    // be busy with the inline scheme.
+    fn note(
+        report: SchemeReport,
+        finished_at: Duration,
+        verdict: &mut Option<Equivalence>,
+        winner: &mut Option<Scheme>,
+        time_to_verdict: &mut Option<Duration>,
+        reports: &mut Vec<SchemeReport>,
+    ) {
+        if report.conclusive && time_to_verdict.map(|t| finished_at < t).unwrap_or(true) {
+            *verdict = report.verdict;
+            *winner = Some(report.scheme);
+            *time_to_verdict = Some(finished_at);
+        }
+        reports.push(report);
+    }
+
+    let primary = plan.primary.len();
     std::thread::scope(|scope| {
-        // Reports travel with the race-relative instant their scheme
+        // Reports travel with the run-relative instant their scheme
         // finished, so `time_to_verdict` reflects when the verdict was
-        // *produced*, not when the collector got around to processing it
-        // (the collector is busy running the inline favourite).
+        // *produced*, not when the collector got around to processing it.
         let (sender, receiver) = mpsc::channel::<(SchemeReport, Duration)>();
-        // Race schemes[1..] on worker threads …
-        for &scheme in &schemes[1..] {
+        let spawn_scheme = |index: usize| {
             let budget = make_budget();
             let sender = sender.clone();
             let cancel = cancel.clone();
             let store = store.as_ref();
+            let launches = &launches;
             scope.spawn(move || {
-                let report = run_scheme_caught(scheme, left, right, config, &budget, store);
+                let (scheme, scheme_config) = &launches[index];
+                let report = run_scheme_caught(*scheme, left, right, scheme_config, &budget, store);
                 let finished_at = start.elapsed();
                 if report.conclusive {
                     // Cancel from inside the worker so losers start unwinding
@@ -680,39 +599,111 @@ pub fn verify_portfolio_in(
                 // tolerant anyway: a worker must never panic on send.
                 let _ = sender.send((report, finished_at));
             });
-        }
-        drop(sender);
-
-        // … and the favourite inline on the calling thread: when it wins —
-        // the common case, given the ordering of `applicable_schemes` — the
-        // race adds no thread-spawn latency over the fastest single scheme.
-        let mut handle = |report: SchemeReport, finished_at: Duration| {
-            // The race winner is the conclusive scheme that *finished*
-            // first — reports can be handled out of finish order because
-            // the collector is busy with the inline scheme.
-            if report.conclusive && time_to_verdict.map(|t| finished_at < t).unwrap_or(true) {
-                verdict = report.verdict;
-                winner = Some(report.scheme);
-                time_to_verdict = Some(finished_at);
-            }
-            reports.push(report);
         };
-        let inline_report = run_scheme_caught(
-            schemes[0],
-            left,
-            right,
-            config,
-            &make_budget(),
-            store.as_ref(),
-        );
-        let inline_finished_at = start.elapsed();
-        if inline_report.conclusive {
-            cancel.cancel();
-        }
-        handle(inline_report, inline_finished_at);
 
-        while let Ok((report, finished_at)) = receiver.recv() {
-            handle(report, finished_at);
+        match plan.escalate_after {
+            None => {
+                // Race everything: spawn the competitors and run the
+                // favourite (launch index 0) inline on the calling thread —
+                // when it wins, the common case given the registry's race
+                // ranks, the race adds no thread-spawn latency over the
+                // fastest single scheme.
+                for index in 1..launches.len() {
+                    spawn_scheme(index);
+                }
+                let (scheme, scheme_config) = &launches[0];
+                let inline_report = run_scheme_caught(
+                    *scheme,
+                    left,
+                    right,
+                    scheme_config,
+                    &make_budget(),
+                    store.as_ref(),
+                );
+                let inline_finished_at = start.elapsed();
+                if inline_report.conclusive {
+                    cancel.cancel();
+                }
+                note(
+                    inline_report,
+                    inline_finished_at,
+                    &mut verdict,
+                    &mut winner,
+                    &mut time_to_verdict,
+                    &mut reports,
+                );
+                // Every worker sends exactly one report (panics are caught
+                // inside the worker body), so receive by count — the
+                // collector keeps a sender clone alive, so disconnection
+                // can never signal the end.
+                for _ in 1..launches.len() {
+                    let Ok((report, finished_at)) = receiver.recv() else {
+                        break;
+                    };
+                    note(
+                        report,
+                        finished_at,
+                        &mut verdict,
+                        &mut winner,
+                        &mut time_to_verdict,
+                        &mut reports,
+                    );
+                }
+            }
+            Some(escalate_after) => {
+                // Predicted launch: the primary wave runs on workers while
+                // the collector keeps the stall clock. The reserve launches
+                // when the primary wave stalls past the deadline or drains
+                // without a conclusive verdict.
+                for index in 0..primary {
+                    spawn_scheme(index);
+                }
+                let escalate_at = start + escalate_after;
+                let mut pending = primary;
+                loop {
+                    if pending == 0 {
+                        if verdict.is_none() && !escalated {
+                            escalated = true;
+                            for index in primary..launches.len() {
+                                spawn_scheme(index);
+                            }
+                            pending = launches.len() - primary;
+                            continue;
+                        }
+                        break;
+                    }
+                    let message = if escalated || verdict.is_some() {
+                        receiver.recv().ok()
+                    } else {
+                        match receiver
+                            .recv_timeout(escalate_at.saturating_duration_since(Instant::now()))
+                        {
+                            Ok(message) => Some(message),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                escalated = true;
+                                for index in primary..launches.len() {
+                                    spawn_scheme(index);
+                                }
+                                pending += launches.len() - primary;
+                                continue;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                        }
+                    };
+                    let Some((report, finished_at)) = message else {
+                        break;
+                    };
+                    pending -= 1;
+                    note(
+                        report,
+                        finished_at,
+                        &mut verdict,
+                        &mut winner,
+                        &mut time_to_verdict,
+                        &mut reports,
+                    );
+                }
+            }
         }
     });
 
@@ -734,6 +725,8 @@ pub fn verify_portfolio_in(
     }
 
     let mut result = combine(start, reports, verdict, winner, time_to_verdict);
+    result.predicted = plan.predicted;
+    result.escalated = escalated;
     // Every scheme's workspaces are gone by now (the scope joined all
     // workers), so the store's flushed counters are complete.
     result.shared_store = match (store, before) {
@@ -782,5 +775,21 @@ mod tests {
             json.contains("\"cross_thread_hit_rate\":0"),
             "rate must render as a number, not null: {json}"
         );
+    }
+
+    #[test]
+    fn scheme_names_are_static_and_stable() {
+        use qcec::Strategy;
+        assert_eq!(
+            Scheme::Functional(Strategy::Proportional).name(),
+            "functional(proportional)"
+        );
+        assert_eq!(Scheme::Simulative.name(), "simulative");
+        assert_eq!(
+            Scheme::DynamicFunctional(Strategy::Reference).name(),
+            "dynamic-functional(reference)"
+        );
+        assert_eq!(Scheme::FixedInput.name(), "fixed-input");
+        assert_eq!(Scheme::FixedInput.to_string(), "fixed-input");
     }
 }

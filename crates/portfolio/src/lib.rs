@@ -1,71 +1,79 @@
-//! # portfolio — parallel portfolio verification of quantum circuits
+//! # portfolio — scheduled portfolio verification of quantum circuits
 //!
 //! No single equivalence-checking scheme wins everywhere: functional
 //! checking after unitary reconstruction (the paper's Section 4) is
 //! unbeatable when the miter stays close to the identity, while fixed-input
 //! distribution extraction (Section 5) can be exponentially faster — or
 //! exponentially slower — depending on how many measurement outcomes carry
-//! probability mass. Exactly as the QCEC tool does, this crate therefore
-//! **races every applicable scheme concurrently** and returns the first
-//! conclusive verdict:
+//! probability mass. The crate answers that in three layers:
 //!
-//! * [`verify_portfolio`] spawns one `std::thread` worker per scheme and a
-//!   shared [`CancelToken`](qcec::CancelToken). The first conclusive verdict
-//!   cancels the losers, which unwind within a few hundred node allocations
-//!   thanks to the budget plumbing inside [`dd`], [`sim`] and [`qcec`].
-//! * **Shared-package racing** ([`PortfolioConfig::shared_package`], default
-//!   on): the racing schemes attach to one concurrent
-//!   [`dd::SharedStore`], so the miter construction, the simulative check
-//!   and the extraction walkers reuse each other's gate diagrams, complex
-//!   weights and subdiagrams instead of re-interning them privately. The
-//!   tiny-instance sequential fast path is unchanged.
-//! * Per-scheme telemetry ([`SchemeReport`]) records verdicts, wall times,
-//!   peak diagram sizes and whether the scheme was cancelled — the raw data
-//!   behind portfolio-weight tuning.
-//! * The [`batch`] module fans whole workloads (a JSON manifest or a
-//!   directory of QASM pairs) over a worker pool and produces a
-//!   machine-readable JSON report; the `verify` binary is its CLI.
+//! * **[`scheme`] — the registry.** Every scheme is a
+//!   [`SchemeDescriptor`](scheme::SchemeDescriptor): a static name, an
+//!   applicability predicate over the circuit pair, static cost features
+//!   and a runner function. The engine and scheduler are generic over
+//!   registry entries; adding a scheme means adding one descriptor.
+//! * **[`scheduler`] — the policy.** [`scheduler::plan`] turns a circuit
+//!   pair, a [`SchedulePolicy`] and recorded telemetry into a launch plan.
+//!   [`SchedulePolicy::Race`] (the default, and the paper's proposal)
+//!   launches every applicable scheme at once — first conclusive verdict
+//!   wins, a shared [`CancelToken`](dd::CancelToken) unwinds the losers.
+//!   [`SchedulePolicy::Predicted`] launches only the top-`k` schemes the
+//!   telemetry predicts for the pair's feature bucket and escalates to the
+//!   full portfolio on stall or an inconclusive primary wave; with no
+//!   recorded stats it degrades to the exact race plan. The tiny-instance
+//!   sequential fast path is a plan shape, not an engine special case.
+//! * **[`telemetry`] — the memory.** Every [`SchemeReport`] folds into
+//!   per-(scheme, feature-bucket) running stats
+//!   ([`telemetry::TelemetryStore`]) that serialize to JSON and are
+//!   loaded/merged/saved across batch runs (`verify --stats-file`,
+//!   [`batch::BatchOptions::stats`]). The same stats drive per-scheme
+//!   garbage-collection budget hints
+//!   ([`ScheduledScheme::gc_hint`](scheduler::ScheduledScheme::gc_hint)),
+//!   threaded through [`qcec::Configuration`] into the decision-diagram
+//!   [`MemoryConfig`](dd::MemoryConfig).
 //!
-//! ## Shared-store telemetry in reports
+//! [`verify_portfolio`] executes a plan for one pair;
+//! [`verify_portfolio_recorded`] additionally reads and feeds a telemetry
+//! store. The [`batch`] module fans whole workloads (a JSON manifest or a
+//! directory of QASM pairs) over a worker pool and produces a
+//! machine-readable JSON report; the `verify` binary is its CLI.
 //!
-//! When a race uses the shared store, three layers of telemetry surface the
-//! sharing:
+//! ## Racing on a shared store
 //!
-//! * [`SchemeReport::shared_nodes`] — live nodes of the store as that scheme
-//!   finished — and [`SchemeReport::cross_thread_hit_rate`] — the fraction
-//!   of the scheme's canonical lookups (unique tables plus the shared gate
-//!   cache) answered by structure *another* scheme built first.
-//! * [`PortfolioResult::shared_store`] (a [`SharedStoreReport`]) aggregates
-//!   the whole race: `shared_nodes` (live at race end), `carried_over_nodes`
-//!   (warm carry-over at race start), `peak_nodes`, `allocated_nodes`,
-//!   `intern_hits`, `cross_thread_hits`, `warm_hits`,
-//!   `cross_thread_hit_rate` (always finite — `0.0` for a race cancelled
-//!   before its first lookup), `gc_runs` / `gc_barrier_runs` (store-level
-//!   collections; barrier collections stop the racing schemes at their
-//!   safe points and run *mid-race*) and `complex_entries` (live interned
-//!   weights).
-//! * The batch JSON report repeats that block per pair
-//!   (`pairs[i].shared_store`, plus a `warm_store` flag) next to the
-//!   existing `peak_nodes` / `gc_runs` scheme aggregates, and totals
-//!   `warm_hits_total` / `gc_barrier_runs_total`, so perf trajectories
-//!   across a workload can be mined for lock-contention or sharing
-//!   regressions.
+//! By default threaded plans race against one concurrent
+//! [`dd::SharedStore`] ([`PortfolioConfig::shared_package`]): the racing
+//! schemes attach one workspace each and reuse each other's gate diagrams,
+//! complex weights and subdiagrams instead of re-interning them privately.
+//! Three layers of telemetry surface the sharing:
+//!
+//! * [`SchemeReport::shared_nodes`] and
+//!   [`SchemeReport::cross_thread_hit_rate`] per scheme;
+//! * [`PortfolioResult::shared_store`] (a [`SharedStoreReport`]) per run:
+//!   `carried_over_nodes`, `allocated_nodes`, `intern_hits`,
+//!   `cross_thread_hits`, `warm_hits`, `cross_thread_hit_rate` (always
+//!   finite), `gc_runs` / `gc_barrier_runs`, `complex_entries`;
+//! * the batch JSON report repeats that block per pair
+//!   (`pairs[i].shared_store` plus a `warm_store` flag) and totals
+//!   `warm_hits_total` / `gc_barrier_runs_total`.
 //!
 //! ## Warm stores across batch pairs
 //!
-//! The [`batch`] driver keeps one shared store per register width alive
-//! across pairs ([`batch::BatchOptions::warm_stores`], default on; the
-//! `verify` binary's `--cold-stores` opts out): after each pair a barrier
-//! collection prunes everything but the gate-diagram L2 cache and the
-//! canonical structure under it, which the next same-width pair then reuses
-//! (reported as `warm_hits`). Checkout is exclusive per worker, so
-//! concurrent workers never share a store mid-pair.
+//! The [`batch`] driver keeps shared stores alive across pairs in a
+//! per-register-width pool ([`batch::StorePool`];
+//! [`batch::BatchOptions::warm_stores`], default on; the `verify` binary's
+//! `--cold-stores` opts out): after each pair a collection prunes
+//! everything but the gate-diagram L2 cache and the canonical structure
+//! under it, which the next same-width pair reuses (reported as
+//! `warm_hits`). The pool keeps at most
+//! [`batch::BatchOptions::store_shelves`] register widths (least recently
+//! used evicted; `--store-shelves N`), so heterogeneous batches do not pin
+//! every width's arenas forever.
 //!
 //! ## Failure isolation
 //!
 //! A scheme that *panics* (as opposed to erroring) is caught, reported as a
 //! failed [`SchemeReport`] with the panic message as its error, and the
-//! race continues with the remaining schemes; shared-store locks the dead
+//! run continues with the remaining schemes; shared-store locks the dead
 //! scheme may have poisoned recover instead of cascading.
 //!
 //! ## Quick start
@@ -94,20 +102,30 @@
 //! equivalence of the measurement-outcome distributions for the all-zeros
 //! input — a weaker statement than full functional equivalence. The
 //! [`SchemeReport::scheme`] of the winner tells which semantics produced the
-//! verdict, and two precedence rules keep races sound:
+//! verdict, and two precedence rules keep runs sound:
 //!
 //! * a fixed-input *refutation* is also a functional refutation, so
 //!   `NotEquivalent` from any scheme is always safe to report;
 //! * when the fixed-input scheme claims equivalence but a functional scheme
-//!   in the same race finished with a refutation, the refutation wins — the
+//!   in the same run finished with a refutation, the refutation wins — the
 //!   weaker claim never overrides the stronger proof.
+//!
+//! Predicted plans narrow *which* schemes launch, never the verdict rules:
+//! an escalated run applies the same precedence across both waves, and the
+//! acceptance suite pins verdict parity between predicted and race runs.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 mod engine;
+pub mod scheduler;
+pub mod scheme;
+pub mod telemetry;
 
 pub use engine::{
     applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, verify_portfolio_in,
-    PortfolioConfig, PortfolioResult, Scheme, SchemeReport, SharedStoreReport,
+    verify_portfolio_recorded, PortfolioConfig, PortfolioResult, SchemeReport, SharedStoreReport,
 };
+pub use scheduler::SchedulePolicy;
+pub use scheme::Scheme;
+pub use telemetry::{PairFeatures, TelemetryStore};

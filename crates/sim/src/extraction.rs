@@ -30,6 +30,11 @@ pub struct ExtractionConfig {
     /// against accidentally extracting a dense distribution over very many
     /// measurements.
     pub max_leaves: Option<usize>,
+    /// Decision-diagram memory sizing for the extraction walker's package
+    /// (compute-table bounds and the automatic garbage-collection
+    /// threshold). The portfolio scheduler overrides the GC threshold per
+    /// scheme from recorded peak-node telemetry.
+    pub memory: dd::MemoryConfig,
 }
 
 impl Default for ExtractionConfig {
@@ -37,6 +42,7 @@ impl Default for ExtractionConfig {
         ExtractionConfig {
             prune_threshold: 1e-12,
             max_leaves: None,
+            memory: dd::MemoryConfig::default(),
         }
     }
 }
@@ -255,7 +261,7 @@ pub fn extract_distribution_budgeted_in(
 ) -> Result<ExtractionResult, SimError> {
     let start = Instant::now();
     let n = circuit.num_qubits();
-    let mut package = DdPackage::with_store(store, n, budget.clone());
+    let mut package = DdPackage::with_store_config(store, n, budget.clone(), config.memory);
     let config = &ExtractionConfig {
         max_leaves: match (config.max_leaves, budget.max_leaves()) {
             (Some(a), Some(b)) => Some(a.min(b)),

@@ -71,7 +71,20 @@ impl StateVectorSimulator {
         budget: dd::Budget,
         store: Option<&std::sync::Arc<dd::SharedStore>>,
     ) -> Self {
-        let mut package = DdPackage::with_store(store, n_qubits, budget);
+        StateVectorSimulator::with_memory_in(n_qubits, budget, dd::MemoryConfig::default(), store)
+    }
+
+    /// [`with_budget_in`](Self::with_budget_in) with explicit
+    /// [`dd::MemoryConfig`] sizing for the simulator's package — the hook
+    /// through which the portfolio scheduler's per-scheme GC-threshold hints
+    /// reach the simulative check.
+    pub fn with_memory_in(
+        n_qubits: usize,
+        budget: dd::Budget,
+        memory: dd::MemoryConfig,
+        store: Option<&std::sync::Arc<dd::SharedStore>>,
+    ) -> Self {
+        let mut package = DdPackage::with_store_config(store, n_qubits, budget, memory);
         let state = package.zero_state();
         // The current state is the garbage-collection root of the simulator:
         // everything else the package holds may be reclaimed between gates.
@@ -99,7 +112,23 @@ impl StateVectorSimulator {
         budget: dd::Budget,
         store: Option<&std::sync::Arc<dd::SharedStore>>,
     ) -> Self {
-        let mut sim = StateVectorSimulator::with_budget_in(bits.len(), budget, store);
+        StateVectorSimulator::with_memory_and_initial_state_in(
+            bits,
+            budget,
+            dd::MemoryConfig::default(),
+            store,
+        )
+    }
+
+    /// [`with_budget_and_initial_state_in`](Self::with_budget_and_initial_state_in)
+    /// with explicit [`dd::MemoryConfig`] sizing.
+    pub fn with_memory_and_initial_state_in(
+        bits: &[bool],
+        budget: dd::Budget,
+        memory: dd::MemoryConfig,
+        store: Option<&std::sync::Arc<dd::SharedStore>>,
+    ) -> Self {
+        let mut sim = StateVectorSimulator::with_memory_in(bits.len(), budget, memory, store);
         let initial = sim.package.basis_state(bits);
         sim.set_state(initial);
         sim

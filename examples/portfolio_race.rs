@@ -13,10 +13,7 @@ fn race(name: &str, left: &circuit::QuantumCircuit, right: &circuit::QuantumCirc
     println!(
         "{name}: {} (winner: {}, verdict after {:.2} ms, all workers done after {:.2} ms)",
         result.verdict,
-        result
-            .winner
-            .map(|s| s.name())
-            .unwrap_or_else(|| "-".into()),
+        result.winner.map(|s| s.name()).unwrap_or("-"),
         result.time_to_verdict.as_secs_f64() * 1e3,
         result.total_time.as_secs_f64() * 1e3,
     );
