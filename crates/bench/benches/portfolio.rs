@@ -174,6 +174,11 @@ fn bench_shared_vs_private(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"portfolio_shared\",\n  \"description\": \"shared-store vs \
          private-package portfolio races on QPE/IQPE miters (min of 3 runs)\",\n  \
+         \"caveats\": [\n    \"small n: three instances, min-of-3 wall times on one machine — \
+         treat speedups within ~1.3x of parity as noise, not signal\",\n    \
+         \"cross_thread_hit_rate counts canonical-store hits only; compute-table reuse is \
+         invisible here, so low rates do not mean no sharing\",\n    \"shared_peak_nodes is a \
+         store-lifetime gauge, not a per-race delta: a warm store inflates it\"\n  ],\n  \
          \"instances\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
@@ -328,10 +333,9 @@ fn bench_predicted_vs_race(c: &mut Criterion) {
             instance.n,
             predicted_secs * 1e3,
             predicted.schemes.len(),
-            if predicted.escalated {
-                ", escalated"
-            } else {
-                ""
+            match predicted.escalation {
+                Some(reason) => format!(", escalated: {reason}"),
+                None => String::new(),
             },
             race_secs * 1e3,
             race.schemes.len(),
@@ -340,13 +344,16 @@ fn bench_predicted_vs_race(c: &mut Criterion) {
         rows.push(format!(
             "    {{ \"family\": \"{}\", \"n\": {}, \"race_secs\": {race_secs:.6}, \
              \"predicted_secs\": {predicted_secs:.6}, \"race_launches\": {}, \
-             \"predicted_launches\": {}, \"escalated\": {}, \"verdict_equivalent\": {}, \
+             \"predicted_launches\": {}, \"escalation\": {}, \"verdict_equivalent\": {}, \
              \"winner\": \"{}\" }}",
             instance.family.name(),
             instance.n,
             race.schemes.len(),
             predicted.schemes.len(),
-            predicted.escalated,
+            predicted
+                .escalation
+                .map(|reason| format!("\"{reason}\""))
+                .unwrap_or_else(|| "null".to_string()),
             predicted.verdict.considered_equivalent(),
             predicted.winner.map(|s| s.name()).unwrap_or("-"),
         ));
@@ -360,7 +367,12 @@ fn bench_predicted_vs_race(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"portfolio_scheduler\",\n  \"description\": \"telemetry-predicted \
          top-k launches vs race-everything on QFT/QPE pairs (min of 3 runs; stats warmed by one \
-         recorded race per pair)\",\n  \"race_launches_total\": {race_launches_total},\n  \
+         recorded race per pair)\",\n  \"caveats\": [\n    \"small n: three pairs on one \
+         machine — the launch-count saving generalises, the wall-time ratios may not\",\n    \
+         \"stats are warmed by exactly one recorded race per pair; a long-lived store sees \
+         noisier history and predicts worse\",\n    \"escalation reasons (stall vs \
+         inconclusive-drain) depend on host scheduling and can flip between runs under load\"\n  \
+         ],\n  \"race_launches_total\": {race_launches_total},\n  \
          \"predicted_launches_total\": {predicted_launches_total},\n  \"instances\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

@@ -101,6 +101,40 @@
 //!   one panicking racer cannot take the store — or the other racers —
 //!   down with it.
 //!
+//! ## Observability
+//!
+//! The crate reports into the `obs` metrics registry — always on, one
+//! relaxed atomic add per event on the rare paths and bulk folds on the hot
+//! ones (per-operation cache counters are summed into the registry once,
+//! when a [`DdPackage`] drops) — and emits structured spans/events through
+//! `obs::trace` when a sink is installed (`verify --trace-file`). With no
+//! sink, tracing costs one relaxed atomic load per call site.
+//!
+//! Each metric's catalogue entry carries a *caveat*: what the number
+//! misleads about when read alone. The dd metrics (unit in parentheses):
+//!
+//! | metric | unit | misleads about |
+//! |---|---|---|
+//! | `dd.compute.lookups` / `dd.compute.hits` | count | folded at package drop; live packages are invisible until then |
+//! | `dd.gate.lookups` / `dd.gate.hits` | count | repeated single-gate circuits hit ~100% regardless of cache quality |
+//! | `dd.unique.hits` | count | includes same-thread re-interns — not a sharing metric |
+//! | `dd.unique.cross_thread_hits` | count | attribution is by first-interner; symmetric duplicates count for neither |
+//! | `dd.gc.runs` / `dd.gc.reclaimed` | count | high counts can be healthy pressure or a thrashing threshold — check reclaimed per run |
+//! | `dd.gc.barrier_runs` | count | completed rounds only; aborted rounds are `barrier_deferrals` |
+//! | `dd.gc.barrier_deferrals` | count | one deferral doubles the collector's threshold, shifting all later GC timing |
+//! | `dd.gc.barrier_wait_ns` | nanos | sums across threads, so it can exceed wall-clock time |
+//! | `dd.ctab.compacted` | count | entries, not bytes; rehashing survivors is not counted |
+//! | `dd.store.shard_waits` / `shard_contention_ns` | count / nanos | timed only on the blocking path; uncontended acquisitions report zero |
+//! | `dd.store.mirror_invalidations` | count | the real cost (later memo misses) shows up elsewhere |
+//!
+//! Trace events: `gc.private`, `gc.sole`, `gc.barrier` (a span whose end
+//! records `outcome` collected/deferred), `gc.barrier.parked`,
+//! `gc.barrier.sweep` and per-workspace `gc.park` events with park
+//! durations. Contention counters (`SharedStoreStats::shard_lock_waits`,
+//! `shard_contention_ns`, `barrier_wait_ns`, `barrier_deferrals`,
+//! `mirror_invalidations`) are always on and reported per race through the
+//! portfolio's shared-store report.
+//!
 //! ## Quick example
 //!
 //! ```

@@ -807,11 +807,22 @@ impl DdPackage {
             &root_medges,
             self.ctab.len(),
         );
-        self.complex_reclaimed += self.ctab.retain_marked(&cmark) as u64;
+        let compacted = self.ctab.retain_marked(&cmark) as u64;
+        self.complex_reclaimed += compacted;
 
         self.clear_node_keyed_caches();
         self.gc_runs += 1;
         self.reclaimed_nodes += reclaimed as u64;
+        obs::metrics::incr(obs::metrics::DD_GC_RUNS);
+        obs::metrics::add(obs::metrics::DD_GC_RECLAIMED, reclaimed as u64);
+        obs::metrics::add(obs::metrics::DD_CTAB_COMPACTED, compacted);
+        obs::trace::event(
+            "gc.private",
+            &[
+                ("reclaimed", reclaimed.into()),
+                ("ctab_compacted", compacted.into()),
+            ],
+        );
         reclaimed
     }
 
@@ -841,8 +852,10 @@ impl DdPackage {
         };
         if store.attached.load(Ordering::Acquire) == 1 {
             // Sole attachment: nothing to coordinate with.
+            let span = obs::trace::span("gc.sole", &[("live", store.live_nodes().into())]);
             let reclaimed = self.sweep_shared(&store, keep_vectors, keep_matrices, &[]);
             self.finish_shared_collection(&store, reclaimed, false);
+            span.end(&[("reclaimed", reclaimed.into())]);
             return SharedGcOutcome::Collected(reclaimed);
         }
 
@@ -851,6 +864,14 @@ impl DdPackage {
         // the collector panics mid-sweep, the guard's Drop still lowers the
         // flag and advances the request id so parked workspaces wake up
         // instead of waiting on the dead round forever.
+        let round_span = obs::trace::span(
+            "gc.barrier",
+            &[
+                ("live", store.live_nodes().into()),
+                ("attached", store.attached.load(Ordering::Acquire).into()),
+            ],
+        );
+        let round_start = Instant::now();
         let round = BarrierRound::begin(&store);
         let published = {
             let mut barrier = crate::store::lock(&store.barrier);
@@ -868,7 +889,20 @@ impl DdPackage {
                     // (idle, or inside one very long operation): give up and
                     // fall back to deferral rather than stall its race. The
                     // round guard releases the parked workspaces.
+                    let parked = barrier.published.len();
                     drop(barrier);
+                    let waited = round_start.elapsed().as_nanos() as u64;
+                    store.barrier_wait_ns.fetch_add(waited, Ordering::Relaxed);
+                    store.barrier_deferrals.fetch_add(1, Ordering::Relaxed);
+                    obs::metrics::incr(obs::metrics::DD_GC_BARRIER_DEFERRALS);
+                    round_span.end(&[
+                        ("outcome", "deferred".into()),
+                        ("parked", parked.into()),
+                        (
+                            "quorum",
+                            (store.attached.load(Ordering::Acquire) - 1).into(),
+                        ),
+                    ]);
                     return SharedGcOutcome::Aborted;
                 }
                 let (guard, _) = store
@@ -882,11 +916,43 @@ impl DdPackage {
             // still up), and no workspace can attach while we hold gc_lock.
         };
 
+        // Request -> park phase is over: every other workspace is parked.
+        let all_parked = Instant::now();
+        store.barrier_wait_ns.fetch_add(
+            (all_parked - round_start).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        obs::trace::event(
+            "gc.barrier.parked",
+            &[
+                ("parked", published.len().into()),
+                (
+                    "wait_us",
+                    ((all_parked - round_start).as_micros() as u64).into(),
+                ),
+            ],
+        );
+
         let reclaimed = self.sweep_shared(&store, keep_vectors, keep_matrices, &published);
+        let swept = Instant::now();
+        obs::trace::event(
+            "gc.barrier.sweep",
+            &[("sweep_us", ((swept - all_parked).as_micros() as u64).into())],
+        );
 
         round.complete();
         store.gc_barrier_runs.fetch_add(1, Ordering::Relaxed);
         self.finish_shared_collection(&store, reclaimed, true);
+        obs::metrics::incr(obs::metrics::DD_GC_BARRIER_RUNS);
+        obs::metrics::observe_ns(
+            obs::metrics::HIST_GC_ROUND_NS,
+            round_start.elapsed().as_nanos() as u64,
+        );
+        round_span.end(&[
+            ("outcome", "collected".into()),
+            ("reclaimed", reclaimed.into()),
+            ("parked", published.len().into()),
+        ]);
         SharedGcOutcome::Collected(reclaimed)
     }
 
@@ -901,6 +967,7 @@ impl DdPackage {
         if !store.gc_requested.load(Ordering::Acquire) {
             return; // the round ended before we got here
         }
+        let park_start = Instant::now();
         let request = barrier.request;
         let generation = barrier.generation;
         barrier.published.push(roots);
@@ -913,6 +980,18 @@ impl DdPackage {
         }
         let collected = barrier.generation != generation;
         drop(barrier);
+        let parked_ns = park_start.elapsed().as_nanos() as u64;
+        store
+            .barrier_wait_ns
+            .fetch_add(parked_ns, Ordering::Relaxed);
+        obs::metrics::observe_ns(obs::metrics::HIST_GC_PARK_NS, parked_ns);
+        obs::trace::event(
+            "gc.park",
+            &[
+                ("park_us", (parked_ns / 1_000).into()),
+                ("collected", collected.into()),
+            ],
+        );
         if collected {
             // Freed slots may be recycled under the same ids: drop every
             // local structure remembering pre-collection state. Protected
@@ -1086,7 +1165,9 @@ impl DdPackage {
             &root_medges,
             ctab.len(),
         );
-        self.complex_reclaimed += ctab.retain_marked(&cmark) as u64;
+        let compacted = ctab.retain_marked(&cmark) as u64;
+        self.complex_reclaimed += compacted;
+        obs::metrics::add(obs::metrics::DD_CTAB_COMPACTED, compacted);
         reclaimed
     }
 
@@ -1114,6 +1195,8 @@ impl DdPackage {
         };
         self.gc_runs += 1;
         self.reclaimed_nodes += reclaimed as u64;
+        obs::metrics::incr(obs::metrics::DD_GC_RUNS);
+        obs::metrics::add(obs::metrics::DD_GC_RECLAIMED, reclaimed as u64);
     }
 
     /// Operation safe point: polls the shared store's barrier request (park
@@ -1228,6 +1311,23 @@ impl DdPackage {
     /// Counters of the gate-diagram cache.
     pub fn gate_cache_counters(&self) -> CacheCounters {
         self.gate_cache.counters()
+    }
+
+    /// Folds this package's per-op cache counters into the process-wide
+    /// [`obs::metrics`] registry. Called once from `Drop` — the hot paths
+    /// keep their existing plain counters and pay nothing extra per op.
+    fn fold_cache_counters(&self) {
+        let mut lookups = 0;
+        let mut hits = 0;
+        for counters in self.compute_table_counters() {
+            lookups += counters.lookups;
+            hits += counters.hits;
+        }
+        obs::metrics::add(obs::metrics::DD_COMPUTE_LOOKUPS, lookups);
+        obs::metrics::add(obs::metrics::DD_COMPUTE_HITS, hits);
+        let gate = self.gate_cache.counters();
+        obs::metrics::add(obs::metrics::DD_GATE_LOOKUPS, gate.lookups);
+        obs::metrics::add(obs::metrics::DD_GATE_HITS, gate.hits);
     }
 
     // ------------------------------------------------------------------
@@ -2456,6 +2556,15 @@ impl DdPackage {
         for child in node.children {
             self.msize_rec(child, seen);
         }
+    }
+}
+
+impl Drop for DdPackage {
+    fn drop(&mut self) {
+        // Fold the lifetime cache counters into the process-wide registry.
+        // The SharedHandle (if any) flushes its own counters in its Drop,
+        // which runs after this as a field of the package.
+        self.fold_cache_counters();
     }
 }
 

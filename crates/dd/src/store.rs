@@ -119,6 +119,30 @@ pub(crate) fn write<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     rwlock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Locks a store mutex on the hot path, recording whether the acquisition
+/// had to block and, if so, for how long. The uncontended path is a single
+/// `try_lock` (same cost as `lock`); the clock is only read when the lock
+/// was actually contended, so the measurement itself stays off the common
+/// path.
+#[inline]
+fn lock_timed<'a, T>(
+    mutex: &'a Mutex<T>,
+    waits: &mut u64,
+    contention_ns: &mut u64,
+) -> MutexGuard<'a, T> {
+    match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let start = std::time::Instant::now();
+            let guard = lock(mutex);
+            *waits += 1;
+            *contention_ns += start.elapsed().as_nanos() as u64;
+            guard
+        }
+    }
+}
+
 /// A unique-table entry: the canonical node id plus the workspace that first
 /// interned it (for cross-thread and warm-reuse telemetry).
 #[derive(Debug, Clone, Copy)]
@@ -186,6 +210,26 @@ pub struct SharedStoreStats {
     /// structure that predates the last [`SharedStore::begin_race`] mark —
     /// cross-*pair* reuse of a warm store kept alive by the batch driver.
     pub warm_hits: u64,
+    /// Hot-path lock acquisitions (unique-table shards, shared gate cache,
+    /// complex table) that found the lock held and had to block.
+    pub shard_lock_waits: u64,
+    /// Total time spent blocked in those acquisitions, in nanoseconds.
+    /// Measured only on the blocking path: uncontended acquisitions
+    /// contribute zero.
+    pub shard_contention_ns: u64,
+    /// Full mirror/memo invalidations workspaces performed after a
+    /// collection recycled arena slots (each one silently discards the
+    /// workspace's memo tables too).
+    pub mirror_invalidations: u64,
+    /// Time threads spent stopped at GC barriers, in nanoseconds: parked
+    /// workspaces' park durations plus the collector's wait for the world
+    /// to park. Sums *across* threads, so it can exceed wall-clock time.
+    pub barrier_wait_ns: u64,
+    /// Barrier rounds abandoned because some workspace failed to reach a
+    /// safe point within `BARRIER_PATIENCE`. Each deferral doubles the
+    /// requesting workspace's GC threshold, so even one changes every later
+    /// collection's timing.
+    pub barrier_deferrals: usize,
     /// Workspaces currently attached.
     pub attached: usize,
 }
@@ -266,6 +310,11 @@ pub struct SharedStore {
     pub(crate) intern_hits: AtomicU64,
     pub(crate) cross_thread_hits: AtomicU64,
     pub(crate) warm_hits: AtomicU64,
+    pub(crate) shard_lock_waits: AtomicU64,
+    pub(crate) shard_contention_ns: AtomicU64,
+    pub(crate) mirror_invalidations: AtomicU64,
+    pub(crate) barrier_wait_ns: AtomicU64,
+    pub(crate) barrier_deferrals: AtomicUsize,
 }
 
 impl SharedStore {
@@ -302,6 +351,11 @@ impl SharedStore {
             intern_hits: AtomicU64::new(0),
             cross_thread_hits: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            shard_lock_waits: AtomicU64::new(0),
+            shard_contention_ns: AtomicU64::new(0),
+            mirror_invalidations: AtomicU64::new(0),
+            barrier_wait_ns: AtomicU64::new(0),
+            barrier_deferrals: AtomicUsize::new(0),
         })
     }
 
@@ -361,6 +415,11 @@ impl SharedStore {
             intern_hits: self.intern_hits.load(Ordering::Relaxed),
             cross_thread_hits: self.cross_thread_hits.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
+            shard_contention_ns: self.shard_contention_ns.load(Ordering::Relaxed),
+            mirror_invalidations: self.mirror_invalidations.load(Ordering::Relaxed),
+            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
+            barrier_deferrals: self.barrier_deferrals.load(Ordering::Relaxed),
             attached: self.attached.load(Ordering::Acquire),
         }
     }
@@ -390,6 +449,12 @@ pub(crate) struct SharedHandle {
     pub(crate) intern_hits: u64,
     pub(crate) cross_thread_hits: u64,
     pub(crate) warm_hits: u64,
+    /// Hot-path lock acquisitions that had to block (see `lock_timed`).
+    shard_lock_waits: u64,
+    /// Nanoseconds spent blocked in those acquisitions.
+    shard_contention_ns: u64,
+    /// Full mirror/memo invalidations (one per `clear_local`).
+    mirror_invalidations: u64,
 }
 
 /// log2 slots of the weight-arithmetic memo caches.
@@ -417,6 +482,9 @@ impl SharedHandle {
             intern_hits: 0,
             cross_thread_hits: 0,
             warm_hits: 0,
+            shard_lock_waits: 0,
+            shard_contention_ns: 0,
+            mirror_invalidations: 0,
         }
     }
 
@@ -520,7 +588,12 @@ impl SharedHandle {
         if let Some(idx) = self.bits_memo.get(&key) {
             return idx;
         }
-        let idx = lock(&self.store.ctab).lookup(value);
+        let idx = lock_timed(
+            &self.store.ctab,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        )
+        .lookup(value);
         self.bits_memo.insert(key, idx);
         idx
     }
@@ -594,7 +667,11 @@ impl SharedHandle {
     pub(crate) fn intern_vnode(&mut self, node: VNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.vshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = lock(shard);
+        let mut map = lock_timed(
+            shard,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        );
         if let Some(found) = map.get(&node) {
             let owner = found.owner;
             let id = found.id;
@@ -645,7 +722,11 @@ impl SharedHandle {
     pub(crate) fn intern_mnode(&mut self, node: MNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.mshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = lock(shard);
+        let mut map = lock_timed(
+            shard,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        );
         if let Some(found) = map.get(&node) {
             let owner = found.owner;
             let id = found.id;
@@ -702,7 +783,11 @@ impl SharedHandle {
     // ------------------------------------------------------------------
 
     pub(crate) fn gate_get(&mut self, key: &GateKey) -> Option<MEdge> {
-        let map = lock(&self.store.gate_cache);
+        let map = lock_timed(
+            &self.store.gate_cache,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        );
         let (edge, owner) = map.get(key)?;
         let (edge, owner) = (*edge, *owner);
         drop(map);
@@ -711,15 +796,20 @@ impl SharedHandle {
     }
 
     pub(crate) fn gate_insert(&mut self, key: GateKey, edge: MEdge) {
-        lock(&self.store.gate_cache)
-            .entry(key)
-            .or_insert((edge, self.ws_id));
+        lock_timed(
+            &self.store.gate_cache,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        )
+        .entry(key)
+        .or_insert((edge, self.ws_id));
     }
 
     /// Invalidates every mirror and memo — required after any collection
     /// (own, sole or barrier) recycles arena slots and compacts the complex
     /// table.
     pub(crate) fn clear_local(&mut self) {
+        self.mirror_invalidations += 1;
         self.vmirror.borrow_mut().clear();
         self.mmirror.borrow_mut().clear();
         self.cmirror.borrow_mut().clear();
@@ -745,6 +835,26 @@ impl Drop for SharedHandle {
         self.store
             .warm_hits
             .fetch_add(self.warm_hits, Ordering::Relaxed);
+        self.store
+            .shard_lock_waits
+            .fetch_add(self.shard_lock_waits, Ordering::Relaxed);
+        self.store
+            .shard_contention_ns
+            .fetch_add(self.shard_contention_ns, Ordering::Relaxed);
+        self.store
+            .mirror_invalidations
+            .fetch_add(self.mirror_invalidations, Ordering::Relaxed);
+        obs::metrics::add(obs::metrics::DD_UNIQUE_HITS, self.intern_hits);
+        obs::metrics::add(obs::metrics::DD_CROSS_THREAD_HITS, self.cross_thread_hits);
+        obs::metrics::add(obs::metrics::DD_SHARD_WAITS, self.shard_lock_waits);
+        obs::metrics::add(
+            obs::metrics::DD_SHARD_CONTENTION_NS,
+            self.shard_contention_ns,
+        );
+        obs::metrics::add(
+            obs::metrics::DD_MIRROR_INVALIDATIONS,
+            self.mirror_invalidations,
+        );
         self.store.attached.fetch_sub(1, Ordering::AcqRel);
         if self.store.gc_requested.load(Ordering::Acquire) {
             let _barrier = lock(&self.store.barrier);

@@ -131,12 +131,30 @@ fn collection_falls_back_to_deferral_when_a_racer_never_parks() {
     // fall back to deferral — nothing is reclaimed, nothing deadlocks and
     // the diagram stays intact.
     assert_eq!(a.garbage_collect(), 0);
-    assert_eq!(store.stats().gc_barrier_runs, 0);
+    let deferred = store.stats();
+    assert_eq!(deferred.gc_barrier_runs, 0);
+    // The fallback is no longer silent: every BARRIER_PATIENCE timeout is
+    // counted, so the batch report can attribute "GC never ran" stalls.
+    assert_eq!(
+        deferred.barrier_deferrals, 1,
+        "a patience timeout must be recorded: {deferred:?}"
+    );
+    // The aborted round still cost the collector its patience wait; that
+    // time is barrier wait time, not free.
+    assert!(
+        deferred.barrier_wait_ns >= 50_000_000,
+        "the collector's abandoned wait must be accounted: {deferred:?}"
+    );
     assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
     drop(_b);
     // Sole attachment: collection proceeds; the protected state survives.
     assert!(a.garbage_collect() > 0);
     assert!((a.norm_sqr(state) - 1.0).abs() < 1e-9);
+    assert_eq!(
+        store.stats().barrier_deferrals,
+        1,
+        "a successful collection must not add deferrals"
+    );
 }
 
 #[test]

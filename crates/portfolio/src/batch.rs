@@ -21,7 +21,10 @@
 //! every pair is one independent portfolio race, so throughput scales with
 //! the worker pool.
 
-use crate::engine::{verify_portfolio_recorded, PortfolioConfig, SchemeReport, SharedStoreReport};
+use crate::engine::{
+    verify_portfolio_recorded, EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport,
+    SharedStoreReport,
+};
 use crate::scheme::Scheme;
 use crate::telemetry::TelemetryStore;
 use circuit::qasm;
@@ -359,6 +362,62 @@ impl StorePool {
     }
 }
 
+/// Hot-path metrics digest of one pair, reported as the `metrics` block of
+/// the batch JSON.
+///
+/// Everything here is derived from always-on counters (no `--trace-file`
+/// required). Rates are `None` when the pair reported no lookups at all;
+/// the time fields sum *across* scheme threads, so they can exceed the
+/// pair's wall-clock time.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct PairMetrics {
+    /// Best compute-table hit rate any scheme of this pair reported.
+    pub cache_hit_rate: Option<f64>,
+    /// Shared-store canonical hits served by a competitor's structure,
+    /// as a fraction of all canonical hits (`None` for private races).
+    pub cross_thread_hit_rate: Option<f64>,
+    /// Time spent requesting, parking for and waiting out GC barriers,
+    /// summed across this pair's scheme threads (seconds).
+    pub barrier_wait_seconds: f64,
+    /// Barrier requests that timed out and deferred the collection.
+    pub barrier_deferrals: usize,
+    /// Store lock acquisitions that blocked behind another scheme.
+    pub shard_lock_waits: u64,
+    /// Time spent blocked on store locks, summed across threads (seconds).
+    pub shard_contention_seconds: f64,
+    /// Workspace mirror flushes forced by collections during this pair.
+    pub mirror_invalidations: u64,
+    /// Canonical hits served by structure carried over from an earlier
+    /// pair on a warm store.
+    pub warm_hits: u64,
+    /// Time the batch driver spent collecting the warm store before
+    /// returning it to the pool (seconds; `0` without warm stores).
+    pub pool_gc_seconds: f64,
+}
+
+impl PairMetrics {
+    fn from_result(result: &PortfolioResult, pool_gc_seconds: f64) -> PairMetrics {
+        let store = result.shared_store.as_ref();
+        PairMetrics {
+            cache_hit_rate: result
+                .schemes
+                .iter()
+                .filter_map(|s| s.cache_hit_rate)
+                .fold(None, |best: Option<f64>, rate| {
+                    Some(best.map_or(rate, |b| b.max(rate)))
+                }),
+            cross_thread_hit_rate: store.map(|s| s.cross_thread_hit_rate),
+            barrier_wait_seconds: store.map_or(0.0, |s| s.barrier_wait_seconds),
+            barrier_deferrals: store.map_or(0, |s| s.barrier_deferrals),
+            shard_lock_waits: store.map_or(0, |s| s.shard_lock_waits),
+            shard_contention_seconds: store.map_or(0.0, |s| s.shard_contention_seconds),
+            mirror_invalidations: store.map_or(0, |s| s.mirror_invalidations),
+            warm_hits: store.map_or(0, |s| s.warm_hits),
+            pool_gc_seconds,
+        }
+    }
+}
+
 /// Verification report of one pair.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PairReport {
@@ -390,8 +449,12 @@ pub struct PairReport {
     /// Whether recorded telemetry steered this pair's launch plan (see
     /// [`PortfolioResult::predicted`](crate::PortfolioResult::predicted)).
     pub predicted: bool,
-    /// Whether a predicted plan had to launch its escalation wave.
-    pub escalated: bool,
+    /// Why a predicted plan had to launch its escalation wave
+    /// (`"stall"` / `"inconclusive-drain"`), if it did.
+    pub escalation: Option<EscalationReason>,
+    /// Hot-path metrics digest (cache/sharing hit rates, barrier wait and
+    /// lock contention time, warm reuse) — see [`PairMetrics`].
+    pub metrics: PairMetrics,
     /// Shared decision-diagram store telemetry of this pair's race (peak
     /// nodes, cross-thread hit rate, warm hits, carry-over node count,
     /// store-level GC and barrier-GC runs); `None` when the pair raced with
@@ -450,7 +513,8 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         cache_hit_rate: None,
         warm_store: false,
         predicted: false,
-        escalated: false,
+        escalation: None,
+        metrics: PairMetrics::default(),
         shared_store: None,
         schemes: Vec::new(),
         error: Some(error),
@@ -459,6 +523,7 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
 
 fn run_pair(
     spec: &PairSpec,
+    index: usize,
     options: &BatchOptions,
     pool: Option<&StorePool>,
     telemetry: Option<&Mutex<TelemetryStore>>,
@@ -469,6 +534,32 @@ fn run_pair(
             .map(|s| strip_side_suffix(&s.to_string_lossy()).to_string())
             .unwrap_or_else(|| spec.left.clone())
     });
+    // The pair context tags every trace line this worker (and the scheme
+    // threads it hands the context to) emits; the pair span parents the
+    // whole race, GC activity included.
+    let _trace = obs::trace::with_context(obs::trace::Context {
+        pair: Some(index as u64),
+        pair_name: Some(name.as_str().into()),
+        scheme: None,
+        parent: None,
+    });
+    let pair_span = obs::trace::span("pair", &[]);
+    obs::metrics::incr(obs::metrics::BATCH_PAIRS);
+    let report = run_pair_inner(spec, name, options, pool, telemetry);
+    pair_span.end(&[
+        ("verdict", report.verdict.to_string().into()),
+        ("failed", report.error.is_some().into()),
+    ]);
+    report
+}
+
+fn run_pair_inner(
+    spec: &PairSpec,
+    name: String,
+    options: &BatchOptions,
+    pool: Option<&StorePool>,
+    telemetry: Option<&Mutex<TelemetryStore>>,
+) -> PairReport {
     let left_text = match std::fs::read_to_string(&spec.left) {
         Ok(text) => text,
         Err(e) => return failed_pair(spec, name, format!("cannot read {}: {e}", spec.left)),
@@ -486,10 +577,19 @@ fn run_pair(
         Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.right)),
     };
 
-    let (result, warm) = match pool {
+    let (result, warm, pool_gc_seconds) = match pool {
         Some(pool) => {
             let width = left.num_qubits().max(right.num_qubits());
             let (store, warm) = pool.checkout(width);
+            obs::metrics::incr(if warm {
+                obs::metrics::BATCH_WARM_CHECKOUTS
+            } else {
+                obs::metrics::BATCH_COLD_CHECKOUTS
+            });
+            obs::trace::event(
+                "warmstore.checkout",
+                &[("width", width.into()), ("warm", warm.into())],
+            );
             let result = verify_portfolio_recorded(
                 &left,
                 &right,
@@ -501,17 +601,29 @@ fn run_pair(
             // a collection from a fresh (root-less) workspace keeps only the
             // GC roots — the shared gate cache and the canonical structure
             // under it, exactly the warm value of the pool.
+            let gc_start = Instant::now();
             let mut collector = store.workspace(width);
-            let _ = collector.garbage_collect();
+            let reclaimed = collector.garbage_collect();
             drop(collector);
+            let pool_gc = gc_start.elapsed();
+            obs::trace::event(
+                "warmstore.checkin",
+                &[
+                    ("width", width.into()),
+                    ("reclaimed", reclaimed.into()),
+                    ("gc", pool_gc.into()),
+                ],
+            );
             pool.checkin(width, store);
-            (result, warm)
+            (result, warm, pool_gc.as_secs_f64())
         }
         None => (
             verify_portfolio_recorded(&left, &right, &options.portfolio, None, telemetry),
             false,
+            0.0,
         ),
     };
+    let metrics = PairMetrics::from_result(&result, pool_gc_seconds);
     PairReport {
         name,
         left: spec.left.clone(),
@@ -532,7 +644,8 @@ fn run_pair(
             }),
         warm_store: warm,
         predicted: result.predicted,
-        escalated: result.escalated,
+        escalation: result.escalation,
+        metrics,
         shared_store: result.shared_store,
         schemes: result.schemes,
         error: None,
@@ -614,7 +727,7 @@ pub fn run_batch_recorded(
                 let Some(spec) = manifest.pairs.get(index) else {
                     break;
                 };
-                let report = run_pair(spec, options, pool.as_ref(), telemetry);
+                let report = run_pair(spec, index, options, pool.as_ref(), telemetry);
                 results
                     .lock()
                     .expect("no worker panics while holding the lock")[index] = Some(report);

@@ -27,6 +27,14 @@
 //!                     across pairs (default; a barrier GC between pairs
 //!                     bounds the carry-over)
 //!   --cold-stores     create a fresh store per pair instead
+//!   --trace-file FILE write a structured JSONL trace of the run: pair and
+//!                     race spans, scheme launches, verdicts, cancellations,
+//!                     escalations, warm-store and GC-barrier activity, all
+//!                     tagged with pair/scheme/span correlation IDs. Off by
+//!                     default and free when off.
+//!   --metrics         print the folded hot-path metric counters (cache hit
+//!                     rates, GC and contention totals) to stderr after the
+//!                     batch (implied by --trace-file)
 //!   --compact         emit compact instead of pretty-printed JSON
 //! ```
 //!
@@ -50,6 +58,8 @@ struct Args {
     store_shelves: Option<usize>,
     private_packages: bool,
     warm_stores: bool,
+    trace_file: Option<PathBuf>,
+    metrics: bool,
     compact: bool,
 }
 
@@ -67,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         store_shelves: None,
         private_packages: false,
         warm_stores: true,
+        trace_file: None,
+        metrics: false,
         compact: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -131,13 +143,16 @@ fn parse_args() -> Result<Args, String> {
             "--private-packages" => args.private_packages = true,
             "--warm-stores" => args.warm_stores = true,
             "--cold-stores" => args.warm_stores = false,
+            "--trace-file" => args.trace_file = Some(PathBuf::from(value("--trace-file")?)),
+            "--metrics" => args.metrics = true,
             "--compact" => args.compact = true,
             "--help" | "-h" => {
                 println!(
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
                      [--node-limit N] [--leaf-limit N] [--deadline SECS] \
                      [--stats-file FILE] [--policy race|predicted] [--store-shelves N] \
-                     [--private-packages] [--warm-stores | --cold-stores] [--compact]"
+                     [--private-packages] [--warm-stores | --cold-stores] \
+                     [--trace-file FILE] [--metrics] [--compact]"
                 );
                 std::process::exit(0);
             }
@@ -148,6 +163,31 @@ fn parse_args() -> Result<Args, String> {
         return Err("exactly one of --manifest or --dir is required".to_string());
     }
     Ok(args)
+}
+
+/// Prints the run's folded hot-path counters to stderr: one line per
+/// counter that moved (zeros are skipped), then the histograms as
+/// count / mean / p99 summaries.
+fn print_metrics(before: &obs::metrics::Snapshot) {
+    let delta = obs::metrics::fold().delta_since(before);
+    eprintln!("hot-path metrics:");
+    for (def, value) in delta.non_zero() {
+        match def.unit {
+            obs::metrics::Unit::Nanos => {
+                eprintln!("  {:<32} {:.4}s", def.name, value as f64 / 1e9)
+            }
+            obs::metrics::Unit::Count => eprintln!("  {:<32} {value}", def.name),
+        }
+    }
+    for (def, hist) in delta.non_zero_hists() {
+        eprintln!(
+            "  {:<32} n={} mean={:.6}s p99<={:.6}s",
+            def.name,
+            hist.count,
+            hist.mean_ns() as f64 / 1e9,
+            hist.quantile_ns(0.99) as f64 / 1e9
+        );
+    }
 }
 
 fn main() {
@@ -192,7 +232,20 @@ fn main() {
         options.store_shelves = shelves;
     }
 
+    if let Some(path) = &args.trace_file {
+        if let Err(error) = obs::trace::install_file(path) {
+            eprintln!("error: cannot open trace file {}: {error}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let metrics_before = obs::metrics::fold();
+
     let report = run_batch(&manifest, &options);
+
+    if args.trace_file.is_some() {
+        obs::trace::flush();
+        obs::trace::uninstall();
+    }
     for pair in &report.pairs {
         let status = match &pair.error {
             Some(error) => format!("ERROR ({error})"),
@@ -201,10 +254,10 @@ fn main() {
                 pair.verdict,
                 pair.winner.map(|s| s.name()).unwrap_or("-"),
                 pair.time_to_verdict.as_secs_f64(),
-                match (pair.predicted, pair.escalated) {
-                    (true, true) => " [predicted, escalated]",
-                    (true, false) => " [predicted]",
-                    _ => "",
+                match (pair.predicted, pair.escalation) {
+                    (true, Some(reason)) => format!(" [predicted, escalated: {reason}]"),
+                    (true, None) => " [predicted]".to_string(),
+                    _ => String::new(),
                 }
             ),
         };
@@ -217,6 +270,9 @@ fn main() {
         report.pairs_failed,
         report.total_time.as_secs_f64()
     );
+    if args.metrics || args.trace_file.is_some() {
+        print_metrics(&metrics_before);
+    }
 
     let json = if args.compact {
         serde_json::to_string(&report)

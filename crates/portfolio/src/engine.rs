@@ -121,6 +121,52 @@ pub struct SchemeReport {
     pub cross_thread_hit_rate: Option<f64>,
 }
 
+/// Why a predicted run launched its reserve wave (see
+/// [`SchedulePolicy::Predicted`]). Serialized as `"stall"` /
+/// `"inconclusive-drain"` in batch JSON and trace events.
+///
+/// The two reasons point at different scheduler mistakes: a [`Stall`]
+/// means the predicted winners were *too slow* (the stall deadline may be
+/// tuned, or the prediction was wrong about speed); an
+/// [`InconclusiveDrain`] means they were *incapable* — every primary
+/// scheme finished without settling the pair, so no deadline tuning would
+/// have helped.
+///
+/// [`Stall`]: EscalationReason::Stall
+/// [`InconclusiveDrain`]: EscalationReason::InconclusiveDrain
+/// [`SchedulePolicy::Predicted`]: crate::scheduler::SchedulePolicy::Predicted
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationReason {
+    /// No conclusive verdict arrived within the plan's stall deadline
+    /// while primary schemes were still running.
+    Stall,
+    /// Every primary scheme finished before the deadline, all of them
+    /// inconclusive, so the reserve launched immediately.
+    InconclusiveDrain,
+}
+
+impl EscalationReason {
+    /// Stable machine-readable name, used in batch JSON and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EscalationReason::Stall => "stall",
+            EscalationReason::InconclusiveDrain => "inconclusive-drain",
+        }
+    }
+}
+
+impl std::fmt::Display for EscalationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl serde::Serialize for EscalationReason {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
 /// Telemetry of the shared decision-diagram store behind one portfolio race
 /// (see [`dd::SharedStoreStats`]; reported into the batch JSON as the
 /// per-pair `shared_store` block).
@@ -159,6 +205,22 @@ pub struct SharedStoreReport {
     /// Subset of `gc_runs` that ran as mid-race safe-point barrier
     /// collections with the other schemes parked.
     pub gc_barrier_runs: usize,
+    /// Barrier requests that timed out (`BARRIER_PATIENCE`) because a
+    /// racer never reached a safe point, deferring the collection.
+    pub barrier_deferrals: usize,
+    /// Time spent requesting, parking for and waiting out GC barriers,
+    /// in seconds. Sums *across* threads, so it can exceed the race's
+    /// wall-clock time.
+    pub barrier_wait_seconds: f64,
+    /// Shard/cache lock acquisitions that had to block behind another
+    /// scheme's holder (uncontended acquisitions are not counted).
+    pub shard_lock_waits: u64,
+    /// Total time schemes spent blocked on store locks, in seconds.
+    /// Sums across threads, like `barrier_wait_seconds`.
+    pub shard_contention_seconds: f64,
+    /// Workspace mirror flushes forced by collections (each one costs the
+    /// affected scheme its local lookup fast path until it re-warms).
+    pub mirror_invalidations: u64,
     /// Live interned complex weights at race end.
     pub complex_entries: usize,
 }
@@ -187,6 +249,20 @@ impl SharedStoreReport {
             },
             gc_runs: end.gc_runs.saturating_sub(start.gc_runs),
             gc_barrier_runs: end.gc_barrier_runs.saturating_sub(start.gc_barrier_runs),
+            barrier_deferrals: end
+                .barrier_deferrals
+                .saturating_sub(start.barrier_deferrals),
+            barrier_wait_seconds: end.barrier_wait_ns.saturating_sub(start.barrier_wait_ns) as f64
+                / 1e9,
+            shard_lock_waits: end.shard_lock_waits.saturating_sub(start.shard_lock_waits),
+            shard_contention_seconds: end
+                .shard_contention_ns
+                .saturating_sub(start.shard_contention_ns)
+                as f64
+                / 1e9,
+            mirror_invalidations: end
+                .mirror_invalidations
+                .saturating_sub(start.mirror_invalidations),
             complex_entries: end.complex_entries,
         }
     }
@@ -208,15 +284,23 @@ pub struct PortfolioResult {
     /// race-everything runs, including predicted runs that degraded to
     /// racing because the pair's feature bucket had no stats).
     pub predicted: bool,
-    /// Whether a predicted run had to launch its reserve wave (stall or
-    /// inconclusive primary wave).
-    pub escalated: bool,
+    /// Why a predicted run had to launch its reserve wave, if it did.
+    /// `None` when the primary wave settled the pair — and always `None`
+    /// for race-everything runs, which hold nothing back to escalate to.
+    pub escalation: Option<EscalationReason>,
     /// Telemetry of every scheme that launched, in completion order.
     pub schemes: Vec<SchemeReport>,
     /// Shared-store telemetry when the run used one
     /// ([`PortfolioConfig::shared_package`]); `None` for private-package
     /// races and sequential runs without a warm store.
     pub shared_store: Option<SharedStoreReport>,
+}
+
+impl PortfolioResult {
+    /// Whether the run escalated to its reserve wave (for any reason).
+    pub fn escalated(&self) -> bool {
+        self.escalation.is_some()
+    }
 }
 
 /// Selects the schemes worth racing for a circuit pair, in race-launch
@@ -383,7 +467,7 @@ fn combine(
         time_to_verdict: time_to_verdict.unwrap_or(total_time),
         total_time,
         predicted: false,
-        escalated: false,
+        escalation: None,
         schemes: reports,
         shared_store: None,
     }
@@ -464,6 +548,10 @@ pub fn verify_portfolio_recorded(
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .record_race(&plan.features, &result.schemes, result.winner);
+        obs::trace::event(
+            "telemetry.fold",
+            &[("schemes", (result.schemes.len() as u64).into())],
+        );
     }
     result
 }
@@ -477,6 +565,19 @@ fn execute_plan(
     warm_store: Option<&Arc<SharedStore>>,
 ) -> PortfolioResult {
     let cancel = CancelToken::new();
+    obs::metrics::incr(obs::metrics::PF_RACES);
+    // The race span parents every scheme/GC span of this pair; workers
+    // inherit it through the explicit context handoff in `spawn_scheme`.
+    let race_span = obs::trace::span(
+        "race",
+        &[
+            ("sequential", plan.sequential.into()),
+            ("predicted", plan.predicted.into()),
+            ("primary", (plan.primary.len() as u64).into()),
+            ("reserve", (plan.reserve.len() as u64).into()),
+            ("warm_store", warm_store.is_some().into()),
+        ],
+    );
 
     // One shared absolute deadline for the whole run, fixed up front so
     // every scheme (including escalation-wave workers) counts down together.
@@ -514,6 +615,10 @@ fn execute_plan(
         let mut winner = None;
         let mut time_to_verdict = None;
         for (scheme, scheme_config) in &launches {
+            let _trace =
+                obs::trace::with_context(obs::trace::current_context().with_scheme(scheme.name()));
+            obs::trace::event("scheme.launch", &[("wave", "sequential".into())]);
+            obs::metrics::incr(obs::metrics::PF_SCHEME_LAUNCHES);
             let report =
                 run_scheme_caught(*scheme, left, right, scheme_config, &budget, warm_store);
             let conclusive = report.conclusive;
@@ -521,6 +626,20 @@ fn execute_plan(
                 verdict = report.verdict;
                 winner = Some(report.scheme);
                 time_to_verdict = Some(start.elapsed());
+                obs::trace::event(
+                    "race.verdict",
+                    &[
+                        ("winner", report.scheme.name().into()),
+                        (
+                            "verdict",
+                            report
+                                .verdict
+                                .map(|v| v.to_string().into())
+                                .unwrap_or_else(|| "none".into()),
+                        ),
+                        ("at_us", start.elapsed().into()),
+                    ],
+                );
             }
             reports.push(report);
             if conclusive {
@@ -532,6 +651,7 @@ fn execute_plan(
         if let (Some(store), Some(before)) = (warm_store, before) {
             result.shared_store = Some(SharedStoreReport::delta(&before, &store.stats()));
         }
+        finish_race(race_span, &result);
         return result;
     }
 
@@ -553,7 +673,7 @@ fn execute_plan(
     let mut verdict: Option<Equivalence> = None;
     let mut winner: Option<Scheme> = None;
     let mut time_to_verdict: Option<Duration> = None;
-    let mut escalated = false;
+    let mut escalation: Option<EscalationReason> = None;
 
     // The run winner is the conclusive scheme that *finished* first —
     // reports can be handled out of finish order because the collector may
@@ -570,6 +690,20 @@ fn execute_plan(
             *verdict = report.verdict;
             *winner = Some(report.scheme);
             *time_to_verdict = Some(finished_at);
+            obs::trace::event(
+                "race.verdict",
+                &[
+                    ("winner", report.scheme.name().into()),
+                    (
+                        "verdict",
+                        report
+                            .verdict
+                            .map(|v| v.to_string().into())
+                            .unwrap_or_else(|| "none".into()),
+                    ),
+                    ("at_us", finished_at.into()),
+                ],
+            );
         }
         reports.push(report);
     }
@@ -580,21 +714,34 @@ fn execute_plan(
         // finished, so `time_to_verdict` reflects when the verdict was
         // *produced*, not when the collector got around to processing it.
         let (sender, receiver) = mpsc::channel::<(SchemeReport, Duration)>();
-        let spawn_scheme = |index: usize| {
+        let spawn_scheme = |index: usize, wave: &'static str| {
             let budget = make_budget();
             let sender = sender.clone();
             let cancel = cancel.clone();
             let store = store.as_ref();
             let launches = &launches;
+            // Captured on the coordinator, under the race span: the worker
+            // installs it so its scheme span (and every dd GC span inside)
+            // nests under this pair's race with the scheme tagged on.
+            let worker_ctx = obs::trace::current_context();
             scope.spawn(move || {
                 let (scheme, scheme_config) = &launches[index];
+                let _trace = obs::trace::with_context(worker_ctx.with_scheme(scheme.name()));
+                obs::trace::event("scheme.launch", &[("wave", wave.into())]);
+                obs::metrics::incr(obs::metrics::PF_SCHEME_LAUNCHES);
+                let scheme_span = obs::trace::span("scheme.run", &[("wave", wave.into())]);
                 let report = run_scheme_caught(*scheme, left, right, scheme_config, &budget, store);
                 let finished_at = start.elapsed();
                 if report.conclusive {
                     // Cancel from inside the worker so losers start unwinding
                     // even before the collector thread observes the report.
                     cancel.cancel();
+                    obs::trace::event("race.cancel", &[("by", scheme.name().into())]);
                 }
+                scheme_span.end(&[
+                    ("conclusive", report.conclusive.into()),
+                    ("cancelled", report.cancelled.into()),
+                ]);
                 // The receiver only disappears once the scope ends, but be
                 // tolerant anyway: a worker must never panic on send.
                 let _ = sender.send((report, finished_at));
@@ -609,9 +756,15 @@ fn execute_plan(
                 // ranks, the race adds no thread-spawn latency over the
                 // fastest single scheme.
                 for index in 1..launches.len() {
-                    spawn_scheme(index);
+                    spawn_scheme(index, "primary");
                 }
                 let (scheme, scheme_config) = &launches[0];
+                let inline_trace = obs::trace::with_context(
+                    obs::trace::current_context().with_scheme(scheme.name()),
+                );
+                obs::trace::event("scheme.launch", &[("wave", "inline".into())]);
+                obs::metrics::incr(obs::metrics::PF_SCHEME_LAUNCHES);
+                let inline_span = obs::trace::span("scheme.run", &[("wave", "inline".into())]);
                 let inline_report = run_scheme_caught(
                     *scheme,
                     left,
@@ -623,7 +776,13 @@ fn execute_plan(
                 let inline_finished_at = start.elapsed();
                 if inline_report.conclusive {
                     cancel.cancel();
+                    obs::trace::event("race.cancel", &[("by", scheme.name().into())]);
                 }
+                inline_span.end(&[
+                    ("conclusive", inline_report.conclusive.into()),
+                    ("cancelled", inline_report.cancelled.into()),
+                ]);
+                drop(inline_trace);
                 note(
                     inline_report,
                     inline_finished_at,
@@ -656,23 +815,37 @@ fn execute_plan(
                 // when the primary wave stalls past the deadline or drains
                 // without a conclusive verdict.
                 for index in 0..primary {
-                    spawn_scheme(index);
+                    spawn_scheme(index, "primary");
                 }
                 let escalate_at = start + escalate_after;
                 let mut pending = primary;
                 loop {
                     if pending == 0 {
-                        if verdict.is_none() && !escalated {
-                            escalated = true;
+                        if verdict.is_none() && escalation.is_none() {
+                            // The primary wave drained inconclusive before
+                            // the stall deadline: the predicted schemes were
+                            // incapable, not slow.
+                            escalation = Some(EscalationReason::InconclusiveDrain);
+                            obs::metrics::incr(obs::metrics::PF_ESCALATIONS_DRAIN);
+                            obs::trace::event(
+                                "race.escalate",
+                                &[
+                                    (
+                                        "reason",
+                                        EscalationReason::InconclusiveDrain.as_str().into(),
+                                    ),
+                                    ("reserve", ((launches.len() - primary) as u64).into()),
+                                ],
+                            );
                             for index in primary..launches.len() {
-                                spawn_scheme(index);
+                                spawn_scheme(index, "reserve");
                             }
                             pending = launches.len() - primary;
                             continue;
                         }
                         break;
                     }
-                    let message = if escalated || verdict.is_some() {
+                    let message = if escalation.is_some() || verdict.is_some() {
                         receiver.recv().ok()
                     } else {
                         match receiver
@@ -680,9 +853,19 @@ fn execute_plan(
                         {
                             Ok(message) => Some(message),
                             Err(mpsc::RecvTimeoutError::Timeout) => {
-                                escalated = true;
+                                // Deadline hit with primaries still running:
+                                // a stall, the classic misprediction.
+                                escalation = Some(EscalationReason::Stall);
+                                obs::metrics::incr(obs::metrics::PF_ESCALATIONS_STALL);
+                                obs::trace::event(
+                                    "race.escalate",
+                                    &[
+                                        ("reason", EscalationReason::Stall.as_str().into()),
+                                        ("reserve", ((launches.len() - primary) as u64).into()),
+                                    ],
+                                );
                                 for index in primary..launches.len() {
-                                    spawn_scheme(index);
+                                    spawn_scheme(index, "reserve");
                                 }
                                 pending += launches.len() - primary;
                                 continue;
@@ -726,14 +909,45 @@ fn execute_plan(
 
     let mut result = combine(start, reports, verdict, winner, time_to_verdict);
     result.predicted = plan.predicted;
-    result.escalated = escalated;
+    result.escalation = escalation;
     // Every scheme's workspaces are gone by now (the scope joined all
     // workers), so the store's flushed counters are complete.
     result.shared_store = match (store, before) {
         (Some(store), Some(before)) => Some(SharedStoreReport::delta(&before, &store.stats())),
         _ => None,
     };
+    finish_race(race_span, &result);
     result
+}
+
+/// Closes a race's trace span with its outcome and folds the outcome
+/// counters into the metrics registry.
+fn finish_race(span: obs::trace::Span, result: &PortfolioResult) {
+    let cancelled = result.schemes.iter().filter(|r| r.cancelled).count() as u64;
+    obs::metrics::add(obs::metrics::PF_CANCELLATIONS, cancelled);
+    if result.winner.is_some() {
+        obs::metrics::observe_ns(
+            obs::metrics::HIST_VERDICT_NS,
+            result.time_to_verdict.as_nanos() as u64,
+        );
+    }
+    span.end(&[
+        ("verdict", result.verdict.to_string().into()),
+        (
+            "winner",
+            result.winner.map(|w| w.name()).unwrap_or("none").into(),
+        ),
+        ("verdict_us", result.time_to_verdict.into()),
+        ("cancelled", cancelled.into()),
+        (
+            "escalation",
+            result
+                .escalation
+                .map(EscalationReason::as_str)
+                .unwrap_or("none")
+                .into(),
+        ),
+    ]);
 }
 
 #[cfg(test)]

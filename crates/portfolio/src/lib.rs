@@ -69,6 +69,39 @@
 //! used evicted; `--store-shelves N`), so heterogeneous batches do not pin
 //! every width's arenas forever.
 //!
+//! ## Observability
+//!
+//! Every layer reports into the `obs` crate. Counters are always on (one
+//! relaxed atomic add per event); structured tracing activates when a sink
+//! is installed — `verify --trace-file FILE` writes JSONL where every line
+//! carries `ts_us`/`thread`/`ev`/`kind` plus the ambient correlation IDs
+//! (`pair`, `pair_name`, `scheme`, `span`/`parent`). The span tree per
+//! pair: `pair` → `race` (fields: plan shape, verdict, winner, escalation)
+//! → `scheme.run` per launch → the dd GC spans of whatever that scheme
+//! allocated. Point events: `scheme.launch` (wave: inline / primary /
+//! reserve / sequential), `race.verdict` (one per winner improvement),
+//! `race.cancel`, `race.escalate` (with the [`EscalationReason`]),
+//! `warmstore.checkout` / `warmstore.checkin`, `telemetry.fold`.
+//!
+//! The portfolio metric catalogue — each entry's caveat states what the
+//! bare number misleads about:
+//!
+//! | metric | unit | misleads about |
+//! |---|---|---|
+//! | `portfolio.races` | count | counts sequential tiny-instance plans as races too |
+//! | `portfolio.scheme_launches` | count | launched is not finished: cancelled schemes count like winners |
+//! | `portfolio.cancellations` | count | cancellation is cooperative; a scheme may finish before noticing |
+//! | `portfolio.escalations.stall` | count | stall is a wall-clock verdict; a loaded machine escalates pairs a quiet one would not |
+//! | `portfolio.escalations.drain` | count | drain indicts the prediction; stall may only indict the deadline |
+//! | `batch.pairs` | count | includes pairs that failed to parse |
+//! | `batch.warm_checkouts` / `batch.cold_checkouts` | count | warm means reused, not faster; first pair per width is necessarily cold |
+//!
+//! The batch JSON carries an always-on per-pair `metrics` block
+//! ([`batch::PairMetrics`]: cache and cross-thread hit rates, GC-barrier
+//! wait, lock contention, warm reuse) derived from the same counters — no
+//! trace file needed. `verify --metrics` prints the folded counters to
+//! stderr after a run; `--trace-file` implies it.
+//!
 //! ## Failure isolation
 //!
 //! A scheme that *panics* (as opposed to erroring) is caught, reported as a
@@ -124,7 +157,8 @@ pub mod telemetry;
 
 pub use engine::{
     applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, verify_portfolio_in,
-    verify_portfolio_recorded, PortfolioConfig, PortfolioResult, SchemeReport, SharedStoreReport,
+    verify_portfolio_recorded, EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport,
+    SharedStoreReport,
 };
 pub use scheduler::SchedulePolicy;
 pub use scheme::Scheme;

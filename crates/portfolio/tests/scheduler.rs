@@ -209,7 +209,7 @@ fn predicted_primary_wave_always_contains_a_proving_scheme() {
     let result = verify_portfolio_recorded(&left, &right, &config, None, Some(&telemetry));
     assert!(result.predicted);
     assert!(
-        !result.escalated,
+        !result.escalated(),
         "the extended primary wave concludes without escalation: {:#?}",
         result.schemes
     );
@@ -241,9 +241,17 @@ fn escalation_reaches_a_conclusive_verdict_when_the_prediction_errors() {
     let result = verify_portfolio_recorded(&left, &right, &config, None, Some(&telemetry));
     assert!(result.predicted);
     assert!(
-        result.escalated,
+        result.escalated(),
         "a failed primary wave must escalate: {:#?}",
         result.schemes
+    );
+    // The primary scheme failed fast (leaf budget), so the wave *drained*
+    // inconclusive well before the 60s stall deadline — the recorded
+    // reason must say so, not blame a stall.
+    assert_eq!(
+        result.escalation,
+        Some(portfolio::EscalationReason::InconclusiveDrain),
+        "a drained primary wave is an inconclusive-drain escalation"
     );
     assert!(result.verdict.considered_equivalent());
     assert!(matches!(result.winner, Some(Scheme::DynamicFunctional(_))));
@@ -335,7 +343,7 @@ fn predicted_matches_race_verdicts_and_launches_fewer_schemes() {
         race_qft.verdict.considered_equivalent()
     );
     assert!(predicted_qft.predicted, "warm stats must steer the plan");
-    if !predicted_qft.escalated {
+    if !predicted_qft.escalated() {
         assert!(
             predicted_qft.schemes.len() < race_qft.schemes.len(),
             "prediction should launch fewer schemes: {} vs {}",
