@@ -171,23 +171,20 @@ fn bench_shared_vs_private(c: &mut Criterion) {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"portfolio_shared\",\n  \"description\": \"shared-store vs \
-         private-package portfolio races on QPE/IQPE miters (min of 3 runs)\",\n  \
-         \"caveats\": [\n    \"small n: three instances, min-of-3 wall times on one machine — \
-         treat speedups within ~1.3x of parity as noise, not signal\",\n    \
-         \"cross_thread_hit_rate counts canonical-store hits only; compute-table reuse is \
-         invisible here, so low rates do not mean no sharing\",\n    \"shared_peak_nodes is a \
-         store-lifetime gauge, not a per-race delta: a warm store inflates it\"\n  ],\n  \
-         \"instances\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+    let json = bench::emit::envelope(
+        "portfolio_shared",
+        "shared-store vs private-package portfolio races on QPE/IQPE miters (min of 3 runs)",
+        &[
+            "small n: three instances, min-of-3 wall times on one machine — \
+             treat speedups within ~1.3x of parity as noise, not signal",
+            "cross_thread_hit_rate counts canonical-store hits only; compute-table reuse is \
+             invisible here, so low rates do not mean no sharing",
+            "shared_peak_nodes is a store-lifetime gauge, not a per-race delta: a warm store \
+             inflates it",
+        ],
+        &[("instances", format!("[\n{}\n  ]", rows.join(",\n")))],
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shared.json");
-    if let Err(error) = std::fs::write(path, &json) {
-        eprintln!("portfolio_shared: cannot write {path}: {error}");
-    } else {
-        println!("portfolio_shared: wrote {path}");
-    }
+    bench::emit::write_artifact("BENCH_shared.json", &json);
 
     // Criterion timings for the grep-friendly log (smaller sample budget:
     // the explicit min-of-3 above is the recorded comparison).

@@ -1,0 +1,37 @@
+//! Writes the QFT-10/12 + QPE-7/9 acceptance pairs as QASM to the directory
+//! given as the first argument (static left, dynamic right).
+
+fn main() {
+    let dir = std::env::args().nth(1).expect("usage: gen_accept_qasm DIR");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, side: &str, c: &circuit::QuantumCircuit| {
+        let path = format!("{dir}/{name}.{side}.qasm");
+        std::fs::write(&path, circuit::qasm::to_qasm(c)).unwrap();
+    };
+    for n in [10usize, 12] {
+        write(
+            &format!("qft{n}"),
+            "left",
+            &algorithms::qft::qft_static(n, None, true),
+        );
+        write(
+            &format!("qft{n}"),
+            "right",
+            &algorithms::qft::qft_dynamic(n),
+        );
+    }
+    for n in [7usize, 9] {
+        let phi = algorithms::qpe::random_exact_phase(n, 0xDAC2022);
+        write(
+            &format!("qpe{n}"),
+            "left",
+            &algorithms::qpe::qpe_static(phi, n, true),
+        );
+        write(
+            &format!("qpe{n}"),
+            "right",
+            &algorithms::qpe::iqpe_dynamic(phi, n),
+        );
+    }
+    println!("wrote acceptance pairs to {dir}");
+}

@@ -14,6 +14,8 @@
 //! [`TableRow`]; the `table1` binary prints them in the paper's format, and
 //! the Criterion benches in `benches/` time the individual components.
 
+pub mod emit;
+
 use algorithms::{bv, qft, qpe};
 use circuit::QuantumCircuit;
 use dd::Budget;

@@ -8,9 +8,66 @@
 
 use crate::complex::Complex;
 use std::f64::consts::FRAC_1_SQRT_2;
+use std::sync::OnceLock;
 
 /// A dense 2x2 complex matrix in row-major order: `m[row][column]`.
 pub type GateMatrix = [[Complex; 2]; 2];
+
+/// Number of precomputed twiddle levels: `e^{±iπ/2^k}` for `k < 64`.
+const TWIDDLE_LEVELS: usize = 64;
+
+const MANTISSA_MASK: u64 = 0x000F_FFFF_FFFF_FFFF;
+const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+
+/// Detects `θ == ±π/2^k` *bit-exactly*: `π/2^k` has the mantissa of π with
+/// the exponent decremented `k` times, which is precisely the form the
+/// QFT/QPE controlled-rotation ladders produce (`π / 2^distance` evaluated
+/// in `f64`). Returns `(k, sign-is-negative)`.
+fn pow2_pi_index(theta: f64) -> Option<(usize, bool)> {
+    let pi_bits = std::f64::consts::PI.to_bits();
+    let bits = theta.to_bits();
+    let neg = bits >> 63 == 1;
+    let mag = bits & !(1u64 << 63);
+    if mag & MANTISSA_MASK != pi_bits & MANTISSA_MASK {
+        return None;
+    }
+    let pi_exp = (pi_bits & EXP_MASK) >> 52;
+    let exp = (mag & EXP_MASK) >> 52;
+    if exp > pi_exp || exp == 0 {
+        return None;
+    }
+    let k = (pi_exp - exp) as usize;
+    (k < TWIDDLE_LEVELS).then_some((k, neg))
+}
+
+/// `[k][0]` = `e^{+iπ/2^k}`, `[k][1]` = `e^{-iπ/2^k}`. Both signs are
+/// computed explicitly with [`Complex::from_phase`] on the exact input bit
+/// pattern — no symmetry assumption about the libm `sin`/`cos` — so a table
+/// hit is bit-identical to the uncached call by construction.
+fn twiddles() -> &'static [[Complex; 2]; TWIDDLE_LEVELS] {
+    static TABLE: OnceLock<[[Complex; 2]; TWIDDLE_LEVELS]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        std::array::from_fn(|k| {
+            let angle = std::f64::consts::PI / (1u128 << k) as f64;
+            [Complex::from_phase(angle), Complex::from_phase(-angle)]
+        })
+    })
+}
+
+/// [`Complex::from_phase`] served from the precomputed twiddle table when
+/// `θ` is bit-exactly `±π/2^k` (the QFT/QPE controlled-rotation angles);
+/// falls back to the live `sin`/`cos` evaluation otherwise. The result is
+/// bit-identical either way, so gate-cache keys (which hash raw matrix
+/// bits) are unaffected by which path served a build.
+pub fn from_phase_cached(theta: f64) -> Complex {
+    match pow2_pi_index(theta) {
+        Some((k, neg)) => {
+            obs::metrics::incr(obs::metrics::DD_TWIDDLE_HITS);
+            twiddles()[k][neg as usize]
+        }
+        None => Complex::from_phase(theta),
+    }
+}
 
 /// Identity gate.
 pub fn id() -> GateMatrix {
@@ -57,7 +114,7 @@ pub fn t() -> GateMatrix {
         [Complex::ONE, Complex::ZERO],
         [
             Complex::ZERO,
-            Complex::from_phase(std::f64::consts::FRAC_PI_4),
+            from_phase_cached(std::f64::consts::FRAC_PI_4),
         ],
     ]
 }
@@ -68,7 +125,7 @@ pub fn tdg() -> GateMatrix {
         [Complex::ONE, Complex::ZERO],
         [
             Complex::ZERO,
-            Complex::from_phase(-std::f64::consts::FRAC_PI_4),
+            from_phase_cached(-std::f64::consts::FRAC_PI_4),
         ],
     ]
 }
@@ -77,7 +134,7 @@ pub fn tdg() -> GateMatrix {
 pub fn phase(theta: f64) -> GateMatrix {
     [
         [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::from_phase(theta)],
+        [Complex::ZERO, from_phase_cached(theta)],
     ]
 }
 
@@ -98,8 +155,8 @@ pub fn ry(theta: f64) -> GateMatrix {
 /// Rotation about the Z axis by angle θ.
 pub fn rz(theta: f64) -> GateMatrix {
     [
-        [Complex::from_phase(-theta / 2.0), Complex::ZERO],
-        [Complex::ZERO, Complex::from_phase(theta / 2.0)],
+        [from_phase_cached(-theta / 2.0), Complex::ZERO],
+        [Complex::ZERO, from_phase_cached(theta / 2.0)],
     ]
 }
 
@@ -243,6 +300,45 @@ mod tests {
         assert!(approx_eq(&u3(PI, 0.0, PI), &x()));
         // U3(π/2, 0, π) = H
         assert!(approx_eq(&u3(PI / 2.0, 0.0, PI), &h()));
+    }
+
+    #[test]
+    fn twiddle_table_is_bit_identical_to_from_phase() {
+        for k in 0..64u32 {
+            let angle = std::f64::consts::PI / (1u128 << k) as f64;
+            for theta in [angle, -angle] {
+                let cached = from_phase_cached(theta);
+                let live = Complex::from_phase(theta);
+                assert_eq!(
+                    (cached.re.to_bits(), cached.im.to_bits()),
+                    (live.re.to_bits(), live.im.to_bits()),
+                    "twiddle mismatch at k={k}, theta={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_twiddle_angles_pass_through() {
+        // Not of the form ±π/2^k: scaled, offset, zero, and non-finite.
+        for theta in [0.0, 0.3, -1.7, 3.0 * std::f64::consts::FRAC_PI_4, 1e-300] {
+            let cached = from_phase_cached(theta);
+            let live = Complex::from_phase(theta);
+            assert_eq!(cached.re.to_bits(), live.re.to_bits());
+            assert_eq!(cached.im.to_bits(), live.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn qft_ladder_angles_hit_the_table() {
+        // The exact expression the QFT/QPE builders evaluate per distance.
+        for distance in 0..40u32 {
+            let theta = std::f64::consts::PI / (1u128 << distance.min(127)) as f64;
+            assert!(
+                pow2_pi_index(theta).is_some(),
+                "QFT angle at distance {distance} missed the twiddle table"
+            );
+        }
     }
 
     #[test]

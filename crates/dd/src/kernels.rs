@@ -1,0 +1,687 @@
+//! Data-parallel kernels over structure-of-arrays complex lanes.
+//!
+//! The decision-diagram hot paths (dense terminal-case apply, batched weight
+//! interning, dense inner products) operate on complex vectors stored as two
+//! separate `f64` lanes (`re`, `im`) — the structure-of-arrays layout the
+//! [`ComplexTable`](crate::ComplexTable) itself uses. This module provides
+//! the batched arithmetic over those lanes with two backends:
+//!
+//! * **AVX2 intrinsics** (4 × `f64` per vector register), selected at
+//!   runtime via `is_x86_feature_detected!("avx2")`;
+//! * an **autovectorizable scalar fallback**, always compiled, and forced by
+//!   building the `dd` crate with the `scalar-kernels` cargo feature.
+//!
+//! The backend is resolved once per process by [`backend`]; the choice is
+//! recorded in the `obs` metrics (`dd.kernels.backend_avx2` /
+//! `dd.kernels.backend_scalar`) and as a `kernels.backend` trace event, so
+//! traces and bench reports say which kernel actually ran.
+//!
+//! **Bit parity.** Both backends evaluate the same expression tree per lane
+//! (no FMA contraction) and the reductions use the same fixed four-
+//! accumulator association, so a computation produces bit-identical results
+//! under either backend. Tests and the CI kernel-bench smoke assert this —
+//! it is what makes equivalence verdicts independent of the machine the
+//! check ran on.
+
+use crate::complex::Complex;
+use std::sync::OnceLock;
+
+/// Which kernel implementation [`backend`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// AVX2 intrinsics, 4 double lanes per operation.
+    Avx2,
+    /// The autovectorizable scalar fallback.
+    Scalar,
+}
+
+impl Backend {
+    /// Stable lower-case name (`"avx2"` / `"scalar"`), used in traces and
+    /// bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Avx2 => "avx2",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// The kernel backend used by this process, resolved once.
+///
+/// `scalar-kernels` builds always resolve to [`Backend::Scalar`]; otherwise
+/// AVX2 is used when the CPU supports it. The first call records the choice
+/// in the `obs` metrics and emits a `kernels.backend` trace event.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        let chosen = detect();
+        match chosen {
+            Backend::Avx2 => obs::metrics::incr(obs::metrics::DD_KERNEL_BACKEND_AVX2),
+            Backend::Scalar => obs::metrics::incr(obs::metrics::DD_KERNEL_BACKEND_SCALAR),
+        }
+        obs::trace::event("kernels.backend", &[("backend", chosen.name().into())]);
+        chosen
+    })
+}
+
+#[cfg(feature = "scalar-kernels")]
+fn detect() -> Backend {
+    Backend::Scalar
+}
+
+#[cfg(not(feature = "scalar-kernels"))]
+fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Scalar
+}
+
+/// Asserts that every lane slice of one kernel call has the same length.
+macro_rules! check_lanes {
+    ($first:expr $(, $rest:expr)*) => {
+        let n = $first.len();
+        $(debug_assert_eq!($rest.len(), n, "kernel lane length mismatch");)*
+        let _ = n;
+    };
+}
+
+// ---------------------------------------------------------------------
+// Batched complex multiply: out = a * b, lane-wise
+// ---------------------------------------------------------------------
+
+/// `out[i] = a[i] * b[i]` over complex lanes, dispatched backend.
+pub fn mul_lanes(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    check_lanes!(ar, ai, br, bi, or, oi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { mul_lanes_avx2(ar, ai, br, bi, or, oi) },
+        _ => mul_lanes_scalar(ar, ai, br, bi, or, oi),
+    }
+}
+
+/// The scalar fallback of [`mul_lanes`] (public so benches can compare
+/// backends on the same machine).
+pub fn mul_lanes_scalar(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    for i in 0..ar.len() {
+        or[i] = ar[i] * br[i] - ai[i] * bi[i];
+        oi[i] = ar[i] * bi[i] + ai[i] * br[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_lanes_avx2(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = ar.len();
+    let mut i = 0;
+    // Two independent 4-lane blocks per iteration: the second block's loads
+    // don't wait on the first block's stores, which matters more than width
+    // on this port-limited (4 loads + 2 stores per 4 lanes) kernel.
+    while i + 8 <= n {
+        let are0 = _mm256_loadu_pd(ar.as_ptr().add(i));
+        let aim0 = _mm256_loadu_pd(ai.as_ptr().add(i));
+        let bre0 = _mm256_loadu_pd(br.as_ptr().add(i));
+        let bim0 = _mm256_loadu_pd(bi.as_ptr().add(i));
+        let are1 = _mm256_loadu_pd(ar.as_ptr().add(i + 4));
+        let aim1 = _mm256_loadu_pd(ai.as_ptr().add(i + 4));
+        let bre1 = _mm256_loadu_pd(br.as_ptr().add(i + 4));
+        let bim1 = _mm256_loadu_pd(bi.as_ptr().add(i + 4));
+        let re0 = _mm256_sub_pd(_mm256_mul_pd(are0, bre0), _mm256_mul_pd(aim0, bim0));
+        let im0 = _mm256_add_pd(_mm256_mul_pd(are0, bim0), _mm256_mul_pd(aim0, bre0));
+        let re1 = _mm256_sub_pd(_mm256_mul_pd(are1, bre1), _mm256_mul_pd(aim1, bim1));
+        let im1 = _mm256_add_pd(_mm256_mul_pd(are1, bim1), _mm256_mul_pd(aim1, bre1));
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), re0);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i), im0);
+        _mm256_storeu_pd(or.as_mut_ptr().add(i + 4), re1);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i + 4), im1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let are = _mm256_loadu_pd(ar.as_ptr().add(i));
+        let aim = _mm256_loadu_pd(ai.as_ptr().add(i));
+        let bre = _mm256_loadu_pd(br.as_ptr().add(i));
+        let bim = _mm256_loadu_pd(bi.as_ptr().add(i));
+        let re = _mm256_sub_pd(_mm256_mul_pd(are, bre), _mm256_mul_pd(aim, bim));
+        let im = _mm256_add_pd(_mm256_mul_pd(are, bim), _mm256_mul_pd(aim, bre));
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), re);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i), im);
+        i += 4;
+    }
+    while i < n {
+        or[i] = ar[i] * br[i] - ai[i] * bi[i];
+        oi[i] = ar[i] * bi[i] + ai[i] * br[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched complex add: out = a + b, lane-wise
+// ---------------------------------------------------------------------
+
+/// `out[i] = a[i] + b[i]` over complex lanes, dispatched backend.
+pub fn add_lanes(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    check_lanes!(ar, ai, br, bi, or, oi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { add_lanes_avx2(ar, ai, br, bi, or, oi) },
+        _ => add_lanes_scalar(ar, ai, br, bi, or, oi),
+    }
+}
+
+/// The scalar fallback of [`add_lanes`].
+pub fn add_lanes_scalar(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    for i in 0..ar.len() {
+        or[i] = ar[i] + br[i];
+        oi[i] = ai[i] + bi[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_lanes_avx2(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = ar.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let re = _mm256_add_pd(
+            _mm256_loadu_pd(ar.as_ptr().add(i)),
+            _mm256_loadu_pd(br.as_ptr().add(i)),
+        );
+        let im = _mm256_add_pd(
+            _mm256_loadu_pd(ai.as_ptr().add(i)),
+            _mm256_loadu_pd(bi.as_ptr().add(i)),
+        );
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), re);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i), im);
+        i += 4;
+    }
+    while i < n {
+        or[i] = ar[i] + br[i];
+        oi[i] = ai[i] + bi[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched complex divide: out = a / b, lane-wise
+// ---------------------------------------------------------------------
+
+/// `out[i] = a[i] / b[i]` over complex lanes, dispatched backend.
+///
+/// Uses the direct `(a · conj b) / |b|²` form in both backends (bit parity
+/// between backends, not with the scalar [`Complex`] `Div` operator).
+pub fn div_lanes(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    check_lanes!(ar, ai, br, bi, or, oi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { div_lanes_avx2(ar, ai, br, bi, or, oi) },
+        _ => div_lanes_scalar(ar, ai, br, bi, or, oi),
+    }
+}
+
+/// The scalar fallback of [`div_lanes`].
+pub fn div_lanes_scalar(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    for i in 0..ar.len() {
+        let d = br[i] * br[i] + bi[i] * bi[i];
+        or[i] = (ar[i] * br[i] + ai[i] * bi[i]) / d;
+        oi[i] = (ai[i] * br[i] - ar[i] * bi[i]) / d;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn div_lanes_avx2(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    or: &mut [f64],
+    oi: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = ar.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let are = _mm256_loadu_pd(ar.as_ptr().add(i));
+        let aim = _mm256_loadu_pd(ai.as_ptr().add(i));
+        let bre = _mm256_loadu_pd(br.as_ptr().add(i));
+        let bim = _mm256_loadu_pd(bi.as_ptr().add(i));
+        let d = _mm256_add_pd(_mm256_mul_pd(bre, bre), _mm256_mul_pd(bim, bim));
+        let re = _mm256_div_pd(
+            _mm256_add_pd(_mm256_mul_pd(are, bre), _mm256_mul_pd(aim, bim)),
+            d,
+        );
+        let im = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_mul_pd(aim, bre), _mm256_mul_pd(are, bim)),
+            d,
+        );
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), re);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i), im);
+        i += 4;
+    }
+    while i < n {
+        let d = br[i] * br[i] + bi[i] * bi[i];
+        or[i] = (ar[i] * br[i] + ai[i] * bi[i]) / d;
+        oi[i] = (ai[i] * br[i] - ar[i] * bi[i]) / d;
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched conjugate: out = conj(a), lane-wise
+// ---------------------------------------------------------------------
+
+/// `out[i] = conj(a[i])` over complex lanes, dispatched backend.
+pub fn conj_lanes(ar: &[f64], ai: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    check_lanes!(ar, ai, or, oi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { conj_lanes_avx2(ar, ai, or, oi) },
+        _ => conj_lanes_scalar(ar, ai, or, oi),
+    }
+}
+
+/// The scalar fallback of [`conj_lanes`].
+pub fn conj_lanes_scalar(ar: &[f64], ai: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    for i in 0..ar.len() {
+        or[i] = ar[i];
+        oi[i] = -ai[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn conj_lanes_avx2(ar: &[f64], ai: &[f64], or: &mut [f64], oi: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = ar.len();
+    let sign = _mm256_set1_pd(-0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), _mm256_loadu_pd(ar.as_ptr().add(i)));
+        _mm256_storeu_pd(
+            oi.as_mut_ptr().add(i),
+            _mm256_xor_pd(_mm256_loadu_pd(ai.as_ptr().add(i)), sign),
+        );
+        i += 4;
+    }
+    while i < n {
+        or[i] = ar[i];
+        oi[i] = -ai[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scale-accumulate: out += s * x, lane-wise (the dense-apply butterfly step)
+// ---------------------------------------------------------------------
+
+/// `out[i] += s * x[i]` over complex lanes, dispatched backend.
+///
+/// This is the per-column step of the dense terminal-case apply: a matrix
+/// column (contiguous SoA lanes) scaled by one amplitude and accumulated
+/// into the output block.
+pub fn axpy_lanes(or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64], s: Complex) {
+    check_lanes!(or, oi, xr, xi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { axpy_lanes_avx2(or, oi, xr, xi, s) },
+        _ => axpy_lanes_scalar(or, oi, xr, xi, s),
+    }
+}
+
+/// The scalar fallback of [`axpy_lanes`].
+pub fn axpy_lanes_scalar(or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64], s: Complex) {
+    for i in 0..xr.len() {
+        or[i] += s.re * xr[i] - s.im * xi[i];
+        oi[i] += s.re * xi[i] + s.im * xr[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_lanes_avx2(or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64], s: Complex) {
+    use std::arch::x86_64::*;
+    let n = xr.len();
+    let sre = _mm256_set1_pd(s.re);
+    let sim = _mm256_set1_pd(s.im);
+    let mut i = 0;
+    while i + 4 <= n {
+        let xre = _mm256_loadu_pd(xr.as_ptr().add(i));
+        let xim = _mm256_loadu_pd(xi.as_ptr().add(i));
+        let re = _mm256_add_pd(
+            _mm256_loadu_pd(or.as_ptr().add(i)),
+            _mm256_sub_pd(_mm256_mul_pd(sre, xre), _mm256_mul_pd(sim, xim)),
+        );
+        let im = _mm256_add_pd(
+            _mm256_loadu_pd(oi.as_ptr().add(i)),
+            _mm256_add_pd(_mm256_mul_pd(sre, xim), _mm256_mul_pd(sim, xre)),
+        );
+        _mm256_storeu_pd(or.as_mut_ptr().add(i), re);
+        _mm256_storeu_pd(oi.as_mut_ptr().add(i), im);
+        i += 4;
+    }
+    while i < n {
+        or[i] += s.re * xr[i] - s.im * xi[i];
+        oi[i] += s.re * xi[i] + s.im * xr[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conjugated dot product: sum conj(a[i]) * b[i] (dense fidelity)
+// ---------------------------------------------------------------------
+
+/// `Σ conj(a[i]) · b[i]` over complex lanes, dispatched backend.
+///
+/// Both backends accumulate into the same four partial sums (lane `i` goes
+/// to accumulator `i mod 4`) and reduce them as `(s0+s2)+(s1+s3)`, so the
+/// result is bit-identical across backends.
+pub fn dot_conj_lanes(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Complex {
+    check_lanes!(ar, ai, br, bi);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dot_conj_lanes_avx2(ar, ai, br, bi) },
+        _ => dot_conj_lanes_scalar(ar, ai, br, bi),
+    }
+}
+
+/// The scalar fallback of [`dot_conj_lanes`] (same accumulator structure as
+/// the AVX2 path; see [`dot_conj_lanes`]).
+pub fn dot_conj_lanes_scalar(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Complex {
+    let mut sre = [0.0f64; 4];
+    let mut sim = [0.0f64; 4];
+    for i in 0..ar.len() {
+        let j = i & 3;
+        sre[j] += ar[i] * br[i] + ai[i] * bi[i];
+        sim[j] += ar[i] * bi[i] - ai[i] * br[i];
+    }
+    Complex::new(
+        (sre[0] + sre[2]) + (sre[1] + sre[3]),
+        (sim[0] + sim[2]) + (sim[1] + sim[3]),
+    )
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_conj_lanes_avx2(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Complex {
+    use std::arch::x86_64::*;
+    let n = ar.len();
+    let mut accre = _mm256_setzero_pd();
+    let mut accim = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let are = _mm256_loadu_pd(ar.as_ptr().add(i));
+        let aim = _mm256_loadu_pd(ai.as_ptr().add(i));
+        let bre = _mm256_loadu_pd(br.as_ptr().add(i));
+        let bim = _mm256_loadu_pd(bi.as_ptr().add(i));
+        accre = _mm256_add_pd(
+            accre,
+            _mm256_add_pd(_mm256_mul_pd(are, bre), _mm256_mul_pd(aim, bim)),
+        );
+        accim = _mm256_add_pd(
+            accim,
+            _mm256_sub_pd(_mm256_mul_pd(are, bim), _mm256_mul_pd(aim, bre)),
+        );
+        i += 4;
+    }
+    let mut sre = [0.0f64; 4];
+    let mut sim = [0.0f64; 4];
+    _mm256_storeu_pd(sre.as_mut_ptr(), accre);
+    _mm256_storeu_pd(sim.as_mut_ptr(), accim);
+    while i < n {
+        let j = i & 3;
+        sre[j] += ar[i] * br[i] + ai[i] * bi[i];
+        sim[j] += ar[i] * bi[i] - ai[i] * br[i];
+        i += 1;
+    }
+    Complex::new(
+        (sre[0] + sre[2]) + (sre[1] + sre[3]),
+        (sim[0] + sim[2]) + (sim[1] + sim[3]),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Tolerance probe over gathered bucket candidates (batched interning)
+// ---------------------------------------------------------------------
+
+/// Position of the first candidate whose components are both within `tol`
+/// of `target` — the batched form of the interning tolerance probe.
+///
+/// Candidates are a dense SoA gather of every value in the neighbouring
+/// lookup buckets, in probe order, so "first match" means the same entry the
+/// scalar probe would have returned.
+pub fn first_within_tolerance(
+    cre: &[f64],
+    cim: &[f64],
+    target: Complex,
+    tol: f64,
+) -> Option<usize> {
+    check_lanes!(cre, cim);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { first_within_tolerance_avx2(cre, cim, target, tol) },
+        _ => first_within_tolerance_scalar(cre, cim, target, tol),
+    }
+}
+
+/// The scalar fallback of [`first_within_tolerance`].
+pub fn first_within_tolerance_scalar(
+    cre: &[f64],
+    cim: &[f64],
+    target: Complex,
+    tol: f64,
+) -> Option<usize> {
+    (0..cre.len()).find(|&i| (cre[i] - target.re).abs() < tol && (cim[i] - target.im).abs() < tol)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn first_within_tolerance_avx2(
+    cre: &[f64],
+    cim: &[f64],
+    target: Complex,
+    tol: f64,
+) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let n = cre.len();
+    let tre = _mm256_set1_pd(target.re);
+    let tim = _mm256_set1_pd(target.im);
+    let eps = _mm256_set1_pd(tol);
+    let abs_mask = _mm256_set1_pd(f64::from_bits(0x7fff_ffff_ffff_ffff));
+    let mut i = 0;
+    while i + 4 <= n {
+        let dre = _mm256_and_pd(
+            _mm256_sub_pd(_mm256_loadu_pd(cre.as_ptr().add(i)), tre),
+            abs_mask,
+        );
+        let dim = _mm256_and_pd(
+            _mm256_sub_pd(_mm256_loadu_pd(cim.as_ptr().add(i)), tim),
+            abs_mask,
+        );
+        let hit = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_LT_OQ>(dre, eps),
+            _mm256_cmp_pd::<_CMP_LT_OQ>(dim, eps),
+        );
+        let mask = _mm256_movemask_pd(hit);
+        if mask != 0 {
+            return Some(i + mask.trailing_zeros() as usize);
+        }
+        i += 4;
+    }
+    while i < n {
+        if (cre[i] - target.re).abs() < tol && (cim[i] - target.im).abs() < tol {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        // Deterministic pseudo-random lanes via splitmix64.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z = z ^ (z >> 31);
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let re = (0..n).map(|_| next()).collect();
+        let im = (0..n).map(|_| next()).collect();
+        (re, im)
+    }
+
+    #[test]
+    fn dispatched_mul_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 4, 7, 64, 129] {
+            let (ar, ai) = lanes(n, 1);
+            let (br, bi) = lanes(n, 2);
+            let (mut or1, mut oi1) = (vec![0.0; n], vec![0.0; n]);
+            let (mut or2, mut oi2) = (vec![0.0; n], vec![0.0; n]);
+            mul_lanes(&ar, &ai, &br, &bi, &mut or1, &mut oi1);
+            mul_lanes_scalar(&ar, &ai, &br, &bi, &mut or2, &mut oi2);
+            assert_eq!(or1, or2, "re lanes differ at n={n}");
+            assert_eq!(oi1, oi2, "im lanes differ at n={n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_add_div_conj_match_scalar_bitwise() {
+        let n = 101;
+        let (ar, ai) = lanes(n, 3);
+        let (mut br, bi) = lanes(n, 4);
+        // Keep divisors away from zero.
+        for x in &mut br {
+            *x += 2.0_f64.copysign(*x);
+        }
+        for (kernel, fallback) in [
+            (
+                add_lanes as fn(&[f64], &[f64], &[f64], &[f64], &mut [f64], &mut [f64]),
+                add_lanes_scalar as fn(&[f64], &[f64], &[f64], &[f64], &mut [f64], &mut [f64]),
+            ),
+            (div_lanes, div_lanes_scalar),
+        ] {
+            let (mut or1, mut oi1) = (vec![0.0; n], vec![0.0; n]);
+            let (mut or2, mut oi2) = (vec![0.0; n], vec![0.0; n]);
+            kernel(&ar, &ai, &br, &bi, &mut or1, &mut oi1);
+            fallback(&ar, &ai, &br, &bi, &mut or2, &mut oi2);
+            assert_eq!(or1, or2);
+            assert_eq!(oi1, oi2);
+        }
+        let (mut or1, mut oi1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut or2, mut oi2) = (vec![0.0; n], vec![0.0; n]);
+        conj_lanes(&ar, &ai, &mut or1, &mut oi1);
+        conj_lanes_scalar(&ar, &ai, &mut or2, &mut oi2);
+        assert_eq!(or1, or2);
+        assert_eq!(oi1, oi2);
+    }
+
+    #[test]
+    fn dispatched_axpy_and_dot_match_scalar_bitwise() {
+        let n = 77;
+        let (xr, xi) = lanes(n, 5);
+        let (ar, ai) = lanes(n, 6);
+        let s = Complex::new(0.3, -1.7);
+        let (mut or1, mut oi1) = (ar.clone(), ai.clone());
+        let (mut or2, mut oi2) = (ar.clone(), ai.clone());
+        axpy_lanes(&mut or1, &mut oi1, &xr, &xi, s);
+        axpy_lanes_scalar(&mut or2, &mut oi2, &xr, &xi, s);
+        assert_eq!(or1, or2);
+        assert_eq!(oi1, oi2);
+
+        let d1 = dot_conj_lanes(&ar, &ai, &xr, &xi);
+        let d2 = dot_conj_lanes_scalar(&ar, &ai, &xr, &xi);
+        assert_eq!(d1.re.to_bits(), d2.re.to_bits());
+        assert_eq!(d1.im.to_bits(), d2.im.to_bits());
+    }
+
+    #[test]
+    fn mul_matches_complex_operator() {
+        let n = 33;
+        let (ar, ai) = lanes(n, 7);
+        let (br, bi) = lanes(n, 8);
+        let (mut or, mut oi) = (vec![0.0; n], vec![0.0; n]);
+        mul_lanes(&ar, &ai, &br, &bi, &mut or, &mut oi);
+        for i in 0..n {
+            let want = Complex::new(ar[i], ai[i]) * Complex::new(br[i], bi[i]);
+            assert_eq!(or[i].to_bits(), want.re.to_bits());
+            assert_eq!(oi[i].to_bits(), want.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn tolerance_probe_finds_first_match() {
+        let cre = vec![1.0, 2.0, 3.0, 3.0 + 1e-14, 5.0, 3.0];
+        let cim = vec![0.0; 6];
+        let hit = first_within_tolerance(&cre, &cim, Complex::real(3.0), 1e-12);
+        assert_eq!(hit, Some(2));
+        let scalar = first_within_tolerance_scalar(&cre, &cim, Complex::real(3.0), 1e-12);
+        assert_eq!(hit, scalar);
+        assert_eq!(
+            first_within_tolerance(&cre, &cim, Complex::real(9.0), 1e-12),
+            None
+        );
+        // Boundary: a difference of exactly `tol` must NOT match (strict <),
+        // same as `Complex::approx_eq`.
+        let exact = vec![3.0 + 1e-12];
+        assert_eq!(
+            first_within_tolerance(&exact, &[0.0], Complex::real(3.0), 1e-12),
+            first_within_tolerance_scalar(&exact, &[0.0], Complex::real(3.0), 1e-12),
+        );
+    }
+
+    #[test]
+    fn backend_is_stable_and_named() {
+        let b = backend();
+        assert_eq!(b, backend());
+        assert!(b.name() == "avx2" || b.name() == "scalar");
+        if cfg!(feature = "scalar-kernels") {
+            assert_eq!(b, Backend::Scalar);
+        }
+    }
+}

@@ -53,6 +53,46 @@
 //! weight-table growth on long runs (`MemoryStats::complex_entries` /
 //! `complex_reclaimed` report the effect).
 //!
+//! ## Kernel layer
+//!
+//! The numeric hot paths run on data-parallel kernels over *structure-of-
+//! arrays* lanes: complex values are stored and processed as separate
+//! `re`/`im` `f64` slices (the [`ComplexTable`] itself stores its entries
+//! this way). The [`kernels`] module dispatches each operation once per
+//! process: `AVX2` intrinsics when the CPU has them, otherwise an
+//! autovectorizable scalar loop that is always compiled (and can be forced
+//! with the `scalar-kernels` cargo feature, which CI builds and benches on
+//! every push). The two backends are **bit-identical by construction** —
+//! no FMA contraction, the same per-lane expression trees, and reductions
+//! that use a fixed 4-accumulator schedule in both — so a verdict can
+//! never depend on which machine produced it; the kernel bench asserts
+//! this bitwise on every CI run.
+//!
+//! Three layers sit on the kernels:
+//!
+//! * **Batched interning** — [`ComplexTable::lookup_batch`] hashes a whole
+//!   slice's bucket keys in one pass and probes each value's merged
+//!   candidate set with one vectorized tolerance scan, returning exactly
+//!   the `CIdx` sequence the scalar [`ComplexTable::lookup`] loop would
+//!   (property-tested, including near-bucket-boundary adversaries). On a
+//!   shared store, a batch publishes under a single lock acquisition.
+//! * **Dense terminal-case apply** — below
+//!   [`MemoryConfig::dense_cutoff`](MemoryConfig) levels (default
+//!   [`DEFAULT_DENSE_CUTOFF`] = 3, clamped to [`DENSE_CUTOFF_MAX`], 0
+//!   disables), the apply/mul/add recursions expand node functions into
+//!   dense SoA amplitude blocks, compute with strided kernels and
+//!   re-intern the result in one batch. Measured honestly: this wins only
+//!   when the bottom of the diagram is dense and compute-cache hit rates
+//!   are low (random-stimulus simulation); on structured miters the
+//!   memoized recursion is faster, so `dense_cutoff: 0` is the right
+//!   setting for reference-strategy workloads (see `BENCH_kernels.json`
+//!   caveats).
+//! * **Dense fidelity** — `sim`'s statevector comparison extracts both
+//!   diagrams' amplitudes into lanes
+//!   ([`DdPackage::amplitude_lanes`]) and reduces with the conjugated dot
+//!   kernel, the one kernel where SIMD shows its full headroom (the
+//!   strict-FP scalar reduction cannot autovectorize).
+//!
 //! ## Concurrency model
 //!
 //! A [`DdPackage`] by itself is single-threaded (`Send`, not `Sync`). For
@@ -126,6 +166,10 @@
 //! | `dd.ctab.compacted` | count | entries, not bytes; rehashing survivors is not counted |
 //! | `dd.store.shard_waits` / `shard_contention_ns` | count / nanos | timed only on the blocking path; uncontended acquisitions report zero |
 //! | `dd.store.mirror_invalidations` | count | the real cost (later memo misses) shows up elsewhere |
+//! | `dd.kernels.backend_avx2` / `_scalar` | count | one increment per process at first dispatch — a config gauge, not a usage meter |
+//! | `dd.dense.applies` | count | counts compute-cache *misses* routed dense; a high hit rate makes this small regardless of the cutoff |
+//! | `dd.ctab.batch_interned` | count | counts weights, not batches; says nothing about lock acquisitions saved |
+//! | `dd.gates.twiddle_hits` | count | only cold gate-DD builds reach this path — the gate cache absorbs repeats first |
 //!
 //! Trace events: `gc.private`, `gc.sole`, `gc.barrier` (a span whose end
 //! records `outcome` collected/deferred), `gc.barrier.parked`,
@@ -156,6 +200,7 @@ mod cache;
 mod complex;
 pub mod gates;
 mod hash;
+pub mod kernels;
 mod limits;
 mod node;
 mod package;
@@ -170,7 +215,8 @@ pub use gates::GateMatrix;
 pub use limits::{Budget, CancelToken, LimitExceeded};
 pub use node::{MEdge, MNode, NodeId, VEdge, VNode};
 pub use package::{
-    Control, DdPackage, MemoryConfig, MemoryStats, PackageStats, DEFAULT_GC_THRESHOLD,
+    Control, DdPackage, MemoryConfig, MemoryStats, PackageStats, DEFAULT_DENSE_CUTOFF,
+    DEFAULT_GC_THRESHOLD, DENSE_CUTOFF_MAX,
 };
 pub use store::{SharedStore, SharedStoreStats};
 pub use table::{CIdx, ComplexTable};

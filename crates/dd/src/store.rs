@@ -568,11 +568,10 @@ impl SharedHandle {
         }
         let mut mirror = self.cmirror.borrow_mut();
         let table = lock(&self.store.ctab);
-        let len = mirror.len();
-        if i < len {
-            mirror[i] = table.values()[i];
+        if i < mirror.len() {
+            mirror[i] = table.slot(i);
         } else {
-            mirror.extend_from_slice(&table.values()[len..]);
+            table.extend_mirror(&mut mirror);
         }
         mirror[i]
     }
@@ -596,6 +595,55 @@ impl SharedHandle {
         .lookup(value);
         self.bits_memo.insert(key, idx);
         idx
+    }
+
+    /// Interns a whole slice of values, appending one `CIdx` per value to
+    /// `out` — same sequence the scalar [`intern`](Self::intern) loop would
+    /// produce, but all memo misses are published under **one** table-lock
+    /// acquisition instead of one per weight, so a dense terminal-case
+    /// rebuild charges the shard lock once per block.
+    pub(crate) fn intern_batch(&mut self, values: &[Complex], out: &mut Vec<CIdx>) {
+        out.reserve(values.len());
+        let base = out.len();
+        // Pass 1: resolve shortcuts and memo hits without touching the lock;
+        // remember the positions that missed.
+        let mut misses: Vec<(usize, Complex)> = Vec::new();
+        for &value in values {
+            if value.is_zero() {
+                out.push(CIdx::ZERO);
+                continue;
+            }
+            if value.is_one() {
+                out.push(CIdx::ONE);
+                continue;
+            }
+            let key = (value.re.to_bits(), value.im.to_bits());
+            if let Some(idx) = self.bits_memo.get(&key) {
+                out.push(idx);
+            } else {
+                misses.push((out.len(), value));
+                out.push(CIdx::ZERO); // placeholder, patched below
+            }
+        }
+        // Pass 2: one lock acquisition publishes every miss, in order.
+        if !misses.is_empty() {
+            {
+                let mut table = lock_timed(
+                    &self.store.ctab,
+                    &mut self.shard_lock_waits,
+                    &mut self.shard_contention_ns,
+                );
+                for &(pos, value) in &misses {
+                    out[pos] = table.lookup(value);
+                }
+            }
+            for &(pos, value) in &misses {
+                self.bits_memo
+                    .insert((value.re.to_bits(), value.im.to_bits()), out[pos]);
+            }
+        }
+        debug_assert_eq!(out.len() - base, values.len());
+        obs::metrics::add(obs::metrics::DD_BATCH_INTERNED, values.len() as u64);
     }
 
     pub(crate) fn mul(&mut self, a: CIdx, b: CIdx) -> CIdx {

@@ -6,9 +6,16 @@
 //! mapped onto the same index, which makes node equality (and therefore
 //! hash-consing in the unique table) an exact integer comparison even in the
 //! presence of floating-point round-off.
+//!
+//! Storage is structure-of-arrays: the real and imaginary components live in
+//! two separate `f64` lanes so the batched paths ([`lookup_batch`]
+//! (ComplexTable::lookup_batch), dense terminal-case apply, mirror syncs)
+//! stream contiguous same-typed data through the [`kernels`](crate::kernels)
+//! layer instead of gathering interleaved pairs.
 
 use crate::complex::{Complex, TOLERANCE};
 use crate::hash::FxHashMap;
+use crate::kernels;
 
 /// Index of an interned complex value inside a [`ComplexTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,12 +65,21 @@ const BUCKET: f64 = TOLERANCE;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ComplexTable {
-    values: Vec<Complex>,
+    /// Real components of the value slots (same length as `im`).
+    re: Vec<f64>,
+    /// Imaginary components of the value slots.
+    im: Vec<f64>,
     buckets: FxHashMap<(i64, i64), Vec<u32>>,
     /// Slots freed by [`retain_marked`](Self::retain_marked), recycled by the
     /// next inserts. Freed slots hold a NaN sentinel and are absent from the
     /// buckets, so lookups can never resolve to them.
     free: Vec<u32>,
+    /// Scratch for [`lookup_batch`](Self::lookup_batch): bucket keys of the
+    /// whole batch (phase 1) and the SoA candidate gather per value (phase 2).
+    batch_keys: Vec<(i64, i64)>,
+    cand_re: Vec<f64>,
+    cand_im: Vec<f64>,
+    cand_idx: Vec<u32>,
 }
 
 impl Default for ComplexTable {
@@ -76,9 +92,14 @@ impl ComplexTable {
     /// Creates a table pre-populated with the canonical constants `0` and `1`.
     pub fn new() -> Self {
         let mut table = ComplexTable {
-            values: Vec::with_capacity(1024),
+            re: Vec::with_capacity(1024),
+            im: Vec::with_capacity(1024),
             buckets: FxHashMap::default(),
             free: Vec::new(),
+            batch_keys: Vec::new(),
+            cand_re: Vec::new(),
+            cand_im: Vec::new(),
+            cand_idx: Vec::new(),
         };
         let zero = table.insert(Complex::ZERO);
         let one = table.insert(Complex::ONE);
@@ -97,12 +118,14 @@ impl ComplexTable {
     fn insert(&mut self, value: Complex) -> CIdx {
         let idx = match self.free.pop() {
             Some(slot) => {
-                self.values[slot as usize] = value;
+                self.re[slot as usize] = value.re;
+                self.im[slot as usize] = value.im;
                 slot
             }
             None => {
-                let idx = self.values.len() as u32;
-                self.values.push(value);
+                let idx = self.re.len() as u32;
+                self.re.push(value.re);
+                self.im.push(value.im);
                 idx
             }
         };
@@ -127,7 +150,8 @@ impl ComplexTable {
             for di in -1..=1 {
                 if let Some(candidates) = self.buckets.get(&(kr + dr, ki + di)) {
                     for &idx in candidates {
-                        if self.values[idx as usize].approx_eq(value) {
+                        let slot = Complex::new(self.re[idx as usize], self.im[idx as usize]);
+                        if slot.approx_eq(value) {
                             return CIdx(idx);
                         }
                     }
@@ -137,6 +161,56 @@ impl ComplexTable {
         self.insert(value)
     }
 
+    /// Interns a whole slice of values in one pass, appending one [`CIdx`]
+    /// per value to `out` (in order).
+    ///
+    /// Equivalent to calling [`lookup`](Self::lookup) on each value in
+    /// sequence — same shortcuts, same probe order, same insertion order, so
+    /// the returned index sequence is identical — but the bucket keys for
+    /// the batch are hashed in one pass and each value's candidate set is
+    /// gathered into contiguous SoA lanes and compared with one vectorized
+    /// tolerance probe instead of a pointer-chasing scan.
+    pub fn lookup_batch(&mut self, values: &[Complex], out: &mut Vec<CIdx>) {
+        out.reserve(values.len());
+        // Phase 1: one hashing pass over the batch.
+        let mut batch_keys = std::mem::take(&mut self.batch_keys);
+        batch_keys.clear();
+        batch_keys.extend(values.iter().map(|&v| Self::bucket_key(v)));
+        // Phase 2: probe (vectorized) or insert, in order. Inserts must be
+        // visible to later values of the same batch, exactly as if the
+        // scalar path had run value-by-value.
+        for (&value, &(kr, ki)) in values.iter().zip(batch_keys.iter()) {
+            if value.is_zero() {
+                out.push(CIdx::ZERO);
+                continue;
+            }
+            if value.is_one() {
+                out.push(CIdx::ONE);
+                continue;
+            }
+            self.cand_re.clear();
+            self.cand_im.clear();
+            self.cand_idx.clear();
+            for dr in -1..=1 {
+                for di in -1..=1 {
+                    if let Some(candidates) = self.buckets.get(&(kr + dr, ki + di)) {
+                        for &idx in candidates {
+                            self.cand_re.push(self.re[idx as usize]);
+                            self.cand_im.push(self.im[idx as usize]);
+                            self.cand_idx.push(idx);
+                        }
+                    }
+                }
+            }
+            match kernels::first_within_tolerance(&self.cand_re, &self.cand_im, value, TOLERANCE) {
+                Some(pos) => out.push(CIdx(self.cand_idx[pos])),
+                None => out.push(self.insert(value)),
+            }
+        }
+        self.batch_keys = batch_keys;
+        obs::metrics::add(obs::metrics::DD_BATCH_INTERNED, values.len() as u64);
+    }
+
     /// Returns the value stored at `idx`.
     ///
     /// # Panics
@@ -144,19 +218,19 @@ impl ComplexTable {
     /// Panics if `idx` was not produced by this table.
     #[inline]
     pub fn value(&self, idx: CIdx) -> Complex {
-        self.values[idx.0 as usize]
+        Complex::new(self.re[idx.0 as usize], self.im[idx.0 as usize])
     }
 
     /// Number of value slots (live entries plus compaction-freed slots).
     #[inline]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.re.len()
     }
 
     /// Number of *live* interned values (slots minus freed slots).
     #[inline]
     pub fn live_len(&self) -> usize {
-        self.values.len() - self.free.len()
+        self.re.len() - self.free.len()
     }
 
     /// Returns `true` when only the canonical constants are stored.
@@ -165,13 +239,23 @@ impl ComplexTable {
         self.live_len() <= 2
     }
 
-    /// The raw value slots (freed slots hold a NaN sentinel). Used by shared
-    /// workspaces to extend their lock-free read mirrors in one copy; the
-    /// NaN sentinel is what lets a mirror detect a slot that was freed (and
-    /// possibly recycled) by a compaction it did not witness.
+    /// The raw value in slot `i` (freed slots hold a NaN sentinel). Used by
+    /// shared workspaces to refresh one mirror entry; the NaN sentinel is
+    /// what lets a mirror detect a slot that was freed (and possibly
+    /// recycled) by a compaction it did not witness.
     #[inline]
-    pub(crate) fn values(&self) -> &[Complex] {
-        &self.values
+    pub(crate) fn slot(&self, i: usize) -> Complex {
+        Complex::new(self.re[i], self.im[i])
+    }
+
+    /// Appends every slot past `mirror.len()` to `mirror`, re-interleaving
+    /// the SoA lanes into the mirror's AoS layout in one pass.
+    pub(crate) fn extend_mirror(&self, mirror: &mut Vec<Complex>) {
+        let from = mirror.len();
+        mirror.reserve(self.re.len().saturating_sub(from));
+        for i in from..self.re.len() {
+            mirror.push(Complex::new(self.re[i], self.im[i]));
+        }
     }
 
     /// Compacts the table: every slot whose index is *not* marked is freed
@@ -188,20 +272,20 @@ impl ComplexTable {
     /// The canonical constants `0` and `1` are always kept, and indices
     /// beyond `marked.len()` are treated as unmarked.
     pub fn retain_marked(&mut self, marked: &[bool]) -> usize {
-        let sentinel = Complex::new(f64::NAN, f64::NAN);
         let mut freed = 0;
         self.buckets.clear();
-        for idx in 0..self.values.len() {
+        for idx in 0..self.re.len() {
             let keep = idx <= 1 || marked.get(idx).copied().unwrap_or(false);
             if keep {
-                if !self.values[idx].re.is_nan() {
+                if !self.re[idx].is_nan() {
                     self.buckets
-                        .entry(Self::bucket_key(self.values[idx]))
+                        .entry(Self::bucket_key(self.slot(idx)))
                         .or_default()
                         .push(idx as u32);
                 }
-            } else if !self.values[idx].re.is_nan() {
-                self.values[idx] = sentinel;
+            } else if !self.re[idx].is_nan() {
+                self.re[idx] = f64::NAN;
+                self.im[idx] = f64::NAN;
                 self.free.push(idx as u32);
                 freed += 1;
             }
@@ -333,5 +417,53 @@ mod tests {
         let a = t.lookup(Complex::real(base));
         let b = t.lookup(Complex::real(base + 0.4 * TOLERANCE));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_sequence() {
+        let values: Vec<Complex> = (0..64)
+            .map(|k| {
+                let theta = k as f64 * 0.1;
+                Complex::from_polar(0.5 + (k % 7) as f64 * 0.01, theta)
+            })
+            // Repeats, shortcuts and near-duplicates inside the same batch.
+            .chain([
+                Complex::ZERO,
+                Complex::ONE,
+                Complex::real(0.5),
+                Complex::real(0.5 + 1e-14),
+                Complex::real(0.5 + 0.4 * TOLERANCE),
+            ])
+            .collect();
+        let mut scalar = ComplexTable::new();
+        let want: Vec<CIdx> = values.iter().map(|&v| scalar.lookup(v)).collect();
+        let mut batched = ComplexTable::new();
+        let mut got = Vec::new();
+        batched.lookup_batch(&values, &mut got);
+        assert_eq!(got, want);
+        assert_eq!(batched.len(), scalar.len());
+    }
+
+    #[test]
+    fn batch_lookup_sees_earlier_batch_inserts() {
+        let mut t = ComplexTable::new();
+        let v = Complex::new(0.25, -0.75);
+        let mut out = Vec::new();
+        t.lookup_batch(&[v, v, Complex::new(0.25 + 1e-14, -0.75)], &mut out);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(t.live_len(), 3);
+    }
+
+    #[test]
+    fn batch_lookup_reuses_freed_slots() {
+        let mut t = ComplexTable::new();
+        let dead = t.lookup(Complex::real(0.9));
+        t.retain_marked(&[true, true]);
+        let mut out = Vec::new();
+        t.lookup_batch(&[Complex::real(0.3)], &mut out);
+        // The freed slot is recycled, and the old value is gone.
+        assert_eq!(out[0], dead);
+        assert!(t.value(out[0]).approx_eq(Complex::real(0.3)));
     }
 }

@@ -23,6 +23,9 @@
 //!                     (LRU-evicted beyond that; default 4)
 //!   --private-packages race schemes on private DD packages instead of the
 //!                     shared store (for sharing/contention comparisons)
+//!   --dense-cutoff N  decision-diagram level at or below which the apply/
+//!                     mul/add recursions drop to the dense SoA kernels
+//!                     (0 disables the dense path; default 3, clamped to 6)
 //!   --warm-stores     keep one shared store per register width alive
 //!                     across pairs (default; a barrier GC between pairs
 //!                     bounds the carry-over)
@@ -58,6 +61,7 @@ struct Args {
     store_shelves: Option<usize>,
     private_packages: bool,
     warm_stores: bool,
+    dense_cutoff: Option<u32>,
     trace_file: Option<PathBuf>,
     metrics: bool,
     compact: bool,
@@ -77,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         store_shelves: None,
         private_packages: false,
         warm_stores: true,
+        dense_cutoff: None,
         trace_file: None,
         metrics: false,
         compact: false,
@@ -141,6 +146,12 @@ fn parse_args() -> Result<Args, String> {
                 args.store_shelves = Some(shelves);
             }
             "--private-packages" => args.private_packages = true,
+            "--dense-cutoff" => {
+                let cutoff: u32 = value("--dense-cutoff")?
+                    .parse()
+                    .map_err(|_| "--dense-cutoff must be a non-negative integer".to_string())?;
+                args.dense_cutoff = Some(cutoff);
+            }
             "--warm-stores" => args.warm_stores = true,
             "--cold-stores" => args.warm_stores = false,
             "--trace-file" => args.trace_file = Some(PathBuf::from(value("--trace-file")?)),
@@ -151,7 +162,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
                      [--node-limit N] [--leaf-limit N] [--deadline SECS] \
                      [--stats-file FILE] [--policy race|predicted] [--store-shelves N] \
-                     [--private-packages] [--warm-stores | --cold-stores] \
+                     [--private-packages] [--dense-cutoff N] \
+                     [--warm-stores | --cold-stores] \
                      [--trace-file FILE] [--metrics] [--compact]"
                 );
                 std::process::exit(0);
@@ -217,6 +229,10 @@ fn main() {
     options.portfolio.leaf_limit = args.leaf_limit;
     options.portfolio.deadline = args.deadline.map(std::time::Duration::from_secs_f64);
     options.portfolio.shared_package = !args.private_packages;
+    if let Some(cutoff) = args.dense_cutoff {
+        options.portfolio.configuration.memory.dense_cutoff = cutoff;
+        options.portfolio.extraction.memory.dense_cutoff = cutoff;
+    }
     options.warm_stores = args.warm_stores;
     // A stats file implies the predicted policy (that is its point); an
     // explicit --policy always wins. Prediction with a cold store degrades

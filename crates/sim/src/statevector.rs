@@ -7,6 +7,11 @@ use circuit::{OpKind, Operation, QuantumCircuit};
 use dd::{Complex, DdPackage, VEdge};
 use std::time::{Duration, Instant};
 
+/// Widest register for which [`StateVectorSimulator::fidelity_with`] takes
+/// the dense SoA inner-product path (4096 amplitudes, 128 KiB of lanes per
+/// state); wider states fall back to the DD-walk rebuild.
+const DENSE_FIDELITY_MAX_QUBITS: usize = 12;
+
 /// A Schrödinger-style simulator representing the state as a vector decision
 /// diagram.
 ///
@@ -269,6 +274,21 @@ impl StateVectorSimulator {
     /// Panics if the qubit counts differ.
     pub fn fidelity_with(&mut self, other: &StateVectorSimulator) -> f64 {
         assert_eq!(self.n_qubits, other.n_qubits, "qubit count mismatch");
+        if self.n_qubits <= DENSE_FIDELITY_MAX_QUBITS {
+            // Small registers: expand both states to SoA amplitude lanes and
+            // take the inner product with the batched kernel. No nodes are
+            // re-interned into this package, and both kernel backends reduce
+            // with the same accumulator structure, so the value (and any
+            // verdict derived from it) is backend-independent.
+            let (mut a_re, mut a_im) = (Vec::new(), Vec::new());
+            let (mut b_re, mut b_im) = (Vec::new(), Vec::new());
+            self.package
+                .amplitude_lanes(self.state, &mut a_re, &mut a_im);
+            other
+                .package
+                .amplitude_lanes(other.state, &mut b_re, &mut b_im);
+            return dd::kernels::dot_conj_lanes(&a_re, &a_im, &b_re, &b_im).norm_sqr();
+        }
         // Rebuild the other state in this package via its amplitude decision
         // diagram structure: walk the other's DD and re-intern it here.
         let rebuilt = clone_state_into(&mut self.package, &other.package, other.state);
