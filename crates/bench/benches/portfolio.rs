@@ -119,8 +119,13 @@ fn bench_shared_vs_private(c: &mut Criterion) {
         return;
     }
     let mut rows = Vec::new();
-    for n in [7usize, 9, 11] {
-        let instance = build_instance(Family::Qpe, n);
+    for (family, n) in [
+        (Family::Qpe, 7usize),
+        (Family::Qpe, 9),
+        (Family::Qpe, 11),
+        (Family::Qft, 12),
+    ] {
+        let instance = build_instance(family, n);
         let static_circuit = &instance.static_circuit;
         let dynamic_circuit = &instance.dynamic_circuit;
         // Explicit schemes force the threaded racing path even for the
@@ -141,53 +146,65 @@ fn bench_shared_vs_private(c: &mut Criterion) {
         let store = instrumented
             .shared_store
             .expect("non-tiny race uses the shared store");
-        let shared_secs = min_wall_time(3, || {
+        let shared_secs = min_wall_time(7, || {
             verify_portfolio(static_circuit, dynamic_circuit, &shared_config)
         })
         .as_secs_f64();
-        let private_secs = min_wall_time(3, || {
+        let private_secs = min_wall_time(7, || {
             verify_portfolio(static_circuit, dynamic_circuit, &private_config)
         })
         .as_secs_f64();
+        let family_name = instance.family.name();
         println!(
-            "portfolio_shared/qpe/{n}: shared {shared_secs:.3}s vs private {private_secs:.3}s \
-             ({:.2}x), cross-thread hit rate {:.1}%, peak {} nodes, winner {}",
+            "portfolio_shared/{family_name}/{n}: shared {shared_secs:.3}s vs private \
+             {private_secs:.3}s ({:.2}x), cross-thread hit rate {:.1}%, peak {} nodes, \
+             contention {:.6}s, winner {}",
             private_secs / shared_secs,
             100.0 * store.cross_thread_hit_rate,
             store.peak_nodes,
+            store.shard_contention_seconds,
             instrumented.winner.map(|s| s.name()).unwrap_or("-"),
         );
         rows.push(format!(
-            "    {{ \"family\": \"qpe\", \"n\": {n}, \"shared_secs\": {shared_secs:.6}, \
-             \"private_secs\": {private_secs:.6}, \"speedup\": {:.4}, \
+            "    {{ \"family\": \"{family_name}\", \"n\": {n}, \"shared_secs\": \
+             {shared_secs:.6}, \"private_secs\": {private_secs:.6}, \"speedup\": {:.4}, \
              \"cross_thread_hit_rate\": {:.6}, \"cross_thread_hits\": {}, \
-             \"shared_peak_nodes\": {}, \"shared_allocated_nodes\": {}, \"winner\": \"{}\" }}",
+             \"shared_peak_nodes\": {}, \"shared_allocated_nodes\": {}, \
+             \"shard_contention_seconds\": {:.6}, \"mirror_invalidations\": {}, \
+             \"epoch_pins\": {}, \"retired_generations\": {}, \"winner\": \"{}\" }}",
             private_secs / shared_secs,
             store.cross_thread_hit_rate,
             store.cross_thread_hits,
             store.peak_nodes,
             store.allocated_nodes,
+            store.shard_contention_seconds,
+            store.mirror_invalidations,
+            store.epoch_pins,
+            store.retired_generations,
             instrumented.winner.map(|s| s.name()).unwrap_or("-"),
         ));
     }
 
     let json = bench::emit::envelope(
         "portfolio_shared",
-        "shared-store vs private-package portfolio races on QPE/IQPE miters (min of 3 runs)",
+        "shared-store vs private-package portfolio races on QPE/IQPE and QFT miters (min of 7 \
+         runs)",
         &[
-            "small n: three instances, min-of-3 wall times on one machine — \
+            "small n: four instances, min-of-7 wall times on one machine — \
              treat speedups within ~1.3x of parity as noise, not signal",
             "cross_thread_hit_rate counts canonical-store hits only; compute-table reuse is \
              invisible here, so low rates do not mean no sharing",
             "shared_peak_nodes is a store-lifetime gauge, not a per-race delta: a warm store \
              inflates it",
+            "contention/invalidation counters come from the single instrumented run, not the \
+             timed min-of-7 — one barrier landing differently can move them",
         ],
         &[("instances", format!("[\n{}\n  ]", rows.join(",\n")))],
     );
     bench::emit::write_artifact("BENCH_shared.json", &json);
 
     // Criterion timings for the grep-friendly log (smaller sample budget:
-    // the explicit min-of-3 above is the recorded comparison).
+    // the explicit min-of-7 above is the recorded comparison).
     let mut group = c.benchmark_group("portfolio_shared");
     group.sample_size(10);
     for n in [7usize, 9] {

@@ -79,13 +79,14 @@
 //! * **Dense terminal-case apply** — below
 //!   [`MemoryConfig::dense_cutoff`](MemoryConfig) levels (default
 //!   [`DEFAULT_DENSE_CUTOFF`] = 3, clamped to [`DENSE_CUTOFF_MAX`], 0
-//!   disables), the apply/mul/add recursions expand node functions into
-//!   dense SoA amplitude blocks, compute with strided kernels and
-//!   re-intern the result in one batch. Measured honestly: this wins only
-//!   when the bottom of the diagram is dense and compute-cache hit rates
-//!   are low (random-stimulus simulation); on structured miters the
-//!   memoized recursion is faster, so `dense_cutoff: 0` is the right
-//!   setting for reference-strategy workloads (see `BENCH_kernels.json`
+//!   disables), the *vector* recursions (mat·vec apply, vector add) expand
+//!   node functions into dense SoA amplitude blocks, compute with strided
+//!   kernels and re-intern the result in one batch. Matrix·matrix and
+//!   matrix-add recursions never drop dense: their blocks are 4^levels
+//!   wide, and measurement showed the expand/re-intern round trip losing
+//!   ~3x to the memoized recursion on structured miters — which is why the
+//!   dense path is mat·vec-only (verdict parity across cutoffs is asserted
+//!   by `portfolio/tests/dense_parity.rs`; see `BENCH_kernels.json`
 //!   caveats).
 //! * **Dense fidelity** — `sim`'s statevector comparison extracts both
 //!   diagrams' amplitudes into lanes
@@ -100,15 +101,27 @@
 //! [`SharedStore`] with one package-*workspace* per thread
 //! ([`SharedStore::workspace`]):
 //!
-//! * **Shared (in the store):** the canonical complex table (one mutex,
-//!   shielded by per-workspace memo caches), the vector/matrix unique
-//!   tables (sharded by node hash into independently locked maps), the
-//!   append-only node arenas (reader/writer locks; readers fill
-//!   per-workspace mirrors in bulk), the gate-diagram L2 cache, free lists
-//!   and telemetry counters. Any thread interning the same
-//!   `(weight, children)` gets the *same* canonical edge, so racing schemes
-//!   turn duplicated construction into cross-thread cache hits
+//! * **Shared (in the store):** the canonical complex table (striped —
+//!   each bucket row hashes to one of a fixed set of mutexes, and a
+//!   publish locks only the stripes its probe windows touch, in ascending
+//!   order; batches are the *only* shared write path), the vector/matrix
+//!   unique tables (sharded by node hash into independently locked maps),
+//!   the append-only node arenas (reader/writer locks), the gate-diagram
+//!   L2 cache, free lists and telemetry counters. Any thread interning the
+//!   same `(weight, children)` gets the *same* canonical edge, so racing
+//!   schemes turn duplicated construction into cross-thread cache hits
 //!   ([`MemoryStats::cross_thread_hits`]).
+//! * **Epoch-snapshot reads:** every completed collection publishes an
+//!   immutable [`Generation`](store) — an `Arc`-shared copy of the node
+//!   arenas and complex lanes — and each workspace *pins* the current
+//!   generation when it attaches and re-pins after every collection it
+//!   crosses. Reads of pre-snapshot structure go straight to the pinned
+//!   copy with no lock and no atomic; only post-snapshot tail slots fall
+//!   back to a bulk fetch under the arena read lock. A superseded
+//!   generation is not reclaimed until its last reader re-pins (deferred
+//!   reclamation — `dd.store.retired_generations` vs
+//!   `dd.store.deferred_reclaim_bytes` below), so a pinned read can never
+//!   observe a recycled slot and `mirror_invalidations` is pinned at zero.
 //! * **Thread-local (in each workspace):** the lossy compute caches (they
 //!   are overwrite-on-collision, so thread-local is correct and lock-free),
 //!   the identity cache (canonical interning makes independently built
@@ -124,15 +137,18 @@
 //!   edges, in-flight operands, identity and gate caches. Once all other
 //!   attachments are parked (or detached), the collector sweeps from every
 //!   published root set plus the shared gate cache, rebuilds the sharded
-//!   unique tables, compacts the complex table and releases the barrier;
-//!   everyone then invalidates mirrors and node-keyed memos. Protected
-//!   edges keep their node ids, so parked diagrams stay pointer-identical.
+//!   unique tables, compacts the complex table and publishes a fresh
+//!   generation before releasing the barrier; everyone then re-pins and
+//!   clears only the node-keyed memos. The weight-keyed memos *survive*
+//!   the sweep: their complex indices are published as GC roots, and
+//!   compaction keeps marked indices stable. Protected edges keep their
+//!   node ids, so parked diagrams stay pointer-identical across the swap.
 //!   An attachment that never reaches a safe point (idle, or one very long
 //!   operation) makes the collector give up after a bounded patience and
 //!   fall back to deferring collection — which is why a thread should hold
 //!   at most one attached workspace at a time: a second one can never park
-//!   while its sibling runs. Workspaces attached later start with empty
-//!   mirrors and can never see a stale slot.
+//!   while its sibling runs. Workspaces attached later pin the current
+//!   generation and can never see a stale slot.
 //! * **Warm reuse:** a store may outlive a race (the portfolio batch driver
 //!   pools one per register width); [`SharedStore::begin_race`] marks the
 //!   boundary and hits on pre-existing structure are reported as warm hits.
@@ -165,7 +181,10 @@
 //! | `dd.gc.barrier_wait_ns` | nanos | sums across threads, so it can exceed wall-clock time |
 //! | `dd.ctab.compacted` | count | entries, not bytes; rehashing survivors is not counted |
 //! | `dd.store.shard_waits` / `shard_contention_ns` | count / nanos | timed only on the blocking path; uncontended acquisitions report zero |
-//! | `dd.store.mirror_invalidations` | count | the real cost (later memo misses) shows up elsewhere |
+//! | `dd.store.mirror_invalidations` | count | pinned at zero under epoch-snapshot reads; kept so old dashboards show the regression if it ever returns |
+//! | `dd.store.epoch_pins` | count | one pin per attach plus one per collection crossed; a high count means frequent GC, not expensive reads — pinning is an `Arc` clone |
+//! | `dd.store.retired_generations` | count | equals completed shared collections; retirement is not reclamation — a pinned generation lives on until its last reader moves |
+//! | `dd.store.deferred_reclaim_bytes` | count | a running total of bytes that *entered* deferral, never decremented when freed; it bounds transient overhead, not live memory |
 //! | `dd.kernels.backend_avx2` / `_scalar` | count | one increment per process at first dispatch — a config gauge, not a usage meter |
 //! | `dd.dense.applies` | count | counts compute-cache *misses* routed dense; a high hit rate makes this small regardless of the cutoff |
 //! | `dd.ctab.batch_interned` | count | counts weights, not batches; says nothing about lock acquisitions saved |
@@ -176,8 +195,9 @@
 //! `gc.barrier.sweep` and per-workspace `gc.park` events with park
 //! durations. Contention counters (`SharedStoreStats::shard_lock_waits`,
 //! `shard_contention_ns`, `barrier_wait_ns`, `barrier_deferrals`,
-//! `mirror_invalidations`) are always on and reported per race through the
-//! portfolio's shared-store report.
+//! `epoch_pins`, `retired_generations`, `deferred_reclaim_bytes`) are
+//! always on and reported per race through the portfolio's shared-store
+//! report.
 //!
 //! ## Quick example
 //!

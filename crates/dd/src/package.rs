@@ -54,9 +54,10 @@ enum SharedGcOutcome {
 /// RAII scope of one barrier-GC round: raises `gc_requested` on `begin` and
 /// guarantees the round is closed on *every* exit path — via
 /// [`complete`](Self::complete) after a successful sweep (bumps the
-/// generation so parked workspaces invalidate their stale mirrors), or via
-/// `Drop` on abort and on collector panic (no generation bump; parked
-/// workspaces resume instead of waiting forever on a dead round).
+/// generation so parked workspaces re-pin the freshly published snapshot),
+/// or via `Drop` on abort and on collector panic (no generation bump; parked
+/// workspaces resume on their existing pin instead of waiting forever on a
+/// dead round).
 struct BarrierRound<'a> {
     store: &'a crate::store::SharedStore,
     completed: bool,
@@ -75,7 +76,8 @@ impl<'a> BarrierRound<'a> {
     }
 
     /// Closes the round after a successful sweep: parked workspaces wake,
-    /// see the generation advance and invalidate their mirrors and memos.
+    /// see the generation advance and re-pin the new snapshot (their memos
+    /// survive — the sweep marked their weight roots).
     fn complete(mut self) {
         let mut barrier = crate::store::lock(&self.store.barrier);
         barrier.generation += 1;
@@ -163,12 +165,15 @@ pub struct MemoryConfig {
     /// reclaims less than a quarter of the threshold the threshold doubles,
     /// so workloads with mostly-live diagrams do not thrash.
     pub gc_threshold: Option<usize>,
-    /// Level at or below which the apply/mul/add recursions drop out of
-    /// node-at-a-time recursion into the dense terminal-case kernel
-    /// ([`kernels`](crate::kernels)): subtrees spanning at most this many
-    /// qubit levels are expanded to contiguous SoA amplitude blocks, the
-    /// operation runs as batched lane arithmetic, and the result is
-    /// re-interned in one batch. `0` disables the dense path entirely;
+    /// Level at or below which the *vector* recursions (mat·vec apply and
+    /// vector add) drop out of node-at-a-time recursion into the dense
+    /// terminal-case kernel ([`kernels`](crate::kernels)): subtrees spanning
+    /// at most this many qubit levels are expanded to contiguous SoA
+    /// amplitude blocks, the operation runs as batched lane arithmetic, and
+    /// the result is re-interned in one batch. Matrix·matrix and matrix-add
+    /// recursions stay node-at-a-time: their dense blocks are 4^levels wide,
+    /// and measurement showed the expand/re-intern round trip losing ~3x to
+    /// recursion on structured miters. `0` disables the dense path entirely;
     /// values above [`DENSE_CUTOFF_MAX`] are clamped at package
     /// construction.
     pub dense_cutoff: u32,
@@ -608,7 +613,7 @@ impl DdPackage {
             Some(handle) => PackageStats {
                 vector_nodes: handle.store.vlive.load(Ordering::Relaxed),
                 matrix_nodes: handle.store.mlive.load(Ordering::Relaxed),
-                complex_values: crate::store::lock(&handle.store.ctab).len(),
+                complex_values: handle.store.ctab.len(),
             },
         }
     }
@@ -1013,8 +1018,9 @@ impl DdPackage {
 
     /// Parks this workspace at the store's GC barrier: publishes its roots
     /// (protected edges, the in-flight operands, the identity and local
-    /// gate caches) and blocks until the collector releases the barrier,
-    /// then invalidates whatever a completed collection made stale.
+    /// gate caches, the memo-table weight indices) and blocks until the
+    /// collector releases the barrier, then re-pins whatever generation a
+    /// completed collection published.
     fn park_for_barrier(&mut self, keep_vectors: &[VEdge], keep_matrices: &[MEdge]) {
         let store = Arc::clone(&self.shared.as_ref().expect("shared workspace").store);
         let roots = self.published_roots(keep_vectors, keep_matrices);
@@ -1048,14 +1054,13 @@ impl DdPackage {
             ],
         );
         if collected {
-            // Freed slots may be recycled under the same ids: drop every
-            // local structure remembering pre-collection state. Protected
-            // edges kept their ids, so held diagrams stay valid.
+            // A new generation was published: re-pin it (dropping the epoch
+            // tails/overlays — the weight memos survive, their roots were
+            // marked) and clear the node-keyed caches, whose NodeId keys may
+            // be recycled from now on. Protected edges kept their ids, so
+            // held diagrams stay valid and pointer-identical.
             self.clear_node_keyed_caches();
-            self.shared
-                .as_mut()
-                .expect("shared workspace")
-                .clear_local();
+            self.shared.as_mut().expect("shared workspace").repin();
             self.charged_nodes = self.charged_nodes.min(store.live_nodes());
         }
     }
@@ -1073,10 +1078,16 @@ impl DdPackage {
             .chain(self.gate_cache.entries().map(|(_, e)| *e))
             .filter(|e| !e.is_zero())
             .collect();
+        // The weight memos survive collections, so every index they
+        // reference must stay live (and index-stable) across the sweep.
+        let mut wroots: Vec<u32> = self.wroots.keys().copied().collect();
+        if let Some(handle) = &self.shared {
+            wroots.extend(handle.memo_weight_roots());
+        }
         crate::store::PublishedRoots {
             vroots: self.vroots.keys().copied().collect(),
             mroots: self.mroots.keys().copied().collect(),
-            wroots: self.wroots.keys().copied().collect(),
+            wroots,
             vedges: keep_vectors
                 .iter()
                 .copied()
@@ -1211,18 +1222,23 @@ impl DdPackage {
         store.mlive.store(mlive, Ordering::Relaxed);
 
         // --- compact the shared complex table -------------------------
-        let mut ctab = crate::store::lock(&store.ctab);
         let cmark = mark_weights(
             &varena,
             &marena,
             wroot_ids.iter().copied(),
             &root_vedges,
             &root_medges,
-            ctab.len(),
+            store.ctab.len(),
         );
-        let compacted = ctab.retain_marked(&cmark) as u64;
+        let compacted = store.ctab.retain_marked(&cmark) as u64;
         self.complex_reclaimed += compacted;
         obs::metrics::add(obs::metrics::DD_CTAB_COMPACTED, compacted);
+
+        // --- publish the post-sweep generation snapshot ---------------
+        // Both arena write locks are still held and the table was just
+        // compacted, so the snapshot is consistent by construction; parked
+        // workspaces re-pin it when the barrier releases.
+        store.publish_generation(&varena, &marena);
         reclaimed
     }
 
@@ -1232,13 +1248,11 @@ impl DdPackage {
             .reclaimed
             .fetch_add(reclaimed as u64, Ordering::Relaxed);
         store.gc_runs.fetch_add(1, Ordering::Relaxed);
-        // Freed slots may be recycled under the same ids from now on: drop
-        // every local structure that remembers pre-collection state.
+        // Freed slots may be recycled under the same ids from now on: clear
+        // the node-keyed caches and re-pin the just-published generation
+        // (the weight memos survive — the sweep marked their roots).
         self.clear_node_keyed_caches();
-        self.shared
-            .as_mut()
-            .expect("shared workspace")
-            .clear_local();
+        self.shared.as_mut().expect("shared workspace").repin();
         // Re-snap the node-budget meter, mirroring how a private package's
         // live meter shrinks under GC: a sole survivor owns everything still
         // live; after a barrier sweep the survivors are shared between the
@@ -1318,16 +1332,13 @@ impl DdPackage {
         let (complex_values, complex_entries, shared_nodes, intern_hits, cross_thread_hits) =
             match &self.shared {
                 None => (self.ctab.len(), self.ctab.live_len(), 0, 0, 0),
-                Some(handle) => {
-                    let table = crate::store::lock(&handle.store.ctab);
-                    (
-                        table.len(),
-                        table.live_len(),
-                        handle.store.live_nodes(),
-                        handle.intern_hits,
-                        handle.cross_thread_hits,
-                    )
-                }
+                Some(handle) => (
+                    handle.store.ctab.len(),
+                    handle.store.ctab.live_len(),
+                    handle.store.live_nodes(),
+                    handle.intern_hits,
+                    handle.cross_thread_hits,
+                ),
             };
         MemoryStats {
             live_vector_nodes: package_stats.vector_nodes,
@@ -2225,40 +2236,6 @@ impl DdPackage {
         self.make_vnode((level - 1) as u16, [lo, hi])
     }
 
-    /// Rebuilds a normalized matrix DD from batch-interned entries in
-    /// column-major order (`idxs[col * n + row]`).
-    fn build_matrix_from_interned(
-        &mut self,
-        idxs: &[CIdx],
-        row: usize,
-        col: usize,
-        n: usize,
-        level: usize,
-    ) -> MEdge {
-        if level == 0 {
-            let w = idxs[col * n + row];
-            return if w.is_zero() {
-                MEdge::ZERO
-            } else {
-                MEdge::terminal(w)
-            };
-        }
-        let half = 1usize << (level - 1);
-        let mut children = [MEdge::ZERO; 4];
-        for rbit in 0..2 {
-            for cbit in 0..2 {
-                children[rbit * 2 + cbit] = self.build_matrix_from_interned(
-                    idxs,
-                    row + rbit * half,
-                    col + cbit * half,
-                    n,
-                    level - 1,
-                );
-            }
-        }
-        self.make_mnode((level - 1) as u16, children)
-    }
-
     /// Dense terminal-case `m · v` over node functions (top weights are the
     /// caller's business, exactly like the recursion this replaces): expand
     /// both operands to SoA blocks, accumulate matrix columns scaled by the
@@ -2309,49 +2286,6 @@ impl DdPackage {
         result
     }
 
-    /// Dense terminal-case `a · b` over matrix node functions: per output
-    /// column `j`, accumulate `A[:, k]` scaled by `B[k, j]`.
-    fn dense_mul_matrices(&mut self, a: NodeId, b: NodeId, level: usize) -> MEdge {
-        self.dense_applies += 1;
-        let n = 1usize << level;
-        let amat = self.dense_matrix(a, level);
-        let bmat = self.dense_matrix(b, level);
-        let mut s = std::mem::take(&mut self.dense_scratch);
-        s.a_re.clear();
-        s.a_re.resize(n * n, 0.0);
-        s.a_im.clear();
-        s.a_im.resize(n * n, 0.0);
-        {
-            let (are, aim) = &self.dense_mats[amat];
-            let (bre, bim) = &self.dense_mats[bmat];
-            for j in 0..n {
-                let out = j * n..(j + 1) * n;
-                for k in 0..n {
-                    let w = Complex::new(bre[j * n + k], bim[j * n + k]);
-                    if w.re == 0.0 && w.im == 0.0 {
-                        continue;
-                    }
-                    let col = k * n..(k + 1) * n;
-                    kernels::axpy_lanes(
-                        &mut s.a_re[out.clone()],
-                        &mut s.a_im[out.clone()],
-                        &are[col.clone()],
-                        &aim[col],
-                        w,
-                    );
-                }
-            }
-        }
-        s.vals.clear();
-        for i in 0..n * n {
-            s.vals.push(Complex::new(s.a_re[i], s.a_im[i]));
-        }
-        self.intern_scratch(&mut s);
-        let result = self.build_matrix_from_interned(&s.idxs, 0, 0, n, level);
-        self.dense_scratch = s;
-        result
-    }
-
     /// Dense terminal-case `a + ratio · b` over vector node functions (the
     /// same normalized sum the `ct_add_vec` entry for `(a, b, ratio)`
     /// memoises).
@@ -2391,51 +2325,6 @@ impl DdPackage {
         }
         self.intern_scratch(&mut s);
         let result = self.build_vector_from_interned(&s.idxs, level);
-        self.dense_scratch = s;
-        result
-    }
-
-    /// Dense terminal-case `a + ratio · b` over matrix node functions.
-    fn dense_add_matrices(&mut self, a: NodeId, b: NodeId, ratio: CIdx, level: usize) -> MEdge {
-        self.dense_applies += 1;
-        let n = 1usize << level;
-        let ratio_val = self.cval(ratio);
-        let mut s = std::mem::take(&mut self.dense_scratch);
-        s.a_re.clear();
-        s.a_re.resize(n * n, 0.0);
-        s.a_im.clear();
-        s.a_im.resize(n * n, 0.0);
-        s.b_re.clear();
-        s.b_re.resize(n * n, 0.0);
-        s.b_im.clear();
-        s.b_im.resize(n * n, 0.0);
-        self.expand_medge_rec(
-            MEdge::new(a, CIdx::ONE),
-            level,
-            Complex::ONE,
-            0,
-            0,
-            n,
-            &mut s.a_re,
-            &mut s.a_im,
-        );
-        self.expand_medge_rec(
-            MEdge::new(b, CIdx::ONE),
-            level,
-            Complex::ONE,
-            0,
-            0,
-            n,
-            &mut s.b_re,
-            &mut s.b_im,
-        );
-        kernels::axpy_lanes(&mut s.a_re, &mut s.a_im, &s.b_re, &s.b_im, ratio_val);
-        s.vals.clear();
-        for i in 0..n * n {
-            s.vals.push(Complex::new(s.a_re[i], s.a_im[i]));
-        }
-        self.intern_scratch(&mut s);
-        let result = self.build_matrix_from_interned(&s.idxs, 0, 0, n, level);
         self.dense_scratch = s;
         result
     }
@@ -2545,10 +2434,10 @@ impl DdPackage {
         let an = self.mnode(a.node);
         let bn = self.mnode(b.node);
         debug_assert_eq!(an.var, bn.var, "matrix addition level mismatch");
-        let level = an.var as usize + 1;
-        let result = if level <= self.dense_cutoff {
-            self.dense_add_matrices(a.node, b.node, ratio, level)
-        } else {
+        // Matrix recursions never drop dense (see `MemoryConfig::dense_cutoff`):
+        // the 4^level blocks lose to node-at-a-time recursion on structured
+        // miters.
+        let result = {
             let mut children = [MEdge::ZERO; 4];
             for (i, child) in children.iter_mut().enumerate() {
                 let bw = self.cmul(bn.children[i].weight, ratio);
@@ -2654,10 +2543,10 @@ impl DdPackage {
             let an = self.mnode(a.node);
             let bn = self.mnode(b.node);
             debug_assert_eq!(an.var, bn.var, "matrix-matrix level mismatch");
-            let level = an.var as usize + 1;
-            let r = if level <= self.dense_cutoff {
-                self.dense_mul_matrices(a.node, b.node, level)
-            } else {
+            // Matrix recursions never drop dense (see
+            // `MemoryConfig::dense_cutoff`): the 4^level blocks lose to
+            // node-at-a-time recursion on structured miters.
+            let r = {
                 let mut children = [MEdge::ZERO; 4];
                 for row in 0..2 {
                     for col in 0..2 {

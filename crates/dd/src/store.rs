@@ -4,34 +4,72 @@
 //! [`DdPackage`](crate::DdPackage) split out so that several packages — one
 //! per racing thread — can intern into the same node space. It owns
 //!
-//! * the canonical [`ComplexTable`] (one mutex: interning is rare relative
-//!   to weight *reads*, which go through per-workspace mirrors and memos),
+//! * the canonical [`SharedComplexTable`]: the SoA weight lanes behind a
+//!   reader/writer lock plus bucket maps striped by bucket-key range into
+//!   [`CSTRIPES`] independently locked maps, so concurrent weight publishes
+//!   from different value ranges never serialise on one global mutex,
 //! * the vector/matrix unique tables, sharded by node hash into
 //!   [`SHARDS`] independently locked maps,
-//! * the node arenas behind reader/writer locks (readers are per-workspace
-//!   mirrors filling in bulk; writers append on interning misses; slots are
-//!   only recycled behind the GC barrier),
+//! * the node arenas behind reader/writer locks (writers append on
+//!   interning misses; slots are only recycled behind the GC barrier),
+//! * the immutable **generation snapshot** (an `Arc`-swapped copy of the
+//!   arenas and weight lanes, republished by every collection) that
+//!   workspaces pin for lock-free reads,
 //! * the shared gate-diagram cache (an L2 behind every workspace's lossy L1),
 //! * the free lists, the GC barrier and telemetry counters.
 //!
 //! The per-thread half stays inside `DdPackage`: lossy compute caches (they
 //! are overwrite-on-collision, so thread-local is both correct and
 //! lock-free), `Budget`/`CancelToken`, protection roots and `MemoryStats`.
-//! [`SharedHandle`] is the glue a package holds when attached: read mirrors
-//! of the arenas and the complex table (lock-free after first touch, valid
-//! because arenas only recycle slots behind the barrier every workspace
-//! passes), plus thread-local memo caches for weight arithmetic keyed on
-//! canonical [`CIdx`] pairs so repeated products never touch the complex
-//! mutex.
+//! [`SharedHandle`] is the glue a package holds when attached.
+//!
+//! # Epoch-snapshot reads
+//!
+//! Every collection publishes a new [`Generation`]: an immutable copy of the
+//! node arenas and the complex-table lanes taken while the world is stopped.
+//! A workspace **pins** the current generation when it attaches and re-pins
+//! at the safe point after every collection it participates in. Between safe
+//! points all reads of structure that predates the pin go straight to the
+//! pinned snapshot — no lock, no `RefCell`, no invalidation. Structure
+//! *newer* than the pin (the arena/lane tails grown this epoch, plus
+//! free-list slots recycled this epoch) is read through small per-workspace
+//! tail mirrors and overlay maps that refill from the shared structures
+//! under the arena read locks, exactly like the pre-epoch read mirrors did —
+//! but they cover only the epoch's growth, not the whole store.
+//!
+//! This replaces the old invalidate-on-barrier mirror scheme: there are no
+//! mirror invalidations anymore (the counter remains, pinned at zero), and —
+//! because a re-pin swaps the snapshot instead of wiping local state — the
+//! weight-arithmetic memos **survive collections**. Their weight indices are
+//! published as GC roots (see `memo_weight_roots`), and
+//! [`retain_marked`](SharedComplexTable::retain_marked) keeps marked indices
+//! stable, so surviving memo entries remain exact.
+//!
+//! Retired generations are reclaimed *deferredly*: the `Arc` swap drops the
+//! store's reference, and the memory is freed when the last workspace still
+//! pinning the old generation re-pins or detaches. The `epoch_pins`,
+//! `retired_generations` and `deferred_reclaim_bytes` counters make that
+//! lifecycle observable.
 //!
 //! # Canonicity across threads
 //!
 //! Node normalisation is a deterministic function of canonical inputs: equal
-//! child edges produce bit-identical weights, the complex mutex linearises
+//! child edges produce bit-identical weights, weight interning linearises
 //! tolerance merging, and each shard mutex linearises node interning — so
 //! two threads constructing the same subdiagram always end up with the
 //! *same* `(NodeId, CIdx)` edge. That is what turns the portfolio's
 //! duplicated work into cross-thread cache hits.
+//!
+//! Weight canonicity survives striping because a publish locks the stripes
+//! of *all three* bucket-key rows its probe window touches (ascending, so
+//! deadlock-free). Two values within tolerance of each other sit at most one
+//! bucket row apart, hence each publisher's locked window covers the other's
+//! home stripe: concurrent publishes of mergeable values serialise on that
+//! common stripe, and whichever runs second finds the first's entry in its
+//! probe. All workspace publishes go through [`SharedComplexTable::publish`]
+//! (the batched [`SharedHandle::intern_batch`] path and the scalar
+//! [`SharedHandle::intern`] both bottom out there), so a batch charges each
+//! stripe lock once per batch instead of once per weight.
 //!
 //! # Garbage collection: the safe-point barrier
 //!
@@ -47,14 +85,16 @@
 //!    safe points (the entries of `apply`/`mul`/`add`/`transpose`, the same
 //!    places automatic collection triggers) and **parks**: it publishes its
 //!    roots — protected edges, in-flight operands, identity and local gate
-//!    caches — into the store's barrier state and blocks.
+//!    caches, and its memo-table weight indices — into the store's barrier
+//!    state and blocks.
 //! 3. Once all other attachments are parked (detaching also counts — a
 //!    finished scheme's workspace simply leaves), the collector sweeps from
 //!    *all* published roots plus its own plus the shared gate cache,
-//!    rebuilds the sharded unique tables, compacts the [`ComplexTable`] and
-//!    releases the barrier. Parked workspaces wake, invalidate their
-//!    mirrors and memo caches (slots may now be recycled under the same
-//!    ids) and continue; protected edges keep their node ids, so parked
+//!    rebuilds the sharded unique tables, compacts the
+//!    [`SharedComplexTable`] and **publishes a fresh generation snapshot**
+//!    before releasing the barrier. Parked workspaces wake, re-pin the new
+//!    generation (dropping their epoch tails and overlays — their memos
+//!    survive) and continue; protected edges keep their node ids, so parked
 //!    diagrams stay pointer-identical across the collection.
 //!
 //! An attached workspace that never reaches a safe point (idle, or stuck in
@@ -62,8 +102,8 @@
 //! after a bounded patience and falls back to the old deferral semantics
 //! (nothing is reclaimed, the caller's threshold backs off). Attachment
 //! takes `gc_lock` too, so no workspace can appear mid-sweep; workspaces
-//! attaching later start with empty mirrors and can never observe a stale
-//! slot.
+//! attaching later pin the freshly published generation and can never
+//! observe a stale slot.
 //!
 //! # Warm reuse across races
 //!
@@ -85,12 +125,12 @@
 //! reported as failed by the portfolio engine.
 
 use crate::cache::LossyCache;
-use crate::complex::Complex;
+use crate::complex::{Complex, TOLERANCE};
 use crate::hash::{fx_hash, FxHashMap};
 use crate::limits::Budget;
 use crate::node::{MEdge, MNode, NodeId, VEdge, VNode};
 use crate::package::{DdPackage, GateKey, MemoryConfig};
-use crate::table::{CIdx, ComplexTable};
+use crate::table::CIdx;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{
@@ -103,6 +143,10 @@ use std::sync::{
 /// typical 4–8 racing schemes while staying cheap to clear and rebuild
 /// during collection. Must be a power of two (shard = hash & (SHARDS - 1)).
 pub const SHARDS: usize = 16;
+
+/// Number of independently locked bucket stripes in the shared complex
+/// table. Must be a power of two.
+pub const CSTRIPES: usize = 16;
 
 /// Locks a store mutex, recovering from poisoning (see the module docs).
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -143,6 +187,366 @@ fn lock_timed<'a, T>(
     }
 }
 
+/// Read-locks an `RwLock` on the hot path with the same contention
+/// accounting as [`lock_timed`].
+#[inline]
+fn read_timed<'a, T>(
+    rwlock: &'a RwLock<T>,
+    waits: &mut u64,
+    contention_ns: &mut u64,
+) -> RwLockReadGuard<'a, T> {
+    match rwlock.try_read() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let start = std::time::Instant::now();
+            let guard = read(rwlock);
+            *waits += 1;
+            *contention_ns += start.elapsed().as_nanos() as u64;
+            guard
+        }
+    }
+}
+
+/// Write-locks an `RwLock` on the hot path with the same contention
+/// accounting as [`lock_timed`].
+#[inline]
+fn write_timed<'a, T>(
+    rwlock: &'a RwLock<T>,
+    waits: &mut u64,
+    contention_ns: &mut u64,
+) -> RwLockWriteGuard<'a, T> {
+    match rwlock.try_write() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let start = std::time::Instant::now();
+            let guard = write(rwlock);
+            *waits += 1;
+            *contention_ns += start.elapsed().as_nanos() as u64;
+            guard
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Generation snapshots
+// ----------------------------------------------------------------------
+
+/// An immutable snapshot of the shared structures, published by every
+/// collection and pinned by workspaces for lock-free reads.
+///
+/// Slots freed at publish time carry their sentinels (`FREE` nodes, NaN
+/// weights) so a pinned reader can detect intra-epoch recycling and fall
+/// back to the live structures.
+#[derive(Debug)]
+pub(crate) struct Generation {
+    /// Monotonic snapshot number (0 is the empty store).
+    pub(crate) number: u64,
+    pub(crate) vnodes: Vec<VNode>,
+    pub(crate) mnodes: Vec<MNode>,
+    /// Real lane of the complex table at publish time.
+    pub(crate) cre: Vec<f64>,
+    /// Imaginary lane of the complex table at publish time.
+    pub(crate) cim: Vec<f64>,
+}
+
+impl Generation {
+    /// Approximate heap footprint, for the deferred-reclaim gauge.
+    fn bytes(&self) -> u64 {
+        (self.vnodes.capacity() * std::mem::size_of::<VNode>()
+            + self.mnodes.capacity() * std::mem::size_of::<MNode>()
+            + (self.cre.capacity() + self.cim.capacity()) * std::mem::size_of::<f64>())
+            as u64
+    }
+}
+
+// ----------------------------------------------------------------------
+// Striped shared complex table
+// ----------------------------------------------------------------------
+
+/// Grid spacing used for bucketing values during lookup; same constant as
+/// the private [`ComplexTable`](crate::ComplexTable) so shared and private
+/// packages merge identically.
+const BUCKET: f64 = TOLERANCE;
+
+type Buckets = FxHashMap<(i64, i64), Vec<u32>>;
+
+/// SoA value lanes of the shared complex table (guarded by one `RwLock`:
+/// readers are tail refills and snapshot clones, writers are publishes).
+#[derive(Debug, Default)]
+struct Lanes {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+/// The shared, striped canonical complex table.
+///
+/// Same value semantics as the private [`ComplexTable`](crate::ComplexTable)
+/// — tolerance bucketing on a [`BUCKET`] grid, 3×3 neighbour probe, NaN
+/// sentinel for compaction-freed slots, stable indices for marked entries —
+/// but the bucket maps are striped by bucket-key *row* into [`CSTRIPES`]
+/// independent mutexes so publishes from different value ranges proceed in
+/// parallel. [`publish`](Self::publish) is the **only** write path: both the
+/// scalar and batched workspace intern routes bottom out in one call that
+/// locks each needed stripe once per batch.
+#[derive(Debug)]
+pub(crate) struct SharedComplexTable {
+    stripes: Vec<Mutex<Buckets>>,
+    lanes: RwLock<Lanes>,
+    /// Slots freed by [`retain_marked`](Self::retain_marked), recycled by
+    /// later publishes. Freed slots hold a NaN sentinel and are absent from
+    /// the buckets, so probes can never resolve to them.
+    free: Mutex<Vec<u32>>,
+}
+
+fn bucket_key(value: Complex) -> (i64, i64) {
+    (
+        (value.re / BUCKET).round() as i64,
+        (value.im / BUCKET).round() as i64,
+    )
+}
+
+/// Stripe of a bucket-key row. Rows are grouped in blocks of four before
+/// hashing so a probe window (three adjacent rows) usually stays within one
+/// or two stripes.
+fn stripe_of(kr: i64) -> usize {
+    (fx_hash(&(kr >> 2)) as usize) & (CSTRIPES - 1)
+}
+
+impl SharedComplexTable {
+    /// Creates a table pre-populated with the canonical constants `0` and
+    /// `1` (indices [`CIdx::ZERO`] and [`CIdx::ONE`]).
+    fn new() -> Self {
+        let table = SharedComplexTable {
+            stripes: (0..CSTRIPES)
+                .map(|_| Mutex::new(Buckets::default()))
+                .collect(),
+            lanes: RwLock::new(Lanes {
+                re: vec![0.0, 1.0],
+                im: vec![0.0, 0.0],
+            }),
+            free: Mutex::new(Vec::new()),
+        };
+        for (idx, value) in [Complex::ZERO, Complex::ONE].into_iter().enumerate() {
+            let (kr, ki) = bucket_key(value);
+            lock(&table.stripes[stripe_of(kr)])
+                .entry((kr, ki))
+                .or_default()
+                .push(idx as u32);
+        }
+        table
+    }
+
+    /// Number of value slots (live entries plus compaction-freed slots).
+    pub(crate) fn len(&self) -> usize {
+        read(&self.lanes).re.len()
+    }
+
+    /// Number of *live* interned values (slots minus freed slots).
+    ///
+    /// Lock order: `free` before `lanes`, matching [`publish`](Self::publish).
+    pub(crate) fn live_len(&self) -> usize {
+        let freed = lock(&self.free).len();
+        read(&self.lanes).re.len() - freed
+    }
+
+    /// The raw value in slot `i` (freed slots hold a NaN sentinel).
+    pub(crate) fn slot(&self, i: usize) -> Complex {
+        let lanes = read(&self.lanes);
+        Complex::new(lanes.re[i], lanes.im[i])
+    }
+
+    /// Appends every slot past `base + tail.len()` to `tail`, re-interleaving
+    /// the SoA lanes into the tail mirror's AoS layout in one pass.
+    pub(crate) fn extend_tail(&self, base: usize, tail: &mut Vec<Complex>) {
+        let lanes = read(&self.lanes);
+        let from = base + tail.len();
+        tail.reserve(lanes.re.len().saturating_sub(from));
+        for i in from..lanes.re.len() {
+            tail.push(Complex::new(lanes.re[i], lanes.im[i]));
+        }
+    }
+
+    /// Clones the SoA lanes for a generation snapshot.
+    pub(crate) fn clone_lanes(&self) -> (Vec<f64>, Vec<f64>) {
+        let lanes = read(&self.lanes);
+        (lanes.re.clone(), lanes.im.clone())
+    }
+
+    /// Publishes a batch of weight values: each `(pos, value)` pair resolves
+    /// to a canonical index written into `out[pos]`. This is the only shared
+    /// write path — every needed stripe is locked once (ascending, so two
+    /// concurrent publishes can never deadlock), then the whole batch
+    /// resolves under those guards.
+    pub(crate) fn publish(
+        &self,
+        misses: &[(usize, Complex)],
+        out: &mut [CIdx],
+        waits: &mut u64,
+        contention_ns: &mut u64,
+    ) {
+        if misses.is_empty() {
+            return;
+        }
+        // Which stripes does the batch's probe window touch? Each value
+        // probes bucket rows kr-1..=kr+1; lock the stripe of every such row.
+        let mut needed = [false; CSTRIPES];
+        for &(_, value) in misses {
+            let (kr, _) = bucket_key(value);
+            for dr in -1..=1 {
+                needed[stripe_of(kr + dr)] = true;
+            }
+        }
+        let mut guards: Vec<Option<MutexGuard<'_, Buckets>>> =
+            (0..CSTRIPES).map(|_| None).collect();
+        for (i, need) in needed.iter().enumerate() {
+            if *need {
+                guards[i] = Some(lock_timed(&self.stripes[i], waits, contention_ns));
+            }
+        }
+        // Phase 1: probe under the lanes *read* lock. The held stripes pin
+        // every probe row, so a miss here stays a miss until our own write
+        // phase — and a batch whose values all exist already (the common
+        // case once the table is warm) never serializes readers behind the
+        // lanes write lock at all.
+        let mut unresolved: Vec<(usize, Complex)> = Vec::new();
+        {
+            let lanes = read_timed(&self.lanes, waits, contention_ns);
+            for &(pos, value) in misses {
+                match Self::probe_locked(&guards, &lanes, value) {
+                    Some(idx) => out[pos] = idx,
+                    None => unresolved.push((pos, value)),
+                }
+            }
+        }
+        if unresolved.is_empty() {
+            return;
+        }
+        // Phase 2: append only the genuinely-new values. The full
+        // probe-or-insert repeats the probe so duplicates *within* the batch
+        // resolve to one slot.
+        let mut free = lock_timed(&self.free, waits, contention_ns);
+        let mut lanes = write_timed(&self.lanes, waits, contention_ns);
+        for &(pos, value) in &unresolved {
+            out[pos] = Self::lookup_locked(&mut guards, &mut free, &mut lanes, value);
+        }
+    }
+
+    /// Publishes a single value (a batch of one).
+    pub(crate) fn intern_one(
+        &self,
+        value: Complex,
+        waits: &mut u64,
+        contention_ns: &mut u64,
+    ) -> CIdx {
+        let mut out = [CIdx::ZERO];
+        self.publish(&[(0, value)], &mut out, waits, contention_ns);
+        out[0]
+    }
+
+    /// Probe-only half of [`lookup_locked`](Self::lookup_locked): resolves
+    /// the shortcut constants and any value already interned in the locked
+    /// probe window, without needing write access to the lanes.
+    fn probe_locked(
+        guards: &[Option<MutexGuard<'_, Buckets>>],
+        lanes: &Lanes,
+        value: Complex,
+    ) -> Option<CIdx> {
+        if value.is_zero() {
+            return Some(CIdx::ZERO);
+        }
+        if value.is_one() {
+            return Some(CIdx::ONE);
+        }
+        let (kr, ki) = bucket_key(value);
+        for dr in -1..=1 {
+            let stripe = guards[stripe_of(kr + dr)]
+                .as_ref()
+                .expect("probe row's stripe must be locked by publish");
+            for di in -1..=1 {
+                if let Some(candidates) = stripe.get(&(kr + dr, ki + di)) {
+                    for &idx in candidates {
+                        let slot = Complex::new(lanes.re[idx as usize], lanes.im[idx as usize]);
+                        if slot.approx_eq(value) {
+                            return Some(CIdx(idx));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Probe-or-insert under already-held guards. Identical probe order and
+    /// insertion behaviour to the private table's `lookup`, so shared and
+    /// private packages canonicalise identically.
+    fn lookup_locked(
+        guards: &mut [Option<MutexGuard<'_, Buckets>>],
+        free: &mut Vec<u32>,
+        lanes: &mut Lanes,
+        value: Complex,
+    ) -> CIdx {
+        if let Some(idx) = Self::probe_locked(guards, lanes, value) {
+            return idx;
+        }
+        let (kr, ki) = bucket_key(value);
+        let idx = match free.pop() {
+            Some(slot) => {
+                lanes.re[slot as usize] = value.re;
+                lanes.im[slot as usize] = value.im;
+                slot
+            }
+            None => {
+                let idx = lanes.re.len() as u32;
+                lanes.re.push(value.re);
+                lanes.im.push(value.im);
+                idx
+            }
+        };
+        guards[stripe_of(kr)]
+            .as_mut()
+            .expect("home stripe must be locked by publish")
+            .entry((kr, ki))
+            .or_default()
+            .push(idx);
+        CIdx(idx)
+    }
+
+    /// Compacts the table behind the GC barrier: every slot whose index is
+    /// *not* marked is freed for reuse and removed from the buckets. Indices
+    /// of marked entries are stable across the compaction; the canonical
+    /// constants are always kept, indices beyond `marked.len()` are treated
+    /// as unmarked. Returns the number of freed slots.
+    pub(crate) fn retain_marked(&self, marked: &[bool]) -> usize {
+        let mut guards: Vec<MutexGuard<'_, Buckets>> = self.stripes.iter().map(lock).collect();
+        for stripe in guards.iter_mut() {
+            stripe.clear();
+        }
+        let mut free = lock(&self.free);
+        let mut lanes = write(&self.lanes);
+        let mut freed = 0;
+        for idx in 0..lanes.re.len() {
+            let keep = idx <= 1 || marked.get(idx).copied().unwrap_or(false);
+            if keep {
+                if !lanes.re[idx].is_nan() {
+                    let (kr, ki) = bucket_key(Complex::new(lanes.re[idx], lanes.im[idx]));
+                    guards[stripe_of(kr)]
+                        .entry((kr, ki))
+                        .or_default()
+                        .push(idx as u32);
+                }
+            } else if !lanes.re[idx].is_nan() {
+                lanes.re[idx] = f64::NAN;
+                lanes.im[idx] = f64::NAN;
+                free.push(idx as u32);
+                freed += 1;
+            }
+        }
+        freed
+    }
+}
+
 /// A unique-table entry: the canonical node id plus the workspace that first
 /// interned it (for cross-thread and warm-reuse telemetry).
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +557,8 @@ pub(crate) struct Interned {
 
 /// Roots one parked workspace publishes into the barrier so the collector
 /// can mark on its behalf: protected node ids and weight indices, in-flight
-/// operand edges, and the workspace's identity/gate-cache edges.
+/// operand edges, the workspace's identity/gate-cache edges, and the weight
+/// indices its surviving memo tables reference.
 #[derive(Debug, Default)]
 pub(crate) struct PublishedRoots {
     pub(crate) vroots: Vec<u32>,
@@ -171,7 +576,7 @@ pub(crate) struct BarrierState {
     /// detect that the round they joined ended (however it ended).
     pub(crate) request: u64,
     /// Monotonic count of *completed* collections; a parked workspace whose
-    /// round advanced this must invalidate its mirrors and memos.
+    /// round advanced this re-pins the published generation on release.
     pub(crate) generation: u64,
     /// Roots of the workspaces parked in the current round (one entry per
     /// parked workspace — its length is the authoritative parked count).
@@ -211,16 +616,28 @@ pub struct SharedStoreStats {
     /// cross-*pair* reuse of a warm store kept alive by the batch driver.
     pub warm_hits: u64,
     /// Hot-path lock acquisitions (unique-table shards, shared gate cache,
-    /// complex table) that found the lock held and had to block.
+    /// complex-table stripes and lanes) that found the lock held and had to
+    /// block.
     pub shard_lock_waits: u64,
     /// Total time spent blocked in those acquisitions, in nanoseconds.
     /// Measured only on the blocking path: uncontended acquisitions
     /// contribute zero.
     pub shard_contention_ns: u64,
-    /// Full mirror/memo invalidations workspaces performed after a
-    /// collection recycled arena slots (each one silently discards the
-    /// workspace's memo tables too).
+    /// Full mirror/memo invalidations. Always zero under the epoch-snapshot
+    /// read path (workspaces re-pin instead of invalidating); kept so older
+    /// telemetry consumers see an explicit zero rather than a missing field.
     pub mirror_invalidations: u64,
+    /// Times any workspace pinned a generation snapshot (one per attachment
+    /// plus one per collection it crossed).
+    pub epoch_pins: u64,
+    /// Generation snapshots retired by collections publishing a successor.
+    pub retired_generations: u64,
+    /// Bytes of retired generations whose reclamation was deferred because
+    /// some workspace still pinned them at publish time (a running gauge of
+    /// the snapshot scheme's transient memory cost, not a live balance:
+    /// deferred bytes are freed when the last pin moves on, but never
+    /// subtracted here).
+    pub deferred_reclaim_bytes: u64,
     /// Time threads spent stopped at GC barriers, in nanoseconds: parked
     /// workspaces' park durations plus the collector's wait for the world
     /// to park. Sums *across* threads, so it can exceed wall-clock time.
@@ -274,20 +691,24 @@ impl SharedStoreStats {
 /// ```
 #[derive(Debug)]
 pub struct SharedStore {
-    pub(crate) ctab: Mutex<ComplexTable>,
+    pub(crate) ctab: SharedComplexTable,
     pub(crate) vshards: Vec<Mutex<FxHashMap<VNode, Interned>>>,
     pub(crate) mshards: Vec<Mutex<FxHashMap<MNode, Interned>>>,
     pub(crate) varena: RwLock<Vec<VNode>>,
     pub(crate) marena: RwLock<Vec<MNode>>,
     pub(crate) vfree: Mutex<Vec<u32>>,
     pub(crate) mfree: Mutex<Vec<u32>>,
+    /// The current generation snapshot (see the module docs). Swapped by
+    /// [`publish_generation`](Self::publish_generation) behind the GC
+    /// barrier; read by attaching and re-pinning workspaces.
+    pub(crate) snapshot: Mutex<Arc<Generation>>,
     /// Shared gate-diagram cache (L2 behind each workspace's lossy L1).
     pub(crate) gate_cache: Mutex<FxHashMap<GateKey, (MEdge, u32)>>,
     /// Serialises attachment against collection and elects the collector:
     /// the collector holds it for the whole barrier round, so no workspace
-    /// can appear (or fill mirrors) mid-sweep. Collection candidates only
-    /// ever `try_lock` it — blocking here while another collector waits for
-    /// the world to park would deadlock.
+    /// can appear (or pin a mid-sweep snapshot) mid-collection. Collection
+    /// candidates only ever `try_lock` it — blocking here while another
+    /// collector waits for the world to park would deadlock.
     pub(crate) gc_lock: Mutex<()>,
     /// Raised by the collector; polled by every workspace at its operation
     /// safe points (park when set).
@@ -312,7 +733,12 @@ pub struct SharedStore {
     pub(crate) warm_hits: AtomicU64,
     pub(crate) shard_lock_waits: AtomicU64,
     pub(crate) shard_contention_ns: AtomicU64,
+    /// Pinned at zero by the epoch-snapshot read path; kept for telemetry
+    /// shape stability (and for the regression test asserting it stays 0).
     pub(crate) mirror_invalidations: AtomicU64,
+    pub(crate) epoch_pins: AtomicU64,
+    pub(crate) retired_generations: AtomicU64,
+    pub(crate) deferred_reclaim_bytes: AtomicU64,
     pub(crate) barrier_wait_ns: AtomicU64,
     pub(crate) barrier_deferrals: AtomicUsize,
 }
@@ -322,7 +748,7 @@ impl SharedStore {
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> Arc<SharedStore> {
         Arc::new(SharedStore {
-            ctab: Mutex::new(ComplexTable::new()),
+            ctab: SharedComplexTable::new(),
             vshards: (0..SHARDS)
                 .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
@@ -333,6 +759,13 @@ impl SharedStore {
             marena: RwLock::new(Vec::new()),
             vfree: Mutex::new(Vec::new()),
             mfree: Mutex::new(Vec::new()),
+            snapshot: Mutex::new(Arc::new(Generation {
+                number: 0,
+                vnodes: Vec::new(),
+                mnodes: Vec::new(),
+                cre: vec![0.0, 1.0],
+                cim: vec![0.0, 0.0],
+            })),
             gate_cache: Mutex::new(FxHashMap::default()),
             gc_lock: Mutex::new(()),
             gc_requested: AtomicBool::new(false),
@@ -354,6 +787,9 @@ impl SharedStore {
             shard_lock_waits: AtomicU64::new(0),
             shard_contention_ns: AtomicU64::new(0),
             mirror_invalidations: AtomicU64::new(0),
+            epoch_pins: AtomicU64::new(0),
+            retired_generations: AtomicU64::new(0),
+            deferred_reclaim_bytes: AtomicU64::new(0),
             barrier_wait_ns: AtomicU64::new(0),
             barrier_deferrals: AtomicUsize::new(0),
         })
@@ -402,6 +838,42 @@ impl SharedStore {
         self.vlive.load(Ordering::Relaxed) + self.mlive.load(Ordering::Relaxed)
     }
 
+    /// The generation snapshot workspaces pin for lock-free reads.
+    pub(crate) fn current_generation(&self) -> Arc<Generation> {
+        Arc::clone(&lock(&self.snapshot))
+    }
+
+    /// Publishes a fresh generation snapshot of the given (post-sweep) arena
+    /// contents and the current complex-table lanes, retiring the previous
+    /// one. Called by the collector while it still holds the arena write
+    /// locks, so the snapshot is consistent by construction.
+    ///
+    /// Reclamation of the retired generation is *deferred*: dropping the
+    /// store's reference frees it only once the last workspace still pinning
+    /// it re-pins or detaches; until then its footprint is accounted in
+    /// [`SharedStoreStats::deferred_reclaim_bytes`].
+    pub(crate) fn publish_generation(&self, vnodes: &[VNode], mnodes: &[MNode]) {
+        let (cre, cim) = self.ctab.clone_lanes();
+        let mut slot = lock(&self.snapshot);
+        let next = Arc::new(Generation {
+            number: slot.number + 1,
+            vnodes: vnodes.to_vec(),
+            mnodes: mnodes.to_vec(),
+            cre,
+            cim,
+        });
+        let old = std::mem::replace(&mut *slot, next);
+        drop(slot);
+        self.retired_generations.fetch_add(1, Ordering::Relaxed);
+        obs::metrics::add(obs::metrics::DD_RETIRED_GENERATIONS, 1);
+        if Arc::strong_count(&old) > 1 {
+            let bytes = old.bytes();
+            self.deferred_reclaim_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            obs::metrics::add(obs::metrics::DD_DEFERRED_RECLAIM_BYTES, bytes);
+        }
+    }
+
     /// Aggregate telemetry (see [`SharedStoreStats`]).
     pub fn stats(&self) -> SharedStoreStats {
         SharedStoreStats {
@@ -411,13 +883,16 @@ impl SharedStore {
             reclaimed_nodes: self.reclaimed.load(Ordering::Relaxed),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             gc_barrier_runs: self.gc_barrier_runs.load(Ordering::Relaxed),
-            complex_entries: lock(&self.ctab).live_len(),
+            complex_entries: self.ctab.live_len(),
             intern_hits: self.intern_hits.load(Ordering::Relaxed),
             cross_thread_hits: self.cross_thread_hits.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
             shard_contention_ns: self.shard_contention_ns.load(Ordering::Relaxed),
             mirror_invalidations: self.mirror_invalidations.load(Ordering::Relaxed),
+            epoch_pins: self.epoch_pins.load(Ordering::Relaxed),
+            retired_generations: self.retired_generations.load(Ordering::Relaxed),
+            deferred_reclaim_bytes: self.deferred_reclaim_bytes.load(Ordering::Relaxed),
             barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
             barrier_deferrals: self.barrier_deferrals.load(Ordering::Relaxed),
             attached: self.attached.load(Ordering::Acquire),
@@ -425,11 +900,13 @@ impl SharedStore {
     }
 }
 
-/// The package-side handle of one attachment: mirrors, memos and telemetry.
+/// The package-side handle of one attachment: the pinned generation, epoch
+/// tails and overlays, memos and telemetry.
 ///
-/// Mirrors are `RefCell`s because diagram *reads* (`vnode`, weight lookups)
-/// happen behind `&self` package methods; the package itself is `Send` but
-/// not `Sync`, which is exactly the one-workspace-per-thread contract.
+/// Tails and overlays are `RefCell`s because diagram *reads* (`vnode`,
+/// weight lookups) happen behind `&self` package methods; the package itself
+/// is `Send` but not `Sync`, which is exactly the one-workspace-per-thread
+/// contract. Reads of structure older than the pin never touch them.
 #[derive(Debug)]
 pub(crate) struct SharedHandle {
     pub(crate) store: Arc<SharedStore>,
@@ -437,9 +914,20 @@ pub(crate) struct SharedHandle {
     /// Snapshot of the store's warm floor at attach time: entries owned by
     /// workspaces below it predate this race.
     warm_floor: u32,
-    vmirror: RefCell<Vec<VNode>>,
-    mmirror: RefCell<Vec<MNode>>,
-    cmirror: RefCell<Vec<Complex>>,
+    /// The pinned generation: all reads below its lengths are lock-free.
+    pin: Arc<Generation>,
+    /// Epoch tails: copies of arena/lane slots allocated *after* the pin
+    /// (index ≥ the pinned length), refilled in bulk under the read locks.
+    vtail: RefCell<Vec<VNode>>,
+    mtail: RefCell<Vec<MNode>>,
+    ctail: RefCell<Vec<Complex>>,
+    /// Epoch overlays: pinned-range slots that were on the free lists at
+    /// publish time (sentinels in the snapshot) and were recycled by an
+    /// allocation this epoch. A slot recycles at most once per epoch, so a
+    /// cached entry stays valid until the next re-pin.
+    voverlay: RefCell<FxHashMap<u32, VNode>>,
+    moverlay: RefCell<FxHashMap<u32, MNode>>,
+    coverlay: RefCell<FxHashMap<u32, Complex>>,
     mul_memo: LossyCache<(CIdx, CIdx), CIdx>,
     add_memo: LossyCache<(CIdx, CIdx), CIdx>,
     div_memo: LossyCache<(CIdx, CIdx), CIdx>,
@@ -453,8 +941,8 @@ pub(crate) struct SharedHandle {
     shard_lock_waits: u64,
     /// Nanoseconds spent blocked in those acquisitions.
     shard_contention_ns: u64,
-    /// Full mirror/memo invalidations (one per `clear_local`).
-    mirror_invalidations: u64,
+    /// Generation pins taken (one at attach plus one per re-pin).
+    epoch_pins: u64,
 }
 
 /// log2 slots of the weight-arithmetic memo caches.
@@ -464,17 +952,23 @@ impl SharedHandle {
     pub(crate) fn new(store: &Arc<SharedStore>) -> Self {
         // Attachment synchronises with collection: once this increment is
         // visible (under the gc_lock), no barrier round can start or finish
-        // without counting us. A panicking sibling may have poisoned the
-        // lock; the guarded data is just the collector election, so recover.
+        // without counting us, and the pinned generation cannot be mid-swap.
+        // A panicking sibling may have poisoned the lock; the guarded data
+        // is just the collector election, so recover.
         let _guard = lock(&store.gc_lock);
         store.attached.fetch_add(1, Ordering::AcqRel);
+        store.epoch_pins.fetch_add(1, Ordering::Relaxed);
         SharedHandle {
             store: Arc::clone(store),
             ws_id: store.next_workspace.fetch_add(1, Ordering::Relaxed),
             warm_floor: store.warm_floor.load(Ordering::Relaxed),
-            vmirror: RefCell::new(Vec::new()),
-            mmirror: RefCell::new(Vec::new()),
-            cmirror: RefCell::new(Vec::new()),
+            pin: store.current_generation(),
+            vtail: RefCell::new(Vec::new()),
+            mtail: RefCell::new(Vec::new()),
+            ctail: RefCell::new(Vec::new()),
+            voverlay: RefCell::new(FxHashMap::default()),
+            moverlay: RefCell::new(FxHashMap::default()),
+            coverlay: RefCell::new(FxHashMap::default()),
             mul_memo: LossyCache::new("shared_mul", MEMO_BITS),
             add_memo: LossyCache::new("shared_add", MEMO_BITS),
             div_memo: LossyCache::new("shared_div", MEMO_BITS),
@@ -484,7 +978,7 @@ impl SharedHandle {
             warm_hits: 0,
             shard_lock_waits: 0,
             shard_contention_ns: 0,
-            mirror_invalidations: 0,
+            epoch_pins: 1,
         }
     }
 
@@ -500,54 +994,142 @@ impl SharedHandle {
         }
     }
 
+    /// Re-pins the current generation after a collection: swaps the
+    /// snapshot and drops the epoch tails/overlays (now folded into the new
+    /// snapshot). The weight-arithmetic memos survive — their indices were
+    /// published as GC roots, and compaction keeps marked indices stable.
+    /// No-op when no new generation was published (e.g. an aborted round).
+    pub(crate) fn repin(&mut self) {
+        let current = self.store.current_generation();
+        if Arc::ptr_eq(&current, &self.pin) {
+            return;
+        }
+        self.pin = current;
+        self.epoch_pins += 1;
+        self.vtail.borrow_mut().clear();
+        self.mtail.borrow_mut().clear();
+        self.ctail.borrow_mut().clear();
+        self.voverlay.borrow_mut().clear();
+        self.moverlay.borrow_mut().clear();
+        self.coverlay.borrow_mut().clear();
+    }
+
+    /// Weight indices the surviving memo tables reference; published as GC
+    /// roots so compaction cannot free (and later recycle) a slot a memo
+    /// entry would still resolve to.
+    pub(crate) fn memo_weight_roots(&self) -> Vec<u32> {
+        let mut roots = Vec::new();
+        {
+            let mut push = |idx: CIdx| {
+                if !idx.is_zero() && !idx.is_one() {
+                    roots.push(idx.0);
+                }
+            };
+            for &((a, b), r) in self.mul_memo.entries() {
+                push(a);
+                push(b);
+                push(r);
+            }
+            for &((a, b), r) in self.add_memo.entries() {
+                push(a);
+                push(b);
+                push(r);
+            }
+            for &((a, b), r) in self.div_memo.entries() {
+                push(a);
+                push(b);
+                push(r);
+            }
+            for &(_, r) in self.bits_memo.entries() {
+                push(r);
+            }
+        }
+        roots
+    }
+
     // ------------------------------------------------------------------
-    // Node reads (mirrored, lock-free after first touch)
+    // Node reads (pinned snapshot first, epoch tail/overlay second)
     // ------------------------------------------------------------------
 
     pub(crate) fn vnode(&self, id: NodeId) -> VNode {
         let idx = id.index();
+        let pinned = &self.pin.vnodes;
+        if idx < pinned.len() {
+            let node = pinned[idx];
+            if !node.is_free() {
+                return node;
+            }
+            // On the free list at publish time; may have been recycled by an
+            // allocation this epoch. A slot recycles at most once per epoch,
+            // so a cached overlay entry stays valid until the next re-pin.
+            if let Some(&node) = self.voverlay.borrow().get(&(idx as u32)) {
+                return node;
+            }
+            let node = read(&self.store.varena)[idx];
+            if !node.is_free() {
+                self.voverlay.borrow_mut().insert(idx as u32, node);
+            }
+            return node;
+        }
+        let base = pinned.len();
+        let off = idx - base;
         {
-            let mirror = self.vmirror.borrow();
-            if idx < mirror.len() {
-                let node = mirror[idx];
-                // A freed slot may have been recycled since it was mirrored
-                // (only across a barrier this workspace passed); refetch.
+            let tail = self.vtail.borrow();
+            if off < tail.len() {
+                let node = tail[off];
                 if !node.is_free() {
                     return node;
                 }
             }
         }
-        let mut mirror = self.vmirror.borrow_mut();
+        let mut tail = self.vtail.borrow_mut();
         let arena = read(&self.store.varena);
-        let len = mirror.len();
-        if idx < len {
-            mirror[idx] = arena[idx];
+        let len = tail.len();
+        if off < len {
+            tail[off] = arena[idx];
         } else {
-            mirror.extend_from_slice(&arena[len..]);
+            tail.extend_from_slice(&arena[base + len..]);
         }
-        mirror[idx]
+        tail[off]
     }
 
     pub(crate) fn mnode(&self, id: NodeId) -> MNode {
         let idx = id.index();
+        let pinned = &self.pin.mnodes;
+        if idx < pinned.len() {
+            let node = pinned[idx];
+            if !node.is_free() {
+                return node;
+            }
+            if let Some(&node) = self.moverlay.borrow().get(&(idx as u32)) {
+                return node;
+            }
+            let node = read(&self.store.marena)[idx];
+            if !node.is_free() {
+                self.moverlay.borrow_mut().insert(idx as u32, node);
+            }
+            return node;
+        }
+        let base = pinned.len();
+        let off = idx - base;
         {
-            let mirror = self.mmirror.borrow();
-            if idx < mirror.len() {
-                let node = mirror[idx];
+            let tail = self.mtail.borrow();
+            if off < tail.len() {
+                let node = tail[off];
                 if !node.is_free() {
                     return node;
                 }
             }
         }
-        let mut mirror = self.mmirror.borrow_mut();
+        let mut tail = self.mtail.borrow_mut();
         let arena = read(&self.store.marena);
-        let len = mirror.len();
-        if idx < len {
-            mirror[idx] = arena[idx];
+        let len = tail.len();
+        if off < len {
+            tail[off] = arena[idx];
         } else {
-            mirror.extend_from_slice(&arena[len..]);
+            tail.extend_from_slice(&arena[base + len..]);
         }
-        mirror[idx]
+        tail[off]
     }
 
     // ------------------------------------------------------------------
@@ -556,24 +1138,40 @@ impl SharedHandle {
 
     pub(crate) fn value(&self, idx: CIdx) -> Complex {
         let i = idx.index();
+        let base = self.pin.cre.len();
+        if i < base {
+            let v = Complex::new(self.pin.cre[i], self.pin.cim[i]);
+            // NaN marks a slot freed at publish time (possibly recycled
+            // since by a publish this epoch).
+            if !v.re.is_nan() {
+                return v;
+            }
+            if let Some(&v) = self.coverlay.borrow().get(&(i as u32)) {
+                return v;
+            }
+            let v = self.store.ctab.slot(i);
+            if !v.re.is_nan() {
+                self.coverlay.borrow_mut().insert(i as u32, v);
+            }
+            return v;
+        }
+        let off = i - base;
         {
-            let mirror = self.cmirror.borrow();
-            if i < mirror.len() {
-                let v = mirror[i];
-                // NaN marks a compaction-freed (possibly recycled) slot.
+            let tail = self.ctail.borrow();
+            if off < tail.len() {
+                let v = tail[off];
                 if !v.re.is_nan() {
                     return v;
                 }
             }
         }
-        let mut mirror = self.cmirror.borrow_mut();
-        let table = lock(&self.store.ctab);
-        if i < mirror.len() {
-            mirror[i] = table.slot(i);
+        let mut tail = self.ctail.borrow_mut();
+        if off < tail.len() {
+            tail[off] = self.store.ctab.slot(i);
         } else {
-            table.extend_mirror(&mut mirror);
+            self.store.ctab.extend_tail(base, &mut tail);
         }
-        mirror[i]
+        tail[off]
     }
 
     pub(crate) fn intern(&mut self, value: Complex) -> CIdx {
@@ -587,25 +1185,24 @@ impl SharedHandle {
         if let Some(idx) = self.bits_memo.get(&key) {
             return idx;
         }
-        let idx = lock_timed(
-            &self.store.ctab,
+        let idx = self.store.ctab.intern_one(
+            value,
             &mut self.shard_lock_waits,
             &mut self.shard_contention_ns,
-        )
-        .lookup(value);
+        );
         self.bits_memo.insert(key, idx);
         idx
     }
 
     /// Interns a whole slice of values, appending one `CIdx` per value to
     /// `out` — same sequence the scalar [`intern`](Self::intern) loop would
-    /// produce, but all memo misses are published under **one** table-lock
+    /// produce, but all memo misses are published under **one** striped-lock
     /// acquisition instead of one per weight, so a dense terminal-case
-    /// rebuild charges the shard lock once per block.
+    /// rebuild charges each stripe lock once per block.
     pub(crate) fn intern_batch(&mut self, values: &[Complex], out: &mut Vec<CIdx>) {
         out.reserve(values.len());
         let base = out.len();
-        // Pass 1: resolve shortcuts and memo hits without touching the lock;
+        // Pass 1: resolve shortcuts and memo hits without touching a lock;
         // remember the positions that missed.
         let mut misses: Vec<(usize, Complex)> = Vec::new();
         for &value in values {
@@ -625,18 +1222,14 @@ impl SharedHandle {
                 out.push(CIdx::ZERO); // placeholder, patched below
             }
         }
-        // Pass 2: one lock acquisition publishes every miss, in order.
+        // Pass 2: one publish resolves every miss, in order.
         if !misses.is_empty() {
-            {
-                let mut table = lock_timed(
-                    &self.store.ctab,
-                    &mut self.shard_lock_waits,
-                    &mut self.shard_contention_ns,
-                );
-                for &(pos, value) in &misses {
-                    out[pos] = table.lookup(value);
-                }
-            }
+            self.store.ctab.publish(
+                &misses,
+                &mut out[..],
+                &mut self.shard_lock_waits,
+                &mut self.shard_contention_ns,
+            );
             for &(pos, value) in &misses {
                 self.bits_memo
                     .insert((value.re.to_bits(), value.im.to_bits()), out[pos]);
@@ -710,22 +1303,67 @@ impl SharedHandle {
     // Node interning (sharded unique tables)
     // ------------------------------------------------------------------
 
+    /// Records a freshly interned node in this workspace's epoch-local view
+    /// so the immediately following reads don't need the arena lock.
+    fn note_own_vnode(&self, id: u32, node: VNode) {
+        let idx = id as usize;
+        let pinned = self.pin.vnodes.len();
+        if idx < pinned {
+            self.voverlay.borrow_mut().insert(id, node);
+        } else {
+            let mut tail = self.vtail.borrow_mut();
+            let off = idx - pinned;
+            if off < tail.len() {
+                tail[off] = node;
+            } else if off == tail.len() {
+                tail.push(node);
+            }
+        }
+    }
+
+    fn note_own_mnode(&self, id: u32, node: MNode) {
+        let idx = id as usize;
+        let pinned = self.pin.mnodes.len();
+        if idx < pinned {
+            self.moverlay.borrow_mut().insert(id, node);
+        } else {
+            let mut tail = self.mtail.borrow_mut();
+            let off = idx - pinned;
+            if off < tail.len() {
+                tail[off] = node;
+            } else if off == tail.len() {
+                tail.push(node);
+            }
+        }
+    }
+
     /// Interns a vector node; returns the canonical id and whether it was
     /// freshly allocated by this call.
+    ///
+    /// The arena slot is allocated with **no shard lock held**: nesting the
+    /// global arena write lock (and its Vec-doubling memcpys) inside a shard
+    /// critical section convoys every other shard behind one allocation. The
+    /// price is a double-checked second probe; losing that race leaks the
+    /// slot until the next sweep, where it is unreachable (never published
+    /// to a map, never handed out as an id) and reclaimed like any other
+    /// garbage. Slots still recycle at most once per epoch — a leaked slot
+    /// is written once and never re-freed mid-epoch.
     pub(crate) fn intern_vnode(&mut self, node: VNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.vshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = lock_timed(
-            shard,
-            &mut self.shard_lock_waits,
-            &mut self.shard_contention_ns,
-        );
-        if let Some(found) = map.get(&node) {
-            let owner = found.owner;
-            let id = found.id;
-            drop(map);
-            self.note_hit(owner);
-            return (NodeId(id), false);
+        {
+            let map = lock_timed(
+                shard,
+                &mut self.shard_lock_waits,
+                &mut self.shard_contention_ns,
+            );
+            if let Some(found) = map.get(&node) {
+                let owner = found.owner;
+                let id = found.id;
+                drop(map);
+                self.note_hit(owner);
+                return (NodeId(id), false);
+            }
         }
         let id = {
             let slot = lock(&self.store.vfree).pop();
@@ -741,6 +1379,18 @@ impl SharedHandle {
                 }
             }
         };
+        let mut map = lock_timed(
+            shard,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        );
+        if let Some(found) = map.get(&node) {
+            let owner = found.owner;
+            let winner = found.id;
+            drop(map);
+            self.note_hit(owner);
+            return (NodeId(winner), false);
+        }
         map.insert(
             node,
             Interned {
@@ -754,33 +1404,28 @@ impl SharedHandle {
                 + 1
                 + self.store.mlive.load(Ordering::Relaxed),
         );
-        {
-            let mut mirror = self.vmirror.borrow_mut();
-            let idx = id as usize;
-            if idx < mirror.len() {
-                mirror[idx] = node;
-            } else if idx == mirror.len() {
-                mirror.push(node);
-            }
-        }
+        self.note_own_vnode(id, node);
         (NodeId(id), true)
     }
 
-    /// Interns a matrix node; see [`intern_vnode`](Self::intern_vnode).
+    /// Interns a matrix node; see [`intern_vnode`](Self::intern_vnode) for
+    /// the double-checked allocate-outside-the-shard-lock protocol.
     pub(crate) fn intern_mnode(&mut self, node: MNode) -> (NodeId, bool) {
         let hash = fx_hash(&node);
         let shard = &self.store.mshards[(hash as usize) & (SHARDS - 1)];
-        let mut map = lock_timed(
-            shard,
-            &mut self.shard_lock_waits,
-            &mut self.shard_contention_ns,
-        );
-        if let Some(found) = map.get(&node) {
-            let owner = found.owner;
-            let id = found.id;
-            drop(map);
-            self.note_hit(owner);
-            return (NodeId(id), false);
+        {
+            let map = lock_timed(
+                shard,
+                &mut self.shard_lock_waits,
+                &mut self.shard_contention_ns,
+            );
+            if let Some(found) = map.get(&node) {
+                let owner = found.owner;
+                let id = found.id;
+                drop(map);
+                self.note_hit(owner);
+                return (NodeId(id), false);
+            }
         }
         let id = {
             let slot = lock(&self.store.mfree).pop();
@@ -796,6 +1441,18 @@ impl SharedHandle {
                 }
             }
         };
+        let mut map = lock_timed(
+            shard,
+            &mut self.shard_lock_waits,
+            &mut self.shard_contention_ns,
+        );
+        if let Some(found) = map.get(&node) {
+            let owner = found.owner;
+            let winner = found.id;
+            drop(map);
+            self.note_hit(owner);
+            return (NodeId(winner), false);
+        }
         map.insert(
             node,
             Interned {
@@ -809,15 +1466,7 @@ impl SharedHandle {
                 + 1
                 + self.store.vlive.load(Ordering::Relaxed),
         );
-        {
-            let mut mirror = self.mmirror.borrow_mut();
-            let idx = id as usize;
-            if idx < mirror.len() {
-                mirror[idx] = node;
-            } else if idx == mirror.len() {
-                mirror.push(node);
-            }
-        }
+        self.note_own_mnode(id, node);
         (NodeId(id), true)
     }
 
@@ -852,20 +1501,6 @@ impl SharedHandle {
         .entry(key)
         .or_insert((edge, self.ws_id));
     }
-
-    /// Invalidates every mirror and memo — required after any collection
-    /// (own, sole or barrier) recycles arena slots and compacts the complex
-    /// table.
-    pub(crate) fn clear_local(&mut self) {
-        self.mirror_invalidations += 1;
-        self.vmirror.borrow_mut().clear();
-        self.mmirror.borrow_mut().clear();
-        self.cmirror.borrow_mut().clear();
-        self.mul_memo.clear();
-        self.add_memo.clear();
-        self.div_memo.clear();
-        self.bits_memo.clear();
-    }
 }
 
 impl Drop for SharedHandle {
@@ -873,7 +1508,8 @@ impl Drop for SharedHandle {
         // Flush local telemetry so SharedStore::stats() is complete once a
         // race's workspaces are gone, then detach. A pending barrier may be
         // waiting for this workspace: the detach shrinks the parked quorum,
-        // so wake the collector to re-count.
+        // so wake the collector to re-count. Dropping `pin` here is what
+        // releases this workspace's share of any retired generation.
         self.store
             .intern_hits
             .fetch_add(self.intern_hits, Ordering::Relaxed);
@@ -889,9 +1525,11 @@ impl Drop for SharedHandle {
         self.store
             .shard_contention_ns
             .fetch_add(self.shard_contention_ns, Ordering::Relaxed);
+        // epoch_pins counts the attach pin once (added at attach) plus the
+        // re-pins accumulated since.
         self.store
-            .mirror_invalidations
-            .fetch_add(self.mirror_invalidations, Ordering::Relaxed);
+            .epoch_pins
+            .fetch_add(self.epoch_pins - 1, Ordering::Relaxed);
         obs::metrics::add(obs::metrics::DD_UNIQUE_HITS, self.intern_hits);
         obs::metrics::add(obs::metrics::DD_CROSS_THREAD_HITS, self.cross_thread_hits);
         obs::metrics::add(obs::metrics::DD_SHARD_WAITS, self.shard_lock_waits);
@@ -899,10 +1537,7 @@ impl Drop for SharedHandle {
             obs::metrics::DD_SHARD_CONTENTION_NS,
             self.shard_contention_ns,
         );
-        obs::metrics::add(
-            obs::metrics::DD_MIRROR_INVALIDATIONS,
-            self.mirror_invalidations,
-        );
+        obs::metrics::add(obs::metrics::DD_EPOCH_PINS, self.epoch_pins);
         self.store.attached.fetch_sub(1, Ordering::AcqRel);
         if self.store.gc_requested.load(Ordering::Acquire) {
             let _barrier = lock(&self.store.barrier);
@@ -960,5 +1595,69 @@ mod tests {
             "reuse across begin_race must count as warm: {stats:?}"
         );
         assert!(stats.warm_hits <= stats.cross_thread_hits);
+    }
+
+    #[test]
+    fn striped_interning_merges_within_tolerance_across_batches() {
+        // The striped table must canonicalise exactly like the private one:
+        // values within tolerance merge even across the scalar and batched
+        // publish routes, and the constants keep their reserved indices.
+        let store = SharedStore::new();
+        let mut waits = 0;
+        let mut ns = 0;
+        let a = store
+            .ctab
+            .intern_one(Complex::new(0.5, -0.25), &mut waits, &mut ns);
+        let mut out = Vec::new();
+        let values = [
+            Complex::ZERO,
+            Complex::ONE,
+            Complex::new(0.5 + 1e-14, -0.25),
+            Complex::new(0.5, -0.25 + 0.4 * TOLERANCE),
+            Complex::new(-0.5, 0.25),
+        ];
+        out.resize(values.len(), CIdx::ZERO);
+        let misses: Vec<(usize, Complex)> = values.iter().copied().enumerate().collect();
+        store.ctab.publish(&misses, &mut out, &mut waits, &mut ns);
+        assert_eq!(out[0], CIdx::ZERO);
+        assert_eq!(out[1], CIdx::ONE);
+        assert_eq!(out[2], a, "within-tolerance value must merge");
+        assert_eq!(out[3], a, "near-boundary value must merge");
+        assert_ne!(out[4], a, "distinct value must get a fresh index");
+        assert_eq!(store.ctab.live_len(), 4); // 0, 1, a, -a
+    }
+
+    #[test]
+    fn retain_marked_keeps_indices_stable_and_recycles_free_slots() {
+        let store = SharedStore::new();
+        let mut waits = 0;
+        let mut ns = 0;
+        let keep = store
+            .ctab
+            .intern_one(Complex::new(0.25, 0.0), &mut waits, &mut ns);
+        let dead = store
+            .ctab
+            .intern_one(Complex::new(0.75, 0.0), &mut waits, &mut ns);
+        let mut marked = vec![false; store.ctab.len()];
+        marked[keep.index()] = true;
+        assert_eq!(store.ctab.retain_marked(&marked), 1);
+        // The kept index is stable; the dead slot is a NaN sentinel.
+        assert!(store
+            .ctab
+            .slot(keep.index())
+            .approx_eq(Complex::new(0.25, 0.0)));
+        assert!(store.ctab.slot(dead.index()).re.is_nan());
+        // The freed slot is recycled by the next publish.
+        let recycled = store
+            .ctab
+            .intern_one(Complex::new(0.125, 0.5), &mut waits, &mut ns);
+        assert_eq!(recycled, dead);
+        // And the kept value still resolves to its old index.
+        assert_eq!(
+            store
+                .ctab
+                .intern_one(Complex::new(0.25, 0.0), &mut waits, &mut ns),
+            keep
+        );
     }
 }

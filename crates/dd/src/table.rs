@@ -248,16 +248,6 @@ impl ComplexTable {
         Complex::new(self.re[i], self.im[i])
     }
 
-    /// Appends every slot past `mirror.len()` to `mirror`, re-interleaving
-    /// the SoA lanes into the mirror's AoS layout in one pass.
-    pub(crate) fn extend_mirror(&self, mirror: &mut Vec<Complex>) {
-        let from = mirror.len();
-        mirror.reserve(self.re.len().saturating_sub(from));
-        for i in from..self.re.len() {
-            mirror.push(Complex::new(self.re[i], self.im[i]));
-        }
-    }
-
     /// Compacts the table: every slot whose index is *not* marked is freed
     /// for reuse and removed from the lookup buckets, so long runs stop
     /// accumulating weights that no live diagram references. Indices of

@@ -258,6 +258,174 @@ fn node_budgets_stay_per_workspace_on_a_shared_store() {
 }
 
 #[test]
+fn snapshot_reads_keep_mirror_invalidations_at_zero_under_gc_pressure() {
+    use dd::{Budget, MemoryConfig};
+    // The epoch-snapshot acceptance stress: racers churn hard enough to
+    // force repeated mid-race barrier collections, every one of which used
+    // to flush each workspace's read mirror. Under epoch pins there is no
+    // mirror left to flush — workspaces re-pin the freshly published
+    // generation instead — so the invalidation counter must stay exactly
+    // zero no matter how many collections run.
+    let store = SharedStore::new();
+    let threads = 4;
+    let config = MemoryConfig {
+        gc_threshold: Some(1_500),
+        ..MemoryConfig::default()
+    };
+    let go = std::sync::Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let store = Arc::clone(&store);
+            let go = &go;
+            scope.spawn(move || {
+                let mut ws = store.workspace_with(QUBITS, Budget::unlimited(), config);
+                let reference = qft_state(&mut ws);
+                ws.protect_vector(reference);
+                go.wait();
+                let mut state = ws.zero_state();
+                for round in 0..120u32 {
+                    for q in 0..QUBITS {
+                        let angle = 0.29 + (round as usize * QUBITS + q) as f64;
+                        state = ws.apply_gate(state, &gates::ry(angle), q, &[]);
+                    }
+                    assert!((ws.norm_sqr(reference) - 1.0).abs() < 1e-9);
+                }
+            });
+        }
+    });
+
+    let stats = store.stats();
+    assert!(
+        stats.gc_runs >= 1,
+        "the churn must actually trigger collections: {stats:?}"
+    );
+    assert_eq!(
+        stats.mirror_invalidations, 0,
+        "epoch-snapshot reads must never invalidate a mirror: {stats:?}"
+    );
+    // Every completed shared collection retires the superseded generation…
+    assert_eq!(
+        stats.retired_generations, stats.gc_runs as u64,
+        "each collection publishes (and thus retires) one generation: {stats:?}"
+    );
+    // …and every workspace pinned once at attach plus once per collection
+    // it crossed, so pins strictly exceed the attach count.
+    assert!(
+        stats.epoch_pins > threads as u64,
+        "collections crossed mid-race must show up as re-pins: {stats:?}"
+    );
+}
+
+#[test]
+fn protected_edges_stay_pointer_identical_across_a_snapshot_swap() {
+    // A collection publishes a new generation (snapshot swap) while the
+    // survivors keep their arena slots: the protected edge held from before
+    // the swap must stay valid *as the same (NodeId, CIdx) handle*, reads
+    // through the new pin must produce bit-identical amplitudes, and
+    // re-interning the sequence must find the surviving nodes instead of
+    // rebuilding them.
+    let store = SharedStore::new();
+    let mut ws = store.workspace(QUBITS);
+    let state = qft_state(&mut ws);
+    ws.protect_vector(state);
+    let norm_before = ws.norm_sqr(state);
+    let amplitude_before = ws.amplitude(state, 0);
+
+    // Churn garbage so the sweep has something to reclaim, then collect:
+    // sole attachment, so this sweeps immediately and swaps the snapshot.
+    let mut garbage = ws.zero_state();
+    for q in 0..QUBITS {
+        garbage = ws.apply_gate(garbage, &gates::ry(0.37 + q as f64), q, &[]);
+    }
+    let reclaimed = ws.garbage_collect();
+    assert!(reclaimed > 0, "the garbage state should be collectable");
+    assert_eq!(store.stats().retired_generations, 1);
+
+    // Same handle, same values — the swap moved the snapshot, not the edge.
+    assert_eq!(ws.norm_sqr(state).to_bits(), norm_before.to_bits());
+    assert_eq!(
+        ws.amplitude(state, 0).re.to_bits(),
+        amplitude_before.re.to_bits()
+    );
+    let rebuilt = qft_state(&mut ws);
+    assert_eq!(
+        rebuilt, state,
+        "survivors must be found pointer-identically after the swap"
+    );
+    drop(ws);
+    assert_eq!(store.stats().mirror_invalidations, 0);
+    // One attach pin plus at least the collection's re-pin.
+    assert!(store.stats().epoch_pins >= 2, "{:?}", store.stats());
+}
+
+mod pinned_reads_property {
+    use super::*;
+    use dd::VEdge;
+    use proptest::prelude::*;
+
+    /// Random single-qubit rotation walks: enough variety to populate the
+    /// store differently every case, cheap enough to run many cases.
+    fn walk(max_len: usize) -> impl Strategy<Value = Vec<(usize, f64)>> {
+        proptest::collection::vec((0..QUBITS, -3.0f64..3.0), 1..max_len)
+    }
+
+    fn build(ws: &mut DdPackage, ops: &[(usize, f64)]) -> VEdge {
+        let mut state = ws.zero_state();
+        for &(q, angle) in ops {
+            state = ws.apply_gate(state, &gates::ry(angle), q, &[]);
+        }
+        state
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Epoch-pinned reads never observe a reclaimed generation: across
+        /// arbitrary build/collect interleavings, a protected diagram read
+        /// through its workspace's pin keeps returning bit-identical
+        /// amplitudes, and a workspace attaching *after* the swap (pinned
+        /// to the new generation) reproduces the identical canonical edge.
+        /// A read escaping into a reclaimed slot would surface as a NaN
+        /// weight, a freed node or a diverged edge — all asserted against.
+        #[test]
+        fn pinned_reads_never_observe_a_reclaimed_generation(
+            kept in walk(24),
+            garbage in proptest::collection::vec(walk(16), 1..4),
+        ) {
+            let store = SharedStore::new();
+            let mut ws = store.workspace(QUBITS);
+            let reference = build(&mut ws, &kept);
+            ws.protect_vector(reference);
+            let norm = ws.norm_sqr(reference);
+            prop_assert!(norm.is_finite());
+
+            // Interleave garbage churn with collections; every collection
+            // retires the pinned generation and recycles freed slots.
+            for ops in &garbage {
+                let _ = build(&mut ws, ops);
+                ws.garbage_collect();
+                prop_assert_eq!(ws.norm_sqr(reference).to_bits(), norm.to_bits());
+                let rebuilt = build(&mut ws, &kept);
+                prop_assert_eq!(rebuilt, reference);
+            }
+            drop(ws);
+
+            let stats = store.stats();
+            prop_assert_eq!(stats.mirror_invalidations, 0);
+            prop_assert_eq!(stats.retired_generations, garbage.len() as u64);
+
+            // A late workspace pins the *current* generation and must see
+            // exactly the canonical survivors, never a recycled slot.
+            let mut late = store.workspace(QUBITS);
+            let rebuilt = build(&mut late, &kept);
+            prop_assert_eq!(rebuilt, reference);
+            prop_assert_eq!(late.norm_sqr(rebuilt).to_bits(), norm.to_bits());
+        }
+    }
+}
+
+#[test]
 fn workspaces_of_different_sizes_share_low_level_structure() {
     // A miter-sized workspace and a wider reconstruction workspace share
     // the store: identical low-level gate diagrams intern to the same edge.

@@ -121,6 +121,12 @@ catalog! {
     DD_BATCH_INTERNED = ("dd.ctab.batch_interned", Unit::Count, "counts weights, not batches; zero/one shortcuts and memo hits resolved before the table lock are included");
     /// Gate-matrix phase factors served from the precomputed twiddle table.
     DD_TWIDDLE_HITS = ("dd.gates.twiddle_hits", Unit::Count, "only cold gate-DD builds reach this path; a warm gate cache makes the count tiny regardless of the table's value");
+    /// Generation-snapshot pins taken by shared workspaces (attach + re-pins), folded at package drop.
+    DD_EPOCH_PINS = ("dd.store.epoch_pins", Unit::Count, "one pin per attach plus one per collection crossed; a high count means frequent GC, not expensive reads — pinning is an Arc clone");
+    /// Generation snapshots retired by a collection publishing a successor.
+    DD_RETIRED_GENERATIONS = ("dd.store.retired_generations", Unit::Count, "equals completed shared collections; retirement is not reclamation — a pinned generation lives on until its last reader moves");
+    /// Bytes of retired generations whose reclamation was deferred past the publish.
+    DD_DEFERRED_RECLAIM_BYTES = ("dd.store.deferred_reclaim_bytes", Unit::Count, "a running total of bytes that *entered* deferral, never decremented when freed; it bounds transient overhead, not live memory");
 }
 
 macro_rules! hist_catalog {

@@ -371,6 +371,13 @@ impl StorePool {
 /// pair's wall-clock time.
 #[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct PairMetrics {
+    /// Whether this pair's schemes raced on a shared decision-diagram
+    /// store — the scheduler's per-pair decision, not the config default.
+    pub shared: bool,
+    /// Stable reason tag for the sharing decision (`"race-default"`,
+    /// `"config-private"`, `"explicit-schemes"`, `"cold-telemetry"`,
+    /// `"predicted-shared"`, `"predicted-private"`).
+    pub shared_reason: String,
     /// Best compute-table hit rate any scheme of this pair reported.
     pub cache_hit_rate: Option<f64>,
     /// Shared-store canonical hits served by a competitor's structure,
@@ -399,6 +406,8 @@ impl PairMetrics {
     fn from_result(result: &PortfolioResult, pool_gc_seconds: f64) -> PairMetrics {
         let store = result.shared_store.as_ref();
         PairMetrics {
+            shared: result.shared,
+            shared_reason: result.shared_reason.to_string(),
             cache_hit_rate: result
                 .schemes
                 .iter()

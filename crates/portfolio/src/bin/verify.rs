@@ -21,11 +21,18 @@
 //!                     store, i.e. races)
 //!   --store-shelves N most register widths the warm-store pool retains
 //!                     (LRU-evicted beyond that; default 4)
-//!   --private-packages race schemes on private DD packages instead of the
-//!                     shared store (for sharing/contention comparisons)
-//!   --dense-cutoff N  decision-diagram level at or below which the apply/
-//!                     mul/add recursions drop to the dense SoA kernels
-//!                     (0 disables the dense path; default 3, clamped to 6)
+//!   --private-packages race schemes on private DD packages, never a shared
+//!                     store (for sharing/contention comparisons). Without
+//!                     it the *scheduler* decides per pair: the race policy
+//!                     always shares, the predicted policy shares only when
+//!                     the bucket's recorded sharing telemetry says it pays
+//!                     (the decision+reason land in each pair's metrics
+//!                     block and the race.plan trace event)
+//!   --dense-cutoff N  decision-diagram level at or below which the mat·vec
+//!                     apply and vector-add recursions drop to the dense SoA
+//!                     kernels — matrix·matrix recursions always stay
+//!                     node-at-a-time (0 disables the dense path; default 3,
+//!                     clamped to 6)
 //!   --warm-stores     keep one shared store per register width alive
 //!                     across pairs (default; a barrier GC between pairs
 //!                     bounds the carry-over)

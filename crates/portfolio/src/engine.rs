@@ -48,8 +48,14 @@ pub struct PortfolioConfig {
     /// Race all schemes against one shared decision-diagram store
     /// ([`dd::SharedStore`]) instead of private per-scheme packages, so the
     /// miter, simulative and extraction walkers reuse each other's gate
-    /// diagrams and subdiagrams (default: `true`). The sequential
-    /// tiny-instance plan is unaffected either way.
+    /// diagrams and subdiagrams (default: `true`). `false` is absolute —
+    /// no plan ever shares; `true` is a *ceiling*: the race policy shares
+    /// on every threaded plan, while [`SchedulePolicy::Predicted`] decides
+    /// per pair from recorded
+    /// [`SharingStats`](crate::telemetry::SharingStats) and may race a
+    /// low-payoff bucket on private packages anyway (see
+    /// [`SchedulePlan::shared`](crate::scheduler::SchedulePlan::shared)).
+    /// The sequential tiny-instance plan is unaffected either way.
     pub shared_package: bool,
 }
 
@@ -218,9 +224,23 @@ pub struct SharedStoreReport {
     /// Total time schemes spent blocked on store locks, in seconds.
     /// Sums across threads, like `barrier_wait_seconds`.
     pub shard_contention_seconds: f64,
-    /// Workspace mirror flushes forced by collections (each one costs the
-    /// affected scheme its local lookup fast path until it re-warms).
+    /// Workspace mirror flushes forced by collections. Pinned at `0` under
+    /// epoch-snapshot reads (workspaces re-pin instead of flushing); kept in
+    /// the report so a regression would show up on existing dashboards.
     pub mirror_invalidations: u64,
+    /// Generation pins taken during this race: one per workspace attach
+    /// plus one per collection a workspace crossed. Pins are `Arc` clones —
+    /// a high count signals frequent GC, not expensive reads.
+    pub epoch_pins: u64,
+    /// Generations superseded by collections during this race. Retirement
+    /// is not reclamation: a pinned generation lives until its last reader
+    /// re-pins.
+    pub retired_generations: u64,
+    /// Bytes of superseded generations that *entered* deferred reclamation
+    /// during this race (still pinned by a reader when retired). A running
+    /// total, never decremented — it bounds transient overhead, not live
+    /// memory.
+    pub deferred_reclaim_bytes: u64,
     /// Live interned complex weights at race end.
     pub complex_entries: usize,
 }
@@ -263,6 +283,13 @@ impl SharedStoreReport {
             mirror_invalidations: end
                 .mirror_invalidations
                 .saturating_sub(start.mirror_invalidations),
+            epoch_pins: end.epoch_pins.saturating_sub(start.epoch_pins),
+            retired_generations: end
+                .retired_generations
+                .saturating_sub(start.retired_generations),
+            deferred_reclaim_bytes: end
+                .deferred_reclaim_bytes
+                .saturating_sub(start.deferred_reclaim_bytes),
             complex_entries: end.complex_entries,
         }
     }
@@ -290,6 +317,15 @@ pub struct PortfolioResult {
     pub escalation: Option<EscalationReason>,
     /// Telemetry of every scheme that launched, in completion order.
     pub schemes: Vec<SchemeReport>,
+    /// Whether the run raced on a shared decision-diagram store — the
+    /// plan's per-pair decision (see
+    /// [`SchedulePlan::shared`](crate::scheduler::SchedulePlan::shared)),
+    /// not just the config default.
+    pub shared: bool,
+    /// The scheduler's stable reason tag for the sharing decision
+    /// (`"race-default"`, `"config-private"`, `"explicit-schemes"`,
+    /// `"cold-telemetry"`, `"predicted-shared"`, `"predicted-private"`).
+    pub shared_reason: &'static str,
     /// Shared-store telemetry when the run used one
     /// ([`PortfolioConfig::shared_package`]); `None` for private-package
     /// races and sequential runs without a warm store.
@@ -469,6 +505,8 @@ fn combine(
         predicted: false,
         escalation: None,
         schemes: reports,
+        shared: false,
+        shared_reason: "config-private",
         shared_store: None,
     }
 }
@@ -544,10 +582,21 @@ pub fn verify_portfolio_recorded(
     };
     let result = execute_plan(left, right, config, &plan, warm_store);
     if let Some(telemetry) = telemetry {
-        telemetry
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .record_race(&plan.features, &result.schemes, result.winner);
+        let mut guard = telemetry.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.record_race(&plan.features, &result.schemes, result.winner);
+        // Sharing payoff is only measurable on shared races (a private race
+        // has no store to report), so those are what the per-bucket
+        // `SharingStats` accumulate; the race-everything policy keeps
+        // producing fresh samples even after a predicted-private streak.
+        if let Some(report) = &result.shared_store {
+            guard.record_sharing(
+                &plan.features,
+                report.cross_thread_hit_rate,
+                report.shard_contention_seconds,
+                result.total_time.as_secs_f64(),
+            );
+        }
+        drop(guard);
         obs::trace::event(
             "telemetry.fold",
             &[("schemes", (result.schemes.len() as u64).into())],
@@ -566,6 +615,11 @@ fn execute_plan(
 ) -> PortfolioResult {
     let cancel = CancelToken::new();
     obs::metrics::incr(obs::metrics::PF_RACES);
+    // A plan that decided against sharing must also decline the batch
+    // pool's warm store — attaching would rebuild exactly the coupling the
+    // prediction chose to avoid (the pool hands one out whenever the
+    // *config* allows sharing; the per-pair decision is the plan's).
+    let warm_store = warm_store.filter(|_| plan.shared);
     // The race span parents every scheme/GC span of this pair; workers
     // inherit it through the explicit context handoff in `spawn_scheme`.
     let race_span = obs::trace::span(
@@ -576,6 +630,13 @@ fn execute_plan(
             ("primary", (plan.primary.len() as u64).into()),
             ("reserve", (plan.reserve.len() as u64).into()),
             ("warm_store", warm_store.is_some().into()),
+        ],
+    );
+    obs::trace::event(
+        "race.plan",
+        &[
+            ("shared", plan.shared.into()),
+            ("reason", plan.shared_reason.into()),
         ],
     );
 
@@ -648,6 +709,8 @@ fn execute_plan(
         }
         let mut result = combine(start, reports, verdict, winner, time_to_verdict);
         result.predicted = plan.predicted;
+        result.shared = plan.shared;
+        result.shared_reason = plan.shared_reason;
         if let (Some(store), Some(before)) = (warm_store, before) {
             result.shared_store = Some(SharedStoreReport::delta(&before, &store.stats()));
         }
@@ -658,10 +721,11 @@ fn execute_plan(
     // Threaded execution: one concurrent store for the whole run — warm
     // from the pool, or fresh — so every scheme interning the same gate
     // diagram or subdiagram gets the other schemes' work as cache hits
-    // instead of rebuilding it.
+    // instead of rebuilding it. Whether a store exists at all is the
+    // *plan's* per-pair decision, not the config's global one.
     let store = match warm_store {
         Some(store) => Some(Arc::clone(store)),
-        None => config.shared_package.then(SharedStore::new),
+        None => plan.shared.then(SharedStore::new),
     };
     let before = store.as_ref().map(|store| {
         store.begin_race();
@@ -909,6 +973,8 @@ fn execute_plan(
 
     let mut result = combine(start, reports, verdict, winner, time_to_verdict);
     result.predicted = plan.predicted;
+    result.shared = plan.shared;
+    result.shared_reason = plan.shared_reason;
     result.escalation = escalation;
     // Every scheme's workspaces are gone by now (the scope joined all
     // workers), so the store's flushed counters are complete.
