@@ -151,13 +151,13 @@ pub fn verify_dynamic_functional_in(
         || DynamicCheckError::Check(CheckError::LimitExceeded(LimitExceeded::Cancelled));
     // Reconstruct both sides (a static reference passes through unchanged).
     let reference_rec = reconstruct_unitary(reference)?;
-    if budget.cancel_token().is_cancelled() {
+    if budget.is_cancelled() {
         return Err(cancelled());
     }
     let dynamic_rec = reconstruct_unitary(dynamic)?;
     let transformation_time = reference_rec.duration + dynamic_rec.duration;
 
-    if budget.cancel_token().is_cancelled() {
+    if budget.is_cancelled() {
         return Err(cancelled());
     }
     let aligned = align_to_reference(&reference_rec.circuit, &dynamic_rec.circuit)?;

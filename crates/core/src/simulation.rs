@@ -110,7 +110,7 @@ pub fn check_simulative_equivalence_in(
     let right_unitary = right.without_measurements();
 
     for run in 0..config.simulation_runs.max(1) {
-        if budget.cancel_token().is_cancelled() {
+        if budget.is_cancelled() {
             return Err(CheckError::LimitExceeded(LimitExceeded::Cancelled));
         }
         // The first stimulus is always |0…0⟩ (the most common fixed input);

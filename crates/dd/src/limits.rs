@@ -88,6 +88,12 @@ impl std::fmt::Display for LimitExceeded {
 #[derive(Debug, Clone, Default)]
 pub struct Budget {
     cancel: CancelToken,
+    /// An outer cancellation scope (e.g. a service client's request token)
+    /// observed *in addition to* the budget's own token. Keeping the two
+    /// separate lets an engine cancel its race losers without tripping the
+    /// client-visible token, while a client disconnect still unwinds every
+    /// scheme of the request.
+    parent: Option<CancelToken>,
     max_nodes: Option<usize>,
     max_leaves: Option<usize>,
     deadline: Option<Instant>,
@@ -140,9 +146,34 @@ impl Budget {
         self
     }
 
+    /// Chains an outer cancellation scope (builder style): the budget
+    /// counts as cancelled when *either* its own token or the parent token
+    /// trips. The portfolio engine uses this to stack a client's request
+    /// token on top of the race-internal winner-cancels-losers token.
+    #[must_use]
+    pub fn with_parent_token(mut self, parent: CancelToken) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
     /// The budget's cancel token.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// The chained outer cancellation token, if any.
+    pub fn parent_token(&self) -> Option<&CancelToken> {
+        self.parent.as_ref()
+    }
+
+    /// Returns `true` once the budget's own token *or* its chained parent
+    /// token has been cancelled. Every budget observation point (node
+    /// allocation, operation safe points, the simulative sweeps) funnels
+    /// through this, so a cancelled parent unwinds the computation exactly
+    /// like the race token does.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled() || self.parent.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Requests cancellation of every computation using this budget.
@@ -200,6 +231,26 @@ mod tests {
         assert!(clone.cancel_token().is_cancelled());
         let uncapped = Budget::unlimited().with_leaf_limit(None);
         assert_eq!(uncapped.max_leaves(), None);
+    }
+
+    #[test]
+    fn parent_token_cancels_without_tripping_the_race_token() {
+        let request = CancelToken::new();
+        let budget = Budget::unlimited().with_parent_token(request.clone());
+        assert!(!budget.is_cancelled());
+        request.cancel();
+        assert!(budget.is_cancelled(), "parent cancellation is observed");
+        assert!(
+            !budget.cancel_token().is_cancelled(),
+            "the race-internal token stays independent of the parent"
+        );
+        let race_only = Budget::unlimited().with_parent_token(CancelToken::new());
+        race_only.cancel();
+        assert!(race_only.is_cancelled(), "own token still cancels");
+        assert_eq!(
+            budget.parent_token().map(CancelToken::is_cancelled),
+            Some(true)
+        );
     }
 
     #[test]

@@ -591,7 +591,7 @@ impl DdPackage {
         }
         self.allocs_since_check = self.allocs_since_check.wrapping_add(1);
         if self.allocs_since_check & 0xFF == 0 {
-            if self.budget.cancel_token().is_cancelled() {
+            if self.budget.is_cancelled() {
                 self.exceeded = Some(LimitExceeded::Cancelled);
             } else if self.budget.deadline_exceeded() {
                 self.exceeded = Some(LimitExceeded::Deadline);

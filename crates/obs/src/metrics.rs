@@ -127,6 +127,14 @@ catalog! {
     DD_RETIRED_GENERATIONS = ("dd.store.retired_generations", Unit::Count, "equals completed shared collections; retirement is not reclamation — a pinned generation lives on until its last reader moves");
     /// Bytes of retired generations whose reclamation was deferred past the publish.
     DD_DEFERRED_RECLAIM_BYTES = ("dd.store.deferred_reclaim_bytes", Unit::Count, "a running total of bytes that *entered* deferral, never decremented when freed; it bounds transient overhead, not live memory");
+    /// Requests admitted by the verification service (queued or dispatched).
+    SERVICE_REQUESTS = ("service.requests", Unit::Count, "admitted is not completed: cancelled and drain-rejected-later requests count the same as served ones");
+    /// Running sum of the admission queue depth, sampled at each admission.
+    SERVICE_QUEUE_DEPTH = ("service.queue_depth", Unit::Count, "a running *sum* sampled at admission, not a gauge: divide by service.requests for the mean depth an arriving request saw");
+    /// Running sum of in-flight requests, sampled at each dispatch.
+    SERVICE_INFLIGHT = ("service.inflight", Unit::Count, "a running *sum* sampled at dispatch, not a gauge: divide by service.requests for mean concurrency; idle stretches contribute nothing");
+    /// Requests rejected by admission control (queue full or draining).
+    SERVICE_ADMISSION_REJECTS = ("service.admission_rejects", Unit::Count, "rejects are per submit attempt; one retrying client can dominate the count without any other client ever being turned away");
 }
 
 macro_rules! hist_catalog {
@@ -153,6 +161,8 @@ hist_catalog! {
     HIST_GC_ROUND_NS = ("dd.gc.round_ns", "collector wall clock; parked workspaces may resume slightly later than release");
     /// Wall-clock time from race start to first conclusive verdict.
     HIST_VERDICT_NS = ("portfolio.verdict_ns", "excludes the cancellation drain, which the pair still pays before its report is final");
+    /// Service request duration, dispatch to outcome (queue wait excluded).
+    HIST_SERVICE_REQUEST_NS = ("service.request_duration", "measured dispatch-to-outcome, so admission queue wait is invisible here; log2 buckets make the p99 a bucket upper bound, up to 2x the true value");
 }
 
 const N_COUNTERS: usize = CATALOG.len();

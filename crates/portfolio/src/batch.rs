@@ -22,12 +22,11 @@
 //! the worker pool.
 
 use crate::engine::{
-    verify_portfolio_recorded, EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport,
-    SharedStoreReport,
+    EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport, SharedStoreReport,
 };
 use crate::scheme::Scheme;
+use crate::service::{Request, ServiceConfig, VerificationService};
 use crate::telemetry::TelemetryStore;
-use circuit::qasm;
 use dd::SharedStore;
 use qcec::Equivalence;
 use std::collections::HashMap;
@@ -169,7 +168,7 @@ pub fn manifest_from_dir(dir: &Path) -> Result<Manifest, BatchError> {
     Ok(Manifest { pairs })
 }
 
-fn strip_side_suffix(stem: &str) -> &str {
+pub(crate) fn strip_side_suffix(stem: &str) -> &str {
     for suffix in [".left", ".right", "_left", "_right", ".a", ".b", "_a", "_b"] {
         if let Some(base) = stem.strip_suffix(suffix) {
             if !base.is_empty() {
@@ -360,6 +359,22 @@ impl StorePool {
             .filter(|shelf| !shelf.is_empty())
             .count()
     }
+
+    /// Workspaces still attached to *shelved* stores, summed across shelves.
+    ///
+    /// A healthy pool always reports `0`: every race detaches its
+    /// workspaces before the store is checked back in, so a non-zero count
+    /// means a scheme leaked a workspace (and with it an epoch pin and a
+    /// seat in the GC barrier quorum) into the pool. The
+    /// cancellation-on-disconnect tests assert on this.
+    pub fn attached_workspaces(&self) -> usize {
+        self.lock()
+            .shelves
+            .values()
+            .flatten()
+            .map(|store| store.attached_workspaces())
+            .sum()
+    }
 }
 
 /// Hot-path metrics digest of one pair, reported as the `metrics` block of
@@ -403,7 +418,7 @@ pub struct PairMetrics {
 }
 
 impl PairMetrics {
-    fn from_result(result: &PortfolioResult, pool_gc_seconds: f64) -> PairMetrics {
+    pub(crate) fn from_result(result: &PortfolioResult, pool_gc_seconds: f64) -> PairMetrics {
         let store = result.shared_store.as_ref();
         PairMetrics {
             shared: result.shared,
@@ -507,7 +522,7 @@ pub struct BatchReport {
     pub pairs: Vec<PairReport>,
 }
 
-fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
+pub(crate) fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
     PairReport {
         name,
         left: spec.left.clone(),
@@ -527,137 +542,6 @@ fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
         shared_store: None,
         schemes: Vec::new(),
         error: Some(error),
-    }
-}
-
-fn run_pair(
-    spec: &PairSpec,
-    index: usize,
-    options: &BatchOptions,
-    pool: Option<&StorePool>,
-    telemetry: Option<&Mutex<TelemetryStore>>,
-) -> PairReport {
-    let name = spec.name.clone().unwrap_or_else(|| {
-        Path::new(&spec.left)
-            .file_stem()
-            .map(|s| strip_side_suffix(&s.to_string_lossy()).to_string())
-            .unwrap_or_else(|| spec.left.clone())
-    });
-    // The pair context tags every trace line this worker (and the scheme
-    // threads it hands the context to) emits; the pair span parents the
-    // whole race, GC activity included.
-    let _trace = obs::trace::with_context(obs::trace::Context {
-        pair: Some(index as u64),
-        pair_name: Some(name.as_str().into()),
-        scheme: None,
-        parent: None,
-    });
-    let pair_span = obs::trace::span("pair", &[]);
-    obs::metrics::incr(obs::metrics::BATCH_PAIRS);
-    let report = run_pair_inner(spec, name, options, pool, telemetry);
-    pair_span.end(&[
-        ("verdict", report.verdict.to_string().into()),
-        ("failed", report.error.is_some().into()),
-    ]);
-    report
-}
-
-fn run_pair_inner(
-    spec: &PairSpec,
-    name: String,
-    options: &BatchOptions,
-    pool: Option<&StorePool>,
-    telemetry: Option<&Mutex<TelemetryStore>>,
-) -> PairReport {
-    let left_text = match std::fs::read_to_string(&spec.left) {
-        Ok(text) => text,
-        Err(e) => return failed_pair(spec, name, format!("cannot read {}: {e}", spec.left)),
-    };
-    let right_text = match std::fs::read_to_string(&spec.right) {
-        Ok(text) => text,
-        Err(e) => return failed_pair(spec, name, format!("cannot read {}: {e}", spec.right)),
-    };
-    let left = match qasm::from_qasm(&left_text) {
-        Ok(circuit) => circuit,
-        Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.left)),
-    };
-    let right = match qasm::from_qasm(&right_text) {
-        Ok(circuit) => circuit,
-        Err(e) => return failed_pair(spec, name, format!("cannot parse {}: {e}", spec.right)),
-    };
-
-    let (result, warm, pool_gc_seconds) = match pool {
-        Some(pool) => {
-            let width = left.num_qubits().max(right.num_qubits());
-            let (store, warm) = pool.checkout(width);
-            obs::metrics::incr(if warm {
-                obs::metrics::BATCH_WARM_CHECKOUTS
-            } else {
-                obs::metrics::BATCH_COLD_CHECKOUTS
-            });
-            obs::trace::event(
-                "warmstore.checkout",
-                &[("width", width.into()), ("warm", warm.into())],
-            );
-            let result = verify_portfolio_recorded(
-                &left,
-                &right,
-                &options.portfolio,
-                Some(&store),
-                telemetry,
-            );
-            // Bound the carry-over before the next pair inherits the store:
-            // a collection from a fresh (root-less) workspace keeps only the
-            // GC roots — the shared gate cache and the canonical structure
-            // under it, exactly the warm value of the pool.
-            let gc_start = Instant::now();
-            let mut collector = store.workspace(width);
-            let reclaimed = collector.garbage_collect();
-            drop(collector);
-            let pool_gc = gc_start.elapsed();
-            obs::trace::event(
-                "warmstore.checkin",
-                &[
-                    ("width", width.into()),
-                    ("reclaimed", reclaimed.into()),
-                    ("gc", pool_gc.into()),
-                ],
-            );
-            pool.checkin(width, store);
-            (result, warm, pool_gc.as_secs_f64())
-        }
-        None => (
-            verify_portfolio_recorded(&left, &right, &options.portfolio, None, telemetry),
-            false,
-            0.0,
-        ),
-    };
-    let metrics = PairMetrics::from_result(&result, pool_gc_seconds);
-    PairReport {
-        name,
-        left: spec.left.clone(),
-        right: spec.right.clone(),
-        verdict: result.verdict,
-        considered_equivalent: result.verdict.considered_equivalent(),
-        winner: result.winner,
-        time_to_verdict: result.time_to_verdict,
-        total_time: result.total_time,
-        peak_nodes: result.schemes.iter().filter_map(|s| s.peak_nodes).max(),
-        gc_runs: result.schemes.iter().filter_map(|s| s.gc_runs).sum(),
-        cache_hit_rate: result
-            .schemes
-            .iter()
-            .filter_map(|s| s.cache_hit_rate)
-            .fold(None, |best: Option<f64>, rate| {
-                Some(best.map_or(rate, |b| b.max(rate)))
-            }),
-        warm_store: warm,
-        predicted: result.predicted,
-        escalation: result.escalation,
-        metrics,
-        shared_store: result.shared_store,
-        schemes: result.schemes,
-        error: None,
     }
 }
 
@@ -720,36 +604,44 @@ pub fn run_batch_recorded(
     telemetry: Option<&Mutex<TelemetryStore>>,
 ) -> BatchReport {
     let start = Instant::now();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PairReport>>> =
-        Mutex::new((0..manifest.pairs.len()).map(|_| None).collect());
-    // Warm stores only make sense with shared-package racing (a private
-    // race never touches a store).
-    let pool = (options.warm_stores && options.portfolio.shared_package)
-        .then(|| StorePool::with_shelves(options.store_shelves));
-
-    let workers = options.workers.clamp(1, manifest.pairs.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = manifest.pairs.get(index) else {
-                    break;
-                };
-                let report = run_pair(spec, index, options, pool.as_ref(), telemetry);
-                results
-                    .lock()
-                    .expect("no worker panics while holding the lock")[index] = Some(report);
-            });
-        }
+    // The batch driver is a one-shot front-end over the service core: spin
+    // up a service sized for the manifest, submit every pair, wait for the
+    // outcomes in manifest order, drain. The caller's telemetry store is
+    // moved into the service for the run (the engine folds every race into
+    // it there) and moved back out of `drain()` afterwards.
+    let seed = telemetry.map_or_else(TelemetryStore::new, |store| {
+        std::mem::take(&mut *store.lock().unwrap_or_else(PoisonError::into_inner))
     });
-
-    let pairs: Vec<PairReport> = results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|slot| slot.expect("every index was processed"))
+    let service = VerificationService::start_seeded(
+        ServiceConfig {
+            portfolio: options.portfolio.clone(),
+            workers: options.workers.clamp(1, manifest.pairs.len().max(1)),
+            // A batch never queues more than its own manifest; size the
+            // queue so admission control cannot reject.
+            max_queue: manifest.pairs.len(),
+            warm_stores: options.warm_stores,
+            store_shelves: options.store_shelves,
+            stats: None,
+        },
+        seed,
+    );
+    let handles: Vec<_> = manifest
+        .pairs
+        .iter()
+        .map(|spec| {
+            service
+                .submit(Request::from_pair(spec))
+                .expect("batch service queue is sized for the whole manifest")
+        })
         .collect();
+    let pairs: Vec<PairReport> = handles
+        .into_iter()
+        .map(|handle| handle.wait().report)
+        .collect();
+    let folded = service.drain();
+    if let Some(store) = telemetry {
+        *store.lock().unwrap_or_else(PoisonError::into_inner) = folded;
+    }
     BatchReport {
         generated_by: format!("nonunitary-qcec verify {}", env!("CARGO_PKG_VERSION")),
         pairs_total: pairs.len(),

@@ -57,6 +57,13 @@ pub struct PortfolioConfig {
     /// [`SchedulePlan::shared`](crate::scheduler::SchedulePlan::shared)).
     /// The sequential tiny-instance plan is unaffected either way.
     pub shared_package: bool,
+    /// Optional *external* cancellation scope for the whole run — e.g. the
+    /// verification service's per-request token, tripped when the client
+    /// disconnects. It is chained as the parent of every scheme budget (see
+    /// [`dd::Budget::with_parent_token`]), so it stays distinct from the
+    /// race-internal winner-cancels-losers token: the engine can still tell
+    /// "a competitor won" apart from "the caller walked away".
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for PortfolioConfig {
@@ -70,6 +77,7 @@ impl Default for PortfolioConfig {
             leaf_limit: None,
             deadline: None,
             shared_package: true,
+            cancel: None,
         }
     }
 }
@@ -645,6 +653,9 @@ fn execute_plan(
     let deadline_at = config.deadline.map(|timeout| Instant::now() + timeout);
     let make_budget = || {
         let mut budget = Budget::unlimited().with_cancel_token(cancel.clone());
+        if let Some(external) = &config.cancel {
+            budget = budget.with_parent_token(external.clone());
+        }
         if let Some(max_nodes) = config.node_limit {
             budget = budget.with_node_limit(max_nodes);
         }
@@ -676,6 +687,12 @@ fn execute_plan(
         let mut winner = None;
         let mut time_to_verdict = None;
         for (scheme, scheme_config) in &launches {
+            // An external cancellation (client disconnect) ends the
+            // sequential fallback chain between schemes — each scheme
+            // already unwinds internally via the budget.
+            if budget.is_cancelled() {
+                break;
+            }
             let _trace =
                 obs::trace::with_context(obs::trace::current_context().with_scheme(scheme.name()));
             obs::trace::event("scheme.launch", &[("wave", "sequential".into())]);
@@ -883,9 +900,18 @@ fn execute_plan(
                 }
                 let escalate_at = start + escalate_after;
                 let mut pending = primary;
+                // A dead client must not trigger the escalation wave: the
+                // primaries unwind as inconclusive when the external token
+                // trips, which would otherwise read as an escalation cue.
+                let externally_cancelled = || {
+                    config
+                        .cancel
+                        .as_ref()
+                        .is_some_and(CancelToken::is_cancelled)
+                };
                 loop {
                     if pending == 0 {
-                        if verdict.is_none() && escalation.is_none() {
+                        if verdict.is_none() && escalation.is_none() && !externally_cancelled() {
                             // The primary wave drained inconclusive before
                             // the stall deadline: the predicted schemes were
                             // incapable, not slow.
@@ -909,34 +935,38 @@ fn execute_plan(
                         }
                         break;
                     }
-                    let message = if escalation.is_some() || verdict.is_some() {
-                        receiver.recv().ok()
-                    } else {
-                        match receiver
-                            .recv_timeout(escalate_at.saturating_duration_since(Instant::now()))
-                        {
-                            Ok(message) => Some(message),
-                            Err(mpsc::RecvTimeoutError::Timeout) => {
-                                // Deadline hit with primaries still running:
-                                // a stall, the classic misprediction.
-                                escalation = Some(EscalationReason::Stall);
-                                obs::metrics::incr(obs::metrics::PF_ESCALATIONS_STALL);
-                                obs::trace::event(
-                                    "race.escalate",
-                                    &[
-                                        ("reason", EscalationReason::Stall.as_str().into()),
-                                        ("reserve", ((launches.len() - primary) as u64).into()),
-                                    ],
-                                );
-                                for index in primary..launches.len() {
-                                    spawn_scheme(index, "reserve");
+                    let message =
+                        if escalation.is_some() || verdict.is_some() || externally_cancelled() {
+                            // Nothing left to escalate (or the client walked away
+                            // mid-wave — the workers are already unwinding): just
+                            // drain the remaining reports.
+                            receiver.recv().ok()
+                        } else {
+                            match receiver
+                                .recv_timeout(escalate_at.saturating_duration_since(Instant::now()))
+                            {
+                                Ok(message) => Some(message),
+                                Err(mpsc::RecvTimeoutError::Timeout) => {
+                                    // Deadline hit with primaries still running:
+                                    // a stall, the classic misprediction.
+                                    escalation = Some(EscalationReason::Stall);
+                                    obs::metrics::incr(obs::metrics::PF_ESCALATIONS_STALL);
+                                    obs::trace::event(
+                                        "race.escalate",
+                                        &[
+                                            ("reason", EscalationReason::Stall.as_str().into()),
+                                            ("reserve", ((launches.len() - primary) as u64).into()),
+                                        ],
+                                    );
+                                    for index in primary..launches.len() {
+                                        spawn_scheme(index, "reserve");
+                                    }
+                                    pending += launches.len() - primary;
+                                    continue;
                                 }
-                                pending += launches.len() - primary;
-                                continue;
+                                Err(mpsc::RecvTimeoutError::Disconnected) => None,
                             }
-                            Err(mpsc::RecvTimeoutError::Disconnected) => None,
-                        }
-                    };
+                        };
                     let Some((report, finished_at)) = message else {
                         break;
                     };

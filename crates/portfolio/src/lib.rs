@@ -34,9 +34,52 @@
 //!
 //! [`verify_portfolio`] executes a plan for one pair;
 //! [`verify_portfolio_recorded`] additionally reads and feeds a telemetry
-//! store. The [`batch`] module fans whole workloads (a JSON manifest or a
-//! directory of QASM pairs) over a worker pool and produces a
-//! machine-readable JSON report; the `verify` binary is its CLI.
+//! store. The [`service`] module wraps the engine in a long-lived
+//! [`VerificationService`](service::VerificationService); the [`batch`]
+//! module (whole workloads from a JSON manifest or a directory of QASM
+//! pairs, machine-readable JSON report) and the `verifyd` daemon are its
+//! two front-ends, and the `verify` binary is the batch CLI.
+//!
+//! ## Service architecture
+//!
+//! ```text
+//!   verify (one-shot CLI)      verifyd (daemon, stdio / unix socket)
+//!            │                              │  wire.rs: line-delimited
+//!            ▼                              ▼  JSON-RPC, bounded frames
+//!      batch::run_batch ──────────► service::VerificationService
+//!                                   │  admission control (workers+queue)
+//!                                   │  per-request deadline/node budgets
+//!                                   │  CancelToken per request (a dropped
+//!                                   │  client kills its in-flight race)
+//!                                   ▼
+//!                       engine::verify_portfolio_recorded
+//!                       warm StorePool · folded TelemetryStore · obs
+//! ```
+//!
+//! The service owns the state that makes a *resident* checker worth
+//! running: the warm [`batch::StorePool`] (canonical structure and the
+//! gate-DD cache survive across requests and clients), the continuously
+//! folded [`TelemetryStore`] driving the predictive scheduler, and the
+//! process-global `obs` substrate (each response carries the metrics
+//! delta folded around its race). [`service::VerificationService::submit`]
+//! applies admission control — beyond `workers + max_queue` admitted
+//! requests it rejects with a structured reason instead of queueing
+//! unboundedly — and returns a handle whose *drop* cancels the request:
+//! the per-request token is chained as the parent of every scheme budget
+//! ([`dd::Budget::with_parent_token`]), so a disconnected client's race
+//! unwinds cooperatively and its store goes back on the shelf.
+//!
+//! ## Wire protocol (verifyd)
+//!
+//! Newline-delimited JSON-RPC over stdio or a Unix socket ([`wire`] has
+//! the full grammar): requests are `{"id", "method", "params"}` objects,
+//! one per line; responses echo `id` and carry `result` or a structured
+//! `error` (`code`, `message`). Methods: `verify-pair`, `verify-batch`,
+//! `stats`, `drain`, `shutdown`. Responses arrive in *completion* order;
+//! malformed, truncated or oversized lines get error responses (never a
+//! panic, never a silent drop — a proptest suite feeds the parser
+//! adversarial byte streams), and framing resynchronizes on the next
+//! newline.
 //!
 //! ## Racing on a shared store
 //!
@@ -95,6 +138,10 @@
 //! | `portfolio.escalations.drain` | count | drain indicts the prediction; stall may only indict the deadline |
 //! | `batch.pairs` | count | includes pairs that failed to parse |
 //! | `batch.warm_checkouts` / `batch.cold_checkouts` | count | warm means reused, not faster; first pair per width is necessarily cold |
+//! | `service.requests` | count | admitted is not completed: cancelled requests count like served ones |
+//! | `service.queue_depth` / `service.inflight` | count | running *sums* sampled at admission/dispatch, not gauges — divide by `service.requests` for means; `stats` has the live gauges |
+//! | `service.admission_rejects` | count | rejects are per submit attempt; one retrying client can dominate the count |
+//! | `service.request_duration` | ns hist | dispatch-to-outcome only, queue wait invisible; log2 buckets make the p99 an upper bound |
 //!
 //! The batch JSON carries an always-on per-pair `metrics` block
 //! ([`batch::PairMetrics`]: cache and cross-thread hit rates, GC-barrier
@@ -153,7 +200,9 @@ pub mod batch;
 mod engine;
 pub mod scheduler;
 pub mod scheme;
+pub mod service;
 pub mod telemetry;
+pub mod wire;
 
 pub use engine::{
     applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, verify_portfolio_in,

@@ -441,13 +441,40 @@ impl TelemetryStore {
         }
     }
 
-    /// Saves the store to disk (overwriting).
+    /// Saves the store to disk (overwriting) — crash-safely: the JSON is
+    /// written to a temporary file in the *same directory* and renamed over
+    /// the target, so a process killed or OOM'd mid-save can never leave a
+    /// truncated or corrupt stats file where [`load`](Self::load) would find
+    /// it. The worst outcome of an ill-timed kill is a stale orphaned
+    /// `.<name>.tmp-<pid>` file (overwritten by the next save from the same
+    /// pid) and the *previous* complete stats surviving; this guards against
+    /// partial writes, not against power loss (no fsync).
     ///
     /// # Errors
     ///
-    /// [`TelemetryError::Io`] when the file cannot be written.
+    /// [`TelemetryError::Io`] when the temporary file cannot be written or
+    /// renamed into place (the temporary file is cleaned up on failure).
     pub fn save(&self, path: &Path) -> Result<(), TelemetryError> {
-        std::fs::write(path, self.to_json() + "\n").map_err(TelemetryError::Io)
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                TelemetryError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("stats path {} has no file name", path.display()),
+                ))
+            })?
+            .to_string_lossy()
+            .into_owned();
+        let dir = match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => parent,
+            _ => Path::new("."),
+        };
+        let tmp = dir.join(format!(".{file_name}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json() + "\n").map_err(TelemetryError::Io)?;
+        std::fs::rename(&tmp, path).map_err(|error| {
+            let _ = std::fs::remove_file(&tmp);
+            TelemetryError::Io(error)
+        })
     }
 }
 
@@ -508,5 +535,49 @@ mod tests {
             slow.total_secs += 0.5;
         }
         assert!(fast.score() > slow.score());
+    }
+
+    #[test]
+    fn save_is_atomic_against_partial_writes() {
+        let dir = std::env::temp_dir().join(format!("telemetry-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stats.json");
+
+        let mut store = TelemetryStore::new();
+        store.races = 7;
+        store.save(&path).expect("save");
+        let loaded = TelemetryStore::load(&path).expect("load after save");
+        assert_eq!(loaded.races, 7);
+
+        // Simulate a daemon killed mid-save: the in-progress temp file holds
+        // a truncated prefix of the JSON. `load` must still observe only the
+        // last *complete* save — the rename is what publishes a save, so a
+        // partial temp file is invisible.
+        let tmp = dir.join(format!(".stats.json.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, &store.to_json()[..10]).expect("write partial temp file");
+        let survived = TelemetryStore::load(&path).expect("load alongside a partial temp file");
+        assert_eq!(survived.races, 7, "partial write is never observed");
+
+        // A completed save replaces the target atomically and leaves no
+        // temp file behind, even with the stale orphan in the way.
+        store.races = 11;
+        store.save(&path).expect("second save");
+        assert_eq!(TelemetryStore::load(&path).expect("reload").races, 11);
+        assert!(!tmp.exists(), "save cleans up (reuses) its temp file name");
+
+        // Truncated *target* files still fail loudly — crash safety means
+        // that state can no longer arise from `save`, not that corruption
+        // gets silently ignored.
+        std::fs::write(&path, "{\"races\": 3").expect("corrupt target");
+        assert!(TelemetryStore::load(&path).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_rejects_pathless_targets() {
+        let store = TelemetryStore::new();
+        assert!(store.save(Path::new("/")).is_err());
     }
 }

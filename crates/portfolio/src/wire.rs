@@ -1,0 +1,492 @@
+//! Wire protocol of the `verifyd` daemon: newline-delimited JSON-RPC.
+//!
+//! One request per line, one response per line, over stdio or a Unix
+//! socket. The format is JSON-RPC 2.0 in spirit (`id` / `method` /
+//! `params` requests, `result` / `error` responses, the standard
+//! `-327xx` error codes) without the `jsonrpc` version tag — the
+//! transport is private to the daemon and its clients, not a public
+//! JSON-RPC endpoint.
+//!
+//! This module owns the *hostile-input* half of the daemon: framing with
+//! an explicit size bound ([`read_frame`]) and request parsing that maps
+//! every malformed input to a structured [`RequestError`] — never a
+//! panic, never a silently dropped line. The proptest suite feeds
+//! adversarial byte streams through both.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id": 1, "method": "verify-pair", "params": {"left": "a.qasm", "right": "b.qasm"}}
+//! ```
+//!
+//! * `method` (required): `verify-pair`, `verify-batch`, `stats`,
+//!   `drain` or `shutdown` (the daemon rejects others with
+//!   [`code::METHOD_NOT_FOUND`]).
+//! * `id` (optional): number, string or null. Echoed verbatim in the
+//!   response; requests on one connection are answered in *completion*
+//!   order, so concurrent clients correlate by `id`.
+//! * `params` (optional): object; method-specific.
+//!
+//! # Responses
+//!
+//! ```json
+//! {"id": 1, "result": {...}}
+//! {"id": 1, "error": {"code": -32020, "message": "service saturated: ..."}}
+//! ```
+//!
+//! A request whose `id` could not be recovered (unparseable line) is
+//! answered with `"id": null`.
+
+use std::io::{BufRead, ErrorKind, Read};
+
+/// Default cap on one request line, in bytes (1 MiB). Inline circuit text
+/// rides inside request lines, so the cap is generous; anything larger is
+/// answered with [`code::OVERSIZED_FRAME`] and the line is discarded.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Error codes carried in `error.code`. The `-327xx` values match
+/// JSON-RPC 2.0; the `-320xx` values are specific to this daemon.
+pub mod code {
+    /// The line was not valid JSON (or not valid UTF-8).
+    pub const PARSE_ERROR: i64 = -32700;
+    /// The line was valid JSON but not a valid request object.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// The request named a method the daemon does not serve.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// The params were missing, of the wrong type, or inconsistent.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// The daemon failed internally while serving the request.
+    pub const INTERNAL: i64 = -32603;
+    /// The request line exceeded the frame size cap and was discarded.
+    pub const OVERSIZED_FRAME: i64 = -32010;
+    /// Admission control rejected the request: all workers busy and the
+    /// wait queue full. Back off and retry.
+    pub const SATURATED: i64 = -32020;
+    /// The daemon is draining and admits no new work.
+    pub const DRAINING: i64 = -32021;
+    /// The (single, process-global) trace sink is leased to another
+    /// connection.
+    pub const TRACE_BUSY: i64 = -32022;
+}
+
+/// One framing step: a complete line, an oversized discard, or end of
+/// stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (without the trailing `\n`; a trailing `\r` is
+    /// trimmed too). May be empty — callers skip blank lines.
+    Line(Vec<u8>),
+    /// The line exceeded the cap. Its bytes up to and including the next
+    /// `\n` were consumed and discarded, so the stream is resynchronized:
+    /// the next [`read_frame`] call starts at a fresh line.
+    Oversized {
+        /// Bytes discarded (excluding the terminating newline, which may
+        /// be absent when the stream ended mid-line).
+        discarded: usize,
+    },
+    /// End of stream. A final unterminated line is still delivered as
+    /// [`Frame::Line`] first.
+    Eof,
+}
+
+/// Reads one newline-delimited frame, enforcing `max_len`.
+///
+/// Unlike [`BufRead::read_line`], an over-long line cannot balloon
+/// memory: once `max_len` bytes accumulate without a newline, the rest of
+/// the line is consumed in fixed-size chunks and thrown away, and
+/// [`Frame::Oversized`] reports the discard. The caller can then answer
+/// with a structured error and keep serving the connection.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying reader ([`ErrorKind::Interrupted`]
+/// is retried internally).
+pub fn read_frame<R: BufRead>(reader: &mut R, max_len: usize) -> std::io::Result<Frame> {
+    let mut line = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buffer) => buffer,
+            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+            Err(error) => return Err(error),
+        };
+        if available.is_empty() {
+            // EOF: deliver what we have; an empty remainder is the real end.
+            if line.is_empty() {
+                return Ok(Frame::Eof);
+            }
+            trim_cr(&mut line);
+            return Ok(Frame::Line(line));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if line.len() + newline > max_len {
+                    let discarded = line.len() + newline;
+                    reader.consume(newline + 1);
+                    return Ok(Frame::Oversized { discarded });
+                }
+                line.extend_from_slice(&available[..newline]);
+                reader.consume(newline + 1);
+                trim_cr(&mut line);
+                return Ok(Frame::Line(line));
+            }
+            None => {
+                let chunk = available.len();
+                if line.len() + chunk > max_len {
+                    // Too long already: stop buffering, drain to newline.
+                    let mut discarded = line.len() + chunk;
+                    reader.consume(chunk);
+                    line.clear();
+                    line.shrink_to_fit();
+                    loop {
+                        let available = match reader.fill_buf() {
+                            Ok(buffer) => buffer,
+                            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                            Err(error) => return Err(error),
+                        };
+                        if available.is_empty() {
+                            return Ok(Frame::Oversized { discarded });
+                        }
+                        match available.iter().position(|&b| b == b'\n') {
+                            Some(newline) => {
+                                discarded += newline;
+                                reader.consume(newline + 1);
+                                return Ok(Frame::Oversized { discarded });
+                            }
+                            None => {
+                                discarded += available.len();
+                                let n = available.len();
+                                reader.consume(n);
+                            }
+                        }
+                    }
+                }
+                line.extend_from_slice(available);
+                reader.consume(chunk);
+            }
+        }
+    }
+}
+
+fn trim_cr(line: &mut Vec<u8>) {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+}
+
+/// Convenience for non-`BufRead` sources: wraps the reader in a
+/// [`std::io::BufReader`] sized for the frame cap. Prefer keeping one
+/// `BufReader` per connection and calling [`read_frame`] directly.
+pub fn frame_reader<R: Read>(reader: R) -> std::io::BufReader<R> {
+    std::io::BufReader::new(reader)
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcRequest {
+    /// Request id to echo in the response (`None` when absent). Restricted
+    /// to number / string / null — other JSON types are rejected as
+    /// [`code::INVALID_REQUEST`].
+    pub id: Option<serde::Value>,
+    /// Method name.
+    pub method: String,
+    /// Method parameters; `None` when absent. Always an object when
+    /// present.
+    pub params: Option<serde::Value>,
+}
+
+/// A structured parse/validation failure: everything needed to build the
+/// error response, including whatever request id could be salvaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Error code (see [`code`]).
+    pub code: i64,
+    /// Human-readable message.
+    pub message: String,
+    /// The request id, when it could be recovered from the broken request
+    /// (echoed so the client can still correlate the failure).
+    pub id: Option<serde::Value>,
+}
+
+impl RequestError {
+    fn new(code: i64, message: impl Into<String>, id: Option<serde::Value>) -> RequestError {
+        RequestError {
+            code,
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+/// Checks that a JSON value is a legal request id (number, string or
+/// null).
+fn valid_id(value: &serde::Value) -> bool {
+    matches!(
+        value,
+        serde::Value::Number(_) | serde::Value::String(_) | serde::Value::Null
+    )
+}
+
+/// Parses and validates one request line.
+///
+/// Total: every possible byte string maps to `Ok` or a structured
+/// [`RequestError`] — no panics, no silent drops (the proptest suite
+/// pins this over adversarial inputs).
+///
+/// # Errors
+///
+/// [`code::PARSE_ERROR`] for non-UTF-8 or non-JSON bytes;
+/// [`code::INVALID_REQUEST`] for JSON that is not an object, lacks a
+/// string `method`, or carries an `id` of an illegal type;
+/// [`code::INVALID_PARAMS`] for a non-object `params`.
+pub fn parse_request(line: &[u8]) -> Result<RpcRequest, RequestError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|e| RequestError::new(code::PARSE_ERROR, format!("invalid UTF-8: {e}"), None))?;
+    let value: serde::Value = serde_json::from_str(text)
+        .map_err(|e| RequestError::new(code::PARSE_ERROR, format!("invalid JSON: {e}"), None))?;
+    let serde::Value::Object(_) = &value else {
+        return Err(RequestError::new(
+            code::INVALID_REQUEST,
+            format!("request must be a JSON object, got {}", value.kind()),
+            None,
+        ));
+    };
+    // Salvage the id first so later errors can echo it — but only when it
+    // is of a legal type (echoing an attacker-controlled object back
+    // verbatim is how response parsers get confused).
+    let id = match value.get("id") {
+        None => None,
+        Some(id) if valid_id(id) => Some(id.clone()),
+        Some(id) => {
+            return Err(RequestError::new(
+                code::INVALID_REQUEST,
+                format!("id must be a number, string or null, got {}", id.kind()),
+                None,
+            ));
+        }
+    };
+    let method = match value.get("method") {
+        Some(serde::Value::String(method)) => method.clone(),
+        Some(other) => {
+            return Err(RequestError::new(
+                code::INVALID_REQUEST,
+                format!("method must be a string, got {}", other.kind()),
+                id,
+            ));
+        }
+        None => {
+            return Err(RequestError::new(
+                code::INVALID_REQUEST,
+                "request has no method",
+                id,
+            ));
+        }
+    };
+    let params = match value.get("params") {
+        None | Some(serde::Value::Null) => None,
+        Some(params @ serde::Value::Object(_)) => Some(params.clone()),
+        Some(other) => {
+            return Err(RequestError::new(
+                code::INVALID_PARAMS,
+                format!("params must be an object, got {}", other.kind()),
+                id,
+            ));
+        }
+    };
+    Ok(RpcRequest { id, method, params })
+}
+
+fn id_value(id: Option<&serde::Value>) -> serde::Value {
+    id.cloned().unwrap_or(serde::Value::Null)
+}
+
+/// Renders a success response line (newline included).
+pub fn response_ok(id: Option<&serde::Value>, result: serde::Value) -> String {
+    render_line(serde::Value::Object(vec![
+        ("id".to_string(), id_value(id)),
+        ("result".to_string(), result),
+    ]))
+}
+
+/// Renders an error response line (newline included).
+pub fn response_error(id: Option<&serde::Value>, code: i64, message: &str) -> String {
+    render_line(serde::Value::Object(vec![
+        ("id".to_string(), id_value(id)),
+        (
+            "error".to_string(),
+            serde::Value::Object(vec![
+                ("code".to_string(), serde::Value::Number(code as f64)),
+                (
+                    "message".to_string(),
+                    serde::Value::String(message.to_string()),
+                ),
+            ]),
+        ),
+    ]))
+}
+
+/// Renders a [`RequestError`] as its response line.
+pub fn response_request_error(error: &RequestError) -> String {
+    response_error(error.id.as_ref(), error.code, &error.message)
+}
+
+/// The error code for an admission rejection.
+pub fn reject_code(reason: &crate::service::RejectReason) -> i64 {
+    match reason {
+        crate::service::RejectReason::Saturated { .. } => code::SATURATED,
+        crate::service::RejectReason::Draining => code::DRAINING,
+    }
+}
+
+fn render_line(value: serde::Value) -> String {
+    let mut text = serde_json::to_string(&value).unwrap_or_else(|_| {
+        // Only non-finite numbers can fail to render; responses built by
+        // this module never contain one, but a method result assembled
+        // from telemetry conceivably could. Degrade to an error response
+        // (which contains only strings and integer codes) over panicking
+        // the connection thread.
+        serde_json::to_string(&serde::Value::Object(vec![
+            ("id".to_string(), serde::Value::Null),
+            (
+                "error".to_string(),
+                serde::Value::Object(vec![
+                    (
+                        "code".to_string(),
+                        serde::Value::Number(code::INTERNAL as f64),
+                    ),
+                    (
+                        "message".to_string(),
+                        serde::Value::String("response contained a non-finite number".to_string()),
+                    ),
+                ]),
+            ),
+        ]))
+        .expect("static error response renders")
+    });
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<RpcRequest, RequestError> {
+        parse_request(text.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let request = parse(r#"{"id": 7, "method": "stats", "params": {"x": 1}}"#).unwrap();
+        assert_eq!(request.id, Some(serde::Value::Number(7.0)));
+        assert_eq!(request.method, "stats");
+        assert!(request.params.is_some());
+    }
+
+    #[test]
+    fn id_and_params_are_optional() {
+        let request = parse(r#"{"method": "drain"}"#).unwrap();
+        assert_eq!(request.id, None);
+        assert_eq!(request.params, None);
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_structured_errors() {
+        assert_eq!(parse("").unwrap_err().code, code::PARSE_ERROR);
+        assert_eq!(parse("{").unwrap_err().code, code::PARSE_ERROR);
+        assert_eq!(parse("[1,2]").unwrap_err().code, code::INVALID_REQUEST);
+        assert_eq!(parse("42").unwrap_err().code, code::INVALID_REQUEST);
+        assert_eq!(
+            parse(r#"{"id": 1}"#).unwrap_err().code,
+            code::INVALID_REQUEST
+        );
+        assert_eq!(
+            parse(r#"{"id": 1, "method": 5}"#).unwrap_err().code,
+            code::INVALID_REQUEST
+        );
+        assert_eq!(
+            parse(r#"{"id": {}, "method": "stats"}"#).unwrap_err().code,
+            code::INVALID_REQUEST
+        );
+        assert_eq!(
+            parse(r#"{"id": 1, "method": "stats", "params": []}"#)
+                .unwrap_err()
+                .code,
+            code::INVALID_PARAMS
+        );
+        assert_eq!(
+            parse_request(&[0xff, 0xfe, b'{']).unwrap_err().code,
+            code::PARSE_ERROR
+        );
+    }
+
+    #[test]
+    fn errors_echo_a_salvaged_id() {
+        let error = parse(r#"{"id": "abc", "method": 5}"#).unwrap_err();
+        assert_eq!(error.id, Some(serde::Value::String("abc".to_string())));
+        let line = response_request_error(&error);
+        assert!(line.starts_with(r#"{"id":"abc","error":"#), "{line}");
+        assert!(line.ends_with('\n'));
+    }
+
+    #[test]
+    fn read_frame_splits_lines_and_trims_cr() {
+        let mut reader = BufReader::new(&b"alpha\r\nbeta\ngamma"[..]);
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line(b"alpha".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line(b"beta".to_vec())
+        );
+        // Final unterminated line is still delivered, then EOF.
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line(b"gamma".to_vec())
+        );
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn read_frame_discards_oversized_lines_and_resyncs() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        // Tiny buffer forces the chunked drain path too.
+        let mut reader = BufReader::with_capacity(8, &input[..]);
+        match read_frame(&mut reader, 16).unwrap() {
+            Frame::Oversized { discarded } => assert_eq!(discarded, 100),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert_eq!(
+            read_frame(&mut reader, 16).unwrap(),
+            Frame::Line(b"ok".to_vec())
+        );
+        assert_eq!(read_frame(&mut reader, 16).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn read_frame_reports_oversized_at_eof_without_newline() {
+        let input = [b'y'; 50];
+        let mut reader = BufReader::with_capacity(8, &input[..]);
+        match read_frame(&mut reader, 10).unwrap() {
+            Frame::Oversized { discarded } => assert_eq!(discarded, 50),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert_eq!(read_frame(&mut reader, 10).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn response_lines_are_single_lines() {
+        let ok = response_ok(
+            Some(&serde::Value::Number(3.0)),
+            serde::Value::Object(vec![("verdict".to_string(), serde::Value::Bool(true))]),
+        );
+        assert_eq!(ok.matches('\n').count(), 1);
+        assert!(ok.ends_with('\n'));
+        let err = response_error(None, code::SATURATED, "busy");
+        assert_eq!(err.matches('\n').count(), 1);
+        assert!(err.starts_with(r#"{"id":null,"error""#));
+    }
+}

@@ -1,0 +1,151 @@
+//! Adversarial property tests for the verifyd wire protocol.
+//!
+//! The daemon's reader loop must survive *any* byte stream a client (or a
+//! port scanner, or a truncated pipe) throws at it: every line maps to a
+//! structured response, framing stays synchronized across oversized lines,
+//! and nothing panics.
+
+use portfolio::wire::{self, code, Frame};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Arbitrary bytes, biased toward JSON-ish punctuation so the parser gets
+/// past the first character often enough to stress the deeper paths.
+fn adversarial_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        (0u16..300).prop_map(|n| {
+            const SPICE: &[u8] = b"{}[]\":,\n\r \\0123456789truefalsenulidmethodparams";
+            if (n as usize) < SPICE.len() {
+                SPICE[n as usize]
+            } else {
+                (n % 256) as u8
+            }
+        }),
+        0..600,
+    )
+}
+
+const KNOWN_CODES: &[i64] = &[
+    code::PARSE_ERROR,
+    code::INVALID_REQUEST,
+    code::INVALID_PARAMS,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse_request` is total: any byte string yields either a parsed
+    /// request or a structured error with a known code, a non-empty
+    /// message and a legal (echoable) id — never a panic.
+    #[test]
+    fn parse_request_is_total(line in adversarial_bytes()) {
+        match wire::parse_request(&line) {
+            Ok(request) => {
+                // A parsed request must render a well-formed response line.
+                let response =
+                    wire::response_ok(request.id.as_ref(), serde::Value::Bool(true));
+                prop_assert!(response.ends_with('\n'));
+                prop_assert_eq!(response.matches('\n').count(), 1);
+            }
+            Err(error) => {
+                prop_assert!(
+                    KNOWN_CODES.contains(&error.code),
+                    "unknown error code {}",
+                    error.code
+                );
+                prop_assert!(!error.message.is_empty());
+                // Whatever id was salvaged must render back into a single
+                // response line.
+                let response = wire::response_request_error(&error);
+                prop_assert!(response.ends_with('\n'));
+                prop_assert_eq!(response.matches('\n').count(), 1);
+            }
+        }
+    }
+
+    /// Framing is total and lossless-or-accounted: every byte of the
+    /// stream ends up either in a delivered line, discarded by an
+    /// oversized frame, or consumed as a line terminator; the reader
+    /// always reaches EOF; no delivered line exceeds the cap.
+    #[test]
+    fn read_frame_accounts_for_every_byte(
+        bytes in adversarial_bytes(),
+        cap in 1usize..64,
+        buf in 1usize..16,
+    ) {
+        let mut reader = BufReader::with_capacity(buf, &bytes[..]);
+        let mut accounted = 0usize;
+        let mut frames = 0usize;
+        loop {
+            frames += 1;
+            prop_assert!(frames <= bytes.len() + 2, "reader failed to make progress");
+            match wire::read_frame(&mut reader, cap).unwrap() {
+                Frame::Line(line) => {
+                    prop_assert!(line.len() <= cap);
+                    // +1 for the newline, except a final unterminated line.
+                    accounted += line.len() + 1;
+                }
+                Frame::Oversized { discarded } => {
+                    prop_assert!(discarded > cap);
+                    accounted += discarded + 1;
+                }
+                Frame::Eof => break,
+            }
+        }
+        // `accounted` over-counts by at most 1 newline (final line without
+        // one) plus 1 per trimmed `\r`; it can never under-count.
+        prop_assert!(accounted + frames >= bytes.len());
+    }
+
+    /// The daemon reader-loop invariant end to end: frame an arbitrary
+    /// stream, feed every line through the parser, and require that each
+    /// frame is either skippable whitespace or maps to exactly one
+    /// response (success or structured error). Nothing is silently
+    /// dropped.
+    #[test]
+    fn every_frame_maps_to_a_response_or_blank(bytes in adversarial_bytes()) {
+        let mut reader = BufReader::with_capacity(8, &bytes[..]);
+        loop {
+            match wire::read_frame(&mut reader, 128).unwrap() {
+                Frame::Eof => break,
+                Frame::Oversized { .. } => {
+                    // The daemon answers with OVERSIZED_FRAME; rendering it
+                    // must produce one line.
+                    let line = wire::response_error(None, code::OVERSIZED_FRAME, "too long");
+                    prop_assert_eq!(line.matches('\n').count(), 1);
+                }
+                Frame::Line(line) => {
+                    if line.iter().all(u8::is_ascii_whitespace) {
+                        continue;
+                    }
+                    let response = match wire::parse_request(&line) {
+                        Ok(request) => wire::response_ok(
+                            request.id.as_ref(),
+                            serde::Value::String(request.method),
+                        ),
+                        Err(error) => wire::response_request_error(&error),
+                    };
+                    prop_assert!(response.ends_with('\n'));
+                    prop_assert_eq!(response.matches('\n').count(), 1);
+                }
+            }
+        }
+    }
+
+    /// Well-formed requests round-trip: id, method and params come back
+    /// exactly as sent, whatever junk surrounds them in the object.
+    #[test]
+    fn valid_requests_roundtrip(
+        id in 0u64..1_000_000,
+        method_pick in 0usize..5,
+        with_params in any::<bool>(),
+    ) {
+        let method = ["verify-pair", "verify-batch", "stats", "drain", "shutdown"][method_pick];
+        let params = if with_params { r#","params":{"left":"a","right":"b"}"# } else { "" };
+        let line = format!(r#"{{"id":{id},"method":"{method}","extra":[1,2]{params}}}"#);
+        let request = wire::parse_request(line.as_bytes()).unwrap();
+        prop_assert_eq!(request.id, Some(serde::Value::Number(id as f64)));
+        prop_assert_eq!(request.method, method);
+        prop_assert_eq!(request.params.is_some(), with_params);
+    }
+}
