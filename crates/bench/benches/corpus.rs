@@ -1,0 +1,175 @@
+//! Chain-vs-endpoint throughput on a generated compilation corpus, emitted
+//! as `BENCH_corpus.json`.
+//!
+//! For each corpus instance the same pipeline is verified twice: in
+//! *chain* mode (every adjacent pass pair on one warm store) and in
+//! *endpoint* mode (original vs. final circuit only). Both run through
+//! `run_batch` with one worker, min-of-7 wall clocks, and the artifact
+//! reports per-instance seconds, the headline pairs/sec of each mode, and
+//! which families chain mode beat endpoint mode on.
+//!
+//! The comparison is deliberately asymmetric — chain mode performs every
+//! adjacent verification where endpoint mode performs exactly one — so the
+//! artifact's caveats spell out what the numbers do and do not mean.
+
+use bench::corpus::{chains_only, endpoint_only, generate, CorpusOptions, Coupling};
+use bench::{emit, min_wall_time, Family};
+use criterion::{criterion_group, criterion_main, Criterion};
+use portfolio::batch::{run_batch, BatchOptions, Manifest};
+
+const RUNS: usize = 7;
+
+fn single_instance(manifest: &Manifest, index: usize) -> (Manifest, Manifest) {
+    let chain = Manifest {
+        pairs: Vec::new(),
+        chains: Some(vec![manifest.chain_specs()[index].clone()]),
+    };
+    let endpoint = Manifest {
+        pairs: vec![manifest.pairs[index].clone()],
+        chains: None,
+    };
+    (chain, endpoint)
+}
+
+fn corpus_throughput(_c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("corpus-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The acceptance workload: structured families incl. QFT-12 (a 4-pass
+    // pipeline), compiled onto a line device where routing drifts the
+    // endpoints far apart while adjacent snapshots stay near-identical.
+    let options = CorpusOptions {
+        families: vec![Family::BernsteinVazirani, Family::Qft],
+        widths: vec![8, 12],
+        couplings: vec![Coupling::Line],
+        opt_levels: vec![1],
+        measured: false,
+    };
+    let corpus = generate(&dir, &options).expect("corpus generates");
+    // Reload so the manifest's relative paths resolve against the corpus
+    // directory, exactly as `verify --manifest` would.
+    let manifest =
+        portfolio::batch::load_manifest(&corpus.manifest_path).expect("generated manifest loads");
+    let batch_options = BatchOptions {
+        workers: 1,
+        ..BatchOptions::default()
+    };
+
+    // Verdict parity before timing anything: a throughput number for a
+    // wrong verdict would be meaningless.
+    let chain_report = run_batch(&chains_only(&manifest), &batch_options);
+    let endpoint_report = run_batch(&endpoint_only(&manifest), &batch_options);
+    let mut rows = Vec::new();
+    let mut chain_won_families = Vec::new();
+    for (index, (chain, pair)) in chain_report
+        .chains
+        .iter()
+        .zip(endpoint_report.pairs.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            chain.considered_equivalent, pair.considered_equivalent,
+            "`{}`: chain and endpoint mode disagree ({:?} vs {:?})",
+            chain.name, chain.verdict, pair.verdict
+        );
+        assert!(
+            chain.considered_equivalent,
+            "`{}`: corpus pipeline not equivalent (guilty pass {:?})",
+            chain.name, chain.guilty_pass
+        );
+        assert!(
+            chain.chain_hits > 0,
+            "`{}`: chain reported no carry-over hits",
+            chain.name
+        );
+
+        let (chain_manifest, endpoint_manifest) = single_instance(&manifest, index);
+        let chain_wall = min_wall_time(RUNS, || run_batch(&chain_manifest, &batch_options));
+        let endpoint_wall = min_wall_time(RUNS, || run_batch(&endpoint_manifest, &batch_options));
+        println!(
+            "corpus/{}: chain {:.3}ms ({} steps, {} carry-over hits) vs endpoint {:.3}ms ({:.2}x)",
+            chain.name,
+            chain_wall.as_secs_f64() * 1e3,
+            chain.steps_verified,
+            chain.chain_hits,
+            endpoint_wall.as_secs_f64() * 1e3,
+            endpoint_wall.as_secs_f64() / chain_wall.as_secs_f64(),
+        );
+        if chain_wall <= endpoint_wall {
+            chain_won_families.push(chain.name.clone());
+        }
+        rows.push(format!(
+            "{{ \"name\": \"{}\", \"steps\": {}, \"chain_seconds\": {:.6}, \
+             \"endpoint_seconds\": {:.6}, \"chain_hits\": {}, \"verdict\": \"{:?}\" }}",
+            chain.name,
+            chain.steps_verified,
+            chain_wall.as_secs_f64(),
+            endpoint_wall.as_secs_f64(),
+            chain.chain_hits,
+            chain.verdict,
+        ));
+    }
+
+    // Headline: whole-corpus throughput of each mode, min-of-RUNS.
+    let chain_manifest = chains_only(&manifest);
+    let endpoint_manifest = endpoint_only(&manifest);
+    let chain_total = min_wall_time(RUNS, || run_batch(&chain_manifest, &batch_options));
+    let endpoint_total = min_wall_time(RUNS, || run_batch(&endpoint_manifest, &batch_options));
+    let chain_verifications = chain_report.chain_steps_verified;
+    let endpoint_verifications = endpoint_report.pairs_total;
+    let chain_pps = chain_verifications as f64 / chain_total.as_secs_f64();
+    let endpoint_pps = endpoint_verifications as f64 / endpoint_total.as_secs_f64();
+    println!(
+        "corpus/headline: chain {chain_pps:.2} pairs/sec ({chain_verifications} verifications in \
+         {:.3}ms) vs endpoint {endpoint_pps:.2} pairs/sec ({endpoint_verifications} in {:.3}ms)",
+        chain_total.as_secs_f64() * 1e3,
+        endpoint_total.as_secs_f64() * 1e3,
+    );
+
+    let headline = format!(
+        "{{ \"chain_pairs_per_sec\": {:.2}, \"endpoint_pairs_per_sec\": {:.2}, \
+         \"chain_total_seconds\": {:.6}, \"endpoint_total_seconds\": {:.6}, \
+         \"chain_verifications\": {}, \"endpoint_verifications\": {}, \
+         \"chain_faster_instances\": [{}] }}",
+        chain_pps,
+        endpoint_pps,
+        chain_total.as_secs_f64(),
+        endpoint_total.as_secs_f64(),
+        chain_verifications,
+        endpoint_verifications,
+        chain_won_families
+            .iter()
+            .map(|name| format!("\"{name}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let json = emit::envelope(
+        "corpus",
+        "chain-vs-endpoint verification of staged compilations (line-routed BV/QFT at 8 and 12 \
+         qubits), min-of-7 wall clocks through run_batch with one worker",
+        &[
+            "a pairs/sec unit is one adjacent-pair verification: chain mode performs one per \
+             pass where endpoint mode performs exactly one per pipeline, so the two throughput \
+             numbers count different work and neither alone ranks the modes",
+            "chain mode's extra verifications buy blame localisation (a refutation names the \
+             guilty pass); endpoint mode only learns that the ends differ",
+            "the corpus is compiled by this workspace's own staged compiler, so adjacent \
+             snapshots are insertion-aligned near-identity miters — the regime the \
+             functional(aligned) gate schedule and chain carry-over were built for; corpora \
+             from compilers with global resynthesis passes would blunt both",
+            "originals are unmeasured unitaries (the Fig. 1b use case): on measured corpora the \
+             distribution-based fixed-input scheme shortcuts the endpoint check and endpoint \
+             mode wins wall-clock at these widths",
+            "min-of-7 on a shared host; sub-millisecond instances are dominated by service \
+             setup and thread spawn, not decision-diagram work",
+        ],
+        &[
+            ("headline", headline),
+            ("instances", format!("[\n    {}\n  ]", rows.join(",\n    "))),
+        ],
+    );
+    emit::write_artifact("BENCH_corpus.json", &json);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, corpus_throughput);
+criterion_main!(benches);

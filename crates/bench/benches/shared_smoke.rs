@@ -77,7 +77,10 @@ fn warm_store_batch_smoke(_c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("warm-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create smoke dir");
-    let mut manifest = Manifest { pairs: Vec::new() };
+    let mut manifest = Manifest {
+        pairs: Vec::new(),
+        chains: None,
+    };
     for i in 0..3 {
         let left = dir.join(format!("qft12_{i}.left.qasm"));
         let right = dir.join(format!("qft12_{i}.right.qasm"));
@@ -87,6 +90,7 @@ fn warm_store_batch_smoke(_c: &mut Criterion) {
             name: Some(format!("qft12_{i}")),
             left: left.to_string_lossy().into_owned(),
             right: right.to_string_lossy().into_owned(),
+            qubits: None,
         });
     }
 

@@ -13,7 +13,20 @@
 //! [`run_row`] performs all four measurements for one instance and returns a
 //! [`TableRow`]; the `table1` binary prints them in the paper's format, and
 //! the Criterion benches in `benches/` time the individual components.
+//!
+//! Beyond Table 1, the [`corpus`] module (and the `corpus` binary) generates
+//! compilation-flow corpora — staged-compilation QASM snapshots plus a
+//! manifest of endpoint pairs and per-pass chains — for the incremental
+//! verification workload:
+//!
+//! ```text
+//! corpus --out /tmp/corpus --families bv,qft --widths 4,6 \
+//!        --couplings line,full --opt-levels 0,1
+//! verify --manifest /tmp/corpus/manifest.json
+//! corpus --smoke    # the CI guard: chain-vs-endpoint verdict parity
+//! ```
 
+pub mod corpus;
 pub mod emit;
 
 use algorithms::{bv, qft, qpe};
@@ -116,18 +129,20 @@ const SEED: u64 = 20220701;
 /// precision anyway).
 pub const QFT_APPROXIMATION_DISTANCE: usize = 58;
 
-/// Builds the benchmark instance of `family` with `n` static-circuit qubits.
-pub fn build_instance(family: Family, n: usize) -> Instance {
+/// Builds the static circuit of `family` alone, with the same seeded
+/// parameters as [`build_instance`], optionally without the final
+/// measurements.
+///
+/// The unmeasured form is what the compilation corpus (see [`corpus`])
+/// verifies: the paper's Fig. 1b use case checks that compilation preserved
+/// a *unitary*, and leaving measurements off keeps distribution-based
+/// schemes from certifying only the observable outcome statistics.
+pub fn build_static(family: Family, n: usize, measured: bool) -> QuantumCircuit {
     match family {
         Family::BernsteinVazirani => {
             assert!(n >= 2, "BV needs at least one input qubit plus the ancilla");
             let hidden = bv::random_hidden_string(n - 1, SEED ^ n as u64);
-            Instance {
-                family,
-                n,
-                static_circuit: bv::bv_static(&hidden, true),
-                dynamic_circuit: bv::bv_dynamic(&hidden),
-            }
+            bv::bv_static(&hidden, measured)
         }
         Family::Qft => {
             let approx = if n > 64 {
@@ -135,12 +150,7 @@ pub fn build_instance(family: Family, n: usize) -> Instance {
             } else {
                 None
             };
-            Instance {
-                family,
-                n,
-                static_circuit: qft::qft_static(n, approx, true),
-                dynamic_circuit: qft::qft_dynamic_approx(n, approx),
-            }
+            qft::qft_static(n, approx, measured)
         }
         Family::Qpe => {
             assert!(
@@ -149,13 +159,38 @@ pub fn build_instance(family: Family, n: usize) -> Instance {
             );
             let m = n - 1;
             let phi = qpe::random_exact_phase(m, SEED ^ n as u64);
-            Instance {
-                family,
-                n,
-                static_circuit: qpe::qpe_static(phi, m, true),
-                dynamic_circuit: qpe::iqpe_dynamic(phi, m),
-            }
+            qpe::qpe_static(phi, m, measured)
         }
+    }
+}
+
+/// Builds the benchmark instance of `family` with `n` static-circuit qubits.
+pub fn build_instance(family: Family, n: usize) -> Instance {
+    let static_circuit = build_static(family, n, true);
+    let dynamic_circuit = match family {
+        Family::BernsteinVazirani => {
+            let hidden = bv::random_hidden_string(n - 1, SEED ^ n as u64);
+            bv::bv_dynamic(&hidden)
+        }
+        Family::Qft => {
+            let approx = if n > 64 {
+                Some(QFT_APPROXIMATION_DISTANCE)
+            } else {
+                None
+            };
+            qft::qft_dynamic_approx(n, approx)
+        }
+        Family::Qpe => {
+            let m = n - 1;
+            let phi = qpe::random_exact_phase(m, SEED ^ n as u64);
+            qpe::iqpe_dynamic(phi, m)
+        }
+    };
+    Instance {
+        family,
+        n,
+        static_circuit,
+        dynamic_circuit,
     }
 }
 

@@ -55,5 +55,7 @@ pub use error::CompileError;
 pub use layout::Layout;
 pub use math::{sqrt_unitary, zyz_decompose, zyz_matrix, Zyz};
 pub use optimize::{optimize, OptimizationReport};
-pub use pipeline::{CompilationResult, Compiler, CompilerOptions, Target};
+pub use pipeline::{
+    CompilationResult, Compiler, CompilerOptions, PassCircuit, StagedCompilation, Target,
+};
 pub use routing::{route, RoutingResult};

@@ -110,6 +110,49 @@ impl CompilationResult {
     }
 }
 
+/// One pass output of a staged compilation (see [`Compiler::compile_staged`]).
+#[derive(Debug, Clone)]
+pub struct PassCircuit {
+    /// Name of the pass that produced this circuit: `"decompose"`,
+    /// `"basis"`, `"route"` or `"optimize"`.
+    pub pass: &'static str,
+    /// The circuit after the pass ran.
+    pub circuit: QuantumCircuit,
+}
+
+/// Result of a [`Compiler::compile_staged`] run: the final
+/// [`CompilationResult`] plus every intermediate circuit, in pipeline order.
+///
+/// Adjacent snapshots are *nearly identical* — each differs from its
+/// predecessor by exactly one pass — which is the regime incremental
+/// (pass-by-pass) equivalence checking exploits: every miter stays close to
+/// the identity, and a refutation names the guilty pass.
+#[derive(Debug, Clone)]
+pub struct StagedCompilation {
+    /// The uncompiled input circuit.
+    pub original: QuantumCircuit,
+    /// Output of each pass that ran, in pipeline order. The last entry is
+    /// the fully compiled circuit (same as `result.circuit`).
+    pub passes: Vec<PassCircuit>,
+    /// The ordinary compilation result.
+    pub result: CompilationResult,
+}
+
+impl StagedCompilation {
+    /// The verification chain in pipeline order: the original circuit
+    /// (labelled `"original"`) followed by every pass output.
+    ///
+    /// Note the qubit counts change along the chain: passes up to routing
+    /// stay on the logical register, routing and later passes run on the
+    /// device's physical qubits. Equivalence checking pads the narrower
+    /// side, exactly as for an endpoint check.
+    pub fn chain(&self) -> Vec<(&'static str, &QuantumCircuit)> {
+        let mut chain = vec![("original", &self.original)];
+        chain.extend(self.passes.iter().map(|p| (p.pass, &p.circuit)));
+        chain
+    }
+}
+
 /// Compiles circuits for a [`Target`] by running decomposition, basis
 /// rewriting, routing and (optionally) peephole optimization.
 ///
@@ -154,11 +197,37 @@ impl Compiler {
     /// map is disconnected, or routing encounters an operation it cannot
     /// handle.
     pub fn compile(&self, circuit: &QuantumCircuit) -> Result<CompilationResult, CompileError> {
+        self.compile_staged(circuit).map(|staged| staged.result)
+    }
+
+    /// Compiles `circuit` and keeps every intermediate pass output.
+    ///
+    /// This is the entry point for incremental (pass-by-pass) verification:
+    /// [`StagedCompilation::chain`] yields the original plus each pass
+    /// output, and verifying adjacent snapshots localises a miscompilation
+    /// to the pass that introduced it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Compiler::compile`].
+    pub fn compile_staged(
+        &self,
+        circuit: &QuantumCircuit,
+    ) -> Result<StagedCompilation, CompileError> {
         let start = Instant::now();
         self.target.coupling.check_capacity(circuit.num_qubits())?;
 
+        let mut passes = Vec::with_capacity(4);
         let decomposed = decompose_controls(circuit);
+        passes.push(PassCircuit {
+            pass: "decompose",
+            circuit: decomposed.circuit.clone(),
+        });
         let rewritten = rewrite_to_basis(&decomposed.circuit, self.target.basis);
+        passes.push(PassCircuit {
+            pass: "basis",
+            circuit: rewritten.circuit.clone(),
+        });
         let layout = Layout::trivial(circuit.num_qubits(), self.target.coupling.num_qubits());
         let routed = route(
             &rewritten.circuit,
@@ -166,21 +235,34 @@ impl Compiler {
             layout,
             self.options.restore_layout,
         )?;
+        passes.push(PassCircuit {
+            pass: "route",
+            circuit: routed.circuit.clone(),
+        });
         let (optimized, optimization) = if self.options.optimize {
-            optimize(&routed.circuit)
+            let (optimized, optimization) = optimize(&routed.circuit);
+            passes.push(PassCircuit {
+                pass: "optimize",
+                circuit: optimized.clone(),
+            });
+            (optimized, optimization)
         } else {
             (routed.circuit.clone(), OptimizationReport::default())
         };
 
-        Ok(CompilationResult {
-            circuit: optimized,
-            initial_layout: routed.initial_layout,
-            final_layout: routed.final_layout,
-            swaps_inserted: routed.swaps_inserted,
-            decomposed_operations: decomposed.expanded_operations,
-            rewritten_gates: rewritten.rewritten_gates,
-            optimization,
-            duration: start.elapsed(),
+        Ok(StagedCompilation {
+            original: circuit.clone(),
+            passes,
+            result: CompilationResult {
+                circuit: optimized,
+                initial_layout: routed.initial_layout,
+                final_layout: routed.final_layout,
+                swaps_inserted: routed.swaps_inserted,
+                decomposed_operations: decomposed.expanded_operations,
+                rewritten_gates: rewritten.rewritten_gates,
+                optimization,
+                duration: start.elapsed(),
+            },
         })
     }
 }
@@ -242,6 +324,46 @@ mod tests {
         assert!(optimized.gate_count() < unoptimized.gate_count());
         assert!(optimized.optimization.iterations >= 1);
         assert_eq!(unoptimized.optimization, OptimizationReport::default());
+    }
+
+    #[test]
+    fn staged_compilation_exposes_every_pass() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).ccx(0, 1, 2).measure_all();
+        let staged = Compiler::new(Target::ibmq_london())
+            .compile_staged(&qc)
+            .unwrap();
+        let names: Vec<&str> = staged.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(names, ["decompose", "basis", "route", "optimize"]);
+        // The last pass output is the compiled circuit, and the chain leads
+        // with the untouched original.
+        assert_eq!(
+            staged.passes.last().unwrap().circuit.gate_count(),
+            staged.result.gate_count()
+        );
+        let chain = staged.chain();
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain[0].0, "original");
+        assert_eq!(chain[0].1.gate_count(), qc.gate_count());
+        // Passes before routing stay on the logical register; routing moves
+        // to the device width.
+        assert_eq!(chain[1].1.num_qubits(), 3);
+        assert_eq!(chain[3].1.num_qubits(), 5);
+    }
+
+    #[test]
+    fn staged_compilation_skips_optimize_when_disabled() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        let options = CompilerOptions {
+            optimize: false,
+            restore_layout: true,
+        };
+        let staged = Compiler::with_options(Target::line(2), options)
+            .compile_staged(&qc)
+            .unwrap();
+        let names: Vec<&str> = staged.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(names, ["decompose", "basis", "route"]);
     }
 
     #[test]

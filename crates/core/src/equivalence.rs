@@ -58,6 +58,16 @@ pub enum Strategy {
     /// the paper's evaluation ("the generic 'proportional' strategy of
     /// QCEC").
     Proportional,
+    /// Diff-guided alternation for pairs where the right circuit is the left
+    /// circuit with gates *inserted* — the shape every routing pass
+    /// produces. Matching gates are applied strictly in lockstep (one left
+    /// gate, then its inverted right twin), inserted SWAP triplets are
+    /// applied on the right side alone while the wire correspondence is
+    /// updated, so the intermediate miter stays a literal qubit permutation
+    /// instead of drifting into a large diagram. Gates that match neither
+    /// way fall back to the proportional schedule, so the strategy degrades
+    /// gracefully on pairs without insertion structure.
+    Aligned,
 }
 
 /// Configuration of the equivalence-checking routines.

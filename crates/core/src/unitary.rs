@@ -9,7 +9,7 @@
 //! therefore small — the key insight of the underlying QCEC tool.
 
 use crate::equivalence::{Configuration, Equivalence, Strategy};
-use circuit::{OpKind, Operation, QuantumCircuit};
+use circuit::{OpKind, Operation, QuantumCircuit, StandardGate};
 use dd::{Budget, DdPackage, LimitExceeded, MEdge};
 use sim::{dd_controls, gate_matrix};
 use std::time::{Duration, Instant};
@@ -125,6 +125,52 @@ fn apply_right_inverse(package: &mut DdPackage, miter: MEdge, op: &Operation) ->
     let matrix = gate_matrix(gate.inverse());
     let gate_dd = package.make_gate(&matrix, *target, &dd_controls(controls));
     package.mul_matrices(miter, gate_dd)
+}
+
+/// Returns whether `right` is `left` with every wire renamed through
+/// `mapping` (`mapping[left_wire] = right_wire`): same gate, mapped target,
+/// and mapped controls in order.
+fn ops_match(left: &Operation, right: &Operation, mapping: &[usize]) -> bool {
+    let (
+        OpKind::Unitary {
+            gate: lg,
+            target: lt,
+            controls: lc,
+        },
+        OpKind::Unitary {
+            gate: rg,
+            target: rt,
+            controls: rc,
+        },
+    ) = (&left.kind, &right.kind)
+    else {
+        return false;
+    };
+    lg == rg
+        && mapping[*lt] == *rt
+        && lc.len() == rc.len()
+        && lc
+            .iter()
+            .zip(rc.iter())
+            .all(|(l, r)| l.positive == r.positive && mapping[l.qubit] == r.qubit)
+}
+
+/// Detects the three-CNOT SWAP pattern `cx(a,b); cx(b,a); cx(a,b)` at the
+/// head of `ops` (how the router and the layout-restoration emit SWAPs) and
+/// returns the swapped wire pair.
+fn swap_triplet(ops: &[&Operation]) -> Option<(usize, usize)> {
+    let cx = |op: &Operation| -> Option<(usize, usize)> {
+        match &op.kind {
+            OpKind::Unitary {
+                gate: StandardGate::X,
+                target,
+                controls,
+            } if controls.len() == 1 && controls[0].positive => Some((controls[0].qubit, *target)),
+            _ => None,
+        }
+    };
+    let (a, b) = cx(ops.first()?)?;
+    (cx(ops.get(1)?)? == (b, a) && cx(ops.get(2)?)? == (a, b)).then_some((a, b))
 }
 
 /// Checks whether two unitary circuits implement the same functionality.
@@ -257,7 +303,7 @@ pub fn check_functional_equivalence_in(
                         // Compare progress fractions li/L vs ri/R without
                         // floating point: li·R ≤ ri·L.
                         Strategy::Proportional => li * total_right <= ri * total_left,
-                        Strategy::Reference => unreachable!(),
+                        Strategy::Reference | Strategy::Aligned => unreachable!(),
                     }
                 };
                 if take_left {
@@ -266,6 +312,66 @@ pub fn check_functional_equivalence_in(
                 } else {
                     miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
                     ri += 1;
+                }
+                if let Some(reason) = package.limit_exceeded() {
+                    return Err(CheckError::LimitExceeded(reason));
+                }
+                steps += 1;
+                if steps.is_multiple_of(50) {
+                    peak = peak.max(package.matrix_size(miter));
+                }
+            }
+        }
+        Strategy::Aligned => {
+            // Two-pointer diff walk. `mapping[l] = r` is the current wire
+            // correspondence: after the right side applies an inserted SWAP,
+            // left wires living on the swapped right wires trade places. At
+            // every point where the pointers are in sync the partial miter
+            // equals the inverse of that wire permutation — a linear-size
+            // diagram — so insertion-only pairs (routing, layout
+            // restoration) never leave the cheap regime.
+            let total_left = left_ops.len().max(1);
+            let total_right = right_ops.len().max(1);
+            let mut mapping: Vec<usize> = (0..n).collect();
+            let mut li = 0;
+            let mut ri = 0;
+            let mut steps = 0usize;
+            while li < left_ops.len() || ri < right_ops.len() {
+                let matched = li < left_ops.len()
+                    && ri < right_ops.len()
+                    && ops_match(left_ops[li], right_ops[ri], &mapping);
+                if matched {
+                    miter = apply_left(&mut package, miter, left_ops[li]);
+                    li += 1;
+                    miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
+                    ri += 1;
+                } else if let Some((a, b)) = swap_triplet(&right_ops[ri..]) {
+                    // An inserted SWAP: consume all three CNOTs on the right
+                    // side and track the wire exchange.
+                    for _ in 0..3 {
+                        miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
+                        ri += 1;
+                    }
+                    for wire in &mut mapping {
+                        if *wire == a {
+                            *wire = b;
+                        } else if *wire == b {
+                            *wire = a;
+                        }
+                    }
+                } else {
+                    // No insertion structure here — take one proportional
+                    // step so unrelated pairs still terminate with the same
+                    // cost shape as `Proportional`.
+                    let take_left = li < left_ops.len()
+                        && (ri >= right_ops.len() || li * total_right <= ri * total_left);
+                    if take_left {
+                        miter = apply_left(&mut package, miter, left_ops[li]);
+                        li += 1;
+                    } else {
+                        miter = apply_right_inverse(&mut package, miter, right_ops[ri]);
+                        ri += 1;
+                    }
                 }
                 if let Some(reason) = package.limit_exceeded() {
                     return Err(CheckError::LimitExceeded(reason));
@@ -457,5 +563,142 @@ mod tests {
         assert!(proportional.peak_diagram_size <= reference.peak_diagram_size);
         assert_eq!(proportional.equivalence, Equivalence::Equivalent);
         assert_eq!(reference.equivalence, Equivalence::Equivalent);
+    }
+
+    /// Rebuilds `left` as a router would: every gate re-emitted through the
+    /// evolving wire mapping, with SWAP triplets inserted at the given gate
+    /// indices (swapping adjacent wires `w`/`w+1`).
+    fn insert_swaps(
+        left: &circuit::QuantumCircuit,
+        at: &[(usize, usize)],
+    ) -> circuit::QuantumCircuit {
+        let n = left.num_qubits();
+        let mut mapping: Vec<usize> = (0..n).collect();
+        let mut routed = circuit::QuantumCircuit::new(n, left.num_bits());
+        for (index, op) in left.ops().iter().enumerate() {
+            for &(gate_index, wire) in at {
+                if gate_index == index {
+                    routed.swap(wire, wire + 1);
+                    for w in &mut mapping {
+                        if *w == wire {
+                            *w = wire + 1;
+                        } else if *w == wire + 1 {
+                            *w = wire;
+                        }
+                    }
+                }
+            }
+            let OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } = &op.kind
+            else {
+                continue;
+            };
+            let mapped: Vec<circuit::QuantumControl> = controls
+                .iter()
+                .map(|c| circuit::QuantumControl {
+                    qubit: mapping[c.qubit],
+                    positive: c.positive,
+                })
+                .collect();
+            routed.controlled_gate(*gate, mapping[*target], mapped);
+        }
+        // Restore the layout with adjacent SWAPs (as `restore_layout` does),
+        // so the routed circuit implements the same unitary.
+        let mut occupant: Vec<usize> = (0..n).collect();
+        for (logical, &physical) in mapping.iter().enumerate() {
+            occupant[physical] = logical;
+        }
+        let mut sorted = false;
+        while !sorted {
+            sorted = true;
+            for w in 0..n - 1 {
+                if occupant[w] > occupant[w + 1] {
+                    routed.swap(w, w + 1);
+                    occupant.swap(w, w + 1);
+                    sorted = false;
+                }
+            }
+        }
+        routed
+    }
+
+    #[test]
+    fn aligned_strategy_tracks_inserted_swaps() {
+        // A "routed" variant of a QFT: SWAP triplets inserted mid-circuit,
+        // every later gate re-emitted on the permuted wires. The aligned
+        // schedule must stay in lockstep (same verdict as proportional, and
+        // a peak no worse), because this is exactly the insertion shape it
+        // was built for.
+        let left = qft::qft_static(6, None, false);
+        let routed = insert_swaps(&left, &[(3, 0), (7, 2), (11, 4), (14, 1)]);
+        let aligned = check_functional_equivalence(
+            &left,
+            &routed,
+            &Configuration {
+                strategy: Strategy::Aligned,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(aligned.equivalence, Equivalence::Equivalent);
+        let proportional = check_functional_equivalence(
+            &left,
+            &routed,
+            &Configuration {
+                strategy: Strategy::Proportional,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(proportional.equivalence, Equivalence::Equivalent);
+        assert!(
+            aligned.peak_diagram_size <= proportional.peak_diagram_size,
+            "aligned peak {} exceeds proportional peak {}",
+            aligned.peak_diagram_size,
+            proportional.peak_diagram_size
+        );
+    }
+
+    #[test]
+    fn aligned_strategy_refutes_corrupted_insertion_pairs() {
+        let left = qft::qft_static(5, None, false);
+        let mut routed = insert_swaps(&left, &[(4, 1), (9, 3)]);
+        routed.z(2);
+        let check = check_functional_equivalence(
+            &left,
+            &routed,
+            &Configuration {
+                strategy: Strategy::Aligned,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(check.equivalence, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn aligned_strategy_falls_back_gracefully_on_unrelated_pairs() {
+        // No insertion structure at all: a CNOT ladder against its H·CZ·H
+        // decomposition, and a genuinely different pair. The aligned
+        // schedule must degrade to the proportional behaviour, not
+        // misjudge.
+        let a = ghz::ghz(6, false);
+        let mut b = circuit::QuantumCircuit::new(6, 0);
+        b.h(0);
+        for q in 1..6 {
+            b.h(q).cz(q - 1, q).h(q);
+        }
+        let config = Configuration {
+            strategy: Strategy::Aligned,
+            ..Default::default()
+        };
+        let check = check_functional_equivalence(&a, &b, &config).unwrap();
+        assert_eq!(check.equivalence, Equivalence::Equivalent);
+        let different =
+            check_functional_equivalence(&a, &ghz::ghz_log_depth(6, false), &config).unwrap();
+        assert_eq!(different.equivalence, Equivalence::NotEquivalent);
     }
 }

@@ -615,6 +615,12 @@ pub struct SharedStoreStats {
     /// structure that predates the last [`SharedStore::begin_race`] mark —
     /// cross-*pair* reuse of a warm store kept alive by the batch driver.
     pub warm_hits: u64,
+    /// Subset of [`warm_hits`](Self::warm_hits) served by structure interned
+    /// *since* the last [`SharedStore::begin_chain`] mark — carry-over from
+    /// an earlier step of the same verification chain. The remainder
+    /// (`warm_hits − chain_hits`) is reuse of structure that predates the
+    /// chain, i.e. batch shelf reuse. Zero outside a chain.
+    pub chain_hits: u64,
     /// Hot-path lock acquisitions (unique-table shards, shared gate cache,
     /// complex-table stripes and lanes) that found the lock held and had to
     /// block.
@@ -721,6 +727,11 @@ pub struct SharedStore {
     /// [`begin_race`](Self::begin_race)); hits on their entries count as
     /// warm hits.
     pub(crate) warm_floor: AtomicU32,
+    /// Workspace ids at or above this mark (but below the warm floor) were
+    /// attached by earlier steps of the current verification chain (see
+    /// [`begin_chain`](Self::begin_chain)); warm hits on their entries count
+    /// as chain hits. `u32::MAX` outside a chain, so nothing qualifies.
+    pub(crate) chain_floor: AtomicU32,
     pub(crate) vlive: AtomicUsize,
     pub(crate) mlive: AtomicUsize,
     pub(crate) peak_nodes: AtomicUsize,
@@ -731,6 +742,7 @@ pub struct SharedStore {
     pub(crate) intern_hits: AtomicU64,
     pub(crate) cross_thread_hits: AtomicU64,
     pub(crate) warm_hits: AtomicU64,
+    pub(crate) chain_hits: AtomicU64,
     pub(crate) shard_lock_waits: AtomicU64,
     pub(crate) shard_contention_ns: AtomicU64,
     /// Pinned at zero by the epoch-snapshot read path; kept for telemetry
@@ -774,6 +786,7 @@ impl SharedStore {
             attached: AtomicUsize::new(0),
             next_workspace: AtomicU32::new(0),
             warm_floor: AtomicU32::new(0),
+            chain_floor: AtomicU32::new(u32::MAX),
             vlive: AtomicUsize::new(0),
             mlive: AtomicUsize::new(0),
             peak_nodes: AtomicUsize::new(0),
@@ -784,6 +797,7 @@ impl SharedStore {
             intern_hits: AtomicU64::new(0),
             cross_thread_hits: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            chain_hits: AtomicU64::new(0),
             shard_lock_waits: AtomicU64::new(0),
             shard_contention_ns: AtomicU64::new(0),
             mirror_invalidations: AtomicU64::new(0),
@@ -826,6 +840,27 @@ impl SharedStore {
             self.next_workspace.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+    }
+
+    /// Marks the start of a verification *chain*: until
+    /// [`end_chain`](Self::end_chain), warm hits on structure interned after
+    /// this call (i.e. by an earlier step of the same chain, once
+    /// [`begin_race`](Self::begin_race) has advanced past it) are counted as
+    /// [`SharedStoreStats::chain_hits`], separating chain carry-over from
+    /// reuse of structure the store held before the chain began (batch shelf
+    /// reuse).
+    pub fn begin_chain(&self) {
+        self.chain_floor.store(
+            self.next_workspace.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Ends the chain started by [`begin_chain`](Self::begin_chain): later
+    /// warm hits count as plain shelf reuse again. Accumulated
+    /// [`SharedStoreStats::chain_hits`] are kept (counters are cumulative).
+    pub fn end_chain(&self) {
+        self.chain_floor.store(u32::MAX, Ordering::Relaxed);
     }
 
     /// Number of workspaces currently attached.
@@ -887,6 +922,7 @@ impl SharedStore {
             intern_hits: self.intern_hits.load(Ordering::Relaxed),
             cross_thread_hits: self.cross_thread_hits.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            chain_hits: self.chain_hits.load(Ordering::Relaxed),
             shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
             shard_contention_ns: self.shard_contention_ns.load(Ordering::Relaxed),
             mirror_invalidations: self.mirror_invalidations.load(Ordering::Relaxed),
@@ -914,6 +950,10 @@ pub(crate) struct SharedHandle {
     /// Snapshot of the store's warm floor at attach time: entries owned by
     /// workspaces below it predate this race.
     warm_floor: u32,
+    /// Snapshot of the store's chain floor at attach time: entries owned by
+    /// workspaces at or above it (but below the warm floor) were interned by
+    /// an earlier step of the current chain.
+    chain_floor: u32,
     /// The pinned generation: all reads below its lengths are lock-free.
     pin: Arc<Generation>,
     /// Epoch tails: copies of arena/lane slots allocated *after* the pin
@@ -937,6 +977,7 @@ pub(crate) struct SharedHandle {
     pub(crate) intern_hits: u64,
     pub(crate) cross_thread_hits: u64,
     pub(crate) warm_hits: u64,
+    pub(crate) chain_hits: u64,
     /// Hot-path lock acquisitions that had to block (see `lock_timed`).
     shard_lock_waits: u64,
     /// Nanoseconds spent blocked in those acquisitions.
@@ -962,6 +1003,7 @@ impl SharedHandle {
             store: Arc::clone(store),
             ws_id: store.next_workspace.fetch_add(1, Ordering::Relaxed),
             warm_floor: store.warm_floor.load(Ordering::Relaxed),
+            chain_floor: store.chain_floor.load(Ordering::Relaxed),
             pin: store.current_generation(),
             vtail: RefCell::new(Vec::new()),
             mtail: RefCell::new(Vec::new()),
@@ -976,6 +1018,7 @@ impl SharedHandle {
             intern_hits: 0,
             cross_thread_hits: 0,
             warm_hits: 0,
+            chain_hits: 0,
             shard_lock_waits: 0,
             shard_contention_ns: 0,
             epoch_pins: 1,
@@ -990,6 +1033,9 @@ impl SharedHandle {
             self.cross_thread_hits += 1;
             if owner < self.warm_floor {
                 self.warm_hits += 1;
+                if owner >= self.chain_floor {
+                    self.chain_hits += 1;
+                }
             }
         }
     }
@@ -1520,6 +1566,9 @@ impl Drop for SharedHandle {
             .warm_hits
             .fetch_add(self.warm_hits, Ordering::Relaxed);
         self.store
+            .chain_hits
+            .fetch_add(self.chain_hits, Ordering::Relaxed);
+        self.store
             .shard_lock_waits
             .fetch_add(self.shard_lock_waits, Ordering::Relaxed);
         self.store
@@ -1595,6 +1644,55 @@ mod tests {
             "reuse across begin_race must count as warm: {stats:?}"
         );
         assert!(stats.warm_hits <= stats.cross_thread_hits);
+    }
+
+    #[test]
+    fn chain_hits_split_chain_carry_over_from_shelf_reuse() {
+        // Shelf structure: built before the chain begins.
+        let store = SharedStore::new();
+        let mut shelf = store.workspace(3);
+        let shelf_gate = shelf.make_gate(&gates::h(), 0, &[]);
+        drop(shelf);
+
+        // Chain step 1 builds fresh structure on top of the shelf.
+        store.begin_chain();
+        store.begin_race();
+        let mut step1 = store.workspace(3);
+        assert_eq!(step1.make_gate(&gates::h(), 0, &[]), shelf_gate);
+        let step_gate = step1.make_gate(&gates::x(), 1, &[]);
+        drop(step1);
+        let after_step1 = store.stats();
+        assert!(after_step1.warm_hits > 0, "shelf reuse must be warm");
+        assert_eq!(
+            after_step1.chain_hits, 0,
+            "step 1 can only reuse pre-chain structure: {after_step1:?}"
+        );
+
+        // Chain step 2 reuses both shelf and step-1 structure; only the
+        // latter counts as chain carry-over.
+        store.begin_race();
+        let mut step2 = store.workspace(3);
+        assert_eq!(step2.make_gate(&gates::h(), 0, &[]), shelf_gate);
+        assert_eq!(step2.make_gate(&gates::x(), 1, &[]), step_gate);
+        drop(step2);
+        let after_step2 = store.stats();
+        assert!(
+            after_step2.chain_hits > after_step1.chain_hits,
+            "step-1 structure reused in step 2 must count as chain carry-over: {after_step2:?}"
+        );
+        assert!(after_step2.chain_hits <= after_step2.warm_hits);
+
+        // After the chain ends, reuse counts as shelf again.
+        store.end_chain();
+        store.begin_race();
+        let mut later = store.workspace(3);
+        assert_eq!(later.make_gate(&gates::x(), 1, &[]), step_gate);
+        drop(later);
+        let final_stats = store.stats();
+        assert_eq!(
+            final_stats.chain_hits, after_step2.chain_hits,
+            "chain hits must not grow outside a chain: {final_stats:?}"
+        );
     }
 
     #[test]

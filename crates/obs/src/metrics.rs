@@ -135,6 +135,12 @@ catalog! {
     SERVICE_INFLIGHT = ("service.inflight", Unit::Count, "a running *sum* sampled at dispatch, not a gauge: divide by service.requests for mean concurrency; idle stretches contribute nothing");
     /// Requests rejected by admission control (queue full or draining).
     SERVICE_ADMISSION_REJECTS = ("service.admission_rejects", Unit::Count, "rejects are per submit attempt; one retrying client can dominate the count without any other client ever being turned away");
+    /// Verification chains executed (one per pipeline, not per step).
+    CHAIN_REQUESTS = ("chain.requests", Unit::Count, "a chain that refutes at step 1 and one that verifies 5 steps both count once; see chain.steps for work done");
+    /// Adjacent-pair verifications executed inside chains.
+    CHAIN_STEPS = ("chain.steps", Unit::Count, "steps verified, not steps requested: a refuted or errored chain stops early and its remaining steps never count");
+    /// Between-request warm-store prunes skipped because the next queued request reuses the same width.
+    BATCH_POOL_GC_SKIPS = ("batch.pool_gc_skips", Unit::Count, "a skip trusts the submitter's width hint; a wrong hint skips a prune for a pair that never materialises at that width");
 }
 
 macro_rules! hist_catalog {

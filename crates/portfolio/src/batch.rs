@@ -8,19 +8,29 @@
 //! {
 //!   "pairs": [
 //!     { "name": "qpe_3", "left": "qpe_3.left.qasm", "right": "qpe_3.right.qasm" }
+//!   ],
+//!   "chains": [
+//!     { "name": "qft_12", "qubits": 12, "steps": [
+//!       { "pass": "original", "path": "qft_12.step0.qasm" },
+//!       { "pass": "route",    "path": "qft_12.step1.qasm" },
+//!       { "pass": "optimize", "path": "qft_12.step2.qasm" }
+//!     ] }
 //!   ]
 //! }
 //! ```
 //!
 //! or discovered from a directory of OpenQASM files with
 //! [`manifest_from_dir`], which pairs files by shared stem: `X.left.qasm` +
-//! `X.right.qasm` (also accepted: `X_left/X_right`, `X_a/X_b`).
+//! `X.right.qasm` (also accepted: `X_left/X_right`, `X_a/X_b`). The
+//! optional `chains` array (a *pipeline manifest*) lists compilation chains
+//! verified pass-by-pass on one warm store — see [`crate::chain`].
 //!
 //! [`run_batch`] is the library entry point behind the `verify` binary; it
 //! is what the ROADMAP calls the workload entry point for heavy traffic —
 //! every pair is one independent portfolio race, so throughput scales with
 //! the worker pool.
 
+use crate::chain::{ChainReport, ChainRequest, ChainSpec};
 use crate::engine::{
     EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport, SharedStoreReport,
 };
@@ -44,13 +54,31 @@ pub struct PairSpec {
     pub left: String,
     /// Path to the right (candidate) circuit, relative to the manifest.
     pub right: String,
+    /// Register width hint (max qubits of the two circuits). Lets the
+    /// service skip the between-request store prune when the next queued
+    /// request reuses the width; purely an optimisation, never affects
+    /// verdicts. Corpus generators fill it in; hand-written manifests can
+    /// omit it.
+    pub qubits: Option<usize>,
 }
 
-/// A batch workload: a list of circuit pairs.
+/// A batch workload: a list of circuit pairs, plus (optionally) a list of
+/// compilation chains verified pass-by-pass (see [`crate::chain`]).
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Manifest {
     /// The circuit pairs to verify.
     pub pairs: Vec<PairSpec>,
+    /// Compilation chains to verify incrementally. `Option` so manifests
+    /// written before chains existed still load (a missing key
+    /// deserializes as `Null`, which only `Option` accepts).
+    pub chains: Option<Vec<ChainSpec>>,
+}
+
+impl Manifest {
+    /// The manifest's chains (empty slice when the key is absent).
+    pub fn chain_specs(&self) -> &[ChainSpec] {
+        self.chains.as_deref().unwrap_or_default()
+    }
 }
 
 /// Error raised while loading a workload.
@@ -105,6 +133,11 @@ pub fn load_manifest(path: &Path) -> Result<Manifest, BatchError> {
         for pair in &mut manifest.pairs {
             pair.left = resolve(dir, &pair.left);
             pair.right = resolve(dir, &pair.right);
+        }
+        for chain in manifest.chains.iter_mut().flatten() {
+            for step in &mut chain.steps {
+                step.path = resolve(dir, &step.path);
+            }
         }
     }
     Ok(manifest)
@@ -163,9 +196,13 @@ pub fn manifest_from_dir(dir: &Path) -> Result<Manifest, BatchError> {
             name: Some(stem),
             left: files[0].to_string_lossy().into_owned(),
             right: files[1].to_string_lossy().into_owned(),
+            qubits: None,
         });
     }
-    Ok(Manifest { pairs })
+    Ok(Manifest {
+        pairs,
+        chains: None,
+    })
 }
 
 pub(crate) fn strip_side_suffix(stem: &str) -> &str {
@@ -251,6 +288,7 @@ pub const DEFAULT_STORE_SHELVES: usize = 4;
 pub struct StorePool {
     inner: Mutex<PoolInner>,
     warm_checkouts: AtomicUsize,
+    gc_skips: AtomicUsize,
     max_widths: usize,
 }
 
@@ -311,6 +349,7 @@ impl StorePool {
         StorePool {
             inner: Mutex::new(PoolInner::default()),
             warm_checkouts: AtomicUsize::new(0),
+            gc_skips: AtomicUsize::new(0),
             max_widths: max_widths.max(1),
         }
     }
@@ -349,6 +388,19 @@ impl StorePool {
     /// How many checkouts were served by a warm store.
     pub fn warm_checkouts(&self) -> usize {
         self.warm_checkouts.load(Ordering::Relaxed)
+    }
+
+    /// Records that a between-request prune was skipped because the next
+    /// queued request reuses the same register width (e.g. chain steps of
+    /// one pipeline, or a corpus sweep of one width).
+    pub fn note_gc_skip(&self) {
+        self.gc_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many between-request prunes were skipped (see
+    /// [`note_gc_skip`](Self::note_gc_skip)).
+    pub fn gc_skips(&self) -> usize {
+        self.gc_skips.load(Ordering::Relaxed)
     }
 
     /// Number of register widths with at least one shelved store.
@@ -491,6 +543,47 @@ pub struct PairReport {
     pub error: Option<String>,
 }
 
+impl PairReport {
+    /// Builds the report of one completed race. Shared by the pair and
+    /// chain execution paths of the service.
+    pub(crate) fn from_result(
+        name: String,
+        left: String,
+        right: String,
+        warm_store: bool,
+        pool_gc_seconds: f64,
+        result: PortfolioResult,
+    ) -> PairReport {
+        let metrics = PairMetrics::from_result(&result, pool_gc_seconds);
+        PairReport {
+            name,
+            left,
+            right,
+            verdict: result.verdict,
+            considered_equivalent: result.verdict.considered_equivalent(),
+            winner: result.winner,
+            time_to_verdict: result.time_to_verdict,
+            total_time: result.total_time,
+            peak_nodes: result.schemes.iter().filter_map(|s| s.peak_nodes).max(),
+            gc_runs: result.schemes.iter().filter_map(|s| s.gc_runs).sum(),
+            cache_hit_rate: result
+                .schemes
+                .iter()
+                .filter_map(|s| s.cache_hit_rate)
+                .fold(None, |best: Option<f64>, rate| {
+                    Some(best.map_or(rate, |b| b.max(rate)))
+                }),
+            warm_store,
+            predicted: result.predicted,
+            escalation: result.escalation,
+            metrics,
+            shared_store: result.shared_store,
+            schemes: result.schemes,
+            error: None,
+        }
+    }
+}
+
 /// Report of a whole batch run.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct BatchReport {
@@ -513,13 +606,34 @@ pub struct BatchReport {
     /// Mid-race safe-point barrier collections summed over the whole batch.
     pub gc_barrier_runs_total: usize,
     /// Warm canonical-store hits (reuse of structure carried over from an
-    /// earlier pair) summed over the whole batch; `0` without
-    /// [`BatchOptions::warm_stores`].
+    /// earlier pair, or from an earlier chain step) summed over the whole
+    /// batch; `0` without [`BatchOptions::warm_stores`].
     pub warm_hits_total: u64,
+    /// Subset of [`warm_hits_total`](Self::warm_hits_total) that is chain
+    /// carry-over: hits on structure an earlier step of the *same chain*
+    /// interned. The headline sharing signal of incremental verification.
+    pub chain_hits_total: u64,
+    /// Adjacent-pair verifications (plain pairs + verified chain steps)
+    /// completed per wall-clock second — the headline throughput metric.
+    /// Caveat: throughput at the *achieved* verdict mix, not at fixed
+    /// verdict quality; a batch of failed parses completes very fast. Read
+    /// it next to `pairs_failed` and `chains_refuted`.
+    pub pairs_per_sec: f64,
+    /// Chains in the workload.
+    pub chains_total: usize,
+    /// Chains whose combined verdict counts as equivalent.
+    pub chains_equivalent: usize,
+    /// Chains refuted, each naming a guilty pass in its report.
+    pub chains_refuted: usize,
+    /// Adjacent-pair verifications performed inside chains (a refuted
+    /// chain stops early, so this can be less than the steps requested).
+    pub chain_steps_verified: usize,
     /// Wall time of the whole batch (seconds in JSON).
     pub total_time: Duration,
     /// Per-pair reports, in manifest order.
     pub pairs: Vec<PairReport>,
+    /// Per-chain reports, in manifest order.
+    pub chains: Vec<ChainReport>,
 }
 
 pub(crate) fn failed_pair(spec: &PairSpec, name: String, error: String) -> PairReport {
@@ -612,13 +726,15 @@ pub fn run_batch_recorded(
     let seed = telemetry.map_or_else(TelemetryStore::new, |store| {
         std::mem::take(&mut *store.lock().unwrap_or_else(PoisonError::into_inner))
     });
+    let chain_specs = manifest.chain_specs();
+    let workload = manifest.pairs.len() + chain_specs.len();
     let service = VerificationService::start_seeded(
         ServiceConfig {
             portfolio: options.portfolio.clone(),
-            workers: options.workers.clamp(1, manifest.pairs.len().max(1)),
+            workers: options.workers.clamp(1, workload.max(1)),
             // A batch never queues more than its own manifest; size the
             // queue so admission control cannot reject.
-            max_queue: manifest.pairs.len(),
+            max_queue: workload,
             warm_stores: options.warm_stores,
             store_shelves: options.store_shelves,
             stats: None,
@@ -634,7 +750,19 @@ pub fn run_batch_recorded(
                 .expect("batch service queue is sized for the whole manifest")
         })
         .collect();
+    let chain_handles: Vec<_> = chain_specs
+        .iter()
+        .map(|spec| {
+            service
+                .submit_chain(ChainRequest::from_spec(spec))
+                .expect("batch service queue is sized for the whole manifest")
+        })
+        .collect();
     let pairs: Vec<PairReport> = handles
+        .into_iter()
+        .map(|handle| handle.wait().report)
+        .collect();
+    let chains: Vec<ChainReport> = chain_handles
         .into_iter()
         .map(|handle| handle.wait().report)
         .collect();
@@ -642,6 +770,9 @@ pub fn run_batch_recorded(
     if let Some(store) = telemetry {
         *store.lock().unwrap_or_else(PoisonError::into_inner) = folded;
     }
+    let total_time = start.elapsed();
+    let chain_steps_verified: usize = chains.iter().map(|c| c.steps_verified).sum();
+    let verifications = pairs.len() + chain_steps_verified;
     BatchReport {
         generated_by: format!("nonunitary-qcec verify {}", env!("CARGO_PKG_VERSION")),
         pairs_total: pairs.len(),
@@ -651,20 +782,54 @@ pub fn run_batch_recorded(
             .filter(|p| p.error.is_some() || p.verdict == Equivalence::NoInformation)
             .count(),
         pairs_predicted: pairs.iter().filter(|p| p.predicted).count(),
-        schemes_launched_total: pairs.iter().map(|p| p.schemes.len()).sum(),
-        gc_runs_total: pairs.iter().map(|p| p.gc_runs).sum(),
+        schemes_launched_total: pairs
+            .iter()
+            .map(|p| p.schemes.len())
+            .chain(
+                chains
+                    .iter()
+                    .flat_map(|c| c.steps.iter().map(|s| s.report.schemes.len())),
+            )
+            .sum(),
+        gc_runs_total: pairs
+            .iter()
+            .map(|p| p.gc_runs)
+            .chain(
+                chains
+                    .iter()
+                    .flat_map(|c| c.steps.iter().map(|s| s.report.gc_runs)),
+            )
+            .sum(),
         gc_barrier_runs_total: pairs
             .iter()
             .filter_map(|p| p.shared_store.as_ref())
+            .chain(
+                chains
+                    .iter()
+                    .flat_map(|c| c.steps.iter())
+                    .filter_map(|s| s.report.shared_store.as_ref()),
+            )
             .map(|s| s.gc_barrier_runs)
             .sum(),
         warm_hits_total: pairs
             .iter()
             .filter_map(|p| p.shared_store.as_ref())
             .map(|s| s.warm_hits)
-            .sum(),
-        total_time: start.elapsed(),
+            .sum::<u64>()
+            + chains.iter().map(|c| c.warm_hits).sum::<u64>(),
+        chain_hits_total: chains.iter().map(|c| c.chain_hits).sum(),
+        pairs_per_sec: if total_time.as_secs_f64() > 0.0 {
+            verifications as f64 / total_time.as_secs_f64()
+        } else {
+            0.0
+        },
+        chains_total: chains.len(),
+        chains_equivalent: chains.iter().filter(|c| c.considered_equivalent).count(),
+        chains_refuted: chains.iter().filter(|c| c.guilty_pass.is_some()).count(),
+        chain_steps_verified,
+        total_time,
         pairs,
+        chains,
     }
 }
 

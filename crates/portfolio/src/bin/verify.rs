@@ -3,6 +3,13 @@
 //! ```text
 //! verify --manifest pairs.json [options]
 //! verify --dir path/to/qasm/   [options]
+//! verify --chain a.qasm,b.qasm,c.qasm [options]
+//!
+//! `--chain` verifies one compilation pipeline pass-by-pass (adjacent
+//! snapshots, in order, comma-separated) on one warm store; repeat the
+//! flag for several pipelines. A refutation names the guilty pass
+//! (`chain:step2` style). Manifests mix freely: a `chains` array next to
+//! `pairs` does the same thing (see `portfolio::batch`).
 //!
 //! options:
 //!   --out FILE        write the JSON report to FILE (default: stdout)
@@ -52,12 +59,14 @@
 //! pair was non-equivalent or failed, and 2 on usage errors.
 
 use portfolio::batch::{load_manifest, manifest_from_dir, run_batch, BatchOptions, Manifest};
+use portfolio::chain::{ChainSpec, ChainStepSpec};
 use portfolio::SchedulePolicy;
 use std::path::PathBuf;
 
 struct Args {
     manifest: Option<PathBuf>,
     dir: Option<PathBuf>,
+    chains: Vec<String>,
     out: Option<PathBuf>,
     workers: Option<usize>,
     node_limit: Option<usize>,
@@ -78,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         manifest: None,
         dir: None,
+        chains: Vec::new(),
         out: None,
         workers: None,
         node_limit: None,
@@ -102,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
             "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--chain" => args.chains.push(value("--chain")?),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--workers" => {
                 args.workers = Some(
@@ -166,7 +177,8 @@ fn parse_args() -> Result<Args, String> {
             "--compact" => args.compact = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: verify (--manifest FILE | --dir DIR) [--out FILE] [--workers N] \
+                    "usage: verify (--manifest FILE | --dir DIR | --chain A,B,C...) \
+                     [--out FILE] [--workers N] \
                      [--node-limit N] [--leaf-limit N] [--deadline SECS] \
                      [--stats-file FILE] [--policy race|predicted] [--store-shelves N] \
                      [--private-packages] [--dense-cutoff N] \
@@ -178,10 +190,44 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.manifest.is_some() == args.dir.is_some() {
-        return Err("exactly one of --manifest or --dir is required".to_string());
+    let sources = usize::from(args.manifest.is_some())
+        + usize::from(args.dir.is_some())
+        + usize::from(!args.chains.is_empty());
+    if sources != 1 {
+        return Err("exactly one of --manifest, --dir or --chain is required".to_string());
     }
     Ok(args)
+}
+
+/// Builds a chains-only manifest from repeated `--chain A,B,C` flags.
+fn manifest_from_chains(chains: &[String]) -> Result<Manifest, String> {
+    let specs = chains
+        .iter()
+        .map(|list| {
+            let steps: Vec<ChainStepSpec> = list
+                .split(',')
+                .filter(|path| !path.is_empty())
+                .map(|path| ChainStepSpec {
+                    pass: None,
+                    path: path.to_string(),
+                })
+                .collect();
+            if steps.len() < 2 {
+                return Err(format!(
+                    "--chain needs at least 2 comma-separated circuits, got `{list}`"
+                ));
+            }
+            Ok(ChainSpec {
+                name: None,
+                qubits: None,
+                steps,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Manifest {
+        pairs: Vec::new(),
+        chains: Some(specs),
+    })
 }
 
 /// Prints the run's folded hot-path counters to stderr: one line per
@@ -219,8 +265,9 @@ fn main() {
     };
 
     let manifest: Manifest = match (&args.manifest, &args.dir) {
-        (Some(path), None) => load_manifest(path),
-        (None, Some(dir)) => manifest_from_dir(dir),
+        (Some(path), None) => load_manifest(path).map_err(|e| e.to_string()),
+        (None, Some(dir)) => manifest_from_dir(dir).map_err(|e| e.to_string()),
+        (None, None) => manifest_from_chains(&args.chains),
         _ => unreachable!("validated by parse_args"),
     }
     .unwrap_or_else(|error| {
@@ -286,11 +333,34 @@ fn main() {
         };
         eprintln!("{:<24} {status}", pair.name);
     }
+    for chain in &report.chains {
+        let status = match (&chain.error, &chain.guilty_pass) {
+            (Some(error), _) => format!("ERROR ({error})"),
+            (None, Some(pass)) => format!(
+                "NotEquivalent — pass `{pass}` broke the pipeline ({}/{} steps verified)",
+                chain.steps_verified, chain.steps_total
+            ),
+            (None, None) => format!(
+                "{} over {} steps in {:.4}s ({} chain carry-over hits, {} shelf hits)",
+                chain.verdict,
+                chain.steps_verified,
+                chain.total_time.as_secs_f64(),
+                chain.chain_hits,
+                chain.shelf_hits,
+            ),
+        };
+        eprintln!("{:<24} {status}", chain.name);
+    }
     eprintln!(
-        "{} pairs, {} equivalent, {} failed, {:.4}s total",
+        "{} pairs, {} equivalent, {} failed; {} chains, {} equivalent, {} refuted; \
+         {:.2} pairs/sec, {:.4}s total",
         report.pairs_total,
         report.pairs_equivalent,
         report.pairs_failed,
+        report.chains_total,
+        report.chains_equivalent,
+        report.chains_refuted,
+        report.pairs_per_sec,
         report.total_time.as_secs_f64()
     );
     if args.metrics || args.trace_file.is_some() {
@@ -317,6 +387,8 @@ fn main() {
         None => println!("{json}"),
     }
 
-    let all_equivalent = report.pairs_failed == 0 && report.pairs_equivalent == report.pairs_total;
+    let all_equivalent = report.pairs_failed == 0
+        && report.pairs_equivalent == report.pairs_total
+        && report.chains_equivalent == report.chains_total;
     std::process::exit(i32::from(!all_equivalent));
 }

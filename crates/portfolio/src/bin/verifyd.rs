@@ -15,18 +15,26 @@
 //!         [--private-packages] [--trace-file FILE] [--max-frame-bytes N]
 //! ```
 //!
-//! Methods: `verify-pair`, `verify-batch`, `stats`, `drain`, `shutdown`
-//! (wire details in [`portfolio::wire`]). Responses are written in
-//! *completion* order — correlate by `id`. Every verify response carries
-//! the `obs::metrics` delta folded around its race. A client that
+//! Methods: `verify-pair`, `verify-chain`, `verify-batch`, `stats`,
+//! `drain`, `shutdown` (wire details in [`portfolio::wire`]). Responses are
+//! written in *completion* order — correlate by `id`. Every verify response
+//! carries the `obs::metrics` delta folded around its race. A client that
 //! disconnects with requests outstanding cancels them: each request's
 //! token unwinds its in-flight race and the store goes back to the pool.
+//!
+//! `verify-chain` takes a compilation pipeline — `steps` is an ordered
+//! array of `{pass?, path|text}` snapshots — and verifies it pass-by-pass
+//! on one warm store ([`portfolio::chain`]); the response carries per-step
+//! reports and, on refutation, the `guilty_pass`.
 //!
 //! `drain` stops admission, finishes the backlog (all connections), saves
 //! the stats file, answers with the final service stats and exits 0.
 //! `shutdown` is `drain` with the backlog cancelled first.
 
-use portfolio::service::{Request, RequestOutcome, ServiceConfig, Source, VerificationService};
+use portfolio::chain::{ChainRequest, ChainStep};
+use portfolio::service::{
+    ChainOutcome, Request, RequestOutcome, ServiceConfig, Source, VerificationService,
+};
 use portfolio::wire::{self, code, Frame, RpcRequest};
 use portfolio::SchedulePolicy;
 use serde::Value;
@@ -246,6 +254,51 @@ fn parse_request_params(params: Option<&Value>) -> Result<Request, String> {
         right: source_field(params, "right")?,
         deadline: seconds_field(params, "deadline_seconds")?,
         node_limit: count_field(params, "node_limit")?,
+        width_hint: count_field(params, "qubits")?,
+    })
+}
+
+/// Builds one [`ChainRequest`] from `verify-chain` params: `steps` is an
+/// ordered array of `{pass?, path|text}` snapshots, at least two.
+fn parse_chain_params(params: Option<&Value>) -> Result<ChainRequest, String> {
+    let steps_value = field(params, "steps")
+        .ok_or("missing steps")?
+        .as_array()
+        .ok_or("steps must be an array")?;
+    if steps_value.len() < 2 {
+        return Err(format!(
+            "steps must list at least 2 circuits, got {}",
+            steps_value.len()
+        ));
+    }
+    let steps = steps_value
+        .iter()
+        .enumerate()
+        .map(|(index, step)| {
+            if !matches!(step, Value::Object(_)) {
+                return Err(format!("steps[{index}] must be an object"));
+            }
+            let at = |e: String| format!("steps[{index}]: {e}");
+            let pass = string_field(Some(step), "pass").map_err(at)?;
+            let path = string_field(Some(step), "path").map_err(at)?;
+            let text = string_field(Some(step), "text").map_err(at)?;
+            let source = match (path, text) {
+                (Some(path), None) => Source::Path(PathBuf::from(path)),
+                (None, Some(text)) => Source::Inline(text),
+                (Some(_), Some(_)) => {
+                    return Err(format!("steps[{index}]: give path or text, not both"))
+                }
+                (None, None) => return Err(format!("steps[{index}]: missing path (or text)")),
+            };
+            Ok(ChainStep { pass, source })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ChainRequest {
+        name: string_field(params, "name")?,
+        steps,
+        deadline: seconds_field(params, "deadline_seconds")?,
+        node_limit: count_field(params, "node_limit")?,
+        width_hint: count_field(params, "qubits")?,
     })
 }
 
@@ -263,6 +316,43 @@ fn outcome_value(outcome: &RequestOutcome) -> Value {
         (
             "considered_equivalent".to_string(),
             Value::Bool(outcome.report.considered_equivalent),
+        ),
+        ("cancelled".to_string(), Value::Bool(outcome.cancelled)),
+        (
+            "queue_wait_seconds".to_string(),
+            Value::Number(outcome.queue_wait.as_secs_f64()),
+        ),
+        (
+            "service_time_seconds".to_string(),
+            Value::Number(outcome.service_time.as_secs_f64()),
+        ),
+        ("report".to_string(), serde_json::to_value(&outcome.report)),
+        ("metrics".to_string(), outcome.metrics.clone()),
+    ])
+}
+
+fn chain_outcome_value(outcome: &ChainOutcome) -> Value {
+    Value::Object(vec![
+        ("request".to_string(), Value::Number(outcome.id as f64)),
+        (
+            "verdict".to_string(),
+            Value::String(outcome.report.verdict.to_string()),
+        ),
+        (
+            "considered_equivalent".to_string(),
+            Value::Bool(outcome.report.considered_equivalent),
+        ),
+        (
+            "guilty_pass".to_string(),
+            outcome
+                .report
+                .guilty_pass
+                .as_ref()
+                .map_or(Value::Null, |pass| Value::String(pass.clone())),
+        ),
+        (
+            "steps_verified".to_string(),
+            Value::Number(outcome.report.steps_verified as f64),
         ),
         ("cancelled".to_string(), Value::Bool(outcome.cancelled)),
         (
@@ -361,6 +451,47 @@ fn submit_and_respond(
     });
 }
 
+/// [`submit_and_respond`] for one chain: same waiter-thread shape, one
+/// chain outcome per response.
+fn submit_chain_and_respond(
+    daemon: &Arc<Daemon>,
+    writer: &SharedWriter,
+    outstanding: &Outstanding,
+    rpc_id: Option<Value>,
+    request: ChainRequest,
+) {
+    let handle = match daemon.service.submit_chain(request) {
+        Ok(handle) => handle,
+        Err(reason) => {
+            let code = wire::reject_code(&reason);
+            write_line(
+                writer,
+                &wire::response_error(rpc_id.as_ref(), code, &reason.to_string()),
+            );
+            return;
+        }
+    };
+    lock(outstanding).insert(handle.id(), handle.cancel_token().clone());
+    *lock(&daemon.pending) += 1;
+    let daemon = Arc::clone(daemon);
+    let writer = Arc::clone(writer);
+    let outstanding = Arc::clone(outstanding);
+    std::thread::spawn(move || {
+        let id = handle.id();
+        let outcome = handle.wait();
+        lock(&outstanding).remove(&id);
+        write_line(
+            &writer,
+            &wire::response_ok(rpc_id.as_ref(), chain_outcome_value(&outcome)),
+        );
+        let mut pending = lock(&daemon.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            daemon.pending_done.notify_all();
+        }
+    });
+}
+
 /// Finishes the daemon: drains (or cancels + drains) the service, waits
 /// for in-flight responses to be written, answers the request, exits 0.
 fn stop(
@@ -429,6 +560,15 @@ fn dispatch(
     match method.as_str() {
         "verify-pair" => match parse_request_params(params.as_ref()) {
             Ok(req) => submit_and_respond(daemon, writer, outstanding, id, vec![req], false),
+            Err(message) => {
+                write_line(
+                    writer,
+                    &wire::response_error(id.as_ref(), code::INVALID_PARAMS, &message),
+                );
+            }
+        },
+        "verify-chain" => match parse_chain_params(params.as_ref()) {
+            Ok(req) => submit_chain_and_respond(daemon, writer, outstanding, id, req),
             Err(message) => {
                 write_line(
                     writer,

@@ -83,19 +83,26 @@ impl Default for PortfolioConfig {
 }
 
 impl PortfolioConfig {
-    /// A copy of the config with the scheduler's per-scheme GC-threshold
-    /// hint folded into the memory configuration of every package the
-    /// scheme will create. The hint only *lowers* thresholds, and a
-    /// disabled automatic GC stays disabled.
-    fn with_gc_hint(&self, hint: Option<usize>) -> PortfolioConfig {
+    /// A copy of the config with the scheduler's per-scheme memory hints
+    /// folded into the memory configuration of every package the scheme
+    /// will create. Hints only ever *tighten*: the GC-threshold hint can
+    /// only lower thresholds (a disabled automatic GC stays disabled), and
+    /// the dense-cutoff hint can only lower the cutoff (a cutoff the
+    /// operator already set to 0 stays 0).
+    fn with_hints(&self, scheduled: &crate::scheduler::ScheduledScheme) -> PortfolioConfig {
         let mut config = self.clone();
-        if let Some(hint) = hint {
+        if let Some(hint) = scheduled.gc_hint {
             if let Some(threshold) = config.configuration.memory.gc_threshold {
                 config.configuration.memory.gc_threshold = Some(threshold.min(hint));
             }
             if let Some(threshold) = config.extraction.memory.gc_threshold {
                 config.extraction.memory.gc_threshold = Some(threshold.min(hint));
             }
+        }
+        if let Some(hint) = scheduled.dense_hint {
+            config.configuration.memory.dense_cutoff =
+                config.configuration.memory.dense_cutoff.min(hint);
+            config.extraction.memory.dense_cutoff = config.extraction.memory.dense_cutoff.min(hint);
         }
         config
     }
@@ -209,6 +216,11 @@ pub struct SharedStoreReport {
     /// Subset of `cross_thread_hits` served by structure predating this
     /// race — warm cross-pair reuse.
     pub warm_hits: u64,
+    /// Subset of `warm_hits` served by structure an *earlier step of the
+    /// same verification chain* interned (see [`crate::chain`]). The
+    /// remainder (`warm_hits − chain_hits`) predates the chain — batch
+    /// shelf reuse. Always `0` outside a chain.
+    pub chain_hits: u64,
     /// `cross_thread_hits / intern_hits`, the headline sharing metric.
     /// `0.0` (never NaN or null) when the race was over before its first
     /// canonical lookup — the JSON report must stay machine-readable.
@@ -270,6 +282,7 @@ impl SharedStoreReport {
             intern_hits,
             cross_thread_hits,
             warm_hits: end.warm_hits.saturating_sub(start.warm_hits),
+            chain_hits: end.chain_hits.saturating_sub(start.chain_hits),
             cross_thread_hit_rate: if intern_hits == 0 {
                 0.0
             } else {
@@ -668,11 +681,11 @@ fn execute_plan(
         budget
     };
 
-    // Per-launch configs with the scheduler's GC hints folded in; workers
-    // borrow these across the scope below.
+    // Per-launch configs with the scheduler's memory hints folded in;
+    // workers borrow these across the scope below.
     let launches: Vec<(Scheme, PortfolioConfig)> = plan
         .all_schemes()
-        .map(|scheduled| (scheduled.scheme, config.with_gc_hint(scheduled.gc_hint)))
+        .map(|scheduled| (scheduled.scheme, config.with_hints(scheduled)))
         .collect();
 
     if plan.sequential {

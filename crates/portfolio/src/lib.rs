@@ -99,6 +99,51 @@
 //!   (`pairs[i].shared_store` plus a `warm_store` flag) and totals
 //!   `warm_hits_total` / `gc_barrier_runs_total`.
 //!
+//! ## Incremental verification of compilation chains
+//!
+//! A compiler does not produce one circuit, it produces a *pipeline* of
+//! them — original, decomposed, basis-rewritten, routed, optimized — and
+//! the interesting question is rarely "do the endpoints agree" but "which
+//! pass broke it". The [`chain`] module verifies such a pipeline
+//! *pass-by-pass*: every adjacent snapshot pair is one ordinary portfolio
+//! race, all steps run on **one** store checked out of the pool **once**
+//! for the whole chain ([`service::VerificationService::submit_chain`]),
+//! and the first refuted step names the guilty pass
+//! ([`chain::ChainReport::guilty_pass`]). Two things make this *faster*
+//! than it sounds, not slower:
+//!
+//! * adjacent snapshots are nearly identical, so every miter stays close
+//!   to the identity — the regime where DD node sharing and the compute
+//!   cache pay off most;
+//! * canonical nodes and gate DDs built by step *i* are warm for step
+//!   *i + 1*. [`SharedStore::begin_chain`](dd::SharedStore::begin_chain)
+//!   brackets the chain so the store can split those carry-over hits
+//!   ([`chain::ChainReport::chain_hits`]) from pre-chain shelf reuse
+//!   ([`chain::ChainReport::shelf_hits`]) — `warm_hits` alone cannot tell
+//!   the two apart;
+//! * the race includes the `functional(aligned)` scheme
+//!   ([`qcec::Strategy::Aligned`]): a diff-guided gate schedule that walks
+//!   an insertion-only pair (the shape every routing pass produces) in
+//!   strict lockstep, tracking inserted SWAP triplets as wire renamings, so
+//!   the routed step's miter never drifts the way a globally proportional
+//!   schedule lets it. This is what makes the chain's hardest step — the
+//!   routing pass — cheaper than the endpoint miter instead of costlier.
+//!
+//! Chains ride every front-end: manifests gain a `chains` array
+//! ([`batch::Manifest::chains`], [`chain::ChainSpec`]), `verify --chain`
+//! verifies one pipeline from the command line, the daemon speaks
+//! `verify-chain`, and the batch report totals
+//! `chains_total` / `chains_refuted` / `chain_steps_verified` plus
+//! `pairs_per_sec` — plain pairs and verified chain steps per wall-clock
+//! second. Verdict composition is conservative: `NotEquivalent` as soon as
+//! a step refutes, otherwise the *weakest* step equivalence (one
+//! simulative step caps the chain at `ProbablyEquivalent`; an
+//! inconclusive step caps it at `NoInformation`) — a chain never claims
+//! more than its weakest link proves. The compile crate's
+//! [`StagedCompilation`](../compile/struct.StagedCompilation.html)
+//! exposes per-pass snapshots for exactly this, and the bench crate's
+//! `corpus` binary generates whole manifest corpora of them.
+//!
 //! ## Warm stores across batch pairs
 //!
 //! The [`batch`] driver keeps shared stores alive across pairs in a
@@ -197,6 +242,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chain;
 mod engine;
 pub mod scheduler;
 pub mod scheme;
@@ -204,6 +250,7 @@ pub mod service;
 pub mod telemetry;
 pub mod wire;
 
+pub use chain::{ChainReport, ChainRequest, ChainSpec, ChainStep, ChainStepReport, ChainStepSpec};
 pub use engine::{
     applicable_schemes, run_scheme, run_scheme_in, verify_portfolio, verify_portfolio_in,
     verify_portfolio_recorded, EscalationReason, PortfolioConfig, PortfolioResult, SchemeReport,

@@ -167,7 +167,7 @@ fn dynamic_pair(left: &QuantumCircuit, right: &QuantumCircuit) -> bool {
 /// (proportional schedule first in both cases). Ranks only order schemes
 /// *within* the applicable subset, so static and dynamic schemes may reuse
 /// rank values.
-pub static REGISTRY: [SchemeDescriptor; 8] = [
+pub static REGISTRY: [SchemeDescriptor; 9] = [
     SchemeDescriptor {
         scheme: Scheme::Functional(Strategy::Proportional),
         name: "functional(proportional)",
@@ -181,11 +181,28 @@ pub static REGISTRY: [SchemeDescriptor; 8] = [
         runner: run_functional_proportional,
     },
     SchemeDescriptor {
-        scheme: Scheme::Functional(Strategy::OneToOne),
-        name: "functional(one-to-one)",
+        scheme: Scheme::Functional(Strategy::Aligned),
+        name: "functional(aligned)",
         applicable: static_pair,
         race_rank: 1,
         sequential_rank: 1,
+        cost: CostProfile {
+            proves_equivalence: true,
+            // Near-free on insertion-aligned pairs (routing steps), but on a
+            // typical unrelated pair it degrades to a proportional pass plus
+            // pointer bookkeeping — so its *prior* sits just above the plain
+            // proportional schedule; recorded telemetry learns the
+            // insertion-pair advantage per bucket.
+            relative_cost: 1.1,
+        },
+        runner: run_functional_aligned,
+    },
+    SchemeDescriptor {
+        scheme: Scheme::Functional(Strategy::OneToOne),
+        name: "functional(one-to-one)",
+        applicable: static_pair,
+        race_rank: 2,
+        sequential_rank: 2,
         cost: CostProfile {
             proves_equivalence: true,
             relative_cost: 1.2,
@@ -196,8 +213,8 @@ pub static REGISTRY: [SchemeDescriptor; 8] = [
         scheme: Scheme::Functional(Strategy::Reference),
         name: "functional(reference)",
         applicable: static_pair,
-        race_rank: 2,
-        sequential_rank: 2,
+        race_rank: 3,
+        sequential_rank: 3,
         cost: CostProfile {
             proves_equivalence: true,
             relative_cost: 2.0,
@@ -208,8 +225,8 @@ pub static REGISTRY: [SchemeDescriptor; 8] = [
         scheme: Scheme::Simulative,
         name: "simulative",
         applicable: static_pair,
-        race_rank: 3,
-        sequential_rank: 3,
+        race_rank: 4,
+        sequential_rank: 4,
         cost: CostProfile {
             proves_equivalence: false,
             relative_cost: 0.8,
@@ -321,6 +338,16 @@ fn run_functional_proportional(
     store: Option<&Arc<SharedStore>>,
 ) -> SchemeOutcome {
     run_functional(Strategy::Proportional, left, right, config, budget, store)
+}
+
+fn run_functional_aligned(
+    left: &QuantumCircuit,
+    right: &QuantumCircuit,
+    config: &PortfolioConfig,
+    budget: &Budget,
+    store: Option<&Arc<SharedStore>>,
+) -> SchemeOutcome {
+    run_functional(Strategy::Aligned, left, right, config, budget, store)
 }
 
 fn run_functional_one_to_one(
@@ -495,19 +522,20 @@ mod tests {
 
     #[test]
     fn ranks_are_unique_within_each_applicability_class() {
-        for class in [static_pair as fn(&_, &_) -> bool, dynamic_pair] {
+        for (class, expected) in [(static_pair as fn(&_, &_) -> bool, 5), (dynamic_pair, 4)] {
             let members: Vec<_> = registry()
                 .iter()
                 .filter(|d| std::ptr::fn_addr_eq(d.applicable, class))
                 .collect();
-            assert_eq!(members.len(), 4);
+            assert_eq!(members.len(), expected);
             for rank_of in [
                 |d: &SchemeDescriptor| d.race_rank,
                 |d: &SchemeDescriptor| d.sequential_rank,
             ] {
                 let mut ranks: Vec<u8> = members.iter().map(|d| rank_of(d)).collect();
                 ranks.sort_unstable();
-                assert_eq!(ranks, vec![0, 1, 2, 3]);
+                let expected_ranks: Vec<u8> = (0..expected as u8).collect();
+                assert_eq!(ranks, expected_ranks);
             }
         }
     }

@@ -33,12 +33,13 @@
 //! [`RejectReason::Saturated`] — backpressure the caller can see and act
 //! on, instead of an unbounded queue hiding the overload.
 
-use crate::batch::{failed_pair, strip_side_suffix, PairMetrics, PairReport, PairSpec, StorePool};
+use crate::batch::{failed_pair, strip_side_suffix, PairReport, PairSpec, StorePool};
+use crate::chain::{self, ChainReport, ChainRequest};
 use crate::engine::verify_portfolio_recorded;
 use crate::telemetry::TelemetryStore;
 use crate::PortfolioConfig;
 use circuit::qasm;
-use dd::CancelToken;
+use dd::{CancelToken, SharedStore};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -90,6 +91,13 @@ pub struct Request {
     /// Per-request decision-diagram node budget, overriding
     /// [`PortfolioConfig::node_limit`].
     pub node_limit: Option<usize>,
+    /// Register width hint (max qubits of the pair). When the request at
+    /// the *front of the queue* hints the width the finishing request just
+    /// used, the between-request store prune is skipped — the next race
+    /// inherits the whole working set instead of just the pruned roots.
+    /// Purely an optimisation, never affects verdicts; a wrong hint only
+    /// wastes one prune's worth of retained memory.
+    pub width_hint: Option<usize>,
 }
 
 impl Request {
@@ -101,6 +109,23 @@ impl Request {
             right: Source::Path(PathBuf::from(&spec.right)),
             deadline: None,
             node_limit: None,
+            width_hint: spec.qubits,
+        }
+    }
+}
+
+/// What a worker executes: a single pair or a whole compilation chain.
+#[derive(Debug, Clone)]
+enum Work {
+    Pair(Request),
+    Chain(ChainRequest),
+}
+
+impl Work {
+    fn width_hint(&self) -> Option<usize> {
+        match self {
+            Work::Pair(request) => request.width_hint,
+            Work::Chain(request) => request.width_hint,
         }
     }
 }
@@ -201,15 +226,80 @@ pub struct RequestOutcome {
     pub metrics: serde::Value,
 }
 
+/// The result of one chain request, delivered through [`ChainHandle::wait`].
+/// Same envelope as [`RequestOutcome`], with a [`ChainReport`] inside.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// Service-assigned request id (also the trace correlation id).
+    pub id: u64,
+    /// The chain verification report, one step per adjacent pair.
+    pub report: ChainReport,
+    /// Time the request spent admitted-but-waiting for a worker.
+    pub queue_wait: Duration,
+    /// Time the request spent executing (dispatch to outcome).
+    pub service_time: Duration,
+    /// Whether the request's cancel token had tripped by completion.
+    pub cancelled: bool,
+    /// Folded `obs::metrics` delta bracketing this chain's execution; same
+    /// attribution caveat as [`RequestOutcome::metrics`].
+    pub metrics: serde::Value,
+}
+
+#[derive(Debug)]
+enum WorkReport {
+    Pair(Box<PairReport>),
+    Chain(ChainReport),
+}
+
+#[derive(Debug)]
+struct Delivery {
+    id: u64,
+    report: WorkReport,
+    queue_wait: Duration,
+    service_time: Duration,
+    cancelled: bool,
+    metrics: serde::Value,
+}
+
+impl Delivery {
+    fn into_pair(self) -> RequestOutcome {
+        match self.report {
+            WorkReport::Pair(report) => RequestOutcome {
+                id: self.id,
+                report: *report,
+                queue_wait: self.queue_wait,
+                service_time: self.service_time,
+                cancelled: self.cancelled,
+                metrics: self.metrics,
+            },
+            WorkReport::Chain(_) => unreachable!("pair slot delivered a chain report"),
+        }
+    }
+
+    fn into_chain(self) -> ChainOutcome {
+        match self.report {
+            WorkReport::Chain(report) => ChainOutcome {
+                id: self.id,
+                report,
+                queue_wait: self.queue_wait,
+                service_time: self.service_time,
+                cancelled: self.cancelled,
+                metrics: self.metrics,
+            },
+            WorkReport::Pair(_) => unreachable!("chain slot delivered a pair report"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Slot {
-    outcome: Mutex<Option<RequestOutcome>>,
+    outcome: Mutex<Option<Delivery>>,
     ready: Condvar,
 }
 
 struct Job {
     id: u64,
-    request: Request,
+    work: Work,
     cancel: CancelToken,
     slot: Arc<Slot>,
     admitted_at: Instant,
@@ -224,33 +314,28 @@ struct Job {
 /// [`detach`](Self::detach) for deliberate fire-and-forget.
 #[derive(Debug)]
 pub struct RequestHandle {
+    core: HandleCore,
+}
+
+/// Handle of an admitted chain request (see [`RequestHandle`] for the
+/// drop-cancels semantics, which are identical).
+#[derive(Debug)]
+pub struct ChainHandle {
+    core: HandleCore,
+}
+
+/// The state both handle flavours share: id, cancel token, outcome slot,
+/// and the drop-cancels arming bit.
+#[derive(Debug)]
+struct HandleCore {
     id: u64,
     cancel: CancelToken,
     slot: Arc<Slot>,
     disarm: bool,
 }
 
-impl RequestHandle {
-    /// The service-assigned request id.
-    pub fn id(&self) -> u64 {
-        self.id
-    }
-
-    /// The request's cancellation token (cloneable; shared with the
-    /// race budgets).
-    pub fn cancel_token(&self) -> &CancelToken {
-        &self.cancel
-    }
-
-    /// Cancels the request (idempotent). A queued request completes
-    /// immediately with a cancellation report; an in-flight race unwinds
-    /// cooperatively and reports its schemes as errored/cancelled.
-    pub fn cancel(&self) {
-        self.cancel.cancel();
-    }
-
-    /// Blocks until the outcome is delivered and returns it.
-    pub fn wait(mut self) -> RequestOutcome {
+impl HandleCore {
+    fn wait(&mut self) -> Delivery {
         self.disarm = true;
         let mut guard = lock(&self.slot.outcome);
         loop {
@@ -265,8 +350,7 @@ impl RequestHandle {
         }
     }
 
-    /// Waits up to `timeout` for the outcome without consuming the handle.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<RequestOutcome> {
+    fn wait_timeout(&self, timeout: Duration) -> Option<Delivery> {
         let deadline = Instant::now() + timeout;
         let mut guard = lock(&self.slot.outcome);
         loop {
@@ -285,19 +369,84 @@ impl RequestHandle {
             guard = next;
         }
     }
-
-    /// Detaches the handle: dropping it no longer cancels the request.
-    pub fn detach(mut self) {
-        self.disarm = true;
-    }
 }
 
-impl Drop for RequestHandle {
+impl Drop for HandleCore {
     fn drop(&mut self) {
         if !self.disarm {
             // An abandoned handle means an abandoned client: kill the race.
             self.cancel.cancel();
         }
+    }
+}
+
+impl RequestHandle {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// The request's cancellation token (cloneable; shared with the
+    /// race budgets).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.core.cancel
+    }
+
+    /// Cancels the request (idempotent). A queued request completes
+    /// immediately with a cancellation report; an in-flight race unwinds
+    /// cooperatively and reports its schemes as errored/cancelled.
+    pub fn cancel(&self) {
+        self.core.cancel.cancel();
+    }
+
+    /// Blocks until the outcome is delivered and returns it.
+    pub fn wait(mut self) -> RequestOutcome {
+        self.core.wait().into_pair()
+    }
+
+    /// Waits up to `timeout` for the outcome without consuming the handle.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<RequestOutcome> {
+        self.core.wait_timeout(timeout).map(Delivery::into_pair)
+    }
+
+    /// Detaches the handle: dropping it no longer cancels the request.
+    pub fn detach(mut self) {
+        self.core.disarm = true;
+    }
+}
+
+impl ChainHandle {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// The request's cancellation token (cloneable; shared with every
+    /// step's race budgets).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.core.cancel
+    }
+
+    /// Cancels the chain (idempotent). A queued chain completes immediately
+    /// with a cancellation report; an in-flight chain stops before its next
+    /// step and its current race unwinds cooperatively.
+    pub fn cancel(&self) {
+        self.core.cancel.cancel();
+    }
+
+    /// Blocks until the outcome is delivered and returns it.
+    pub fn wait(mut self) -> ChainOutcome {
+        self.core.wait().into_chain()
+    }
+
+    /// Waits up to `timeout` for the outcome without consuming the handle.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ChainOutcome> {
+        self.core.wait_timeout(timeout).map(Delivery::into_chain)
+    }
+
+    /// Detaches the handle: dropping it no longer cancels the chain.
+    pub fn detach(mut self) {
+        self.core.disarm = true;
     }
 }
 
@@ -326,6 +475,10 @@ pub struct ServiceStats {
     pub draining: bool,
     /// Warm-store checkouts served from a shelf since start.
     pub warm_checkouts: usize,
+    /// Between-request store prunes skipped because the next queued
+    /// request hinted the same register width (see
+    /// [`Request::width_hint`]).
+    pub pool_gc_skips: usize,
     /// Register widths with a shelved warm store right now.
     pub shelved_widths: usize,
     /// Workspaces still attached to shelved stores (always 0 unless a
@@ -455,6 +608,23 @@ impl VerificationService {
     /// [`shutdown`](Self::shutdown); [`RejectReason::Saturated`] when
     /// `workers + max_queue` requests are already admitted.
     pub fn submit(&self, request: Request) -> Result<RequestHandle, RejectReason> {
+        self.admit(Work::Pair(request))
+            .map(|core| RequestHandle { core })
+    }
+
+    /// [`submit`](Self::submit) for a whole compilation chain: the chain
+    /// occupies one worker (and one store checkout) for all its steps, so
+    /// admission counts it as one request.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn submit_chain(&self, request: ChainRequest) -> Result<ChainHandle, RejectReason> {
+        self.admit(Work::Chain(request))
+            .map(|core| ChainHandle { core })
+    }
+
+    fn admit(&self, work: Work) -> Result<HandleCore, RejectReason> {
         let shared = &self.shared;
         let mut state = lock(&shared.state);
         if state.draining {
@@ -483,7 +653,7 @@ impl VerificationService {
         });
         state.queue.push_back(Job {
             id,
-            request,
+            work,
             cancel: cancel.clone(),
             slot: Arc::clone(&slot),
             admitted_at: Instant::now(),
@@ -495,7 +665,7 @@ impl VerificationService {
         // Running sum, not a gauge — see the catalog caveat.
         obs::metrics::add(obs::metrics::SERVICE_QUEUE_DEPTH, depth as u64);
         self.shared.work_ready.notify_one();
-        Ok(RequestHandle {
+        Ok(HandleCore {
             id,
             cancel,
             slot,
@@ -523,6 +693,7 @@ impl VerificationService {
             inflight,
             draining,
             warm_checkouts: shared.pool.as_ref().map_or(0, StorePool::warm_checkouts),
+            pool_gc_skips: shared.pool.as_ref().map_or(0, StorePool::gc_skips),
             shelved_widths: shared.pool.as_ref().map_or(0, StorePool::shelved_widths),
             attached_workspaces: shared
                 .pool
@@ -712,14 +883,17 @@ fn worker_loop(shared: &ServiceShared) {
         let queue_wait = job.admitted_at.elapsed();
         let started = Instant::now();
         let before = obs::metrics::fold();
-        let report = execute(shared, &job);
+        let report = match &job.work {
+            Work::Pair(request) => WorkReport::Pair(Box::new(execute(shared, &job, request))),
+            Work::Chain(request) => WorkReport::Chain(execute_chain(shared, &job, request)),
+        };
         let service_time = started.elapsed();
         obs::metrics::observe_ns(
             obs::metrics::HIST_SERVICE_REQUEST_NS,
             service_time.as_nanos().min(u64::MAX as u128) as u64,
         );
         let delta = obs::metrics::fold().delta_since(&before);
-        let outcome = RequestOutcome {
+        let outcome = Delivery {
             id: job.id,
             report,
             queue_wait,
@@ -750,12 +924,12 @@ fn worker_loop(shared: &ServiceShared) {
 /// with the request token chained into every budget, between-request GC,
 /// checkin. This is the one execution path shared by the batch driver and
 /// the daemon.
-fn execute(shared: &ServiceShared, job: &Job) -> PairReport {
-    let request = &job.request;
+fn execute(shared: &ServiceShared, job: &Job, request: &Request) -> PairReport {
     let spec = PairSpec {
         name: request.name.clone(),
         left: request.left.display(),
         right: request.right.display(),
+        qubits: request.width_hint,
     };
     let name = request.name.clone().unwrap_or_else(|| match &request.left {
         Source::Path(path) => path
@@ -776,7 +950,7 @@ fn execute(shared: &ServiceShared, job: &Job) -> PairReport {
     });
     let pair_span = obs::trace::span("pair", &[]);
     obs::metrics::incr(obs::metrics::BATCH_PAIRS);
-    let report = execute_inner(shared, job, &spec, name);
+    let report = execute_inner(shared, job, request, &spec, name);
     pair_span.end(&[
         ("verdict", report.verdict.to_string().into()),
         ("failed", report.error.is_some().into()),
@@ -784,17 +958,23 @@ fn execute(shared: &ServiceShared, job: &Job) -> PairReport {
     report
 }
 
-fn execute_inner(shared: &ServiceShared, job: &Job, spec: &PairSpec, name: String) -> PairReport {
+fn execute_inner(
+    shared: &ServiceShared,
+    job: &Job,
+    request: &Request,
+    spec: &PairSpec,
+    name: String,
+) -> PairReport {
     if job.cancel.is_cancelled() {
         // Cancelled while queued (client gone before dispatch): don't parse,
         // don't touch the pool.
         return failed_pair(spec, name, "cancelled before dispatch".to_string());
     }
-    let left_text = match job.request.left.read() {
+    let left_text = match request.left.read() {
         Ok(text) => text,
         Err(error) => return failed_pair(spec, name, error),
     };
-    let right_text = match job.request.right.read() {
+    let right_text = match request.right.read() {
         Ok(text) => text,
         Err(error) => return failed_pair(spec, name, error),
     };
@@ -810,10 +990,10 @@ fn execute_inner(shared: &ServiceShared, job: &Job, spec: &PairSpec, name: Strin
     // Layer the per-request bounds and the request token over the service
     // portfolio defaults.
     let mut portfolio = shared.portfolio.clone();
-    if let Some(deadline) = job.request.deadline {
+    if let Some(deadline) = request.deadline {
         portfolio.deadline = Some(deadline);
     }
-    if let Some(node_limit) = job.request.node_limit {
+    if let Some(node_limit) = request.node_limit {
         portfolio.node_limit = Some(node_limit);
     }
     portfolio.cancel = Some(job.cancel.clone());
@@ -834,27 +1014,9 @@ fn execute_inner(shared: &ServiceShared, job: &Job, spec: &PairSpec, name: Strin
             );
             let result =
                 verify_portfolio_recorded(&left, &right, &portfolio, Some(&store), telemetry);
-            // Bound the carry-over before the next request inherits the
-            // store: a collection from a fresh (root-less) workspace keeps
-            // only the GC roots — the shared gate cache and the canonical
-            // structure under it, exactly the warm value of the pool. This
-            // runs even when the request was cancelled mid-race, so a
-            // disconnected client still returns a *clean* store to the pool.
-            let gc_start = Instant::now();
-            let mut collector = store.workspace(width);
-            let reclaimed = collector.garbage_collect();
-            drop(collector);
-            let pool_gc = gc_start.elapsed();
-            obs::trace::event(
-                "warmstore.checkin",
-                &[
-                    ("width", width.into()),
-                    ("reclaimed", reclaimed.into()),
-                    ("gc", pool_gc.into()),
-                ],
-            );
+            let pool_gc_seconds = return_store_to_pool(shared, pool, width, &store);
             pool.checkin(width, store);
-            (result, warm, pool_gc.as_secs_f64())
+            (result, warm, pool_gc_seconds)
         }
         None => (
             verify_portfolio_recorded(&left, &right, &portfolio, None, telemetry),
@@ -862,32 +1024,205 @@ fn execute_inner(shared: &ServiceShared, job: &Job, spec: &PairSpec, name: Strin
             0.0,
         ),
     };
-    let metrics = PairMetrics::from_result(&result, pool_gc_seconds);
-    PairReport {
+    PairReport::from_result(
         name,
-        left: spec.left.clone(),
-        right: spec.right.clone(),
-        verdict: result.verdict,
-        considered_equivalent: result.verdict.considered_equivalent(),
-        winner: result.winner,
-        time_to_verdict: result.time_to_verdict,
-        total_time: result.total_time,
-        peak_nodes: result.schemes.iter().filter_map(|s| s.peak_nodes).max(),
-        gc_runs: result.schemes.iter().filter_map(|s| s.gc_runs).sum(),
-        cache_hit_rate: result
-            .schemes
-            .iter()
-            .filter_map(|s| s.cache_hit_rate)
-            .fold(None, |best: Option<f64>, rate| {
-                Some(best.map_or(rate, |b| b.max(rate)))
-            }),
-        warm_store: warm,
-        predicted: result.predicted,
-        escalation: result.escalation,
-        metrics,
-        shared_store: result.shared_store,
-        schemes: result.schemes,
-        error: None,
+        spec.left.clone(),
+        spec.right.clone(),
+        warm,
+        pool_gc_seconds,
+        result,
+    )
+}
+
+/// The register width the *next* dispatched request will race at, when its
+/// submitter hinted one. Peeks the front of the queue only — a deeper scan
+/// would be guessing at scheduling order.
+fn next_queued_width(shared: &ServiceShared) -> Option<usize> {
+    lock(&shared.state)
+        .queue
+        .front()
+        .and_then(|job| job.work.width_hint())
+}
+
+/// Prunes a checked-out store before it goes back on the shelf — *unless*
+/// the request at the front of the queue hints the same register width, in
+/// which case the prune is deliberately skipped so the next race inherits
+/// the whole working set (compute caches included), not just the GC roots.
+/// Returns the seconds the prune took (0 when skipped). The caller still
+/// owns the checkin.
+///
+/// The prune otherwise runs even when the request was cancelled mid-race,
+/// so a disconnected client still returns a *clean* store to the pool: a
+/// collection from a fresh (root-less) workspace keeps only the GC roots —
+/// the shared gate cache and the canonical structure under it, exactly the
+/// warm value of the pool.
+fn return_store_to_pool(
+    shared: &ServiceShared,
+    pool: &StorePool,
+    width: usize,
+    store: &Arc<SharedStore>,
+) -> f64 {
+    if next_queued_width(shared) == Some(width) {
+        pool.note_gc_skip();
+        obs::metrics::incr(obs::metrics::BATCH_POOL_GC_SKIPS);
+        obs::trace::event(
+            "warmstore.checkin",
+            &[("width", width.into()), ("gc_skipped", true.into())],
+        );
+        return 0.0;
+    }
+    let gc_start = Instant::now();
+    let mut collector = store.workspace(width);
+    let reclaimed = collector.garbage_collect();
+    drop(collector);
+    let pool_gc = gc_start.elapsed();
+    obs::trace::event(
+        "warmstore.checkin",
+        &[
+            ("width", width.into()),
+            ("reclaimed", reclaimed.into()),
+            ("gc", pool_gc.into()),
+        ],
+    );
+    pool_gc.as_secs_f64()
+}
+
+/// Runs one chain request end to end: parse every snapshot, one store
+/// checkout for the whole chain, pass-by-pass races via
+/// [`chain::run_chain`], one conditional prune, checkin.
+fn execute_chain(shared: &ServiceShared, job: &Job, request: &ChainRequest) -> ChainReport {
+    let name = request.name.clone().unwrap_or_else(|| {
+        match request.steps.first().map(|step| &step.source) {
+            Some(Source::Path(path)) => path
+                .file_stem()
+                .map(|s| strip_side_suffix(&s.to_string_lossy()).to_string())
+                .unwrap_or_else(|| format!("chain-{}", job.id)),
+            _ => format!("chain-{}", job.id),
+        }
+    });
+    // Chains correlate like pairs: the request id tags every trace line of
+    // every step, and the `chain` span parents all the step races.
+    let _trace = obs::trace::with_context(obs::trace::Context {
+        pair: Some(job.id),
+        pair_name: Some(name.as_str().into()),
+        scheme: None,
+        parent: None,
+    });
+    let chain_span = obs::trace::span("chain", &[]);
+    obs::metrics::incr(obs::metrics::CHAIN_REQUESTS);
+    let report = execute_chain_inner(shared, job, request, name);
+    chain_span.end(&[
+        ("verdict", report.verdict.to_string().into()),
+        (
+            "guilty_pass",
+            report.guilty_pass.clone().unwrap_or_default().into(),
+        ),
+        ("steps_verified", report.steps_verified.into()),
+        ("failed", report.error.is_some().into()),
+    ]);
+    report
+}
+
+fn execute_chain_inner(
+    shared: &ServiceShared,
+    job: &Job,
+    request: &ChainRequest,
+    name: String,
+) -> ChainReport {
+    let steps_total = request.steps.len().saturating_sub(1);
+    if request.steps.len() < 2 {
+        return chain::failed_chain(
+            name,
+            steps_total,
+            format!(
+                "a chain needs at least 2 circuits, got {}",
+                request.steps.len()
+            ),
+        );
+    }
+    if job.cancel.is_cancelled() {
+        return chain::failed_chain(name, steps_total, "cancelled before dispatch".to_string());
+    }
+    let mut labels = Vec::with_capacity(request.steps.len());
+    let mut displays = Vec::with_capacity(request.steps.len());
+    let mut circuits = Vec::with_capacity(request.steps.len());
+    for (index, step) in request.steps.iter().enumerate() {
+        let display = step.source.display();
+        let text = match step.source.read() {
+            Ok(text) => text,
+            Err(error) => return chain::failed_chain(name, steps_total, error),
+        };
+        let circuit = match qasm::from_qasm(&text) {
+            Ok(circuit) => circuit,
+            Err(e) => {
+                return chain::failed_chain(
+                    name,
+                    steps_total,
+                    format!("cannot parse {display}: {e}"),
+                )
+            }
+        };
+        labels.push(step.pass.clone().unwrap_or_else(|| {
+            if index == 0 {
+                "original".to_string()
+            } else {
+                format!("step{index}")
+            }
+        }));
+        displays.push(display);
+        circuits.push(circuit);
+    }
+
+    // Layer the per-step bounds and the request token over the service
+    // portfolio defaults; every step race shares the chain's token.
+    let mut portfolio = shared.portfolio.clone();
+    if let Some(deadline) = request.deadline {
+        portfolio.deadline = Some(deadline);
+    }
+    if let Some(node_limit) = request.node_limit {
+        portfolio.node_limit = Some(node_limit);
+    }
+    portfolio.cancel = Some(job.cancel.clone());
+
+    // One width for the whole chain: routing widens circuits mid-pipeline,
+    // and the widest snapshot decides which shelf the chain warms.
+    let width = circuits
+        .iter()
+        .map(circuit::QuantumCircuit::num_qubits)
+        .max()
+        .unwrap_or(1);
+    let parsed = chain::ParsedChain {
+        name,
+        labels,
+        displays,
+        circuits,
+    };
+    let telemetry = Some(&shared.telemetry);
+    match &shared.pool {
+        Some(pool) => {
+            let (store, warm) = pool.checkout(width);
+            obs::metrics::incr(if warm {
+                obs::metrics::BATCH_WARM_CHECKOUTS
+            } else {
+                obs::metrics::BATCH_COLD_CHECKOUTS
+            });
+            obs::trace::event(
+                "warmstore.checkout",
+                &[("width", width.into()), ("warm", warm.into())],
+            );
+            let report = chain::run_chain(&parsed, &portfolio, Some(&store), warm, telemetry);
+            return_store_to_pool(shared, pool, width, &store);
+            pool.checkin(width, store);
+            report
+        }
+        // No pool, but sharing is on: a chain still wants one store for all
+        // its steps — carry-over between steps is the point — it just dies
+        // with the request instead of going to a shelf.
+        None if shared.portfolio.shared_package => {
+            let store = SharedStore::new();
+            chain::run_chain(&parsed, &portfolio, Some(&store), false, telemetry)
+        }
+        None => chain::run_chain(&parsed, &portfolio, None, false, telemetry),
     }
 }
 

@@ -41,6 +41,11 @@ pub struct PairFeatures {
     /// typical signature of a compiled-vs-reference or static-vs-dynamic
     /// pair.
     pub gate_set_diff: usize,
+    /// Absolute difference of the two circuits' gate counts. Together with
+    /// [`gate_set_diff`](Self::gate_set_diff) this is the near-identity
+    /// signal: adjacent compilation-chain snapshots differ by one pass's
+    /// worth of rewriting, so their miter stays close to the identity.
+    pub gate_count_diff: usize,
     /// Whether either circuit contains dynamic primitives.
     pub dynamic: bool,
 }
@@ -67,8 +72,22 @@ impl PairFeatures {
             gates: left_counts.total_gates().max(right_counts.total_gates()),
             non_unitary: left_counts.dynamic() + right_counts.dynamic(),
             gate_set_diff: left_set.symmetric_difference(&right_set).count(),
+            gate_count_diff: left_counts
+                .total_gates()
+                .abs_diff(right_counts.total_gates()),
             dynamic: left.is_dynamic() || right.is_dynamic(),
         }
+    }
+
+    /// Whether the pair looks like two snapshots of the same circuit — same
+    /// gate set (`gate_set_diff == 0`) and gate counts within an eighth of
+    /// each other — so the miter stays close to the identity. This is the
+    /// signature of adjacent compilation-chain steps and of a structured
+    /// (peephole-optimized vs original) pair, and it is where terminal
+    /// dense expansion historically loses: the diagrams never grow dense
+    /// blocks worth vectorizing.
+    pub fn near_identity(&self) -> bool {
+        self.gate_set_diff == 0 && self.gate_count_diff.saturating_mul(8) <= self.gates
     }
 
     /// The coarse bucket these features fall into.
@@ -83,6 +102,7 @@ impl PairFeatures {
                 .min(u8::MAX as u32) as u8,
             dynamic: self.dynamic,
             mixed_gate_set: self.gate_set_diff > 0,
+            near_identity: self.near_identity(),
         }
     }
 }
@@ -98,16 +118,23 @@ pub struct FeatureBucket {
     pub dynamic: bool,
     /// Whether the two circuits draw on different gate sets.
     pub mixed_gate_set: bool,
+    /// Whether the pair is [near-identity](PairFeatures::near_identity) —
+    /// structured miters bucket apart because both the scheme ranking and
+    /// the dense-kernel economics differ there. Stats recorded before this
+    /// dimension existed live under the old (suffix-less) keys and simply
+    /// go cold: predicted plans over a cold bucket degrade to race plans.
+    pub near_identity: bool,
 }
 
 impl std::fmt::Display for FeatureBucket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}-w{}{}",
+            "{}-w{}{}{}",
             if self.dynamic { "dynamic" } else { "static" },
             self.width_band,
             if self.mixed_gate_set { "-mixed" } else { "" },
+            if self.near_identity { "-near" } else { "" },
         )
     }
 }
@@ -489,12 +516,45 @@ mod tests {
             gates: 10,
             non_unitary: 0,
             gate_set_diff: 0,
+            gate_count_diff: 10,
             dynamic,
         };
         assert_eq!(features(6, false).bucket(), features(8, false).bucket());
         assert_ne!(features(8, false).bucket(), features(9, false).bucket());
         assert_ne!(features(8, false).bucket(), features(8, true).bucket());
         assert_eq!(features(12, true).bucket().to_string(), "dynamic-w4");
+    }
+
+    #[test]
+    fn near_identity_pairs_bucket_apart() {
+        // Same gate set, nearly the same gate count: the chain-step shape.
+        let near = PairFeatures {
+            qubits: 12,
+            gates: 100,
+            non_unitary: 0,
+            gate_set_diff: 0,
+            gate_count_diff: 4,
+            dynamic: false,
+        };
+        assert!(near.near_identity());
+        assert_eq!(near.bucket().to_string(), "static-w4-near");
+
+        // A different gate set is never near-identity, however small the
+        // count difference — a basis rewrite rewrites everything.
+        let rebased = PairFeatures {
+            gate_set_diff: 3,
+            ..near
+        };
+        assert!(!rebased.near_identity());
+        assert_ne!(near.bucket(), rebased.bucket());
+
+        // Heavy optimization (large count delta) also leaves the regime.
+        let shrunk = PairFeatures {
+            gate_count_diff: 50,
+            ..near
+        };
+        assert!(!shrunk.near_identity());
+        assert_eq!(shrunk.bucket().to_string(), "static-w4");
     }
 
     #[test]

@@ -353,7 +353,10 @@ fn batch_driver_reports_a_three_pair_manifest() {
         ),
         ("ghz_ok", ghz::ghz(4, true), ghz::ghz(4, true)),
     ];
-    let mut manifest = Manifest { pairs: Vec::new() };
+    let mut manifest = Manifest {
+        pairs: Vec::new(),
+        chains: None,
+    };
     for (name, left, right) in &pairs {
         let left_path = dir.join(format!("{name}.left.qasm"));
         let right_path = dir.join(format!("{name}.right.qasm"));
@@ -363,6 +366,7 @@ fn batch_driver_reports_a_three_pair_manifest() {
             name: Some(name.to_string()),
             left: left_path.to_string_lossy().into_owned(),
             right: right_path.to_string_lossy().into_owned(),
+            qubits: None,
         });
     }
 
@@ -436,7 +440,9 @@ fn batch_reports_unreadable_pairs_instead_of_dying() {
             name: Some("missing".into()),
             left: "/nonexistent/left.qasm".into(),
             right: "/nonexistent/right.qasm".into(),
+            qubits: None,
         }],
+        chains: None,
     };
     let report = run_batch(&manifest, &BatchOptions::default());
     assert_eq!(report.pairs_total, 1);
@@ -452,7 +458,10 @@ fn warm_stores_reuse_structure_across_same_width_pairs() {
     // predecessor (warm_hits > 0) while producing verdicts identical to a
     // cold-store run.
     let dir = temp_dir("warm");
-    let mut manifest = Manifest { pairs: Vec::new() };
+    let mut manifest = Manifest {
+        pairs: Vec::new(),
+        chains: None,
+    };
     for i in 0..3 {
         let left = qft::qft_static(6, None, true);
         let right = qft::qft_dynamic(6);
@@ -464,6 +473,7 @@ fn warm_stores_reuse_structure_across_same_width_pairs() {
             name: Some(format!("qft_{i}")),
             left: left_path.to_string_lossy().into_owned(),
             right: right_path.to_string_lossy().into_owned(),
+            qubits: None,
         });
     }
 

@@ -80,6 +80,7 @@ fn predicted_top_k_ordering_is_deterministic_given_seeded_stats() {
                 .map(|s| s.scheme)
                 .collect::<Vec<Scheme>>(),
             vec![
+                Scheme::Functional(Strategy::Aligned),
                 Scheme::Functional(Strategy::OneToOne),
                 Scheme::Functional(Strategy::Reference),
             ]
@@ -104,6 +105,48 @@ fn predicted_winner_carries_a_gc_hint_from_peak_telemetry() {
     assert_eq!(plan.primary[0].gc_hint, Some(1 << 14));
     // Losing schemes were seeded without peak samples: no hint.
     assert_eq!(plan.primary[1].gc_hint, None);
+}
+
+#[test]
+fn dense_hint_fires_only_on_near_identity_buckets_with_small_peaks() {
+    // Identical circuits bucket as near-identity, and the seeded winner's
+    // peak telemetry (max 1000 nodes) is under the dense-loss ceiling:
+    // dense apply is predicted to be a loss and hinted off.
+    let left = ghz::ghz(10, false);
+    let right = ghz::ghz(10, false);
+    let config = PortfolioConfig {
+        policy: SchedulePolicy::predicted(),
+        ..Default::default()
+    };
+    let mut store = TelemetryStore::new();
+    seed_winner(&mut store, &left, &right, Scheme::Simulative);
+    let near_plan = plan(&left, &right, &config, Some(&store));
+    assert_eq!(near_plan.primary[0].dense_hint, Some(0));
+    // Losing schemes were seeded without peak samples: no evidence, no hint.
+    assert_eq!(near_plan.primary[1].dense_hint, None);
+
+    // Same bucket, but the winner's miters peaked above the ceiling — the
+    // pair built dense blocks worth vectorizing, so the hint must not fire.
+    let bucket = PairFeatures::extract(&left, &right).bucket();
+    assert!(bucket.near_identity, "identical circuits are near-identity");
+    let key = TelemetryStore::key(Scheme::Simulative, &bucket);
+    store.schemes.get_mut(&key).unwrap().peak_nodes_max =
+        portfolio::scheduler::DENSE_LOSS_PEAK_CEILING + 1;
+    let big_plan = plan(&left, &right, &config, Some(&store));
+    assert_eq!(big_plan.primary[0].dense_hint, None);
+
+    // A pair whose bucket is *not* near-identity never gets the hint, no
+    // matter how small its peaks measured.
+    let far_left = qft::qft_static(10, None, true);
+    let far_right = ghz::ghz(10, false);
+    let far_bucket = PairFeatures::extract(&far_left, &far_right).bucket();
+    assert!(!far_bucket.near_identity);
+    let mut far_store = TelemetryStore::new();
+    seed_winner(&mut far_store, &far_left, &far_right, Scheme::Simulative);
+    let far_plan = plan(&far_left, &far_right, &config, Some(&far_store));
+    for scheduled in far_plan.primary.iter().chain(far_plan.reserve.iter()) {
+        assert_eq!(scheduled.dense_hint, None, "{:?}", scheduled.scheme);
+    }
 }
 
 #[test]
@@ -441,6 +484,7 @@ fn stats_files_without_sharing_records_still_load() {
         gates: 10,
         non_unitary: 0,
         gate_set_diff: 0,
+        gate_count_diff: 0,
         dynamic: false,
     }
     .bucket();
@@ -453,6 +497,7 @@ fn stats_files_without_sharing_records_still_load() {
         gates: 100,
         non_unitary: 0,
         gate_set_diff: 0,
+        gate_count_diff: 0,
         dynamic: false,
     };
     warm.record_sharing(&features, 0.5, 0.01, 2.0);

@@ -19,6 +19,7 @@ fn request(n: usize, name: &str) -> Request {
         right: Source::Inline(right),
         deadline: None,
         node_limit: None,
+        width_hint: Some(n),
     }
 }
 

@@ -63,7 +63,10 @@ fn main() {
     // them (pairs fan out over a worker pool, each pair races internally).
     let dir = std::env::temp_dir().join(format!("portfolio-example-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir is writable");
-    let mut manifest = Manifest { pairs: Vec::new() };
+    let mut manifest = Manifest {
+        pairs: Vec::new(),
+        chains: None,
+    };
     for (name, left, right) in [
         (
             "qpe_3",
@@ -85,6 +88,7 @@ fn main() {
             name: Some(name.to_string()),
             left: left_path.to_string_lossy().into_owned(),
             right: right_path.to_string_lossy().into_owned(),
+            qubits: None,
         });
     }
     let report = run_batch(&manifest, &BatchOptions::default());
